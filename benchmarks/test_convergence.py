@@ -1,0 +1,44 @@
+"""Ablation: Monte-Carlo convergence of the sampled estimate.
+
+Section 4.3's caveat -- insufficient samples over- or under-estimate --
+made quantitative: sweeping the sampling period over two orders of
+magnitude, the estimate's RMS error against exhaustive ground truth must
+shrink as sample counts grow, with the dense end within a couple of
+points.
+"""
+
+from conftest import format_table
+from repro.analysis.convergence import measure_convergence
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+PERIODS = (997, 499, 211, 101, 47, 23)
+
+
+def run_experiment():
+    workload = workload_for(SPEC_SUITE["gcc"], scale=0.5)
+    return measure_convergence(workload, "deadcraft", PERIODS)
+
+
+def test_convergence(benchmark, publish):
+    points = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = [
+        [str(p.period), f"{p.mean_samples:.0f}", f"{100 * p.mean_abs_error:.2f}%",
+         f"{100 * p.rms_error:.2f}%"]
+        for p in points
+    ]
+    publish(
+        "convergence",
+        "Estimate error vs. sampling density (deadcraft on synthetic gcc, 8 seeds)\n"
+        + format_table(["period", "mean samples", "mean |error|", "RMS error"], rows),
+    )
+
+    sparse, dense = points[0], points[-1]
+    assert dense.mean_samples > 10 * sparse.mean_samples
+    # More samples, less error -- and the dense end is tight.
+    assert dense.rms_error < sparse.rms_error
+    assert dense.rms_error < 0.05
+    # Roughly Monte-Carlo: a ~40x sample increase should cut RMS error by
+    # well more than 2x (1/sqrt(40) ~= 6.3x ideally; allow workload
+    # structure to eat part of it).
+    assert dense.rms_error < sparse.rms_error / 2

@@ -1,0 +1,122 @@
+"""Extension experiment: Feather's cross-thread false-sharing detection.
+
+Section 6.3 states that sharing sampled addresses across threads enables
+multi-threaded tools and cites Feather (PPoPP'18) as the one built atop
+Witch.  This experiment validates the reproduction's Feather on three
+workloads with known sharing behaviour:
+
+- packed per-thread counters  -> almost pure false sharing,
+- a producer/consumer mailbox -> almost pure true sharing,
+- the padded fix              -> silence.
+"""
+
+from conftest import format_table
+from repro.core.feather import FeatherFramework
+from repro.core.remotekill import RemoteKillFramework
+from repro.execution.machine import Machine
+from repro.hardware.cpu import SimulatedCPU
+from repro.workloads.multithreaded import (
+    double_initialization,
+    false_sharing_counters,
+    mixed_sharing,
+    padded_counters,
+    single_initialization,
+    true_sharing_queue,
+)
+
+PERIOD = 5
+
+
+def feather_run(workload):
+    cpu = SimulatedCPU()
+    feather = FeatherFramework(cpu, period=PERIOD, seed=11)
+    workload(Machine(cpu))
+    return feather.report()
+
+
+def run_experiment():
+    return {
+        "packed counters": feather_run(false_sharing_counters),
+        "padded counters": feather_run(padded_counters),
+        "producer/consumer": feather_run(true_sharing_queue),
+        "mixed": feather_run(mixed_sharing),
+    }
+
+
+def test_feather_detection(benchmark, publish):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            str(report.false_sharing_traps),
+            str(report.true_sharing_traps),
+            f"{100 * report.false_sharing_fraction:.0f}%",
+        ]
+        for name, report in results.items()
+    ]
+    publish(
+        "feather_detection",
+        "Feather -- cross-thread sharing classification\n"
+        + format_table(["workload", "false traps", "true traps", "false fraction"], rows),
+    )
+
+    packed = results["packed counters"]
+    assert packed.false_sharing_traps > 20
+    assert packed.false_sharing_fraction > 0.9
+
+    padded = results["padded counters"]
+    assert padded.false_sharing_traps == 0
+
+    queue = results["producer/consumer"]
+    assert queue.true_sharing_traps > 20
+    assert queue.false_sharing_fraction < 0.1
+
+    mixed = results["mixed"]
+    assert mixed.false_sharing_traps > 10
+    assert mixed.true_sharing_traps > 10
+
+
+def remotekill_run(workload):
+    cpu = SimulatedCPU()
+    framework = RemoteKillFramework(cpu, period=3, seed=11)
+    workload(Machine(cpu))
+    return framework
+
+
+def run_remotekill_experiment():
+    return {
+        "double init (buggy)": remotekill_run(double_initialization),
+        "single init (fixed)": remotekill_run(single_initialization),
+    }
+
+
+def test_remotekill_detection(benchmark, publish):
+    """The RemoteKill extension: cross-thread dead stores."""
+    results = benchmark.pedantic(run_remotekill_experiment, rounds=1, iterations=1)
+
+    rows = [
+        [
+            name,
+            str(framework.remote_kills),
+            str(framework.local_kills),
+            str(framework.consumed),
+            f"{100 * framework.remote_kill_fraction():.0f}%",
+        ]
+        for name, framework in results.items()
+    ]
+    publish(
+        "remotekill_detection",
+        "RemoteKill -- cross-thread dead-store classification\n"
+        + format_table(
+            ["workload", "remote kills", "local kills", "consumed", "waste fraction"], rows
+        ),
+    )
+
+    buggy = results["double init (buggy)"]
+    assert buggy.remote_kills > 5
+    assert buggy.remote_kill_fraction() > 0.5
+
+    fixed = results["single init (fixed)"]
+    assert fixed.remote_kills == 0
+    assert fixed.remote_kill_fraction() == 0.0

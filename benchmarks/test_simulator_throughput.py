@@ -1,0 +1,43 @@
+"""Library benchmark: raw simulator throughput.
+
+Not a paper experiment -- this tracks the cost of the simulation substrate
+itself (accesses/second native, under Witch, and under exhaustive
+instrumentation) so regressions in the hot dispatch path are visible.
+"""
+
+from conftest import format_table
+from repro.harness import run_exhaustive, run_native, run_witch
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+WORKLOAD = workload_for(SPEC_SUITE["gcc"], scale=0.5)
+
+
+def native_pass():
+    return run_native(WORKLOAD).cpu.ledger.counts["access"]
+
+
+def test_native_throughput(benchmark, publish):
+    accesses = benchmark(native_pass)
+    rate = accesses / benchmark.stats.stats.mean
+    publish(
+        "simulator_throughput",
+        format_table(
+            ["configuration", "accesses/second"],
+            [["native (no tool)", f"{rate:,.0f}"]],
+        ),
+    )
+    assert rate > 50_000  # the dispatch path must stay lean
+
+
+def test_witch_throughput(benchmark):
+    accesses = benchmark(
+        lambda: run_witch(WORKLOAD, tool="deadcraft", period=101).cpu.ledger.counts["access"]
+    )
+    assert accesses > 0
+
+
+def test_exhaustive_throughput(benchmark):
+    accesses = benchmark(
+        lambda: run_exhaustive(WORKLOAD, tools=("deadspy",)).cpu.ledger.counts["access"]
+    )
+    assert accesses > 0

@@ -1,0 +1,100 @@
+"""Table 1: per-benchmark slowdown and memory bloat, Witch vs. exhaustive.
+
+Paper claim: at the 5M-store / 10M-load operating point, DeadCraft /
+SilentCraft / LoadCraft cost a few percent (geomean 1.02 / 1.02 / 1.13)
+while DeadSpy / RedSpy / LoadSpy cost 26-57x (and 6-13x extra memory vs.
+Witch's ~1.2x).  The absolute magnitudes come from a calibrated cost
+model (DESIGN.md); the claims tested here are the *orderings*: every
+exhaustive tool is at least an order of magnitude costlier than its
+sampling counterpart, LoadSpy is the slowest spy, and shadow memory
+dominates exhaustive bloat.
+"""
+
+from conftest import format_table
+from repro import paperdata
+from repro.analysis.overhead import (
+    PAPER_LOAD_PERIOD,
+    PAPER_STORE_PERIOD,
+    SuiteOverheads,
+    exhaustive_overhead,
+    witch_overhead,
+)
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+SCALE = 0.25
+PAIRINGS = (
+    ("deadcraft", "deadspy", PAPER_STORE_PERIOD),
+    ("silentcraft", "redspy", PAPER_STORE_PERIOD),
+    ("loadcraft", "loadspy", PAPER_LOAD_PERIOD),
+)
+
+
+def run_experiment():
+    suites = {}
+    for craft, spy, period in PAIRINGS:
+        craft_results, spy_results = {}, {}
+        for name, spec in SPEC_SUITE.items():
+            wl = workload_for(spec, scale=SCALE)
+            craft_results[name] = witch_overhead(
+                wl, craft, name, spec.paper_footprint_mb, period,
+                paper_runtime_s=spec.paper_runtime_s,
+            )
+            spy_results[name] = exhaustive_overhead(wl, spy, name, spec.paper_footprint_mb)
+        suites[craft] = SuiteOverheads(tool=craft, results=craft_results)
+        suites[spy] = SuiteOverheads(tool=spy, results=spy_results)
+    return suites
+
+
+def test_table1_overhead(benchmark, publish):
+    suites = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for tool, suite in suites.items():
+        rows.append(
+            [
+                tool,
+                f"{suite.geomean_slowdown():.2f}x",
+                f"{paperdata.TABLE1_GEOMEAN_SLOWDOWN[tool]:.2f}x",
+                f"{suite.geomean_bloat():.2f}x",
+                f"{paperdata.TABLE1_GEOMEAN_BLOAT[tool]:.2f}x",
+            ]
+        )
+    summary = format_table(
+        ["tool", "slowdown (measured)", "slowdown (paper)", "bloat (measured)", "bloat (paper)"],
+        rows,
+    )
+
+    detail_rows = []
+    for name in sorted(SPEC_SUITE):
+        detail_rows.append(
+            [name]
+            + [f"{suites[tool].results[name].slowdown:.2f}" for tool, _, _ in PAIRINGS]
+            + [f"{suites[spy].results[name].slowdown:.1f}" for _, spy, _ in PAIRINGS]
+            + [f"{suites[tool].results[name].memory_bloat:.2f}" for tool, _, _ in PAIRINGS]
+            + [f"{suites[spy].results[name].memory_bloat:.1f}" for _, spy, _ in PAIRINGS]
+        )
+    detail = format_table(
+        ["benchmark", "dcraft", "scraft", "lcraft", "dspy", "rspy", "lspy",
+         "dcraft mem", "scraft mem", "lcraft mem", "dspy mem", "rspy mem", "lspy mem"],
+        detail_rows,
+    )
+    publish(
+        "table1_overhead",
+        "Table 1 -- slowdown and memory bloat, Witch vs exhaustive (geomeans)\n"
+        + summary
+        + "\n\nPer-benchmark detail\n"
+        + detail,
+    )
+
+    for craft, spy, _ in PAIRINGS:
+        craft_suite, spy_suite = suites[craft], suites[spy]
+        # Witch is cheap in absolute terms...
+        assert craft_suite.geomean_slowdown() < 1.10
+        assert craft_suite.geomean_bloat() < 2.0
+        # ...and at least an order of magnitude cheaper than exhaustive.
+        assert spy_suite.geomean_slowdown() > 10 * craft_suite.geomean_slowdown()
+        assert spy_suite.geomean_bloat() > 3 * craft_suite.geomean_bloat()
+
+    # LoadSpy is the slowest exhaustive tool (loads dominate).
+    assert suites["loadspy"].geomean_slowdown() > suites["deadspy"].geomean_slowdown()
+    assert suites["loadspy"].geomean_bloat() > suites["deadspy"].geomean_bloat()

@@ -1,0 +1,84 @@
+"""Table 2: overhead as a function of the sampling period.
+
+Paper claim: geomean slowdown and memory bloat grow monotonically as the
+period shrinks from 100M to 500K events/sample (1.01 -> 1.08 for the
+store tools, 1.07 -> 1.74 for LoadCraft), with LoadCraft the costliest at
+every operating point.
+"""
+
+from conftest import format_table
+from repro import paperdata
+from repro.analysis.overhead import PAPER_PERIOD_SWEEP, SuiteOverheads, witch_overhead
+from repro.workloads.spec import QUICK_SUITE, SPEC_SUITE, workload_for
+
+SCALE = 0.3
+CRAFTS = ("deadcraft", "silentcraft", "loadcraft")
+
+
+def run_experiment():
+    # The per-sample cost structure is period-independent: measure once per
+    # (benchmark, tool), then price each paper period.
+    sweeps = {craft: {} for craft in CRAFTS}
+    for name in QUICK_SUITE:
+        spec = SPEC_SUITE[name]
+        wl = workload_for(spec, scale=SCALE)
+        for craft in CRAFTS:
+            for period in PAPER_PERIOD_SWEEP:
+                result = witch_overhead(
+                    wl, craft, name, spec.paper_footprint_mb, period,
+                    paper_runtime_s=spec.paper_runtime_s,
+                )
+                sweeps[craft].setdefault(period, {})[name] = result
+    return {
+        craft: {
+            period: SuiteOverheads(tool=craft, results=results)
+            for period, results in by_period.items()
+        }
+        for craft, by_period in sweeps.items()
+    }
+
+
+def _label(period: int) -> str:
+    return f"{period // 1_000_000}M" if period >= 1_000_000 else f"{period // 1000}K"
+
+
+def test_table2_periods(benchmark, publish):
+    sweeps = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    rows = []
+    for period in PAPER_PERIOD_SWEEP:
+        row = [_label(period)]
+        for craft in CRAFTS:
+            suite = sweeps[craft][period]
+            row.append(
+                f"{suite.geomean_slowdown():.3f}/{paperdata.TABLE2_SLOWDOWN[craft][period]:.2f}"
+            )
+            row.append(
+                f"{suite.geomean_bloat():.2f}/{paperdata.TABLE2_BLOAT[craft][period]:.2f}"
+            )
+        rows.append(row)
+    publish(
+        "table2_periods",
+        "Table 2 -- geomean slowdown & bloat by period (measured/paper)\n"
+        + format_table(
+            ["period", "dead slow", "dead mem", "silent slow", "silent mem",
+             "load slow", "load mem"],
+            rows,
+        ),
+    )
+
+    for craft in CRAFTS:
+        slowdowns = [sweeps[craft][p].geomean_slowdown() for p in PAPER_PERIOD_SWEEP]
+        bloats = [sweeps[craft][p].geomean_bloat() for p in PAPER_PERIOD_SWEEP]
+        # Monotone: denser sampling costs more time and memory.
+        assert slowdowns == sorted(slowdowns), craft
+        assert bloats == sorted(bloats), craft
+        # Bounded: even at 500K the slowdown stays small.
+        assert slowdowns[-1] < 1.5, craft
+        assert slowdowns[0] < 1.02, craft
+
+    # LoadCraft is the costliest tool at every period (at the same period).
+    for period in PAPER_PERIOD_SWEEP:
+        load = sweeps["loadcraft"][period].geomean_slowdown()
+        dead = sweeps["deadcraft"][period].geomean_slowdown()
+        assert load >= dead, _label(period)

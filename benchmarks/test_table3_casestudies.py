@@ -1,0 +1,53 @@
+"""Table 3: the case-study catalogue -- detect, pinpoint, fix, speed up.
+
+Paper claim: Witch tools pinpointed the defects in NWChem, Caffe,
+binutils, imagick, kallisto, vacation, and lbm; eliminating them yielded
+1.06x-10x whole-program speedups.  Our miniatures contain the same defects
+and fixes; speedups are native-cycle ratios on the simulated machine.
+"""
+
+from conftest import format_table
+from repro.workloads.casestudies import CASE_STUDIES, run_case_study
+from repro.workloads.casestudies.lbm import measure_accuracy_loss
+
+
+def run_experiment():
+    return {name: run_case_study(case) for name, case in CASE_STUDIES.items()}
+
+
+def test_table3_casestudies(benchmark, publish):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    accuracy_loss = measure_accuracy_loss()
+
+    rows = []
+    for name, result in results.items():
+        case = result.case
+        rows.append(
+            [
+                name,
+                case.tool,
+                f"{100 * result.fraction:.0f}%",
+                f"{result.measured_speedup:.2f}x",
+                f"{case.paper_speedup:.2f}x",
+                "yes" if result.pinpointed else "NO",
+            ]
+        )
+    table = format_table(
+        ["program", "tool", "redundancy", "speedup (measured)", "speedup (paper)", "pinpointed"],
+        rows,
+    )
+    publish(
+        "table3_casestudies",
+        "Table 3 -- case studies\n"
+        + table
+        + f"\n\nlbm loop perforation accuracy loss: {accuracy_loss:.2e} "
+        "(paper: 7.7e-07 relative)",
+    )
+
+    for name, result in results.items():
+        case = result.case
+        assert result.fraction >= case.min_fraction, name
+        assert result.pinpointed, f"{name}: top chain {result.top_chain}"
+        assert result.measured_speedup > 1.03, name
+        assert case.paper_speedup / 2 <= result.measured_speedup <= case.paper_speedup * 2, name
+    assert accuracy_loss < 0.01

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The binutils case study end to end: detect, pinpoint, fix, measure.
+
+``objdump -d -S -l`` was unusually slow on binaries with many functions:
+``lookup_address_in_function_table`` linearly scans a linked list for
+every resolved address, re-loading the same ``low``/``high`` fields
+millions of times.  LoadCraft flags ~96% of loads as redundant with the
+range-check line on top -- "clearly indicating an algorithmic deficiency"
+(section 8.3).  The fix (sorted array + binary search) was adopted
+upstream and gives ~10x.
+
+This example profiles the defective miniature, prints the pinpointing
+report, then measures the fix's speedup from simulated cycle counts.
+
+Run:  python examples/diagnose_linear_search.py
+"""
+
+from repro.harness import run_native, run_witch
+from repro.workloads.casestudies import binutils
+
+
+def main() -> None:
+    print("=== profiling objdump (baseline) with LoadCraft ===")
+    profiled = run_witch(binutils.baseline, tool="loadcraft", period=101, seed=7)
+    print(profiled.report.render(coverage=0.7))
+    print()
+
+    fraction = profiled.report.redundancy_fraction
+    print(f"{100 * fraction:.0f}% of sampled loads re-load unchanged values "
+          "(paper: 96%).")
+    top_chain, share = profiled.report.top_chains(coverage=0.5)[0]
+    print(f"Top chain ({100 * share:.0f}% of the waste):\n  {top_chain}")
+    print()
+
+    print("=== applying the fix: sorted array + binary search ===")
+    before = run_native(binutils.baseline).native_cycles
+    after = run_native(binutils.optimized).native_cycles
+    print(f"baseline:  {before:12.0f} simulated cycles")
+    print(f"optimized: {after:12.0f} simulated cycles")
+    print(f"speedup:   {before / after:.1f}x   (paper: 10x)")
+    print()
+
+    print("=== sanity: the lookup no longer dominates the profile ===")
+    fixed = run_witch(binutils.optimized, tool="loadcraft", period=101, seed=7)
+
+    def lookup_share(report):
+        return sum(
+            share for chain, share in report.top_chains(coverage=1.0) if "lookup" in chain
+        )
+
+    print(f"waste attributed to the lookup: "
+          f"{100 * lookup_share(profiled.report):.0f}% before the fix, "
+          f"{100 * lookup_share(fixed.report):.0f}% after")
+    print("(re-reading the static opcode tables is still 'redundant', but it")
+    print("is cheap and no longer the algorithmic story)")
+
+
+if __name__ == "__main__":
+    main()

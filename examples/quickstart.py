@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Quickstart: find a dead-store bug with Witch in ~40 lines.
+
+We write a tiny program against the simulated machine that re-initializes
+a whole array between uses (the classic Listing 1 defect), attach the
+Witch framework with the DeadCraft client, and read the report: the
+offending source-line pair tops the chart as a synthetic
+``...->KILLED_BY->...`` call chain.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DeadCraft, Machine, SimulatedCPU, WitchFramework, nearest_prime
+
+
+def program(m: Machine) -> None:
+    """Process 40 'requests', wastefully zeroing a 512-entry scratch table
+    before each one even though a request touches only a few entries."""
+    scratch = m.alloc(512 * 8, "scratch")
+    total = m.alloc(8, "total")
+    with m.function("main"):
+        for request in range(40):
+            with m.function("reset_scratch"):
+                for i in range(512):  # <-- the bug: most entries are already 0
+                    m.store_int(scratch + 8 * i, 0, pc="server.c:88")
+            with m.function("handle_request"):
+                for k in range(3):
+                    slot = scratch + 8 * ((request * 7 + k) % 512)
+                    value = m.load_int(slot, pc="server.c:120")
+                    m.store_int(slot, value + request, pc="server.c:121")
+                m.store_int(total, request, pc="server.c:130")
+                m.load_int(total, pc="server.c:131")
+
+
+def main() -> None:
+    cpu = SimulatedCPU()  # 4 debug registers, like x86
+    witch = WitchFramework(cpu, DeadCraft(), period=nearest_prime(100))
+    machine = Machine(cpu)
+
+    program(machine)
+
+    report = witch.report()
+    print(report.render())
+    print()
+    print(f"Fraction of stores that are dead: {100 * report.redundancy_fraction:.1f}%")
+    print(f"PMU samples taken: {report.samples}; watchpoint traps: {report.traps}")
+    print(f"Tool cycles charged: {cpu.ledger.tool_cycles:.0f} "
+          "(dense demo period; ~1.01x overhead at the paper's 5M-store period,"
+          " see examples/sampling_period_tradeoff.py)")
+    print()
+    print("The top KILLED_BY chain points straight at server.c:88 -- the")
+    print("scratch reset overwritten by the next reset without being read.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The practitioner's dial: sampling period vs. accuracy vs. overhead.
+
+The paper's Table 2 shows the trade: denser sampling costs more time and
+memory but (Figure 4) accuracy barely moves across 100K-100M periods when
+chosen with care.  This example sweeps periods on the synthetic gcc
+benchmark and prints all three axes side by side, priced at paper scale.
+
+Run:  python examples/sampling_period_tradeoff.py
+"""
+
+from repro.analysis.overhead import witch_overhead
+from repro.harness import run_exhaustive, run_witch
+from repro.hardware.pmu import nearest_prime
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+#: Paper-scale periods and the scaled simulation periods that stand in for
+#: them (DESIGN.md, section 4: the events-per-sample ratio is what scales).
+PERIOD_LADDER = [
+    (100_000_000, 499),
+    (10_000_000, 251),
+    (5_000_000, 127),
+    (1_000_000, 61),
+    (500_000, 31),
+]
+
+
+def main() -> None:
+    spec = SPEC_SUITE["gcc"]
+    workload = workload_for(spec, scale=0.4)
+
+    truth = run_exhaustive(workload, tools=("deadspy",)).fraction("deadspy")
+    print(f"exhaustive (DeadSpy) dead-store fraction: {100 * truth:.1f}%")
+    print()
+    print(f"{'paper period':>13} {'sim period':>11} {'measured %':>11} "
+          f"{'error':>7} {'slowdown':>9} {'mem bloat':>10}")
+    for paper_period, sim_period in PERIOD_LADDER:
+        # A small period jitter (as real PMU skid provides) prevents the
+        # exactly-periodic simulated counter from aliasing with the
+        # workload's regular episode structure.
+        fractions = [
+            run_witch(
+                workload,
+                tool="deadcraft",
+                period=nearest_prime(sim_period),
+                period_jitter=max(1, sim_period // 8),
+                seed=seed,
+            ).fraction
+            for seed in (2, 4, 6)
+        ]
+        fraction = sum(fractions) / len(fractions)
+        overhead = witch_overhead(
+            workload, "deadcraft", "gcc", spec.paper_footprint_mb,
+            paper_period=paper_period, paper_runtime_s=spec.paper_runtime_s,
+        )
+        label = f"{paper_period // 1_000_000}M" if paper_period >= 1_000_000 else "500K"
+        print(f"{label:>13} {sim_period:>11} {100 * fraction:>10.1f}% "
+              f"{100 * abs(fraction - truth):>6.1f}% "
+              f"{overhead.slowdown:>8.3f}x {overhead.memory_bloat:>9.2f}x")
+    print()
+    print("Reading the table: accuracy is flat across two orders of magnitude")
+    print("of sampling rate, while cost climbs only at the densest settings --")
+    print("the paper recommends ~5M stores/sample as the sweet spot.")
+
+
+if __name__ == "__main__":
+    main()

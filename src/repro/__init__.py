@@ -1,0 +1,102 @@
+"""repro: a reproduction of "Watching for Software Inefficiencies with Witch"
+(Wen, Liu, Byrne, Chabbi -- ASPLOS 2018).
+
+Witch detects software inefficiencies -- dead stores, silent stores,
+redundant loads, false sharing -- by combining PMU sampling with hardware
+debug-register watchpoints, at a few percent overhead instead of the
+10-80x of exhaustive instrumentation.
+
+This package reimplements the complete system on a simulated machine (see
+DESIGN.md for the substitution map):
+
+>>> from repro import Machine, SimulatedCPU, WitchFramework, DeadCraft
+>>> cpu = SimulatedCPU()
+>>> witch = WitchFramework(cpu, DeadCraft(), period=97)
+>>> machine = Machine(cpu)
+>>> # ... run a workload against `machine` ...
+>>> report = witch.report()
+
+The headline entry points:
+
+- :class:`Machine` / :class:`SimulatedCPU` -- the execution substrate.
+- :class:`WitchFramework` with a client (:class:`DeadCraft`,
+  :class:`SilentCraft`, :class:`LoadCraft`) -- sampling-based detection.
+- :class:`FeatherFramework` -- cross-thread false-sharing detection.
+- :class:`DeadSpy` / :class:`RedSpy` / :class:`LoadSpy` -- exhaustive
+  ground-truth baselines.
+- :mod:`repro.workloads` -- microbenchmarks, the synthetic SPEC-like
+  suite, and the section 8 case-study miniatures.
+- :mod:`repro.harness` -- one-call runners for every paper experiment.
+"""
+
+from repro.cct import CallingContextTree, ContextNode, ContextPairTable, synthetic_chain
+from repro.core import (
+    CoinFlipPolicy,
+    DeadCraft,
+    FeatherFramework,
+    InefficiencyReport,
+    LoadCraft,
+    NaiveReplacePolicy,
+    RemoteKillFramework,
+    ReservoirPolicy,
+    SilentCraft,
+    WitchFramework,
+)
+from repro.execution import Machine, ThreadContext, run_threads
+from repro.hardware import (
+    PMU,
+    AccessType,
+    CostModel,
+    DebugRegisterFile,
+    MemoryAccess,
+    SimulatedCPU,
+    SimulatedMemory,
+    TrapMode,
+    Watchpoint,
+    nearest_prime,
+)
+from repro.core.view import hot_frames, render_topdown
+from repro.instrument import DeadSpy, LoadSpy, RedSpy
+from repro.trace import TraceRecorder, read_trace, replay, replay_file
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessType",
+    "CallingContextTree",
+    "CoinFlipPolicy",
+    "ContextNode",
+    "ContextPairTable",
+    "CostModel",
+    "DeadCraft",
+    "DeadSpy",
+    "DebugRegisterFile",
+    "FeatherFramework",
+    "InefficiencyReport",
+    "LoadCraft",
+    "LoadSpy",
+    "Machine",
+    "MemoryAccess",
+    "NaiveReplacePolicy",
+    "PMU",
+    "RedSpy",
+    "RemoteKillFramework",
+    "ReservoirPolicy",
+    "SilentCraft",
+    "SimulatedCPU",
+    "SimulatedMemory",
+    "ThreadContext",
+    "TraceRecorder",
+    "TrapMode",
+    "Watchpoint",
+    "WitchFramework",
+    "hot_frames",
+    "nearest_prime",
+    "read_trace",
+    "render_topdown",
+    "replay",
+    "replay_file",
+    "run_threads",
+    "synthetic_chain",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Evaluation machinery for the paper's section 7 experiments.
+
+- :mod:`repro.analysis.accuracy` -- sampled vs. exhaustive comparison
+  (Figure 4, Figure 5, and the top-N rank study).
+- :mod:`repro.analysis.overhead` -- slowdown and memory bloat (Tables 1-2).
+- :mod:`repro.analysis.stability` -- run-to-run standard deviation.
+- :mod:`repro.analysis.blindspot` -- section 4.1's blind-spot windows.
+"""
+
+from repro.analysis.accuracy import AccuracyResult, compare_reports, edit_distance, pair_ranking
+from repro.analysis.convergence import ConvergencePoint, measure_convergence
+from repro.analysis.blindspot import BlindspotResult, blindspot_sweep, measure_blindspot
+from repro.analysis.overhead import (
+    PAPER_LOAD_PERIOD,
+    PAPER_PERIOD_SWEEP,
+    PAPER_STORE_PERIOD,
+    OverheadResult,
+    SuiteOverheads,
+    exhaustive_overhead,
+    witch_overhead,
+)
+from repro.analysis.stability import StabilityResult, measure_stability
+from repro.analysis.whatif import FixOpportunity, WhatIfResult, estimate_speedup
+
+__all__ = [
+    "AccuracyResult",
+    "ConvergencePoint",
+    "BlindspotResult",
+    "OverheadResult",
+    "PAPER_LOAD_PERIOD",
+    "PAPER_PERIOD_SWEEP",
+    "PAPER_STORE_PERIOD",
+    "StabilityResult",
+    "FixOpportunity",
+    "SuiteOverheads",
+    "WhatIfResult",
+    "blindspot_sweep",
+    "compare_reports",
+    "edit_distance",
+    "estimate_speedup",
+    "exhaustive_overhead",
+    "measure_blindspot",
+    "measure_convergence",
+    "measure_stability",
+    "pair_ranking",
+]

@@ -1,0 +1,112 @@
+"""Sampled-vs-exhaustive accuracy comparison (section 7, Figure 4 and the
+top-N rank study).
+
+Two reports are compared on:
+
+- the headline redundancy fraction (Equation 1), the quantity Figure 4
+  plots per benchmark;
+- the *top-N pairs* covering 90% of the waste: their rank ordering (edit
+  distance), their set difference, and the per-position weight gaps --
+  the paper's own trio of metrics, since "no single metric suffices".
+
+Contexts from different runs are matched by their call-path strings, which
+are stable across runs of the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.report import InefficiencyReport
+
+PairKey = Tuple[str, str]
+
+
+def pair_ranking(report: InefficiencyReport, coverage: float = 0.9) -> List[Tuple[PairKey, float]]:
+    """Waste-ranked ⟨watch path, trap path⟩ pairs with their waste shares."""
+    total = report.pairs.total_waste()
+    ranked: List[Tuple[PairKey, float]] = []
+    for (watch, trap), metrics in report.pairs.top_pairs(coverage):
+        key = (_path(watch), _path(trap))
+        ranked.append((key, metrics.waste / total if total else 0.0))
+    return ranked
+
+
+def _path(context) -> str:
+    getter = getattr(context, "path", None)
+    return getter() if callable(getter) else str(context)
+
+
+def edit_distance(a: Sequence, b: Sequence) -> int:
+    """Levenshtein distance between two rank lists."""
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i]
+        for j, item_b in enumerate(b, start=1):
+            cost = 0 if item_a == item_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+@dataclass
+class AccuracyResult:
+    """Everything the accuracy experiments report for one (tool, workload)."""
+
+    sampled_fraction: float
+    exhaustive_fraction: float
+    top_sampled: List[Tuple[PairKey, float]]
+    top_exhaustive: List[Tuple[PairKey, float]]
+
+    @property
+    def fraction_error(self) -> float:
+        """Absolute error of the headline percentage (in fraction units)."""
+        return abs(self.sampled_fraction - self.exhaustive_fraction)
+
+    @property
+    def rank_edit_distance(self) -> int:
+        sampled = [key for key, _ in self.top_sampled]
+        exhaustive = [key for key, _ in self.top_exhaustive]
+        return edit_distance(sampled, exhaustive)
+
+    @property
+    def set_difference(self) -> int:
+        """|symmetric difference| of the two top-N pair sets."""
+        sampled = {key for key, _ in self.top_sampled}
+        exhaustive = {key for key, _ in self.top_exhaustive}
+        return len(sampled ^ exhaustive)
+
+    @property
+    def top_overlap_fraction(self) -> float:
+        """|intersection| / |exhaustive top-N| (1.0 = nothing missed)."""
+        exhaustive = {key for key, _ in self.top_exhaustive}
+        if not exhaustive:
+            return 1.0
+        sampled = {key for key, _ in self.top_sampled}
+        return len(sampled & exhaustive) / len(exhaustive)
+
+    def weight_gaps(self) -> List[float]:
+        """Per-pair |waste-share gap| for pairs in the exhaustive top-N."""
+        sampled: Dict[PairKey, float] = dict(self.top_sampled)
+        return [abs(sampled.get(key, 0.0) - share) for key, share in self.top_exhaustive]
+
+    @property
+    def max_weight_gap(self) -> float:
+        gaps = self.weight_gaps()
+        return max(gaps) if gaps else 0.0
+
+
+def compare_reports(
+    sampled: InefficiencyReport, exhaustive: InefficiencyReport, coverage: float = 0.9
+) -> AccuracyResult:
+    return AccuracyResult(
+        sampled_fraction=sampled.redundancy_fraction,
+        exhaustive_fraction=exhaustive.redundancy_fraction,
+        top_sampled=pair_ranking(sampled, coverage),
+        top_exhaustive=pair_ranking(exhaustive, coverage),
+    )

@@ -1,0 +1,72 @@
+"""Monte-Carlo convergence of the sampled estimates.
+
+Section 4.3 notes that Witch "suffers from the limitations of any
+sampling system: insufficient samples can result in overestimation or
+underestimation."  This module quantifies that: it sweeps the sampling
+period on one workload, measures the estimate's error against exhaustive
+ground truth across seeds, and exposes the sample-count/error pairs so
+the convergence benchmark can verify the expected Monte-Carlo shape
+(error shrinking roughly as 1/sqrt(samples)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.core.metrics import mean
+from repro.execution.machine import Machine
+from repro.harness import GROUND_TRUTH_FOR, run_exhaustive, run_witch
+
+Workload = Callable[[Machine], None]
+
+
+@dataclass
+class ConvergencePoint:
+    """Estimate quality at one sampling density."""
+
+    period: int
+    mean_samples: float
+    mean_abs_error: float
+    rms_error: float
+
+
+def measure_convergence(
+    workload: Workload,
+    tool: str,
+    periods: Sequence[int],
+    seeds: Sequence[int] = tuple(range(8)),
+    jitter_fraction: float = 0.125,
+) -> List[ConvergencePoint]:
+    """Error-vs-samples curve for one (workload, tool) pair.
+
+    Periods should be jittered (``jitter_fraction`` of the period) so
+    that exactly-periodic aliasing does not masquerade as Monte-Carlo
+    noise; seeds then genuinely vary the sample placement.
+    """
+    truth = run_exhaustive(workload, tools=(GROUND_TRUTH_FOR[tool],)).fraction(
+        GROUND_TRUTH_FOR[tool]
+    )
+    points: List[ConvergencePoint] = []
+    for period in periods:
+        errors: List[float] = []
+        sample_counts: List[float] = []
+        for seed in seeds:
+            run = run_witch(
+                workload,
+                tool=tool,
+                period=period,
+                period_jitter=max(1, int(period * jitter_fraction)),
+                seed=seed,
+            )
+            errors.append(abs(run.fraction - truth))
+            sample_counts.append(run.witch.samples_handled)
+        points.append(
+            ConvergencePoint(
+                period=period,
+                mean_samples=mean(sample_counts),
+                mean_abs_error=mean(errors),
+                rms_error=(mean([e * e for e in errors])) ** 0.5,
+            )
+        )
+    return points

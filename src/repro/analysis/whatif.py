@@ -1,0 +1,84 @@
+"""What-if analysis: is this inefficiency worth fixing?
+
+The paper is explicit that "developer investigation or post-processing is
+necessary to make optimization choices -- not all reported inefficiencies
+need be eliminated" and that "only high-frequency inefficiency spots are
+interesting" (section 4.3).  This module does the arithmetic a developer
+does in their head: given a report, bound the speedup available from
+eliminating the reported waste.
+
+The bound is Amdahl over accesses: a waste amount of W bytes at an
+average access width of B bytes represents ~W/B removable accesses; if
+the profiled run executed A accesses, eliminating a pair's waste caps the
+speedup at ``1 / (1 - removable/A)``.  It is an upper bound twice over:
+eliminating a dead store usually removes only the store (not the
+surrounding computation), and some waste is load-bearing structure
+(alignment fills, API contracts).  Its value is *triage*: ranking pairs
+by attainable ceiling and discarding the long tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.cct.pairs import synthetic_chain
+from repro.core.report import InefficiencyReport
+
+
+@dataclass
+class FixOpportunity:
+    """One context pair's elimination ceiling."""
+
+    chain: str
+    waste_bytes: float
+    waste_share: float
+    removable_access_fraction: float
+    speedup_ceiling: float
+
+
+@dataclass
+class WhatIfResult:
+    opportunities: List[FixOpportunity]
+    total_speedup_ceiling: float
+
+    def worthwhile(self, minimum_speedup: float = 1.02) -> List[FixOpportunity]:
+        """The short list (the paper: a handful of pairs is all that matters)."""
+        return [opp for opp in self.opportunities if opp.speedup_ceiling >= minimum_speedup]
+
+
+def estimate_speedup(
+    report: InefficiencyReport,
+    total_accesses: int,
+    average_access_bytes: float = 8.0,
+    coverage: float = 0.95,
+) -> WhatIfResult:
+    """Rank the report's pairs by their elimination ceiling.
+
+    ``total_accesses`` is the profiled run's access count (for a
+    harness run, ``run.cpu.ledger.counts["access"]``).
+    """
+    if total_accesses <= 0:
+        raise ValueError("total_accesses must be positive")
+    if average_access_bytes <= 0:
+        raise ValueError("average_access_bytes must be positive")
+
+    total_waste = report.pairs.total_waste()
+    opportunities: List[FixOpportunity] = []
+    total_removable = 0.0
+    for (watch, trap), metrics in report.pairs.top_pairs(coverage):
+        removable = min(0.95, (metrics.waste / average_access_bytes) / total_accesses)
+        total_removable = min(0.95, total_removable + removable)
+        opportunities.append(
+            FixOpportunity(
+                chain=synthetic_chain(watch, trap),
+                waste_bytes=metrics.waste,
+                waste_share=metrics.waste / total_waste if total_waste else 0.0,
+                removable_access_fraction=removable,
+                speedup_ceiling=1.0 / (1.0 - removable),
+            )
+        )
+    return WhatIfResult(
+        opportunities=opportunities,
+        total_speedup_ceiling=1.0 / (1.0 - total_removable),
+    )

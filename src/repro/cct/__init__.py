@@ -1,0 +1,19 @@
+"""Calling context trees and context-pair attribution.
+
+HPCToolkit attributes every measurement to the full call path active at the
+time of the event (call path profiling, section 3), stored compactly as a
+calling context tree.  Witch tools additionally attribute to *ordered pairs*
+of contexts -- where a watchpoint was armed and where it trapped -- rendered
+for presentation as synthetic ``...->KILLED_BY->...`` chains (section 6.5).
+"""
+
+from repro.cct.pairs import ContextPairTable, PairMetrics, synthetic_chain
+from repro.cct.tree import CallingContextTree, ContextNode
+
+__all__ = [
+    "CallingContextTree",
+    "ContextNode",
+    "ContextPairTable",
+    "PairMetrics",
+    "synthetic_chain",
+]

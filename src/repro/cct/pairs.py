@@ -1,0 +1,150 @@
+"""Attribution to ordered calling-context pairs.
+
+A Witch client observes two contexts per detection: ``C_watch`` (where the
+PMU sample armed the watchpoint) and ``C_trap`` (where it tripped).  Metrics
+are additive over time for the same ordered pair (section 4.2), and the two
+directions of a mutual-overwrite pattern are distinct pairs, as in the
+paper's Listing 3 example (⟨7,8⟩ vs ⟨8,7⟩).
+
+Both the sampling tools and the exhaustive baselines report through this
+table, which is what makes the Figure 4 accuracy comparison and the top-N
+rank study (section 7) apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+Pair = Tuple[Hashable, Hashable]
+
+
+@dataclass
+class PairMetrics:
+    """Accumulated bytes of waste and use for one ordered context pair."""
+
+    waste: float = 0.0
+    use: float = 0.0
+    events: int = 0
+
+    @property
+    def total(self) -> float:
+        return self.waste + self.use
+
+
+class ContextPairTable:
+    """Additive ⟨C_watch, C_trap⟩ → waste/use metric store."""
+
+    def __init__(self) -> None:
+        self._pairs: Dict[Pair, PairMetrics] = {}
+
+    def _metrics(self, watch_context: Hashable, trap_context: Hashable) -> PairMetrics:
+        key = (watch_context, trap_context)
+        metrics = self._pairs.get(key)
+        if metrics is None:
+            metrics = PairMetrics()
+            self._pairs[key] = metrics
+        return metrics
+
+    def add_waste(self, watch_context: Hashable, trap_context: Hashable, amount: float) -> None:
+        metrics = self._metrics(watch_context, trap_context)
+        metrics.waste += amount
+        metrics.events += 1
+
+    def add_use(self, watch_context: Hashable, trap_context: Hashable, amount: float) -> None:
+        metrics = self._metrics(watch_context, trap_context)
+        metrics.use += amount
+        metrics.events += 1
+
+    def restore(
+        self,
+        watch_context: Hashable,
+        trap_context: Hashable,
+        waste: float,
+        use: float,
+        events: int,
+    ) -> None:
+        """Reinstate a pair's accumulated metrics (report deserialization)."""
+        metrics = self._metrics(watch_context, trap_context)
+        metrics.waste += waste
+        metrics.use += use
+        metrics.events += events
+
+    # -- aggregate views ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self):
+        return iter(self._pairs.items())
+
+    def total_waste(self) -> float:
+        return sum(metrics.waste for metrics in self._pairs.values())
+
+    def total_use(self) -> float:
+        return sum(metrics.use for metrics in self._pairs.values())
+
+    def redundancy_fraction(self) -> float:
+        """Equation 1: total waste over total (waste + use); 0 when empty."""
+        waste = self.total_waste()
+        use = self.total_use()
+        if waste + use == 0:
+            return 0.0
+        return waste / (waste + use)
+
+    def waste_by_pair(self) -> Dict[Pair, float]:
+        return {pair: metrics.waste for pair, metrics in self._pairs.items()}
+
+    def top_pairs(self, coverage: float = 0.9) -> List[Tuple[Pair, PairMetrics]]:
+        """Smallest prefix of waste-sorted pairs covering ``coverage`` of waste.
+
+        The paper observes that a handful of context pairs typically cover
+        90%+ of the measured inefficiency; this is the view developers (and
+        the top-N rank study) consume.
+        """
+        ranked = sorted(self._pairs.items(), key=lambda item: -item[1].waste)
+        total = self.total_waste()
+        if total == 0:
+            return []
+        chosen: List[Tuple[Pair, PairMetrics]] = []
+        covered = 0.0
+        for pair, metrics in ranked:
+            if metrics.waste <= 0:
+                break
+            chosen.append((pair, metrics))
+            covered += metrics.waste
+            if covered >= coverage * total:
+                break
+        return chosen
+
+    def waste_share(self, watch_frame: str, trap_frame: str) -> float:
+        """Fraction of total waste whose pair paths end at the given frames.
+
+        Convenience for tests and examples that identify pairs by source
+        line labels (``"listing3.c:3" -> "listing3.c:11"``).
+        """
+        total = self.total_waste()
+        if total == 0:
+            return 0.0
+        matched = 0.0
+        for (watch_context, trap_context), metrics in self._pairs.items():
+            if _leaf_frame(watch_context) == watch_frame and _leaf_frame(trap_context) == trap_frame:
+                matched += metrics.waste
+        return matched / total
+
+
+def _leaf_frame(context: Hashable) -> str:
+    frame = getattr(context, "frame", None)
+    return frame if frame is not None else str(context)
+
+
+def synthetic_chain(watch_context, trap_context, join: str = "KILLED_BY") -> str:
+    """Render a pair the way HPCViewer would show it (section 6.5).
+
+    A store in ``main->A->B`` overwritten by one in ``main->C->D`` becomes
+    ``main->A->B->KILLED_BY->main->C->D``: the target call path is appended
+    to the source path under a synthetic join node, so the association
+    survives postmortem CCT navigation.
+    """
+    watch_path = getattr(watch_context, "path", lambda: str(watch_context))()
+    trap_path = getattr(trap_context, "path", lambda: str(trap_context))()
+    return f"{watch_path}->{join}->{trap_path}"

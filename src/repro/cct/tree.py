@@ -1,0 +1,76 @@
+"""A compact calling context tree (CCT).
+
+Nodes are interned: asking a parent for the same frame label twice yields
+the same node, so contexts compare by identity and serve directly as
+dictionary keys in metric tables.  The interpreter's call stack walks this
+tree as the workload calls and returns; a node therefore *is* a calling
+context -- the chain of frames from the root to itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+
+class ContextNode:
+    """One calling context: a frame label plus everything above it."""
+
+    __slots__ = ("frame", "parent", "depth", "_children")
+
+    def __init__(self, frame: str, parent: Optional["ContextNode"]) -> None:
+        self.frame = frame
+        self.parent = parent
+        self.depth = 0 if parent is None else parent.depth + 1
+        self._children: Dict[str, "ContextNode"] = {}
+
+    def child(self, frame: str) -> "ContextNode":
+        """The (interned) child context for ``frame``."""
+        node = self._children.get(frame)
+        if node is None:
+            node = ContextNode(frame, self)
+            self._children[frame] = node
+        return node
+
+    def frames(self) -> List[str]:
+        """Frame labels from the root down to this node (root excluded)."""
+        frames: List[str] = []
+        node: Optional[ContextNode] = self
+        while node is not None and node.parent is not None:
+            frames.append(node.frame)
+            node = node.parent
+        frames.reverse()
+        return frames
+
+    def path(self, separator: str = "->") -> str:
+        """Human-readable call path, e.g. ``main->A->B``."""
+        return separator.join(self.frames())
+
+    def walk(self) -> Iterator["ContextNode"]:
+        """This node and every descendant, preorder."""
+        yield self
+        for child in self._children.values():
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return f"<ContextNode {self.path() or '<root>'}>"
+
+
+class CallingContextTree:
+    """The tree of all contexts observed in one run."""
+
+    def __init__(self) -> None:
+        self.root = ContextNode("<root>", None)
+
+    def node_count(self) -> int:
+        """Number of nodes (excluding the root): the CCT's footprint driver."""
+        return sum(1 for _ in self.root.walk()) - 1
+
+    def find(self, *frames: str) -> Optional[ContextNode]:
+        """Look up an existing context by its frame labels, or None."""
+        node = self.root
+        for frame in frames:
+            child = node._children.get(frame)
+            if child is None:
+                return None
+            node = child
+        return node

@@ -1,0 +1,258 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``list`` -- every runnable workload (synthetic SPEC suite, the paper's
+  microbenchmarks, the Table 3 case studies).
+- ``profile WORKLOAD`` -- run a witchcraft tool over a workload and print
+  the report (optionally the top-down calling-context view).
+- ``compare WORKLOAD`` -- run a craft and its exhaustive ground-truth
+  counterpart and print the agreement.
+- ``casestudy NAME`` -- detect, pinpoint, fix, and measure one Table 3 row.
+- ``record WORKLOAD -o FILE`` -- capture the workload's access trace;
+  ``profile trace:FILE`` replays it under any tool.
+
+Workload names: ``spec:gcc`` (or bare ``gcc``), ``micro:listing2``,
+``case:binutils-2.27`` (``:optimized`` for the fixed variant), or
+``trace:path/to/file``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, List, Optional
+
+from repro.analysis.accuracy import compare_reports
+from repro.core.view import render_topdown
+from repro.execution.machine import Machine
+from repro.harness import GROUND_TRUTH_FOR, run_exhaustive, run_witch
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.pmu import nearest_prime
+from repro.trace import TraceRecorder, replay_file
+from repro.workloads import microbench
+from repro.workloads.casestudies import CASE_STUDIES, run_case_study
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+Workload = Callable[[Machine], None]
+
+_MICROBENCHES = {
+    "listing1": microbench.listing1_gcc_program,
+    "listing2": microbench.listing2_program,
+    "listing3": microbench.listing3_program,
+    "figure2": microbench.figure2_program,
+    "adversary": microbench.adversary_program,
+}
+
+
+class CLIError(Exception):
+    """A user-facing error (unknown workload, bad arguments)."""
+
+
+def resolve_workload(name: str, scale: float = 1.0) -> Workload:
+    """Turn a CLI workload name into a runnable workload."""
+    if name.startswith("trace:"):
+        return replay_file(name[len("trace:"):])
+    if name.startswith("micro:"):
+        key = name[len("micro:"):]
+        if key not in _MICROBENCHES:
+            raise CLIError(f"unknown microbenchmark {key!r}; try: {', '.join(_MICROBENCHES)}")
+        return _MICROBENCHES[key]
+    if name.startswith("case:"):
+        rest = name[len("case:"):]
+        case_name, _, variant = rest.partition(":")
+        if case_name not in CASE_STUDIES:
+            raise CLIError(f"unknown case study {case_name!r}; see `repro list`")
+        case = CASE_STUDIES[case_name]
+        if variant in ("", "baseline"):
+            return case.baseline
+        if variant == "optimized":
+            return case.optimized
+        raise CLIError(f"unknown variant {variant!r}; use baseline or optimized")
+    key = name[len("spec:"):] if name.startswith("spec:") else name
+    if key in SPEC_SUITE:
+        return workload_for(SPEC_SUITE[key], scale=scale)
+    raise CLIError(f"unknown workload {name!r}; see `repro list`")
+
+
+def _cmd_list(args, out) -> int:
+    print("synthetic SPEC suite (spec:<name>):", file=out)
+    print("  " + " ".join(sorted(SPEC_SUITE)), file=out)
+    print("microbenchmarks (micro:<name>):", file=out)
+    print("  " + " ".join(sorted(_MICROBENCHES)), file=out)
+    print("case studies (case:<name>[:optimized]):", file=out)
+    for name, case in CASE_STUDIES.items():
+        print(f"  {name:14s} {case.tool:12s} {case.defect}", file=out)
+    return 0
+
+
+def _cmd_profile(args, out) -> int:
+    workload = resolve_workload(args.workload, scale=args.scale)
+    run = run_witch(
+        workload,
+        tool=args.tool,
+        period=nearest_prime(args.period),
+        registers=args.registers,
+        seed=args.seed,
+        period_jitter=args.jitter,
+    )
+    print(run.report.render(coverage=args.coverage), file=out)
+    if args.view:
+        print(file=out)
+        print(render_topdown(run.report), file=out)
+    if args.json:
+        run.report.save(args.json)
+        print(f"wrote {args.json}", file=out)
+    if args.html:
+        from repro.reporting import save_html
+
+        save_html(run.report, args.html, title=f"{args.tool} on {args.workload}")
+        print(f"wrote {args.html}", file=out)
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    workload = resolve_workload(args.workload, scale=args.scale)
+    spy_name = GROUND_TRUTH_FOR[args.tool]
+    sampled = run_witch(
+        workload, tool=args.tool, period=nearest_prime(args.period), seed=args.seed
+    )
+    exhaustive = run_exhaustive(workload, tools=(spy_name,))
+    comparison = compare_reports(sampled.report, exhaustive.reports[spy_name])
+
+    print(f"{args.tool} (period {nearest_prime(args.period)}): "
+          f"{100 * comparison.sampled_fraction:.2f}%", file=out)
+    print(f"{spy_name} (exhaustive):  {100 * comparison.exhaustive_fraction:.2f}%", file=out)
+    print(f"absolute error: {100 * comparison.fraction_error:.2f} points", file=out)
+    print(f"top-pair overlap: {100 * comparison.top_overlap_fraction:.0f}%  "
+          f"rank edit distance: {comparison.rank_edit_distance}", file=out)
+
+    # Price both tools at the paper's operating point (5M stores / 10M
+    # loads): the simulated run's dense period measures cost structure,
+    # not production overhead.
+    from repro.analysis.overhead import (
+        PAPER_LOAD_PERIOD,
+        PAPER_STORE_PERIOD,
+        exhaustive_overhead,
+        witch_overhead,
+    )
+
+    paper_period = PAPER_LOAD_PERIOD if args.tool == "loadcraft" else PAPER_STORE_PERIOD
+    craft = witch_overhead(workload, args.tool, args.workload, 100.0, paper_period)
+    spy = exhaustive_overhead(workload, spy_name, args.workload, 100.0)
+    print(f"slowdown at paper scale: {craft.slowdown:.3f}x ({args.tool}) vs "
+          f"{spy.slowdown:.1f}x ({spy_name})", file=out)
+    return 0
+
+
+def _cmd_casestudy(args, out) -> int:
+    if args.name not in CASE_STUDIES:
+        raise CLIError(f"unknown case study {args.name!r}; see `repro list`")
+    result = run_case_study(CASE_STUDIES[args.name])
+    print(result.render(), file=out)
+    return 0
+
+
+def _cmd_suite(args, out) -> int:
+    """A quick Figure-4-style accuracy sweep over suite benchmarks."""
+    from repro.workloads.spec import QUICK_SUITE
+
+    names = args.benchmarks or list(QUICK_SUITE)
+    print(f"{'benchmark':12s} {'dead':>13s} {'silent':>13s} {'load':>13s}   (craft/spy %)",
+          file=out)
+    for name in names:
+        if name not in SPEC_SUITE:
+            raise CLIError(f"unknown suite benchmark {name!r}")
+        workload = workload_for(SPEC_SUITE[name], scale=args.scale)
+        exhaustive = run_exhaustive(workload)
+        cells = []
+        for craft in ("deadcraft", "silentcraft", "loadcraft"):
+            sampled = run_witch(
+                workload, tool=craft, period=nearest_prime(args.period), seed=args.seed
+            )
+            truth = exhaustive.fraction(GROUND_TRUTH_FOR[craft])
+            cells.append(f"{100 * sampled.fraction:5.1f}/{100 * truth:5.1f}")
+        print(f"{name:12s} {cells[0]:>13s} {cells[1]:>13s} {cells[2]:>13s}", file=out)
+    return 0
+
+
+def _cmd_record(args, out) -> int:
+    workload = resolve_workload(args.workload, scale=args.scale)
+    cpu = SimulatedCPU()
+    recorder = TraceRecorder(cpu)
+    workload(Machine(cpu))
+    recorder.save(args.output)
+    print(f"recorded {len(recorder)} accesses to {args.output}", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Witch (ASPLOS 2018) reproduction: inefficiency detection "
+        "via simulated PMU + debug-register sampling",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list runnable workloads").set_defaults(run=_cmd_list)
+
+    def add_common(sub):
+        sub.add_argument("--scale", type=float, default=1.0, help="workload size multiplier")
+        sub.add_argument("--seed", type=int, default=0)
+
+    profile = commands.add_parser("profile", help="run a witchcraft tool over a workload")
+    profile.add_argument("workload")
+    profile.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR), default="deadcraft")
+    profile.add_argument("--period", type=int, default=101,
+                         help="sampling period (rounded to the nearest prime)")
+    profile.add_argument("--registers", type=int, default=4, help="debug registers")
+    profile.add_argument("--jitter", type=int, default=0, help="period jitter (+/- events)")
+    profile.add_argument("--coverage", type=float, default=0.9,
+                         help="waste coverage of the reported top pairs")
+    profile.add_argument("--view", action="store_true",
+                         help="also print the top-down calling-context view")
+    profile.add_argument("--json", metavar="FILE", help="save the report as JSON")
+    profile.add_argument("--html", metavar="FILE",
+                         help="save a self-contained HTML report")
+    add_common(profile)
+    profile.set_defaults(run=_cmd_profile)
+
+    compare = commands.add_parser("compare", help="craft vs. exhaustive ground truth")
+    compare.add_argument("workload")
+    compare.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR), default="deadcraft")
+    compare.add_argument("--period", type=int, default=101)
+    add_common(compare)
+    compare.set_defaults(run=_cmd_compare)
+
+    casestudy = commands.add_parser("casestudy", help="run one Table 3 case study")
+    casestudy.add_argument("name")
+    casestudy.set_defaults(run=_cmd_casestudy)
+
+    suite = commands.add_parser("suite", help="quick accuracy sweep over suite benchmarks")
+    suite.add_argument("benchmarks", nargs="*",
+                       help="benchmark names (default: the quick suite)")
+    suite.add_argument("--period", type=int, default=101)
+    suite.add_argument("--scale", type=float, default=0.3)
+    suite.add_argument("--seed", type=int, default=0)
+    suite.set_defaults(run=_cmd_suite)
+
+    record = commands.add_parser("record", help="record a workload's access trace")
+    record.add_argument("workload")
+    record.add_argument("-o", "--output", required=True)
+    add_common(record)
+    record.set_defaults(run=_cmd_record)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.run(args, out)
+    except CLIError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `repro list | head`
+        return 0

@@ -1,0 +1,54 @@
+"""The Witch framework and its client tools (the paper's contribution).
+
+- :mod:`repro.core.witch` -- the framework: PMU sample -> arm watchpoint ->
+  trap -> client callback, with replacement and attribution plugged in.
+- :mod:`repro.core.reservoir` -- section 4.1's temporally-unbiased
+  watchpoint replacement (plus the naive and coin-flip strawmen).
+- :mod:`repro.core.attribution` -- section 4.2's context-sensitive
+  proportional attribution ledger.
+- :mod:`repro.core.deadcraft` / :mod:`silentcraft` / :mod:`loadcraft` --
+  the three witchcraft clients of section 6.
+- :mod:`repro.core.feather` -- the multi-threaded false-sharing client
+  sketched in section 6.3.
+"""
+
+from repro.core.attribution import AttributionLedger, CountEachTrapOnce
+from repro.core.client import TrapOutcome, WatchInfo, WatchRequest, WitchClient
+from repro.core.deadcraft import DeadCraft
+from repro.core.feather import FeatherFramework, FeatherReport
+from repro.core.loadcraft import LoadCraft
+from repro.core.metrics import equation1, geometric_mean, median
+from repro.core.remotekill import RemoteKillFramework
+from repro.core.report import InefficiencyReport
+from repro.core.reservoir import (
+    CoinFlipPolicy,
+    NaiveReplacePolicy,
+    ReplacementDecision,
+    ReservoirPolicy,
+)
+from repro.core.silentcraft import SilentCraft
+from repro.core.witch import WitchFramework
+
+__all__ = [
+    "AttributionLedger",
+    "CoinFlipPolicy",
+    "CountEachTrapOnce",
+    "DeadCraft",
+    "FeatherFramework",
+    "FeatherReport",
+    "InefficiencyReport",
+    "LoadCraft",
+    "NaiveReplacePolicy",
+    "RemoteKillFramework",
+    "ReplacementDecision",
+    "ReservoirPolicy",
+    "SilentCraft",
+    "TrapOutcome",
+    "WatchInfo",
+    "WatchRequest",
+    "WitchClient",
+    "WitchFramework",
+    "equation1",
+    "geometric_mean",
+    "median",
+]

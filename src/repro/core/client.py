@@ -1,0 +1,86 @@
+"""The client (witchcraft) interface to the Witch framework.
+
+The framework's contract with a client mirrors Figure 1 of the paper:
+
+1. On a PMU sample the framework hands the client the precise triplet
+   ⟨C_watch, M, AccessType⟩ (plus the value, which our omniscient sample
+   carries); the client answers with a :class:`WatchRequest` -- the address
+   range and trap mode to monitor -- or ``None`` to let the sample pass.
+2. On a watchpoint trap the framework hands back ⟨C_trap, M, AccessType⟩
+   together with the client's remembered :class:`WatchInfo`; the client
+   answers with a :class:`TrapOutcome` saying whether the observation is
+   waste or use, and whether to disarm the register.
+
+Clients never touch debug registers directly: replacement policy and
+proportional attribution live in the framework, so every tool gets them
+for free -- the design point that makes "witchcraft" tools small.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from repro.hardware.debugreg import TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.pmu import PMUSample
+
+
+@dataclass(frozen=True)
+class WatchInfo:
+    """What a client remembers at arm time, delivered back on the trap."""
+
+    context: Hashable
+    kind: AccessType
+    address: int
+    length: int
+    value: bytes = b""
+    is_float: bool = False
+
+
+@dataclass(frozen=True)
+class WatchRequest:
+    """A client's answer to a sample: monitor this range, this way.
+
+    A client may watch an address derived from the sampled one (the paper
+    notes this explicitly); the three built-in tools watch the sampled
+    range itself.
+    """
+
+    address: int
+    length: int
+    mode: TrapMode
+    info: WatchInfo
+
+
+@dataclass(frozen=True)
+class TrapOutcome:
+    """A client's verdict on a trap.
+
+    ``record`` is ``"waste"``, ``"use"``, or ``None`` (nothing to record,
+    e.g. LoadCraft dropping a store trap).  ``spurious`` marks traps that
+    cost a signal but carry no information, for the cost ledger.
+    """
+
+    disarm: bool
+    record: Optional[str] = None
+    spurious: bool = False
+
+
+class WitchClient(abc.ABC):
+    """Base class for witchcraft tools."""
+
+    #: PMU events the client subscribes to.
+    pmu_kinds: Tuple[AccessType, ...] = (AccessType.STORE,)
+    name: str = "witchcraft"
+
+    @abc.abstractmethod
+    def on_sample(self, sample: PMUSample) -> Optional[WatchRequest]:
+        """Decide what to watch for this sample (step 3 of Figure 1)."""
+
+    @abc.abstractmethod
+    def on_trap(
+        self, access: MemoryAccess, watchpoint: Watchpoint, overlap: int
+    ) -> TrapOutcome:
+        """Classify a trap (step 7 of Figure 1)."""

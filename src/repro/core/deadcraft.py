@@ -1,0 +1,46 @@
+"""DeadCraft: the dead-store client (the paper's running example, Figure 1).
+
+A store followed by another store to the same location with no intervening
+load is a dead store -- the first store's bytes were never consumed.
+DeadCraft samples PMU store events, watches the sampled range with an
+RW_TRAP watchpoint, and classifies the next overlapping access:
+
+- a store kills the watched store  -> "waste" for ⟨C_watch, C_trap⟩,
+- a load consumes it              -> "use",
+
+disarming either way so the freed register re-opens the sampling reservoir.
+Every reported dead store really is one (no false positives); sampling can
+only miss some (false negatives), as section 4.3 notes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.client import TrapOutcome, WatchInfo, WatchRequest, WitchClient
+from repro.hardware.debugreg import TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.pmu import PMUSample
+
+
+class DeadCraft(WitchClient):
+    """Dead-write detection via store-after-store watchpoints."""
+
+    name = "deadcraft"
+    pmu_kinds = (AccessType.STORE,)
+
+    def on_sample(self, sample: PMUSample) -> Optional[WatchRequest]:
+        access = sample.access
+        info = WatchInfo(
+            context=access.context,
+            kind=access.kind,
+            address=access.address,
+            length=access.length,
+        )
+        return WatchRequest(access.address, access.length, TrapMode.RW_TRAP, info)
+
+    def on_trap(self, access: MemoryAccess, watchpoint: Watchpoint, overlap: int) -> TrapOutcome:
+        if access.is_store:
+            # The watched store died: its bytes were overwritten unread.
+            return TrapOutcome(disarm=True, record="waste")
+        return TrapOutcome(disarm=True, record="use")

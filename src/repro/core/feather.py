@@ -1,0 +1,147 @@
+"""Feather: false-sharing detection across threads (section 6.3).
+
+The Witch tools above track intra-thread inefficiencies, because debug
+registers are per-core and virtualized per thread: a watchpoint armed by
+thread T1 never traps in T2.  Section 6.3 notes that *sharing the sampled
+addresses with other threads* unlocks multi-threaded tools, and cites
+Feather, the authors' false-sharing detector built atop Witch.
+
+This module implements that scheme on the simulator: when thread T1's PMU
+samples a store, Feather arms a watchpoint covering the enclosing cache
+line in every *other* thread's debug registers.  A trap in T2 means T2
+touched the same line while T1's store was recent:
+
+- the trap overlaps the originally accessed bytes -> *true sharing* (the
+  threads really communicate);
+- same line, disjoint bytes -> *false sharing* (only the coherence
+  protocol ping-pongs), recorded as waste for ⟨C_watch, C_trap⟩.
+
+Real x86 debug registers watch at most 8 bytes; hardware Feather
+approximates line coverage with aligned chunks.  The simulator arms the
+full 64-byte line, a simplification documented in DESIGN.md that does not
+change which pairs are flagged, only per-run coverage.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.cct.pairs import ContextPairTable
+from repro.core.client import WatchInfo
+from repro.core.reservoir import ReplacementPolicy, ReservoirPolicy
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.debugreg import TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.pmu import PMU, PMUSample
+
+CACHE_LINE_BYTES = 64
+_LINE_MASK = ~(CACHE_LINE_BYTES - 1)
+
+
+@dataclass
+class FeatherReport:
+    """Sharing classification for one run."""
+
+    pairs: ContextPairTable
+    samples: int
+    false_sharing_traps: int
+    true_sharing_traps: int
+
+    @property
+    def false_sharing_fraction(self) -> float:
+        total = self.false_sharing_traps + self.true_sharing_traps
+        if total == 0:
+            return 0.0
+        return self.false_sharing_traps / total
+
+
+class FeatherFramework:
+    """Cross-thread watchpoint sharing for false-sharing detection."""
+
+    def __init__(
+        self,
+        cpu: SimulatedCPU,
+        period: int,
+        policy: Optional[ReplacementPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self.cpu = cpu
+        self.period = period
+        self.rng = random.Random(seed)
+        self._policy_prototype = policy or ReservoirPolicy()
+        self._policies: Dict[int, ReplacementPolicy] = {}
+        self._known_threads: Set[int] = set()
+        self.pairs = ContextPairTable()
+        self.samples = 0
+        self.false_sharing_traps = 0
+        self.true_sharing_traps = 0
+        cpu.attach_sampling(self._make_pmu, self._handle_sample)
+        cpu.set_trap_handler(self._handle_trap)
+
+    def _make_pmu(self) -> PMU:
+        return PMU(
+            period=self.period,
+            kinds=(AccessType.STORE,),
+            rng=random.Random(self.rng.randrange(1 << 30)),
+        )
+
+    def _policy(self, thread_id: int) -> ReplacementPolicy:
+        policy = self._policies.get(thread_id)
+        if policy is None:
+            policy = self._policy_prototype.clone()
+            self._policies[thread_id] = policy
+        return policy
+
+    def _handle_sample(self, sample: PMUSample) -> None:
+        self.cpu.ledger.charge_sample()
+        self.samples += 1
+        access = sample.access
+        self._known_threads.add(access.thread_id)
+        self._known_threads.update(self.cpu.active_threads)
+        line_base = access.address & _LINE_MASK
+
+        info = WatchInfo(
+            context=access.context,
+            kind=access.kind,
+            address=access.address,
+            length=access.length,
+        )
+        # Share the sampled address: arm the line in every *other* thread.
+        for thread_id in self._known_threads:
+            if thread_id == access.thread_id:
+                continue
+            registers = self.cpu.debug_registers(thread_id)
+            decision = self._policy(thread_id).decide(registers, self.rng)
+            if not decision.monitors:
+                continue
+            registers.disarm(decision.slot)
+            registers.arm(
+                Watchpoint(line_base, CACHE_LINE_BYTES, TrapMode.RW_TRAP, info, thread_id),
+                decision.slot,
+            )
+            self.cpu.ledger.charge_arm()
+
+    def _handle_trap(self, access: MemoryAccess, watchpoint: Watchpoint, overlap: int) -> None:
+        self.cpu.ledger.charge_trap()
+        info: WatchInfo = watchpoint.payload
+        registers = self.cpu.debug_registers(access.thread_id)
+        if watchpoint.slot >= 0 and registers.get(watchpoint.slot) is watchpoint:
+            registers.disarm(watchpoint.slot)
+        self._policy(access.thread_id).on_client_disarm()
+
+        if access.overlap(info.address, info.length) > 0:
+            self.true_sharing_traps += 1
+            self.pairs.add_use(info.context, access.context, self.period)
+        else:
+            self.false_sharing_traps += 1
+            self.pairs.add_waste(info.context, access.context, self.period)
+
+    def report(self) -> FeatherReport:
+        return FeatherReport(
+            pairs=self.pairs,
+            samples=self.samples,
+            false_sharing_traps=self.false_sharing_traps,
+            true_sharing_traps=self.true_sharing_traps,
+        )

@@ -1,0 +1,59 @@
+"""LoadCraft: the load-after-load client (section 6.2, new in the paper).
+
+A load that re-reads an unchanged value marks poor register usage, a
+missed inlining opportunity, or -- most interestingly -- an algorithmic
+deficiency: the binutils case study's linear search re-loads the same
+linked-list fields millions of times.
+
+LoadCraft samples PMU load events and remembers the loaded value.  x86 has
+no trap-on-load-only watchpoint, so it arms RW_TRAP and *drops* store
+traps: the watchpoint stays armed and the eventual load compares values,
+which automatically ignores store sequences that change and then revert
+the value.  The spurious store traps still cost a signal, one of the four
+reasons the paper gives for LoadCraft's higher overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.client import TrapOutcome, WatchInfo, WatchRequest, WitchClient
+from repro.core.silentcraft import compare_watched_bytes
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.debugreg import TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.pmu import PMUSample
+
+
+class LoadCraft(WitchClient):
+    """Redundant-load detection via value-remembering RW_TRAP watchpoints."""
+
+    name = "loadcraft"
+    pmu_kinds = (AccessType.LOAD,)
+
+    def __init__(self, cpu: SimulatedCPU, float_precision: Optional[float] = 0.01) -> None:
+        self.cpu = cpu
+        self.float_precision = float_precision
+
+    def on_sample(self, sample: PMUSample) -> Optional[WatchRequest]:
+        access = sample.access
+        self.cpu.ledger.charge_value_record()
+        info = WatchInfo(
+            context=access.context,
+            kind=access.kind,
+            address=access.address,
+            length=access.length,
+            value=sample.value,
+            is_float=access.is_float,
+        )
+        return WatchRequest(access.address, access.length, TrapMode.RW_TRAP, info)
+
+    def on_trap(self, access: MemoryAccess, watchpoint: Watchpoint, overlap: int) -> TrapOutcome:
+        if access.is_store:
+            # x86 cannot trap on loads only; drop the store trap but keep
+            # the watchpoint armed for the next load.
+            return TrapOutcome(disarm=False, record=None, spurious=True)
+        info: WatchInfo = watchpoint.payload
+        if compare_watched_bytes(self.cpu, info, access, overlap, self.float_precision):
+            return TrapOutcome(disarm=True, record="waste")
+        return TrapOutcome(disarm=True, record="use")

@@ -1,0 +1,54 @@
+"""Small numeric helpers shared by tools, analysis, and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def equation1(waste: float, use: float) -> float:
+    """The paper's Equation 1: waste / (waste + use); 0 for an empty run.
+
+    This is "deadness" for DeadCraft, store redundancy R for SilentCraft,
+    and load redundancy L for LoadCraft.
+    """
+    total = waste + use
+    if total == 0:
+        return 0.0
+    return waste / total
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the paper's aggregate for slowdown/bloat tables."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of an empty sequence")
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(value) for value in values) / len(values))
+
+
+def median(values: Iterable[float]) -> float:
+    ordered: List[float] = sorted(values)
+    if not ordered:
+        raise ValueError("median of an empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation (the paper's run-to-run stability)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    return math.sqrt(sum((value - center) ** 2 for value in values) / len(values))

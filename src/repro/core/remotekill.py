@@ -1,0 +1,161 @@
+"""RemoteKill: cross-thread dead stores (an extension in the spirit of 6.3).
+
+Section 6.3: "Sharing addresses accessed by one thread with another
+thread allows building several tools for multi-threaded applications" --
+Feather (false sharing) is the published one.  RemoteKill is a second
+such tool, built here as an extension: it detects stores by one thread
+that are overwritten by a *different* thread before any thread reads
+them.  That pattern is wasted inter-thread communication -- duplicated
+initialization, both halves of a double-buffer zeroed, results computed
+redundantly by two workers -- and is invisible to the per-thread
+DeadCraft, whose watchpoints never fire across threads.
+
+Mechanism: when thread T's PMU samples a store at M, one *watch group* is
+created and the sampled range is armed in every thread's debug registers
+(T included: a local read or overwrite must win the race to classify the
+store correctly).  The first trap of the group decides:
+
+- store from another thread -> remote kill (waste),
+- store from the same thread -> local kill (DeadCraft territory; "use"
+  here, since it is not *cross-thread* waste),
+- load from anywhere -> the value was consumed ("use"),
+
+and all sibling watchpoints of the group are disarmed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.cct.pairs import ContextPairTable
+from repro.core.report import InefficiencyReport
+from repro.core.reservoir import ReplacementPolicy, ReservoirPolicy
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.debugreg import TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.pmu import PMU, PMUSample
+
+
+@dataclass
+class _WatchGroup:
+    """One sampled store, mirrored into every thread's registers."""
+
+    context: object
+    origin_thread: int
+    members: List[Watchpoint] = field(default_factory=list)
+    settled: bool = False
+
+
+class RemoteKillFramework:
+    """Cross-thread dead-store detection via mirrored watch groups."""
+
+    name = "remotekill"
+
+    def __init__(
+        self,
+        cpu: SimulatedCPU,
+        period: int,
+        policy: Optional[ReplacementPolicy] = None,
+        seed: int = 0,
+    ) -> None:
+        self.cpu = cpu
+        self.period = period
+        self.rng = random.Random(seed)
+        self._policy_prototype = policy or ReservoirPolicy()
+        self._policies: Dict[int, ReplacementPolicy] = {}
+        self.pairs = ContextPairTable()
+        self.samples = 0
+        self.remote_kills = 0
+        self.local_kills = 0
+        self.consumed = 0
+        cpu.attach_sampling(self._make_pmu, self._handle_sample)
+        cpu.set_trap_handler(self._handle_trap)
+
+    def _make_pmu(self) -> PMU:
+        return PMU(
+            period=self.period,
+            kinds=(AccessType.STORE,),
+            rng=random.Random(self.rng.randrange(1 << 30)),
+        )
+
+    def _policy(self, thread_id: int) -> ReplacementPolicy:
+        policy = self._policies.get(thread_id)
+        if policy is None:
+            policy = self._policy_prototype.clone()
+            self._policies[thread_id] = policy
+        return policy
+
+    def _threads(self, sample_thread: int) -> Set[int]:
+        threads = set(self.cpu.active_threads)
+        threads.add(sample_thread)
+        return threads
+
+    # ------------------------------------------------------------------ sample
+    def _handle_sample(self, sample: PMUSample) -> None:
+        self.cpu.ledger.charge_sample()
+        self.samples += 1
+        access = sample.access
+        group = _WatchGroup(context=access.context, origin_thread=access.thread_id)
+
+        for thread_id in self._threads(access.thread_id):
+            registers = self.cpu.debug_registers(thread_id)
+            decision = self._policy(thread_id).decide(registers, self.rng)
+            if not decision.monitors:
+                continue
+            evicted = registers.disarm(decision.slot)
+            if evicted is not None:
+                evicted.payload.settled = True  # an orphaned group member
+            watchpoint = Watchpoint(
+                access.address, access.length, TrapMode.RW_TRAP, group, thread_id
+            )
+            registers.arm(watchpoint, decision.slot)
+            group.members.append(watchpoint)
+            self.cpu.ledger.charge_arm()
+
+    # -------------------------------------------------------------------- trap
+    def _handle_trap(self, access: MemoryAccess, watchpoint: Watchpoint, overlap: int) -> None:
+        group: _WatchGroup = watchpoint.payload
+        if group.settled:
+            # A sibling already classified this sample; this trap is noise.
+            self.cpu.ledger.charge_spurious_trap()
+            self._disarm_member(watchpoint, access.thread_id)
+            return
+
+        self.cpu.ledger.charge_trap()
+        group.settled = True
+        amount = self.period * overlap
+        if access.is_store and access.thread_id != group.origin_thread:
+            self.remote_kills += 1
+            self.pairs.add_waste(group.context, access.context, amount)
+        elif access.is_store:
+            self.local_kills += 1
+            self.pairs.add_use(group.context, access.context, amount)
+        else:
+            self.consumed += 1
+            self.pairs.add_use(group.context, access.context, amount)
+
+        for member in group.members:
+            self._disarm_member(member, member.thread_id)
+        self._policy(access.thread_id).on_client_disarm()
+
+    def _disarm_member(self, watchpoint: Watchpoint, thread_id: int) -> None:
+        registers = self.cpu.debug_registers(thread_id)
+        if watchpoint.slot >= 0 and registers.get(watchpoint.slot) is watchpoint:
+            registers.disarm(watchpoint.slot)
+
+    # ----------------------------------------------------------------- results
+    def remote_kill_fraction(self) -> float:
+        """Waste share of classified stores (Equation 1 over this tool)."""
+        return self.pairs.redundancy_fraction()
+
+    def report(self) -> InefficiencyReport:
+        return InefficiencyReport(
+            tool=self.name,
+            pairs=self.pairs,
+            samples=self.samples,
+            monitored=self.samples,
+            traps=self.remote_kills + self.local_kills + self.consumed,
+            period=self.period,
+        )

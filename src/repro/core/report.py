@@ -1,0 +1,135 @@
+"""Tool output: what a developer (or a test) reads after a run.
+
+The presentation follows section 6.5: metrics attach to ordered context
+pairs, rendered as synthetic call chains so the source context and the
+target (killing/overwriting/re-loading) context stay associated --
+``main->A->B->KILLED_BY->main->C->D``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import IO, Any, Dict, List, Tuple, Union
+
+from repro.cct.pairs import ContextPairTable, synthetic_chain
+from repro.cct.tree import CallingContextTree
+
+#: Join-node label per tool, as a developer would read it.
+_JOIN_LABELS = {
+    "deadcraft": "KILLED_BY",
+    "deadspy": "KILLED_BY",
+    "silentcraft": "SILENCED_BY",
+    "redspy": "SILENCED_BY",
+    "loadcraft": "RELOADED_BY",
+    "loadspy": "RELOADED_BY",
+}
+
+
+@dataclass
+class InefficiencyReport:
+    """One tool's findings for one run."""
+
+    tool: str
+    pairs: ContextPairTable
+    samples: int = 0
+    monitored: int = 0
+    traps: int = 0
+    period: int = 1
+
+    @property
+    def redundancy_fraction(self) -> float:
+        """Equation 1: the headline percentage the paper's figures plot."""
+        return self.pairs.redundancy_fraction()
+
+    def top_chains(self, coverage: float = 0.9) -> List[Tuple[str, float]]:
+        """(synthetic chain, waste share) for pairs covering ``coverage``."""
+        join = _JOIN_LABELS.get(self.tool, "FOLLOWED_BY")
+        total = self.pairs.total_waste()
+        chains: List[Tuple[str, float]] = []
+        for (watch, trap), metrics in self.pairs.top_pairs(coverage):
+            share = metrics.waste / total if total else 0.0
+            chains.append((synthetic_chain(watch, trap, join), share))
+        return chains
+
+    def render(self, coverage: float = 0.9) -> str:
+        """Plain-text report, one chain per line, most wasteful first."""
+        lines = [
+            f"{self.tool}: redundancy {100 * self.redundancy_fraction:.2f}% "
+            f"(samples={self.samples}, monitored={self.monitored}, traps={self.traps})"
+        ]
+        for chain, share in self.top_chains(coverage):
+            lines.append(f"  {100 * share:5.1f}%  {chain}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------ persistence
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready representation (context nodes become frame lists)."""
+        pairs = []
+        for (watch, trap), metrics in self.pairs:
+            pairs.append(
+                {
+                    "watch": _frames_of(watch),
+                    "trap": _frames_of(trap),
+                    "waste": metrics.waste,
+                    "use": metrics.use,
+                    "events": metrics.events,
+                }
+            )
+        return {
+            "format": "repro-report",
+            "version": 1,
+            "tool": self.tool,
+            "samples": self.samples,
+            "monitored": self.monitored,
+            "traps": self.traps,
+            "period": self.period,
+            "redundancy_fraction": self.redundancy_fraction,
+            "pairs": pairs,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "InefficiencyReport":
+        """Rebuild a report (contexts are re-interned into a fresh CCT)."""
+        if payload.get("format") != "repro-report":
+            raise ValueError("not a repro report payload")
+        if payload.get("version") != 1:
+            raise ValueError(f"unsupported report version {payload.get('version')!r}")
+        tree = CallingContextTree()
+        pairs = ContextPairTable()
+        for entry in payload["pairs"]:
+            watch = _node_for(tree, entry["watch"])
+            trap = _node_for(tree, entry["trap"])
+            pairs.restore(watch, trap, entry["waste"], entry["use"], entry["events"])
+        return cls(
+            tool=payload["tool"],
+            pairs=pairs,
+            samples=payload["samples"],
+            monitored=payload["monitored"],
+            traps=payload["traps"],
+            period=payload["period"],
+        )
+
+    def save(self, path_or_stream: Union[str, IO[str]]) -> None:
+        if hasattr(path_or_stream, "write"):
+            json.dump(self.to_dict(), path_or_stream, indent=1)
+        else:
+            with open(path_or_stream, "w") as stream:
+                json.dump(self.to_dict(), stream, indent=1)
+
+    @classmethod
+    def load(cls, path: str) -> "InefficiencyReport":
+        with open(path) as stream:
+            return cls.from_dict(json.load(stream))
+
+
+def _frames_of(context) -> List[str]:
+    frames = getattr(context, "frames", None)
+    return list(frames()) if callable(frames) else [str(context)]
+
+
+def _node_for(tree: CallingContextTree, frames: List[str]):
+    node = tree.root
+    for frame in frames:
+        node = node.child(frame)
+    return node

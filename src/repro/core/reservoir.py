@@ -1,0 +1,139 @@
+"""Watchpoint replacement policies (section 4.1).
+
+The hardware can watch only a handful of addresses, but samples keep
+arriving.  Which sampled address deserves a debug register?
+
+The paper's answer is reservoir sampling over the samples seen since a
+register was last free: the k-th such sample claims a random armed register
+with probability N/k (N = number of registers), which leaves *every* sample
+-- old or new -- monitored with the same probability N/k.  When a trap lets
+the client disarm a register, the probability resets to 1.0, so the very
+next sample is monitored.
+
+Two strawmen from the paper are implemented for the ablation benchmarks:
+
+- *naive replace*: always evict the oldest watchpoint.  On Listing 2's
+  long-distance dead stores this detects nothing, because the last sample
+  of the i-loop is evicted long before the j-loop overwrites the array.
+- *coin flip*: replace a random victim with fixed probability 1/2.  Old
+  samples survive with probability 2^-k, so long-distance pairs are again
+  effectively invisible, and attribution collapses onto whichever pair
+  traps quickly (the paper's Figure 2 observes 100% attributed to one pair).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hardware.debugreg import DebugRegisterFile
+
+
+class Action(enum.Enum):
+    INSTALL = "install"  # arm a free register
+    REPLACE = "replace"  # evict a victim and arm in its slot
+    SKIP = "skip"  # do not monitor this sample
+
+
+@dataclass(frozen=True)
+class ReplacementDecision:
+    action: Action
+    slot: Optional[int] = None
+
+    @property
+    def monitors(self) -> bool:
+        return self.action is not Action.SKIP
+
+
+class ReplacementPolicy(abc.ABC):
+    """Decides, per PMU sample, whether/where to arm the new watchpoint.
+
+    One instance exists per logical thread (debug registers are per-thread
+    state), created by the framework through :meth:`clone`.
+    """
+
+    @abc.abstractmethod
+    def decide(self, registers: DebugRegisterFile, rng: random.Random) -> ReplacementDecision:
+        """Choose what to do with the current sample."""
+
+    def on_client_disarm(self) -> None:
+        """Called when a trap led the client to free a register."""
+
+    def clone(self) -> "ReplacementPolicy":
+        return type(self)()
+
+
+class ReservoirPolicy(ReplacementPolicy):
+    """The paper's equal-survival-probability scheme.
+
+    ``_k`` counts samples since the current "epoch" began -- the last time a
+    register was empty.  Filling a free register keeps the epoch counter in
+    step with the armed count (samples S_1..S_N), so sample S_k, k > N,
+    replaces a uniformly random victim with probability N/k.  A client
+    disarm resets the epoch: the next sample is monitored with probability
+    1.0 (it finds a free register).
+
+    Only the counter is kept -- O(1) memory, as the paper emphasizes; no log
+    of past samples is needed.
+    """
+
+    def __init__(self) -> None:
+        self._k = 0
+
+    def decide(self, registers: DebugRegisterFile, rng: random.Random) -> ReplacementDecision:
+        free = registers.free_slot()
+        if free is not None:
+            # Samples that find room are S_1..S_armed of a (possibly new)
+            # epoch; keep k consistent with that numbering.
+            self._k = registers.armed_count + 1
+            return ReplacementDecision(Action.INSTALL, free)
+        self._k += 1
+        n = registers.count
+        if rng.random() < n / self._k:
+            victim = rng.choice(registers.armed_slots())
+            return ReplacementDecision(Action.REPLACE, victim)
+        return ReplacementDecision(Action.SKIP)
+
+    def on_client_disarm(self) -> None:
+        # Probability resets to 1.0: the next sample will find a free
+        # register and install unconditionally.
+        self._k = 0
+
+
+class NaiveReplacePolicy(ReplacementPolicy):
+    """Strawman: always monitor the newest sample, evicting the oldest."""
+
+    def __init__(self) -> None:
+        self._next_victim = 0
+
+    def decide(self, registers: DebugRegisterFile, rng: random.Random) -> ReplacementDecision:
+        free = registers.free_slot()
+        if free is not None:
+            return ReplacementDecision(Action.INSTALL, free)
+        victim = self._next_victim
+        self._next_victim = (victim + 1) % registers.count
+        return ReplacementDecision(Action.REPLACE, victim)
+
+
+class CoinFlipPolicy(ReplacementPolicy):
+    """Strawman: flip a coin to decide whether to evict a random victim."""
+
+    def __init__(self, probability: float = 0.5) -> None:
+        if not 0.0 < probability <= 1.0:
+            raise ValueError(f"probability must be in (0, 1], got {probability}")
+        self.probability = probability
+
+    def decide(self, registers: DebugRegisterFile, rng: random.Random) -> ReplacementDecision:
+        free = registers.free_slot()
+        if free is not None:
+            return ReplacementDecision(Action.INSTALL, free)
+        if rng.random() < self.probability:
+            victim = rng.choice(registers.armed_slots())
+            return ReplacementDecision(Action.REPLACE, victim)
+        return ReplacementDecision(Action.SKIP)
+
+    def clone(self) -> "CoinFlipPolicy":
+        return CoinFlipPolicy(self.probability)

@@ -1,0 +1,88 @@
+"""SilentCraft: the silent-store client (section 6.1).
+
+A store that rewrites the value already present is *silent* -- it changes
+no system state and frequently marks a useless upstream computation
+(RedSpy's observation).  SilentCraft samples PMU store events, remembers
+the sampled location's contents, and arms a W_TRAP watchpoint: loads never
+trap, and the next overlapping store is compared byte-for-byte over the
+overlap against the remembered value.
+
+Floating-point stores compare approximately, within a configurable
+precision (the paper's evaluation uses 1%), to surface approximate-
+computing opportunities such as SPEC lbm's ~100% nearly-unchanged stores.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.client import TrapOutcome, WatchInfo, WatchRequest, WitchClient
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.debugreg import TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess, values_match
+from repro.hardware.pmu import PMUSample
+
+
+class SilentCraft(WitchClient):
+    """Silent-store detection via value-remembering W_TRAP watchpoints."""
+
+    name = "silentcraft"
+    pmu_kinds = (AccessType.STORE,)
+
+    def __init__(self, cpu: SimulatedCPU, float_precision: Optional[float] = 0.01) -> None:
+        self.cpu = cpu
+        self.float_precision = float_precision
+
+    def on_sample(self, sample: PMUSample) -> Optional[WatchRequest]:
+        access = sample.access
+        # Remember the just-stored contents; reading them back costs the
+        # tool a few cycles on real hardware.
+        self.cpu.ledger.charge_value_record()
+        info = WatchInfo(
+            context=access.context,
+            kind=access.kind,
+            address=access.address,
+            length=access.length,
+            value=sample.value,
+            is_float=access.is_float,
+        )
+        return WatchRequest(access.address, access.length, TrapMode.W_TRAP, info)
+
+    def on_trap(self, access: MemoryAccess, watchpoint: Watchpoint, overlap: int) -> TrapOutcome:
+        info: WatchInfo = watchpoint.payload
+        if compare_watched_bytes(self.cpu, info, access, overlap, self.float_precision):
+            return TrapOutcome(disarm=True, record="waste")
+        return TrapOutcome(disarm=True, record="use")
+
+
+def compare_watched_bytes(
+    cpu: SimulatedCPU,
+    info: WatchInfo,
+    access: MemoryAccess,
+    overlap: int,
+    float_precision: Optional[float],
+) -> bool:
+    """Compare remembered vs. current contents over the overlapping bytes.
+
+    The comparison is limited to the bytes shared by the watched range and
+    the trapping access (section 6.1).  When the trap covers the watched
+    datum exactly and it is floating point, the approximate comparison
+    applies; partial overlaps fall back to exact byte equality, since a
+    fraction of an IEEE value has no numeric meaning.
+
+    x86 watchpoints trap after the instruction, so current memory already
+    holds the trapping store's value -- reading memory *is* reading the
+    newly stored bytes.
+    """
+    lo = max(info.address, access.address)
+    old = info.value[lo - info.address : lo - info.address + overlap]
+    new = cpu.memory.read(lo, overlap)
+    full_datum = (
+        info.is_float
+        and access.is_float
+        and overlap == info.length == access.length
+        and info.address == access.address
+    )
+    if full_datum:
+        return values_match(old, new, True, float_precision)
+    return old == new

@@ -1,0 +1,94 @@
+"""Top-down calling-context views of a report (section 6.5).
+
+HPCViewer presents a calling context tree with per-level metric
+breakdowns; this module renders the text equivalent.  Waste attributed to
+⟨C_watch, C_trap⟩ pairs is rolled up along the *source* (watch) call
+path, so the view answers "where is the wasteful code?", and each leaf
+can be expanded into its synthetic partner chains with
+:meth:`InefficiencyReport.top_chains`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.report import InefficiencyReport
+
+
+class _ViewNode:
+    __slots__ = ("frame", "waste", "children")
+
+    def __init__(self, frame: str) -> None:
+        self.frame = frame
+        self.waste = 0.0
+        self.children: Dict[str, "_ViewNode"] = {}
+
+    def child(self, frame: str) -> "_ViewNode":
+        node = self.children.get(frame)
+        if node is None:
+            node = _ViewNode(frame)
+            self.children[frame] = node
+        return node
+
+
+def _build(report: InefficiencyReport) -> Tuple[_ViewNode, float]:
+    root = _ViewNode("<program>")
+    total = 0.0
+    for (watch, _trap), metrics in report.pairs:
+        if metrics.waste <= 0:
+            continue
+        total += metrics.waste
+        frames = getattr(watch, "frames", None)
+        path = frames() if callable(frames) else [str(watch)]
+        node = root
+        node.waste += metrics.waste
+        for frame in path:
+            node = node.child(frame)
+            node.waste += metrics.waste
+    return root, total
+
+
+def render_topdown(
+    report: InefficiencyReport,
+    max_depth: int = 6,
+    min_share: float = 0.02,
+) -> str:
+    """A top-down waste breakdown, biggest subtrees first.
+
+    ``min_share`` prunes branches below that fraction of total waste --
+    the long tail the paper says is impractical to chase.
+    """
+    root, total = _build(report)
+    if total == 0:
+        return f"{report.tool}: no waste attributed"
+
+    lines = [f"{report.tool}: waste by calling context (100% = {total:.0f} bytes)"]
+
+    def emit(node: _ViewNode, depth: int) -> None:
+        ranked = sorted(node.children.values(), key=lambda child: -child.waste)
+        for child in ranked:
+            share = child.waste / total
+            if share < min_share:
+                continue
+            lines.append(f"{'  ' * depth}{100 * share:5.1f}%  {child.frame}")
+            if depth + 1 < max_depth:
+                emit(child, depth + 1)
+
+    emit(root, 1)
+    return "\n".join(lines)
+
+
+def hot_frames(report: InefficiencyReport, top: int = 5) -> List[Tuple[str, float]]:
+    """The leaf source lines carrying the most waste, with their shares."""
+    totals: Dict[str, float] = {}
+    grand_total = 0.0
+    for (watch, _trap), metrics in report.pairs:
+        if metrics.waste <= 0:
+            continue
+        grand_total += metrics.waste
+        frame = getattr(watch, "frame", str(watch))
+        totals[frame] = totals.get(frame, 0.0) + metrics.waste
+    if grand_total == 0:
+        return []
+    ranked = sorted(totals.items(), key=lambda item: -item[1])
+    return [(frame, waste / grand_total) for frame, waste in ranked[:top]]

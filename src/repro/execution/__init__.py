@@ -1,0 +1,13 @@
+"""Synthetic program substrate.
+
+Workloads are plain Python functions that drive a :class:`Machine`: they
+allocate simulated memory, open calling-context frames, and issue loads and
+stores.  Every access flows through the simulated CPU, where the PMU, the
+debug registers, and any instrumentation observers see it -- which is what
+lets the same workload run natively, under a Witch tool, or under an
+exhaustive baseline, for the paper's overhead and accuracy comparisons.
+"""
+
+from repro.execution.machine import Machine, ThreadContext, run_threads
+
+__all__ = ["Machine", "ThreadContext", "run_threads"]

@@ -1,0 +1,171 @@
+"""The workload-facing execution machine.
+
+A workload receives a :class:`Machine` (or, in multi-threaded programs, one
+:class:`ThreadContext` per logical thread) and expresses its behaviour as
+ordinary Python::
+
+    def program(m: Machine) -> None:
+        array = m.alloc(100_000 * 4, "array")
+        with m.function("main"):
+            with m.function("init_loop"):
+                for i in range(100_000):
+                    m.store_int(array + 4 * i, 0, length=4, pc="listing2.c:2")
+
+Each ``store_*``/``load_*`` call becomes one :class:`MemoryAccess` on the
+simulated CPU; ``function`` frames maintain the calling context tree.
+
+Multi-threaded workloads write each thread body as a generator that yields
+at its switch points; :func:`run_threads` interleaves them round-robin on
+one machine, with per-thread call stacks, PMUs, and debug registers --
+deterministic, which the reproduction experiments rely on.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Dict, Generator, Iterator, List, Optional, Sequence
+
+from repro.cct.tree import CallingContextTree, ContextNode
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.events import decode_value, encode_value
+
+_ALLOC_ALIGN = 64
+#: Allocations start well away from page zero so address arithmetic bugs
+#: in workloads fault loudly instead of silently aliasing.
+_ALLOC_BASE = 1 << 20
+
+
+class ThreadContext:
+    """One logical thread's view of the machine: its call stack and accesses."""
+
+    def __init__(self, machine: "Machine", thread_id: int) -> None:
+        self.machine = machine
+        self.thread_id = thread_id
+        self._stack: List[ContextNode] = [machine.tree.root]
+        machine.cpu.declare_thread(thread_id)
+
+    # ------------------------------------------------------------- contexts
+    @property
+    def context(self) -> ContextNode:
+        return self._stack[-1]
+
+    @contextmanager
+    def function(self, name: str) -> Iterator[ContextNode]:
+        """Enter a frame; all accesses inside attribute to this context."""
+        node = self._stack[-1].child(name)
+        self._stack.append(node)
+        self.machine.cpu.ledger.charge_call()
+        try:
+            yield node
+        finally:
+            self._stack.pop()
+
+    # ------------------------------------------------------------- raw access
+    # A calling context ends at the instruction that triggers the event
+    # (section 3), so every access's context is the current frame stack
+    # extended by a leaf node for the instruction's source line -- the same
+    # shape HPCToolkit's CCT has.  child() interns, so this is one dict
+    # lookup per access.
+    def store(
+        self,
+        address: int,
+        data: bytes,
+        pc: str,
+        is_float: bool = False,
+        long_latency: bool = False,
+    ) -> None:
+        context = self._stack[-1].child(pc)
+        self.machine.cpu.store(
+            address, data, pc, context, self.thread_id, is_float, long_latency
+        )
+
+    def load(self, address: int, length: int, pc: str, is_float: bool = False) -> bytes:
+        context = self._stack[-1].child(pc)
+        return self.machine.cpu.load(address, length, pc, context, self.thread_id, is_float)
+
+    # ------------------------------------------------------------- typed access
+    def store_int(
+        self,
+        address: int,
+        value: int,
+        pc: str,
+        length: int = 8,
+        long_latency: bool = False,
+    ) -> None:
+        self.store(address, encode_value(value, length, False), pc, False, long_latency)
+
+    def load_int(self, address: int, pc: str, length: int = 8) -> int:
+        return int(decode_value(self.load(address, length, pc), False))
+
+    def store_float(
+        self,
+        address: int,
+        value: float,
+        pc: str,
+        length: int = 8,
+        long_latency: bool = False,
+    ) -> None:
+        self.store(address, encode_value(value, length, True), pc, True, long_latency)
+
+    def load_float(self, address: int, pc: str, length: int = 8) -> float:
+        return float(decode_value(self.load(address, length, pc, is_float=True), True))
+
+
+class Machine(ThreadContext):
+    """A single-machine facade: thread 0 plus allocation and thread creation."""
+
+    def __init__(self, cpu: Optional[SimulatedCPU] = None) -> None:
+        self.cpu = cpu or SimulatedCPU()
+        self.tree = CallingContextTree()
+        self._next_address = _ALLOC_BASE
+        self._threads: Dict[int, ThreadContext] = {}
+        self.allocated_bytes = 0
+        super().__init__(self, 0)
+        self._threads[0] = self
+
+    def alloc(self, nbytes: int, name: str = "") -> int:
+        """Reserve an address range; returns the 64-byte-aligned base."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation size must be positive, got {nbytes}")
+        base = self._next_address
+        self.allocated_bytes += nbytes
+        span = (nbytes + _ALLOC_ALIGN - 1) // _ALLOC_ALIGN * _ALLOC_ALIGN
+        # A guard gap keeps out-of-bounds workload bugs from touching the
+        # next allocation.
+        self._next_address = base + span + _ALLOC_ALIGN
+        return base
+
+    def thread(self, thread_id: int) -> ThreadContext:
+        """The (lazily created) context for one logical thread."""
+        thread = self._threads.get(thread_id)
+        if thread is None:
+            thread = ThreadContext(self, thread_id)
+            self._threads[thread_id] = thread
+        return thread
+
+    @property
+    def thread_ids(self) -> Sequence[int]:
+        return tuple(self._threads)
+
+
+ThreadBody = Callable[[ThreadContext], Generator[None, None, None]]
+
+
+def run_threads(machine: Machine, bodies: Sequence[ThreadBody]) -> None:
+    """Interleave thread bodies round-robin until all finish.
+
+    Each body is a generator function taking its :class:`ThreadContext`;
+    every ``yield`` is a potential context switch.  Thread ids are assigned
+    1..len(bodies) so thread 0 remains the "main" thread.
+    """
+    runners = [body(machine.thread(i + 1)) for i, body in enumerate(bodies)]
+    live = list(runners)
+    while live:
+        finished = []
+        for runner in live:
+            try:
+                next(runner)
+            except StopIteration:
+                finished.append(runner)
+        for runner in finished:
+            live.remove(runner)

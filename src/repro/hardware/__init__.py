@@ -1,0 +1,41 @@
+"""Simulated machine substrate.
+
+The paper's Witch framework sits on two hardware features: precise PMU
+sampling (Intel PEBS) and hardware debug registers (watchpoints).  Neither is
+reachable from pure Python, so this subpackage provides a faithful simulation
+of their observable contracts:
+
+- :mod:`repro.hardware.memory` -- a sparse, paged, byte-addressable memory.
+- :mod:`repro.hardware.pmu` -- an event counter that overflows every *period*
+  matching accesses and delivers a precise sample (address, PC, context,
+  length, value), optionally with the PEBS "shadow sampling" bias.
+- :mod:`repro.hardware.debugreg` -- a small file of watchpoint registers that
+  trap, x86-style *after* the access commits, on any byte overlap.
+- :mod:`repro.hardware.cpu` -- the glue: every memory access flows through
+  :meth:`SimulatedCPU.access`, which commits it, feeds the PMU, and checks
+  the debug registers, dispatching handlers synchronously like Linux signals.
+- :mod:`repro.hardware.costmodel` -- cycle and byte accounting used by the
+  overhead experiments (Tables 1 and 2).
+"""
+
+from repro.hardware.costmodel import CostModel, CycleLedger
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.debugreg import DebugRegisterFile, TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.memory import SimulatedMemory
+from repro.hardware.pmu import PMU, PMUSample, nearest_prime
+
+__all__ = [
+    "AccessType",
+    "CostModel",
+    "CycleLedger",
+    "DebugRegisterFile",
+    "MemoryAccess",
+    "PMU",
+    "PMUSample",
+    "SimulatedCPU",
+    "SimulatedMemory",
+    "TrapMode",
+    "Watchpoint",
+    "nearest_prime",
+]

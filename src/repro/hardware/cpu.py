@@ -1,0 +1,211 @@
+"""The simulated CPU: where accesses, the PMU, and debug registers meet.
+
+Every load and store a workload performs flows through :meth:`SimulatedCPU.
+access`, which
+
+1. lets exhaustive *instrumentation observers* see the access first, with
+   memory still holding the old contents (this models Pin-style inline
+   instrumentation, which runs analysis code before the instruction);
+2. commits the access to memory (stores write their bytes);
+3. checks the debug registers of the accessing thread and synchronously
+   delivers watchpoint traps -- x86 data watchpoints trap *after* the
+   instruction executes, so trap handlers observe the new memory contents;
+4. feeds the access to every subscribed PMU and delivers a precise sample
+   on overflow.
+
+Debug registers and PMUs are per hardware thread and virtualized per
+software thread (section 6.3), so the CPU keeps one register file and one
+PMU instance per logical thread, created on first use.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Protocol, Tuple
+
+from repro.hardware.costmodel import CostModel, CycleLedger
+from repro.hardware.debugreg import DebugRegisterFile, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.memory import SimulatedMemory
+from repro.hardware.pmu import PMU, PMUSample
+
+#: Called with (access, watchpoint, overlap_bytes) when a watchpoint trips.
+TrapHandler = Callable[[MemoryAccess, Watchpoint, int], None]
+#: Called with the precise sample on every PMU overflow.
+SampleHandler = Callable[[PMUSample], None]
+#: Builds a fresh PMU for one logical thread.
+PMUFactory = Callable[[], PMU]
+
+
+class InstrumentationObserver(Protocol):
+    """Exhaustive-tool hook: sees every access before it commits.
+
+    ``data`` is the bytes being stored (None for loads); memory still holds
+    the pre-access contents, so observers can read the old value -- exactly
+    what inline Pin instrumentation sees before the instruction executes.
+    """
+
+    def observe(
+        self, access: MemoryAccess, data: Optional[bytes]
+    ) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class SimulatedCPU:
+    """A machine with memory, per-thread PMUs, and per-thread debug registers."""
+
+    def __init__(
+        self,
+        register_count: int = 4,
+        model: Optional[CostModel] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.memory = SimulatedMemory()
+        self.model = model or CostModel()
+        self.ledger = CycleLedger(self.model)
+        self.rng = rng or random.Random(0)
+        self.register_count = register_count
+        self._register_files: Dict[int, DebugRegisterFile] = {}
+        self._declared_threads: set = set()
+        self._pmu_factory: Optional[PMUFactory] = None
+        self._pmus: Dict[int, PMU] = {}
+        self._sample_handler: Optional[SampleHandler] = None
+        self._trap_handler: Optional[TrapHandler] = None
+        self._observers: List[InstrumentationObserver] = []
+        self._sample_sequence = 0
+
+    # ------------------------------------------------------------------ wiring
+    def attach_sampling(self, pmu_factory: PMUFactory, handler: SampleHandler) -> None:
+        """Subscribe a sampling client (the Witch framework).
+
+        ``pmu_factory`` is invoked once per logical thread, since PMU
+        counters are per hardware thread.  Only one sampling client can be
+        attached -- the debug registers and the PMU are contended hardware,
+        and the paper runs its tools one at a time; attach a second
+        framework to a second machine instead.
+        """
+        if self._pmu_factory is not None:
+            raise RuntimeError(
+                "a sampling client is already attached to this CPU; "
+                "run one tool per SimulatedCPU"
+            )
+        self._pmu_factory = pmu_factory
+        self._sample_handler = handler
+
+    def set_trap_handler(self, handler: TrapHandler) -> None:
+        if self._trap_handler is not None:
+            raise RuntimeError(
+                "a trap handler is already installed on this CPU; "
+                "run one tool per SimulatedCPU"
+            )
+        self._trap_handler = handler
+
+    def add_observer(self, observer: InstrumentationObserver) -> None:
+        self._observers.append(observer)
+
+    def debug_registers(self, thread_id: int = 0) -> DebugRegisterFile:
+        register_file = self._register_files.get(thread_id)
+        if register_file is None:
+            register_file = DebugRegisterFile(self.register_count)
+            self._register_files[thread_id] = register_file
+        return register_file
+
+    def pmu(self, thread_id: int = 0) -> Optional[PMU]:
+        if self._pmu_factory is None:
+            return None
+        pmu = self._pmus.get(thread_id)
+        if pmu is None:
+            pmu = self._pmu_factory()
+            self._pmus[thread_id] = pmu
+        return pmu
+
+    @property
+    def pmus(self) -> Tuple[PMU, ...]:
+        return tuple(self._pmus.values())
+
+    def declare_thread(self, thread_id: int) -> None:
+        """Announce a logical thread before it first touches memory.
+
+        The execution machine calls this when a thread context is created,
+        so cross-thread tools (Feather, RemoteKill) can mirror watchpoints
+        into threads that have not yet issued an access.
+        """
+        self._declared_threads.add(thread_id)
+
+    @property
+    def active_threads(self) -> Tuple[int, ...]:
+        """Declared threads plus any that have executed an access."""
+        return tuple(self._declared_threads | set(self._pmus))
+
+    @property
+    def total_samples(self) -> int:
+        return sum(pmu.samples_taken for pmu in self._pmus.values())
+
+    @property
+    def total_counted_events(self) -> int:
+        return sum(pmu.events_seen for pmu in self._pmus.values())
+
+    # ------------------------------------------------------------------ execution
+    def access(self, access: MemoryAccess, data: Optional[bytes] = None) -> bytes:
+        """Execute one memory access; returns the bytes read or written."""
+        self.ledger.charge_access()
+
+        for observer in self._observers:
+            observer.observe(access, data)
+
+        if access.is_store:
+            if data is None or len(data) != access.length:
+                raise ValueError("store requires data matching the access length")
+            self.memory.write(access.address, data)
+            result = data
+        else:
+            result = self.memory.read(access.address, access.length)
+
+        # x86 semantics: the watchpoint trap is synchronous and fires after
+        # the instruction commits, so a freed register is available to the
+        # PMU sample that may follow on this very access.
+        if self._trap_handler is not None:
+            register_file = self._register_files.get(access.thread_id)
+            if register_file is not None and register_file.armed_count:
+                for watchpoint, overlap in register_file.check(access):
+                    self._trap_handler(access, watchpoint, overlap)
+
+        if self._pmu_factory is not None:
+            pmu = self.pmu(access.thread_id)
+            if pmu.observe(access):
+                self._sample_sequence += 1
+                sample = PMUSample(access, bytes(result), self._sample_sequence)
+                self._sample_handler(sample)
+
+        return result
+
+    # Convenience wrappers used by the execution machine -----------------------
+    def store(
+        self,
+        address: int,
+        data: bytes,
+        pc: str,
+        context,
+        thread_id: int = 0,
+        is_float: bool = False,
+        long_latency: bool = False,
+    ) -> None:
+        self.access(
+            MemoryAccess(
+                AccessType.STORE, address, len(data), pc, context, thread_id, is_float, long_latency
+            ),
+            data,
+        )
+
+    def load(
+        self,
+        address: int,
+        length: int,
+        pc: str,
+        context,
+        thread_id: int = 0,
+        is_float: bool = False,
+    ) -> bytes:
+        return self.access(
+            MemoryAccess(AccessType.LOAD, address, length, pc, context, thread_id, is_float)
+        )

@@ -1,0 +1,132 @@
+"""Hardware debug registers: a small file of data watchpoints.
+
+x86 processors expose four debug registers.  A register armed on a byte
+range ``[address, address+length)`` traps the CPU *after* an instruction
+that overlaps the range executes (so on a store trap, memory already holds
+the stored value).  A watchpoint traps either on writes only (``W_TRAP``)
+or on reads and writes (``RW_TRAP``); x86 offers no read-only mode, which
+is why the paper's LoadCraft must arm ``RW_TRAP`` and discard store traps.
+
+Watchpoints persist across traps until explicitly disarmed, exactly like the
+hardware: it is the handler's (client's) choice to clear or keep them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.hardware.events import MemoryAccess
+
+#: Number of debug registers on contemporary x86 processors.
+X86_DEBUG_REGISTER_COUNT = 4
+
+
+class TrapMode(enum.Enum):
+    """Conditions under which an armed watchpoint traps."""
+
+    W_TRAP = "write"
+    RW_TRAP = "read-write"
+
+    def matches(self, access: MemoryAccess) -> bool:
+        return self is TrapMode.RW_TRAP or access.is_store
+
+
+@dataclass
+class Watchpoint:
+    """One armed debug register.
+
+    ``payload`` carries whatever the arming client wants delivered back on
+    the trap (the paper's clients store the sampled calling context, the
+    remembered value, and the access type of the sample).
+    """
+
+    address: int
+    length: int
+    mode: TrapMode
+    payload: Any = None
+    thread_id: int = 0
+    slot: int = field(default=-1)
+
+    def overlap(self, access: MemoryAccess) -> int:
+        lo = max(self.address, access.address)
+        hi = min(self.address + self.length, access.end)
+        return max(0, hi - lo)
+
+
+class DebugRegisterFile:
+    """A fixed-size set of watchpoint slots for one hardware thread."""
+
+    def __init__(self, count: int = X86_DEBUG_REGISTER_COUNT) -> None:
+        if count < 1:
+            raise ValueError(f"need at least one debug register, got {count}")
+        self._slots: List[Optional[Watchpoint]] = [None] * count
+
+    @property
+    def count(self) -> int:
+        return len(self._slots)
+
+    def free_slot(self) -> Optional[int]:
+        """Index of an unarmed register, or None when all are armed."""
+        for index, slot in enumerate(self._slots):
+            if slot is None:
+                return index
+        return None
+
+    def armed_slots(self) -> List[int]:
+        return [index for index, slot in enumerate(self._slots) if slot is not None]
+
+    @property
+    def armed_count(self) -> int:
+        return sum(1 for slot in self._slots if slot is not None)
+
+    def arm(self, watchpoint: Watchpoint, slot: Optional[int] = None) -> int:
+        """Install ``watchpoint``, replacing whatever occupies the slot.
+
+        Without an explicit ``slot`` a free register is used; arming with all
+        registers busy and no slot named is a programming error (the
+        replacement decision belongs to the sampling policy, not here).
+        """
+        if slot is None:
+            slot = self.free_slot()
+            if slot is None:
+                raise RuntimeError("all debug registers are armed; pick a victim slot")
+        watchpoint.slot = slot
+        self._slots[slot] = watchpoint
+        return slot
+
+    def disarm(self, slot: int) -> Optional[Watchpoint]:
+        """Clear one register, returning the watchpoint that occupied it."""
+        watchpoint = self._slots[slot]
+        self._slots[slot] = None
+        if watchpoint is not None:
+            watchpoint.slot = -1
+        return watchpoint
+
+    def disarm_all(self) -> None:
+        for index in range(len(self._slots)):
+            self._slots[index] = None
+
+    def get(self, slot: int) -> Optional[Watchpoint]:
+        return self._slots[slot]
+
+    def __iter__(self) -> Iterator[Optional[Watchpoint]]:
+        return iter(self._slots)
+
+    def check(self, access: MemoryAccess) -> List[Tuple[Watchpoint, int]]:
+        """Return ``(watchpoint, overlap_bytes)`` for every register the
+        access trips, in slot order.
+
+        The CPU calls this after the access commits; an empty list means no
+        trap.  Multiple registers can trip on one access (e.g. a wide SIMD
+        store spanning two watched ranges).
+        """
+        tripped: List[Tuple[Watchpoint, int]] = []
+        for watchpoint in self._slots:
+            if watchpoint is None or not watchpoint.mode.matches(access):
+                continue
+            overlap = watchpoint.overlap(access)
+            if overlap > 0:
+                tripped.append((watchpoint, overlap))
+        return tripped

@@ -1,0 +1,124 @@
+"""Memory access events: the common currency of the simulated machine.
+
+Every load and store executed by a workload becomes one :class:`MemoryAccess`.
+The event carries everything the paper's hardware exposes on a precise PMU
+sample (PEBS): the effective address, the access length, the precise PC of
+the instruction, and -- because our simulator is omniscient -- the calling
+context and the value involved.  Downstream consumers (the PMU, the debug
+registers, Witch clients, and the exhaustive instrumentation tools) all work
+from this one event type.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+
+class AccessType(enum.Enum):
+    """Kind of memory operation, mirroring MEM_UOPS_RETIRED:ALL_{LOADS,STORES}."""
+
+    LOAD = "load"
+    STORE = "store"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AccessType.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryAccess:
+    """One dynamic load or store.
+
+    Attributes:
+        kind: load or store.
+        address: byte address of the first byte accessed.
+        length: number of bytes accessed (1, 2, 4, 8, or a SIMD width).
+        pc: precise program counter.  We use the source-line-like label of
+            the instruction (e.g. ``"dwarf2.c:1561"``); the paper recovers
+            the equivalent via LBR-assisted disassembly (section 5).
+        context: the calling context node in which the access executes.
+            Opaque and hashable; in practice a :class:`repro.cct.ContextNode`.
+        thread_id: logical thread executing the access.
+        is_float: whether the datum is a floating-point value.  The paper's
+            SilentCraft infers this by disassembling the trapping
+            instruction; our workloads declare it.
+        long_latency: marks stores that would have a long latency on real
+            hardware.  Only used to model the PEBS shadow-sampling bias
+            (section 4.3); has no effect unless the PMU enables that bias.
+    """
+
+    kind: AccessType
+    address: int
+    length: int
+    pc: str
+    context: Hashable
+    thread_id: int = 0
+    is_float: bool = False
+    long_latency: bool = False
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is AccessType.STORE
+
+    @property
+    def is_load(self) -> bool:
+        return self.kind is AccessType.LOAD
+
+    @property
+    def end(self) -> int:
+        """One past the last byte accessed."""
+        return self.address + self.length
+
+    def overlap(self, address: int, length: int) -> int:
+        """Number of bytes this access shares with ``[address, address+length)``."""
+        lo = max(self.address, address)
+        hi = min(self.end, address + length)
+        return max(0, hi - lo)
+
+
+_FLOAT_FORMATS = {4: "<f", 8: "<d"}
+
+
+def decode_value(raw: bytes, is_float: bool) -> float:
+    """Interpret raw little-endian bytes the way the accessing instruction would.
+
+    Integer data decodes to an unsigned integer; 4- and 8-byte floating
+    point data decodes via IEEE-754.  Float data of any other width (e.g. a
+    16-byte SIMD lane pair) falls back to integer interpretation, which only
+    affects the *approximate* comparison path.
+    """
+    if is_float and len(raw) in _FLOAT_FORMATS:
+        return struct.unpack(_FLOAT_FORMATS[len(raw)], raw)[0]
+    return int.from_bytes(raw, "little")
+
+
+def encode_value(value: float, length: int, is_float: bool) -> bytes:
+    """Inverse of :func:`decode_value`: produce the raw bytes for a store."""
+    if is_float and length in _FLOAT_FORMATS:
+        return struct.pack(_FLOAT_FORMATS[length], value)
+    return (int(value) % (1 << (8 * length))).to_bytes(length, "little")
+
+
+def values_match(old: bytes, new: bytes, is_float: bool, precision: Optional[float]) -> bool:
+    """Decide whether two raw values are "the same" for redundancy purposes.
+
+    Integer data must match exactly.  Floating-point data matches when the
+    relative difference is within ``precision`` (the paper's tools use 1%);
+    a ``precision`` of ``None`` forces exact comparison even for floats.
+    """
+    if old == new:
+        return True
+    if not is_float or precision is None:
+        return False
+    if len(old) != len(new) or len(old) not in _FLOAT_FORMATS:
+        return False
+    old_value = decode_value(old, True)
+    new_value = decode_value(new, True)
+    if old_value == new_value:
+        return True
+    denominator = max(abs(old_value), abs(new_value))
+    if denominator == 0.0:
+        return True
+    return abs(old_value - new_value) / denominator <= precision

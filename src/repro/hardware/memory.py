@@ -1,0 +1,70 @@
+"""Sparse, paged, byte-addressable simulated memory.
+
+Workloads read and write this memory through the execution machine; Witch
+clients and the exhaustive tools read it to recover values (e.g. SilentCraft
+remembers a location's contents at sample time and compares them on trap).
+
+Pages are materialized lazily so that workloads can use widely-spread
+addresses (stack vs. heap regions) without cost, and ``footprint_bytes``
+reports the resident size used as the denominator of the paper's
+memory-bloat metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+_PAGE_SHIFT = 12
+_PAGE_SIZE = 1 << _PAGE_SHIFT
+_PAGE_MASK = _PAGE_SIZE - 1
+
+
+class SimulatedMemory:
+    """Byte-addressable memory backed by lazily-allocated 4 KiB pages."""
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, page_number: int) -> bytearray:
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[page_number] = page
+        return page
+
+    def write(self, address: int, data: bytes) -> None:
+        """Write raw bytes starting at ``address``."""
+        offset = address & _PAGE_MASK
+        if offset + len(data) <= _PAGE_SIZE:
+            page = self._page(address >> _PAGE_SHIFT)
+            page[offset : offset + len(data)] = data
+            return
+        # Rare slow path: the write straddles a page boundary.
+        for i, byte in enumerate(data):
+            addr = address + i
+            self._page(addr >> _PAGE_SHIFT)[addr & _PAGE_MASK] = byte
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` raw bytes starting at ``address``.
+
+        Untouched memory reads as zeros, like freshly-mapped anonymous pages.
+        """
+        offset = address & _PAGE_MASK
+        if offset + length <= _PAGE_SIZE:
+            page = self._pages.get(address >> _PAGE_SHIFT)
+            if page is None:
+                return bytes(length)
+            return bytes(page[offset : offset + length])
+        chunks = bytearray()
+        for i in range(length):
+            addr = address + i
+            page = self._pages.get(addr >> _PAGE_SHIFT)
+            chunks.append(0 if page is None else page[addr & _PAGE_MASK])
+        return bytes(chunks)
+
+    def footprint_bytes(self) -> int:
+        """Resident size: the number of bytes in materialized pages."""
+        return len(self._pages) * _PAGE_SIZE
+
+    def clear(self) -> None:
+        self._pages.clear()

@@ -1,0 +1,153 @@
+"""Performance monitoring unit with precise (PEBS-style) sampling.
+
+The PMU counts memory accesses of a configured kind and "overflows" every
+``period`` events, producing a :class:`PMUSample` that carries the precise
+effective address, PC, calling context, and the memory contents at the
+sampled location -- the same register-state snapshot Intel PEBS provides.
+
+The paper drives DeadCraft and SilentCraft from MEM_UOPS_RETIRED:ALL_STORES
+and LoadCraft from ALL_LOADS; construct one PMU per client with the matching
+``kinds``.
+
+Section 4.3 notes a PEBS artefact: on some Intel parts a short-latency store
+can be "shadowed" by an overlapping long-latency store, biasing samples
+toward the latter.  ``shadow_bias`` reproduces that artefact so the Figure 4
+outliers (hmmer, calculix) can be exercised; it is off by default.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional
+
+from repro.hardware.events import AccessType, MemoryAccess
+
+#: How many events a shadowed sample may be deferred before the PMU gives up
+#: and samples whatever access comes next (shadowing is a short-range effect).
+_SHADOW_WINDOW = 64
+
+
+@dataclass(frozen=True, slots=True)
+class PMUSample:
+    """One counter overflow: a precise snapshot of the triggering access."""
+
+    access: MemoryAccess
+    value: bytes
+    sequence: int
+
+
+def nearest_prime(n: int) -> int:
+    """The prime closest to ``n`` (ties to the smaller).
+
+    The paper uses the nearest prime to each nominal sampling interval, the
+    recommended practice to avoid lockstep with loop trip counts.
+    """
+    if n < 2:
+        return 2
+
+    def is_prime(candidate: int) -> bool:
+        if candidate < 2:
+            return False
+        if candidate % 2 == 0:
+            return candidate == 2
+        factor = 3
+        while factor * factor <= candidate:
+            if candidate % factor == 0:
+                return False
+            factor += 2
+        return True
+
+    for delta in range(n):
+        if is_prime(n - delta):
+            return n - delta
+        if is_prime(n + delta):
+            return n + delta
+    return 2  # pragma: no cover - unreachable for n >= 2
+
+
+class PMU:
+    """Counts matching accesses; signals an overflow every ``period`` events.
+
+    The CPU calls :meth:`observe` on every access and, when it returns True,
+    builds the sample and invokes the registered handler.  Keeping the
+    decision separate from delivery mirrors the hardware/kernel split and
+    lets the CPU charge signal-delivery cost to the tool, not the program.
+    """
+
+    def __init__(
+        self,
+        period: int,
+        kinds: Iterable[AccessType] = (AccessType.STORE,),
+        shadow_bias: float = 0.0,
+        jitter: int = 0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if period < 1:
+            raise ValueError(f"sampling period must be positive, got {period}")
+        if not 0.0 <= shadow_bias <= 1.0:
+            raise ValueError(f"shadow_bias must be in [0, 1], got {shadow_bias}")
+        if jitter < 0 or jitter >= period:
+            if jitter != 0:
+                raise ValueError(f"jitter must be in [0, period), got {jitter}")
+        self.period = period
+        self.kinds: FrozenSet[AccessType] = frozenset(kinds)
+        if not self.kinds:
+            raise ValueError("PMU must count at least one access kind")
+        self.shadow_bias = shadow_bias
+        #: +/- events of per-overflow threshold randomization.  Real PMU
+        #: interrupts have skid and micro-architectural noise that break
+        #: lockstep with loop trip counts; an exactly-periodic simulated
+        #: counter can alias against a regular workload (the same artefact
+        #: the nearest-prime recommendation addresses), so experiments on
+        #: highly regular programs may enable a small jitter.
+        self.jitter = jitter
+        self._rng = rng or random.Random(0)
+        self._counter = 0
+        self._threshold = period
+        self._deferred_for = 0  # >0: an overflow is waiting for a long-latency access
+        self.events_seen = 0
+        self.samples_taken = 0
+
+    def counts(self, access: MemoryAccess) -> bool:
+        return access.kind in self.kinds
+
+    def observe(self, access: MemoryAccess) -> bool:
+        """Count one access; return True when it should be sampled."""
+        if access.kind not in self.kinds:
+            return False
+        self.events_seen += 1
+
+        if self._deferred_for > 0:
+            # A shadowed overflow is pending: it fires on the next
+            # long-latency access, or when the shadow window closes.
+            self._deferred_for -= 1
+            if access.long_latency or self._deferred_for == 0:
+                self._deferred_for = 0
+                self.samples_taken += 1
+                return True
+            return False
+
+        self._counter += 1
+        if self._counter < self._threshold:
+            return False
+        self._counter = 0
+        if self.jitter:
+            self._threshold = self.period + self._rng.randint(-self.jitter, self.jitter)
+        if (
+            self.shadow_bias > 0.0
+            and access.is_store
+            and not access.long_latency
+            and self._rng.random() < self.shadow_bias
+        ):
+            self._deferred_for = _SHADOW_WINDOW
+            return False
+        self.samples_taken += 1
+        return True
+
+    def reset(self) -> None:
+        self._counter = 0
+        self._threshold = self.period
+        self._deferred_for = 0
+        self.events_seen = 0
+        self.samples_taken = 0

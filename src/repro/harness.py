@@ -1,0 +1,160 @@
+"""One-call runners shared by tests, benchmarks, and examples.
+
+Each function builds a fresh simulated machine, attaches the requested
+tool(s), runs a workload, and returns the reports plus the machine state
+needed for follow-on analysis.  Tool names follow the paper:
+``"deadcraft"``/``"silentcraft"``/``"loadcraft"`` for the sampling clients,
+``"deadspy"``/``"redspy"``/``"loadspy"`` for the exhaustive baselines, and
+the craft<->spy correspondence used by the accuracy experiments is exposed
+as :data:`GROUND_TRUTH_FOR`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.core.client import WitchClient
+from repro.core.deadcraft import DeadCraft
+from repro.core.loadcraft import LoadCraft
+from repro.core.report import InefficiencyReport
+from repro.core.reservoir import ReplacementPolicy
+from repro.core.silentcraft import SilentCraft
+from repro.core.witch import WitchFramework
+from repro.execution.machine import Machine
+from repro.hardware.costmodel import CostModel
+from repro.hardware.cpu import SimulatedCPU
+from repro.instrument.deadspy import DeadSpy
+from repro.instrument.loadspy import LoadSpy
+from repro.instrument.redspy import RedSpy
+from repro.instrument.shadow import ExhaustiveTool
+
+Workload = Callable[[Machine], None]
+
+#: Which exhaustive tool provides ground truth for which sampling client.
+GROUND_TRUTH_FOR: Dict[str, str] = {
+    "deadcraft": "deadspy",
+    "silentcraft": "redspy",
+    "loadcraft": "loadspy",
+}
+
+_EXHAUSTIVE_FACTORIES = {
+    "deadspy": DeadSpy,
+    "redspy": RedSpy,
+    "loadspy": LoadSpy,
+}
+
+
+def make_client(name: str, cpu: SimulatedCPU) -> WitchClient:
+    """Instantiate a witchcraft client by paper name."""
+    if name == "deadcraft":
+        return DeadCraft()
+    if name == "silentcraft":
+        return SilentCraft(cpu)
+    if name == "loadcraft":
+        return LoadCraft(cpu)
+    raise ValueError(f"unknown witchcraft tool {name!r}")
+
+
+@dataclass
+class NativeRun:
+    """A run with no tool attached: the overhead baselines' denominator."""
+
+    cpu: SimulatedCPU
+    machine: Machine
+
+    @property
+    def native_cycles(self) -> float:
+        return self.cpu.ledger.native_cycles
+
+
+@dataclass
+class WitchRun:
+    """One sampling-tool run and everything analyses need from it."""
+
+    report: InefficiencyReport
+    witch: WitchFramework
+    cpu: SimulatedCPU
+    machine: Machine
+
+    @property
+    def fraction(self) -> float:
+        return self.report.redundancy_fraction
+
+
+@dataclass
+class ExhaustiveRun:
+    """One (or several co-resident) exhaustive-tool run(s)."""
+
+    reports: Dict[str, InefficiencyReport]
+    tools: Dict[str, ExhaustiveTool]
+    cpu: SimulatedCPU
+    machine: Machine
+
+    def fraction(self, tool: str) -> float:
+        return self.reports[tool].redundancy_fraction
+
+
+def run_native(workload: Workload, model: Optional[CostModel] = None) -> NativeRun:
+    cpu = SimulatedCPU(model=model)
+    machine = Machine(cpu)
+    workload(machine)
+    return NativeRun(cpu=cpu, machine=machine)
+
+
+def run_witch(
+    workload: Workload,
+    tool: str = "deadcraft",
+    period: int = 101,
+    registers: int = 4,
+    policy: Optional[ReplacementPolicy] = None,
+    proportional_attribution: bool = True,
+    shadow_bias: float = 0.0,
+    period_jitter: int = 0,
+    max_watchpoint_bytes: Optional[int] = None,
+    seed: int = 0,
+    model: Optional[CostModel] = None,
+) -> WitchRun:
+    """Run ``workload`` under one witchcraft tool and return its findings."""
+    cpu = SimulatedCPU(register_count=registers, model=model, rng=random.Random(seed))
+    client = make_client(tool, cpu)
+    witch = WitchFramework(
+        cpu,
+        client,
+        period=period,
+        policy=policy,
+        proportional_attribution=proportional_attribution,
+        shadow_bias=shadow_bias,
+        period_jitter=period_jitter,
+        max_watchpoint_bytes=max_watchpoint_bytes,
+        seed=seed,
+    )
+    machine = Machine(cpu)
+    workload(machine)
+    return WitchRun(report=witch.report(), witch=witch, cpu=cpu, machine=machine)
+
+
+def run_exhaustive(
+    workload: Workload,
+    tools: Tuple[str, ...] = ("deadspy", "redspy", "loadspy"),
+    model: Optional[CostModel] = None,
+) -> ExhaustiveRun:
+    """Run ``workload`` under exhaustive instrumentation.
+
+    Multiple tools may share one run (they observe independently), which is
+    how the accuracy experiments amortize the expensive exhaustive pass;
+    the overhead experiments attach exactly one tool so the cycle ledger
+    is that tool's alone.
+    """
+    cpu = SimulatedCPU(model=model)
+    instances: Dict[str, ExhaustiveTool] = {}
+    for name in tools:
+        factory = _EXHAUSTIVE_FACTORIES.get(name)
+        if factory is None:
+            raise ValueError(f"unknown exhaustive tool {name!r}")
+        instances[name] = factory(cpu)
+    machine = Machine(cpu)
+    workload(machine)
+    reports = {name: instance.report() for name, instance in instances.items()}
+    return ExhaustiveRun(reports=reports, tools=instances, cpu=cpu, machine=machine)

@@ -1,0 +1,21 @@
+"""Exhaustive instrumentation baselines (the paper's ground truth).
+
+DeadSpy, RedSpy, and the authors' LoadSpy monitor *every* memory operation
+through Pin-style instrumentation plus a byte-granular shadow memory.  They
+are the accuracy reference for Figure 4 and the heavyweight column of
+Tables 1-2: 22-185x slowdown and up to 25x memory bloat, versus Witch's
+few percent.
+
+Each tool here attaches to the simulated CPU as an instrumentation
+observer (it sees every access, pre-commit), maintains its shadow state,
+attributes waste/use to calling-context pairs through the same
+:class:`~repro.cct.pairs.ContextPairTable` the Witch clients use, and
+charges the cost model its per-access analysis price.
+"""
+
+from repro.instrument.deadspy import DeadSpy
+from repro.instrument.loadspy import LoadSpy
+from repro.instrument.redspy import RedSpy
+from repro.instrument.shadow import ExhaustiveTool
+
+__all__ = ["DeadSpy", "ExhaustiveTool", "LoadSpy", "RedSpy"]

@@ -1,0 +1,58 @@
+"""LoadSpy: exhaustive load-after-load detection.
+
+The paper had no prior tool to compare LoadCraft against, so the authors
+implemented an exhaustive load-value-redundancy detector; this is our
+rendition.  The shadow cell per byte remembers the last *loaded* value and
+the loading context.  A load whose bytes were all loaded before, and whose
+current value matches the remembered one (approximately, for floats), is
+redundant.  Intervening stores are deliberately not tracked: comparing
+values ignores store sequences that change and then revert the location,
+matching LoadCraft's semantics exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.events import MemoryAccess, values_match
+from repro.instrument.shadow import ExhaustiveTool
+
+
+class LoadSpy(ExhaustiveTool):
+    """Byte shadow: (last loaded value, loading context) per byte."""
+
+    name = "loadspy"
+    cost_attribute = "loadspy_cycles_per_access"
+
+    def __init__(
+        self, cpu, float_precision: Optional[float] = 0.01, burst=None
+    ) -> None:
+        super().__init__(cpu, burst=burst)
+        self.float_precision = float_precision
+
+    def analyze(self, access: MemoryAccess, data: Optional[bytes]) -> None:
+        if not access.is_load:
+            return
+        shadow = self._shadow
+        context = access.context
+        current = self.cpu.memory.read(access.address, access.length)
+
+        previous_context = None
+        remembered = bytearray()
+        loaded_before = True
+        for offset, address in enumerate(range(access.address, access.end)):
+            cell = shadow.get(address)
+            if cell is None:
+                loaded_before = False
+            else:
+                if previous_context is None:
+                    previous_context = cell[1]
+                remembered.append(cell[0])
+            shadow[address] = (current[offset], context)
+
+        if not loaded_before or previous_context is None:
+            return
+        if values_match(bytes(remembered), current, access.is_float, self.float_precision):
+            self.pairs.add_waste(previous_context, context, access.length)
+        else:
+            self.pairs.add_use(previous_context, context, access.length)

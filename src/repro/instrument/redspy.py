@@ -1,0 +1,56 @@
+"""RedSpy: exhaustive silent-store detection (Wen et al., ASPLOS'17).
+
+A store is silent when it writes the value the location already holds.
+The observer runs pre-commit, so current memory *is* the previous value;
+a store is classified only when the location has been stored before
+(matching SilentCraft, which always compares a store *pair*), and whole
+accesses are silent or not atomically, per the paper's granularity
+decision in section 6.4.
+
+The paper disables RedSpy's register-redundancy detection and bursty
+sampling for the ground-truth comparison; this implementation has neither
+to begin with -- it is the memory-store component only.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hardware.events import MemoryAccess, values_match
+from repro.instrument.shadow import ExhaustiveTool
+
+
+class RedSpy(ExhaustiveTool):
+    """Byte shadow: context of the last store; values come from memory."""
+
+    name = "redspy"
+    cost_attribute = "redspy_cycles_per_access"
+
+    def __init__(
+        self, cpu, float_precision: Optional[float] = 0.01, burst=None
+    ) -> None:
+        super().__init__(cpu, burst=burst)
+        self.float_precision = float_precision
+
+    def analyze(self, access: MemoryAccess, data: Optional[bytes]) -> None:
+        if not access.is_store:
+            return
+        shadow = self._shadow
+        context = access.context
+        previous_context = None
+        fully_stored_before = True
+        for address in range(access.address, access.end):
+            cell = shadow.get(address)
+            if cell is None:
+                fully_stored_before = False
+            elif previous_context is None:
+                previous_context = cell
+            shadow[address] = context
+
+        if not fully_stored_before or previous_context is None:
+            return
+        old = self.cpu.memory.read(access.address, access.length)
+        if values_match(old, data, access.is_float, self.float_precision):
+            self.pairs.add_waste(previous_context, context, access.length)
+        else:
+            self.pairs.add_use(previous_context, context, access.length)

@@ -1,0 +1,88 @@
+"""Shared plumbing for the exhaustive tools.
+
+Each exhaustive tool keeps a byte-granular shadow of the program's memory
+(DeadSpy's design): one cell per application byte touched, holding the
+tool-specific state (last operation, last value, owning calling context).
+``tracked_bytes`` feeds the memory-bloat accounting -- shadow size is the
+dominant term in the instrumentation tools' 6-25x bloat.
+
+Bursty sampling (Hirzel & Chilimbi): the paper notes RedSpy/RVN reduce
+their 40-280x exhaustive slowdown to ~12x by periodically enabling and
+disabling monitoring.  Passing ``burst=(on, off)`` makes a tool analyze
+``on`` consecutive accesses out of every ``on + off``; skipped accesses
+still pay a small inline-check residual, and -- the accuracy price --
+transitions that straddle an off window are misclassified or missed.
+(The paper *disables* burstiness for its ground-truth comparisons; so do
+our accuracy experiments.)
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Tuple
+
+from repro.cct.pairs import ContextPairTable
+from repro.core.report import InefficiencyReport
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.events import MemoryAccess
+
+
+class ExhaustiveTool(abc.ABC):
+    """Base for instrumentation observers: per-access analysis + shadow."""
+
+    name = "exhaustive"
+    #: Per-access analysis cost, looked up on the cost model by attribute
+    #: name (e.g. ``"deadspy_cycles_per_access"``).
+    cost_attribute = ""
+
+    def __init__(self, cpu: SimulatedCPU, burst: Optional[Tuple[int, int]] = None) -> None:
+        if burst is not None:
+            on, off = burst
+            if on < 1 or off < 0:
+                raise ValueError(f"burst must be (on >= 1, off >= 0), got {burst}")
+        self.cpu = cpu
+        self.burst = burst
+        self._burst_position = 0
+        self.pairs = ContextPairTable()
+        self._shadow: dict = {}
+        cpu.add_observer(self)
+
+    @property
+    def tracked_bytes(self) -> int:
+        """Distinct application bytes with live shadow state."""
+        return len(self._shadow)
+
+    def _charge(self, access: MemoryAccess) -> None:
+        model = self.cpu.model
+        per_access = getattr(model, self.cost_attribute)
+        depth = getattr(access.context, "depth", 0)
+        self.cpu.ledger.charge_tool(
+            per_access
+            + model.shadow_cycles_per_byte * access.length
+            + model.context_cycles_per_frame * depth,
+            "instrumented_access",
+        )
+
+    def observe(self, access: MemoryAccess, data: Optional[bytes]) -> None:
+        if self.burst is not None:
+            on, off = self.burst
+            position = self._burst_position
+            self._burst_position = (position + 1) % (on + off)
+            if position >= on:
+                # Monitoring disabled: only the inline burst check runs.
+                self.cpu.ledger.charge_tool(
+                    self.cpu.model.bursty_residual_cycles_per_access, "burst_skipped"
+                )
+                return
+        self._charge(access)
+        self.analyze(access, data)
+
+    @abc.abstractmethod
+    def analyze(self, access: MemoryAccess, data: Optional[bytes]) -> None:
+        """Tool-specific shadow update and waste/use classification."""
+
+    def redundancy_fraction(self) -> float:
+        return self.pairs.redundancy_fraction()
+
+    def report(self) -> InefficiencyReport:
+        return InefficiencyReport(tool=self.name, pairs=self.pairs, period=1)

@@ -1,0 +1,88 @@
+"""Reference numbers from the paper, for paper-vs-measured reporting.
+
+These are *labels on the axes*, not inputs to any computation: benchmarks
+print them next to the measured values so EXPERIMENTS.md can record how
+closely each experiment's shape reproduces.  Values were transcribed from
+the paper's Tables 1-3 and evaluation text (section 7); Figure 4/5 bar
+heights are not recoverable from the text, so only their qualitative
+claims appear here.
+"""
+
+from __future__ import annotations
+
+#: Table 1 aggregate slowdowns (geomean across SPEC CPU2006).
+TABLE1_GEOMEAN_SLOWDOWN = {
+    "deadspy": 30.82,
+    "redspy": 26.42,  # fine-grained RedSpy without bursty sampling
+    "loadspy": 57.1,  # table's LoadSpy row (values vary 15-185x)
+    "deadcraft": 1.02,
+    "silentcraft": 1.02,
+    "loadcraft": 1.13,
+}
+
+#: Table 1 aggregate memory bloats (geomean).
+TABLE1_GEOMEAN_BLOAT = {
+    "deadspy": 9.87,
+    "redspy": 8.58,
+    "loadspy": 13.52,
+    "deadcraft": 1.23,
+    "silentcraft": 1.24,
+    "loadcraft": 1.33,
+}
+
+#: Table 2: geomean slowdown at each sampling period (events/sample).
+TABLE2_SLOWDOWN = {
+    "deadcraft": {100_000_000: 1.01, 10_000_000: 1.01, 5_000_000: 1.02, 1_000_000: 1.05, 500_000: 1.08},
+    "silentcraft": {100_000_000: 1.01, 10_000_000: 1.01, 5_000_000: 1.02, 1_000_000: 1.05, 500_000: 1.08},
+    "loadcraft": {100_000_000: 1.07, 10_000_000: 1.16, 5_000_000: 1.21, 1_000_000: 1.43, 500_000: 1.74},
+}
+
+#: Table 2: geomean memory bloat at each sampling period.
+TABLE2_BLOAT = {
+    "deadcraft": {100_000_000: 1.11, 10_000_000: 1.17, 5_000_000: 1.21, 1_000_000: 1.40, 500_000: 1.50},
+    "silentcraft": {100_000_000: 1.11, 10_000_000: 1.17, 5_000_000: 1.22, 1_000_000: 1.39, 500_000: 1.50},
+    "loadcraft": {100_000_000: 1.14, 10_000_000: 1.27, 5_000_000: 1.35, 1_000_000: 1.61, 500_000: 1.74},
+}
+
+#: Table 3: whole-program speedups after eliminating the reported defect.
+TABLE3_SPEEDUPS = {
+    "nwchem-6.3": 1.43,
+    "caffe-1.0": 1.06,
+    "binutils-2.27": 10.0,
+    "imagick-367": 1.6,
+    "kallisto-0.43": 4.1,
+    "vacation": 1.31,
+    "lbm": 1.25,
+}
+
+#: Section 7's run-to-run stability: max stddev (percentage points) over
+#: 10 runs at the 5M period.
+STABILITY_MAX_STDDEV_PERCENT = {
+    "deadcraft": 2.27,
+    "silentcraft": 1.89,
+    "loadcraft": 0.77,
+}
+
+#: Section 4.1's blind-spot measurements on SPEC CPU2006.
+BLINDSPOT_TYPICAL_FRACTION = 0.0002  # "< 0.02% of the total samples"
+BLINDSPOT_WORST_FRACTION = 0.005  # "0.5% ... mcf"
+BLINDSPOT_WORST_BENCHMARK = "mcf"
+
+#: Figure 2's attribution claims.
+FIGURE2_PROPORTIONAL = {"a": 0.50, "b": 1 / 3, "x": 1 / 6}
+FIGURE2_WITHOUT = {"a": 0.05, "b": 0.02, "x": 0.93}
+FIGURE2_RANDOM_X_SHARE = 1.0  # "100% samples get attributed to <16,17>"
+
+#: Section 7: FP comparison precision used by the value tools.
+FLOAT_PRECISION = 0.01
+
+#: Section 8.1: NWChem headline numbers.
+NWCHEM_DEAD_FRACTION = 0.60  # "more than 60% of memory stores are dead"
+NWCHEM_TOP_PAIR_SHARE = 0.94  # dfill pair's contribution to dead writes
+
+#: Section 8.3 / 8.4 / 8.5 headline redundancy fractions.
+BINUTILS_REDUNDANT_LOADS = 0.96
+IMAGICK_REDUNDANT_LOADS = 0.99
+KALLISTO_REDUNDANT_LOADS = 0.98
+CAFFE_SILENT_STORES = 0.25  # of total memory stores
+LBM_ACCURACY_LOSS = 7.7e-7  # "7.7e-5 %" after loop perforation

@@ -1,0 +1,172 @@
+"""Self-contained HTML reports (an hpcviewer-lite).
+
+HPCToolkit ships a graphical viewer that navigates the calling context
+tree ordered by the monitored metrics (section 6.5); this module renders
+the equivalent single-file HTML page for one :class:`InefficiencyReport`:
+
+- a summary header (tool, Equation 1 fraction, sample/trap counts),
+- the top synthetic chains (``...->KILLED_BY->...``), most wasteful first,
+- a collapsible top-down calling-context tree with per-node waste shares,
+- the raw pair table.
+
+The output has no external dependencies -- inline CSS, ``<details>``
+elements for the tree -- so it can be attached to a CI run or emailed.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List
+
+from repro.core.report import InefficiencyReport
+
+_PAGE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font-family: -apple-system, "Segoe UI", sans-serif; margin: 2rem auto;
+         max-width: 72rem; color: #1a1a2e; }}
+  h1 {{ font-size: 1.4rem; }}
+  .summary {{ display: flex; gap: 2rem; margin: 1rem 0; }}
+  .stat {{ background: #f4f4f8; border-radius: 8px; padding: .8rem 1.2rem; }}
+  .stat b {{ display: block; font-size: 1.3rem; }}
+  .chain {{ font-family: ui-monospace, monospace; font-size: .85rem; }}
+  .join {{ color: #c0392b; font-weight: 600; }}
+  .share {{ color: #2c6e49; font-weight: 600; }}
+  table {{ border-collapse: collapse; font-size: .85rem; }}
+  th, td {{ border: 1px solid #ddd; padding: .3rem .6rem; text-align: left; }}
+  th {{ background: #f4f4f8; }}
+  details {{ margin-left: 1.2rem; }}
+  summary {{ cursor: pointer; font-family: ui-monospace, monospace; font-size: .85rem; }}
+  .bar {{ display: inline-block; height: .6rem; background: #6c8ebf; border-radius: 3px;
+         vertical-align: middle; margin-right: .4rem; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<div class="summary">{stats}</div>
+<h2>Top redundancy chains</h2>
+{chains}
+<h2>Waste by calling context</h2>
+{tree}
+<h2>All context pairs</h2>
+{table}
+</body>
+</html>
+"""
+
+
+def _stat(label: str, value: str) -> str:
+    return f'<div class="stat"><b>{html.escape(value)}</b>{html.escape(label)}</div>'
+
+
+def _chain_html(chain: str, share: float) -> str:
+    parts = []
+    for hop in chain.split("->"):
+        escaped = html.escape(hop)
+        if hop.isupper() and "_" in hop:  # the synthetic join node
+            parts.append(f'<span class="join">{escaped}</span>')
+        else:
+            parts.append(escaped)
+    return (
+        f'<div class="chain"><span class="share">{100 * share:5.1f}%</span> '
+        + " &rarr; ".join(parts)
+        + "</div>"
+    )
+
+
+class _TreeNode:
+    __slots__ = ("frame", "waste", "children")
+
+    def __init__(self, frame: str) -> None:
+        self.frame = frame
+        self.waste = 0.0
+        self.children: Dict[str, "_TreeNode"] = {}
+
+
+def _build_tree(report: InefficiencyReport) -> _TreeNode:
+    root = _TreeNode("<program>")
+    for (watch, _trap), metrics in report.pairs:
+        if metrics.waste <= 0:
+            continue
+        frames = getattr(watch, "frames", None)
+        path = frames() if callable(frames) else [str(watch)]
+        node = root
+        node.waste += metrics.waste
+        for frame in path:
+            child = node.children.get(frame)
+            if child is None:
+                child = _TreeNode(frame)
+                node.children[frame] = child
+            node = child
+            node.waste += metrics.waste
+    return root
+
+
+def _tree_html(node: _TreeNode, total: float, min_share: float) -> str:
+    pieces: List[str] = []
+    for child in sorted(node.children.values(), key=lambda n: -n.waste):
+        share = child.waste / total if total else 0.0
+        if share < min_share:
+            continue
+        label = (
+            f'<span class="bar" style="width:{max(2, int(160 * share))}px"></span>'
+            f"{100 * share:5.1f}%  {html.escape(child.frame)}"
+        )
+        inner = _tree_html(child, total, min_share)
+        if inner:
+            pieces.append(f"<details open><summary>{label}</summary>{inner}</details>")
+        else:
+            pieces.append(f'<div class="chain" style="margin-left:1.2rem">{label}</div>')
+    return "".join(pieces)
+
+
+def _pairs_table(report: InefficiencyReport, limit: int) -> str:
+    rows = sorted(report.pairs, key=lambda item: -item[1].total)[:limit]
+    cells = [
+        "<tr><th>watch context</th><th>trap context</th>"
+        "<th>waste</th><th>use</th><th>events</th></tr>"
+    ]
+    for (watch, trap), metrics in rows:
+        watch_path = getattr(watch, "path", lambda: str(watch))()
+        trap_path = getattr(trap, "path", lambda: str(trap))()
+        cells.append(
+            f"<tr><td>{html.escape(watch_path)}</td><td>{html.escape(trap_path)}</td>"
+            f"<td>{metrics.waste:.0f}</td><td>{metrics.use:.0f}</td>"
+            f"<td>{metrics.events}</td></tr>"
+        )
+    return "<table>" + "".join(cells) + "</table>"
+
+
+def render_html(
+    report: InefficiencyReport,
+    title: str = "",
+    coverage: float = 0.9,
+    min_share: float = 0.01,
+    max_pairs: int = 100,
+) -> str:
+    """Render one report as a standalone HTML page."""
+    title = title or f"Witch report — {report.tool}"
+    stats = "".join(
+        [
+            _stat("redundancy (Eq. 1)", f"{100 * report.redundancy_fraction:.1f}%"),
+            _stat("PMU samples", str(report.samples)),
+            _stat("monitored", str(report.monitored)),
+            _stat("watchpoint traps", str(report.traps)),
+            _stat("sampling period", str(report.period)),
+        ]
+    )
+    chains = "".join(
+        _chain_html(chain, share) for chain, share in report.top_chains(coverage)
+    ) or "<p>no waste recorded</p>"
+    tree_root = _build_tree(report)
+    tree = _tree_html(tree_root, tree_root.waste, min_share) or "<p>no waste recorded</p>"
+    table = _pairs_table(report, max_pairs)
+    return _PAGE.format(title=html.escape(title), stats=stats, chains=chains, tree=tree, table=table)
+
+
+def save_html(report: InefficiencyReport, path: str, **kwargs) -> None:
+    with open(path, "w") as stream:
+        stream.write(render_html(report, **kwargs))

@@ -1,0 +1,185 @@
+"""Record and replay memory-access traces.
+
+The paper's tools monitor live executions, but a simulated substrate makes
+traces first-class: record a workload's access stream once, then replay it
+under any tool, any sampling configuration, any number of times -- exact
+reproducibility across machines, and a path for importing traces produced
+elsewhere (e.g. converted Pin or DynamoRIO logs).
+
+Format: one JSON object per line (JSONL), with a header line carrying the
+format version.  Each record holds the access kind, address, raw bytes
+(stores), pc, calling-context frames, thread id, and flags -- everything a
+replayed access needs to be indistinguishable from the original to every
+tool in this package.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import IO, Iterable, List, Optional, Sequence, Union
+
+from repro.execution.machine import Machine
+from repro.hardware.events import MemoryAccess
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded access, self-contained and JSON-serializable."""
+
+    kind: str  # "load" | "store"
+    address: int
+    length: int
+    pc: str
+    frames: Sequence[str]  # calling-context frames, root to instruction
+    thread_id: int = 0
+    is_float: bool = False
+    long_latency: bool = False
+    data: Optional[str] = None  # hex bytes for stores
+
+    def to_json(self) -> str:
+        payload = {
+            "k": self.kind,
+            "a": self.address,
+            "l": self.length,
+            "pc": self.pc,
+            "f": list(self.frames),
+        }
+        if self.thread_id:
+            payload["t"] = self.thread_id
+        if self.is_float:
+            payload["fl"] = 1
+        if self.long_latency:
+            payload["ll"] = 1
+        if self.data is not None:
+            payload["d"] = self.data
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        payload = json.loads(line)
+        return cls(
+            kind=payload["k"],
+            address=payload["a"],
+            length=payload["l"],
+            pc=payload["pc"],
+            frames=tuple(payload["f"]),
+            thread_id=payload.get("t", 0),
+            is_float=bool(payload.get("fl", 0)),
+            long_latency=bool(payload.get("ll", 0)),
+            data=payload.get("d"),
+        )
+
+
+class TraceRecorder:
+    """An instrumentation observer that captures every access.
+
+    Attach before running the workload::
+
+        cpu = SimulatedCPU()
+        recorder = TraceRecorder(cpu)
+        workload(Machine(cpu))
+        recorder.save("run.trace")
+    """
+
+    def __init__(self, cpu) -> None:
+        self.records: List[TraceRecord] = []
+        cpu.add_observer(self)
+
+    def observe(self, access: MemoryAccess, data: Optional[bytes]) -> None:
+        frames = getattr(access.context, "frames", None)
+        frame_list = tuple(frames()) if callable(frames) else (str(access.context),)
+        # The machine appends the pc as the context leaf; store the frames
+        # above it so replay can rebuild the identical context.
+        if frame_list and frame_list[-1] == access.pc:
+            frame_list = frame_list[:-1]
+        self.records.append(
+            TraceRecord(
+                kind=access.kind.value,
+                address=access.address,
+                length=access.length,
+                pc=access.pc,
+                frames=frame_list,
+                thread_id=access.thread_id,
+                is_float=access.is_float,
+                long_latency=access.long_latency,
+                data=data.hex() if data is not None else None,
+            )
+        )
+
+    def save(self, path: PathLike) -> None:
+        with open(path, "w") as stream:
+            write_trace(self.records, stream)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def write_trace(records: Iterable[TraceRecord], stream: IO[str]) -> None:
+    stream.write(json.dumps({"format": "repro-trace", "version": FORMAT_VERSION}) + "\n")
+    for record in records:
+        stream.write(record.to_json() + "\n")
+
+
+def read_trace(path: PathLike) -> List[TraceRecord]:
+    with open(path) as stream:
+        header_line = stream.readline()
+        header = json.loads(header_line) if header_line.strip() else {}
+        if header.get("format") != "repro-trace":
+            raise ValueError(f"{path}: not a repro trace file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace version {header.get('version')!r}"
+            )
+        return [TraceRecord.from_json(line) for line in stream if line.strip()]
+
+
+def replay(records: Sequence[TraceRecord]):
+    """Build a workload that re-executes a recorded access stream.
+
+    The replayed run is access-for-access identical: same addresses,
+    values, contexts, threads, and ordering -- so any tool produces the
+    same findings it would have on the original execution.
+    """
+
+    def workload(machine: Machine) -> None:
+        for record in records:
+            thread = machine.thread(record.thread_id)
+            context = machine.tree.root
+            for frame in record.frames:
+                context = context.child(frame)
+            # Bypass the frame stack: contexts come from the trace.
+            full_context = context.child(record.pc)
+            if record.kind == "store":
+                if record.data is None:
+                    raise ValueError("store record without data")
+                machine.cpu.store(
+                    record.address,
+                    bytes.fromhex(record.data),
+                    record.pc,
+                    full_context,
+                    record.thread_id,
+                    record.is_float,
+                    record.long_latency,
+                )
+            else:
+                machine.cpu.load(
+                    record.address,
+                    record.length,
+                    record.pc,
+                    full_context,
+                    record.thread_id,
+                    record.is_float,
+                )
+
+    return workload
+
+
+def replay_file(path: PathLike):
+    """Convenience: :func:`replay` over :func:`read_trace`."""
+    return replay(read_trace(path))

@@ -1,0 +1,40 @@
+"""Workloads: the programs the experiments run.
+
+- :mod:`repro.workloads.microbench` -- the paper's didactic kernels
+  (Listings 1-3, the Figure 2 attribution program, an adversary stream).
+- :mod:`repro.workloads.spec` -- a synthetic SPEC CPU2006-like suite with
+  per-benchmark inefficiency profiles, used by the Figure 4/5 and
+  Table 1/2 experiments.
+- :mod:`repro.workloads.casestudies` -- miniature re-implementations of
+  the section 8 case studies (NWChem, Caffe, binutils, imagick, kallisto,
+  vacation, lbm), each with the reported defect and its fix.
+
+A workload is any callable taking a :class:`repro.execution.Machine`.
+"""
+
+from repro.workloads.microbench import (
+    FIGURE2_EXPECTED,
+    FIGURE2_GROUPS,
+    adversary_program,
+    figure2_program,
+    listing1_gcc_program,
+    listing2_program,
+    listing3_program,
+)
+from repro.workloads.patterns import PhaseBuilder, WorkloadBuilder
+from repro.workloads.spec import SPEC_SUITE, BenchmarkSpec, workload_for
+
+__all__ = [
+    "BenchmarkSpec",
+    "FIGURE2_EXPECTED",
+    "FIGURE2_GROUPS",
+    "PhaseBuilder",
+    "SPEC_SUITE",
+    "adversary_program",
+    "figure2_program",
+    "listing1_gcc_program",
+    "listing2_program",
+    "WorkloadBuilder",
+    "listing3_program",
+    "workload_for",
+]

@@ -1,0 +1,140 @@
+"""Section 8 case studies: real defects, real fixes, measured speedups.
+
+Each module in this package is a miniature of one application the paper
+profiled, containing the *same* inefficiency (down to the data-structure
+choice) and the *same* fix the authors applied.  A case study provides:
+
+- ``baseline``  -- the workload with the defect,
+- ``optimized`` -- the workload after the paper's fix,
+- a :class:`CaseStudy` record naming the tool that finds the defect, the
+  expected redundancy signature, and the paper's reported speedup.
+
+``run_case_study`` ties it together: profile the baseline with the right
+witchcraft tool (checking the top context pair points at the defect), then
+compare native cycle counts of baseline vs. optimized -- the simulator's
+equivalent of the paper's whole-program wall-clock speedups (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.core.report import InefficiencyReport
+from repro.execution.machine import Machine
+from repro.harness import run_native, run_witch
+
+Workload = Callable[[Machine], None]
+
+
+@dataclass(frozen=True)
+class CaseStudy:
+    """One Table 3 row."""
+
+    name: str
+    tool: str
+    defect: str
+    paper_speedup: float
+    baseline: Workload
+    optimized: Workload
+    #: A substring expected in the top waste pair's call chain -- the
+    #: "pinpointing" check (e.g. ``"dfill"``).
+    hotspot: str
+    #: Minimum redundancy fraction the tool should report on the baseline.
+    min_fraction: float
+    period: int = 101
+
+
+@dataclass
+class CaseStudyResult:
+    case: CaseStudy
+    report: InefficiencyReport
+    top_chain: str
+    measured_speedup: float
+
+    @property
+    def fraction(self) -> float:
+        return self.report.redundancy_fraction
+
+    @property
+    def pinpointed(self) -> bool:
+        return self.case.hotspot in self.top_chain
+
+    def render(self) -> str:
+        return (
+            f"{self.case.name}: {self.case.defect}\n"
+            f"  {self.case.tool} redundancy {100 * self.fraction:.1f}% "
+            f"(expected >= {100 * self.case.min_fraction:.0f}%)\n"
+            f"  top pair: {self.top_chain}\n"
+            f"  speedup after fix: {self.measured_speedup:.2f}x "
+            f"(paper: {self.case.paper_speedup:.2f}x)"
+        )
+
+
+def run_case_study(case: CaseStudy, seed: int = 7) -> CaseStudyResult:
+    """Profile the baseline, then measure the fix's native speedup."""
+    profiled = run_witch(case.baseline, tool=case.tool, period=case.period, seed=seed)
+    chains = profiled.report.top_chains(coverage=0.5)
+    top_chain = chains[0][0] if chains else "<none>"
+
+    before = run_native(case.baseline).native_cycles
+    after = run_native(case.optimized).native_cycles
+    speedup = before / after if after else float("inf")
+
+    return CaseStudyResult(
+        case=case,
+        report=profiled.report,
+        top_chain=top_chain,
+        measured_speedup=speedup,
+    )
+
+
+def _registry() -> Dict[str, CaseStudy]:
+    from repro.workloads.casestudies import (
+        backprop_adjust,
+        binutils,
+        botsspar_fwd,
+        bzip2_maingtu,
+        caffe,
+        chombo_polytropic,
+        gcc_cselib,
+        h264ref_mvsearch,
+        hmmer_viterbi,
+        imagick,
+        kallisto,
+        lavamd_kernel,
+        lbm,
+        nwchem,
+        povray_csg,
+        smb_msgrate,
+        vacation,
+    )
+
+    cases = [
+        # The four detailed studies of sections 8.1-8.4...
+        nwchem.CASE,
+        caffe.CASE,
+        binutils.CASE,
+        imagick.CASE,
+        # ...the further optimizations of section 8.5...
+        kallisto.CASE,
+        vacation.CASE,
+        lbm.CASE,
+        # ...and the remaining Table 3 rows.
+        gcc_cselib.CASE,
+        bzip2_maingtu.CASE,
+        hmmer_viterbi.CASE,
+        h264ref_mvsearch.CASE,
+        povray_csg.CASE,
+        chombo_polytropic.CASE,
+        botsspar_fwd.CASE,
+        smb_msgrate.CASE,
+        backprop_adjust.CASE,
+        lavamd_kernel.CASE,
+    ]
+    return {case.name: case for case in cases}
+
+
+CASE_STUDIES: Dict[str, CaseStudy] = _registry()
+
+__all__ = ["CASE_STUDIES", "CaseStudy", "CaseStudyResult", "run_case_study"]

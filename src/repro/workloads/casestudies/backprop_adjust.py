@@ -1,0 +1,89 @@
+"""Rodinia backprop ``bpnn_adjust_weights`` (Table 3): redundant computation.
+
+The weight-adjustment pass computes ``w[k][j] += momentum * old + rate *
+delta`` for every connection, but most deltas are (near) zero after the
+early epochs: the store writes back the value already there.  SilentCraft
+flags the kernel; skipping the no-op updates gives 1.20x.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_HIDDEN = 16
+_OUTPUT = 24
+_EPOCHS = 10
+_ZERO_EVERY = 5  # 1 in 5 output units has a dead (zero) delta
+_PC_STORE = "backprop.c:bpnn_adjust_weights"
+
+
+def _delta(j: int, epoch: int) -> float:
+    if (j + epoch) % _ZERO_EVERY == 0:
+        return 0.0
+    return 0.125 / (epoch + 1)
+
+
+def _setup(m: Machine):
+    weights = m.alloc(_HIDDEN * _OUTPUT * 8, "w")
+    units = m.alloc(_HIDDEN * 8, "ly")
+    with m.function("bpnn_create"):
+        for i in range(_HIDDEN * _OUTPUT):
+            m.store_float(weights + 8 * i, 0.5 + (i % 9) * 0.05, pc="backprop.c:randomize")
+        for i in range(_HIDDEN):
+            m.store_float(units + 8 * i, 0.3 + i * 0.01, pc="backprop.c:layer")
+    return weights, units
+
+
+def _adjust(m: Machine, weights: int, units: int, epoch: int, skip_zero: bool) -> None:
+    with m.function("bpnn_adjust_weights"):
+        for j in range(_OUTPUT):
+            delta = _delta(j, epoch)
+            if skip_zero and delta == 0.0:
+                continue  # the fix: a zero delta changes nothing
+            for k in range(_HIDDEN):
+                unit = m.load_float(units + 8 * k, pc="backprop.c:unit")
+                slot = weights + 8 * (k * _OUTPUT + j)
+                current = m.load_float(slot, pc="backprop.c:w_old")
+                m.store_float(slot, current + delta * unit, pc=_PC_STORE)
+
+
+def _feed_forward(m: Machine, weights: int, units: int, epoch: int) -> None:
+    with m.function("bpnn_layerforward"):
+        total = 0.0
+        for k in range(_HIDDEN):
+            unit = m.load_float(units + 8 * k, pc="backprop.c:ff_unit")
+            for j in range(0, _OUTPUT, 3):
+                total += unit * m.load_float(
+                    weights + 8 * (k * _OUTPUT + j), pc="backprop.c:ff_w"
+                )
+        m.store_float(units, 0.3 + (total % 7) * 0.01, pc="backprop.c:ff_out")
+
+
+def _run(m: Machine, skip_zero: bool) -> None:
+    with m.function("main"):
+        weights, units = _setup(m)
+        for epoch in range(_EPOCHS):
+            _feed_forward(m, weights, units, epoch)
+            _adjust(m, weights, units, epoch, skip_zero)
+
+
+def baseline(m: Machine) -> None:
+    _run(m, skip_zero=False)
+
+
+def optimized(m: Machine) -> None:
+    _run(m, skip_zero=True)
+
+
+CASE = CaseStudy(
+    name="backprop",
+    tool="silentcraft",
+    defect="weight updates with zero deltas store back unchanged values",
+    paper_speedup=1.20,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="bpnn_adjust_weights",
+    min_fraction=0.40,
+    period=53,
+)

@@ -1,0 +1,126 @@
+"""GNU Binutils 2.27 (section 8.3): linear search in DWARF line lookup.
+
+``objdump -d -S -l`` maps every disassembled address to a function by
+linearly scanning ``lookup_address_in_function_table``'s linked list of
+functions, re-loading the same ``arange->low``/``arange->high`` fields for
+every query.  LoadCraft flagged 96% of the program's loads as redundant,
+70% on the range-check line (dwarf2.c:1561) -- a red flag for an
+algorithmic deficiency.  The fix (adopted upstream) replaces the list with
+a sorted array and binary search: a 10x speedup.
+
+The miniature builds the actual data structures in simulated memory: a
+linked list of (low, high, next) records for the baseline, a sorted
+(low, high) array for the fix, and runs the same address-lookup stream
+over both.  The speedup emerges from the access counts, not a constant.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_FUNCTIONS = 640  # functions in the disassembled object (LULESH has many)
+_LOOKUPS = 48  # disassembled addresses resolved
+_SPAN = 64  # address bytes covered per function
+_PC_RANGE_CHECK = "dwarf2.c:1561"
+_OTHER_WORK = 160  # non-lookup disassembly work per address (insn decode)
+
+
+def _build_function_list(m: Machine) -> int:
+    """The baseline's linked list: nodes of (low, high, next) in memory."""
+    node_bytes = 24
+    head = m.alloc(_FUNCTIONS * node_bytes, "function_table")
+    with m.function("parse_comp_unit"):
+        for i in range(_FUNCTIONS):
+            node = head + i * node_bytes
+            low = 0x400000 + i * _SPAN
+            next_node = node + node_bytes if i + 1 < _FUNCTIONS else 0
+            m.store_int(node, low, pc="dwarf2.c:create_low")
+            m.store_int(node + 8, low + _SPAN, pc="dwarf2.c:create_high")
+            m.store_int(node + 16, next_node, pc="dwarf2.c:create_next")
+    return head
+
+
+def _build_sorted_array(m: Machine) -> int:
+    """The fix's sorted array of (low, high) pairs."""
+    entry_bytes = 16
+    table = m.alloc(_FUNCTIONS * entry_bytes, "function_array")
+    with m.function("build_sorted_table"):
+        for i in range(_FUNCTIONS):
+            low = 0x400000 + i * _SPAN
+            m.store_int(table + i * entry_bytes, low, pc="dwarf2.c:sorted_low")
+            m.store_int(table + i * entry_bytes + 8, low + _SPAN, pc="dwarf2.c:sorted_high")
+    return table
+
+
+def _query_addresses():
+    """Addresses objdump resolves, spread over the text section."""
+    for q in range(_LOOKUPS):
+        yield 0x400000 + (q * 131) % (_FUNCTIONS * _SPAN)
+
+
+def _decode_instruction(m: Machine, scratch: int, q: int) -> None:
+    """The rest of objdump's per-address work (opcode tables and the like)."""
+    with m.function("print_insn"):
+        for i in range(_OTHER_WORK):
+            m.load_int(scratch + 8 * ((q * 17 + i) % 256), pc="i386-dis.c:opcode")
+
+
+def baseline(m: Machine) -> None:
+    """Linear scan of the whole list for every lookup (no early exit: the
+    code keeps searching for the *best* fit, as the paper's Listing 5
+    shows)."""
+    with m.function("main"):
+        head = _build_function_list(m)
+        scratch = m.alloc(256 * 8, "opcode_tables")
+        with m.function("slurp_symtab"):
+            for i in range(256):
+                m.store_int(scratch + 8 * i, i * 3, pc="objdump.c:symtab")
+        with m.function("disassemble_data"):
+            for q, addr in enumerate(_query_addresses()):
+                with m.function("lookup_address_in_function_table"):
+                    node = head
+                    while node:
+                        low = m.load_int(node, pc=_PC_RANGE_CHECK)
+                        high = m.load_int(node + 8, pc=_PC_RANGE_CHECK)
+                        if low <= addr < high:
+                            pass  # remember best_fit, keep scanning
+                        node = m.load_int(node + 16, pc="dwarf2.c:next")
+                _decode_instruction(m, scratch, q)
+
+
+def optimized(m: Machine) -> None:
+    """Binary search over the sorted array: the upstream fix."""
+    with m.function("main"):
+        table = _build_sorted_array(m)
+        scratch = m.alloc(256 * 8, "opcode_tables")
+        with m.function("slurp_symtab"):
+            for i in range(256):
+                m.store_int(scratch + 8 * i, i * 3, pc="objdump.c:symtab")
+        with m.function("disassemble_data"):
+            for q, addr in enumerate(_query_addresses()):
+                with m.function("lookup_address_binary_search"):
+                    lo, hi = 0, _FUNCTIONS - 1
+                    while lo <= hi:
+                        mid = (lo + hi) // 2
+                        low = m.load_int(table + mid * 16, pc="dwarf2.c:bsearch_low")
+                        high = m.load_int(table + mid * 16 + 8, pc="dwarf2.c:bsearch_high")
+                        if addr < low:
+                            hi = mid - 1
+                        elif addr >= high:
+                            lo = mid + 1
+                        else:
+                            break
+                _decode_instruction(m, scratch, q)
+
+
+CASE = CaseStudy(
+    name="binutils-2.27",
+    tool="loadcraft",
+    defect="linear search over a linked list of function address ranges",
+    paper_speedup=10.0,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="lookup_address_in_function_table",
+    min_fraction=0.80,
+)

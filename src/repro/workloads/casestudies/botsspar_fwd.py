@@ -1,0 +1,75 @@
+"""SPEC OMP2012 botsspar ``sparselu.c:fwd`` (Table 3): redundant computation.
+
+The forward-substitution kernel computes, for each column j of a target
+block, ``target[i][j] -= diag[i][k] * target[k][j]`` over all k < i.  The
+factor ``target[k][j]`` is invariant across the i loop, yet the code
+re-loads it for every (i, k) pair -- the redundant loads LoadCraft
+surfaced.  Hoisting the column slice out of the inner loop gives 1.15x.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_BLOCK = 10  # block dimension (10x10 sub-matrices)
+_BLOCKS = 10  # blocks processed per run
+_PC_FACTOR = "sparselu.c:fwd"
+
+
+def _setup(m: Machine):
+    diag = m.alloc(_BLOCK * _BLOCK * 8, "diag")
+    target = m.alloc(_BLOCK * _BLOCK * 8, "target")
+    with m.function("genmat"):
+        for i in range(_BLOCK * _BLOCK):
+            m.store_int(diag + 8 * i, (i * 13) % 89 + 1, pc="sparselu.c:genmat")
+            m.store_int(target + 8 * i, (i * 7) % 97 + 1, pc="sparselu.c:genmat")
+    return diag, target
+
+
+def _fwd(m: Machine, diag: int, target: int, hoisted: bool) -> None:
+    with m.function("fwd"):
+        for _ in range(_BLOCKS):
+            for j in range(_BLOCK):
+                factor_cache = None
+                if hoisted:
+                    # The fix: target[k][j] read once per (j, k), not per i.
+                    factor_cache = [
+                        m.load_int(target + 8 * (k * _BLOCK + j), pc="sparselu.c:fwd_hoisted")
+                        for k in range(_BLOCK)
+                    ]
+                for k in range(_BLOCK):
+                    for i in range(k + 1, _BLOCK):
+                        lik = m.load_int(diag + 8 * (i * _BLOCK + k), pc="sparselu.c:lik")
+                        if hoisted:
+                            factor = factor_cache[k]
+                        else:
+                            # Invariant across i, re-loaded every iteration.
+                            factor = m.load_int(target + 8 * (k * _BLOCK + j), pc=_PC_FACTOR)
+                        slot = target + 8 * (i * _BLOCK + j)
+                        current = m.load_int(slot, pc="sparselu.c:acc")
+                        m.store_int(slot, current - (lik * factor) % 1009, pc="sparselu.c:store")
+
+
+def baseline(m: Machine) -> None:
+    with m.function("main"):
+        diag, target = _setup(m)
+        _fwd(m, diag, target, hoisted=False)
+
+
+def optimized(m: Machine) -> None:
+    with m.function("main"):
+        diag, target = _setup(m)
+        _fwd(m, diag, target, hoisted=True)
+
+
+CASE = CaseStudy(
+    name="botsspar",
+    tool="loadcraft",
+    defect="inner loop re-loads the i-invariant target[k][j] factor",
+    paper_speedup=1.15,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="fwd",
+    min_fraction=0.40,
+)

@@ -1,0 +1,79 @@
+"""SPEC bzip2 ``blocksort.c:mainGtU`` (Table 3): poor code generation.
+
+The paper (confirming DeadSpy's finding) attributes dead stores in
+bzip2's hottest comparison routine to compiler-generated stack spills:
+temporaries are stored to the frame on every call and overwritten by the
+next call without ever being reloaded.  Fixing the code shape (the paper
+used a different compiler arrangement) gives 1.07x.
+
+The miniature's ``mainGtU`` spills four temporaries per call; the fix
+keeps them in registers (no stores).
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_BLOCK = 256
+_COMPARISONS = 400
+_DEPTH = 28  # bytes compared per call (repetitive blocks compare deep)
+_PC_SPILL = "blocksort.c:mainGtU_init"
+
+
+def _setup(m: Machine):
+    block = m.alloc(_BLOCK + _DEPTH, "block")
+    frame = m.alloc(4 * 8, "stack_frame")
+    with m.function("BZ2_blockSort"):
+        for i in range(_BLOCK + _DEPTH):
+            # Period-8 content: the repetitive data that makes block
+            # sorting's comparisons run deep in the first place.
+            m.store(block + i, bytes([i % 8]), pc="blocksort.c:fill")
+    return block, frame
+
+
+def _compare(m: Machine, block: int, c: int, spill: bool, frame: int) -> None:
+    i1 = (c * 17) % _BLOCK
+    i2 = (i1 + 96) % _BLOCK  # same phase mod 8: long common prefix
+    with m.function("mainGtU"):
+        if spill:
+            # Compiler-generated spills: stored every call, never reloaded,
+            # killed by the next call's spills.
+            m.store_int(frame, i1, pc=_PC_SPILL)
+            m.store_int(frame + 8, i2, pc=_PC_SPILL)
+            m.store_int(frame + 16, c, pc=_PC_SPILL)
+            m.store_int(frame + 24, c + 1, pc=_PC_SPILL)
+        for d in range(_DEPTH):
+            a = m.load(block + i1 + d, 1, pc="blocksort.c:cmp1")
+            b = m.load(block + i2 + d, 1, pc="blocksort.c:cmp2")
+            if a != b:
+                break
+
+
+def baseline(m: Machine) -> None:
+    with m.function("main"):
+        block, frame = _setup(m)
+        with m.function("mainSort"):
+            for c in range(_COMPARISONS):
+                _compare(m, block, c, spill=True, frame=frame)
+
+
+def optimized(m: Machine) -> None:
+    """Better code generation: the temporaries live in registers."""
+    with m.function("main"):
+        block, frame = _setup(m)
+        with m.function("mainSort"):
+            for c in range(_COMPARISONS):
+                _compare(m, block, c, spill=False, frame=frame)
+
+
+CASE = CaseStudy(
+    name="bzip2",
+    tool="deadcraft",
+    defect="compiler spills temporaries that are overwritten unread",
+    paper_speedup=1.07,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="mainGtU",
+    min_fraction=0.30,
+)

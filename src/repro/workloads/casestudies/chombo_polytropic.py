@@ -1,0 +1,70 @@
+"""Chombo ``PolytropicPhysicsF.ChF:434`` (Table 3): inattention to performance.
+
+Witch found a new issue in the Chombo AMR framework's polytropic-physics
+Fortran kernel: a flux scratch array is zero-initialized for every cell
+update even though the subsequent computation overwrites every entry it
+reads -- dead stores from plain inattention.  Removing the belt-and-
+braces initialization gives 1.07x.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_FLUX = 6  # flux components per cell update
+_CELLS = 240
+_STENCIL_WORK = 80  # neighbour reads per update
+_PC_ZERO = "PolytropicPhysicsF.ChF:434"
+
+
+def _setup(m: Machine):
+    state = m.alloc(512 * 8, "U")
+    flux = m.alloc(_FLUX * 8, "flux")
+    with m.function("AMRLevelPolytropicGas::initialData"):
+        for i in range(512):
+            m.store_int(state + 8 * i, (i * 31) % 503 + 1, pc="AMRLevel.cpp:init")
+    return state, flux
+
+
+def _update_cell(m: Machine, state: int, flux: int, cell: int, zero_first: bool) -> None:
+    with m.function("RIEMANNF"):
+        if zero_first:
+            for f in range(_FLUX):
+                m.store_int(flux + 8 * f, 0, pc=_PC_ZERO)
+        total = 0
+        for w in range(_STENCIL_WORK):
+            total += m.load_int(state + 8 * ((cell * 5 + w) % 512), pc="RiemannF.ChF:stencil")
+        # The computation fully overwrites every flux entry it later reads.
+        for f in range(_FLUX):
+            m.store_int(flux + 8 * f, total + f + cell, pc="RiemannF.ChF:flux")
+        for f in range(0, _FLUX, 4):  # only a third of the flux is consumed here
+            m.load_int(flux + 8 * f, pc="GodunovUtilitiesF.ChF:apply")
+
+
+def _run(m: Machine, zero_first: bool) -> None:
+    with m.function("main"):
+        state, flux = _setup(m)
+        with m.function("PolytropicPhysics::riemann"):
+            for cell in range(_CELLS):
+                _update_cell(m, state, flux, cell, zero_first)
+
+
+def baseline(m: Machine) -> None:
+    _run(m, zero_first=True)
+
+
+def optimized(m: Machine) -> None:
+    _run(m, zero_first=False)
+
+
+CASE = CaseStudy(
+    name="chombo",
+    tool="deadcraft",
+    defect="flux scratch array zeroed although fully overwritten",
+    paper_speedup=1.07,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="RIEMANNF",
+    min_fraction=0.35,
+)

@@ -1,0 +1,87 @@
+"""SPEC gcc ``cselib.c:cselib_init`` (Table 3): poor data-structure choice.
+
+DeadSpy's authors (and Witch, confirming) found gcc re-initializing large
+cselib hash tables on every invocation although each pass touches only a
+handful of entries -- dead stores from an inappropriate data structure,
+worth 1.33x when fixed.
+
+The miniature re-zeroes a whole value table per ``cselib_init`` call; the
+fix keeps an undo list and clears only the entries actually used, the
+same repair strategy gcc later adopted.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_TABLE = 320  # cselib value-table entries
+_USED = 18  # entries a typical pass touches
+_PASSES = 50
+_OTHER_WORK = 720  # the rest of a compilation pass, per invocation
+_PC_INIT = "cselib.c:cselib_init"
+
+
+def _pass_body(m: Machine, table: int, rtl: int, pass_index: int) -> list:
+    """One CSE pass: touch a few table entries, plus unrelated RTL work."""
+    used = []
+    with m.function("cselib_process_insn"):
+        for k in range(_USED):
+            entry = table + 8 * ((pass_index * 13 + k * 7) % _TABLE)
+            used.append(entry)
+            value = m.load_int(entry, pc="cselib.c:lookup")
+            m.store_int(entry, value + pass_index + k + 1, pc="cselib.c:record")
+    with m.function("cse_insn"):
+        total = 0
+        for i in range(_OTHER_WORK):
+            total += m.load_int(rtl + 8 * ((i * 3 + pass_index) % 512), pc="cse.c:fold")
+        m.store_int(rtl + 8 * 512, total, pc="cse.c:emit")
+        m.load_int(rtl + 8 * 512, pc="cse.c:emit_use")
+    return used
+
+
+def _init_rtl(m: Machine) -> int:
+    rtl = m.alloc(513 * 8, "rtl")
+    with m.function("read_rtl"):
+        for i in range(512):
+            m.store_int(rtl + 8 * i, (i * 37) % 1009, pc="toplev.c:parse")
+    return rtl
+
+
+def baseline(m: Machine) -> None:
+    """cselib_init memsets the whole table before every pass."""
+    table = m.alloc(_TABLE * 8, "cselib_table")
+    with m.function("main"):
+        rtl = _init_rtl(m)
+        with m.function("rest_of_compilation"):
+            for pass_index in range(_PASSES):
+                with m.function("cselib_init"):
+                    for i in range(_TABLE):
+                        m.store_int(table + 8 * i, 0, pc=_PC_INIT)
+                _pass_body(m, table, rtl, pass_index)
+
+
+def optimized(m: Machine) -> None:
+    """The fix: clear only the entries the previous pass dirtied."""
+    table = m.alloc(_TABLE * 8, "cselib_table")
+    with m.function("main"):
+        rtl = _init_rtl(m)
+        dirty: list = []
+        with m.function("rest_of_compilation"):
+            for pass_index in range(_PASSES):
+                with m.function("cselib_clear_undo"):
+                    for entry in dirty:
+                        m.store_int(entry, 0, pc="cselib.c:undo")
+                dirty = _pass_body(m, table, rtl, pass_index)
+
+
+CASE = CaseStudy(
+    name="gcc-cselib",
+    tool="deadcraft",
+    defect="whole-table re-initialization when passes touch a few entries",
+    paper_speedup=1.33,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="cselib_init",
+    min_fraction=0.30,
+)

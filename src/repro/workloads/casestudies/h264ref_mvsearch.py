@@ -1,0 +1,90 @@
+"""SPEC h264ref ``mv-search.c`` loop 394 (Table 3): missed inlining.
+
+The motion-vector search loop calls a tiny cost helper that re-loads the
+same lambda/range parameters from memory on every call -- the compiler
+cannot keep them in registers across the call boundary.  LoadCraft flags
+the loads as re-loading unchanged values; inlining the helper (so the
+invariants hoist into registers) gives 1.27x.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_CANDIDATES = 360  # motion-vector candidates evaluated per macroblock
+_BLOCKS = 4
+_PC_INVARIANT = "mv-search.c:394"
+
+
+def _setup(m: Machine):
+    params = m.alloc(3 * 8, "img_params")  # lambda, search_range, mvshift
+    sad_table = m.alloc(64 * 8, "byte_abs")
+    with m.function("init_img"):
+        m.store_int(params, 16, pc="lencod.c:lambda")
+        m.store_int(params + 8, 32, pc="lencod.c:range")
+        m.store_int(params + 16, 2, pc="lencod.c:mvshift")
+        for i in range(64):
+            m.store_int(sad_table + 8 * i, abs(32 - i), pc="lencod.c:absinit")
+    return params, sad_table
+
+
+_SAD_READS = 12  # pixel reads per candidate (both variants)
+
+
+def _sad(m: Machine, sad_table: int, candidate: int) -> None:
+    for p in range(_SAD_READS):
+        m.load_int(sad_table + 8 * ((candidate + p * 5) % 64), pc="mv-search.c:sad")
+
+
+def _mv_cost_outlined(m: Machine, params: int, sad_table: int, candidate: int) -> None:
+    """The helper as compiled: re-loads the invariants every call."""
+    with m.function("MVCost"):
+        m.load_int(params, pc=_PC_INVARIANT)  # lambda, unchanged since init
+        m.load_int(params + 8, pc=_PC_INVARIANT)  # search range, unchanged
+        m.load_int(params + 16, pc=_PC_INVARIANT)  # shift, unchanged
+        _sad(m, sad_table, candidate)
+
+
+def _mv_cost_inlined(m: Machine, sad_table: int, candidate: int) -> None:
+    """Inlined: the invariants live in registers; only the SAD reads remain."""
+    _sad(m, sad_table, candidate)
+
+
+def _search(m: Machine, params: int, sad_table: int, inlined: bool) -> None:
+    with m.function("FastPelY_14" if inlined else "BlockMotionSearch"):
+        for block in range(_BLOCKS):
+            if inlined:
+                # The hoisted invariant loads: once per block, not per candidate.
+                m.load_int(params, pc="mv-search.c:hoisted")
+                m.load_int(params + 8, pc="mv-search.c:hoisted")
+                m.load_int(params + 16, pc="mv-search.c:hoisted")
+            for candidate in range(_CANDIDATES):
+                if inlined:
+                    _mv_cost_inlined(m, sad_table, candidate + block)
+                else:
+                    _mv_cost_outlined(m, params, sad_table, candidate + block)
+
+
+def baseline(m: Machine) -> None:
+    with m.function("main"):
+        params, sad_table = _setup(m)
+        _search(m, params, sad_table, inlined=False)
+
+
+def optimized(m: Machine) -> None:
+    with m.function("main"):
+        params, sad_table = _setup(m)
+        _search(m, params, sad_table, inlined=True)
+
+
+CASE = CaseStudy(
+    name="h264ref",
+    tool="loadcraft",
+    defect="un-inlined cost helper re-loads loop-invariant parameters",
+    paper_speedup=1.27,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="MVCost",
+    min_fraction=0.60,
+)

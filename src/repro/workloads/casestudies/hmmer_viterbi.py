@@ -1,0 +1,90 @@
+"""SPEC hmmer ``fast_algorithms.c`` loop 119 (Table 3): no vectorization.
+
+The Viterbi inner loop's scalar code stores match/insert/delete scores
+element by element; many stores rewrite the value already present (the
+scores saturate), and DeadSpy/RedSpy flag the loop.  Restructuring the
+loop so the compiler vectorizes it gives 1.28x.
+
+The miniature's scalar loop emits one store per element, most of them
+silent/dead because the clamped score rarely changes; the "vectorized"
+fix processes four elements per (wide) store -- a quarter of the store
+instructions, the same bytes.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_CELLS = 64
+_ROWS = 60
+_PC_SCALAR = "fast_algorithms.c:119"
+
+
+def _score(row: int, k: int) -> int:
+    # Saturating DP score: changes early, then clamps -- the silent-store
+    # generator.
+    return min(100, row * 3) + (k % 4)
+
+
+_POSTPROCESS = 310  # per-row trace-back and output work the fix leaves alone
+
+
+def _setup(m: Machine):
+    mc = m.alloc(_CELLS * 8, "mc")
+    seq = m.alloc(_ROWS * 8, "dsq")
+    tables = m.alloc(256 * 8, "hmm_tables")
+    with m.function("ReadSeq"):
+        for i in range(_ROWS):
+            m.store_int(seq + 8 * i, (i * 11) % 23, pc="sqio.c:read")
+        for i in range(256):
+            m.store_int(tables + 8 * i, (i * 5) % 97, pc="plan7.c:tables")
+    return mc, seq, tables
+
+
+def _postprocess(m: Machine, tables: int, row: int) -> None:
+    with m.function("PostprocessSignificantHits"):
+        total = 0
+        for i in range(_POSTPROCESS):
+            total += m.load_int(tables + 8 * ((i + row) % 256), pc="postprob.c:read")
+
+
+def baseline(m: Machine) -> None:
+    """Scalar: one load + one store per DP cell."""
+    with m.function("main"):
+        mc, seq, tables = _setup(m)
+        with m.function("P7Viterbi"):
+            for row in range(_ROWS):
+                m.load_int(seq + 8 * row, pc="fast_algorithms.c:117")
+                for k in range(_CELLS):
+                    m.load_int(mc + 8 * k, pc="fast_algorithms.c:118")
+                    m.store_int(mc + 8 * k, _score(row, k), pc=_PC_SCALAR)
+                _postprocess(m, tables, row)
+
+
+def optimized(m: Machine) -> None:
+    """Vectorized: 4-lane (32-byte) loads and stores, 4x fewer instructions."""
+    with m.function("main"):
+        mc, seq, tables = _setup(m)
+        with m.function("P7Viterbi_vec"):
+            for row in range(_ROWS):
+                m.load_int(seq + 8 * row, pc="fast_algorithms.c:117")
+                for k in range(0, _CELLS, 4):
+                    m.load(mc + 8 * k, 32, pc="fast_algorithms.c:118v")
+                    lanes = b"".join(
+                        _score(row, k + lane).to_bytes(8, "little") for lane in range(4)
+                    )
+                    m.store(mc + 8 * k, lanes, pc="fast_algorithms.c:119v")
+                _postprocess(m, tables, row)
+
+
+CASE = CaseStudy(
+    name="hmmer",
+    tool="silentcraft",
+    defect="scalar DP loop stores saturated (unchanged) scores",
+    paper_speedup=1.28,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="P7Viterbi",
+    min_fraction=0.30,
+)

@@ -1,0 +1,91 @@
+"""SPEC OMP2012 367.imagick (section 8.4): redundant loads in convolution.
+
+The blur kernel's innermost loop loads six fields per tap --
+``(*k)`` and ``kernel_pixels[u].{red,green,blue}`` plus the ``pixel``
+accumulator fields -- and nearly all of those loads repeat values from
+prior iterations: LoadCraft reported >99% of loads redundant, 85% in this
+loop nest.  The fields of ``kernel_pixels[u]`` are mostly zero, so the
+paper's fix tests the tap once and skips the multiply and loads when it is
+zero, for a 1.6x speedup.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_ROWS = 20
+_COLUMNS = 20
+_TAPS = 16  # convolution width
+_ZERO_TAPS = 11  # taps whose kernel pixel is zero
+_PC_RED = "magick_effect.c:1482"
+
+
+def _setup(m: Machine):
+    # Interleaved RGB fields: kernel_pixels[u].{red,green,blue}.
+    kernel_pixels = m.alloc(_TAPS * 24, "kernel_pixels")
+    kernel = m.alloc(_TAPS * 8, "k")
+    out = m.alloc(_ROWS * _COLUMNS * 24, "blur_image")
+    with m.function("AcquireKernelInfo"):
+        for u in range(_TAPS):
+            zero = u >= _TAPS - _ZERO_TAPS
+            value = 0.0 if zero else 0.5 + u * 0.05
+            m.store_float(kernel_pixels + 24 * u, value, pc="magick_effect.c:kp_red")
+            m.store_float(kernel_pixels + 24 * u + 8, value, pc="magick_effect.c:kp_green")
+            m.store_float(kernel_pixels + 24 * u + 16, value, pc="magick_effect.c:kp_blue")
+            m.store_float(kernel + 8 * u, 1.0 / _TAPS, pc="magick_effect.c:k_init")
+    return kernel_pixels, kernel, out
+
+
+def _convolve(m: Machine, kernel_pixels: int, kernel: int, out: int, skip_zero: bool) -> None:
+    with m.function("BlurImageChannel"):
+        for y in range(_ROWS):
+            for x in range(_COLUMNS):
+                red = green = blue = 0.0
+                for u in range(_TAPS):
+                    if skip_zero:
+                        # The fix: one probe; zero taps contribute nothing.
+                        probe = m.load_float(
+                            kernel_pixels + 24 * u, pc="magick_effect.c:zero_check"
+                        )
+                        if probe == 0.0:
+                            continue
+                    k = m.load_float(kernel + 8 * u, pc="magick_effect.c:k")
+                    red += k * m.load_float(kernel_pixels + 24 * u, pc=_PC_RED)
+                    green += k * m.load_float(
+                        kernel_pixels + 24 * u + 8, pc="magick_effect.c:1483"
+                    )
+                    blue += k * m.load_float(
+                        kernel_pixels + 24 * u + 16, pc="magick_effect.c:1484"
+                    )
+                slot = out + 24 * (y * _COLUMNS + x)
+                m.store_float(slot, red, pc="magick_effect.c:store_red")
+                m.store_float(slot + 8, green, pc="magick_effect.c:store_green")
+                m.store_float(slot + 16, blue, pc="magick_effect.c:store_blue")
+
+
+def baseline(m: Machine) -> None:
+    """All sixteen taps multiplied in, zeros included."""
+    with m.function("main"):
+        kernel_pixels, kernel, out = _setup(m)
+        _convolve(m, kernel_pixels, kernel, out, skip_zero=False)
+
+
+def optimized(m: Machine) -> None:
+    """The paper's conditional check on kernel_pixels[u]."""
+    with m.function("main"):
+        kernel_pixels, kernel, out = _setup(m)
+        _convolve(m, kernel_pixels, kernel, out, skip_zero=True)
+
+
+CASE = CaseStudy(
+    name="imagick-367",
+    tool="loadcraft",
+    defect="convolution repeatedly loads mostly-zero kernel taps",
+    paper_speedup=1.6,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="BlurImageChannel",
+    min_fraction=0.80,
+    period=211,
+)

@@ -1,0 +1,86 @@
+"""Rodinia lavaMD ``kernel_cpu.c`` loop 117 (Table 3): redundant computation.
+
+The molecular-dynamics kernel's innermost loop re-loads the home
+particle's position and charge from memory for every neighbour pairing --
+four loads per interaction that never change within the home particle's
+turn.  LoadCraft flags them; caching the home particle in locals before
+the neighbour loop gives 1.66x.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_PARTICLES = 24
+_NEIGHBORS = 40
+_PARTICLE_BYTES = 32  # x, y, z, charge
+_PC_HOME = "kernel_cpu.c:117"
+
+
+def _setup(m: Machine):
+    particles = m.alloc(_PARTICLES * _PARTICLE_BYTES, "rv")
+    forces = m.alloc(_PARTICLES * 8, "fv")
+    with m.function("main_initialize"):
+        for i in range(_PARTICLES):
+            base = particles + i * _PARTICLE_BYTES
+            for field in range(4):
+                m.store_float(base + 8 * field, 1.0 + i * 0.5 + field * 0.125,
+                              pc="main.c:space_init")
+    return particles, forces
+
+
+def _kernel(m: Machine, particles: int, forces: int, cached: bool) -> None:
+    with m.function("kernel_cpu"):
+        for i in range(_PARTICLES):
+            home = particles + i * _PARTICLE_BYTES
+            if cached:
+                # The fix: read the home particle once per i.
+                home_fields = [
+                    m.load_float(home + 8 * field, pc="kernel_cpu.c:hoisted")
+                    for field in range(4)
+                ]
+            force = 0.0
+            for n in range(_NEIGHBORS):
+                neighbor = particles + ((i + n + 1) % _PARTICLES) * _PARTICLE_BYTES
+                if cached:
+                    fields = home_fields
+                else:
+                    # Re-loaded per interaction although i hasn't moved.
+                    fields = [
+                        m.load_float(home + 8 * field, pc=_PC_HOME) for field in range(4)
+                    ]
+                # The neighbour's full record and the box bookkeeping are
+                # loaded either way -- the fix touches only the home reads.
+                other = [
+                    m.load_float(neighbor + 8 * field, pc="kernel_cpu.c:neighbor")
+                    for field in range(4)
+                ]
+                m.load_int(forces + 8 * ((i + n) % _PARTICLES), pc="kernel_cpu.c:box")
+                m.load_int(forces + 8 * ((i + n + 7) % _PARTICLES), pc="kernel_cpu.c:box")
+                force += (fields[0] - other[0]) * fields[3] * other[3]
+            m.store_float(forces + 8 * i, force, pc="kernel_cpu.c:force")
+
+
+def baseline(m: Machine) -> None:
+    with m.function("main"):
+        particles, forces = _setup(m)
+        _kernel(m, particles, forces, cached=False)
+
+
+def optimized(m: Machine) -> None:
+    with m.function("main"):
+        particles, forces = _setup(m)
+        _kernel(m, particles, forces, cached=True)
+
+
+CASE = CaseStudy(
+    name="lavamd",
+    tool="loadcraft",
+    defect="inner loop re-loads the unmoved home particle per interaction",
+    paper_speedup=1.66,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="kernel_cpu",
+    min_fraction=0.60,
+)

@@ -1,0 +1,111 @@
+"""NWChem 6.3 (section 8.1): useless zero-initialization in ``dfill``.
+
+The paper's DeadCraft run reported >60% of NWChem's stores dead, with one
+pair -- ``dfill`` zeroing the ``work2`` array, killed by the next call to
+``dfill`` -- contributing 94% of the dead writes.  Investigation showed
+``work2`` was larger than necessary and the zero-init unnecessary;
+removing it gave a 1.43x whole-program speedup.
+
+The miniature: ``tce_mo2e_trans`` repeatedly calls ``dfill`` to zero an
+oversized buffer, then a transform kernel that touches only the first
+third of it.  The fix allocates the right size and drops the dead fill.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_WORK2_SIZE = 420  # elements zeroed per call
+_USED = 60  # elements the transform actually consumes
+_CALLS = 60  # calls to the transform per run
+_PC_FILL = "tce_mo2e_trans.F:240"
+
+
+def _transform(m: Machine, work2: int, out: int, call_index: int) -> None:
+    """The useful part: read the live slice, accumulate results."""
+    with m.function("tce_mo2e_transform"):
+        for i in range(_USED):
+            value = m.load_int(work2 + 8 * i, pc="tce_mo2e_trans.F:310")
+            m.store_int(out + 8 * i, value + call_index, pc="tce_mo2e_trans.F:311")
+        # Results are consumed downstream (they are not dead).
+        total = 0
+        for i in range(_USED):
+            total += m.load_int(out + 8 * i, pc="tce_mo2e_trans.F:330")
+        m.store_int(out + 8 * _USED, total, pc="tce_mo2e_trans.F:331")
+        m.load_int(out + 8 * _USED, pc="tce_mo2e_trans.F:332")
+
+
+_BACKGROUND_READS = 740  # the rest of the CCSD iteration, per transform call
+
+
+def _background(m: Machine, table: int, call_index: int) -> None:
+    """The rest of the program: integral-table reads around each transform.
+
+    Sized so the dead fill is ~30% of the per-iteration work, matching the
+    paper's 1.43x whole-program speedup when it is removed.
+    """
+    with m.function("ccsd_iterate"):
+        total = 0
+        for i in range(_BACKGROUND_READS):
+            total += m.load_int(table + 8 * (i % 512), pc="ccsd_t.F:100")
+        m.store_int(table + 8 * 512, total + call_index, pc="ccsd_t.F:101")
+        m.load_int(table + 8 * 512, pc="ccsd_t.F:102")
+
+
+def _init_table(m: Machine) -> int:
+    table = m.alloc(513 * 8, "integrals")
+    with m.function("tce_init"):
+        for i in range(512):
+            m.store_int(table + 8 * i, 7919 * i % 4096, pc="tce_init.F:10")
+    return table
+
+
+def _populate(m: Machine, work2: int, size: int, call_index: int) -> None:
+    """Fill the live slice with this iteration's integrals."""
+    with m.function("ga_get"):
+        for i in range(_USED):
+            m.store_int(work2 + 8 * i, call_index * 1000 + i, pc="tce_mo2e_trans.F:250")
+
+
+def baseline(m: Machine) -> None:
+    """Oversized buffer, dead zero-fill before every transform."""
+    work2 = m.alloc(_WORK2_SIZE * 8, "work2")
+    out = m.alloc((_USED + 1) * 8, "out")
+    with m.function("main"):
+        table = _init_table(m)
+        with m.function("tce_energy"):
+            for call_index in range(_CALLS):
+                with m.function("tce_mo2e_trans"):
+                    with m.function("dfill"):
+                        for i in range(_WORK2_SIZE):
+                            m.store_int(work2 + 8 * i, 0, pc=_PC_FILL)
+                    _populate(m, work2, _WORK2_SIZE, call_index)
+                    _transform(m, work2, out, call_index)
+                _background(m, table, call_index)
+
+
+def optimized(m: Machine) -> None:
+    """The paper's fix: right-size the buffer, drop the zero-fill."""
+    work2 = m.alloc(_USED * 8, "work2")
+    out = m.alloc((_USED + 1) * 8, "out")
+    with m.function("main"):
+        table = _init_table(m)
+        with m.function("tce_energy"):
+            for call_index in range(_CALLS):
+                with m.function("tce_mo2e_trans"):
+                    _populate(m, work2, _USED, call_index)
+                    _transform(m, work2, out, call_index)
+                _background(m, table, call_index)
+
+
+CASE = CaseStudy(
+    name="nwchem-6.3",
+    tool="deadcraft",
+    defect="useless zero-initialization of an oversized work2 array",
+    paper_speedup=1.43,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="dfill",
+    min_fraction=0.45,
+)

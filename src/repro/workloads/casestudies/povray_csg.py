@@ -1,0 +1,76 @@
+"""SPEC povray ``csg.cpp`` loop 248 (Table 3): missed inlining.
+
+Each CSG containment test calls a child ``Inside`` method that writes its
+result through a temporary object field; the caller immediately overwrites
+the temporary on the next child -- dead stores that exist only because the
+call boundary blocks the compiler from keeping the intermediate in a
+register.  Inlining removes them for 1.08x.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_RAYS = 180
+_CHILDREN = 6
+_SHAPE_WORK = 14  # geometry reads per child test
+_PC_TEMP = "csg.cpp:248"
+
+
+def _setup(m: Machine):
+    geometry = m.alloc(128 * 8, "shapes")
+    temp = m.alloc(16, "inside_temp")
+    with m.function("Parse_Scene"):
+        for i in range(128):
+            m.store_int(geometry + 8 * i, (i * 19) % 211, pc="parse.cpp:shape")
+    return geometry, temp
+
+
+def _child_test(m: Machine, geometry: int, temp: int, ray: int, child: int, inlined: bool) -> int:
+    total = 0
+    with m.function("Sphere::Inside" if inlined else "Object::Inside"):
+        for w in range(_SHAPE_WORK):
+            total += m.load_int(
+                geometry + 8 * ((ray * 7 + child * 13 + w) % 128), pc="spheres.cpp:dot"
+            )
+        if not inlined:
+            # The virtual-call boundary forces the result through memory;
+            # the next child's test overwrites it unread on most paths.
+            m.store_int(temp, total & 1, pc=_PC_TEMP)
+    return total & 1
+
+
+def _trace(m: Machine, geometry: int, temp: int, inlined: bool) -> None:
+    with m.function("Trace_Rays"):
+        for ray in range(_RAYS):
+            with m.function("CSG_Intersection::Inside"):
+                inside = 1
+                for child in range(_CHILDREN):
+                    inside &= _child_test(m, geometry, temp, ray, child, inlined)
+                m.store_int(temp, inside, pc="csg.cpp:combine")
+                m.load_int(temp, pc="csg.cpp:use")  # the combined verdict is used
+
+
+def baseline(m: Machine) -> None:
+    with m.function("main"):
+        geometry, temp = _setup(m)
+        _trace(m, geometry, temp, inlined=False)
+
+
+def optimized(m: Machine) -> None:
+    with m.function("main"):
+        geometry, temp = _setup(m)
+        _trace(m, geometry, temp, inlined=True)
+
+
+CASE = CaseStudy(
+    name="povray",
+    tool="deadcraft",
+    defect="virtual Inside() writes temporaries the caller overwrites unread",
+    paper_speedup=1.08,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="Inside",
+    min_fraction=0.30,
+)

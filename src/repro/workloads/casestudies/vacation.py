@@ -1,0 +1,92 @@
+"""STAMP vacation (section 8.5): re-looking-up an item just found.
+
+The client loop in ``client.c`` queries the manager's reservation table
+for an item and then, one line later, looks the very same item up again.
+LoadCraft surfaced the duplicated probe work as redundant loads; memoizing
+the first lookup's result gave a 1.3x speedup.
+
+The miniature keeps a hashed reservation table in simulated memory; the
+baseline performs both lookups per transaction, the fix reuses the first.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+from repro.workloads.casestudies import CaseStudy
+
+_ITEMS = 256
+_TRANSACTIONS = 500
+_SLOT_BYTES = 24  # id, capacity, price
+_PC_LOOKUP = "client.c:198"
+
+
+def _setup(m: Machine) -> int:
+    table = m.alloc(_ITEMS * _SLOT_BYTES, "reservations")
+    with m.function("manager_init"):
+        for i in range(_ITEMS):
+            slot = table + i * _SLOT_BYTES
+            m.store_int(slot, i + 1, pc="manager.c:init_id")
+            m.store_int(slot + 8, 100, pc="manager.c:init_cap")
+            m.store_int(slot + 16, 50 + i % 40, pc="manager.c:init_price")
+    return table
+
+
+def _lookup(m: Machine, table: int, item: int) -> int:
+    """A table probe: three loads, like the real RBTree/hash walk."""
+    with m.function("manager_query"):
+        slot = table + (item % _ITEMS) * _SLOT_BYTES
+        m.load_int(slot, pc=_PC_LOOKUP)
+        m.load_int(slot + 8, pc="manager.c:query_cap")
+        return m.load_int(slot + 16, pc="manager.c:query_price")
+
+
+def _transaction_body(m: Machine, scratch: int, t: int, price: int) -> None:
+    """The rest of the transaction: freshly-written bookkeeping state.
+
+    Each slot is re-read only after being overwritten with a new value, so
+    these loads are honest "use" -- the redundancy signal stays on the
+    duplicated lookup.
+    """
+    with m.function("reservation_update"):
+        for i in range(4):
+            slot = scratch + 8 * ((t * 4 + i) % 64)
+            m.store_int(slot, price + t * 4 + i, pc="reservation.c:write")
+            m.load_int(slot, pc="reservation.c:read")
+
+
+def _run(m: Machine, memoize: bool) -> None:
+    with m.function("main"):
+        table = _setup(m)
+        scratch = m.alloc(64 * 8, "scratch")
+        with m.function("client_run"):
+            for t in range(_TRANSACTIONS):
+                item = (t * 7) % _ITEMS
+                price = _lookup(m, table, item)
+                if memoize:
+                    best = price  # reuse the result just computed
+                else:
+                    best = _lookup(m, table, item)  # the duplicated lookup
+                _transaction_body(m, scratch, t, best)
+
+
+def baseline(m: Machine) -> None:
+    """Every transaction looks the same item up twice."""
+    _run(m, memoize=False)
+
+
+def optimized(m: Machine) -> None:
+    """The paper's fix: memoize the previous line's lookup."""
+    _run(m, memoize=True)
+
+
+CASE = CaseStudy(
+    name="vacation",
+    tool="loadcraft",
+    defect="hash-table lookup of an item found on the previous line",
+    paper_speedup=1.31,
+    baseline=baseline,
+    optimized=optimized,
+    hotspot="manager_query",
+    min_fraction=0.30,
+    period=67,
+)

@@ -1,0 +1,135 @@
+"""The paper's didactic microbenchmarks, scaled for a Python simulator.
+
+Each function reproduces the memory-access *structure* of a listing; loop
+trip counts are parameters (the paper's 100K-element loops would be slow
+in pure Python and the phenomena only need the shape, not the scale).
+
+PC labels follow the paper's line numbers (e.g. ``listing3.c:7``) so tests
+and examples can identify context pairs exactly as the text does.
+"""
+
+from __future__ import annotations
+
+from repro.execution.machine import Machine
+
+
+def listing1_gcc_program(m: Machine, registers: int = 256, blocks: int = 50) -> None:
+    """SPEC gcc's ``loop_regs_scan`` (Listing 1): dead re-initialization.
+
+    A 16K-element array standing for virtual registers is zero-initialized
+    by ``xcalloc`` (line 3), but each basic block touches only a couple of
+    elements before the whole array is ``memset`` to zero again (line 11).
+    Nearly every line-11 store overwrites a still-zero, never-read byte:
+    dead stores from an inappropriate data-structure choice.
+    """
+    last_set = m.alloc(registers * 8, "last_set")
+    with m.function("loop_regs_scan"):
+        for i in range(registers):  # xcalloc zero-initialization
+            m.store_int(last_set + 8 * i, 0, pc="gcc.c:3")
+        for block in range(blocks):
+            with m.function("count_one_set"):
+                # A basic block uses <2 registers on average.
+                for reg in (block % registers, (block * 7 + 1) % registers):
+                    value = m.load_int(last_set + 8 * reg, pc="gcc.c:8")
+                    m.store_int(last_set + 8 * reg, value + 1, pc="gcc.c:8")
+            for i in range(registers):  # end-of-block memset (line 11)
+                m.store_int(last_set + 8 * i, 0, pc="gcc.c:11")
+
+
+def listing2_program(m: Machine, n: int = 2000) -> None:
+    """Long-distance dead stores (Listing 2).
+
+    Every line-2 store is killed by the line-5 store to the same element,
+    but the two accesses are separated by up to ``n`` stores.  A naive
+    replace-the-oldest watchpoint policy detects *none* of these; reservoir
+    sampling gives each sampled address an equal chance of surviving until
+    the j loop.
+    """
+    array = m.alloc(n * 8, "array")
+    with m.function("main"):
+        for i in range(n):
+            m.store_int(array + 8 * i, 0, pc="listing2.c:2")
+        for j in range(n):
+            m.store_int(array + 8 * j, j, pc="listing2.c:5")
+
+
+def listing3_program(m: Machine, n: int = 500, iterations: int = 8) -> None:
+    """Sparse vs. dense monitoring (Listing 3).
+
+    The i loop's stores (line 3) are killed by the j loop (line 11) far
+    away, while ``*p``/``*q`` alias one location that is overwritten every
+    other store (lines 7 and 8).  Without proportional attribution the
+    dense ⟨7,8⟩/⟨8,7⟩ pairs swamp the metrics; with it, each of the four
+    pairs receives ~25% of the dead writes.
+    """
+    array = m.alloc(n * 8, "array")
+    pq = m.alloc(8, "pq")  # p and q alias to the same location
+    with m.function("main"):
+        for _ in range(iterations):
+            for i in range(n):
+                m.store_int(array + 8 * i, 0, pc="listing3.c:3")
+            for k in range(n):
+                m.store_int(pq, 0, pc="listing3.c:7")
+                m.store_int(pq, 1, pc="listing3.c:8")
+            for j in range(n):
+                m.store_int(array + 8 * j, 1, pc="listing3.c:11")
+
+
+#: Leaf-frame pc labels of the three dead-write sources in figure2_program.
+FIGURE2_GROUPS = {
+    "a": ("figure2.c:3", "figure2.c:5"),
+    "b": ("figure2.c:9", "figure2.c:11"),
+    "x": ("figure2.c:16", "figure2.c:17"),
+}
+
+#: The expected apportionment of dead writes (the paper's 50%:33%:17%).
+FIGURE2_EXPECTED = {"a": 0.50, "b": 1 / 3, "x": 1 / 6}
+
+
+def figure2_program(m: Machine, unit: int = 250, iterations: int = 10) -> None:
+    """The Figure 2 attribution scenario: dead writes in a 3:2:1 ratio.
+
+    Arrays ``a`` (3 units of dead bytes per iteration) and ``b`` (2 units)
+    are overwritten loop-to-loop -- sparse monitoring -- while the scalar
+    ``x`` (1 unit) is overwritten in a tight loop -- dense monitoring.  The
+    paper reports that Witch's proportional, context-sensitive scheme
+    apportions dead writes in the near-perfect 50%:33%:17% ratio, while
+    disabling it yields 5%:2%:93% and naive random sampling attributes
+    100% to the ⟨16,17⟩ pair.
+    """
+    a = m.alloc(3 * unit * 8, "a")
+    b = m.alloc(2 * unit * 8, "b")
+    x = m.alloc(8, "x")
+    with m.function("main"):
+        for _ in range(iterations):
+            for i in range(3 * unit):
+                m.store_int(a + 8 * i, 0, pc="figure2.c:3")
+            for i in range(3 * unit):
+                m.store_int(a + 8 * i, 1, pc="figure2.c:5")
+            for i in range(2 * unit):
+                m.store_int(b + 8 * i, 0, pc="figure2.c:9")
+            for i in range(2 * unit):
+                m.store_int(b + 8 * i, 1, pc="figure2.c:11")
+            for _ in range(unit):
+                m.store_int(x, 0, pc="figure2.c:16")
+                m.store_int(x, 1, pc="figure2.c:17")
+
+
+def adversary_program(m: Machine, quiet_stores: int = 5000, tail_stores: int = 5000) -> None:
+    """Section 4.1's adversary: a never-again-accessed address.
+
+    After ``quiet_stores`` unique, never-revisited stores (no watchpoint
+    ever traps, so H grows), address alpha is stored once and never touched
+    again.  If alpha wins a debug register it blinds the tool until
+    reservoir replacement evicts it -- after an expected ~1.7H further
+    samples, per the harmonic-series argument.
+    """
+    scratch = m.alloc(quiet_stores * 8, "scratch")
+    alpha = m.alloc(8, "alpha")
+    tail = m.alloc(tail_stores * 8, "tail")
+    with m.function("main"):
+        for i in range(quiet_stores):
+            m.store_int(scratch + 8 * i, i, pc="adversary.c:quiet")
+        m.store_int(alpha, 42, pc="adversary.c:alpha")
+        for i in range(tail_stores):
+            m.store_int(tail + 8 * i, i, pc="adversary.c:tail")

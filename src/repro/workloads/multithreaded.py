@@ -1,0 +1,164 @@
+"""Multi-threaded workloads for the cross-thread tooling (section 6.3).
+
+The paper's Witch tools are intra-thread; sharing sampled addresses
+across threads enables multi-threaded tools, of which Feather (false
+sharing) is the published example.  These workloads exercise that path:
+
+- :func:`false_sharing_counters` -- the classic packed-per-thread-counter
+  bug (each thread updates its own word of one cache line);
+- :func:`true_sharing_queue` -- genuine producer/consumer communication
+  through a shared slot (sharing, but not *false* sharing);
+- :func:`padded_counters` -- the fixed version of the counter workload;
+- :func:`mixed_sharing` -- both patterns in one program, for testing that
+  Feather separates them.
+
+All are deterministic: thread bodies are generators interleaved
+round-robin by :func:`repro.execution.machine.run_threads`.
+"""
+
+from __future__ import annotations
+
+from repro.core.feather import CACHE_LINE_BYTES
+from repro.execution.machine import Machine, run_threads
+
+
+def _counter_body(slot: int, name: str, increments: int):
+    def body(thread):
+        with thread.function(name):
+            for step in range(increments):
+                value = thread.load_int(slot, pc="counters.c:load")
+                thread.store_int(slot, value + 1, pc="counters.c:bump")
+                yield
+
+    return body
+
+
+def false_sharing_counters(
+    m: Machine, threads: int = 4, increments: int = 250, stride: int = 8
+) -> int:
+    """Per-thread counters packed ``stride`` bytes apart (one line for <=8).
+
+    Returns the base address so tests can inspect final counter values.
+    """
+    counters = m.alloc(max(threads * stride, CACHE_LINE_BYTES), "counters")
+    bodies = [
+        _counter_body(counters + i * stride, f"worker{i}", increments)
+        for i in range(threads)
+    ]
+    run_threads(m, bodies)
+    return counters
+
+
+def padded_counters(m: Machine, threads: int = 4, increments: int = 250) -> int:
+    """The fix: one cache line per counter."""
+    return false_sharing_counters(m, threads, increments, stride=CACHE_LINE_BYTES)
+
+
+def true_sharing_queue(m: Machine, items: int = 250) -> int:
+    """A producer writes a mailbox slot; a consumer reads it: true sharing."""
+    mailbox = m.alloc(CACHE_LINE_BYTES, "mailbox")
+
+    def producer(thread):
+        with thread.function("producer"):
+            for item in range(items):
+                thread.store_int(mailbox, item + 1, pc="queue.c:publish")
+                yield
+
+    def consumer(thread):
+        with thread.function("consumer"):
+            for _ in range(items):
+                thread.load_int(mailbox, pc="queue.c:take")
+                yield
+
+    run_threads(m, [producer, consumer])
+    return mailbox
+
+
+def double_initialization(m: Machine, cells: int = 64) -> None:
+    """Two workers redundantly zero one grid before a reader consumes it.
+
+    Worker B's zeroes kill worker A's (and vice versa, depending on
+    interleaving) without any thread reading in between -- the
+    cross-thread dead stores RemoteKill exists to find.  The reader at
+    the end consumes the surviving values, so only the duplicated
+    initialization is waste.
+    """
+    grid = m.alloc(cells * 8, "grid")
+
+    def zeroer(name: str, pc: str):
+        def body(thread):
+            with thread.function(name):
+                for i in range(cells):
+                    thread.store_int(grid + 8 * i, 0, pc=pc)
+                    yield
+
+        return body
+
+    def reader(thread):
+        with thread.function("compute"):
+            for _ in range(cells):
+                yield
+            for i in range(cells):
+                thread.load_int(grid + 8 * i, pc="compute.c:consume")
+                yield
+
+    run_threads(m, [zeroer("worker_a", "a.c:init"), zeroer("worker_b", "b.c:init"), reader])
+
+
+def single_initialization(m: Machine, cells: int = 64) -> None:
+    """The fix: one worker initializes, the other starts on real work."""
+    grid = m.alloc(cells * 8, "grid")
+    aux = m.alloc(cells * 8, "aux")
+
+    def zeroer(thread):
+        with thread.function("worker_a"):
+            for i in range(cells):
+                thread.store_int(grid + 8 * i, 0, pc="a.c:init")
+                yield
+
+    def worker(thread):
+        with thread.function("worker_b"):
+            for i in range(cells):
+                thread.store_int(aux + 8 * i, i, pc="b.c:fill")
+                yield
+
+    def reader(thread):
+        with thread.function("compute"):
+            for _ in range(cells):
+                yield
+            for i in range(cells):
+                thread.load_int(grid + 8 * i, pc="compute.c:consume")
+                thread.load_int(aux + 8 * i, pc="compute.c:consume_aux")
+                yield
+
+    run_threads(m, [zeroer, worker, reader])
+
+
+def mixed_sharing(m: Machine, iterations: int = 200) -> None:
+    """False sharing on one line, true sharing on another, same program."""
+    packed = m.alloc(CACHE_LINE_BYTES, "stats")
+    mailbox = m.alloc(CACHE_LINE_BYTES, "mailbox")
+
+    def stats_worker(index: int):
+        def body(thread):
+            slot = packed + index * 8
+            with thread.function(f"stats{index}"):
+                for step in range(iterations):
+                    thread.store_int(slot, step, pc="stats.c:update")
+                    yield
+
+        return body
+
+    def publisher(thread):
+        with thread.function("publisher"):
+            for item in range(iterations):
+                thread.store_int(mailbox, item, pc="queue.c:publish")
+                yield
+
+    def subscriber(thread):
+        with thread.function("subscriber"):
+            for _ in range(iterations):
+                thread.load_int(mailbox, pc="queue.c:take")
+                yield
+
+    run_threads(m, [stats_worker(0), stats_worker(1), publisher, subscriber])

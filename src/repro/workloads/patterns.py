@@ -1,0 +1,220 @@
+"""A composable builder for custom workloads with known ground truth.
+
+The synthetic SPEC suite (:mod:`repro.workloads.spec`) is weight-driven
+and tuned to mirror the paper's benchmarks; this module is the
+user-facing counterpart: compose *exact counts* of well-understood access
+patterns into a workload, and know precisely what each tool should find.
+
+    from repro.workloads.patterns import WorkloadBuilder
+
+    builder = WorkloadBuilder(seed=7)
+    with builder.phase("setup") as phase:
+        phase.clean_pairs(50)                 # store+load, no redundancy
+    with builder.phase("kernel") as phase:
+        phase.dead_stores(100, chain=2)       # 100 store->store kills
+        phase.silent_stores(40)               # 40 same-value rewrites
+        phase.redundant_loads(60, table=16)   # 60 unchanged re-loads
+    workload = builder.build()
+
+Each pattern documents its exact effect on the exhaustive tools, so a
+builder-made workload doubles as an oracle: ``expected_dead_fraction()``
+and friends return the DeadSpy/RedSpy/LoadSpy answers in closed form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.execution.machine import Machine
+
+Workload = Callable[[Machine], None]
+
+#: Knuth multiplicative hashing keeps any two generated values far apart
+#: in relative terms (so "different" never trips the 1% float tolerance).
+def _value(counter: int) -> int:
+    return (counter * 2654435761) % 999_983 + 17
+
+
+@dataclass
+class _Step:
+    """One recorded pattern invocation: (emitter, kwargs)."""
+
+    emit: Callable
+    kwargs: dict
+
+
+@dataclass
+class _Tally:
+    """Closed-form per-tool waste/use bookkeeping."""
+
+    dead_waste: int = 0
+    dead_use: int = 0
+    silent_waste: int = 0
+    silent_use: int = 0
+    load_waste: int = 0
+    load_use: int = 0
+
+
+class PhaseBuilder:
+    """Patterns recorded under one calling-context frame."""
+
+    def __init__(self, builder: "WorkloadBuilder", name: str) -> None:
+        self._builder = builder
+        self.name = name
+        self._steps: List[_Step] = []
+
+    # ------------------------------------------------------------- patterns
+    def dead_stores(self, count: int, chain: int = 2, width: int = 8) -> "PhaseBuilder":
+        """``count`` locations each written ``chain`` times then read once.
+
+        DeadSpy: (chain-1) dead stores and 1 used store per location.
+        RedSpy: (chain-1) value-changing (non-silent) pairs.
+        LoadSpy: nothing (each location is read once).
+        """
+        if count < 1 or chain < 2:
+            raise ValueError("dead_stores needs count >= 1 and chain >= 2")
+        tally = self._builder._tally
+        tally.dead_waste += count * (chain - 1) * width
+        tally.dead_use += count * width
+        tally.silent_use += count * (chain - 1) * width
+
+        def emit(m, base, name=self.name, count=count, chain=chain, width=width):
+            counter = self._builder._next_counter(count * chain)
+            for i in range(count):
+                slot = base + i * width
+                for step in range(chain):
+                    m.store_int(slot, _value(counter), pc=f"{name}:dead", length=width)
+                    counter += 1
+                m.load_int(slot, pc=f"{name}:dead_use", length=width)
+
+        self._steps.append(_Step(emit, {"bytes_needed": count * 8}))
+        return self
+
+    def silent_stores(self, count: int, width: int = 8) -> "PhaseBuilder":
+        """``count`` locations each written twice with the same value, then read.
+
+        RedSpy: one silent store per location.
+        DeadSpy: one dead store per location (no read intervenes) and one
+        used store.
+        """
+        if count < 1:
+            raise ValueError("silent_stores needs count >= 1")
+        tally = self._builder._tally
+        tally.silent_waste += count * width
+        tally.dead_waste += count * width
+        tally.dead_use += count * width
+
+        def emit(m, base, name=self.name, count=count, width=width):
+            counter = self._builder._next_counter(count)
+            for i in range(count):
+                slot = base + i * width
+                value = _value(counter + i)
+                m.store_int(slot, value, pc=f"{name}:silent_first", length=width)
+                m.store_int(slot, value, pc=f"{name}:silent", length=width)
+                m.load_int(slot, pc=f"{name}:silent_use", length=width)
+
+        self._steps.append(_Step(emit, {"bytes_needed": count * 8}))
+        return self
+
+    def redundant_loads(self, count: int, table: int = 16, width: int = 8) -> "PhaseBuilder":
+        """``count`` re-loads of unchanged values from a ``table``-slot array.
+
+        LoadSpy: ``count`` redundant loads (after the table's first
+        full scan, which this pattern performs up front so every counted
+        load has a predecessor).
+        """
+        if count < 1 or table < 1:
+            raise ValueError("redundant_loads needs count >= 1 and table >= 1")
+        self._builder._tally.load_waste += count * width
+        # The warm-up scan's stores are each read (used).
+        self._builder._tally.dead_use += table * width
+
+        def emit(m, base, name=self.name, count=count, table=table, width=width):
+            counter = self._builder._next_counter(table)
+            for i in range(table):  # populate + first scan (unclassified loads)
+                m.store_int(base + i * width, _value(counter + i), pc=f"{name}:ro_init",
+                            length=width)
+                m.load_int(base + i * width, pc=f"{name}:ro_scan", length=width)
+            for i in range(count):  # every one of these is a redundant re-load
+                m.load_int(base + (i % table) * width, pc=f"{name}:reload", length=width)
+
+        self._steps.append(_Step(emit, {"bytes_needed": table * 8}))
+        return self
+
+    def clean_pairs(self, count: int, width: int = 8) -> "PhaseBuilder":
+        """``count`` store+load pairs with fresh values: pure "use" traffic.
+
+        DeadSpy: ``count`` used stores.  RedSpy/LoadSpy on re-used slots:
+        nothing (each slot is written once, read once).
+        """
+        if count < 1:
+            raise ValueError("clean_pairs needs count >= 1")
+        self._builder._tally.dead_use += count * width
+
+        def emit(m, base, name=self.name, count=count, width=width):
+            counter = self._builder._next_counter(count)
+            for i in range(count):
+                slot = base + i * width
+                m.store_int(slot, _value(counter + i), pc=f"{name}:clean_store", length=width)
+                m.load_int(slot, pc=f"{name}:clean_load", length=width)
+
+        self._steps.append(_Step(emit, {"bytes_needed": count * 8}))
+        return self
+
+    # ----------------------------------------------------------- context mgr
+    def __enter__(self) -> "PhaseBuilder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._builder._phases.append(self)
+
+
+class WorkloadBuilder:
+    """Compose phases of patterns into one runnable workload."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._phases: List[PhaseBuilder] = []
+        self._tally = _Tally()
+        self._counter = seed * 1_000_003 + 1
+
+    def _next_counter(self, reserve: int) -> int:
+        start = self._counter
+        self._counter += reserve + 1
+        return start
+
+    def phase(self, name: str) -> PhaseBuilder:
+        return PhaseBuilder(self, name)
+
+    # ------------------------------------------------------------- oracles
+    def expected_dead_fraction(self) -> float:
+        """DeadSpy's Equation 1 answer for the built workload."""
+        total = self._tally.dead_waste + self._tally.dead_use
+        return self._tally.dead_waste / total if total else 0.0
+
+    def expected_silent_fraction(self) -> float:
+        """RedSpy's answer: silent share of classified store pairs."""
+        total = self._tally.silent_waste + self._tally.silent_use
+        return self._tally.silent_waste / total if total else 0.0
+
+    def expected_load_fraction(self) -> float:
+        """LoadSpy's answer: redundant share of classified load pairs."""
+        total = self._tally.load_waste + self._tally.load_use
+        return self._tally.load_waste / total if total else 0.0
+
+    # --------------------------------------------------------------- build
+    def build(self) -> Workload:
+        if not self._phases:
+            raise ValueError("no phases recorded; use `with builder.phase(...)`")
+        phases = list(self._phases)
+
+        def workload(machine: Machine) -> None:
+            with machine.function("main"):
+                for phase in phases:
+                    with machine.function(phase.name):
+                        for step in phase._steps:
+                            base = machine.alloc(max(8, step.kwargs["bytes_needed"]))
+                            step.emit(machine, base)
+
+        return workload

@@ -1,0 +1,497 @@
+"""A synthetic SPEC CPU2006-like benchmark suite.
+
+The paper evaluates accuracy and overhead on the SPEC CPU2006 reference
+benchmarks.  Running SPEC itself is impossible here (native binaries,
+hours of execution, proprietary sources), so each benchmark is replaced by
+a synthetic kernel with the same *role* in the experiments:
+
+- a distinctive mix of dead stores, silent stores, and redundant loads
+  (chosen to echo the benchmark's character in the paper: gcc is
+  dead-store-heavy, lbm is ~100% silent under approximate comparison,
+  libquantum is load-redundancy-heavy, ...);
+- a distinctive calling-context structure (gobmk/sjeng/xalancbmk are
+  recursion-heavy, which is what blows up instrumentation-tool memory);
+- the paper's per-benchmark native footprints (Table 1's "Original Memory
+  Usage" row) for the memory-bloat extrapolation;
+- special behaviours the evaluation calls out: mcf's long-distance
+  re-accesses (worst blind spot), hmmer/calculix's short-latency dead
+  stores (PEBS shadow-sampling victims).
+
+Ground truth for every experiment is what the exhaustive tools *measure*
+on these kernels -- exactly the paper's methodology -- so the synthetic
+profile percentages below are workload-shaping inputs, not oracles.
+
+Episode vocabulary (what one step of the generator emits):
+
+================  =============================================  ==========================
+episode           access pattern (one slot unless noted)         tool effects
+================  =============================================  ==========================
+``dead``          k stores of different values, then one load    DeadSpy waste k-1, use 1
+``silent_dead``   store v; store v; load                         dead AND silent (NWChem!)
+``silent_clean``  store v; load; store ~v; load                  silent, not dead
+``load_red``      store; r loads of the unchanged value          LoadSpy waste r-1
+``clean``         store v1; load; store v2; load                 pure "use" for all tools
+================  =============================================  ==========================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Tuple
+
+from repro.execution.machine import Machine
+
+Workload = Callable[[Machine], None]
+
+_EPISODES = ("dead", "silent_dead", "silent_clean", "load_red", "clean")
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """Everything needed to synthesize one benchmark.
+
+    ``weights`` gives the relative frequency of each episode kind; see the
+    module docstring for the vocabulary.  ``dead_chain``/``load_repeats``
+    set k and r.  ``paper_*`` fields carry the paper's Table 1 reference
+    numbers for reporting (not used to shape the workload).
+    """
+
+    name: str
+    weights: Dict[str, float]
+    n_ops: int = 30_000
+    dead_chain: int = 3
+    load_repeats: int = 4
+    float_data: bool = False
+    access_len: int = 8
+    recursion_depth: int = 0
+    regions: int = 4
+    long_distance_fraction: float = 0.0
+    short_latency_inefficiency: bool = False
+    special_kernel: str = ""
+    working_set: int = 1 << 15
+    #: The churn pattern: hot scalars stored ``churn_stores`` times, then
+    #: loaded ``churn_loads`` times, one step interleaved after every
+    #: episode.  It raises the load:store texture toward real programs and
+    #: -- when store-heavy -- generates the spurious store traps that make
+    #: LoadCraft the most expensive client (section 7's four reasons).
+    churn_stores: int = 1
+    churn_loads: int = 1
+    seed: int = 1234
+    paper_footprint_mb: float = 100.0
+    paper_runtime_s: float = 200.0
+
+    def __post_init__(self) -> None:
+        unknown = set(self.weights) - set(_EPISODES)
+        if unknown:
+            raise ValueError(f"unknown episode kinds in {self.name}: {sorted(unknown)}")
+        if not self.weights and not self.special_kernel:
+            raise ValueError(f"{self.name}: weights must not be empty")
+
+    def scaled(self, scale: float) -> "BenchmarkSpec":
+        """The same benchmark at a different dynamic-size budget."""
+        return replace(self, n_ops=max(200, int(self.n_ops * scale)))
+
+    def with_input(self, index: int) -> "BenchmarkSpec":
+        """The same benchmark on a different input.
+
+        The paper runs several SPEC benchmarks on multiple reference
+        inputs (bzip2-1..6, gcc-1..9, ...); a different input keeps the
+        code -- and hence the episode mix -- but changes the data, which
+        here means a different generator seed.  Input 0 is the original.
+        """
+        if index == 0:
+            return self
+        return replace(
+            self, name=f"{self.name}-{index + 1}", seed=self.seed + 7919 * index
+        )
+
+
+class _SlotAllocator:
+    """Rotates through the working set handing out episode-private slots.
+
+    The slot count is capped relative to the dynamic size so locations are
+    revisited a few times per run regardless of scale -- real programs
+    re-touch their working set, and watchpoints that are never re-accessed
+    would otherwise sit armed forever at small scales.
+    """
+
+    def __init__(self, machine: Machine, spec: BenchmarkSpec) -> None:
+        self.base = machine.alloc(spec.working_set, f"{spec.name}.heap")
+        self.stride = max(spec.access_len, 8)
+        by_working_set = max(1, spec.working_set // self.stride)
+        by_dynamic_size = max(64, spec.n_ops // 24)
+        self.count = min(by_working_set, by_dynamic_size)
+        self._next = 0
+
+    def take(self) -> int:
+        slot = self.base + self.stride * (self._next % self.count)
+        self._next += 1
+        return slot
+
+
+class _HotTable:
+    """A small read-mostly table, the home of redundant loads.
+
+    Real load redundancy lives in hot data structures that are scanned over
+    and over (the binutils linked list, kallisto's hash table).  Episodes
+    of kind ``load_red`` walk this table; every revisit re-loads an
+    unchanged value, which both LoadSpy and a LoadCraft watchpoint observe.
+    """
+
+    SLOTS = 32
+
+    def __init__(self, thread, spec: BenchmarkSpec, region: int) -> None:
+        self.spec = spec
+        self.base = thread.machine.alloc(self.SLOTS * spec.access_len, f"{spec.name}.hot{region}")
+        self.pc_load = f"{spec.name}.c:{10 * region + 9}"
+        self._cursor = 0
+        for i in range(self.SLOTS):
+            _store(thread, spec, self.base + i * spec.access_len, 100 + i,
+                   f"{spec.name}.c:{10 * region + 8}", False)
+
+    def scan(self, thread, reads: int) -> int:
+        for _ in range(reads):
+            slot = self.base + (self._cursor % self.SLOTS) * self.spec.access_len
+            self._cursor += 1
+            _load(thread, self.spec, slot, self.pc_load)
+        return reads
+
+
+class _Churn:
+    """A hot scalar cycling through stores and loads (see BenchmarkSpec)."""
+
+    def __init__(self, thread, spec: BenchmarkSpec, region: int) -> None:
+        self.spec = spec
+        self.slot = thread.machine.alloc(max(8, spec.access_len), f"{spec.name}.churn{region}")
+        self.pc_store = f"{spec.name}.c:{10 * region + 12}"
+        self.pc_load = f"{spec.name}.c:{10 * region + 13}"
+        self._step = 0
+        self._value = 0
+
+    def step(self, thread) -> int:
+        cycle = self.spec.churn_stores + self.spec.churn_loads
+        phase = self._step % cycle
+        self._step += 1
+        if phase < self.spec.churn_stores:
+            self._value += 1
+            _store(thread, self.spec, self.slot, _fresh_value(self._value), self.pc_store, False)
+        else:
+            _load(thread, self.spec, self.slot, self.pc_load)
+        return 1
+
+
+def workload_for(spec: BenchmarkSpec, scale: float = 1.0) -> Workload:
+    """Build the workload function for one benchmark spec."""
+    scaled = spec.scaled(scale)
+    if scaled.special_kernel == "lbm":
+        return lambda machine: _lbm_kernel(machine, scaled)
+    return lambda machine: _generic_kernel(machine, scaled)
+
+
+# --------------------------------------------------------------------------- generic kernel
+def _generic_kernel(machine: Machine, spec: BenchmarkSpec) -> None:
+    rng = random.Random(spec.seed)
+    slots = _SlotAllocator(machine, spec)
+    value_counter = [1]  # mutable box shared by episode emitters
+
+    kinds = [kind for kind in _EPISODES if spec.weights.get(kind, 0.0) > 0.0]
+    base_weights = [spec.weights[kind] for kind in kinds]
+
+    ops_total = spec.n_ops
+    ops_done = 0
+    long_distance_budget = int(ops_total * spec.long_distance_fraction)
+
+    with machine.function("main"):
+        # mcf-style long-distance phase: stores now, kills at the very end,
+        # in a dedicated arc array the episode slots never touch.
+        pending_kills: List[Tuple[int, int]] = []
+        if long_distance_budget:
+            arc_count = long_distance_budget // 2
+            arcs = machine.alloc(arc_count * spec.access_len, f"{spec.name}.arcs")
+            with machine.function("arc_setup"):
+                for i in range(arc_count):
+                    slot = arcs + i * spec.access_len
+                    machine.store_int(
+                        slot,
+                        _fresh_value(value_counter[0]),
+                        pc=f"{spec.name}.c:ld_src",
+                        length=spec.access_len,
+                    )
+                    value_counter[0] += 1
+                    pending_kills.append((slot, _fresh_value(value_counter[0])))
+                    ops_done += 1
+
+        for region in range(spec.regions):
+            region_ops = (ops_total - 2 * long_distance_budget) // spec.regions
+            # Regions skew the mix so context pairs carry distinct weights
+            # (the top-N rank experiment needs a spread, not a tie).
+            skew = 1.0 + 1.5 * (spec.regions - region - 1) / max(1, spec.regions - 1)
+            weights = [
+                weight * (skew if kind in ("dead", "silent_dead") else 1.0)
+                for kind, weight in zip(kinds, base_weights)
+            ]
+            with machine.function(f"phase{region}"):
+                ops_done += _run_region(
+                    machine, spec, rng, slots, value_counter, region, region_ops, kinds, weights
+                )
+
+        if pending_kills:
+            with machine.function("arc_teardown"):
+                for slot, value in pending_kills:
+                    machine.store_int(
+                        slot, value, pc=f"{spec.name}.c:ld_kill", length=spec.access_len
+                    )
+                    ops_done += 1
+
+
+def _run_region(
+    machine: Machine,
+    spec: BenchmarkSpec,
+    rng: random.Random,
+    slots: _SlotAllocator,
+    value_counter: List[int],
+    region: int,
+    budget: int,
+    kinds: List[str],
+    weights: List[float],
+) -> int:
+    """Emit episodes inside one region's context frames; returns ops used."""
+
+    hot = _HotTable(machine, spec, region)
+    churn = _Churn(machine, spec, region)
+
+    def emit_batch(thread, remaining: int) -> int:
+        done = 0
+        while done < remaining:
+            kind = rng.choices(kinds, weights)[0]
+            done += _EMITTERS[kind](thread, spec, slots, value_counter, region, hot)
+            done += churn.step(thread)
+        return done
+
+    thread = machine  # single-threaded suite
+    if spec.recursion_depth > 0:
+        # Deep, varied call chains: what makes xalancbmk/gobmk/sjeng CCTs
+        # (and instrumentation shadow+CCT memory) blow up.
+        done = 0
+        chunk = max(1, budget // (spec.recursion_depth * 4))
+        variant = 0
+        while done < budget:
+            with machine.function(f"search{variant % 3}"):
+                done += _recurse(machine, spec.recursion_depth, variant, emit_batch, chunk)
+            variant += 1
+        return done
+    with machine.function(f"kernel{region}"):
+        return emit_batch(thread, budget)
+
+
+def _recurse(machine: Machine, depth: int, variant: int, emit, chunk: int) -> int:
+    if depth == 0:
+        return emit(machine, chunk)
+    with machine.function(f"rec{(variant + depth) % 5}_{depth}"):
+        return _recurse(machine, depth - 1, variant, emit, chunk)
+
+
+# --------------------------------------------------------------------------- episode emitters
+def _emit_dead(thread, spec: BenchmarkSpec, slots, counter, region, hot) -> int:
+    slot = slots.take()
+    length = spec.access_len
+    long_latency = False  # dead stores are the short-latency ones for hmmer/calculix
+    for step in range(spec.dead_chain):
+        _store(
+            thread, spec, slot, _fresh_value(counter[0]),
+            f"{spec.name}.c:{10 * region + 1}", long_latency,
+        )
+        counter[0] += 1
+    _load(thread, spec, slot, f"{spec.name}.c:{10 * region + 2}")
+    return spec.dead_chain + 1
+
+
+def _emit_silent_dead(thread, spec: BenchmarkSpec, slots, counter, region, hot) -> int:
+    slot = slots.take()
+    value = _fresh_value(counter[0])
+    counter[0] += 1
+    pc = f"{spec.name}.c:{10 * region + 3}"
+    _store(thread, spec, slot, value, pc, False)
+    _store(thread, spec, slot, value, f"{spec.name}.c:{10 * region + 4}", False)
+    _load(thread, spec, slot, f"{spec.name}.c:{10 * region + 5}")
+    return 3
+
+
+def _emit_silent_clean(thread, spec: BenchmarkSpec, slots, counter, region, hot) -> int:
+    slot = slots.take()
+    value = _fresh_value(counter[0])
+    counter[0] += 1
+    pc_store = f"{spec.name}.c:{10 * region + 6}"
+    _store(thread, spec, slot, value, pc_store, False)
+    _load(thread, spec, slot, f"{spec.name}.c:{10 * region + 5}")
+    # Re-store (approximately) the same value: silent, but not dead.
+    again = value * (1.0 + 1e-4) if spec.float_data else value
+    _store(thread, spec, slot, again, f"{spec.name}.c:{10 * region + 7}", False)
+    _load(thread, spec, slot, f"{spec.name}.c:{10 * region + 5}")
+    return 4
+
+
+def _emit_load_red(thread, spec: BenchmarkSpec, slots, counter, region, hot) -> int:
+    return hot.scan(thread, spec.load_repeats)
+
+
+def _emit_clean(thread, spec: BenchmarkSpec, slots, counter, region, hot) -> int:
+    slot = slots.take()
+    pc_store = f"{spec.name}.c:{10 * region + 10}"
+    pc_load = f"{spec.name}.c:{10 * region + 11}"
+    # Clean stores are the long-latency population when the benchmark
+    # models the shadow-sampling artefact.
+    long_latency = spec.short_latency_inefficiency
+    _store(thread, spec, slot, _fresh_value(counter[0]), pc_store, long_latency)
+    counter[0] += 1
+    _load(thread, spec, slot, pc_load)
+    _store(thread, spec, slot, _fresh_value(counter[0]), pc_store, long_latency)
+    counter[0] += 1
+    _load(thread, spec, slot, pc_load)
+    return 4
+
+
+def _fresh_value(counter: int) -> int:
+    """A value that differs *relatively* from its neighbours.
+
+    Sequential integers would differ by less than the tools' 1% float
+    precision once large, turning intentionally-distinct stores into
+    accidental "silent" ones; Knuth multiplicative hashing keeps any two
+    episode values far apart.
+    """
+    return (counter * 2654435761) % 999_983 + 17
+
+
+def _store(thread, spec: BenchmarkSpec, slot: int, value, pc: str, long_latency: bool) -> None:
+    if spec.float_data:
+        thread.store_float(slot, float(value), pc=pc, length=spec.access_len, long_latency=long_latency)
+    else:
+        thread.store_int(slot, int(value), pc=pc, length=spec.access_len, long_latency=long_latency)
+
+
+def _load(thread, spec: BenchmarkSpec, slot: int, pc: str) -> None:
+    if spec.float_data:
+        thread.load_float(slot, pc=pc, length=spec.access_len)
+    else:
+        thread.load_int(slot, pc=pc, length=spec.access_len)
+
+
+_EMITTERS = {
+    "dead": _emit_dead,
+    "silent_dead": _emit_silent_dead,
+    "silent_clean": _emit_silent_clean,
+    "load_red": _emit_load_red,
+    "clean": _emit_clean,
+}
+
+
+# --------------------------------------------------------------------------- lbm
+def _lbm_kernel(machine: Machine, spec: BenchmarkSpec) -> None:
+    """SPEC lbm: a 3D incompressible-fluid stencil, reduced to its trait.
+
+    Each iteration loads every cell and stores a value within our 1e-4
+    relative drift -- far inside the tools' 1% float precision -- so
+    SilentCraft/RedSpy see ~100% silent stores, LoadCraft/LoadSpy ~100%
+    redundant loads, and DeadCraft/DeadSpy see essentially nothing (every
+    store is read by the next iteration).
+    """
+    cells = 512
+    grid = machine.alloc(cells * 8, "lbm.grid")
+    iterations = max(2, spec.n_ops // (2 * cells))
+    with machine.function("main"):
+        with machine.function("LBM_initializeGrid"):
+            for i in range(cells):
+                machine.store_float(grid + 8 * i, 1.0 + i / cells, pc="lbm.c:init")
+        for _ in range(iterations):
+            with machine.function("LBM_performStreamCollide"):
+                for i in range(cells):
+                    value = machine.load_float(grid + 8 * i, pc="lbm.c:load")
+                    machine.store_float(grid + 8 * i, value * (1.0 + 1e-4), pc="lbm.c:store")
+
+
+# --------------------------------------------------------------------------- the suite
+def _make_suite() -> Dict[str, BenchmarkSpec]:
+    """The 29 SPEC CPU2006 benchmarks of the paper's Table 1.
+
+    Profiles are synthetic but shaped by the paper's observations where the
+    text gives them (gcc: poor data structure, dead-store heavy; hmmer:
+    no-vectorization dead+silent, shadow-sampling victim; lbm: ~100%
+    silent; libquantum/mcf load-heavy; deep recursion for gobmk, sjeng,
+    omnetpp, perlbench, xalancbmk).  ``paper_footprint_mb`` is Table 1's
+    "Original Memory Usage" row.
+    """
+
+    def spec(name: str, footprint: float, runtime: float, **kwargs) -> BenchmarkSpec:
+        return BenchmarkSpec(
+            name=name, paper_footprint_mb=footprint, paper_runtime_s=runtime, **kwargs
+        )
+
+    w = dict  # local alias: episode weights read more clearly
+
+    suite = [
+        spec("astar", 875, 139, weights=w(dead=2, silent_dead=1, load_red=3, clean=6)),
+        spec("bwaves", 562, 303, float_data=True,
+             weights=w(dead=1, silent_clean=3, load_red=3, clean=5)),
+        spec("bzip2", 664, 64, churn_stores=8,
+             weights=w(dead=3, silent_dead=1, load_red=2, clean=5)),
+        spec("cactusADM", 118, 371, float_data=True, churn_stores=6,
+             weights=w(dead=1, silent_clean=2, load_red=2, clean=7)),
+        spec("calculix", 795, 635, float_data=True, short_latency_inefficiency=True,
+             weights=w(dead=3, silent_clean=2, load_red=2, clean=4)),
+        spec("dealII", 22, 246, float_data=True,
+             weights=w(dead=2, silent_clean=2, load_red=3, clean=5)),
+        spec("gamess", 459, 50, float_data=True,
+             weights=w(dead=2, silent_clean=1, load_red=2, clean=6)),
+        spec("gcc", 831, 24, dead_chain=4,
+             weights=w(dead=6, silent_dead=2, load_red=1, clean=3)),
+        spec("GemsFDTD", 30, 297, float_data=True, regions=8,
+             weights=w(dead=1, silent_clean=4, load_red=2, clean=5)),
+        spec("gobmk", 16, 71, recursion_depth=12, regions=2,
+             weights=w(dead=2, silent_dead=2, load_red=2, clean=5)),
+        spec("gromacs", 38, 317, float_data=True,
+             weights=w(dead=1, silent_clean=1, load_red=2, clean=7)),
+        spec("h264ref", 16, 138, load_repeats=6,
+             weights=w(dead=2, silent_dead=1, load_red=5, clean=4)),
+        spec("hmmer", 411, 160, short_latency_inefficiency=True, dead_chain=3,
+             weights=w(dead=4, silent_dead=2, load_red=1, clean=4)),
+        spec("lbm", 125, 342, float_data=True, special_kernel="lbm", weights={}),
+        spec("leslie3d", 95, 215, float_data=True,
+             weights=w(dead=1, silent_clean=2, load_red=2, clean=6)),
+        spec("libquantum", 1677, 173, load_repeats=8,
+             weights=w(dead=1, silent_dead=1, load_red=6, clean=3)),
+        spec("mcf", 681, 221, long_distance_fraction=0.25, regions=2,
+             weights=w(dead=2, silent_dead=1, load_red=3, clean=5)),
+        spec("milc", 48, 458, float_data=True,
+             weights=w(dead=2, silent_clean=2, load_red=3, clean=5)),
+        spec("namd", 171, 318, float_data=True,
+             weights=w(dead=1, silent_clean=1, load_red=2, clean=8)),
+        spec("omnetpp", 400, 65, recursion_depth=8, churn_stores=5,
+             weights=w(dead=2, silent_dead=1, load_red=3, clean=5)),
+        spec("perlbench", 7, 101, recursion_depth=10, regions=6,
+             weights=w(dead=3, silent_dead=2, load_red=3, clean=4)),
+        spec("povray", 7, 367, float_data=True,
+             weights=w(dead=2, silent_clean=1, load_red=2, clean=6)),
+        spec("sjeng", 176, 86, recursion_depth=14, regions=2,
+             weights=w(dead=2, silent_dead=1, load_red=2, clean=6)),
+        spec("soplex", 279, 423, float_data=True,
+             weights=w(dead=2, silent_clean=2, load_red=3, clean=5)),
+        spec("sphinx3", 44, 408, float_data=True,
+             weights=w(dead=2, silent_clean=2, load_red=4, clean=4)),
+        spec("tonto", 36, 312, float_data=True,
+             weights=w(dead=2, silent_clean=2, load_red=2, clean=6)),
+        spec("wrf", 695, 158, float_data=True,
+             weights=w(dead=2, silent_clean=2, load_red=2, clean=6)),
+        spec("xalancbmk", 421, 360, recursion_depth=16, regions=2, churn_stores=6,
+             weights=w(dead=2, silent_dead=1, load_red=4, clean=4)),
+        spec("zeusmp", 512, 200, float_data=True, regions=8,
+             weights=w(dead=2, silent_clean=3, load_red=2, clean=5)),
+    ]
+    return {benchmark.name: benchmark for benchmark in suite}
+
+
+#: name -> spec for the full synthetic suite.
+SPEC_SUITE: Dict[str, BenchmarkSpec] = _make_suite()
+
+#: The subset used by quick experiments and tests (diverse, fast).
+QUICK_SUITE: Tuple[str, ...] = ("gcc", "hmmer", "lbm", "libquantum", "mcf", "namd", "sjeng")

@@ -1,0 +1,101 @@
+"""Tests for repro.analysis.accuracy (Figure 4 machinery and top-N ranks)."""
+
+import pytest
+
+from repro.analysis.accuracy import AccuracyResult, compare_reports, edit_distance, pair_ranking
+from repro.cct.pairs import ContextPairTable
+from repro.core.report import InefficiencyReport
+from repro.harness import run_exhaustive, run_witch
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+
+def report_with(pairs_spec):
+    table = ContextPairTable()
+    for watch, trap, waste, use in pairs_spec:
+        if waste:
+            table.add_waste(watch, trap, waste)
+        if use:
+            table.add_use(watch, trap, use)
+    return InefficiencyReport(tool="test", pairs=table)
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance(["a", "b"], ["a", "b"]) == 0
+
+    def test_empty_cases(self):
+        assert edit_distance([], ["a"]) == 1
+        assert edit_distance(["a"], []) == 1
+        assert edit_distance([], []) == 0
+
+    def test_substitution(self):
+        assert edit_distance(["a", "b", "c"], ["a", "x", "c"]) == 1
+
+    def test_transposition_costs_two(self):
+        assert edit_distance(["a", "b"], ["b", "a"]) == 2
+
+    def test_insertion(self):
+        assert edit_distance(["a", "c"], ["a", "b", "c"]) == 1
+
+
+class TestPairRanking:
+    def test_ranked_by_waste(self):
+        report = report_with([("a", "b", 10, 0), ("c", "d", 90, 0)])
+        ranking = pair_ranking(report, coverage=1.0)
+        assert ranking[0][0] == ("c", "d")
+        assert ranking[0][1] == pytest.approx(0.9)
+
+    def test_coverage_cuts_tail(self):
+        report = report_with([("a", "b", 80, 0), ("c", "d", 15, 0), ("e", "f", 5, 0)])
+        assert len(pair_ranking(report, coverage=0.9)) == 2
+
+
+class TestAccuracyResult:
+    def test_perfect_agreement(self):
+        a = report_with([("x", "y", 50, 50)])
+        result = compare_reports(a, a)
+        assert result.fraction_error == 0
+        assert result.rank_edit_distance == 0
+        assert result.set_difference == 0
+        assert result.top_overlap_fraction == 1.0
+        assert result.max_weight_gap == 0
+
+    def test_fraction_error(self):
+        sampled = report_with([("x", "y", 60, 40)])
+        truth = report_with([("x", "y", 50, 50)])
+        assert compare_reports(sampled, truth).fraction_error == pytest.approx(0.1)
+
+    def test_missing_pair_detected(self):
+        sampled = report_with([("x", "y", 100, 0)])
+        truth = report_with([("x", "y", 60, 0), ("p", "q", 40, 0)])
+        result = compare_reports(sampled, truth, coverage=1.0)
+        assert result.set_difference == 1
+        assert result.top_overlap_fraction == 0.5
+        assert result.max_weight_gap == pytest.approx(0.4)
+
+    def test_empty_reports(self):
+        result = compare_reports(report_with([]), report_with([]))
+        assert result.fraction_error == 0
+        assert result.top_overlap_fraction == 1.0
+
+
+class TestEndToEndAccuracy:
+    """Figure 4 in miniature: craft matches spy on a real suite member."""
+
+    @pytest.mark.parametrize("name", ["gcc", "libquantum"])
+    def test_fraction_agreement(self, name):
+        wl = workload_for(SPEC_SUITE[name].scaled(0.25))
+        exhaustive = run_exhaustive(wl, tools=("deadspy",))
+        sampled = run_witch(wl, tool="deadcraft", period=101, seed=8)
+        result = compare_reports(sampled.report, exhaustive.reports["deadspy"])
+        assert result.fraction_error < 0.10
+
+    def test_top_pairs_overlap(self):
+        """'Only a handful of context pairs account for the majority of
+        redundancies and their rank ordering ... match' (section 7)."""
+        wl = workload_for(SPEC_SUITE["gcc"].scaled(0.3))
+        exhaustive = run_exhaustive(wl, tools=("deadspy",))
+        sampled = run_witch(wl, tool="deadcraft", period=101, seed=8)
+        result = compare_reports(sampled.report, exhaustive.reports["deadspy"])
+        assert result.top_overlap_fraction >= 0.6
+        assert len(result.top_exhaustive) < 30  # a handful cover 90%

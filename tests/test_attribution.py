@@ -1,0 +1,106 @@
+"""Unit tests for the section 4.2 proportional attribution ledger."""
+
+import pytest
+
+from repro.core.attribution import AttributionLedger, CountEachTrapOnce
+
+
+class TestMuEta:
+    def test_samples_accumulate_mu(self):
+        ledger = AttributionLedger()
+        for _ in range(5):
+            ledger.on_sample("C")
+        assert ledger.mu("C") == 5
+        assert ledger.eta("C") == 0
+
+    def test_claim_catches_eta_up(self):
+        """10 samples, one monitored: the trap represents all 10."""
+        ledger = AttributionLedger()
+        for _ in range(10):
+            ledger.on_sample("C")
+        ledger.on_arm("C")
+        assert ledger.claim("C") == 10
+        assert ledger.eta("C") == 10
+
+    def test_claim_is_at_least_one(self):
+        ledger = AttributionLedger()
+        ledger.on_sample("C")
+        ledger.on_arm("C")
+        assert ledger.claim("C") == 1
+        # A second trap with no new samples still counts itself.
+        assert ledger.claim("C") == 1
+
+    def test_claims_are_incremental(self):
+        ledger = AttributionLedger()
+        for _ in range(4):
+            ledger.on_sample("C")
+        ledger.on_arm("C")
+        assert ledger.claim("C") == 4
+        for _ in range(6):
+            ledger.on_sample("C")
+        assert ledger.claim("C") == 6
+
+    def test_contexts_are_independent(self):
+        ledger = AttributionLedger()
+        ledger.on_sample("A")
+        ledger.on_sample("A")
+        ledger.on_sample("B")
+        ledger.on_arm("A")
+        assert ledger.claim("A") == 2
+        assert ledger.mu("B") == 1
+        assert ledger.eta("B") == 0
+
+    def test_unknown_context_claims_one(self):
+        assert AttributionLedger().claim("never-seen") == 1
+
+
+class TestMultipleWatchpoints:
+    def test_pending_samples_split_across_armed_watchpoints(self):
+        """Two live watchpoints from one context each claim half."""
+        ledger = AttributionLedger()
+        for _ in range(10):
+            ledger.on_sample("C")
+        ledger.on_arm("C")
+        ledger.on_arm("C")
+        assert ledger.claim("C") == 5
+        ledger.on_disarm("C")
+        assert ledger.claim("C") == 5
+
+    def test_disarm_bookkeeping(self):
+        ledger = AttributionLedger()
+        ledger.on_arm("C")
+        ledger.on_arm("C")
+        ledger.on_disarm("C")
+        ledger.on_disarm("C")
+        ledger.on_disarm("C")  # extra disarms are harmless
+        for _ in range(4):
+            ledger.on_sample("C")
+        assert ledger.claim("C") == 4
+
+
+class TestDisabledMode:
+    def test_count_each_trap_once(self):
+        ledger = CountEachTrapOnce()
+        for _ in range(100):
+            ledger.on_sample("C")
+        ledger.on_arm("C")
+        assert ledger.claim("C") == 1.0
+
+    def test_mu_still_tracked(self):
+        ledger = CountEachTrapOnce()
+        ledger.on_sample("C")
+        assert ledger.mu("C") == 1
+
+
+class TestListing3Arithmetic:
+    def test_paper_worked_example(self):
+        """Ten samples at line 3, one monitored, kills at line 11:
+        10 samples x 10K period x 4 bytes = 400K bytes of dead writes."""
+        ledger = AttributionLedger()
+        line3 = "listing3.c:3"
+        for _ in range(10):
+            ledger.on_sample(line3)
+        ledger.on_arm(line3)
+        represented = ledger.claim(line3)
+        period, overlap = 10_000, 4
+        assert represented * period * overlap == 400_000

@@ -1,0 +1,141 @@
+"""Table 3 in test form: each case study detects, pinpoints, and speeds up."""
+
+import pytest
+
+from repro.workloads.casestudies import CASE_STUDIES, run_case_study
+from repro.workloads.casestudies.lbm import measure_accuracy_loss
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {name: run_case_study(case) for name, case in CASE_STUDIES.items()}
+
+
+class TestRegistry:
+    def test_all_table3_rows_present(self):
+        assert set(CASE_STUDIES) == {
+            # sections 8.1-8.5
+            "nwchem-6.3",
+            "caffe-1.0",
+            "binutils-2.27",
+            "imagick-367",
+            "kallisto-0.43",
+            "vacation",
+            "lbm",
+            # remaining Table 3 rows
+            "gcc-cselib",
+            "bzip2",
+            "hmmer",
+            "h264ref",
+            "povray",
+            "chombo",
+            "botsspar",
+            "smb-msgrate",
+            "backprop",
+            "lavamd",
+        }
+
+    def test_tools_cover_all_three_crafts(self):
+        tools = {case.tool for case in CASE_STUDIES.values()}
+        assert tools == {"deadcraft", "silentcraft", "loadcraft"}
+
+    def test_defect_and_hotspot_are_documented(self):
+        for case in CASE_STUDIES.values():
+            assert case.defect
+            assert case.hotspot
+            assert case.paper_speedup > 1.0
+
+
+@pytest.mark.parametrize("name", sorted(CASE_STUDIES))
+class TestEachCase:
+    def test_redundancy_detected(self, results, name):
+        result = results[name]
+        assert result.fraction >= CASE_STUDIES[name].min_fraction
+
+    def test_top_pair_pinpoints_the_defect(self, results, name):
+        assert results[name].pinpointed, results[name].top_chain
+
+    def test_fix_speeds_up(self, results, name):
+        result = results[name]
+        assert result.measured_speedup > 1.03
+
+    def test_speedup_in_the_papers_ballpark(self, results, name):
+        """Within 2x of the paper's factor in either direction -- our minis
+        are scale models, not the original applications."""
+        result = results[name]
+        paper = CASE_STUDIES[name].paper_speedup
+        assert paper / 2 <= result.measured_speedup <= paper * 2
+
+    def test_render_mentions_the_tool(self, results, name):
+        text = results[name].render()
+        assert CASE_STUDIES[name].tool in text
+        assert "speedup" in text
+
+
+class TestSpecificClaims:
+    def test_nwchem_dfill_dominates_dead_writes(self, results):
+        """The paper: the dfill pair contributes 94% of dead writes."""
+        report = results["nwchem-6.3"].report
+        top = report.top_chains(coverage=0.5)
+        assert "dfill" in top[0][0]
+        assert top[0][1] > 0.5
+
+    def test_nwchem_majority_of_stores_dead(self, results):
+        assert results["nwchem-6.3"].fraction > 0.6  # paper: >60%
+
+    def test_binutils_large_redundant_fraction(self, results):
+        assert results["binutils-2.27"].fraction > 0.9  # paper: 96%
+
+    def test_binutils_speedup_order_of_magnitude(self, results):
+        assert results["binutils-2.27"].measured_speedup > 5
+
+    def test_imagick_loads_nearly_all_redundant(self, results):
+        assert results["imagick-367"].fraction > 0.9  # paper: >99%
+
+    def test_lbm_perforation_accuracy_loss_is_tiny(self):
+        loss = measure_accuracy_loss()
+        assert loss < 0.01  # relative error well under the silent threshold
+
+    def test_kallisto_top_chain_names_the_hash_table(self, results):
+        assert "KmerHashTable" in results["kallisto-0.43"].top_chain
+
+    def test_bzip2_waste_is_on_the_spill_line(self, results):
+        assert "mainGtU_init" in results["bzip2"].top_chain
+
+    def test_gcc_cselib_pair_is_init_killed_by_init(self, results):
+        chain = results["gcc-cselib"].top_chain
+        assert chain.count("cselib.c:cselib_init") == 2  # both sides of KILLED_BY
+
+    def test_h264ref_flags_the_invariant_loads(self, results):
+        """The SAD pixel re-reads legitimately outrank the three invariant
+        loads (12 vs 3 per candidate); the paper's line must still be a
+        top-chain contributor."""
+        chains = [chain for chain, _ in results["h264ref"].report.top_chains(0.95)]
+        assert any("mv-search.c:394" in chain for chain in chains)
+
+    def test_smb_flags_the_walk_line(self, results):
+        assert "cache_invalidate" in results["smb-msgrate"].top_chain
+
+    def test_botsspar_flags_the_factor_line(self, results):
+        chains = [chain for chain, _ in results["botsspar"].report.top_chains(0.95)]
+        assert any("sparselu.c:fwd" in chain for chain in chains)
+
+    def test_lavamd_flags_the_home_particle_line(self, results):
+        assert "kernel_cpu.c:117" in results["lavamd"].top_chain
+
+    def test_exact_speedup_matches_for_calibrated_minis(self, results):
+        """These four were built to land on the paper's factor; keep them
+        there so workload drift is caught."""
+        for name, expected in (("bzip2", 1.07), ("hmmer", 1.28),
+                               ("chombo", 1.07), ("backprop", 1.20)):
+            assert abs(results[name].measured_speedup - expected) < 0.06, name
+
+    def test_fixed_variants_do_less_work(self, results):
+        from repro.harness import run_native
+        from repro.workloads.casestudies import CASE_STUDIES
+
+        for name in ("povray", "h264ref", "smb-msgrate"):
+            case = CASE_STUDIES[name]
+            baseline = run_native(case.baseline).native_cycles
+            optimized = run_native(case.optimized).native_cycles
+            assert optimized < baseline, name

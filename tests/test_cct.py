@@ -1,0 +1,152 @@
+"""Unit tests for the calling context tree and pair attribution."""
+
+import pytest
+
+from repro.cct.pairs import ContextPairTable, synthetic_chain
+from repro.cct.tree import CallingContextTree
+
+
+def make_context(tree, *frames):
+    node = tree.root
+    for frame in frames:
+        node = node.child(frame)
+    return node
+
+
+class TestTree:
+    def test_children_are_interned(self):
+        tree = CallingContextTree()
+        assert tree.root.child("main") is tree.root.child("main")
+
+    def test_distinct_frames_distinct_nodes(self):
+        tree = CallingContextTree()
+        assert tree.root.child("a") is not tree.root.child("b")
+
+    def test_depth(self):
+        tree = CallingContextTree()
+        node = make_context(tree, "main", "a", "b")
+        assert node.depth == 3
+        assert tree.root.depth == 0
+
+    def test_path(self):
+        tree = CallingContextTree()
+        assert make_context(tree, "main", "A", "B").path() == "main->A->B"
+
+    def test_root_path_empty(self):
+        assert CallingContextTree().root.path() == ""
+
+    def test_frames(self):
+        tree = CallingContextTree()
+        assert make_context(tree, "x", "y").frames() == ["x", "y"]
+
+    def test_node_count_excludes_root(self):
+        tree = CallingContextTree()
+        make_context(tree, "main", "a")
+        make_context(tree, "main", "b")
+        assert tree.node_count() == 3  # main, a, b
+
+    def test_find(self):
+        tree = CallingContextTree()
+        node = make_context(tree, "main", "a")
+        assert tree.find("main", "a") is node
+        assert tree.find("main", "zzz") is None
+
+    def test_walk_preorder(self):
+        tree = CallingContextTree()
+        make_context(tree, "m", "a")
+        names = [n.frame for n in tree.root.walk()]
+        assert names == ["<root>", "m", "a"]
+
+    def test_same_frame_different_parents(self):
+        """memset called from two places = two contexts (the point of CCTs)."""
+        tree = CallingContextTree()
+        from_a = make_context(tree, "main", "A", "memset")
+        from_b = make_context(tree, "main", "B", "memset")
+        assert from_a is not from_b
+        assert from_a.frame == from_b.frame == "memset"
+
+
+class TestPairTable:
+    def test_empty_table(self):
+        table = ContextPairTable()
+        assert len(table) == 0
+        assert table.redundancy_fraction() == 0.0
+        assert table.top_pairs() == []
+
+    def test_waste_and_use_accumulate(self):
+        table = ContextPairTable()
+        table.add_waste("a", "b", 10)
+        table.add_waste("a", "b", 5)
+        table.add_use("a", "c", 5)
+        assert table.total_waste() == 15
+        assert table.total_use() == 5
+        assert table.redundancy_fraction() == pytest.approx(0.75)
+
+    def test_ordered_pairs_are_distinct(self):
+        """Listing 3: <7,8> and <8,7> are different pairs."""
+        table = ContextPairTable()
+        table.add_waste("7", "8", 1)
+        table.add_waste("8", "7", 2)
+        assert len(table) == 2
+
+    def test_events_counted(self):
+        table = ContextPairTable()
+        table.add_waste("a", "b", 10)
+        table.add_use("a", "b", 10)
+        ((pair, metrics),) = list(table)
+        assert metrics.events == 2
+        assert metrics.total == 20
+
+    def test_top_pairs_coverage(self):
+        table = ContextPairTable()
+        table.add_waste("a", "b", 80)
+        table.add_waste("c", "d", 15)
+        table.add_waste("e", "f", 5)
+        top90 = table.top_pairs(0.9)
+        assert [pair for pair, _ in top90] == [("a", "b"), ("c", "d")]
+        top50 = table.top_pairs(0.5)
+        assert [pair for pair, _ in top50] == [("a", "b")]
+
+    def test_top_pairs_skips_zero_waste(self):
+        table = ContextPairTable()
+        table.add_use("a", "b", 100)
+        assert table.top_pairs() == []
+
+    def test_waste_by_pair(self):
+        table = ContextPairTable()
+        table.add_waste("a", "b", 3)
+        assert table.waste_by_pair() == {("a", "b"): 3}
+
+
+class TestWasteShare:
+    def test_share_by_leaf_frame(self):
+        tree = CallingContextTree()
+        src = make_context(tree, "main", "l3")
+        kill = make_context(tree, "main", "l11")
+        other = make_context(tree, "main", "l7")
+        table = ContextPairTable()
+        table.add_waste(src, kill, 75)
+        table.add_waste(other, other, 25)
+        assert table.waste_share("l3", "l11") == pytest.approx(0.75)
+        assert table.waste_share("l7", "l7") == pytest.approx(0.25)
+        assert table.waste_share("l3", "l7") == 0.0
+
+    def test_share_of_empty_table(self):
+        assert ContextPairTable().waste_share("a", "b") == 0.0
+
+
+class TestSyntheticChain:
+    def test_paper_example(self):
+        tree = CallingContextTree()
+        dead = make_context(tree, "main", "A", "B")
+        kill = make_context(tree, "main", "C", "D")
+        assert synthetic_chain(dead, kill) == "main->A->B->KILLED_BY->main->C->D"
+
+    def test_custom_join(self):
+        tree = CallingContextTree()
+        a = make_context(tree, "x")
+        b = make_context(tree, "y")
+        assert synthetic_chain(a, b, join="RELOADED_BY") == "x->RELOADED_BY->y"
+
+    def test_plain_strings_ok(self):
+        assert synthetic_chain("src", "dst") == "src->KILLED_BY->dst"

@@ -1,0 +1,132 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import CLIError, main, resolve_workload
+from repro.execution.machine import Machine
+from repro.hardware.cpu import SimulatedCPU
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestResolveWorkload:
+    def test_spec_with_and_without_prefix(self):
+        for name in ("gcc", "spec:gcc"):
+            workload = resolve_workload(name, scale=0.05)
+            cpu = SimulatedCPU()
+            workload(Machine(cpu))
+            assert cpu.ledger.counts["access"] > 100
+
+    def test_micro(self):
+        workload = resolve_workload("micro:listing2")
+        cpu = SimulatedCPU()
+        workload(Machine(cpu))
+        assert cpu.ledger.counts["access"] == 4000
+
+    def test_case_variants(self):
+        baseline = resolve_workload("case:vacation")
+        optimized = resolve_workload("case:vacation:optimized")
+        runs = []
+        for workload in (baseline, optimized):
+            cpu = SimulatedCPU()
+            workload(Machine(cpu))
+            runs.append(cpu.ledger.native_cycles)
+        assert runs[0] > runs[1]  # the fix does less work
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["nosuch", "micro:nosuch", "case:nosuch", "case:vacation:nosuch"],
+    )
+    def test_unknown_names_raise(self, bad):
+        with pytest.raises(CLIError):
+            resolve_workload(bad)
+
+
+class TestCommands:
+    def test_list(self):
+        code, text = run_cli("list")
+        assert code == 0
+        assert "gcc" in text
+        assert "listing2" in text
+        assert "binutils-2.27" in text
+
+    def test_profile(self):
+        code, text = run_cli("profile", "micro:listing1", "--period", "37")
+        assert code == 0
+        assert "deadcraft: redundancy" in text
+        assert "KILLED_BY" in text
+
+    def test_profile_with_view(self):
+        code, text = run_cli("profile", "micro:listing1", "--period", "37", "--view")
+        assert code == 0
+        assert "waste by calling context" in text
+
+    def test_profile_other_tools(self):
+        for tool in ("silentcraft", "loadcraft"):
+            code, text = run_cli("profile", "micro:listing1", "--tool", tool)
+            assert code == 0
+            assert tool in text
+
+    def test_compare(self):
+        code, text = run_cli("compare", "spec:gcc", "--scale", "0.1")
+        assert code == 0
+        assert "deadspy (exhaustive)" in text
+        assert "slowdown at paper scale" in text
+
+    def test_casestudy(self):
+        code, text = run_cli("casestudy", "bzip2")
+        assert code == 0
+        assert "speedup after fix" in text
+
+    def test_casestudy_unknown_is_an_error(self):
+        code, _ = run_cli("casestudy", "doom")
+        assert code == 2
+
+    def test_record_and_replay(self, tmp_path):
+        trace = tmp_path / "x.trace"
+        code, text = run_cli("record", "micro:listing2", "-o", str(trace))
+        assert code == 0
+        assert "recorded 4000 accesses" in text
+        code, text = run_cli("profile", f"trace:{trace}", "--period", "29")
+        assert code == 0
+        assert "deadcraft" in text
+
+    def test_unknown_workload_exit_code(self):
+        code, _ = run_cli("profile", "nosuch")
+        assert code == 2
+
+
+class TestOutputs:
+    def test_profile_json_output(self, tmp_path):
+        from repro.core.report import InefficiencyReport
+
+        path = tmp_path / "r.json"
+        code, text = run_cli("profile", "micro:listing1", "--period", "37",
+                             "--json", str(path))
+        assert code == 0
+        assert f"wrote {path}" in text
+        loaded = InefficiencyReport.load(str(path))
+        assert loaded.tool == "deadcraft"
+
+    def test_profile_html_output(self, tmp_path):
+        path = tmp_path / "r.html"
+        code, text = run_cli("profile", "micro:listing1", "--period", "37",
+                             "--html", str(path))
+        assert code == 0
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_suite_command(self):
+        code, text = run_cli("suite", "gcc", "--scale", "0.1")
+        assert code == 0
+        assert "gcc" in text
+        assert "craft/spy" in text
+
+    def test_suite_rejects_unknown_benchmark(self):
+        code, _ = run_cli("suite", "quake3")
+        assert code == 2

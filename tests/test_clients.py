@@ -1,0 +1,182 @@
+"""Behavioural tests for the three witchcraft clients (section 6)."""
+
+import pytest
+
+from repro.core.loadcraft import LoadCraft
+from repro.core.silentcraft import SilentCraft
+from repro.core.witch import WitchFramework
+from repro.execution.machine import Machine
+from repro.hardware.cpu import SimulatedCPU
+
+
+def silent_machine(period=1, precision=0.01, **kwargs):
+    cpu = SimulatedCPU()
+    client = SilentCraft(cpu, float_precision=precision)
+    witch = WitchFramework(cpu, client, period=period, **kwargs)
+    return Machine(cpu), witch
+
+
+def load_machine(period=1, precision=0.01, **kwargs):
+    cpu = SimulatedCPU()
+    client = LoadCraft(cpu, float_precision=precision)
+    witch = WitchFramework(cpu, client, period=period, **kwargs)
+    return Machine(cpu), witch
+
+
+class TestSilentCraft:
+    def test_same_value_store_is_silent(self):
+        m, witch = silent_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 7, pc="a.c:1")
+            m.store_int(addr, 7, pc="a.c:2")
+        assert witch.redundancy_fraction() == 1.0
+
+    def test_different_value_store_is_use(self):
+        m, witch = silent_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 7, pc="a.c:1")
+            m.store_int(addr, 8, pc="a.c:2")
+        assert witch.redundancy_fraction() == 0.0
+        assert witch.pairs.total_use() > 0
+
+    def test_loads_do_not_trap(self):
+        """W_TRAP: intervening loads are disregarded (section 6.1)."""
+        m, witch = silent_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 7, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+            m.load_int(addr, pc="a.c:2")
+            m.store_int(addr, 7, pc="a.c:3")
+        assert witch.traps_handled == 1
+        assert witch.redundancy_fraction() == 1.0
+
+    def test_float_within_precision_is_silent(self):
+        m, witch = silent_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_float(addr, 100.0, pc="a.c:1")
+            m.store_float(addr, 100.4, pc="a.c:2")  # 0.4% < 1%
+        assert witch.redundancy_fraction() == 1.0
+
+    def test_float_outside_precision_is_use(self):
+        m, witch = silent_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_float(addr, 100.0, pc="a.c:1")
+            m.store_float(addr, 105.0, pc="a.c:2")  # 5% > 1%
+        assert witch.redundancy_fraction() == 0.0
+
+    def test_exact_mode_rejects_close_floats(self):
+        m, witch = silent_machine(precision=None)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_float(addr, 100.0, pc="a.c:1")
+            m.store_float(addr, 100.4, pc="a.c:2")
+        assert witch.redundancy_fraction() == 0.0
+
+    def test_partial_overlap_compares_bytes_exactly(self):
+        """The comparison is limited to overlapping bytes (section 6.1)."""
+        m, witch = silent_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store(addr, b"\x11\x22\x33\x44\x55\x66\x77\x88", pc="a.c:1")
+            # Rewrite the top half with the identical bytes.
+            m.store(addr + 4, b"\x55\x66\x77\x88", pc="a.c:2")
+        assert witch.redundancy_fraction() == 1.0
+        assert witch.pairs.total_waste() == pytest.approx(4.0)
+
+    def test_trap_after_execute_semantics(self):
+        """Memory holds the new value when the trap fires; SilentCraft must
+        compare against its remembered copy, not re-read the old value."""
+        m, witch = silent_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.store_int(addr, 2, pc="a.c:2")  # memory now holds 2
+            m.store_int(addr, 2, pc="a.c:3")  # silent vs the *remembered* 2
+        assert witch.pairs.total_use() == pytest.approx(8.0)
+        assert witch.pairs.total_waste() == pytest.approx(8.0)
+
+    def test_value_record_cost_charged(self):
+        m, witch = silent_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+        assert m.cpu.ledger.counts["value_record"] == 1
+
+
+class TestLoadCraft:
+    def test_unchanged_reload_is_waste(self):
+        m, witch = load_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 7, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+            m.load_int(addr, pc="a.c:3")
+        assert witch.redundancy_fraction() == 1.0
+
+    def test_changed_value_is_use(self):
+        m, witch = load_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 7, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+            m.store_int(addr, 8, pc="a.c:3")
+            m.load_int(addr, pc="a.c:4")
+        assert witch.redundancy_fraction() == 0.0
+
+    def test_store_trap_is_dropped_but_watchpoint_kept(self):
+        """x86 has no load-only watchpoint: store traps are spurious and
+        the watchpoint survives them (section 6.2)."""
+        m, witch = load_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 7, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")  # sampled, watched
+            m.store_int(addr, 7, pc="a.c:3")  # spurious trap, kept armed
+            m.load_int(addr, pc="a.c:4")  # real trap
+        assert m.cpu.ledger.counts["spurious_trap"] >= 1
+        assert witch.traps_handled >= 1
+        assert witch.redundancy_fraction() == 1.0
+
+    def test_change_and_revert_counts_as_waste(self):
+        """Stores that change and revert the value are ignored by design."""
+        m, witch = load_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 7, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+            m.store_int(addr, 9, pc="a.c:3")  # change...
+            m.store_int(addr, 7, pc="a.c:4")  # ...and revert
+            m.load_int(addr, pc="a.c:5")
+        assert witch.redundancy_fraction() == 1.0
+
+    def test_float_approximate_reload(self):
+        m, witch = load_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_float(addr, 50.0, pc="a.c:1")
+            m.load_float(addr, pc="a.c:2")
+            m.store_float(addr, 50.2, pc="a.c:3")  # drifts 0.4%
+            m.load_float(addr, pc="a.c:4")
+        assert witch.redundancy_fraction() == 1.0
+
+    def test_samples_loads_not_stores(self):
+        m, witch = load_machine(period=1)
+        addr = m.alloc(8)
+        with m.function("main"):
+            for i in range(5):
+                m.store_int(addr, i, pc="a.c:1")
+        assert witch.samples_handled == 0
+
+    def test_redundancy_chain_label(self):
+        m, witch = load_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 7, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+            m.load_int(addr, pc="a.c:3")
+        assert "RELOADED_BY" in witch.report().top_chains()[0][0]

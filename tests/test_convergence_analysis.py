@@ -1,0 +1,30 @@
+"""Unit tests for the convergence analysis."""
+
+from repro.analysis.convergence import measure_convergence
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+
+def test_points_carry_the_sweep():
+    workload = workload_for(SPEC_SUITE["gcc"], scale=0.1)
+    points = measure_convergence(workload, "deadcraft", periods=(101, 31), seeds=(0, 1, 2))
+    assert [p.period for p in points] == [101, 31]
+    assert all(p.mean_samples > 0 for p in points)
+    assert all(0 <= p.mean_abs_error <= 1 for p in points)
+    assert all(p.rms_error >= p.mean_abs_error * 0.99 for p in points)  # RMS >= mean
+
+
+def test_denser_sampling_takes_more_samples():
+    workload = workload_for(SPEC_SUITE["gcc"], scale=0.1)
+    sparse, dense = measure_convergence(
+        workload, "deadcraft", periods=(211, 23), seeds=(0, 1)
+    )
+    assert dense.mean_samples > sparse.mean_samples
+
+
+def test_zero_seed_variance_gives_consistent_error():
+    workload = workload_for(SPEC_SUITE["gcc"], scale=0.1)
+    (point,) = measure_convergence(
+        workload, "deadcraft", periods=(47,), seeds=(5, 5), jitter_fraction=0.2
+    )
+    # Same seed twice: the two errors are identical, so RMS == mean.
+    assert point.rms_error == point.mean_abs_error

@@ -1,0 +1,97 @@
+"""Unit tests for repro.hardware.costmodel."""
+
+import pytest
+
+from repro.hardware.costmodel import CostModel, CycleLedger, MemoryLedger
+
+
+class TestCycleLedger:
+    def test_slowdown_is_one_without_tool_work(self):
+        ledger = CycleLedger()
+        ledger.charge_access()
+        assert ledger.slowdown == 1.0
+
+    def test_slowdown_of_empty_ledger(self):
+        assert CycleLedger().slowdown == 1.0
+
+    def test_slowdown_ratio(self):
+        ledger = CycleLedger()
+        for _ in range(10):
+            ledger.charge_access()
+        ledger.charge_tool(30.0)
+        assert ledger.slowdown == pytest.approx(4.0)
+
+    def test_named_events_counted(self):
+        ledger = CycleLedger()
+        ledger.charge_sample()
+        ledger.charge_sample()
+        ledger.charge_trap()
+        ledger.charge_spurious_trap()
+        ledger.charge_arm()
+        ledger.charge_value_record()
+        assert ledger.counts["sample"] == 2
+        assert ledger.counts["trap"] == 1
+        assert ledger.counts["spurious_trap"] == 1
+        assert ledger.counts["arm"] == 1
+        assert ledger.counts["value_record"] == 1
+
+    def test_charges_follow_model_prices(self):
+        model = CostModel()
+        ledger = CycleLedger(model)
+        ledger.charge_sample()
+        ledger.charge_trap()
+        assert ledger.tool_cycles == model.sample_cycles + model.trap_cycles
+
+    def test_calls_cost_less_than_accesses(self):
+        model = CostModel()
+        assert model.native_cycles_per_call < model.native_cycles_per_access * 2
+
+    def test_tool_cycles_per_event(self):
+        ledger = CycleLedger()
+        ledger.charge_sample()
+        assert ledger.tool_cycles_per("sample") == ledger.model.sample_cycles
+        assert ledger.tool_cycles_per("never_happened") == 0.0
+
+
+class TestMemoryLedger:
+    def test_bloat_of_empty_native_is_one(self):
+        assert MemoryLedger().bloat == 1.0
+
+    def test_bloat_accumulates_components(self):
+        model = CostModel()
+        ledger = MemoryLedger(
+            native_bytes=1 << 20,
+            shadow_bytes=1 << 20,
+            cct_nodes=10,
+            pair_records=5,
+            fixed_bytes=0,
+            model=model,
+        )
+        expected_tool = (1 << 20) + 10 * model.cct_node_bytes + 5 * model.pair_record_bytes
+        assert ledger.tool_bytes == expected_tool
+        assert ledger.bloat == pytest.approx(1 + expected_tool / (1 << 20))
+
+
+class TestCalibration:
+    """The cost model's relative prices encode the paper's structure."""
+
+    def test_exhaustive_tools_cost_tens_of_accesses(self):
+        model = CostModel()
+        assert 20 <= model.deadspy_cycles_per_access <= 60
+        assert 20 <= model.redspy_cycles_per_access <= 60
+        assert model.loadspy_cycles_per_access > model.deadspy_cycles_per_access
+
+    def test_signals_cost_tens_of_thousands(self):
+        model = CostModel()
+        assert model.sample_cycles >= 10_000
+        assert model.trap_cycles >= 10_000
+        assert model.spurious_trap_cycles <= model.trap_cycles
+
+    def test_shadow_ratios_match_tool_state(self):
+        model = CostModel()
+        # LoadSpy keeps values; DeadSpy just state + context.
+        assert model.loadspy_shadow_bytes_per_byte > model.deadspy_shadow_bytes_per_byte
+
+    def test_model_is_frozen(self):
+        with pytest.raises(AttributeError):
+            CostModel().sample_cycles = 1.0

@@ -1,0 +1,196 @@
+"""Unit tests for repro.hardware.cpu: dispatch order and wiring."""
+
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.debugreg import TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.pmu import PMU
+
+
+def store(cpu, address, data=b"\x01" * 8, thread_id=0):
+    cpu.store(address, data, pc="t.c:1", context="ctx", thread_id=thread_id)
+
+
+def load(cpu, address, length=8, thread_id=0):
+    return cpu.load(address, length, pc="t.c:2", context="ctx", thread_id=thread_id)
+
+
+class RecordingObserver:
+    def __init__(self, cpu):
+        self.cpu = cpu
+        self.seen = []
+
+    def observe(self, access, data):
+        # Memory must still hold the pre-access contents.
+        old = self.cpu.memory.read(access.address, access.length)
+        self.seen.append((access.kind, access.address, data, old))
+
+
+class TestAccessPaths:
+    def test_store_commits_to_memory(self):
+        cpu = SimulatedCPU()
+        store(cpu, 100, b"\x2a" * 8)
+        assert cpu.memory.read(100, 8) == b"\x2a" * 8
+
+    def test_load_returns_memory_contents(self):
+        cpu = SimulatedCPU()
+        store(cpu, 100, b"\x07" * 8)
+        assert load(cpu, 100) == b"\x07" * 8
+
+    def test_store_without_data_raises(self):
+        cpu = SimulatedCPU()
+        access = MemoryAccess(AccessType.STORE, 0, 8, "t.c:1", "ctx")
+        try:
+            cpu.access(access)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("expected ValueError")
+
+    def test_every_access_charges_native_cycles(self):
+        cpu = SimulatedCPU()
+        store(cpu, 0)
+        load(cpu, 0)
+        assert cpu.ledger.counts["access"] == 2
+        assert cpu.ledger.native_cycles == 2.0
+
+
+class TestObservers:
+    def test_observer_sees_pre_commit_memory(self):
+        cpu = SimulatedCPU()
+        observer = RecordingObserver(cpu)
+        cpu.add_observer(observer)
+        store(cpu, 100, b"\x01" * 8)
+        store(cpu, 100, b"\x02" * 8)
+        kind, address, data, old = observer.seen[1]
+        assert data == b"\x02" * 8
+        assert old == b"\x01" * 8  # the first store's value, not the second's
+
+    def test_observer_sees_loads_with_none_data(self):
+        cpu = SimulatedCPU()
+        observer = RecordingObserver(cpu)
+        cpu.add_observer(observer)
+        load(cpu, 100)
+        assert observer.seen[0][2] is None
+
+    def test_multiple_observers_all_called(self):
+        cpu = SimulatedCPU()
+        first, second = RecordingObserver(cpu), RecordingObserver(cpu)
+        cpu.add_observer(first)
+        cpu.add_observer(second)
+        store(cpu, 0)
+        assert len(first.seen) == len(second.seen) == 1
+
+
+class TestTrapDispatch:
+    def test_trap_fires_after_commit(self):
+        cpu = SimulatedCPU()
+        seen = []
+
+        def handler(access, watchpoint, overlap):
+            # x86 semantics: the store has already committed.
+            seen.append(cpu.memory.read(access.address, access.length))
+
+        cpu.set_trap_handler(handler)
+        cpu.debug_registers(0).arm(Watchpoint(100, 8, TrapMode.RW_TRAP))
+        store(cpu, 100, b"\x55" * 8)
+        assert seen == [b"\x55" * 8]
+
+    def test_trap_reports_overlap(self):
+        cpu = SimulatedCPU()
+        overlaps = []
+        cpu.set_trap_handler(lambda a, w, o: overlaps.append(o))
+        cpu.debug_registers(0).arm(Watchpoint(100, 8, TrapMode.RW_TRAP))
+        store(cpu, 104, b"\x01" * 8)
+        assert overlaps == [4]
+
+    def test_traps_are_per_thread(self):
+        cpu = SimulatedCPU()
+        hits = []
+        cpu.set_trap_handler(lambda a, w, o: hits.append(a.thread_id))
+        cpu.debug_registers(1).arm(Watchpoint(100, 8, TrapMode.RW_TRAP, thread_id=1))
+        store(cpu, 100, thread_id=0)  # other thread: no trap
+        assert hits == []
+        store(cpu, 100, thread_id=1)
+        assert hits == [1]
+
+    def test_no_handler_no_crash(self):
+        cpu = SimulatedCPU()
+        cpu.debug_registers(0).arm(Watchpoint(100, 8, TrapMode.RW_TRAP))
+        store(cpu, 100)  # handler absent; access still commits
+        assert cpu.memory.read(100, 1) == b"\x01"
+
+
+class TestSampling:
+    def test_sample_delivered_on_overflow(self):
+        cpu = SimulatedCPU()
+        samples = []
+        cpu.attach_sampling(lambda: PMU(period=2), samples.append)
+        store(cpu, 0)
+        store(cpu, 8)
+        assert len(samples) == 1
+        assert samples[0].access.address == 8
+
+    def test_sample_value_is_post_commit(self):
+        cpu = SimulatedCPU()
+        samples = []
+        cpu.attach_sampling(lambda: PMU(period=1), samples.append)
+        store(cpu, 0, b"\x09" * 8)
+        assert samples[0].value == b"\x09" * 8
+
+    def test_pmu_instances_are_per_thread(self):
+        cpu = SimulatedCPU()
+        samples = []
+        cpu.attach_sampling(lambda: PMU(period=2), samples.append)
+        store(cpu, 0, thread_id=0)
+        store(cpu, 8, thread_id=1)  # separate counter: no overflow yet
+        assert samples == []
+        store(cpu, 16, thread_id=0)
+        assert len(samples) == 1
+        assert cpu.pmu(0) is not cpu.pmu(1)
+
+    def test_trap_precedes_sample_on_same_access(self):
+        """A freed register is available to the sample on the same access."""
+        cpu = SimulatedCPU()
+        order = []
+        cpu.attach_sampling(lambda: PMU(period=1), lambda s: order.append("sample"))
+        cpu.set_trap_handler(lambda a, w, o: order.append("trap"))
+        cpu.debug_registers(0).arm(Watchpoint(0, 8, TrapMode.RW_TRAP))
+        store(cpu, 0)
+        assert order == ["trap", "sample"]
+
+    def test_total_counters(self):
+        cpu = SimulatedCPU()
+        cpu.attach_sampling(lambda: PMU(period=2), lambda s: None)
+        for i in range(6):
+            store(cpu, 8 * i)
+        assert cpu.total_counted_events == 6
+        assert cpu.total_samples == 3
+
+
+class TestSingleToolContract:
+    def test_second_sampling_client_rejected(self):
+        import pytest
+
+        cpu = SimulatedCPU()
+        cpu.attach_sampling(lambda: PMU(period=2), lambda s: None)
+        with pytest.raises(RuntimeError, match="already attached"):
+            cpu.attach_sampling(lambda: PMU(period=2), lambda s: None)
+
+    def test_second_trap_handler_rejected(self):
+        import pytest
+
+        cpu = SimulatedCPU()
+        cpu.set_trap_handler(lambda a, w, o: None)
+        with pytest.raises(RuntimeError, match="already installed"):
+            cpu.set_trap_handler(lambda a, w, o: None)
+
+    def test_two_frameworks_on_one_cpu_fail_loudly(self):
+        import pytest
+
+        from repro.core.deadcraft import DeadCraft
+        from repro.core.witch import WitchFramework
+
+        cpu = SimulatedCPU()
+        WitchFramework(cpu, DeadCraft(), period=10)
+        with pytest.raises(RuntimeError):
+            WitchFramework(cpu, DeadCraft(), period=10)

@@ -1,0 +1,141 @@
+"""Unit tests for repro.hardware.debugreg."""
+
+import pytest
+
+from repro.hardware.debugreg import DebugRegisterFile, TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess
+
+
+def access(kind=AccessType.STORE, address=100, length=8):
+    return MemoryAccess(kind, address, length, pc="t.c:1", context="ctx")
+
+
+def watch(address=100, length=8, mode=TrapMode.RW_TRAP):
+    return Watchpoint(address=address, length=length, mode=mode)
+
+
+class TestTrapMode:
+    def test_w_trap_matches_store(self):
+        assert TrapMode.W_TRAP.matches(access(AccessType.STORE))
+
+    def test_w_trap_ignores_load(self):
+        assert not TrapMode.W_TRAP.matches(access(AccessType.LOAD))
+
+    def test_rw_trap_matches_both(self):
+        assert TrapMode.RW_TRAP.matches(access(AccessType.STORE))
+        assert TrapMode.RW_TRAP.matches(access(AccessType.LOAD))
+
+
+class TestArmDisarm:
+    def test_default_x86_count(self):
+        assert DebugRegisterFile().count == 4
+
+    def test_rejects_zero_registers(self):
+        with pytest.raises(ValueError):
+            DebugRegisterFile(0)
+
+    def test_arm_uses_free_slot(self):
+        registers = DebugRegisterFile(2)
+        slot = registers.arm(watch())
+        assert slot == 0
+        assert registers.armed_count == 1
+
+    def test_arm_second_takes_next_slot(self):
+        registers = DebugRegisterFile(2)
+        registers.arm(watch())
+        assert registers.arm(watch(address=200)) == 1
+
+    def test_arm_full_without_slot_raises(self):
+        registers = DebugRegisterFile(1)
+        registers.arm(watch())
+        with pytest.raises(RuntimeError):
+            registers.arm(watch(address=200))
+
+    def test_arm_replaces_named_slot(self):
+        registers = DebugRegisterFile(1)
+        registers.arm(watch(address=100))
+        registers.arm(watch(address=200), slot=0)
+        assert registers.get(0).address == 200
+
+    def test_disarm_returns_watchpoint(self):
+        registers = DebugRegisterFile(2)
+        wp = watch()
+        registers.arm(wp)
+        assert registers.disarm(0) is wp
+        assert wp.slot == -1
+        assert registers.armed_count == 0
+
+    def test_disarm_empty_slot_returns_none(self):
+        assert DebugRegisterFile(2).disarm(1) is None
+
+    def test_free_slot_none_when_full(self):
+        registers = DebugRegisterFile(1)
+        registers.arm(watch())
+        assert registers.free_slot() is None
+
+    def test_armed_slots(self):
+        registers = DebugRegisterFile(3)
+        registers.arm(watch(), slot=2)
+        assert registers.armed_slots() == [2]
+
+    def test_disarm_all(self):
+        registers = DebugRegisterFile(3)
+        registers.arm(watch())
+        registers.arm(watch(address=200))
+        registers.disarm_all()
+        assert registers.armed_count == 0
+
+    def test_slot_recorded_on_watchpoint(self):
+        registers = DebugRegisterFile(4)
+        wp = watch()
+        registers.arm(wp, slot=3)
+        assert wp.slot == 3
+
+
+class TestCheck:
+    def test_exact_hit(self):
+        registers = DebugRegisterFile(1)
+        registers.arm(watch(address=100, length=8))
+        tripped = registers.check(access(address=100, length=8))
+        assert len(tripped) == 1
+        assert tripped[0][1] == 8
+
+    def test_partial_overlap_bytes(self):
+        registers = DebugRegisterFile(1)
+        registers.arm(watch(address=100, length=8))
+        tripped = registers.check(access(address=104, length=8))
+        assert tripped[0][1] == 4
+
+    def test_miss(self):
+        registers = DebugRegisterFile(1)
+        registers.arm(watch(address=100, length=8))
+        assert registers.check(access(address=108, length=8)) == []
+
+    def test_w_trap_ignores_loads(self):
+        registers = DebugRegisterFile(1)
+        registers.arm(watch(mode=TrapMode.W_TRAP))
+        assert registers.check(access(AccessType.LOAD)) == []
+        assert len(registers.check(access(AccessType.STORE))) == 1
+
+    def test_watchpoint_survives_trap(self):
+        """x86 watchpoints stay armed until explicitly cleared."""
+        registers = DebugRegisterFile(1)
+        registers.arm(watch())
+        registers.check(access())
+        assert registers.armed_count == 1
+        assert len(registers.check(access())) == 1
+
+    def test_wide_access_trips_multiple(self):
+        registers = DebugRegisterFile(2)
+        registers.arm(watch(address=100, length=4))
+        registers.arm(watch(address=112, length=4))
+        wide = access(address=96, length=32)
+        assert len(registers.check(wide)) == 2
+
+    def test_empty_file_never_trips(self):
+        assert DebugRegisterFile(4).check(access()) == []
+
+    def test_one_byte_watch(self):
+        registers = DebugRegisterFile(1)
+        registers.arm(watch(address=105, length=1))
+        assert registers.check(access(address=100, length=8))[0][1] == 1

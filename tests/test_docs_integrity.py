@@ -1,0 +1,64 @@
+"""Documentation integrity: referenced files exist, quickstart code runs."""
+
+import pathlib
+import re
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_top_level_docs_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE", "CITATION.cff"):
+        assert (ROOT / name).is_file(), name
+
+
+def test_docs_directory_complete():
+    expected = {"algorithms.md", "simulator.md", "extending.md", "api.md", "casestudies.md"}
+    assert {p.name for p in (ROOT / "docs").glob("*.md")} == expected
+
+
+def test_readme_example_table_matches_examples_dir():
+    readme = (ROOT / "README.md").read_text()
+    for path in (ROOT / "examples").glob("*.py"):
+        assert f"`{path.name}`" in readme, f"{path.name} missing from README"
+
+
+def test_readme_markdown_links_resolve():
+    readme = (ROOT / "README.md").read_text()
+    for target in re.findall(r"\]\(([A-Za-z0-9_./-]+\.md)\)", readme):
+        assert (ROOT / target).is_file(), target
+
+
+def test_design_module_map_paths_exist():
+    design = (ROOT / "DESIGN.md").read_text()
+    block = design.split("```")[1]  # the module-map code fence
+    for line in block.splitlines():
+        match = re.match(r"\s+([a-z_]+\.py)\s+#", line)
+        if match:
+            name = match.group(1)
+            hits = list((ROOT / "src" / "repro").rglob(name))
+            assert hits, f"DESIGN.md mentions {name} but it does not exist"
+
+
+def test_experiments_references_existing_results():
+    experiments = (ROOT / "EXPERIMENTS.md").read_text()
+    for target in re.findall(r"results/([a-z0-9_]+\.txt)", experiments):
+        assert (ROOT / "results" / target).is_file(), target
+
+
+def test_readme_quickstart_snippet_executes():
+    readme = (ROOT / "README.md").read_text()
+    snippet = re.search(r"```python\n(.*?)```", readme, re.S).group(1)
+    # The snippet's output comment lines are not code.
+    code = "\n".join(l for l in snippet.splitlines() if not l.startswith("#"))
+    namespace: dict = {}
+    exec(compile(code, "README-quickstart", "exec"), namespace)  # noqa: S102
+    assert "witch" in namespace
+
+
+def test_api_doc_names_exist():
+    """Every backticked dotted repro.* name in docs/api.md imports."""
+    import importlib
+
+    api = (ROOT / "docs" / "api.md").read_text()
+    for module_name in set(re.findall(r"`(repro(?:\.[a-z_]+)+)`", api)):
+        importlib.import_module(module_name)

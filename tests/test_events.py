@@ -1,0 +1,151 @@
+"""Unit tests for repro.hardware.events."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.events import (
+    AccessType,
+    MemoryAccess,
+    decode_value,
+    encode_value,
+    values_match,
+)
+
+
+def make_access(kind=AccessType.STORE, address=1000, length=8, **kwargs):
+    return MemoryAccess(kind, address, length, pc="t.c:1", context="ctx", **kwargs)
+
+
+class TestMemoryAccess:
+    def test_store_predicates(self):
+        access = make_access(AccessType.STORE)
+        assert access.is_store
+        assert not access.is_load
+
+    def test_load_predicates(self):
+        access = make_access(AccessType.LOAD)
+        assert access.is_load
+        assert not access.is_store
+
+    def test_end_is_one_past_last_byte(self):
+        assert make_access(address=100, length=8).end == 108
+
+    def test_full_overlap(self):
+        assert make_access(address=100, length=8).overlap(100, 8) == 8
+
+    def test_partial_overlap_left(self):
+        assert make_access(address=100, length=8).overlap(96, 8) == 4
+
+    def test_partial_overlap_right(self):
+        assert make_access(address=100, length=8).overlap(104, 8) == 4
+
+    def test_no_overlap_adjacent(self):
+        assert make_access(address=100, length=8).overlap(108, 8) == 0
+
+    def test_no_overlap_disjoint(self):
+        assert make_access(address=100, length=8).overlap(0, 8) == 0
+
+    def test_contained_overlap(self):
+        assert make_access(address=100, length=16).overlap(104, 4) == 4
+
+    def test_defaults(self):
+        access = make_access()
+        assert access.thread_id == 0
+        assert not access.is_float
+        assert not access.long_latency
+
+    def test_frozen(self):
+        access = make_access()
+        with pytest.raises(AttributeError):
+            access.address = 5
+
+
+class TestEncodeDecode:
+    def test_int_roundtrip(self):
+        raw = encode_value(12345, 8, False)
+        assert decode_value(raw, False) == 12345
+
+    def test_int_width(self):
+        assert len(encode_value(7, 4, False)) == 4
+
+    def test_int_wraps_to_width(self):
+        raw = encode_value(0x1FF, 1, False)
+        assert decode_value(raw, False) == 0xFF
+
+    def test_float64_roundtrip(self):
+        raw = encode_value(3.25, 8, True)
+        assert decode_value(raw, True) == 3.25
+
+    def test_float32_roundtrip(self):
+        raw = encode_value(0.5, 4, True)
+        assert decode_value(raw, True) == 0.5
+
+    def test_float_raw_is_ieee(self):
+        assert encode_value(1.0, 8, True) == struct.pack("<d", 1.0)
+
+    def test_odd_width_float_falls_back_to_int(self):
+        raw = encode_value(77, 2, True)
+        assert decode_value(raw, True) == 77
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_int_roundtrip_property(self, value):
+        assert decode_value(encode_value(value, 8, False), False) == value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_float_roundtrip_property(self, value):
+        assert decode_value(encode_value(value, 8, True), True) == value
+
+
+class TestValuesMatch:
+    def test_identical_bytes_match(self):
+        assert values_match(b"\x01\x02", b"\x01\x02", False, None)
+
+    def test_different_ints_do_not_match(self):
+        a = encode_value(10, 8, False)
+        b = encode_value(11, 8, False)
+        assert not values_match(a, b, False, 0.01)
+
+    def test_float_within_precision_matches(self):
+        a = encode_value(100.0, 8, True)
+        b = encode_value(100.5, 8, True)
+        assert values_match(a, b, True, 0.01)
+
+    def test_float_outside_precision_differs(self):
+        a = encode_value(100.0, 8, True)
+        b = encode_value(102.0, 8, True)
+        assert not values_match(a, b, True, 0.01)
+
+    def test_float_exact_mode(self):
+        a = encode_value(100.0, 8, True)
+        b = encode_value(100.0000001, 8, True)
+        assert not values_match(a, b, True, None)
+
+    def test_zero_vs_zero(self):
+        a = encode_value(0.0, 8, True)
+        b = encode_value(-0.0, 8, True)
+        assert values_match(a, b, True, 0.01)
+
+    def test_mismatched_lengths_differ(self):
+        assert not values_match(b"\x01", b"\x01\x00", True, 0.01)
+
+    def test_float32_precision(self):
+        a = encode_value(1.0, 4, True)
+        b = encode_value(1.005, 4, True)
+        assert values_match(a, b, True, 0.01)
+
+    @given(st.binary(min_size=1, max_size=16))
+    def test_reflexive(self, raw):
+        assert values_match(raw, raw, False, None)
+        assert values_match(raw, raw, True, 0.01)
+
+    @given(
+        st.floats(min_value=1e-6, max_value=1e12),
+        st.floats(min_value=1e-6, max_value=1e12),
+    )
+    def test_symmetric_for_floats(self, x, y):
+        a = encode_value(x, 8, True)
+        b = encode_value(y, 8, True)
+        assert values_match(a, b, True, 0.01) == values_match(b, a, True, 0.01)

@@ -1,0 +1,101 @@
+"""Smoke-run every example so the documentation cannot rot.
+
+Each example's ``main()`` is executed with stdout captured; the test
+checks the banner facts each example promises.  (Examples are the first
+thing a new user runs -- they must always work.)
+"""
+
+import importlib.util
+import io
+import pathlib
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    # Examples guard execution behind __main__, so loading is side-effect
+    # free; we call main() explicitly.
+    saved = sys.modules.get(spec.name)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main()
+        return buffer.getvalue()
+    finally:
+        if saved is None:
+            sys.modules.pop(spec.name, None)
+        else:
+            sys.modules[spec.name] = saved
+
+
+def test_every_example_has_a_test():
+    examples = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    covered = {
+        "quickstart",
+        "hunt_dead_stores",
+        "diagnose_linear_search",
+        "false_sharing",
+        "sampling_period_tradeoff",
+        "custom_client",
+        "triage_report",
+        "record_and_replay",
+    }
+    assert examples == covered, f"untested examples: {examples - covered}"
+
+
+def test_quickstart():
+    out = run_example("quickstart")
+    assert "server.c:88" in out
+    assert "KILLED_BY" in out
+
+
+def test_hunt_dead_stores():
+    out = run_example("hunt_dead_stores")
+    assert "exhaustive: DeadSpy" in out
+    assert "agreement" in out
+    assert "loop_regs_scan" in out
+
+
+def test_diagnose_linear_search():
+    out = run_example("diagnose_linear_search")
+    assert "lookup_address_in_function_table" in out
+    assert "speedup:" in out
+
+
+def test_false_sharing():
+    out = run_example("false_sharing")
+    assert "false-sharing traps: 0" in out  # the padded section
+    assert "padded counters" in out
+
+
+def test_sampling_period_tradeoff():
+    out = run_example("sampling_period_tradeoff")
+    assert "500K" in out
+    assert "slowdown" in out
+
+
+def test_custom_client():
+    out = run_example("custom_client")
+    assert "spillcraft" in out
+    assert "hot.c:spill" in out
+
+
+def test_triage_report():
+    out = run_example("triage_report")
+    assert "worth investigating" in out
+    assert "ceiling" in out
+
+
+def test_record_and_replay():
+    out = run_example("record_and_replay")
+    assert "recorded" in out
+    assert "HTML report" in out

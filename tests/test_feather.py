@@ -1,0 +1,139 @@
+"""Tests for the Feather false-sharing client (section 6.3)."""
+
+from repro.core.feather import CACHE_LINE_BYTES, FeatherFramework
+from repro.execution.machine import Machine, run_threads
+from repro.hardware.cpu import SimulatedCPU
+
+
+def feather_machine(period=1, **kwargs):
+    cpu = SimulatedCPU()
+    feather = FeatherFramework(cpu, period=period, **kwargs)
+    return Machine(cpu), feather
+
+
+def test_false_sharing_detected():
+    """Two threads pounding different halves of one cache line."""
+    m, feather = feather_machine()
+    line = m.alloc(CACHE_LINE_BYTES)
+    assert line % CACHE_LINE_BYTES == 0  # allocations are 64-aligned
+
+    def left(thread):
+        for i in range(40):
+            thread.store_int(line, i, pc="fs.c:left")
+            yield
+
+    def right(thread):
+        for i in range(40):
+            thread.store_int(line + 32, i, pc="fs.c:right")
+            yield
+
+    run_threads(m, [left, right])
+    report = feather.report()
+    assert report.false_sharing_traps > 0
+    assert report.false_sharing_fraction > 0.9
+
+
+def test_true_sharing_classified_as_use():
+    m, feather = feather_machine()
+    shared = m.alloc(8)
+
+    def writer(thread):
+        for i in range(40):
+            thread.store_int(shared, i, pc="ts.c:w")
+            yield
+
+    def reader(thread):
+        for _ in range(40):
+            thread.load_int(shared, pc="ts.c:r")
+            yield
+
+    run_threads(m, [writer, reader])
+    report = feather.report()
+    assert report.true_sharing_traps > 0
+    assert report.false_sharing_fraction < 0.1
+
+
+def test_disjoint_lines_are_silent():
+    m, feather = feather_machine()
+    a = m.alloc(8)
+    b = m.alloc(8)  # guard gaps put this on another line
+
+    def one(thread):
+        for i in range(30):
+            thread.store_int(a, i, pc="d.c:1")
+            yield
+
+    def two(thread):
+        for i in range(30):
+            thread.store_int(b, i, pc="d.c:2")
+            yield
+
+    run_threads(m, [one, two])
+    report = feather.report()
+    assert report.false_sharing_traps == 0
+    assert report.true_sharing_traps == 0
+
+
+def test_single_thread_never_self_traps():
+    m, feather = feather_machine()
+    addr = m.alloc(8)
+
+    def solo(thread):
+        for i in range(30):
+            thread.store_int(addr, i, pc="s.c:1")
+            yield
+
+    run_threads(m, [solo])
+    report = feather.report()
+    assert report.samples > 0
+    assert report.false_sharing_traps == report.true_sharing_traps == 0
+
+
+def test_pairs_carry_thread_contexts():
+    m, feather = feather_machine()
+    line = m.alloc(CACHE_LINE_BYTES)
+
+    def left(thread):
+        with thread.function("producer"):
+            for i in range(30):
+                thread.store_int(line, i, pc="fs.c:left")
+                yield
+
+    def right(thread):
+        with thread.function("consumer"):
+            for i in range(30):
+                thread.store_int(line + 32, i, pc="fs.c:right")
+                yield
+
+    run_threads(m, [left, right])
+    pairs = list(feather.pairs)
+    assert pairs, "expected at least one attributed pair"
+    paths = {(w.path(), t.path()) for (w, t), _ in pairs}
+    assert any(
+        ("producer" in w and "consumer" in t) or ("consumer" in w and "producer" in t)
+        for w, t in paths
+    )
+
+
+def test_sampling_period_thins_detection():
+    m_dense, feather_dense = feather_machine(period=1)
+    m_sparse, feather_sparse = feather_machine(period=13)
+
+    def workload(machine):
+        line = machine.alloc(CACHE_LINE_BYTES)
+
+        def left(thread):
+            for i in range(60):
+                thread.store_int(line, i, pc="fs.c:left")
+                yield
+
+        def right(thread):
+            for i in range(60):
+                thread.store_int(line + 32, i, pc="fs.c:right")
+                yield
+
+        run_threads(machine, [left, right])
+
+    workload(m_dense)
+    workload(m_sparse)
+    assert feather_sparse.samples < feather_dense.samples

@@ -1,0 +1,96 @@
+"""Tests for the experiment harness plus stability/blindspot analyses."""
+
+import pytest
+
+from repro.analysis.blindspot import blindspot_sweep, measure_blindspot
+from repro.analysis.stability import measure_stability
+from repro.harness import (
+    GROUND_TRUTH_FOR,
+    make_client,
+    run_exhaustive,
+    run_native,
+    run_witch,
+)
+from repro.hardware.cpu import SimulatedCPU
+from repro.workloads.microbench import listing1_gcc_program, listing2_program
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+
+class TestRunners:
+    def test_make_client_names(self):
+        cpu = SimulatedCPU()
+        for name in ("deadcraft", "silentcraft", "loadcraft"):
+            assert make_client(name, cpu).name == name
+
+    def test_make_client_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            make_client("hexcraft", SimulatedCPU())
+
+    def test_run_native_has_no_tool_cost(self):
+        run = run_native(listing1_gcc_program)
+        assert run.cpu.ledger.tool_cycles == 0
+        assert run.native_cycles > 0
+
+    def test_run_witch_returns_full_state(self):
+        run = run_witch(listing1_gcc_program, tool="deadcraft", period=31)
+        assert run.report.tool == "deadcraft"
+        assert run.witch.samples_handled > 0
+        assert 0 <= run.fraction <= 1
+
+    def test_run_exhaustive_multiple_tools_one_pass(self):
+        run = run_exhaustive(listing1_gcc_program)
+        assert set(run.reports) == {"deadspy", "redspy", "loadspy"}
+        assert run.fraction("deadspy") > 0
+
+    def test_run_exhaustive_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            run_exhaustive(listing1_gcc_program, tools=("ghostspy",))
+
+    def test_ground_truth_map(self):
+        assert GROUND_TRUTH_FOR == {
+            "deadcraft": "deadspy",
+            "silentcraft": "redspy",
+            "loadcraft": "loadspy",
+        }
+
+    def test_runs_are_isolated(self):
+        first = run_witch(listing1_gcc_program, tool="deadcraft", period=31, seed=0)
+        second = run_witch(listing1_gcc_program, tool="deadcraft", period=31, seed=0)
+        assert first.fraction == second.fraction
+        assert first.cpu is not second.cpu
+
+
+class TestStability:
+    def test_stddev_matches_paper_scale(self):
+        """Run-to-run stddev is a couple of percentage points at most."""
+        wl = workload_for(SPEC_SUITE["gcc"].scaled(0.15))
+        result = measure_stability(wl, tool="deadcraft", period=101, seeds=range(6))
+        assert len(result.fractions) == 6
+        assert result.stddev_percent < 6.0
+        assert 0 < result.mean < 1
+
+    def test_identical_seeds_are_identical(self):
+        wl = workload_for(SPEC_SUITE["gcc"].scaled(0.1))
+        result = measure_stability(wl, tool="deadcraft", period=101, seeds=[3, 3, 3])
+        assert result.stddev == 0.0
+
+
+class TestBlindspot:
+    def test_typical_blindspot_is_small(self):
+        wl = workload_for(SPEC_SUITE["gcc"].scaled(0.2))
+        result = measure_blindspot(wl, benchmark="gcc", period=101)
+        assert result.fraction < 0.05
+
+    def test_long_distance_workload_has_larger_blindspot(self):
+        gcc = measure_blindspot(workload_for(SPEC_SUITE["gcc"].scaled(0.2)), period=101)
+        cold = measure_blindspot(listing2_program, period=29)
+        assert cold.fraction > gcc.fraction
+
+    def test_sweep_collects_by_name(self):
+        workloads = {
+            "gcc": workload_for(SPEC_SUITE["gcc"].scaled(0.1)),
+            "mcf": workload_for(SPEC_SUITE["mcf"].scaled(0.1)),
+        }
+        results = blindspot_sweep(workloads, period=101)
+        assert set(results) == {"gcc", "mcf"}
+        assert all(result.total_samples > 0 for result in results.values())

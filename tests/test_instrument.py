@@ -1,0 +1,293 @@
+"""Semantics tests for the exhaustive baselines (DeadSpy, RedSpy, LoadSpy)."""
+
+import pytest
+
+from repro.execution.machine import Machine
+from repro.hardware.cpu import SimulatedCPU
+from repro.instrument.deadspy import DeadSpy
+from repro.instrument.loadspy import LoadSpy
+from repro.instrument.redspy import RedSpy
+
+
+def machine_with(tool_factory):
+    cpu = SimulatedCPU()
+    tool = tool_factory(cpu)
+    return Machine(cpu), tool
+
+
+class TestDeadSpy:
+    def test_store_store_is_dead(self):
+        m, spy = machine_with(DeadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.store_int(addr, 2, pc="a.c:2")
+        assert spy.pairs.total_waste() == 8
+        assert spy.redundancy_fraction() == 1.0
+
+    def test_store_load_store_is_used(self):
+        m, spy = machine_with(DeadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+            m.store_int(addr, 2, pc="a.c:3")
+        assert spy.pairs.total_waste() == 0
+        assert spy.pairs.total_use() == 8
+
+    def test_repeated_loads_count_use_once(self):
+        m, spy = machine_with(DeadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            for _ in range(5):
+                m.load_int(addr, pc="a.c:2")
+        assert spy.pairs.total_use() == 8
+
+    def test_byte_granularity(self):
+        m, spy = machine_with(DeadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2", length=4)  # read only 4 bytes
+            m.store_int(addr, 2, pc="a.c:3")  # kill the unread upper half
+        assert spy.pairs.total_use() == 4
+        assert spy.pairs.total_waste() == 4
+
+    def test_trailing_store_is_unclassified(self):
+        m, spy = machine_with(DeadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+        assert spy.pairs.total_waste() == 0
+        assert spy.pairs.total_use() == 0
+
+    def test_listing1_memset_pattern(self):
+        """Re-zeroing a mostly-unread array: dead by the bucketful."""
+        m, spy = machine_with(DeadSpy)
+        arr = m.alloc(10 * 8)
+        with m.function("main"):
+            for i in range(10):
+                m.store_int(arr + 8 * i, 0, pc="g.c:3")
+            m.load_int(arr, pc="g.c:8")  # one element read
+            for i in range(10):
+                m.store_int(arr + 8 * i, 0, pc="g.c:11")
+        assert spy.redundancy_fraction() == pytest.approx(72 / 80)
+
+    def test_tracked_bytes(self):
+        m, spy = machine_with(DeadSpy)
+        addr = m.alloc(16)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.store_int(addr + 8, 1, pc="a.c:1")
+        assert spy.tracked_bytes == 16
+
+    def test_instrumentation_cost_charged_per_access(self):
+        m, spy = machine_with(DeadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+        assert m.cpu.ledger.counts["instrumented_access"] == 2
+        assert m.cpu.ledger.slowdown > 10
+
+
+class TestRedSpy:
+    def test_second_identical_store_is_silent(self):
+        m, spy = machine_with(RedSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 5, pc="a.c:1")
+            m.store_int(addr, 5, pc="a.c:2")
+        assert spy.pairs.total_waste() == 8
+
+    def test_first_store_is_never_classified(self):
+        """Storing zero over fresh (zero) memory is not a silent *pair*."""
+        m, spy = machine_with(RedSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 0, pc="a.c:1")
+        assert spy.pairs.total_waste() == 0
+        assert spy.pairs.total_use() == 0
+
+    def test_different_value_is_use(self):
+        m, spy = machine_with(RedSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 5, pc="a.c:1")
+            m.store_int(addr, 6, pc="a.c:2")
+        assert spy.pairs.total_use() == 8
+
+    def test_loads_ignored(self):
+        m, spy = machine_with(RedSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 5, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+            m.store_int(addr, 5, pc="a.c:3")
+        assert spy.pairs.total_waste() == 8
+
+    def test_float_approximate_equality(self):
+        m, spy = machine_with(RedSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_float(addr, 200.0, pc="a.c:1")
+            m.store_float(addr, 200.8, pc="a.c:2")  # 0.4%
+            m.store_float(addr, 260.0, pc="a.c:3")  # way off
+        assert spy.pairs.total_waste() == 8
+        assert spy.pairs.total_use() == 8
+
+    def test_whole_access_granularity(self):
+        """One differing byte makes the whole store non-silent (6.4)."""
+        m, spy = machine_with(RedSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store(addr, b"\x01\x02\x03\x04\x05\x06\x07\x08", pc="a.c:1")
+            m.store(addr, b"\x01\x02\x03\x04\x05\x06\x07\xff", pc="a.c:2")
+        assert spy.pairs.total_waste() == 0
+        assert spy.pairs.total_use() == 8
+
+
+class TestLoadSpy:
+    def test_repeat_load_unchanged_is_redundant(self):
+        m, spy = machine_with(LoadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 3, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+            m.load_int(addr, pc="a.c:3")
+        assert spy.pairs.total_waste() == 8
+
+    def test_first_load_is_not_classified(self):
+        m, spy = machine_with(LoadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 3, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+        assert spy.pairs.total_waste() == 0
+        assert spy.pairs.total_use() == 0
+
+    def test_changed_value_is_use(self):
+        m, spy = machine_with(LoadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 3, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+            m.store_int(addr, 4, pc="a.c:3")
+            m.load_int(addr, pc="a.c:4")
+        assert spy.pairs.total_use() == 8
+
+    def test_change_and_revert_is_still_redundant(self):
+        m, spy = machine_with(LoadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 3, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+            m.store_int(addr, 9, pc="a.c:3")
+            m.store_int(addr, 3, pc="a.c:4")
+            m.load_int(addr, pc="a.c:5")
+        assert spy.pairs.total_waste() == 8
+
+    def test_float_approximate(self):
+        m, spy = machine_with(LoadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_float(addr, 10.0, pc="a.c:1")
+            m.load_float(addr, pc="a.c:2")
+            m.store_float(addr, 10.05, pc="a.c:3")  # 0.5% drift
+            m.load_float(addr, pc="a.c:4")
+        assert spy.pairs.total_waste() == 8
+
+    def test_pairs_carry_contexts(self):
+        m, spy = machine_with(LoadSpy)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 3, pc="a.c:1")
+            with m.function("first"):
+                m.load_int(addr, pc="a.c:2")
+            with m.function("second"):
+                m.load_int(addr, pc="a.c:3")
+        ((pair, metrics),) = list(spy.pairs)
+        assert pair[0].path() == "main->first->a.c:2"
+        assert pair[1].path() == "main->second->a.c:3"
+
+
+class TestCraftVsSpyAgreement:
+    """The sampled and exhaustive tools must agree on simple programs."""
+
+    def test_all_three_on_a_mixed_program(self):
+        from repro.harness import GROUND_TRUTH_FOR, run_exhaustive, run_witch
+
+        def program(m):
+            a = m.alloc(8)
+            b = m.alloc(8)
+            with m.function("main"):
+                for i in range(50):
+                    m.store_int(a, 0, pc="p.c:1")  # dead + silent
+                    m.store_int(a, 0, pc="p.c:2")
+                    m.load_int(a, pc="p.c:3")  # redundant reload pairs
+                    m.load_int(a, pc="p.c:4")
+                    m.store_int(b, i, pc="p.c:5")  # clean
+                    m.load_int(b, pc="p.c:6")
+
+        exhaustive = run_exhaustive(program)
+        for craft in ("deadcraft", "silentcraft", "loadcraft"):
+            # The loop body has 3 stores and 3 loads: the period must be
+            # coprime to 3 or sampling locks onto one line (the artefact
+            # behind the paper's use of prime periods).
+            sampled = run_witch(program, tool=craft, period=5, seed=11)
+            truth = exhaustive.fraction(GROUND_TRUTH_FOR[craft])
+            assert sampled.fraction == pytest.approx(truth, abs=0.15), craft
+
+
+class TestBurstySampling:
+    """The paper's intermediate baseline: periodically-disabled monitoring."""
+
+    def _run(self, burst):
+        from repro.execution.machine import Machine
+        from repro.hardware.cpu import SimulatedCPU
+
+        cpu = SimulatedCPU()
+        spy = RedSpy(cpu, burst=burst)
+        m = Machine(cpu)
+        addr = m.alloc(80)
+        with m.function("main"):
+            for i in range(400):
+                slot = addr + 8 * (i % 10)
+                m.store_int(slot, 7, pc="b.c:1")
+                m.store_int(slot, 7, pc="b.c:2")
+        return cpu, spy
+
+    def test_burst_validation(self):
+        from repro.hardware.cpu import SimulatedCPU
+
+        with pytest.raises(ValueError):
+            RedSpy(SimulatedCPU(), burst=(0, 5))
+        with pytest.raises(ValueError):
+            RedSpy(SimulatedCPU(), burst=(5, -1))
+
+    def test_bursty_is_much_cheaper_than_exhaustive(self):
+        full_cpu, _ = self._run(burst=None)
+        bursty_cpu, _ = self._run(burst=(10, 90))
+        assert bursty_cpu.ledger.slowdown < full_cpu.ledger.slowdown / 3
+        assert bursty_cpu.ledger.slowdown > 2  # but nowhere near Witch's ~1.01
+
+    def test_bursty_still_finds_the_redundancy(self):
+        _, spy = self._run(burst=(20, 80))
+        assert spy.redundancy_fraction() > 0.8  # silent pairs dominate
+
+    def test_bursty_sees_a_fraction_of_accesses(self):
+        full_cpu, _ = self._run(burst=None)
+        bursty_cpu, _ = self._run(burst=(10, 90))
+        full_seen = full_cpu.ledger.counts["instrumented_access"]
+        bursty_seen = bursty_cpu.ledger.counts["instrumented_access"]
+        assert bursty_seen == pytest.approx(full_seen / 10, rel=0.05)
+        assert bursty_cpu.ledger.counts["burst_skipped"] > 0
+
+    def test_all_on_burst_equals_exhaustive(self):
+        full_cpu, full_spy = self._run(burst=None)
+        on_cpu, on_spy = self._run(burst=(1, 0))
+        assert on_spy.redundancy_fraction() == full_spy.redundancy_fraction()
+        assert on_cpu.ledger.counts["instrumented_access"] == full_cpu.ledger.counts[
+            "instrumented_access"
+        ]

@@ -1,0 +1,184 @@
+"""Unit tests for the execution machine and thread scheduler."""
+
+import pytest
+
+from repro.execution.machine import Machine, run_threads
+from repro.hardware.cpu import SimulatedCPU
+
+
+class TestAlloc:
+    def test_alloc_is_aligned(self):
+        m = Machine()
+        assert m.alloc(100) % 64 == 0
+        assert m.alloc(1) % 64 == 0
+
+    def test_allocations_do_not_overlap(self):
+        m = Machine()
+        a = m.alloc(100)
+        b = m.alloc(100)
+        assert b >= a + 100
+
+    def test_guard_gap_between_allocations(self):
+        m = Machine()
+        a = m.alloc(64)
+        b = m.alloc(64)
+        assert b - a > 64  # off-by-one bugs fault into the gap
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Machine().alloc(0)
+
+    def test_tracks_allocated_bytes(self):
+        m = Machine()
+        m.alloc(100)
+        m.alloc(28)
+        assert m.allocated_bytes == 128
+
+
+class TestTypedAccess:
+    def test_int_roundtrip(self):
+        m = Machine()
+        addr = m.alloc(8)
+        m.store_int(addr, 42, pc="t.c:1")
+        assert m.load_int(addr, pc="t.c:2") == 42
+
+    def test_int_width(self):
+        m = Machine()
+        addr = m.alloc(4)
+        m.store_int(addr, 0xDEADBEEF, pc="t.c:1", length=4)
+        assert m.load_int(addr, pc="t.c:2", length=4) == 0xDEADBEEF
+
+    def test_float_roundtrip(self):
+        m = Machine()
+        addr = m.alloc(8)
+        m.store_float(addr, 2.5, pc="t.c:1")
+        assert m.load_float(addr, pc="t.c:2") == 2.5
+
+    def test_raw_roundtrip(self):
+        m = Machine()
+        addr = m.alloc(16)
+        m.store(addr, b"0123456789abcdef", pc="t.c:1")
+        assert m.load(addr, 16, pc="t.c:2") == b"0123456789abcdef"
+
+
+class TestContexts:
+    def test_accesses_carry_current_context(self):
+        cpu = SimulatedCPU()
+        seen = []
+
+        class Observer:
+            def observe(self, access, data):
+                seen.append(access.context.path())
+
+        cpu.add_observer(Observer())
+        m = Machine(cpu)
+        addr = m.alloc(8)
+        with m.function("main"):
+            with m.function("helper"):
+                m.store_int(addr, 1, pc="t.c:1")
+        assert seen == ["main->helper->t.c:1"]
+
+    def test_context_pops_on_exit(self):
+        m = Machine()
+        with m.function("main"):
+            pass
+        assert m.context is m.tree.root
+
+    def test_context_pops_on_exception(self):
+        m = Machine()
+        with pytest.raises(RuntimeError):
+            with m.function("main"):
+                raise RuntimeError("boom")
+        assert m.context is m.tree.root
+
+    def test_reentry_reuses_node(self):
+        m = Machine()
+        with m.function("main") as first:
+            pass
+        with m.function("main") as second:
+            pass
+        assert first is second
+
+    def test_calls_charged_to_ledger(self):
+        m = Machine()
+        with m.function("main"):
+            with m.function("inner"):
+                pass
+        assert m.cpu.ledger.counts["call"] == 2
+
+
+class TestThreads:
+    def test_thread_contexts_are_cached(self):
+        m = Machine()
+        assert m.thread(3) is m.thread(3)
+
+    def test_thread_zero_is_machine(self):
+        m = Machine()
+        assert m.thread(0) is m
+
+    def test_threads_have_independent_stacks(self):
+        m = Machine()
+        t1 = m.thread(1)
+        with m.function("main"):
+            assert t1.context is m.tree.root
+
+    def test_run_threads_interleaves(self):
+        m = Machine()
+        order = []
+
+        def body_factory(tag):
+            def body(thread):
+                for i in range(3):
+                    order.append(tag)
+                    yield
+
+            return body
+
+        run_threads(m, [body_factory("a"), body_factory("b")])
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_run_threads_assigns_ids(self):
+        m = Machine()
+        ids = []
+
+        def body(thread):
+            ids.append(thread.thread_id)
+            yield
+
+        run_threads(m, [body, body, body])
+        assert ids == [1, 2, 3]
+
+    def test_run_threads_uneven_lengths(self):
+        m = Machine()
+        order = []
+
+        def short(thread):
+            order.append("s")
+            yield
+
+        def long(thread):
+            for _ in range(3):
+                order.append("l")
+                yield
+
+        run_threads(m, [short, long])
+        assert order == ["s", "l", "l", "l"]
+
+    def test_thread_accesses_carry_thread_id(self):
+        cpu = SimulatedCPU()
+        seen = []
+
+        class Observer:
+            def observe(self, access, data):
+                seen.append(access.thread_id)
+
+        cpu.add_observer(Observer())
+        m = Machine(cpu)
+        addr = m.alloc(8)
+
+        def body(thread):
+            thread.store_int(addr, 1, pc="t.c:1")
+            yield
+
+        run_threads(m, [body])
+        assert seen == [1]

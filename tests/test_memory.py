@@ -1,0 +1,118 @@
+"""Unit tests for repro.hardware.memory."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware.memory import SimulatedMemory
+
+
+class TestBasics:
+    def test_fresh_memory_reads_zero(self):
+        assert SimulatedMemory().read(0x1234, 8) == bytes(8)
+
+    def test_write_then_read(self):
+        memory = SimulatedMemory()
+        memory.write(100, b"hello")
+        assert memory.read(100, 5) == b"hello"
+
+    def test_partial_read(self):
+        memory = SimulatedMemory()
+        memory.write(100, b"abcdef")
+        assert memory.read(102, 3) == b"cde"
+
+    def test_overwrite(self):
+        memory = SimulatedMemory()
+        memory.write(0, b"\x01\x02\x03")
+        memory.write(1, b"\xff")
+        assert memory.read(0, 3) == b"\x01\xff\x03"
+
+    def test_distant_addresses_independent(self):
+        memory = SimulatedMemory()
+        memory.write(0, b"\xaa")
+        memory.write(1 << 40, b"\xbb")
+        assert memory.read(0, 1) == b"\xaa"
+        assert memory.read(1 << 40, 1) == b"\xbb"
+
+    def test_clear(self):
+        memory = SimulatedMemory()
+        memory.write(0, b"\x01")
+        memory.clear()
+        assert memory.read(0, 1) == b"\x00"
+        assert memory.footprint_bytes() == 0
+
+
+class TestPageBoundaries:
+    def test_write_across_page_boundary(self):
+        memory = SimulatedMemory()
+        memory.write(4094, b"\x01\x02\x03\x04")
+        assert memory.read(4094, 4) == b"\x01\x02\x03\x04"
+
+    def test_read_across_page_boundary_fresh(self):
+        assert SimulatedMemory().read(4090, 12) == bytes(12)
+
+    def test_read_across_boundary_mixed(self):
+        memory = SimulatedMemory()
+        memory.write(4095, b"\x42")
+        got = memory.read(4094, 3)
+        assert got == b"\x00\x42\x00"
+
+    def test_write_at_exact_page_start(self):
+        memory = SimulatedMemory()
+        memory.write(8192, b"\x07")
+        assert memory.read(8192, 1) == b"\x07"
+
+    def test_multi_page_span(self):
+        memory = SimulatedMemory()
+        data = bytes(range(256)) * 40  # >2 pages
+        memory.write(4000, data)
+        assert memory.read(4000, len(data)) == data
+
+
+class TestFootprint:
+    def test_footprint_starts_zero(self):
+        assert SimulatedMemory().footprint_bytes() == 0
+
+    def test_footprint_counts_pages(self):
+        memory = SimulatedMemory()
+        memory.write(0, b"\x01")
+        assert memory.footprint_bytes() == 4096
+        memory.write(5000, b"\x01")
+        assert memory.footprint_bytes() == 8192
+
+    def test_footprint_same_page_once(self):
+        memory = SimulatedMemory()
+        memory.write(0, b"\x01")
+        memory.write(100, b"\x01")
+        assert memory.footprint_bytes() == 4096
+
+    def test_reads_do_not_materialize_pages(self):
+        memory = SimulatedMemory()
+        memory.read(0, 64)
+        assert memory.footprint_bytes() == 0
+
+
+@given(
+    st.integers(min_value=0, max_value=1 << 30),
+    st.binary(min_size=1, max_size=64),
+)
+def test_roundtrip_property(address, data):
+    memory = SimulatedMemory()
+    memory.write(address, data)
+    assert memory.read(address, len(data)) == data
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=10000), st.binary(min_size=1, max_size=16)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_matches_reference_bytearray(writes):
+    """Sparse paging must behave exactly like one flat byte array."""
+    memory = SimulatedMemory()
+    reference = bytearray(10016)
+    for address, data in writes:
+        memory.write(address, data)
+        reference[address : address + len(data)] = data
+    assert memory.read(0, len(reference)) == bytes(reference)

@@ -1,0 +1,158 @@
+"""The paper's microbenchmark claims: Listings 1-3, Figure 2, adversary."""
+
+import pytest
+
+from repro.core.reservoir import CoinFlipPolicy, NaiveReplacePolicy
+from repro.harness import run_exhaustive, run_witch
+from repro.workloads.microbench import (
+    FIGURE2_EXPECTED,
+    FIGURE2_GROUPS,
+    adversary_program,
+    figure2_program,
+    listing1_gcc_program,
+    listing2_program,
+    listing3_program,
+)
+
+
+def group_shares(pairs, total=None):
+    """Waste share per Figure 2 source group (a, b, x), by leaf pc label."""
+    shares = {}
+    for name, (src, kill) in FIGURE2_GROUPS.items():
+        shares[name] = pairs.waste_share(src, kill) + pairs.waste_share(kill, src)
+    return shares
+
+
+class TestListing1:
+    def test_exhaustive_finds_memset_deadness(self):
+        run = run_exhaustive(listing1_gcc_program, tools=("deadspy",))
+        assert run.fraction("deadspy") > 0.9  # almost all line-11 stores die
+
+    def test_deadcraft_agrees(self):
+        run = run_witch(listing1_gcc_program, tool="deadcraft", period=37, seed=2)
+        truth = run_exhaustive(listing1_gcc_program, tools=("deadspy",)).fraction("deadspy")
+        assert run.fraction == pytest.approx(truth, abs=0.08)
+
+    def test_top_pair_is_the_memset_line(self):
+        run = run_witch(listing1_gcc_program, tool="deadcraft", period=37, seed=2)
+        top_chain, _ = run.report.top_chains(coverage=0.5)[0]
+        assert "loop_regs_scan" in top_chain
+
+
+class TestListing2:
+    """Long-distance dead stores: the reservoir's raison d'etre."""
+
+    def test_naive_replacement_detects_nothing(self):
+        run = run_witch(
+            listing2_program, tool="deadcraft", period=29, registers=1,
+            policy=NaiveReplacePolicy(), seed=0,
+        )
+        assert run.witch.pairs.total_waste() == 0
+
+    def test_reservoir_detects_long_distance_dead_stores(self):
+        run = run_witch(listing2_program, tool="deadcraft", period=29, registers=1, seed=0)
+        assert run.witch.pairs.total_waste() > 0
+        assert run.fraction == 1.0  # every detected store is dead
+
+    def test_coinflip_detects_essentially_nothing(self):
+        detected = 0
+        for seed in range(5):
+            run = run_witch(
+                listing2_program, tool="deadcraft", period=29, registers=1,
+                policy=CoinFlipPolicy(), seed=seed,
+            )
+            detected += run.witch.traps_handled
+        reservoir = sum(
+            run_witch(
+                listing2_program, tool="deadcraft", period=29, registers=1, seed=seed
+            ).witch.traps_handled
+            for seed in range(5)
+        )
+        assert detected < reservoir / 3  # coin flip loses old samples fast
+
+    def test_four_registers_also_fail_under_naive(self):
+        run = run_witch(
+            listing2_program, tool="deadcraft", period=29, registers=4,
+            policy=NaiveReplacePolicy(), seed=0,
+        )
+        assert run.witch.pairs.total_waste() == 0
+
+
+class TestListing3:
+    def test_proportional_attribution_balances_pairs(self):
+        """Sparse <3,11> pairs and dense <7,8> pairs each get ~25%."""
+        run = run_witch(listing3_program, tool="deadcraft", period=23, seed=5)
+        pairs = run.witch.pairs
+        total = pairs.total_waste()
+        assert total > 0
+        sparse = pairs.waste_share("listing3.c:3", "listing3.c:11") + pairs.waste_share(
+            "listing3.c:11", "listing3.c:3"
+        )
+        dense = pairs.waste_share("listing3.c:7", "listing3.c:8") + pairs.waste_share(
+            "listing3.c:8", "listing3.c:7"
+        )
+        assert sparse == pytest.approx(0.5, abs=0.15)
+        assert dense == pytest.approx(0.5, abs=0.15)
+
+    def test_without_attribution_dense_pairs_dominate(self):
+        run = run_witch(
+            listing3_program, tool="deadcraft", period=23, seed=5,
+            proportional_attribution=False,
+        )
+        pairs = run.witch.pairs
+        dense = pairs.waste_share("listing3.c:7", "listing3.c:8") + pairs.waste_share(
+            "listing3.c:8", "listing3.c:7"
+        )
+        assert dense > 0.75  # the paper observed ~93% bias to the dense pair
+
+
+class TestFigure2:
+    def test_proportional_attribution_matches_expected_ratio(self):
+        """Averaged over seeds, the 50%:33%:17% split emerges.
+
+        (A known, documented residual: waste pending at program exit is
+        never claimed, which slightly under-credits the sparse groups in
+        short runs -- hence the multi-seed mean and the tolerance.)
+        """
+        totals = {name: 0.0 for name in FIGURE2_EXPECTED}
+        seeds = range(5)
+        for seed in seeds:
+            run = run_witch(figure2_program, tool="deadcraft", period=47, seed=seed)
+            shares = group_shares(run.witch.pairs)
+            for name in totals:
+                totals[name] += shares[name]
+        for name, expected in FIGURE2_EXPECTED.items():
+            assert totals[name] / len(seeds) == pytest.approx(expected, abs=0.08), name
+
+    def test_disabling_attribution_biases_toward_x(self):
+        run = run_witch(
+            figure2_program, tool="deadcraft", period=47, seed=3,
+            proportional_attribution=False,
+        )
+        shares = group_shares(run.witch.pairs)
+        assert shares["x"] > FIGURE2_EXPECTED["x"] * 2  # paper: 93% to x
+
+    def test_exhaustive_ground_truth_ratio(self):
+        run = run_exhaustive(figure2_program, tools=("deadspy",))
+        shares = group_shares(run.reports["deadspy"].pairs)
+        for name, expected in FIGURE2_EXPECTED.items():
+            assert shares[name] == pytest.approx(expected, abs=0.04), name
+
+
+class TestAdversary:
+    def test_adversary_causes_blindspot_with_one_register(self):
+        run = run_witch(adversary_program, tool="deadcraft", period=11, registers=1, seed=9)
+        # Alpha (or a quiet-phase address) occupies the register while many
+        # samples pass unmonitored.
+        assert run.witch.max_unmonitored_streak > 0
+
+    def test_more_registers_do_not_rescue_adversary(self):
+        """'The number of debug registers does not influence alpha' (4.1)."""
+        streaks = {}
+        for registers in (1, 4):
+            run = run_witch(
+                adversary_program, tool="deadcraft", period=11, registers=registers, seed=9
+            )
+            streaks[registers] = run.witch.blindspot_fraction()
+        # Both configurations suffer comparable blindness (same order).
+        assert streaks[4] > streaks[1] / 10

@@ -1,0 +1,114 @@
+"""Mop-up tests for error paths and small behaviours not covered elsewhere."""
+
+import io
+
+import pytest
+
+from repro.core.metrics import equation1, geometric_mean, mean, median, stddev
+from repro.core.report import InefficiencyReport
+from repro.execution.machine import Machine, run_threads
+from repro.harness import run_witch
+from repro.workloads.microbench import listing1_gcc_program
+
+
+class TestMetricsEdges:
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+    def test_median_rejects_empty(self):
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_median_even_and_odd(self):
+        assert median([3, 1, 2]) == 2
+        assert median([4, 1, 2, 3]) == 2.5
+
+    def test_stddev_of_singleton_is_zero(self):
+        assert stddev([5.0]) == 0.0
+
+    def test_equation1_zero_division(self):
+        assert equation1(0, 0) == 0.0
+
+    def test_geomean_of_identical_values(self):
+        assert geometric_mean([2.0, 2.0, 2.0]) == pytest.approx(2.0)
+
+
+class TestReportStreams:
+    def test_save_to_stream(self):
+        report = run_witch(listing1_gcc_program, tool="deadcraft", period=37).report
+        stream = io.StringIO()
+        report.save(stream)
+        stream.seek(0)
+        import json
+
+        payload = json.load(stream)
+        assert payload["tool"] == "deadcraft"
+        assert InefficiencyReport.from_dict(payload).samples == report.samples
+
+
+class TestThreadErrors:
+    def test_exception_in_thread_body_propagates(self):
+        m = Machine()
+
+        def bad(thread):
+            yield
+            raise RuntimeError("worker crashed")
+
+        with pytest.raises(RuntimeError, match="worker crashed"):
+            run_threads(m, [bad])
+
+    def test_run_threads_with_no_bodies(self):
+        run_threads(Machine(), [])  # a no-op, not an error
+
+
+class TestClientErrors:
+    def test_exception_in_on_sample_propagates_to_the_access(self):
+        """A crashing client surfaces at the triggering access -- loudly,
+        not swallowed (errors should never pass silently)."""
+        from repro.core.client import WitchClient
+        from repro.core.witch import WitchFramework
+        from repro.hardware.cpu import SimulatedCPU
+        from repro.hardware.events import AccessType
+
+        class Crashy(WitchClient):
+            name = "crashy"
+            pmu_kinds = (AccessType.STORE,)
+
+            def on_sample(self, sample):
+                raise RuntimeError("client bug")
+
+            def on_trap(self, access, watchpoint, overlap):  # pragma: no cover
+                raise AssertionError
+
+        cpu = SimulatedCPU()
+        WitchFramework(cpu, Crashy(), period=1)
+        m = Machine(cpu)
+        addr = m.alloc(8)
+        with pytest.raises(RuntimeError, match="client bug"):
+            with m.function("main"):
+                m.store_int(addr, 1, pc="x:1")
+
+
+class TestReportRenderEdges:
+    def test_render_with_zero_coverage_shows_header_only(self):
+        report = run_witch(listing1_gcc_program, tool="deadcraft", period=37).report
+        text = report.render(coverage=0.0)
+        # Coverage 0 still lists at least the top pair (prefix is inclusive).
+        assert text.splitlines()[0].startswith("deadcraft")
+
+    def test_top_chains_full_coverage_lists_all_waste_pairs(self):
+        report = run_witch(listing1_gcc_program, tool="deadcraft", period=37).report
+        chains = report.top_chains(coverage=1.0)
+        waste_pairs = sum(1 for _, m in report.pairs if m.waste > 0)
+        assert len(chains) == waste_pairs

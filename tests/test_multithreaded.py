@@ -1,0 +1,113 @@
+"""Tests for the multi-threaded workloads."""
+
+from repro.core.feather import CACHE_LINE_BYTES, FeatherFramework
+from repro.execution.machine import Machine
+from repro.hardware.cpu import SimulatedCPU
+from repro.workloads.multithreaded import (
+    false_sharing_counters,
+    mixed_sharing,
+    padded_counters,
+    true_sharing_queue,
+)
+
+
+def read_int(machine, address):
+    return int.from_bytes(machine.cpu.memory.read(address, 8), "little")
+
+
+class TestCounters:
+    def test_each_counter_reaches_its_increments(self):
+        m = Machine()
+        base = false_sharing_counters(m, threads=3, increments=50)
+        for i in range(3):
+            assert read_int(m, base + 8 * i) == 50
+
+    def test_padded_variant_computes_the_same_result(self):
+        packed = Machine()
+        packed_base = false_sharing_counters(packed, threads=2, increments=40)
+        padded = Machine()
+        padded_base = padded_counters(padded, threads=2, increments=40)
+        for i in range(2):
+            assert read_int(packed, packed_base + 8 * i) == read_int(
+                padded, padded_base + CACHE_LINE_BYTES * i
+            )
+
+    def test_counters_are_line_disjoint_when_padded(self):
+        m = Machine()
+        base = padded_counters(m, threads=4, increments=5)
+        lines = {(base + CACHE_LINE_BYTES * i) // CACHE_LINE_BYTES for i in range(4)}
+        assert len(lines) == 4
+
+
+class TestQueue:
+    def test_mailbox_holds_last_item(self):
+        m = Machine()
+        mailbox = true_sharing_queue(m, items=30)
+        assert read_int(m, mailbox) == 30
+
+
+class TestFeatherOnWorkloads:
+    def test_mixed_workload_separates_patterns(self):
+        cpu = SimulatedCPU()
+        feather = FeatherFramework(cpu, period=5, seed=1)
+        mixed_sharing(Machine(cpu))
+        report = feather.report()
+        assert report.false_sharing_traps > 0
+        assert report.true_sharing_traps > 0
+        # The false-sharing pairs are between the stats workers, not the queue.
+        for (watch, trap), metrics in report.pairs:
+            if metrics.waste > 0:
+                assert "stats" in watch.path()
+                assert "stats" in trap.path()
+
+
+class TestIntraThreadToolsOnParallelCode:
+    """Section 6.3: 'All the previously discussed Witch tools work on
+    multi-threaded codes; they, however, track intra-thread inefficiencies
+    only.'"""
+
+    def _parallel_dead_store_workload(self, m):
+        from repro.execution.machine import run_threads
+
+        grids = [m.alloc(32 * 8) for _ in range(3)]
+
+        def worker(grid):
+            def body(thread):
+                with thread.function("omp_worker"):
+                    for sweep in range(3):
+                        for i in range(32):
+                            # Re-zeroed each sweep without reads: dead.
+                            thread.store_int(grid + 8 * i, 0, pc="omp.c:zero")
+                            yield
+
+            return body
+
+        run_threads(m, [worker(grid) for grid in grids])
+
+    def test_deadcraft_finds_per_thread_redundancy(self):
+        from repro.core.deadcraft import DeadCraft
+        from repro.core.witch import WitchFramework
+        from repro.execution.machine import Machine
+        from repro.hardware.cpu import SimulatedCPU
+
+        cpu = SimulatedCPU()
+        witch = WitchFramework(cpu, DeadCraft(), period=7, seed=2)
+        m = Machine(cpu)
+        self._parallel_dead_store_workload(m)
+        # Each thread's PMU samples and debug registers work independently;
+        # the pair table aggregates across threads.
+        assert witch.redundancy_fraction() > 0.8
+        assert witch.traps_handled > 5
+
+    def test_per_thread_pmus_all_sampled(self):
+        from repro.core.deadcraft import DeadCraft
+        from repro.core.witch import WitchFramework
+        from repro.execution.machine import Machine
+        from repro.hardware.cpu import SimulatedCPU
+
+        cpu = SimulatedCPU()
+        WitchFramework(cpu, DeadCraft(), period=7, seed=2)
+        m = Machine(cpu)
+        self._parallel_dead_store_workload(m)
+        sampled_threads = [t for t in cpu.active_threads if cpu.pmu(t).samples_taken > 0]
+        assert len(sampled_threads) == 3

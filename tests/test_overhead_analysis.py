@@ -1,0 +1,160 @@
+"""Tests for repro.analysis.overhead (Tables 1-2 machinery)."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    PAPER_LOAD_PERIOD,
+    PAPER_PERIOD_SWEEP,
+    PAPER_STORE_PERIOD,
+    SuiteOverheads,
+    exhaustive_overhead,
+    witch_overhead,
+)
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+
+@pytest.fixture(scope="module")
+def gcc_workload():
+    return workload_for(SPEC_SUITE["gcc"].scaled(0.2))
+
+
+class TestWitchOverhead:
+    def test_slowdown_is_small_at_paper_period(self, gcc_workload):
+        result = witch_overhead(
+            gcc_workload, "deadcraft", "gcc", footprint_mb=831, paper_period=PAPER_STORE_PERIOD
+        )
+        assert 1.0 < result.slowdown < 1.1
+
+    def test_slowdown_monotone_in_period(self, gcc_workload):
+        slowdowns = [
+            witch_overhead(
+                gcc_workload, "deadcraft", "gcc", footprint_mb=831, paper_period=period
+            ).slowdown
+            for period in PAPER_PERIOD_SWEEP
+        ]
+        # PAPER_PERIOD_SWEEP is descending in period: overhead must ascend.
+        assert slowdowns == sorted(slowdowns)
+        assert slowdowns[-1] > slowdowns[0]
+
+    def test_memory_bloat_small_for_large_footprints(self, gcc_workload):
+        result = witch_overhead(
+            gcc_workload, "deadcraft", "gcc", footprint_mb=831, paper_period=PAPER_STORE_PERIOD
+        )
+        assert 1.0 < result.memory_bloat < 1.3
+
+    def test_small_footprint_shows_higher_relative_bloat(self, gcc_workload):
+        """The paper's povray observation: fixed tool buffers dominate."""
+        big = witch_overhead(
+            gcc_workload, "deadcraft", "gcc", footprint_mb=831, paper_period=PAPER_STORE_PERIOD
+        )
+        tiny = witch_overhead(
+            gcc_workload, "deadcraft", "povray", footprint_mb=7, paper_period=PAPER_STORE_PERIOD
+        )
+        assert tiny.memory_bloat > big.memory_bloat * 1.5
+
+    def test_detail_fields_present(self, gcc_workload):
+        result = witch_overhead(
+            gcc_workload, "deadcraft", "gcc", footprint_mb=831, paper_period=PAPER_STORE_PERIOD
+        )
+        for key in ("cycles_per_sample", "counted_fraction", "sim_samples"):
+            assert key in result.detail
+        assert result.detail["sim_samples"] > 0
+
+    def test_loadcraft_costs_more_per_sample(self, gcc_workload):
+        """LoadCraft's extra traps and spurious signals show up per-sample."""
+        dead = witch_overhead(
+            gcc_workload, "deadcraft", "gcc", footprint_mb=831, paper_period=PAPER_STORE_PERIOD
+        )
+        loads = witch_overhead(
+            gcc_workload, "loadcraft", "gcc", footprint_mb=831, paper_period=PAPER_LOAD_PERIOD
+        )
+        assert loads.detail["cycles_per_sample"] > dead.detail["cycles_per_sample"]
+
+
+class TestExhaustiveOverhead:
+    def test_order_of_magnitude_above_sampling(self, gcc_workload):
+        spy = exhaustive_overhead(gcc_workload, "deadspy", "gcc", footprint_mb=831)
+        craft = witch_overhead(
+            gcc_workload, "deadcraft", "gcc", footprint_mb=831, paper_period=PAPER_STORE_PERIOD
+        )
+        assert spy.slowdown > 10 * craft.slowdown
+
+    def test_loadspy_slowest(self, gcc_workload):
+        dead = exhaustive_overhead(gcc_workload, "deadspy", "gcc", footprint_mb=831)
+        red = exhaustive_overhead(gcc_workload, "redspy", "gcc", footprint_mb=831)
+        load = exhaustive_overhead(gcc_workload, "loadspy", "gcc", footprint_mb=831)
+        assert load.slowdown > dead.slowdown > red.slowdown
+
+    def test_shadow_memory_dominates_bloat(self, gcc_workload):
+        dead = exhaustive_overhead(gcc_workload, "deadspy", "gcc", footprint_mb=831)
+        load = exhaustive_overhead(gcc_workload, "loadspy", "gcc", footprint_mb=831)
+        assert dead.memory_bloat > 5
+        assert load.memory_bloat > dead.memory_bloat
+
+    def test_exhaustive_bloat_far_above_witch(self, gcc_workload):
+        spy = exhaustive_overhead(gcc_workload, "deadspy", "gcc", footprint_mb=831)
+        craft = witch_overhead(
+            gcc_workload, "deadcraft", "gcc", footprint_mb=831, paper_period=PAPER_STORE_PERIOD
+        )
+        assert spy.memory_bloat > 4 * craft.memory_bloat
+
+
+class TestSuiteOverheads:
+    def test_aggregates(self, gcc_workload):
+        results = {
+            "gcc": witch_overhead(
+                gcc_workload, "deadcraft", "gcc", footprint_mb=831,
+                paper_period=PAPER_STORE_PERIOD,
+            ),
+            "povray": witch_overhead(
+                gcc_workload, "deadcraft", "povray", footprint_mb=7,
+                paper_period=PAPER_STORE_PERIOD,
+            ),
+        }
+        suite = SuiteOverheads(tool="deadcraft", results=results)
+        assert suite.geomean_slowdown() >= 1.0
+        assert suite.median_slowdown() >= 1.0
+        assert suite.geomean_bloat() > 1.0
+        assert suite.median_bloat() > 1.0
+
+
+class TestExtrapolationSelfConsistency:
+    """The scale-model methodology's core assumption, verified: per-sample
+    cost structure is (approximately) independent of the simulation period,
+    so extrapolated slowdowns agree no matter which dense period measured
+    them."""
+
+    def test_two_sim_periods_predict_the_same_slowdown(self, gcc_workload):
+        at_101 = witch_overhead(
+            gcc_workload, "deadcraft", "gcc", footprint_mb=831,
+            paper_period=PAPER_STORE_PERIOD, sim_period=101,
+        )
+        at_211 = witch_overhead(
+            gcc_workload, "deadcraft", "gcc", footprint_mb=831,
+            paper_period=PAPER_STORE_PERIOD, sim_period=211,
+        )
+        overhead_101 = at_101.slowdown - 1
+        overhead_211 = at_211.slowdown - 1
+        assert overhead_101 == pytest.approx(overhead_211, rel=0.35)
+
+    def test_cost_per_sample_is_period_stable(self, gcc_workload):
+        costs = [
+            witch_overhead(
+                gcc_workload, "deadcraft", "gcc", footprint_mb=831,
+                paper_period=PAPER_STORE_PERIOD, sim_period=period,
+            ).detail["cycles_per_sample"]
+            for period in (53, 101, 211)
+        ]
+        assert max(costs) < 1.6 * min(costs)
+
+    def test_loadcraft_spurious_rate_is_period_stable(self, gcc_workload):
+        rates = []
+        for period in (53, 211):
+            result = witch_overhead(
+                gcc_workload, "loadcraft", "gcc", footprint_mb=831,
+                paper_period=PAPER_LOAD_PERIOD, sim_period=period,
+            )
+            rates.append(
+                result.detail["spurious_traps"] / max(1.0, result.detail["sim_samples"])
+            )
+        assert max(rates) < 3 * max(0.1, min(rates))

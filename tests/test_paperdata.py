@@ -1,0 +1,62 @@
+"""Consistency checks on the transcribed paper reference data."""
+
+from repro import paperdata
+from repro.harness import GROUND_TRUTH_FOR
+from repro.workloads.casestudies import CASE_STUDIES
+
+
+def test_table1_tools_cover_both_families():
+    for craft, spy in GROUND_TRUTH_FOR.items():
+        assert craft in paperdata.TABLE1_GEOMEAN_SLOWDOWN
+        assert spy in paperdata.TABLE1_GEOMEAN_SLOWDOWN
+        assert craft in paperdata.TABLE1_GEOMEAN_BLOAT
+        assert spy in paperdata.TABLE1_GEOMEAN_BLOAT
+
+
+def test_table1_spies_dominate_crafts():
+    for craft, spy in GROUND_TRUTH_FOR.items():
+        assert (
+            paperdata.TABLE1_GEOMEAN_SLOWDOWN[spy]
+            > 10 * paperdata.TABLE1_GEOMEAN_SLOWDOWN[craft]
+        )
+        assert paperdata.TABLE1_GEOMEAN_BLOAT[spy] > paperdata.TABLE1_GEOMEAN_BLOAT[craft]
+
+
+def test_table2_monotone_in_period():
+    for table in (paperdata.TABLE2_SLOWDOWN, paperdata.TABLE2_BLOAT):
+        for tool, by_period in table.items():
+            periods = sorted(by_period, reverse=True)  # descending period
+            values = [by_period[p] for p in periods]
+            assert values == sorted(values), tool
+
+
+def test_table2_loadcraft_costliest_at_every_period():
+    for period in paperdata.TABLE2_SLOWDOWN["deadcraft"]:
+        assert (
+            paperdata.TABLE2_SLOWDOWN["loadcraft"][period]
+            >= paperdata.TABLE2_SLOWDOWN["deadcraft"][period]
+        )
+
+
+def test_table3_matches_the_case_study_registry():
+    assert set(paperdata.TABLE3_SPEEDUPS) <= set(CASE_STUDIES)
+    for name, speedup in paperdata.TABLE3_SPEEDUPS.items():
+        assert speedup > 1.0
+        assert CASE_STUDIES[name].paper_speedup == speedup
+
+
+def test_stability_and_blindspot_constants_sane():
+    for tool, stddev in paperdata.STABILITY_MAX_STDDEV_PERCENT.items():
+        assert tool in GROUND_TRUTH_FOR
+        assert 0 < stddev < 5
+    assert paperdata.BLINDSPOT_TYPICAL_FRACTION < paperdata.BLINDSPOT_WORST_FRACTION < 0.01
+    assert paperdata.BLINDSPOT_WORST_BENCHMARK == "mcf"
+
+
+def test_figure2_splits_sum_to_one():
+    assert abs(sum(paperdata.FIGURE2_PROPORTIONAL.values()) - 1.0) < 1e-9
+    assert abs(sum(paperdata.FIGURE2_WITHOUT.values()) - 1.0) < 0.01
+
+
+def test_float_precision_is_the_papers_one_percent():
+    assert paperdata.FLOAT_PRECISION == 0.01

@@ -1,0 +1,125 @@
+"""Tests for the WorkloadBuilder: the oracles must match the tools exactly."""
+
+import pytest
+
+from repro.harness import run_exhaustive, run_witch
+from repro.workloads.patterns import WorkloadBuilder
+
+
+def build(fn, seed=0):
+    builder = WorkloadBuilder(seed=seed)
+    fn(builder)
+    return builder, builder.build()
+
+
+class TestOracles:
+    def test_dead_stores_oracle_matches_deadspy(self):
+        builder, workload = build(
+            lambda b: b.phase("k").__enter__().dead_stores(50, chain=3).__exit__()
+        )
+        measured = run_exhaustive(workload, tools=("deadspy",)).fraction("deadspy")
+        assert measured == pytest.approx(builder.expected_dead_fraction())
+        assert builder.expected_dead_fraction() == pytest.approx(2 / 3)
+
+    def test_silent_stores_oracle_matches_redspy(self):
+        def make(b):
+            with b.phase("k") as phase:
+                phase.silent_stores(30)
+                phase.dead_stores(30, chain=2)  # adds non-silent store pairs
+
+        builder, workload = build(make)
+        measured = run_exhaustive(workload, tools=("redspy",)).fraction("redspy")
+        assert measured == pytest.approx(builder.expected_silent_fraction())
+        assert builder.expected_silent_fraction() == pytest.approx(0.5)
+
+    def test_redundant_loads_oracle_matches_loadspy(self):
+        def make(b):
+            with b.phase("k") as phase:
+                phase.redundant_loads(64, table=16)
+
+        builder, workload = build(make)
+        measured = run_exhaustive(workload, tools=("loadspy",)).fraction("loadspy")
+        assert measured == pytest.approx(builder.expected_load_fraction())
+        assert builder.expected_load_fraction() == 1.0
+
+    def test_clean_workload_has_zero_everything(self):
+        def make(b):
+            with b.phase("k") as phase:
+                phase.clean_pairs(100)
+
+        builder, workload = build(make)
+        run = run_exhaustive(workload)
+        assert run.fraction("deadspy") == 0.0
+        assert run.fraction("redspy") == 0.0
+        assert run.fraction("loadspy") == 0.0
+
+    def test_mixed_composition(self):
+        def make(b):
+            with b.phase("setup") as phase:
+                phase.clean_pairs(40)
+            with b.phase("kernel") as phase:
+                phase.dead_stores(60, chain=2)
+                phase.redundant_loads(30, table=8)
+
+        builder, workload = build(make)
+        run = run_exhaustive(workload)
+        assert run.fraction("deadspy") == pytest.approx(builder.expected_dead_fraction())
+        assert run.fraction("loadspy") == pytest.approx(builder.expected_load_fraction())
+
+
+class TestWitchOnBuiltWorkloads:
+    def test_deadcraft_tracks_the_oracle(self):
+        def make(b):
+            with b.phase("kernel") as phase:
+                phase.dead_stores(150, chain=2)
+                phase.clean_pairs(150)
+
+        builder, workload = build(make, seed=3)
+        run = run_witch(workload, tool="deadcraft", period=7, seed=9)
+        assert run.fraction == pytest.approx(builder.expected_dead_fraction(), abs=0.12)
+
+    def test_phase_names_appear_in_chains(self):
+        def make(b):
+            with b.phase("init_tables") as phase:
+                phase.dead_stores(80, chain=2)
+
+        _, workload = build(make)
+        run = run_witch(workload, tool="deadcraft", period=5, seed=1)
+        top_chain, _ = run.report.top_chains(coverage=0.5)[0]
+        assert "init_tables" in top_chain
+
+
+class TestValidation:
+    def test_empty_builder_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadBuilder().build()
+
+    def test_bad_pattern_arguments(self):
+        builder = WorkloadBuilder()
+        phase = builder.phase("p")
+        with pytest.raises(ValueError):
+            phase.dead_stores(0)
+        with pytest.raises(ValueError):
+            phase.dead_stores(5, chain=1)
+        with pytest.raises(ValueError):
+            phase.silent_stores(0)
+        with pytest.raises(ValueError):
+            phase.redundant_loads(5, table=0)
+        with pytest.raises(ValueError):
+            phase.clean_pairs(0)
+
+    def test_builders_with_different_seeds_use_different_values(self):
+        def make(b):
+            with b.phase("k") as phase:
+                phase.clean_pairs(10)
+
+        from repro.harness import run_native
+
+        _, w1 = build(make, seed=1)
+        _, w2 = build(make, seed=2)
+        first = run_native(w1)
+        second = run_native(w2)
+        # Same shape (cycle counts equal) but different data values.
+        assert first.native_cycles == second.native_cycles
+        base = 1 << 20
+        assert first.machine.cpu.memory.read(base, 8) != second.machine.cpu.memory.read(base, 8)

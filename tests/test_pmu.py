@@ -1,0 +1,158 @@
+"""Unit tests for repro.hardware.pmu."""
+
+import random
+
+import pytest
+
+from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.pmu import PMU, nearest_prime
+
+
+def access(kind=AccessType.STORE, long_latency=False, address=100):
+    return MemoryAccess(kind, address, 8, "t.c:1", "ctx", long_latency=long_latency)
+
+
+class TestNearestPrime:
+    @pytest.mark.parametrize(
+        "n, expected",
+        [(1, 2), (2, 2), (3, 3), (4, 3), (6, 5), (10, 11), (100, 101), (1000, 997)],
+    )
+    def test_known_values(self, n, expected):
+        assert nearest_prime(n) == expected
+
+    def test_large_round_period(self):
+        assert nearest_prime(5_000_000) == 4_999_999
+
+    def test_result_is_prime(self):
+        for n in (10, 50, 1234, 99990):
+            p = nearest_prime(n)
+            assert all(p % f for f in range(2, int(p**0.5) + 1))
+
+
+class TestCounting:
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            PMU(period=0)
+
+    def test_rejects_empty_kinds(self):
+        with pytest.raises(ValueError):
+            PMU(period=10, kinds=())
+
+    def test_rejects_bad_bias(self):
+        with pytest.raises(ValueError):
+            PMU(period=10, shadow_bias=1.5)
+
+    def test_overflow_every_period(self):
+        pmu = PMU(period=3)
+        hits = [pmu.observe(access()) for _ in range(9)]
+        assert hits == [False, False, True] * 3
+
+    def test_only_counts_configured_kind(self):
+        pmu = PMU(period=2, kinds=(AccessType.STORE,))
+        assert not pmu.observe(access(AccessType.LOAD))
+        assert not pmu.observe(access(AccessType.STORE))
+        assert pmu.observe(access(AccessType.STORE))
+        assert pmu.events_seen == 2
+
+    def test_load_pmu(self):
+        pmu = PMU(period=1, kinds=(AccessType.LOAD,))
+        assert pmu.observe(access(AccessType.LOAD))
+        assert not pmu.observe(access(AccessType.STORE))
+
+    def test_both_kinds(self):
+        pmu = PMU(period=2, kinds=(AccessType.LOAD, AccessType.STORE))
+        assert not pmu.observe(access(AccessType.LOAD))
+        assert pmu.observe(access(AccessType.STORE))
+
+    def test_samples_taken_counter(self):
+        pmu = PMU(period=2)
+        for _ in range(10):
+            pmu.observe(access())
+        assert pmu.samples_taken == 5
+
+    def test_reset(self):
+        pmu = PMU(period=2)
+        pmu.observe(access())
+        pmu.reset()
+        assert pmu.events_seen == 0
+        assert not pmu.observe(access())  # counter restarted
+
+    def test_period_one_samples_everything(self):
+        pmu = PMU(period=1)
+        assert all(pmu.observe(access()) for _ in range(5))
+
+
+class TestShadowBias:
+    def test_bias_defers_to_long_latency_store(self):
+        pmu = PMU(period=2, shadow_bias=1.0, rng=random.Random(1))
+        assert not pmu.observe(access())  # count 1
+        assert not pmu.observe(access())  # overflow on short store: deferred
+        assert not pmu.observe(access())  # still short
+        assert pmu.observe(access(long_latency=True))  # deferred sample lands here
+
+    def test_unbiased_pmu_ignores_latency(self):
+        pmu = PMU(period=2, shadow_bias=0.0)
+        assert not pmu.observe(access())
+        assert pmu.observe(access())  # short store sampled directly
+
+    def test_deferred_sample_expires_at_window_end(self):
+        from repro.hardware.pmu import _SHADOW_WINDOW
+
+        pmu = PMU(period=2, shadow_bias=1.0, rng=random.Random(1))
+        pmu.observe(access())
+        pmu.observe(access())  # deferred
+        fired = [pmu.observe(access()) for _ in range(_SHADOW_WINDOW)]
+        assert fired[-1]  # the window closes and the sample fires
+        assert sum(fired) == 1
+
+    def test_bias_shifts_samples_toward_long_latency(self):
+        pmu = PMU(period=7, shadow_bias=0.9, rng=random.Random(3))
+        long_hits = short_hits = 0
+        rng = random.Random(5)
+        for i in range(20000):
+            is_long = rng.random() < 0.3
+            if pmu.observe(access(long_latency=is_long)):
+                if is_long:
+                    long_hits += 1
+                else:
+                    short_hits += 1
+        # 30% of stores are long-latency but they draw well over 30% of samples.
+        assert long_hits / (long_hits + short_hits) > 0.55
+
+
+class TestJitter:
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError):
+            PMU(period=10, jitter=10)
+        with pytest.raises(ValueError):
+            PMU(period=10, jitter=-1)
+
+    def test_jittered_intervals_stay_in_range(self):
+        pmu = PMU(period=20, jitter=5, rng=random.Random(8))
+        gaps, last = [], None
+        for i in range(20000):
+            if pmu.observe(access()):
+                if last is not None:
+                    gaps.append(i - last)
+                last = i
+        assert min(gaps) >= 15
+        assert max(gaps) <= 25
+
+    def test_mean_interval_matches_period(self):
+        pmu = PMU(period=20, jitter=5, rng=random.Random(8))
+        samples = sum(pmu.observe(access()) for _ in range(40000))
+        assert samples == pytest.approx(2000, rel=0.05)
+
+    def test_jitter_breaks_lockstep(self):
+        """An exactly-periodic counter aliases against a loop whose body
+        length divides the period; jitter restores coverage."""
+        def pcs_sampled(jitter):
+            pmu = PMU(period=4, jitter=jitter, rng=random.Random(1))
+            seen = set()
+            for i in range(4000):
+                a = MemoryAccess(AccessType.STORE, 8 * (i % 4), 8, f"line{i % 4}", "ctx")
+                if pmu.observe(a):
+                    seen.add(a.pc)
+            return seen
+        assert len(pcs_sampled(0)) == 1  # locked onto one line
+        assert len(pcs_sampled(2)) == 4  # jitter reaches every line

@@ -1,0 +1,154 @@
+"""Cross-cutting property-based tests (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cct.pairs import ContextPairTable
+from repro.core.metrics import equation1, geometric_mean, median, stddev
+from repro.execution.machine import Machine
+from repro.harness import run_witch
+from repro.hardware.events import AccessType
+from repro.trace import TraceRecord
+
+
+# --------------------------------------------------------------------- metrics
+@given(st.floats(min_value=0, max_value=1e12), st.floats(min_value=0, max_value=1e12))
+def test_equation1_is_a_fraction(waste, use):
+    value = equation1(waste, use)
+    assert 0.0 <= value <= 1.0
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=20))
+def test_geomean_bounded_by_extremes(values):
+    gm = geometric_mean(values)
+    assert min(values) * 0.999 <= gm <= max(values) * 1.001
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=20))
+def test_median_is_within_range(values):
+    m = median(values)
+    assert min(values) <= m <= max(values)
+
+
+@given(st.lists(st.floats(min_value=-100, max_value=100), min_size=2, max_size=20))
+def test_stddev_nonnegative_and_shift_invariant(values):
+    s = stddev(values)
+    assert s >= 0
+    shifted = stddev([v + 10 for v in values])
+    assert abs(s - shifted) < 1e-6
+
+
+# ----------------------------------------------------------------- pair table
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c"]),
+            st.sampled_from(["x", "y"]),
+            st.booleans(),
+            st.floats(min_value=0.01, max_value=100),
+        ),
+        max_size=40,
+    )
+)
+def test_pair_table_totals_are_additive(events):
+    table = ContextPairTable()
+    expected_waste = expected_use = 0.0
+    for watch, trap, is_waste, amount in events:
+        if is_waste:
+            table.add_waste(watch, trap, amount)
+            expected_waste += amount
+        else:
+            table.add_use(watch, trap, amount)
+            expected_use += amount
+    assert abs(table.total_waste() - expected_waste) < 1e-6
+    assert abs(table.total_use() - expected_use) < 1e-6
+    assert 0.0 <= table.redundancy_fraction() <= 1.0
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("abcdef"), st.floats(min_value=0.1, max_value=10)),
+        min_size=1,
+        max_size=20,
+    ),
+    st.floats(min_value=0.1, max_value=1.0),
+)
+def test_top_pairs_cover_requested_share(entries, coverage):
+    table = ContextPairTable()
+    for name, amount in entries:
+        table.add_waste(name, name + "!", amount)
+    top = table.top_pairs(coverage)
+    covered = sum(metrics.waste for _, metrics in top)
+    assert covered >= coverage * table.total_waste() * 0.999
+
+
+# --------------------------------------------------------------------- traces
+@given(
+    kind=st.sampled_from(["load", "store"]),
+    address=st.integers(min_value=0, max_value=1 << 40),
+    length=st.integers(min_value=1, max_value=32),
+    pc=st.text(min_size=1, max_size=20),
+    frames=st.lists(st.text(min_size=1, max_size=10), max_size=5),
+    thread_id=st.integers(min_value=0, max_value=8),
+    is_float=st.booleans(),
+    data=st.one_of(st.none(), st.binary(min_size=1, max_size=32)),
+)
+def test_trace_record_json_roundtrip(kind, address, length, pc, frames, thread_id, is_float, data):
+    record = TraceRecord(
+        kind=kind,
+        address=address,
+        length=length,
+        pc=pc,
+        frames=tuple(frames),
+        thread_id=thread_id,
+        is_float=is_float,
+        data=data.hex() if data is not None else None,
+    )
+    assert TraceRecord.from_json(record.to_json()) == record
+
+
+# ------------------------------------------------------------------ machine
+@given(st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=30))
+def test_allocations_never_overlap(sizes):
+    machine = Machine()
+    spans = []
+    for size in sizes:
+        base = machine.alloc(size)
+        for other_base, other_size in spans:
+            assert base >= other_base + other_size or base + size <= other_base
+        spans.append((base, size))
+
+
+# -------------------------------------------------------------- end to end
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    period=st.integers(min_value=1, max_value=20),
+    registers=st.integers(min_value=1, max_value=4),
+)
+def test_witch_invariants_on_random_programs(seed, period, registers):
+    """Whatever the configuration: fractions in [0,1], monitored <= samples,
+    traps recorded consistently, and ledger cycles non-negative."""
+    rng = random.Random(seed)
+
+    def workload(m):
+        base = m.alloc(64)
+        with m.function("main"):
+            for _ in range(120):
+                slot = base + 8 * rng.randrange(8)
+                if rng.random() < 0.5:
+                    m.store_int(slot, rng.randrange(4), pc=f"r.c:{rng.randrange(3)}")
+                else:
+                    m.load_int(slot, pc=f"r.c:{rng.randrange(3)}")
+
+    run = run_witch(workload, tool="deadcraft", period=period, registers=registers, seed=seed)
+    witch = run.witch
+    assert 0.0 <= run.fraction <= 1.0
+    assert witch.samples_monitored <= witch.samples_handled
+    assert witch.traps_handled <= witch.samples_monitored
+    assert run.cpu.ledger.native_cycles > 0
+    assert run.cpu.ledger.tool_cycles >= 0
+    armed = run.cpu.debug_registers(0).armed_count
+    assert armed <= registers

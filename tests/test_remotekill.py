@@ -1,0 +1,163 @@
+"""Tests for the RemoteKill cross-thread dead-store extension."""
+
+import pytest
+
+from repro.core.remotekill import RemoteKillFramework
+from repro.execution.machine import Machine, run_threads
+from repro.hardware.cpu import SimulatedCPU
+
+
+def remote_machine(period=1, **kwargs):
+    cpu = SimulatedCPU()
+    framework = RemoteKillFramework(cpu, period=period, **kwargs)
+    return Machine(cpu), framework
+
+
+def test_cross_thread_overwrite_is_a_remote_kill():
+    m, rk = remote_machine()
+    buffer = m.alloc(8)
+
+    def first(thread):
+        with thread.function("init_worker"):
+            thread.store_int(buffer, 0, pc="init.c:1")
+            yield
+
+    def second(thread):
+        yield  # run after the first store
+        with thread.function("reinit_worker"):
+            thread.store_int(buffer, 0, pc="init.c:2")
+            yield
+
+    run_threads(m, [first, second])
+    assert rk.remote_kills >= 1
+    assert rk.remote_kill_fraction() > 0.0
+    (pair, metrics), *_ = sorted(rk.pairs, key=lambda x: -x[1].waste)
+    assert "init_worker" in pair[0].path()
+    assert "reinit_worker" in pair[1].path()
+
+
+def test_consumed_store_is_use():
+    m, rk = remote_machine()
+    buffer = m.alloc(8)
+
+    def producer(thread):
+        thread.store_int(buffer, 42, pc="p.c:1")
+        yield
+
+    def consumer(thread):
+        yield
+        thread.load_int(buffer, pc="c.c:1")
+        yield
+
+    run_threads(m, [producer, consumer])
+    assert rk.remote_kills == 0
+    assert rk.consumed >= 1
+    assert rk.remote_kill_fraction() == 0.0
+
+
+def test_local_kill_is_not_remote_waste():
+    m, rk = remote_machine()
+    buffer = m.alloc(8)
+
+    def worker(thread):
+        thread.store_int(buffer, 1, pc="w.c:1")
+        thread.store_int(buffer, 2, pc="w.c:2")
+        yield
+
+    run_threads(m, [worker])
+    assert rk.local_kills >= 1
+    assert rk.remote_kills == 0
+    assert rk.remote_kill_fraction() == 0.0
+
+
+def test_local_read_beats_remote_overwrite():
+    """A read by the owning thread must settle the group before the other
+    thread's later store -- the first trap wins."""
+    m, rk = remote_machine()
+    buffer = m.alloc(8)
+
+    def owner(thread):
+        thread.store_int(buffer, 5, pc="o.c:1")
+        yield
+        thread.load_int(buffer, pc="o.c:2")  # consumes the value
+        yield
+        yield
+
+    def other(thread):
+        yield
+        yield
+        thread.store_int(buffer, 9, pc="x.c:1")  # too late: already settled
+        yield
+
+    run_threads(m, [owner, other])
+    assert rk.consumed >= 1
+    assert rk.remote_kills == 0
+
+
+def test_double_zeroing_workload():
+    """The motivating bug: two workers both zero-initialize a shared grid."""
+    m, rk = remote_machine(period=3)
+    grid = m.alloc(64 * 8)
+
+    def zeroer(name, pc):
+        def body(thread):
+            with thread.function(name):
+                for i in range(64):
+                    thread.store_int(grid + 8 * i, 0, pc=pc)
+                    yield
+
+        return body
+
+    def reader(thread):
+        with thread.function("compute"):
+            for _ in range(64):
+                yield
+            for i in range(64):
+                thread.load_int(grid + 8 * i, pc="compute.c:1")
+                yield
+
+    run_threads(m, [zeroer("worker_a", "a.c:init"), zeroer("worker_b", "b.c:init"), reader])
+    # Interleaved zeroing: each thread's stores get overwritten by the other.
+    assert rk.remote_kills > 5
+    assert rk.remote_kill_fraction() > 0.5
+
+
+def test_report_shape():
+    m, rk = remote_machine()
+    buffer = m.alloc(8)
+
+    def a(thread):
+        thread.store_int(buffer, 1, pc="a.c:1")
+        yield
+
+    def b(thread):
+        yield
+        thread.store_int(buffer, 2, pc="b.c:1")
+        yield
+
+    run_threads(m, [a, b])
+    report = rk.report()
+    assert report.tool == "remotekill"
+    assert report.samples >= 1
+    assert report.redundancy_fraction == pytest.approx(rk.remote_kill_fraction())
+
+
+def test_spurious_sibling_traps_are_cheap():
+    """After a group settles, stale sibling watchpoints must not record."""
+    m, rk = remote_machine()
+    buffer = m.alloc(8)
+
+    def a(thread):
+        thread.store_int(buffer, 1, pc="a.c:1")  # sampled, mirrored to b
+        thread.store_int(buffer, 2, pc="a.c:2")  # settles group (local kill)
+        yield
+
+    def b(thread):
+        yield
+        thread.store_int(buffer, 3, pc="b.c:1")  # sampled + may hit stale sibling
+        yield
+
+    run_threads(m, [a, b])
+    # Whatever the interleaving, waste+use never double-counts a group.
+    total_events = rk.remote_kills + rk.local_kills + rk.consumed
+    assert total_events <= rk.samples

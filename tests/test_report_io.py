@@ -1,0 +1,94 @@
+"""Tests for report serialization and the HTML renderer."""
+
+import json
+
+import pytest
+
+from repro.core.report import InefficiencyReport
+from repro.harness import run_witch
+from repro.reporting import render_html, save_html
+from repro.workloads.microbench import listing1_gcc_program, listing3_program
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_witch(listing1_gcc_program, tool="deadcraft", period=37, seed=2).report
+
+
+class TestJsonRoundtrip:
+    def test_roundtrip_preserves_headline(self, report):
+        clone = InefficiencyReport.from_dict(report.to_dict())
+        assert clone.tool == report.tool
+        assert clone.samples == report.samples
+        assert clone.redundancy_fraction == pytest.approx(report.redundancy_fraction)
+
+    def test_roundtrip_preserves_pairs(self, report):
+        clone = InefficiencyReport.from_dict(report.to_dict())
+        assert len(clone.pairs) == len(report.pairs)
+        assert clone.pairs.total_waste() == pytest.approx(report.pairs.total_waste())
+        assert clone.pairs.total_use() == pytest.approx(report.pairs.total_use())
+
+    def test_roundtrip_preserves_chains(self, report):
+        clone = InefficiencyReport.from_dict(report.to_dict())
+        assert [c for c, _ in clone.top_chains()] == [c for c, _ in report.top_chains()]
+
+    def test_roundtrip_preserves_event_counts(self, report):
+        clone = InefficiencyReport.from_dict(report.to_dict())
+        original = {
+            (w.path(), t.path()): m.events for (w, t), m in report.pairs
+        }
+        restored = {
+            (w.path(), t.path()): m.events for (w, t), m in clone.pairs
+        }
+        assert original == restored
+
+    def test_save_and_load(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        report.save(str(path))
+        loaded = InefficiencyReport.load(str(path))
+        assert loaded.redundancy_fraction == pytest.approx(report.redundancy_fraction)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-report"
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(ValueError):
+            InefficiencyReport.from_dict({"format": "other"})
+        with pytest.raises(ValueError):
+            InefficiencyReport.from_dict({"format": "repro-report", "version": 9})
+
+
+class TestHtml:
+    def test_contains_summary_and_chains(self, report):
+        page = render_html(report)
+        assert "<!DOCTYPE html>" in page
+        assert "redundancy (Eq. 1)" in page
+        assert "KILLED_BY" in page
+        assert "loop_regs_scan" in page
+
+    def test_title_is_escaped(self, report):
+        page = render_html(report, title="<script>alert(1)</script>")
+        assert "<script>alert(1)" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_tree_section_present(self, report):
+        page = render_html(report)
+        assert "Waste by calling context" in page
+        assert "<details" in page or "chain" in page
+
+    def test_empty_report_renders(self):
+        empty = run_witch(
+            lambda m: m.load_int(m.alloc(8), pc="x:1"), tool="deadcraft", period=1
+        ).report
+        page = render_html(empty)
+        assert "no waste recorded" in page
+
+    def test_save_html(self, report, tmp_path):
+        path = tmp_path / "report.html"
+        save_html(report, str(path))
+        assert path.read_text().startswith("<!DOCTYPE html>")
+
+    def test_pair_table_limited(self):
+        big = run_witch(listing3_program, tool="deadcraft", period=23, seed=1).report
+        page = render_html(big, max_pairs=2)
+        # header row + 2 data rows
+        assert page.count("<tr>") == 3

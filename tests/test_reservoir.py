@@ -1,0 +1,242 @@
+"""Unit and statistical tests for the section 4.1 replacement policies."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.reservoir import (
+    Action,
+    CoinFlipPolicy,
+    NaiveReplacePolicy,
+    ReservoirPolicy,
+)
+from repro.hardware.debugreg import DebugRegisterFile, TrapMode, Watchpoint
+
+
+def fill(registers):
+    for i in range(registers.count):
+        registers.arm(Watchpoint(100 * (i + 1), 8, TrapMode.RW_TRAP))
+
+
+class TestReservoirBasics:
+    def test_installs_into_free_register(self):
+        policy = ReservoirPolicy()
+        registers = DebugRegisterFile(2)
+        decision = policy.decide(registers, random.Random(0))
+        assert decision.action is Action.INSTALL
+        assert decision.slot == 0
+
+    def test_never_skips_while_free(self):
+        policy = ReservoirPolicy()
+        registers = DebugRegisterFile(4)
+        for i in range(4):
+            decision = policy.decide(registers, random.Random(0))
+            assert decision.monitors
+            registers.arm(Watchpoint(8 * i, 8, TrapMode.RW_TRAP), decision.slot)
+
+    def test_full_file_replaces_or_skips(self):
+        policy = ReservoirPolicy()
+        registers = DebugRegisterFile(1)
+        fill(registers)
+        policy.decide(registers, random.Random(0))  # sync counter
+        decisions = {policy.decide(registers, random.Random(s)).action for s in range(30)}
+        assert decisions <= {Action.REPLACE, Action.SKIP}
+        assert Action.SKIP in decisions  # eventually N/k < 1
+
+    def test_single_register_probabilities(self):
+        """S2 replaces S1 with probability exactly 1/2 (then 1/3, 1/4...)."""
+        replacements = Counter()
+        trials = 4000
+        for seed in range(trials):
+            policy = ReservoirPolicy()
+            registers = DebugRegisterFile(1)
+            rng = random.Random(seed)
+            decision = policy.decide(registers, rng)
+            registers.arm(Watchpoint(0, 8, TrapMode.RW_TRAP), decision.slot)
+            for k in (2, 3, 4):
+                if policy.decide(registers, rng).action is Action.REPLACE:
+                    replacements[k] += 1
+        assert replacements[2] / trials == pytest.approx(1 / 2, abs=0.04)
+        assert replacements[3] / trials == pytest.approx(1 / 3, abs=0.04)
+        assert replacements[4] / trials == pytest.approx(1 / 4, abs=0.04)
+
+    def test_client_disarm_resets_probability(self):
+        """After a disarm the very next sample must be monitored (p = 1.0)."""
+        policy = ReservoirPolicy()
+        registers = DebugRegisterFile(1)
+        rng = random.Random(0)
+        decision = policy.decide(registers, rng)
+        registers.arm(Watchpoint(0, 8, TrapMode.RW_TRAP), decision.slot)
+        for _ in range(50):
+            policy.decide(registers, rng)
+        registers.disarm(0)
+        policy.on_client_disarm()
+        decision = policy.decide(registers, rng)
+        assert decision.action is Action.INSTALL
+
+    def test_clone_is_fresh(self):
+        policy = ReservoirPolicy()
+        registers = DebugRegisterFile(1)
+        rng = random.Random(0)
+        policy.decide(registers, rng)
+        clone = policy.clone()
+        assert clone is not policy
+        assert clone._k == 0
+
+
+class TestReservoirUniformity:
+    """The paper's invariant: every sample survives with probability N/k."""
+
+    @pytest.mark.parametrize("n_registers", [1, 2, 4])
+    def test_equal_survival_probability(self, n_registers):
+        samples = 12
+        trials = 3000
+        survivors = Counter()
+        for seed in range(trials):
+            policy = ReservoirPolicy()
+            registers = DebugRegisterFile(n_registers)
+            rng = random.Random(seed * 977 + 1)
+            for sample_id in range(samples):
+                decision = policy.decide(registers, rng)
+                if decision.monitors:
+                    registers.disarm(decision.slot)
+                    registers.arm(
+                        Watchpoint(sample_id, 8, TrapMode.RW_TRAP, payload=sample_id),
+                        decision.slot,
+                    )
+            for watchpoint in registers:
+                if watchpoint is not None:
+                    survivors[watchpoint.payload] += 1
+        expected = n_registers / samples
+        for sample_id in range(samples):
+            observed = survivors[sample_id] / trials
+            assert observed == pytest.approx(expected, abs=0.035), (
+                f"sample {sample_id}: {observed} vs {expected}"
+            )
+
+    def test_adversary_survival_follows_harmonic_law(self):
+        """Section 4.1's adversary bound: 1.7H from the harmonic series.
+
+        An adversary alpha that wins the register when the epoch counter is
+        at k survives m further samples with probability k/m -- so the
+        *expected number of replacement events* reaches 1 after about
+        (e - 1) * k ~= 1.7k further samples, equivalently alpha has been
+        replaced with probability 1 - 1/e ~= 63% by then.  We verify that
+        empirical fraction.
+        """
+        h = 20
+        trials = 2000
+        replaced_by_bound = 0
+        for seed in range(trials):
+            policy = ReservoirPolicy()
+            registers = DebugRegisterFile(1)
+            rng = random.Random(seed * 31 + 7)
+            # H quiet samples before alpha.
+            for i in range(h):
+                decision = policy.decide(registers, rng)
+                if decision.monitors:
+                    registers.disarm(decision.slot)
+                    registers.arm(Watchpoint(i, 8, TrapMode.RW_TRAP, payload="pre"), decision.slot)
+            # alpha must actually win the register to become the adversary.
+            while True:
+                decision = policy.decide(registers, rng)
+                if decision.monitors:
+                    registers.disarm(decision.slot)
+                    registers.arm(
+                        Watchpoint(999, 8, TrapMode.RW_TRAP, payload="alpha"), decision.slot
+                    )
+                    break
+            k_at_install = policy._k
+            bound = int(1.72 * k_at_install)
+            for waited in range(1, bound + 1):
+                decision = policy.decide(registers, rng)
+                if decision.monitors:
+                    replaced_by_bound += 1
+                    break
+        fraction = replaced_by_bound / trials
+        assert fraction == pytest.approx(1 - 1 / 2.718, abs=0.05)
+
+
+class TestStrawmen:
+    def test_naive_always_monitors(self):
+        policy = NaiveReplacePolicy()
+        registers = DebugRegisterFile(2)
+        fill(registers)
+        for _ in range(10):
+            assert policy.decide(registers, random.Random(0)).monitors
+
+    def test_naive_round_robin_eviction(self):
+        policy = NaiveReplacePolicy()
+        registers = DebugRegisterFile(3)
+        fill(registers)
+        slots = [policy.decide(registers, random.Random(0)).slot for _ in range(6)]
+        assert slots == [0, 1, 2, 0, 1, 2]
+
+    def test_coinflip_validates_probability(self):
+        with pytest.raises(ValueError):
+            CoinFlipPolicy(0.0)
+        with pytest.raises(ValueError):
+            CoinFlipPolicy(1.5)
+
+    def test_coinflip_uses_free_slots(self):
+        policy = CoinFlipPolicy()
+        registers = DebugRegisterFile(2)
+        assert policy.decide(registers, random.Random(0)).action is Action.INSTALL
+
+    def test_coinflip_rate_when_full(self):
+        policy = CoinFlipPolicy(0.5)
+        registers = DebugRegisterFile(1)
+        fill(registers)
+        rng = random.Random(42)
+        replaced = sum(policy.decide(registers, rng).monitors for _ in range(4000))
+        assert replaced / 4000 == pytest.approx(0.5, abs=0.03)
+
+    def test_coinflip_clone_keeps_probability(self):
+        assert CoinFlipPolicy(0.3).clone().probability == 0.3
+
+    def test_coinflip_old_samples_die_exponentially(self):
+        """The paper: survival of an old sample becomes minuscule."""
+        trials = 2000
+        survived = 0
+        for seed in range(trials):
+            policy = CoinFlipPolicy(0.5)
+            registers = DebugRegisterFile(1)
+            rng = random.Random(seed)
+            decision = policy.decide(registers, rng)
+            registers.arm(Watchpoint(0, 8, TrapMode.RW_TRAP, payload="old"), decision.slot)
+            for i in range(12):
+                decision = policy.decide(registers, rng)
+                if decision.monitors:
+                    registers.disarm(decision.slot)
+                    registers.arm(
+                        Watchpoint(i, 8, TrapMode.RW_TRAP, payload="new"), decision.slot
+                    )
+            if registers.get(0).payload == "old":
+                survived += 1
+        # Reservoir would keep ~1/13 ~= 7.7%; the coin flip keeps ~0.02%.
+        assert survived / trials < 0.01
+
+
+@settings(max_examples=30)
+@given(
+    n_registers=st.integers(min_value=1, max_value=4),
+    n_samples=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_reservoir_never_replaces_empty_slot(n_registers, n_samples, seed):
+    """Whatever the sequence, decisions are valid for the register state."""
+    policy = ReservoirPolicy()
+    registers = DebugRegisterFile(n_registers)
+    rng = random.Random(seed)
+    for i in range(n_samples):
+        decision = policy.decide(registers, rng)
+        if decision.action is Action.INSTALL:
+            assert registers.get(decision.slot) is None
+        elif decision.action is Action.REPLACE:
+            assert registers.get(decision.slot) is not None
+        if decision.monitors:
+            registers.disarm(decision.slot)
+            registers.arm(Watchpoint(i, 8, TrapMode.RW_TRAP), decision.slot)

@@ -1,0 +1,144 @@
+"""Tests for the synthetic SPEC-like suite."""
+
+import pytest
+
+from repro.harness import run_exhaustive, run_native, run_witch
+from repro.workloads.spec import QUICK_SUITE, SPEC_SUITE, BenchmarkSpec, workload_for
+
+
+class TestSuiteIntegrity:
+    def test_has_the_papers_29_benchmarks(self):
+        assert len(SPEC_SUITE) == 29
+        for name in ("astar", "gcc", "lbm", "mcf", "xalancbmk", "zeusmp"):
+            assert name in SPEC_SUITE
+
+    def test_quick_suite_is_a_subset(self):
+        assert set(QUICK_SUITE) <= set(SPEC_SUITE)
+
+    def test_specs_carry_paper_footprints(self):
+        assert SPEC_SUITE["astar"].paper_footprint_mb == 875
+        assert SPEC_SUITE["povray"].paper_footprint_mb == 7  # tiny: the bloat outlier
+
+    def test_rejects_unknown_episode(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="bad", weights={"explode": 1})
+
+    def test_rejects_empty_weights_without_kernel(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="bad", weights={})
+
+    def test_scaled_changes_only_size(self):
+        spec = SPEC_SUITE["gcc"]
+        small = spec.scaled(0.1)
+        assert small.n_ops == spec.n_ops // 10
+        assert small.weights == spec.weights
+        assert small.name == spec.name
+
+    def test_scaled_has_floor(self):
+        assert SPEC_SUITE["gcc"].scaled(0.000001).n_ops >= 200
+
+
+class TestWorkloadBehaviour:
+    def test_workload_is_deterministic(self):
+        spec = SPEC_SUITE["astar"].scaled(0.05)
+        first = run_native(workload_for(spec))
+        second = run_native(workload_for(spec))
+        assert first.native_cycles == second.native_cycles
+        assert first.cpu.ledger.counts == second.cpu.ledger.counts
+
+    def test_op_budget_roughly_respected(self):
+        spec = SPEC_SUITE["astar"].scaled(0.2)
+        run = run_native(workload_for(spec))
+        accesses = run.cpu.ledger.counts["access"]
+        assert accesses == pytest.approx(spec.n_ops, rel=0.35)
+
+    def test_recursive_specs_build_deep_contexts(self):
+        shallow = run_native(workload_for(SPEC_SUITE["astar"].scaled(0.05)))
+        deep = run_native(workload_for(SPEC_SUITE["sjeng"].scaled(0.05)))
+        assert deep.machine.tree.node_count() > shallow.machine.tree.node_count()
+
+    def test_mix_has_both_loads_and_stores(self):
+        run = run_exhaustive(workload_for(SPEC_SUITE["gcc"].scaled(0.05)), tools=("deadspy",))
+        # DeadSpy saw both kinds: some stores were read (use) and killed (waste).
+        assert run.reports["deadspy"].pairs.total_use() > 0
+        assert run.reports["deadspy"].pairs.total_waste() > 0
+
+
+class TestProfiles:
+    """The suite's characters match the paper's observations."""
+
+    def test_gcc_is_dead_store_heavy(self):
+        run = run_exhaustive(workload_for(SPEC_SUITE["gcc"].scaled(0.15)))
+        assert run.fraction("deadspy") > 0.45
+
+    def test_lbm_is_all_silent_and_redundant(self):
+        run = run_exhaustive(workload_for(SPEC_SUITE["lbm"].scaled(0.15)))
+        assert run.fraction("redspy") > 0.95
+        assert run.fraction("loadspy") > 0.95
+        assert run.fraction("deadspy") < 0.05
+
+    def test_libquantum_is_load_redundancy_heavy(self):
+        run = run_exhaustive(workload_for(SPEC_SUITE["libquantum"].scaled(0.15)))
+        assert run.fraction("loadspy") > 0.6
+
+    def test_namd_is_comparatively_clean(self):
+        run = run_exhaustive(workload_for(SPEC_SUITE["namd"].scaled(0.15)))
+        assert run.fraction("deadspy") < 0.3
+
+    def test_mcf_has_long_distance_dead_stores(self):
+        run = run_exhaustive(workload_for(SPEC_SUITE["mcf"].scaled(0.15)), tools=("deadspy",))
+        pairs = run.reports["deadspy"].pairs
+        assert pairs.waste_share("mcf.c:ld_src", "mcf.c:ld_kill") > 0.1
+
+
+class TestShadowSamplingVictims:
+    def test_hmmer_underestimates_with_biased_pmu(self):
+        """Section 4.3 / Figure 4: shadow sampling hides short-latency dead
+        stores behind long-latency clean ones on hmmer and calculix."""
+        spec = SPEC_SUITE["hmmer"].scaled(0.2)
+        wl = workload_for(spec)
+        truth = run_exhaustive(wl, tools=("deadspy",)).fraction("deadspy")
+        ideal = run_witch(wl, tool="deadcraft", period=101, seed=4).fraction
+        biased = run_witch(
+            wl, tool="deadcraft", period=101, seed=4, shadow_bias=0.9
+        ).fraction
+        assert abs(ideal - truth) < abs(biased - truth)
+        assert biased < truth  # bias hides dead stores
+
+    def test_unaffected_benchmark_tolerates_bias(self):
+        """gcc marks no long-latency stores, so the bias has nothing to
+        shadow and the estimate stays close."""
+        spec = SPEC_SUITE["gcc"].scaled(0.2)
+        wl = workload_for(spec)
+        truth = run_exhaustive(wl, tools=("deadspy",)).fraction("deadspy")
+        biased = run_witch(
+            wl, tool="deadcraft", period=101, seed=4, shadow_bias=0.9
+        ).fraction
+        assert biased == pytest.approx(truth, abs=0.12)
+
+
+class TestMultipleInputs:
+    def test_input_zero_is_the_original(self):
+        spec = SPEC_SUITE["bzip2"]
+        assert spec.with_input(0) is spec
+
+    def test_inputs_differ_only_in_data(self):
+        spec = SPEC_SUITE["bzip2"]
+        second = spec.with_input(1)
+        assert second.name == "bzip2-2"
+        assert second.seed != spec.seed
+        assert second.weights == spec.weights
+        assert second.n_ops == spec.n_ops
+
+    def test_inputs_produce_different_but_similar_profiles(self):
+        base = SPEC_SUITE["gcc"].scaled(0.15)
+        first = run_exhaustive(workload_for(base)).fraction("deadspy")
+        second = run_exhaustive(workload_for(base.with_input(1))).fraction("deadspy")
+        assert first != second  # different data
+        assert abs(first - second) < 0.15  # same program character
+
+    def test_each_input_is_deterministic(self):
+        spec = SPEC_SUITE["hmmer"].scaled(0.1).with_input(1)
+        first = run_native(workload_for(spec))
+        second = run_native(workload_for(spec))
+        assert first.native_cycles == second.native_cycles

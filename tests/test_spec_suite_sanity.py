@@ -1,0 +1,46 @@
+"""Sanity sweep: every one of the 29 suite benchmarks runs and behaves."""
+
+import pytest
+
+from repro.harness import run_native, run_witch
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+SCALE = 0.06  # ~2K accesses per benchmark: a smoke-level sweep
+
+
+@pytest.mark.parametrize("name", sorted(SPEC_SUITE))
+def test_benchmark_runs_and_is_well_formed(name):
+    spec = SPEC_SUITE[name]
+    run = run_native(workload_for(spec, scale=SCALE))
+    accesses = run.cpu.ledger.counts["access"]
+    assert accesses > 500, f"{name} barely executed"
+    # Context tree exists and is rooted through main (lbm's kernel included).
+    assert run.machine.tree.node_count() > 3
+    assert run.machine.tree.find("main") is not None
+    # Memory was actually touched.
+    assert run.cpu.memory.footprint_bytes() > 0
+
+
+@pytest.mark.parametrize("name", sorted(SPEC_SUITE))
+def test_deadcraft_runs_on_every_benchmark(name):
+    run = run_witch(workload_for(SPEC_SUITE[name], scale=SCALE), tool="deadcraft",
+                    period=31, seed=1)
+    assert run.witch.samples_handled > 0
+    assert 0.0 <= run.fraction <= 1.0
+
+
+def test_recursion_depths_ranked_as_documented():
+    """The recursion-heavy benchmarks really have the deepest contexts."""
+    def max_depth(name):
+        run = run_native(workload_for(SPEC_SUITE[name], scale=SCALE))
+        return max(node.depth for node in run.machine.tree.root.walk())
+
+    assert max_depth("xalancbmk") > max_depth("sjeng") - 3  # both deep
+    assert max_depth("sjeng") > max_depth("astar") + 5  # far deeper than flat
+
+
+def test_footprints_scale_with_working_set():
+    big = run_native(workload_for(SPEC_SUITE["libquantum"], scale=SCALE))
+    small = run_native(workload_for(SPEC_SUITE["povray"], scale=SCALE))
+    assert big.cpu.memory.footprint_bytes() > 0
+    assert small.cpu.memory.footprint_bytes() > 0

@@ -1,0 +1,120 @@
+"""Tests for trace record/replay."""
+
+import json
+
+import pytest
+
+from repro.harness import run_exhaustive, run_witch
+from repro.hardware.cpu import SimulatedCPU
+from repro.execution.machine import Machine
+from repro.trace import (
+    TraceRecord,
+    TraceRecorder,
+    read_trace,
+    replay,
+    replay_file,
+    write_trace,
+)
+from repro.workloads.microbench import listing1_gcc_program
+
+
+def record_workload(workload):
+    cpu = SimulatedCPU()
+    recorder = TraceRecorder(cpu)
+    workload(Machine(cpu))
+    return recorder
+
+
+class TestRecording:
+    def test_records_every_access(self):
+        recorder = record_workload(lambda m: _tiny(m))
+        assert len(recorder) == 3  # two stores + one load
+
+    def test_record_fields(self):
+        recorder = record_workload(lambda m: _tiny(m))
+        store = recorder.records[0]
+        assert store.kind == "store"
+        assert store.pc == "t.c:1"
+        assert store.frames == ("main",)
+        assert store.data is not None
+        load = recorder.records[2]
+        assert load.kind == "load"
+        assert load.data is None
+
+    def test_json_roundtrip(self):
+        recorder = record_workload(lambda m: _tiny(m))
+        for record in recorder.records:
+            assert TraceRecord.from_json(record.to_json()) == record
+
+
+def _tiny(m):
+    addr = m.alloc(8)
+    with m.function("main"):
+        m.store_int(addr, 1, pc="t.c:1")
+        m.store_int(addr, 2, pc="t.c:2")
+        m.load_int(addr, pc="t.c:3")
+
+
+class TestFileFormat:
+    def test_save_and_read(self, tmp_path):
+        recorder = record_workload(lambda m: _tiny(m))
+        path = tmp_path / "run.trace"
+        recorder.save(path)
+        assert read_trace(path) == recorder.records
+
+    def test_header_is_versioned(self, tmp_path):
+        recorder = record_workload(lambda m: _tiny(m))
+        path = tmp_path / "run.trace"
+        recorder.save(path)
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == "repro-trace"
+        assert header["version"] == 1
+
+    def test_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "bogus.trace"
+        path.write_text('{"something": "else"}\n')
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.trace"
+        path.write_text('{"format": "repro-trace", "version": 99}\n')
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+
+class TestReplayFidelity:
+    def test_replay_reproduces_tool_results_exactly(self, tmp_path):
+        """The acid test: a replayed trace is indistinguishable to Witch."""
+        recorder = record_workload(listing1_gcc_program)
+        path = tmp_path / "gcc.trace"
+        recorder.save(path)
+        replayed = replay_file(path)
+
+        for tool in ("deadcraft", "silentcraft", "loadcraft"):
+            original = run_witch(listing1_gcc_program, tool=tool, period=37, seed=5)
+            again = run_witch(replayed, tool=tool, period=37, seed=5)
+            assert original.fraction == again.fraction, tool
+            assert original.witch.samples_handled == again.witch.samples_handled
+
+    def test_replay_reproduces_exhaustive_results(self):
+        recorder = record_workload(listing1_gcc_program)
+        replayed = replay(recorder.records)
+        original = run_exhaustive(listing1_gcc_program, tools=("deadspy",))
+        again = run_exhaustive(replayed, tools=("deadspy",))
+        assert original.fraction("deadspy") == again.fraction("deadspy")
+
+    def test_replay_preserves_context_paths(self):
+        recorder = record_workload(listing1_gcc_program)
+        replayed = replay(recorder.records)
+        run = run_witch(replayed, tool="deadcraft", period=37, seed=5)
+        top_chain, _ = run.report.top_chains(coverage=0.5)[0]
+        assert "loop_regs_scan" in top_chain
+        assert "gcc.c:11" in top_chain
+
+    def test_store_record_requires_data(self):
+        bad = TraceRecord(
+            kind="store", address=0, length=8, pc="x", frames=("main",), data=None
+        )
+        with pytest.raises(ValueError):
+            replay([bad])(Machine())

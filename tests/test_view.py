@@ -1,0 +1,115 @@
+"""Tests for the top-down CCT view."""
+
+from repro.core.view import hot_frames, render_topdown
+from repro.harness import run_witch
+from repro.workloads.microbench import listing1_gcc_program, listing3_program
+
+
+def gcc_report():
+    return run_witch(listing1_gcc_program, tool="deadcraft", period=37, seed=2).report
+
+
+class TestRenderTopdown:
+    def test_header_names_tool_and_total(self):
+        text = render_topdown(gcc_report())
+        assert text.startswith("deadcraft: waste by calling context")
+
+    def test_hot_path_appears_in_order(self):
+        text = render_topdown(gcc_report())
+        lines = text.splitlines()
+        assert any("loop_regs_scan" in line for line in lines)
+        assert any("gcc.c:11" in line for line in lines)
+        # The function frame is emitted before (above) its line leaf.
+        function_index = next(i for i, l in enumerate(lines) if "loop_regs_scan" in l)
+        line_index = next(i for i, l in enumerate(lines) if "gcc.c:11" in l)
+        assert function_index < line_index
+
+    def test_min_share_prunes_tail(self):
+        full = render_topdown(gcc_report(), min_share=0.0)
+        pruned = render_topdown(gcc_report(), min_share=0.5)
+        assert len(pruned.splitlines()) < len(full.splitlines())
+
+    def test_max_depth_limits_indentation(self):
+        text = render_topdown(gcc_report(), max_depth=1)
+        for line in text.splitlines()[1:]:
+            assert not line.startswith("    ")  # depth-1 indent only
+
+    def test_empty_report(self):
+        report = run_witch(
+            lambda m: m.store_int(m.alloc(8), 1, pc="x:1"), tool="deadcraft", period=1
+        ).report
+        assert "no waste attributed" in render_topdown(report)
+
+    def test_shares_sum_sensibly(self):
+        text = render_topdown(gcc_report(), max_depth=1, min_share=0.0)
+        shares = [float(line.split("%")[0]) for line in text.splitlines()[1:]]
+        assert abs(sum(shares) - 100.0) < 1.0
+
+
+class TestHotFrames:
+    def test_top_frame_is_the_memset_line(self):
+        frames = hot_frames(gcc_report())
+        assert frames[0][0] == "gcc.c:11"
+        assert frames[0][1] > 0.8
+
+    def test_listing3_mixes_lines(self):
+        report = run_witch(listing3_program, tool="deadcraft", period=23, seed=5).report
+        names = [frame for frame, _ in hot_frames(report)]
+        assert "listing3.c:3" in names or "listing3.c:11" in names
+        assert "listing3.c:7" in names or "listing3.c:8" in names
+
+    def test_empty(self):
+        report = run_witch(
+            lambda m: m.load_int(m.alloc(8), pc="x:1"), tool="deadcraft", period=1
+        ).report
+        assert hot_frames(report) == []
+
+    def test_top_limit(self):
+        assert len(hot_frames(gcc_report(), top=1)) == 1
+
+
+class TestFlatVsContextAttribution:
+    """Section 3's point: flat profiling merges distinct contexts of the
+    same leaf (e.g. memset), while call-path attribution separates them."""
+
+    def _two_caller_report(self):
+        from repro.core.deadcraft import DeadCraft
+        from repro.core.witch import WitchFramework
+        from repro.execution.machine import Machine
+        from repro.hardware.cpu import SimulatedCPU
+
+        cpu = SimulatedCPU()
+        witch = WitchFramework(cpu, DeadCraft(), period=1)
+        m = Machine(cpu)
+        a = m.alloc(400)
+        b = m.alloc(400)
+
+        def memset_like(base, count):
+            with m.function("memset"):
+                for i in range(count):
+                    m.store_int(base + 8 * i, 0, pc="string.c:memset")
+
+        with m.function("main"):
+            for _ in range(3):
+                with m.function("caller_A"):
+                    memset_like(a, 40)  # the wasteful caller (re-zeroes)
+                with m.function("caller_B"):
+                    memset_like(b, 10)
+                    with m.function("consume"):
+                        for i in range(10):
+                            m.load_int(b + 8 * i, pc="use.c:1")
+        return witch.report()
+
+    def test_flat_view_merges_the_callers(self):
+        report = self._two_caller_report()
+        frames = hot_frames(report)
+        # Flat attribution: one entry for the memset line, callers fused.
+        assert frames[0][0] == "string.c:memset"
+        assert frames[0][1] == 1.0
+
+    def test_context_view_separates_them(self):
+        report = self._two_caller_report()
+        text = render_topdown(report, min_share=0.0)
+        assert "caller_A" in text
+        # caller_B's memset is consumed: it carries no waste at all.
+        assert "caller_B" not in text

@@ -1,0 +1,63 @@
+"""Tests for the what-if speedup estimator."""
+
+import pytest
+
+from repro.analysis.whatif import estimate_speedup
+from repro.harness import run_native, run_witch
+from repro.workloads.casestudies import nwchem
+from repro.workloads.microbench import listing1_gcc_program
+
+
+def profiled(workload, tool="deadcraft", period=37):
+    run = run_witch(workload, tool=tool, period=period, seed=2)
+    return run.report, run.cpu.ledger.counts["access"]
+
+
+class TestEstimate:
+    def test_validation(self):
+        report, _ = profiled(listing1_gcc_program)
+        with pytest.raises(ValueError):
+            estimate_speedup(report, total_accesses=0)
+        with pytest.raises(ValueError):
+            estimate_speedup(report, 1000, average_access_bytes=0)
+
+    def test_opportunities_ranked_by_waste(self):
+        report, accesses = profiled(listing1_gcc_program)
+        result = estimate_speedup(report, accesses)
+        wastes = [opp.waste_bytes for opp in result.opportunities]
+        assert wastes == sorted(wastes, reverse=True)
+
+    def test_ceilings_are_sane(self):
+        report, accesses = profiled(listing1_gcc_program)
+        result = estimate_speedup(report, accesses)
+        for opp in result.opportunities:
+            assert 1.0 <= opp.speedup_ceiling <= 20.0
+            assert 0.0 <= opp.removable_access_fraction <= 0.95
+        assert result.total_speedup_ceiling >= max(
+            opp.speedup_ceiling for opp in result.opportunities
+        )
+
+    def test_worthwhile_filters_the_tail(self):
+        report, accesses = profiled(listing1_gcc_program)
+        result = estimate_speedup(report, accesses)
+        short_list = result.worthwhile(minimum_speedup=1.05)
+        assert len(short_list) <= len(result.opportunities)
+        assert all(opp.speedup_ceiling >= 1.05 for opp in short_list)
+
+    def test_ceiling_bounds_the_real_fix_on_nwchem(self):
+        """The ceiling must not *under*-state what the real fix achieved
+        ... too badly: it's an upper bound on access elimination, and the
+        NWChem fix removed almost exactly the reported dead accesses."""
+        report, accesses = profiled(nwchem.baseline, period=53)
+        result = estimate_speedup(report, accesses)
+
+        before = run_native(nwchem.baseline).native_cycles
+        after = run_native(nwchem.optimized).native_cycles
+        real = before / after
+        assert result.total_speedup_ceiling > real * 0.8
+
+    def test_empty_report_has_no_opportunities(self):
+        report, accesses = profiled(lambda m: m.load_int(m.alloc(8), pc="x:1"))
+        result = estimate_speedup(report, max(1, accesses))
+        assert result.opportunities == []
+        assert result.total_speedup_ceiling == 1.0

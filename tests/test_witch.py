@@ -1,0 +1,202 @@
+"""Integration tests for the Witch framework with the DeadCraft client."""
+
+import pytest
+
+from repro.core.deadcraft import DeadCraft
+from repro.core.reservoir import NaiveReplacePolicy
+from repro.core.witch import WitchFramework
+from repro.execution.machine import Machine
+from repro.hardware.cpu import SimulatedCPU
+
+
+def dead_store_machine(period=1, registers=4, **kwargs):
+    cpu = SimulatedCPU(register_count=registers)
+    witch = WitchFramework(cpu, DeadCraft(), period=period, **kwargs)
+    return Machine(cpu), witch
+
+
+class TestDeadStoreDetection:
+    def test_store_store_is_waste(self):
+        m, witch = dead_store_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.store_int(addr, 2, pc="a.c:2")
+        assert witch.pairs.total_waste() > 0
+        assert witch.pairs.total_use() == 0
+        assert witch.redundancy_fraction() == 1.0
+
+    def test_store_load_is_use(self):
+        m, witch = dead_store_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.load_int(addr, pc="a.c:2")
+        assert witch.pairs.total_use() > 0
+        assert witch.redundancy_fraction() == 0.0
+
+    def test_trap_frees_register_for_next_sample(self):
+        """'If every watchpoint triggers before the next sample, we will
+        monitor every address seen in every sample' (section 4.1)."""
+        m, witch = dead_store_machine(registers=1)
+        a = m.alloc(8)
+        with m.function("main"):
+            for i in range(5):
+                m.store_int(a, i, pc="a.c:1")
+        # Every store traps the previous store's watchpoint, deterministically.
+        assert witch.traps_handled == 4
+        assert witch.samples_monitored == 5
+
+    def test_attribution_to_context_pair(self):
+        m, witch = dead_store_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            with m.function("writer"):
+                m.store_int(addr, 1, pc="w.c:1")
+            with m.function("killer"):
+                m.store_int(addr, 2, pc="k.c:1")
+        ((pair, metrics),) = list(witch.pairs)
+        watch, trap = pair
+        assert watch.path() == "main->writer->w.c:1"
+        assert trap.path() == "main->killer->k.c:1"
+        assert metrics.waste > 0
+
+    def test_amount_scales_with_period_and_overlap(self):
+        m, witch = dead_store_machine(period=1)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.store_int(addr, 2, pc="a.c:2")
+        # One sample represented, period 1, 8 bytes overlap.
+        assert witch.pairs.total_waste() == pytest.approx(8.0)
+
+    def test_partial_overlap_scales_bytes(self):
+        m, witch = dead_store_machine(period=1)
+        addr = m.alloc(16)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            # Kill only the upper half of the watched range.
+            m.store_int(addr + 4, 2, pc="a.c:2", length=4)
+        assert witch.pairs.total_waste() == pytest.approx(4.0)
+
+    def test_sampling_period_respected(self):
+        m, witch = dead_store_machine(period=10)
+        addr = m.alloc(800)
+        with m.function("main"):
+            for i in range(100):
+                m.store_int(addr + 8 * (i % 100), i, pc="a.c:1")
+        assert witch.samples_handled == 10
+
+
+class TestFrameworkBookkeeping:
+    def test_samples_and_monitored_counts(self):
+        m, witch = dead_store_machine(period=1)
+        addr = m.alloc(80)
+        with m.function("main"):
+            for i in range(10):
+                m.store_int(addr + 8 * i, i, pc="a.c:1")
+        assert witch.samples_handled == 10
+        assert witch.samples_monitored <= 10
+        assert witch.samples_monitored >= 4  # at least the free registers filled
+
+    def test_blindspot_tracking(self):
+        m, witch = dead_store_machine(period=1, registers=1, seed=3)
+        addr = m.alloc(8000)
+        with m.function("main"):
+            for i in range(1000):
+                m.store_int(addr + 8 * i, i, pc="a.c:1")  # never re-accessed
+        assert witch.max_unmonitored_streak > 0
+        assert 0 < witch.blindspot_fraction() < 1
+
+    def test_costs_charged_per_mechanism(self):
+        m, witch = dead_store_machine(period=1)
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.store_int(addr, 2, pc="a.c:2")
+        counts = m.cpu.ledger.counts
+        assert counts["sample"] == 2
+        assert counts["arm"] == 2
+        assert counts["trap"] == 1
+        assert m.cpu.ledger.tool_cycles > 0
+
+    def test_report_contents(self):
+        m, witch = dead_store_machine()
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.store_int(addr, 2, pc="a.c:2")
+        report = witch.report()
+        assert report.tool == "deadcraft"
+        assert report.samples == 2
+        assert "KILLED_BY" in report.top_chains()[0][0]
+        assert "deadcraft" in report.render()
+
+    def test_naive_policy_pluggable(self):
+        m, witch = dead_store_machine(policy=NaiveReplacePolicy())
+        addr = m.alloc(8)
+        with m.function("main"):
+            m.store_int(addr, 1, pc="a.c:1")
+            m.store_int(addr, 2, pc="a.c:2")
+        assert witch.traps_handled == 1
+
+    def test_multithreaded_watchpoints_are_thread_local(self):
+        from repro.execution.machine import run_threads
+
+        cpu = SimulatedCPU()
+        witch = WitchFramework(cpu, DeadCraft(), period=1)
+        m = Machine(cpu)
+        addr = m.alloc(8)
+
+        def writer(thread):
+            thread.store_int(addr, 1, pc="t.c:1")
+            yield
+
+        def killer(thread):
+            yield  # let the writer go first
+            thread.store_int(addr, 2, pc="t.c:2")
+            yield
+
+        run_threads(m, [writer, killer])
+        # The kill happened in another thread: thread 1's watchpoint must
+        # NOT trap (debug registers are per-thread, section 6.3).
+        assert witch.pairs.total_waste() == 0
+
+
+class TestProportionalAttribution:
+    def test_unmonitored_samples_scale_the_claim(self):
+        """With the register pinned, samples accumulate in mu and a single
+        trap claims them all (the Listing 3 arithmetic, end to end)."""
+        from repro.core.reservoir import Action, ReplacementDecision, ReplacementPolicy
+
+        class InstallOnly(ReplacementPolicy):
+            """Arm free registers; never replace (pins the first winner)."""
+
+            def decide(self, registers, rng):
+                free = registers.free_slot()
+                if free is not None:
+                    return ReplacementDecision(Action.INSTALL, free)
+                return ReplacementDecision(Action.SKIP)
+
+        m, witch = dead_store_machine(period=1, registers=1, policy=InstallOnly())
+        array = m.alloc(88)
+        with m.function("main"):
+            with m.function("sparse"):
+                # Eleven stores from ONE source line (one calling context);
+                # only the first wins the register.
+                for i in range(11):
+                    m.store_int(array + 8 * i, i, pc="s.c:2")
+            with m.function("kill"):
+                m.store_int(array, 99, pc="k.c:1")  # traps the first store
+        # The trap represents all 11 pending samples in its context:
+        # 11 samples x period 1 x 8 bytes.
+        assert witch.pairs.total_waste() == pytest.approx(88.0)
+
+    def test_disabled_attribution_counts_once(self):
+        m, witch = dead_store_machine(period=1, proportional_attribution=False)
+        addr = m.alloc(8)
+        with m.function("main"):
+            for _ in range(5):
+                m.store_int(addr, 1, pc="a.c:1")
+        # 4 dead traps, each 1 sample x 8 bytes.
+        assert witch.pairs.total_waste() == pytest.approx(32.0)

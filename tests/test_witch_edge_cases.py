@@ -1,0 +1,221 @@
+"""Edge-case and misuse tests for the Witch framework."""
+
+import pytest
+
+from repro.core.client import TrapOutcome, WatchInfo, WatchRequest, WitchClient
+from repro.core.deadcraft import DeadCraft
+from repro.core.witch import WitchFramework
+from repro.execution.machine import Machine
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.debugreg import TrapMode
+from repro.hardware.events import AccessType
+
+
+class DerivedAddressClient(WitchClient):
+    """Watches 8 bytes *past* the sampled address (the paper: 'a client may
+    set a watchpoint at an address derived from the sampled address')."""
+
+    name = "derived"
+    pmu_kinds = (AccessType.STORE,)
+
+    def on_sample(self, sample):
+        access = sample.access
+        info = WatchInfo(access.context, access.kind, access.address + 8, 8)
+        return WatchRequest(access.address + 8, 8, TrapMode.RW_TRAP, info)
+
+    def on_trap(self, access, watchpoint, overlap):
+        return TrapOutcome(disarm=True, record="waste")
+
+
+class PickyClient(WitchClient):
+    """Declines every sample."""
+
+    name = "picky"
+    pmu_kinds = (AccessType.STORE,)
+
+    def on_sample(self, sample):
+        return None
+
+    def on_trap(self, access, watchpoint, overlap):  # pragma: no cover
+        raise AssertionError("no watchpoints should exist")
+
+
+class BrokenClient(WitchClient):
+    name = "broken"
+    pmu_kinds = (AccessType.STORE,)
+
+    def on_sample(self, sample):
+        access = sample.access
+        info = WatchInfo(access.context, access.kind, access.address, access.length)
+        return WatchRequest(access.address, access.length, TrapMode.RW_TRAP, info)
+
+    def on_trap(self, access, watchpoint, overlap):
+        return TrapOutcome(disarm=True, record="bogus-kind")
+
+
+def test_derived_address_watchpoints():
+    cpu = SimulatedCPU()
+    witch = WitchFramework(cpu, DerivedAddressClient(), period=1)
+    m = Machine(cpu)
+    base = m.alloc(16)
+    with m.function("main"):
+        m.store_int(base, 1, pc="d.c:1")  # sample -> watch base+8
+        m.store_int(base + 8, 2, pc="d.c:2")  # trips the derived watchpoint
+    assert witch.traps_handled == 1
+    assert witch.pairs.total_waste() > 0
+
+
+def test_declining_client_sees_samples_but_arms_nothing():
+    cpu = SimulatedCPU()
+    witch = WitchFramework(cpu, PickyClient(), period=1)
+    m = Machine(cpu)
+    base = m.alloc(80)
+    with m.function("main"):
+        for i in range(10):
+            m.store_int(base + 8 * i, i, pc="p.c:1")
+    assert witch.samples_handled == 10
+    assert witch.samples_monitored == 0
+    assert cpu.debug_registers(0).armed_count == 0
+    # Declined samples still count as blind (nothing is being watched).
+    assert witch.max_unmonitored_streak == 10
+
+
+def test_unknown_record_kind_raises():
+    cpu = SimulatedCPU()
+    WitchFramework(cpu, BrokenClient(), period=1)
+    m = Machine(cpu)
+    base = m.alloc(8)
+    with m.function("main"):
+        m.store_int(base, 1, pc="b.c:1")
+        with pytest.raises(ValueError, match="unknown record kind"):
+            m.store_int(base, 2, pc="b.c:2")
+
+
+def test_wide_access_trips_multiple_watchpoints():
+    """One SIMD-width store over two watched ranges: both pairs recorded."""
+    cpu = SimulatedCPU()
+    witch = WitchFramework(cpu, DeadCraft(), period=1)
+    m = Machine(cpu)
+    base = m.alloc(32)
+    with m.function("main"):
+        m.store_int(base, 1, pc="w.c:1")  # watch [base, base+8)
+        m.store_int(base + 16, 2, pc="w.c:2")  # watch [base+16, base+24)
+        m.store(base, bytes(32), pc="w.c:3")  # kills both
+    assert witch.traps_handled >= 2
+    assert witch.pairs.total_waste() == pytest.approx(16.0)  # 8 bytes overlap each
+
+
+def test_period_one_single_register_chain():
+    """Back-to-back same-address stores: an unbroken trap-rearm chain."""
+    cpu = SimulatedCPU(register_count=1)
+    witch = WitchFramework(cpu, DeadCraft(), period=1)
+    m = Machine(cpu)
+    base = m.alloc(8)
+    with m.function("main"):
+        for i in range(20):
+            m.store_int(base, i, pc="c.c:1")
+    assert witch.traps_handled == 19
+    assert witch.samples_monitored == 20
+    assert witch.max_unmonitored_streak == 0
+
+
+def test_zero_access_run_is_well_formed():
+    cpu = SimulatedCPU()
+    witch = WitchFramework(cpu, DeadCraft(), period=10)
+    Machine(cpu)  # no accesses at all
+    report = witch.report()
+    assert report.samples == 0
+    assert report.redundancy_fraction == 0.0
+    assert witch.blindspot_fraction() == 0.0
+    assert report.top_chains() == []
+
+
+class TestWatchpointWidthLimit:
+    """Modeling x86's 8-byte debug-register width (section 6.4)."""
+
+    def test_wide_request_truncated_to_limit(self):
+        cpu = SimulatedCPU(register_count=1)
+        witch = WitchFramework(cpu, DeadCraft(), period=1, max_watchpoint_bytes=8)
+        m = Machine(cpu)
+        base = m.alloc(32)
+        with m.function("main"):
+            m.store(base, bytes(32), pc="s.c:1")  # SIMD-width store sampled
+        armed = cpu.debug_registers(0).get(0)
+        assert armed.length == 8
+
+    def test_truncated_watch_still_detects_but_scales_by_overlap(self):
+        cpu = SimulatedCPU(register_count=1)
+        witch = WitchFramework(cpu, DeadCraft(), period=1, max_watchpoint_bytes=8)
+        m = Machine(cpu)
+        base = m.alloc(32)
+        with m.function("main"):
+            m.store(base, bytes(32), pc="s.c:1")
+            m.store(base, bytes([1]) * 32, pc="s.c:2")  # kills the watched element
+        assert witch.traps_handled == 1
+        # Waste scales by the 8-byte overlap with the watched range.
+        assert witch.pairs.total_waste() == 8.0
+
+    def test_kill_outside_the_watched_element_is_missed(self):
+        """The truncation's real cost: a partial kill of unwatched lanes."""
+        cpu = SimulatedCPU(register_count=1)
+        witch = WitchFramework(cpu, DeadCraft(), period=1, max_watchpoint_bytes=8)
+        m = Machine(cpu)
+        base = m.alloc(32)
+        with m.function("main"):
+            m.store(base, bytes(32), pc="s.c:1")
+            m.store_int(base + 16, 7, pc="s.c:2")  # beyond the watched 8 bytes
+        assert witch.traps_handled == 0
+
+    def test_unlimited_by_default(self):
+        cpu = SimulatedCPU(register_count=1)
+        WitchFramework(cpu, DeadCraft(), period=1)
+        m = Machine(cpu)
+        base = m.alloc(32)
+        with m.function("main"):
+            m.store(base, bytes(32), pc="s.c:1")
+        assert cpu.debug_registers(0).get(0).length == 32
+
+    def test_rejects_bad_limit(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            WitchFramework(SimulatedCPU(), DeadCraft(), period=1, max_watchpoint_bytes=0)
+
+    def test_x86_limit_does_not_change_narrow_access_workloads(self):
+        """gcc's accesses are all <= 8 bytes: the limit must be a no-op."""
+        from repro.harness import run_witch
+        from repro.workloads.spec import SPEC_SUITE, workload_for
+
+        wl = workload_for(SPEC_SUITE["gcc"], scale=0.15)
+        unlimited = run_witch(wl, tool="deadcraft", period=101, seed=4)
+        limited = run_witch(
+            wl, tool="deadcraft", period=101, seed=4, max_watchpoint_bytes=8
+        )
+        assert limited.fraction == unlimited.fraction
+        assert limited.witch.traps_handled == unlimited.witch.traps_handled
+
+
+class TestLogging:
+    def test_debug_logging_traces_decisions(self, caplog):
+        import logging
+
+        cpu = SimulatedCPU()
+        WitchFramework(cpu, DeadCraft(), period=1)
+        m = Machine(cpu)
+        base = m.alloc(8)
+        with caplog.at_level(logging.DEBUG, logger="repro.witch"):
+            with m.function("main"):
+                m.store_int(base, 1, pc="log.c:1")
+                m.store_int(base, 2, pc="log.c:2")
+        messages = [record.message for record in caplog.records]
+        assert any("sample #" in message for message in messages)
+        assert any("trap log.c:2" in message for message in messages)
+
+    def test_silent_by_default(self, caplog):
+        cpu = SimulatedCPU()
+        WitchFramework(cpu, DeadCraft(), period=1)
+        m = Machine(cpu)
+        base = m.alloc(8)
+        with m.function("main"):
+            m.store_int(base, 1, pc="log.c:1")
+        assert not [r for r in caplog.records if r.name == "repro.witch"]
