@@ -26,7 +26,11 @@ def test_native_throughput(benchmark, publish):
             [["native (no tool)", f"{rate:,.0f}"]],
         ),
     )
-    assert rate > 50_000  # the dispatch path must stay lean
+    # The skip-ahead batched engine fast-forwards between PMU overflows
+    # and watchpoint traps; with no tool attached there are no events at
+    # all, so the bulk-converted workload must sustain well past the old
+    # 50k/s scalar-dispatch floor.
+    assert rate > 500_000
 
 
 def test_witch_throughput(benchmark):

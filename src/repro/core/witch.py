@@ -36,8 +36,9 @@ from repro.hardware.pmu import PMU, PMUSample
 
 #: Debug-level trace of sampling and trap decisions.  Off by default;
 #: enable with ``logging.getLogger("repro.witch").setLevel(logging.DEBUG)``
-#: to watch the framework think (samples are rare, so this is cheap even
-#: on large runs).
+#: *before* constructing the framework -- or call
+#: :meth:`WitchFramework.refresh_debug_flag` after -- to watch the
+#: framework think (samples are rare, so this is cheap even on large runs).
 logger = logging.getLogger("repro.witch")
 
 
@@ -106,8 +107,18 @@ class WitchFramework:
         self.samples_monitored = 0
         self.traps_handled = 0
 
+        # The logging-enabled check is hoisted out of the per-sample and
+        # per-trap paths: one framework serves one run, so caching the flag
+        # at construction (refreshable via refresh_debug_flag) removes the
+        # disabled-logging cost from the hot handlers.
+        self._debug = logger.isEnabledFor(logging.DEBUG)
+
         cpu.attach_sampling(self._make_pmu, self._handle_sample)
         cpu.set_trap_handler(self._handle_trap)
+
+    def refresh_debug_flag(self) -> None:
+        """Re-read the logger's effective level (call after reconfiguring)."""
+        self._debug = logger.isEnabledFor(logging.DEBUG)
 
     # ------------------------------------------------------------------ wiring
     def _make_pmu(self) -> PMU:
@@ -141,7 +152,7 @@ class WitchFramework:
         thread_id = sample.access.thread_id
         registers = self.cpu.debug_registers(thread_id)
         decision = self._policy(thread_id).decide(registers, self.rng)
-        if logger.isEnabledFor(logging.DEBUG):
+        if self._debug:
             logger.debug(
                 "sample #%d %s @0x%x thread=%d -> %s slot=%s",
                 self.samples_handled, sample.access.pc, sample.access.address,
@@ -178,7 +189,7 @@ class WitchFramework:
     # ------------------------------------------------------------------ traps
     def _handle_trap(self, access: MemoryAccess, watchpoint: Watchpoint, overlap: int) -> None:
         outcome = self.client.on_trap(access, watchpoint, overlap)
-        if logger.isEnabledFor(logging.DEBUG):
+        if self._debug:
             logger.debug(
                 "trap %s @0x%x overlap=%d -> record=%s disarm=%s spurious=%s",
                 access.pc, access.address, overlap,

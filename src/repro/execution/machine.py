@@ -27,7 +27,14 @@ from typing import Callable, Dict, Generator, Iterator, List, Optional, Sequence
 
 from repro.cct.tree import CallingContextTree, ContextNode
 from repro.hardware.cpu import SimulatedCPU
-from repro.hardware.events import decode_value, encode_value
+from repro.hardware.events import (
+    AccessRun,
+    AccessType,
+    decode_run,
+    decode_value,
+    encode_run,
+    encode_value,
+)
 
 _ALLOC_ALIGN = 64
 #: Allocations start well away from page zero so address arithmetic bugs
@@ -110,6 +117,101 @@ class ThreadContext:
     def load_float(self, address: int, pc: str, length: int = 8) -> float:
         return float(decode_value(self.load(address, length, pc, is_float=True), True))
 
+    # ------------------------------------------------------------- bulk access
+    # Strided runs sharing one pc/context flow through the skip-ahead
+    # batched engine (SimulatedCPU.access_run): semantically identical to a
+    # loop of scalar accesses, but the simulator fast-forwards between PMU
+    # overflows and watchpoint traps instead of probing every access.
+    def store_run(
+        self,
+        address: int,
+        values: Sequence,
+        pc: str,
+        length: int = 8,
+        stride: Optional[int] = None,
+        is_float: bool = False,
+        long_latency: bool = False,
+    ) -> None:
+        """Store ``values[i]`` at ``address + i*stride`` (default contiguous)."""
+        count = len(values)
+        if count == 0:
+            return
+        context = self._stack[-1].child(pc)
+        self.machine.cpu.access_run(
+            AccessRun(
+                AccessType.STORE,
+                address,
+                length if stride is None else stride,
+                length,
+                count,
+                pc,
+                context,
+                self.thread_id,
+                is_float,
+                long_latency,
+            ),
+            encode_run(values, length, is_float),
+        )
+
+    def load_run(
+        self,
+        address: int,
+        count: int,
+        pc: str,
+        length: int = 8,
+        stride: Optional[int] = None,
+        is_float: bool = False,
+    ) -> List:
+        """Load ``count`` values from ``address + i*stride``; returns them."""
+        if count <= 0:
+            return []
+        context = self._stack[-1].child(pc)
+        raw = self.machine.cpu.access_run(
+            AccessRun(
+                AccessType.LOAD,
+                address,
+                length if stride is None else stride,
+                length,
+                count,
+                pc,
+                context,
+                self.thread_id,
+                is_float,
+            )
+        )
+        return decode_run(raw, length, is_float)
+
+    def fill(
+        self,
+        address: int,
+        count: int,
+        value,
+        pc: str,
+        length: int = 8,
+        stride: Optional[int] = None,
+        is_float: bool = False,
+        long_latency: bool = False,
+    ) -> None:
+        """Store the same ``value`` ``count`` times (memset-style runs)."""
+        if count <= 0:
+            return
+        context = self._stack[-1].child(pc)
+        self.machine.cpu.access_run(
+            AccessRun(
+                AccessType.STORE,
+                address,
+                length if stride is None else stride,
+                length,
+                count,
+                pc,
+                context,
+                self.thread_id,
+                is_float,
+                long_latency,
+            ),
+            encode_value(value, length, is_float) * count,
+        )
+
 
 class Machine(ThreadContext):
     """A single-machine facade: thread 0 plus allocation and thread creation."""
@@ -158,14 +260,13 @@ def run_threads(machine: Machine, bodies: Sequence[ThreadBody]) -> None:
     every ``yield`` is a potential context switch.  Thread ids are assigned
     1..len(bodies) so thread 0 remains the "main" thread.
     """
-    runners = [body(machine.thread(i + 1)) for i, body in enumerate(bodies)]
-    live = list(runners)
+    live = [body(machine.thread(i + 1)) for i, body in enumerate(bodies)]
     while live:
-        finished = []
+        survivors = []
         for runner in live:
             try:
                 next(runner)
             except StopIteration:
-                finished.append(runner)
-        for runner in finished:
-            live.remove(runner)
+                continue
+            survivors.append(runner)
+        live = survivors

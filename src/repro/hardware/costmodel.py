@@ -124,6 +124,11 @@ class CycleLedger:
         self.native_cycles += self.model.native_cycles_per_access
         self.counts["access"] += 1
 
+    def charge_access_bulk(self, n: int) -> None:
+        """Charge ``n`` accesses in one step (the batched engine's slices)."""
+        self.native_cycles += self.model.native_cycles_per_access * n
+        self.counts["access"] += n
+
     def charge_call(self) -> None:
         self.native_cycles += self.model.native_cycles_per_call
         self.counts["call"] += 1

@@ -25,7 +25,7 @@ from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.hardware.costmodel import CostModel, CycleLedger
 from repro.hardware.debugreg import DebugRegisterFile, Watchpoint
-from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.events import AccessRun, AccessType, MemoryAccess
 from repro.hardware.memory import SimulatedMemory
 from repro.hardware.pmu import PMU, PMUSample
 
@@ -59,7 +59,12 @@ class SimulatedCPU:
         register_count: int = 4,
         model: Optional[CostModel] = None,
         rng: Optional[random.Random] = None,
+        batched: bool = True,
     ) -> None:
+        #: When False, :meth:`access_run` executes element by element
+        #: through :meth:`access` -- the reference semantics the batched
+        #: fast path is differentially tested against.
+        self.batched = batched
         self.memory = SimulatedMemory()
         self.model = model or CostModel()
         self.ledger = CycleLedger(self.model)
@@ -178,6 +183,96 @@ class SimulatedCPU:
                 self._sample_handler(sample)
 
         return result
+
+    def access_run(self, run: AccessRun, data: Optional[bytes] = None) -> bytes:
+        """Execute a strided run of homogeneous accesses; returns all bytes.
+
+        For stores, ``data`` is the concatenation of the run's elements in
+        access order (``count * length`` bytes); for loads the return value
+        is the concatenated bytes read.  Semantically bit-identical to
+        issuing the run's elements one by one through :meth:`access` --
+        same samples, traps, RNG draws, and ledger totals -- but between
+        *events* (PMU overflow decisions and watchpoint overlaps) the
+        engine skips ahead: it computes the index of the next event
+        arithmetically and commits everything before it in one slice.
+
+        Instrumentation observers must see every access pre-commit, so
+        their presence forces the element-by-element path, as does
+        ``batched=False``.
+        """
+        if run.count <= 0:
+            return b""
+        if run.is_store:
+            if data is None or len(data) != run.count * run.length:
+                raise ValueError("store run requires count * length bytes of data")
+        elif data is not None:
+            raise ValueError("load run takes no data")
+
+        if self._observers or not self.batched:
+            return self._access_run_scalar(run, data)
+
+        length = run.length
+        stride = run.stride
+        trap_handler = self._trap_handler
+        pmu = self.pmu(run.thread_id) if self._pmu_factory is not None else None
+        counted = pmu is not None and pmu.counts_kind(run.kind)
+        pieces: List[bytes] = []
+        index = 0
+        while index < run.count:
+            remaining = run.count - index
+            address = run.base + index * stride
+            # Distance (1-based, in accesses from here) to the next event;
+            # the sentinel remaining + 1 means the rest of the run is clear.
+            event = remaining + 1
+            if trap_handler is not None:
+                register_file = self._register_files.get(run.thread_id)
+                if register_file is not None and register_file.armed_count:
+                    hit = register_file.first_overlap(
+                        run.is_store, address, stride, length, remaining
+                    )
+                    if hit is not None:
+                        event = hit + 1
+            if counted and event > 1:
+                distance = pmu.next_overflow_in(run.long_latency)
+                if distance < event:
+                    event = distance
+
+            bulk = min(remaining, event - 1)
+            if bulk:
+                self.ledger.charge_access_bulk(bulk)
+                if run.is_store:
+                    self.memory.write_run(
+                        address, data[index * length : (index + bulk) * length],
+                        bulk, stride, length,
+                    )
+                else:
+                    pieces.append(self.memory.read_run(address, bulk, stride, length))
+                if counted:
+                    pmu.skip(bulk, run.long_latency)
+                index += bulk
+                if index >= run.count:
+                    break
+
+            # The event access runs through the scalar machinery: it may
+            # trap, sample, draw RNG, and re-arm registers, after which the
+            # loop re-computes the next event distance.
+            element = run.element(index)
+            if run.is_store:
+                self.access(element, data[index * length : (index + 1) * length])
+            else:
+                pieces.append(self.access(element))
+            index += 1
+
+        return data if run.is_store else b"".join(pieces)
+
+    def _access_run_scalar(self, run: AccessRun, data: Optional[bytes]) -> bytes:
+        """Reference path: the run's elements one at a time."""
+        length = run.length
+        if run.is_store:
+            for index in range(run.count):
+                self.access(run.element(index), data[index * length : (index + 1) * length])
+            return data
+        return b"".join(self.access(run.element(index)) for index in range(run.count))
 
     # Convenience wrappers used by the execution machine -----------------------
     def store(

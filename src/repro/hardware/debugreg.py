@@ -32,6 +32,9 @@ class TrapMode(enum.Enum):
     def matches(self, access: MemoryAccess) -> bool:
         return self is TrapMode.RW_TRAP or access.is_store
 
+    def matches_kind(self, is_store: bool) -> bool:
+        return self is TrapMode.RW_TRAP or is_store
+
 
 @dataclass
 class Watchpoint:
@@ -130,3 +133,33 @@ class DebugRegisterFile:
             if overlap > 0:
                 tripped.append((watchpoint, overlap))
         return tripped
+
+    def first_overlap(
+        self, is_store: bool, base: int, stride: int, length: int, count: int
+    ) -> Optional[int]:
+        """Index of the first access in a strided run that trips a register.
+
+        The run's accesses cover ``[base + i*stride, base + i*stride +
+        length)`` for ``i`` in ``[0, count)``.  Returns the smallest ``i``
+        whose range overlaps any armed, mode-matching watchpoint, or None
+        when the whole run commits trap-free -- computed arithmetically, so
+        the batched engine can skip ahead without probing every access.
+        """
+        best: Optional[int] = None
+        for watchpoint in self._slots:
+            if watchpoint is None or not watchpoint.mode.matches_kind(is_store):
+                continue
+            # Overlap at index i  <=>  lo <= i*stride <= hi.
+            lo = watchpoint.address - length + 1 - base
+            hi = watchpoint.address + watchpoint.length - 1 - base
+            if stride == 0:
+                hit = 0 if lo <= 0 <= hi else None
+            elif stride > 0:
+                first = max(0, -(-lo // stride))  # ceil(lo / stride)
+                hit = first if first * stride <= hi else None
+            else:
+                first = max(0, -(-hi // stride))  # ceil(hi / stride), stride < 0
+                hit = first if first * stride >= lo else None
+            if hit is not None and hit < count and (best is None or hit < best):
+                best = hit
+        return best

@@ -78,7 +78,48 @@ class MemoryAccess:
         return max(0, hi - lo)
 
 
+@dataclass(frozen=True, slots=True)
+class AccessRun:
+    """A strided run of homogeneous accesses sharing one pc and context.
+
+    Element ``i`` covers ``[base + i*stride, base + i*stride + length)``;
+    all elements share kind, pc, context, thread, and latency class, which
+    is what lets the batched engine reason about the whole run
+    arithmetically instead of probing access by access.  ``stride`` may be
+    0 (hammering one location) or negative (a descending walk).
+    """
+
+    kind: AccessType
+    base: int
+    stride: int
+    length: int
+    count: int
+    pc: str
+    context: Hashable
+    thread_id: int = 0
+    is_float: bool = False
+    long_latency: bool = False
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is AccessType.STORE
+
+    def element(self, index: int) -> MemoryAccess:
+        """The ``index``-th access of the run as a scalar event."""
+        return MemoryAccess(
+            self.kind,
+            self.base + index * self.stride,
+            self.length,
+            self.pc,
+            self.context,
+            self.thread_id,
+            self.is_float,
+            self.long_latency,
+        )
+
+
 _FLOAT_FORMATS = {4: "<f", 8: "<d"}
+_INT_RUN_CODES = {1: "B", 2: "H", 4: "I", 8: "Q"}
 
 
 def decode_value(raw: bytes, is_float: bool) -> float:
@@ -99,6 +140,38 @@ def encode_value(value: float, length: int, is_float: bool) -> bytes:
     if is_float and length in _FLOAT_FORMATS:
         return struct.pack(_FLOAT_FORMATS[length], value)
     return (int(value) % (1 << (8 * length))).to_bytes(length, "little")
+
+
+def encode_run(values, length: int, is_float: bool) -> bytes:
+    """Encode a sequence of values into one concatenated payload.
+
+    Equivalent to ``b"".join(encode_value(v, length, is_float) for v in
+    values)`` but packs common widths in one ``struct`` call.
+    """
+    if is_float and length in _FLOAT_FORMATS:
+        return struct.pack(f"<{len(values)}{_FLOAT_FORMATS[length][1]}", *values)
+    if not is_float and length in _INT_RUN_CODES:
+        try:
+            return struct.pack(f"<{len(values)}{_INT_RUN_CODES[length]}", *values)
+        except struct.error:
+            pass  # out-of-range or non-int values: take the modular path
+    return b"".join(encode_value(value, length, is_float) for value in values)
+
+
+def decode_run(raw: bytes, length: int, is_float: bool) -> list:
+    """Decode a concatenated payload back into per-element values.
+
+    Inverse of :func:`encode_run`; element ``i`` is decoded exactly as
+    :func:`decode_value` would decode ``raw[i*length:(i+1)*length]``.
+    """
+    count = len(raw) // length
+    if is_float and length in _FLOAT_FORMATS:
+        return list(struct.unpack(f"<{count}{_FLOAT_FORMATS[length][1]}", raw))
+    if not is_float and length in _INT_RUN_CODES:
+        return list(struct.unpack(f"<{count}{_INT_RUN_CODES[length]}", raw))
+    return [
+        decode_value(raw[i * length : (i + 1) * length], is_float) for i in range(count)
+    ]
 
 
 def values_match(old: bytes, new: bytes, is_float: bool, precision: Optional[float]) -> bool:

@@ -39,10 +39,16 @@ class SimulatedMemory:
             page = self._page(address >> _PAGE_SHIFT)
             page[offset : offset + len(data)] = data
             return
-        # Rare slow path: the write straddles a page boundary.
-        for i, byte in enumerate(data):
-            addr = address + i
-            self._page(addr >> _PAGE_SHIFT)[addr & _PAGE_MASK] = byte
+        # The write straddles page boundaries: split it into per-page slices.
+        position = 0
+        remaining = len(data)
+        while remaining:
+            offset = (address + position) & _PAGE_MASK
+            chunk = min(_PAGE_SIZE - offset, remaining)
+            page = self._page((address + position) >> _PAGE_SHIFT)
+            page[offset : offset + chunk] = data[position : position + chunk]
+            position += chunk
+            remaining -= chunk
 
     def read(self, address: int, length: int) -> bytes:
         """Read ``length`` raw bytes starting at ``address``.
@@ -55,12 +61,53 @@ class SimulatedMemory:
             if page is None:
                 return bytes(length)
             return bytes(page[offset : offset + length])
-        chunks = bytearray()
-        for i in range(length):
-            addr = address + i
-            page = self._pages.get(addr >> _PAGE_SHIFT)
-            chunks.append(0 if page is None else page[addr & _PAGE_MASK])
-        return bytes(chunks)
+        # Page-straddling read: stitch per-page slices (zeros for holes).
+        chunks = []
+        position = 0
+        while position < length:
+            offset = (address + position) & _PAGE_MASK
+            chunk = min(_PAGE_SIZE - offset, length - position)
+            page = self._pages.get((address + position) >> _PAGE_SHIFT)
+            chunks.append(bytes(chunk) if page is None else bytes(page[offset : offset + chunk]))
+            position += chunk
+        return b"".join(chunks)
+
+    # ------------------------------------------------------------- bulk runs
+    def write_run(self, address: int, payload: bytes, count: int, stride: int, length: int) -> None:
+        """Commit ``count`` stores of ``length`` bytes each, ``stride`` apart.
+
+        ``payload`` is the concatenation of the ``count`` elements in access
+        order.  Contiguous runs (``stride == length``) collapse into one
+        page-sliced write; a stride-0 run hammers one location, so only the
+        final element is observable and only it is written.
+        """
+        if count <= 0:
+            return
+        if stride == length:
+            self.write(address, payload)
+            return
+        if stride == 0:
+            self.write(address, payload[-length:])
+            return
+        # General strided stores: commit element by element, in access order
+        # (overlapping elements must land in program order).
+        for i in range(count):
+            self.write(address + i * stride, payload[i * length : (i + 1) * length])
+
+    def read_run(self, address: int, count: int, stride: int, length: int) -> bytes:
+        """Read ``count`` loads of ``length`` bytes each, ``stride`` apart.
+
+        Returns the concatenation of the elements in access order.
+        """
+        if count <= 0:
+            return b""
+        if stride == length:
+            return self.read(address, count * length)
+        if stride == 0:
+            return self.read(address, length) * count
+        return b"".join(
+            self.read(address + i * stride, length) for i in range(count)
+        )
 
     def footprint_bytes(self) -> int:
         """Resident size: the number of bytes in materialized pages."""

@@ -112,6 +112,51 @@ class PMU:
     def counts(self, access: MemoryAccess) -> bool:
         return access.kind in self.kinds
 
+    def counts_kind(self, kind: AccessType) -> bool:
+        return kind in self.kinds
+
+    # ------------------------------------------------------------ skip-ahead
+    # The batched execution engine fast-forwards through stretches where
+    # nothing observable can happen.  ``next_overflow_in`` tells it how many
+    # *matching* events may pass before the next overflow decision (the
+    # event on which :meth:`observe` might return True or consume RNG), and
+    # ``skip`` advances the counters over events that are guaranteed to be
+    # counted silently -- bit-identical to calling ``observe`` that many
+    # times, but O(1).
+    def next_overflow_in(self, long_latency: bool = False) -> int:
+        """Matching events until the next overflow *decision* (>= 1).
+
+        For a run of homogeneous accesses sharing ``long_latency``: the
+        event this many matching accesses ahead is the first whose
+        ``observe`` call can sample, defer, or draw from the RNG.  Events
+        strictly before it only increment counters.
+        """
+        if self._deferred_for > 0:
+            # A shadowed overflow is pending: it fires on the next
+            # long-latency access, or when the shadow window closes.
+            return 1 if long_latency else self._deferred_for
+        return self._threshold - self._counter
+
+    def skip(self, n: int, long_latency: bool = False) -> None:
+        """Count ``n`` matching events known not to reach the overflow.
+
+        ``n`` must be smaller than :meth:`next_overflow_in` for the same
+        ``long_latency``; crossing the threshold needs the full
+        :meth:`observe` logic (jitter and shadow-bias RNG draws).
+        """
+        if n <= 0:
+            return
+        if n >= self.next_overflow_in(long_latency):
+            raise ValueError(
+                f"skip({n}) would cross the overflow threshold "
+                f"({self.next_overflow_in(long_latency)} events away)"
+            )
+        self.events_seen += n
+        if self._deferred_for > 0:
+            self._deferred_for -= n
+        else:
+            self._counter += n
+
     def observe(self, access: MemoryAccess) -> bool:
         """Count one access; return True when it should be sampled."""
         if access.kind not in self.kinds:

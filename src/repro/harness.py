@@ -96,8 +96,10 @@ class ExhaustiveRun:
         return self.reports[tool].redundancy_fraction
 
 
-def run_native(workload: Workload, model: Optional[CostModel] = None) -> NativeRun:
-    cpu = SimulatedCPU(model=model)
+def run_native(
+    workload: Workload, model: Optional[CostModel] = None, batched: bool = True
+) -> NativeRun:
+    cpu = SimulatedCPU(model=model, batched=batched)
     machine = Machine(cpu)
     workload(machine)
     return NativeRun(cpu=cpu, machine=machine)
@@ -115,9 +117,18 @@ def run_witch(
     max_watchpoint_bytes: Optional[int] = None,
     seed: int = 0,
     model: Optional[CostModel] = None,
+    batched: bool = True,
 ) -> WitchRun:
-    """Run ``workload`` under one witchcraft tool and return its findings."""
-    cpu = SimulatedCPU(register_count=registers, model=model, rng=random.Random(seed))
+    """Run ``workload`` under one witchcraft tool and return its findings.
+
+    ``batched=False`` forces the simulator's element-by-element reference
+    path; results are bit-identical either way (see
+    tests/test_batched_equivalence.py), so this exists for differential
+    testing, not for users.
+    """
+    cpu = SimulatedCPU(
+        register_count=registers, model=model, rng=random.Random(seed), batched=batched
+    )
     client = make_client(tool, cpu)
     witch = WitchFramework(
         cpu,

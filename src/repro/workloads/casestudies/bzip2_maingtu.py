@@ -25,10 +25,10 @@ def _setup(m: Machine):
     block = m.alloc(_BLOCK + _DEPTH, "block")
     frame = m.alloc(4 * 8, "stack_frame")
     with m.function("BZ2_blockSort"):
-        for i in range(_BLOCK + _DEPTH):
-            # Period-8 content: the repetitive data that makes block
-            # sorting's comparisons run deep in the first place.
-            m.store(block + i, bytes([i % 8]), pc="blocksort.c:fill")
+        # Period-8 content: the repetitive data that makes block
+        # sorting's comparisons run deep in the first place.
+        m.store_run(block, [i % 8 for i in range(_BLOCK + _DEPTH)],
+                    pc="blocksort.c:fill", length=1)
     return block, frame
 
 
@@ -39,10 +39,7 @@ def _compare(m: Machine, block: int, c: int, spill: bool, frame: int) -> None:
         if spill:
             # Compiler-generated spills: stored every call, never reloaded,
             # killed by the next call's spills.
-            m.store_int(frame, i1, pc=_PC_SPILL)
-            m.store_int(frame + 8, i2, pc=_PC_SPILL)
-            m.store_int(frame + 16, c, pc=_PC_SPILL)
-            m.store_int(frame + 24, c + 1, pc=_PC_SPILL)
+            m.store_run(frame, [i1, i2, c, c + 1], pc=_PC_SPILL)
         for d in range(_DEPTH):
             a = m.load(block + i1 + d, 1, pc="blocksort.c:cmp1")
             b = m.load(block + i2 + d, 1, pc="blocksort.c:cmp2")

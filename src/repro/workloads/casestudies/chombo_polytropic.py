@@ -22,24 +22,27 @@ def _setup(m: Machine):
     state = m.alloc(512 * 8, "U")
     flux = m.alloc(_FLUX * 8, "flux")
     with m.function("AMRLevelPolytropicGas::initialData"):
-        for i in range(512):
-            m.store_int(state + 8 * i, (i * 31) % 503 + 1, pc="AMRLevel.cpp:init")
+        m.store_run(state, [(i * 31) % 503 + 1 for i in range(512)], pc="AMRLevel.cpp:init")
     return state, flux
 
 
 def _update_cell(m: Machine, state: int, flux: int, cell: int, zero_first: bool) -> None:
     with m.function("RIEMANNF"):
         if zero_first:
-            for f in range(_FLUX):
-                m.store_int(flux + 8 * f, 0, pc=_PC_ZERO)
+            m.fill(flux, _FLUX, 0, pc=_PC_ZERO)
         total = 0
-        for w in range(_STENCIL_WORK):
-            total += m.load_int(state + 8 * ((cell * 5 + w) % 512), pc="RiemannF.ChF:stencil")
+        # The stencil walks state contiguously mod 512; each segment up to
+        # the wrap is one run with the scalar loop's exact address sequence.
+        w = 0
+        while w < _STENCIL_WORK:
+            slot = (cell * 5 + w) % 512
+            k = min(512 - slot, _STENCIL_WORK - w)
+            total += sum(m.load_run(state + 8 * slot, k, pc="RiemannF.ChF:stencil"))
+            w += k
         # The computation fully overwrites every flux entry it later reads.
-        for f in range(_FLUX):
-            m.store_int(flux + 8 * f, total + f + cell, pc="RiemannF.ChF:flux")
-        for f in range(0, _FLUX, 4):  # only a third of the flux is consumed here
-            m.load_int(flux + 8 * f, pc="GodunovUtilitiesF.ChF:apply")
+        m.store_run(flux, [total + f + cell for f in range(_FLUX)], pc="RiemannF.ChF:flux")
+        # only a third of the flux is consumed here
+        m.load_run(flux, len(range(0, _FLUX, 4)), pc="GodunovUtilitiesF.ChF:apply", stride=32)
 
 
 def _run(m: Machine, zero_first: bool) -> None:

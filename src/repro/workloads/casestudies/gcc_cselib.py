@@ -33,8 +33,15 @@ def _pass_body(m: Machine, table: int, rtl: int, pass_index: int) -> list:
             m.store_int(entry, value + pass_index + k + 1, pc="cselib.c:record")
     with m.function("cse_insn"):
         total = 0
-        for i in range(_OTHER_WORK):
-            total += m.load_int(rtl + 8 * ((i * 3 + pass_index) % 512), pc="cse.c:fold")
+        # The fold loop walks rtl with stride 3 slots mod 512; each segment
+        # up to the wrap is one strided run with the same address sequence
+        # the scalar loop produced.
+        i = 0
+        while i < _OTHER_WORK:
+            slot = (i * 3 + pass_index) % 512
+            k = min((512 - slot + 2) // 3, _OTHER_WORK - i)
+            total += sum(m.load_run(rtl + 8 * slot, k, pc="cse.c:fold", stride=24))
+            i += k
         m.store_int(rtl + 8 * 512, total, pc="cse.c:emit")
         m.load_int(rtl + 8 * 512, pc="cse.c:emit_use")
     return used
@@ -43,8 +50,7 @@ def _pass_body(m: Machine, table: int, rtl: int, pass_index: int) -> list:
 def _init_rtl(m: Machine) -> int:
     rtl = m.alloc(513 * 8, "rtl")
     with m.function("read_rtl"):
-        for i in range(512):
-            m.store_int(rtl + 8 * i, (i * 37) % 1009, pc="toplev.c:parse")
+        m.store_run(rtl, [(i * 37) % 1009 for i in range(512)], pc="toplev.c:parse")
     return rtl
 
 
@@ -56,8 +62,7 @@ def baseline(m: Machine) -> None:
         with m.function("rest_of_compilation"):
             for pass_index in range(_PASSES):
                 with m.function("cselib_init"):
-                    for i in range(_TABLE):
-                        m.store_int(table + 8 * i, 0, pc=_PC_INIT)
+                    m.fill(table, _TABLE, 0, pc=_PC_INIT)
                 _pass_body(m, table, rtl, pass_index)
 
 

@@ -22,11 +22,12 @@ def _setup(m: Machine):
     particles = m.alloc(_PARTICLES * _PARTICLE_BYTES, "rv")
     forces = m.alloc(_PARTICLES * 8, "fv")
     with m.function("main_initialize"):
-        for i in range(_PARTICLES):
-            base = particles + i * _PARTICLE_BYTES
-            for field in range(4):
-                m.store_float(base + 8 * field, 1.0 + i * 0.5 + field * 0.125,
-                              pc="main.c:space_init")
+        # Particle records are contiguous, so initialization is one run.
+        m.store_run(
+            particles,
+            [1.0 + (k // 4) * 0.5 + (k % 4) * 0.125 for k in range(4 * _PARTICLES)],
+            pc="main.c:space_init", is_float=True,
+        )
     return particles, forces
 
 
@@ -36,10 +37,7 @@ def _kernel(m: Machine, particles: int, forces: int, cached: bool) -> None:
             home = particles + i * _PARTICLE_BYTES
             if cached:
                 # The fix: read the home particle once per i.
-                home_fields = [
-                    m.load_float(home + 8 * field, pc="kernel_cpu.c:hoisted")
-                    for field in range(4)
-                ]
+                home_fields = m.load_run(home, 4, pc="kernel_cpu.c:hoisted", is_float=True)
             force = 0.0
             for n in range(_NEIGHBORS):
                 neighbor = particles + ((i + n + 1) % _PARTICLES) * _PARTICLE_BYTES
@@ -47,15 +45,10 @@ def _kernel(m: Machine, particles: int, forces: int, cached: bool) -> None:
                     fields = home_fields
                 else:
                     # Re-loaded per interaction although i hasn't moved.
-                    fields = [
-                        m.load_float(home + 8 * field, pc=_PC_HOME) for field in range(4)
-                    ]
+                    fields = m.load_run(home, 4, pc=_PC_HOME, is_float=True)
                 # The neighbour's full record and the box bookkeeping are
                 # loaded either way -- the fix touches only the home reads.
-                other = [
-                    m.load_float(neighbor + 8 * field, pc="kernel_cpu.c:neighbor")
-                    for field in range(4)
-                ]
+                other = m.load_run(neighbor, 4, pc="kernel_cpu.c:neighbor", is_float=True)
                 m.load_int(forces + 8 * ((i + n) % _PARTICLES), pc="kernel_cpu.c:box")
                 m.load_int(forces + 8 * ((i + n + 7) % _PARTICLES), pc="kernel_cpu.c:box")
                 force += (fields[0] - other[0]) * fields[3] * other[3]

@@ -80,12 +80,16 @@ class PhaseBuilder:
         tally.silent_use += count * (chain - 1) * width
 
         def emit(m, base, name=self.name, count=count, chain=chain, width=width):
+            # The store chain batches as a stride-0 run; the access order is
+            # exactly the scalar loop's, which the sampling tools' accuracy
+            # depends on (a kill must closely follow the store it kills, or
+            # reservoir replacement evicts the watchpoint first).
             counter = self._builder._next_counter(count * chain)
             for i in range(count):
                 slot = base + i * width
-                for step in range(chain):
-                    m.store_int(slot, _value(counter), pc=f"{name}:dead", length=width)
-                    counter += 1
+                m.store_run(slot, [_value(counter + step) for step in range(chain)],
+                            pc=f"{name}:dead", length=width, stride=0)
+                counter += chain
                 m.load_int(slot, pc=f"{name}:dead_use", length=width)
 
         self._steps.append(_Step(emit, {"bytes_needed": count * 8}))
@@ -136,8 +140,13 @@ class PhaseBuilder:
                 m.store_int(base + i * width, _value(counter + i), pc=f"{name}:ro_init",
                             length=width)
                 m.load_int(base + i * width, pc=f"{name}:ro_scan", length=width)
-            for i in range(count):  # every one of these is a redundant re-load
-                m.load_int(base + (i % table) * width, pc=f"{name}:reload", length=width)
+            # every one of these is a redundant re-load; full table cycles
+            # plus a partial tail reproduce the i % table sequence exactly
+            full, partial = divmod(count, table)
+            for _ in range(full):
+                m.load_run(base, table, pc=f"{name}:reload", length=width, stride=width)
+            if partial:
+                m.load_run(base, partial, pc=f"{name}:reload", length=width, stride=width)
 
         self._steps.append(_Step(emit, {"bytes_needed": table * 8}))
         return self
@@ -153,6 +162,8 @@ class PhaseBuilder:
         self._builder._tally.dead_use += count * width
 
         def emit(m, base, name=self.name, count=count, width=width):
+            # store/load alternate per slot; batching either side would
+            # reorder pairs apart, so this pattern stays element-wise.
             counter = self._builder._next_counter(count)
             for i in range(count):
                 slot = base + i * width

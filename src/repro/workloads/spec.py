@@ -129,6 +129,22 @@ class _SlotAllocator:
         self._next += 1
         return slot
 
+    def take_run(self, n: int) -> List[Tuple[int, int]]:
+        """``n`` consecutive slots as ``(base_address, count)`` segments.
+
+        Identical slots, in the same order, as ``n`` calls to :meth:`take`;
+        segments split only where the rotation wraps, so each segment is a
+        contiguous strided run the batched engine can fast-forward.
+        """
+        segments: List[Tuple[int, int]] = []
+        while n > 0:
+            start = self._next % self.count
+            span = min(self.count - start, n)
+            segments.append((self.base + self.stride * start, span))
+            self._next += span
+            n -= span
+        return segments
+
 
 class _HotTable:
     """A small read-mostly table, the home of redundant loads.
@@ -151,10 +167,15 @@ class _HotTable:
                    f"{spec.name}.c:{10 * region + 8}", False)
 
     def scan(self, thread, reads: int) -> int:
-        for _ in range(reads):
-            slot = self.base + (self._cursor % self.SLOTS) * self.spec.access_len
-            self._cursor += 1
-            _load(thread, self.spec, slot, self.pc_load)
+        spec = self.spec
+        done = 0
+        while done < reads:
+            start = self._cursor % self.SLOTS
+            span = min(self.SLOTS - start, reads - done)
+            _load_run(thread, spec, self.base + start * spec.access_len, span,
+                      self.pc_load, spec.access_len)
+            self._cursor += span
+            done += span
         return reads
 
 
@@ -170,15 +191,34 @@ class _Churn:
         self._value = 0
 
     def step(self, thread) -> int:
-        cycle = self.spec.churn_stores + self.spec.churn_loads
-        phase = self._step % cycle
-        self._step += 1
-        if phase < self.spec.churn_stores:
-            self._value += 1
-            _store(thread, self.spec, self.slot, _fresh_value(self._value), self.pc_store, False)
-        else:
-            _load(thread, self.spec, self.slot, self.pc_load)
-        return 1
+        return self.step_n(thread, 1)
+
+    def step_n(self, thread, steps: int) -> int:
+        """``steps`` churn accesses, grouping each store/load phase into a run."""
+        spec = self.spec
+        cycle = spec.churn_stores + spec.churn_loads
+        done = 0
+        while done < steps:
+            phase = self._step % cycle
+            if phase < spec.churn_stores:
+                span = min(spec.churn_stores - phase, steps - done)
+                if span == 1:  # alternating churn: scalar beats a 1-run
+                    self._value += 1
+                    _store(thread, spec, self.slot, _fresh_value(self._value),
+                           self.pc_store, False)
+                else:
+                    values = [_fresh_value(self._value + 1 + j) for j in range(span)]
+                    self._value += span
+                    _store_run(thread, spec, self.slot, values, self.pc_store, False, 0)
+            else:
+                span = min(cycle - phase, steps - done)
+                if span == 1:
+                    _load(thread, spec, self.slot, self.pc_load)
+                else:
+                    _load_run(thread, spec, self.slot, span, self.pc_load, 0)
+            self._step += span
+            done += span
+        return steps
 
 
 def workload_for(spec: BenchmarkSpec, scale: float = 1.0) -> Workload:
@@ -210,17 +250,18 @@ def _generic_kernel(machine: Machine, spec: BenchmarkSpec) -> None:
             arc_count = long_distance_budget // 2
             arcs = machine.alloc(arc_count * spec.access_len, f"{spec.name}.arcs")
             with machine.function("arc_setup"):
+                store_values = []
                 for i in range(arc_count):
-                    slot = arcs + i * spec.access_len
-                    machine.store_int(
-                        slot,
-                        _fresh_value(value_counter[0]),
-                        pc=f"{spec.name}.c:ld_src",
-                        length=spec.access_len,
-                    )
+                    store_values.append(_fresh_value(value_counter[0]))
                     value_counter[0] += 1
-                    pending_kills.append((slot, _fresh_value(value_counter[0])))
-                    ops_done += 1
+                    pending_kills.append(
+                        (arcs + i * spec.access_len, _fresh_value(value_counter[0]))
+                    )
+                _store_run(
+                    machine, spec, arcs, store_values, f"{spec.name}.c:ld_src",
+                    False, spec.access_len,
+                )
+                ops_done += arc_count
 
         for region in range(spec.regions):
             region_ops = (ops_total - 2 * long_distance_budget) // spec.regions
@@ -238,11 +279,13 @@ def _generic_kernel(machine: Machine, spec: BenchmarkSpec) -> None:
 
         if pending_kills:
             with machine.function("arc_teardown"):
-                for slot, value in pending_kills:
-                    machine.store_int(
-                        slot, value, pc=f"{spec.name}.c:ld_kill", length=spec.access_len
-                    )
-                    ops_done += 1
+                # The kill slots are the arc array in order: one strided run.
+                _store_run(
+                    machine, spec, pending_kills[0][0],
+                    [value for _, value in pending_kills],
+                    f"{spec.name}.c:ld_kill", False, spec.access_len,
+                )
+                ops_done += len(pending_kills)
 
 
 def _run_region(
@@ -261,12 +304,39 @@ def _run_region(
     hot = _HotTable(machine, spec, region)
     churn = _Churn(machine, spec, region)
 
+    # Episodes are drawn a batch at a time (the RNG stream is identical to
+    # drawing them singly) and emitted grouped by kind, each group as
+    # strided runs over consecutive slots.  Grouping changes only the
+    # interleaving *between* episodes; every location still sees the same
+    # complete episodes in the same per-location order, so the exhaustive
+    # tools' ground truth is unchanged while the batched engine gets runs
+    # long enough to skip ahead through.
+    ops_per_episode = {
+        "dead": spec.dead_chain + 1,
+        "silent_dead": 3,
+        "silent_clean": 4,
+        "load_red": spec.load_repeats,
+        "clean": 4,
+    }
+    total_weight = sum(spec.weights.get(kind, 0.0) for kind in kinds)
+    mean_ops = 1.0 + sum(  # +1 for the churn access per episode
+        spec.weights[kind] * ops_per_episode[kind] for kind in kinds
+    ) / max(total_weight, 1e-9)
+
     def emit_batch(thread, remaining: int) -> int:
         done = 0
         while done < remaining:
-            kind = rng.choices(kinds, weights)[0]
-            done += _EMITTERS[kind](thread, spec, slots, value_counter, region, hot)
-            done += churn.step(thread)
+            batch = max(1, min(32, int((remaining - done) / mean_ops)))
+            draws = rng.choices(kinds, weights, k=batch)
+            groups: Dict[str, int] = {}
+            for kind in draws:
+                groups[kind] = groups.get(kind, 0) + 1
+            # Churn rides between the kind groups (as it rode between
+            # episodes in the ungrouped emission) so its texture stays
+            # spread through the batch rather than bunching at the end.
+            for kind, n in groups.items():
+                done += _EMITTERS[kind](thread, spec, slots, value_counter, region, hot, n)
+                done += churn.step_n(thread, n)
         return done
 
     thread = machine  # single-threaded suite
@@ -293,63 +363,89 @@ def _recurse(machine: Machine, depth: int, variant: int, emit, chunk: int) -> in
 
 
 # --------------------------------------------------------------------------- episode emitters
-def _emit_dead(thread, spec: BenchmarkSpec, slots, counter, region, hot) -> int:
-    slot = slots.take()
-    length = spec.access_len
-    long_latency = False  # dead stores are the short-latency ones for hmmer/calculix
-    for step in range(spec.dead_chain):
-        _store(
-            thread, spec, slot, _fresh_value(counter[0]),
-            f"{spec.name}.c:{10 * region + 1}", long_latency,
-        )
-        counter[0] += 1
-    _load(thread, spec, slot, f"{spec.name}.c:{10 * region + 2}")
-    return spec.dead_chain + 1
+# Each emitter produces ``n`` episodes of its kind over consecutive slots,
+# expressed as strided runs.  Within one segment emission is step-major
+# (every slot's first store, then every slot's second store, ...), which
+# leaves each *location's* access sequence -- the thing the exhaustive
+# tools classify -- exactly what n slot-major episodes would produce.
+def _emit_dead(thread, spec: BenchmarkSpec, slots, counter, region, hot, n: int) -> int:
+    chain = spec.dead_chain
+    pc_store = f"{spec.name}.c:{10 * region + 1}"
+    pc_load = f"{spec.name}.c:{10 * region + 2}"
+    start = counter[0]
+    counter[0] += n * chain
+    emitted = 0
+    # Dead stores stay short-latency (the hmmer/calculix trait).
+    for base, span in slots.take_run(n):
+        for step in range(chain):
+            values = [
+                _fresh_value(start + (emitted + j) * chain + step) for j in range(span)
+            ]
+            _store_run(thread, spec, base, values, pc_store, False, slots.stride)
+        _load_run(thread, spec, base, span, pc_load, slots.stride)
+        emitted += span
+    return n * (chain + 1)
 
 
-def _emit_silent_dead(thread, spec: BenchmarkSpec, slots, counter, region, hot) -> int:
-    slot = slots.take()
-    value = _fresh_value(counter[0])
-    counter[0] += 1
-    pc = f"{spec.name}.c:{10 * region + 3}"
-    _store(thread, spec, slot, value, pc, False)
-    _store(thread, spec, slot, value, f"{spec.name}.c:{10 * region + 4}", False)
-    _load(thread, spec, slot, f"{spec.name}.c:{10 * region + 5}")
-    return 3
+def _emit_silent_dead(thread, spec: BenchmarkSpec, slots, counter, region, hot, n: int) -> int:
+    pc_first = f"{spec.name}.c:{10 * region + 3}"
+    pc_silent = f"{spec.name}.c:{10 * region + 4}"
+    pc_load = f"{spec.name}.c:{10 * region + 5}"
+    start = counter[0]
+    counter[0] += n
+    emitted = 0
+    for base, span in slots.take_run(n):
+        values = [_fresh_value(start + emitted + j) for j in range(span)]
+        _store_run(thread, spec, base, values, pc_first, False, slots.stride)
+        _store_run(thread, spec, base, values, pc_silent, False, slots.stride)
+        _load_run(thread, spec, base, span, pc_load, slots.stride)
+        emitted += span
+    return 3 * n
 
 
-def _emit_silent_clean(thread, spec: BenchmarkSpec, slots, counter, region, hot) -> int:
-    slot = slots.take()
-    value = _fresh_value(counter[0])
-    counter[0] += 1
+def _emit_silent_clean(thread, spec: BenchmarkSpec, slots, counter, region, hot, n: int) -> int:
     pc_store = f"{spec.name}.c:{10 * region + 6}"
-    _store(thread, spec, slot, value, pc_store, False)
-    _load(thread, spec, slot, f"{spec.name}.c:{10 * region + 5}")
-    # Re-store (approximately) the same value: silent, but not dead.
-    again = value * (1.0 + 1e-4) if spec.float_data else value
-    _store(thread, spec, slot, again, f"{spec.name}.c:{10 * region + 7}", False)
-    _load(thread, spec, slot, f"{spec.name}.c:{10 * region + 5}")
-    return 4
+    pc_again = f"{spec.name}.c:{10 * region + 7}"
+    pc_load = f"{spec.name}.c:{10 * region + 5}"
+    start = counter[0]
+    counter[0] += n
+    emitted = 0
+    for base, span in slots.take_run(n):
+        values = [_fresh_value(start + emitted + j) for j in range(span)]
+        # Re-store (approximately) the same value: silent, but not dead.
+        again = (
+            [value * (1.0 + 1e-4) for value in values] if spec.float_data else values
+        )
+        _store_run(thread, spec, base, values, pc_store, False, slots.stride)
+        _load_run(thread, spec, base, span, pc_load, slots.stride)
+        _store_run(thread, spec, base, again, pc_again, False, slots.stride)
+        _load_run(thread, spec, base, span, pc_load, slots.stride)
+        emitted += span
+    return 4 * n
 
 
-def _emit_load_red(thread, spec: BenchmarkSpec, slots, counter, region, hot) -> int:
-    return hot.scan(thread, spec.load_repeats)
+def _emit_load_red(thread, spec: BenchmarkSpec, slots, counter, region, hot, n: int) -> int:
+    return hot.scan(thread, spec.load_repeats * n)
 
 
-def _emit_clean(thread, spec: BenchmarkSpec, slots, counter, region, hot) -> int:
-    slot = slots.take()
+def _emit_clean(thread, spec: BenchmarkSpec, slots, counter, region, hot, n: int) -> int:
     pc_store = f"{spec.name}.c:{10 * region + 10}"
     pc_load = f"{spec.name}.c:{10 * region + 11}"
     # Clean stores are the long-latency population when the benchmark
     # models the shadow-sampling artefact.
     long_latency = spec.short_latency_inefficiency
-    _store(thread, spec, slot, _fresh_value(counter[0]), pc_store, long_latency)
-    counter[0] += 1
-    _load(thread, spec, slot, pc_load)
-    _store(thread, spec, slot, _fresh_value(counter[0]), pc_store, long_latency)
-    counter[0] += 1
-    _load(thread, spec, slot, pc_load)
-    return 4
+    start = counter[0]
+    counter[0] += 2 * n
+    emitted = 0
+    for base, span in slots.take_run(n):
+        first = [_fresh_value(start + 2 * (emitted + j)) for j in range(span)]
+        second = [_fresh_value(start + 2 * (emitted + j) + 1) for j in range(span)]
+        _store_run(thread, spec, base, first, pc_store, long_latency, slots.stride)
+        _load_run(thread, spec, base, span, pc_load, slots.stride)
+        _store_run(thread, spec, base, second, pc_store, long_latency, slots.stride)
+        _load_run(thread, spec, base, span, pc_load, slots.stride)
+        emitted += span
+    return 4 * n
 
 
 def _fresh_value(counter: int) -> int:
@@ -377,6 +473,23 @@ def _load(thread, spec: BenchmarkSpec, slot: int, pc: str) -> None:
         thread.load_int(slot, pc=pc, length=spec.access_len)
 
 
+def _store_run(thread, spec: BenchmarkSpec, base: int, values, pc: str,
+               long_latency: bool, stride: int) -> None:
+    if spec.float_data:
+        values = [float(value) for value in values]
+    thread.store_run(
+        base, values, pc=pc, length=spec.access_len, stride=stride,
+        is_float=spec.float_data, long_latency=long_latency,
+    )
+
+
+def _load_run(thread, spec: BenchmarkSpec, base: int, count: int, pc: str, stride: int) -> None:
+    thread.load_run(
+        base, count, pc=pc, length=spec.access_len, stride=stride,
+        is_float=spec.float_data,
+    )
+
+
 _EMITTERS = {
     "dead": _emit_dead,
     "silent_dead": _emit_silent_dead,
@@ -401,13 +514,19 @@ def _lbm_kernel(machine: Machine, spec: BenchmarkSpec) -> None:
     iterations = max(2, spec.n_ops // (2 * cells))
     with machine.function("main"):
         with machine.function("LBM_initializeGrid"):
-            for i in range(cells):
-                machine.store_float(grid + 8 * i, 1.0 + i / cells, pc="lbm.c:init")
+            machine.store_run(
+                grid, [1.0 + i / cells for i in range(cells)], pc="lbm.c:init",
+                is_float=True,
+            )
+        # The stencil is a pure strided sweep: load the whole grid, store the
+        # whole grid.  Each cell still sees load-then-store per iteration.
         for _ in range(iterations):
             with machine.function("LBM_performStreamCollide"):
-                for i in range(cells):
-                    value = machine.load_float(grid + 8 * i, pc="lbm.c:load")
-                    machine.store_float(grid + 8 * i, value * (1.0 + 1e-4), pc="lbm.c:store")
+                values = machine.load_run(grid, cells, pc="lbm.c:load", is_float=True)
+                machine.store_run(
+                    grid, [value * (1.0 + 1e-4) for value in values], pc="lbm.c:store",
+                    is_float=True,
+                )
 
 
 # --------------------------------------------------------------------------- the suite

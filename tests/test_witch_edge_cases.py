@@ -199,11 +199,14 @@ class TestLogging:
     def test_debug_logging_traces_decisions(self, caplog):
         import logging
 
-        cpu = SimulatedCPU()
-        WitchFramework(cpu, DeadCraft(), period=1)
-        m = Machine(cpu)
-        base = m.alloc(8)
+        # The framework caches the logger's enabled state at construction
+        # (the hot handlers skip the logging module entirely), so enable
+        # DEBUG first; refresh_debug_flag() covers later reconfiguration.
         with caplog.at_level(logging.DEBUG, logger="repro.witch"):
+            cpu = SimulatedCPU()
+            WitchFramework(cpu, DeadCraft(), period=1)
+            m = Machine(cpu)
+            base = m.alloc(8)
             with m.function("main"):
                 m.store_int(base, 1, pc="log.c:1")
                 m.store_int(base, 2, pc="log.c:2")
