@@ -27,6 +27,8 @@ The headline entry points:
 - :mod:`repro.workloads` -- microbenchmarks, the synthetic SPEC-like
   suite, and the section 8 case-study miniatures.
 - :mod:`repro.harness` -- one-call runners for every paper experiment.
+- :class:`Telemetry` -- zero-cost-when-off run metrics, phase spans, and
+  a Chrome-traceable event timeline (docs/observability.md).
 """
 
 from repro.cct import CallingContextTree, ContextNode, ContextPairTable, synthetic_chain
@@ -57,6 +59,7 @@ from repro.hardware import (
 )
 from repro.core.view import hot_frames, render_topdown
 from repro.instrument import DeadSpy, LoadSpy, RedSpy
+from repro.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
 from repro.trace import TraceRecorder, read_trace, replay, replay_file
 
 __version__ = "1.0.0"
@@ -78,6 +81,8 @@ __all__ = [
     "Machine",
     "MemoryAccess",
     "NaiveReplacePolicy",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
     "PMU",
     "RedSpy",
     "RemoteKillFramework",
@@ -85,6 +90,7 @@ __all__ = [
     "SilentCraft",
     "SimulatedCPU",
     "SimulatedMemory",
+    "Telemetry",
     "ThreadContext",
     "TraceRecorder",
     "TrapMode",

@@ -11,6 +11,12 @@ Commands:
 - ``casestudy NAME`` -- detect, pinpoint, fix, and measure one Table 3 row.
 - ``record WORKLOAD -o FILE`` -- capture the workload's access trace;
   ``profile trace:FILE`` replays it under any tool.
+- ``stats WORKLOAD`` -- run under telemetry and render the metrics table.
+
+``profile``, ``compare``, ``suite``, and ``stats`` accept ``--telemetry``
+(print the metrics table), ``--telemetry-json FILE`` (metrics snapshot),
+and ``--trace-out FILE`` (Chrome trace-event JSON for ``chrome://tracing``);
+any of the three enables the telemetry subsystem for the run.
 
 Workload names: ``spec:gcc`` (or bare ``gcc``), ``micro:listing2``,
 ``case:binutils-2.27`` (``:optimized`` for the fixed variant), or
@@ -21,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import Callable, List, Optional
 
 from repro.analysis.accuracy import compare_reports
@@ -29,6 +36,7 @@ from repro.execution.machine import Machine
 from repro.harness import GROUND_TRUTH_FOR, run_exhaustive, run_witch
 from repro.hardware.cpu import SimulatedCPU
 from repro.hardware.pmu import nearest_prime
+from repro.telemetry import Telemetry
 from repro.trace import TraceRecorder, replay_file
 from repro.workloads import microbench
 from repro.workloads.casestudies import CASE_STUDIES, run_case_study
@@ -75,6 +83,29 @@ def resolve_workload(name: str, scale: float = 1.0) -> Workload:
     raise CLIError(f"unknown workload {name!r}; see `repro list`")
 
 
+def _telemetry_from_args(args) -> Optional[Telemetry]:
+    """A live Telemetry when any telemetry output was requested, else None."""
+    if getattr(args, "telemetry", False) or getattr(args, "telemetry_json", None) \
+            or getattr(args, "trace_out", None):
+        return Telemetry()
+    return None
+
+
+def _finish_telemetry(telemetry: Optional[Telemetry], args, out) -> None:
+    """Render/write whatever telemetry outputs the flags asked for."""
+    if telemetry is None:
+        return
+    if getattr(args, "telemetry", False):
+        print(file=out)
+        print(telemetry.render_table(), file=out)
+    if getattr(args, "telemetry_json", None):
+        telemetry.save_metrics(args.telemetry_json)
+        print(f"wrote {args.telemetry_json}", file=out)
+    if getattr(args, "trace_out", None):
+        telemetry.save_chrome_trace(args.trace_out)
+        print(f"wrote {args.trace_out}", file=out)
+
+
 def _cmd_list(args, out) -> int:
     print("synthetic SPEC suite (spec:<name>):", file=out)
     print("  " + " ".join(sorted(SPEC_SUITE)), file=out)
@@ -88,6 +119,7 @@ def _cmd_list(args, out) -> int:
 
 def _cmd_profile(args, out) -> int:
     workload = resolve_workload(args.workload, scale=args.scale)
+    telemetry = _telemetry_from_args(args)
     run = run_witch(
         workload,
         tool=args.tool,
@@ -95,6 +127,7 @@ def _cmd_profile(args, out) -> int:
         registers=args.registers,
         seed=args.seed,
         period_jitter=args.jitter,
+        telemetry=telemetry,
     )
     print(run.report.render(coverage=args.coverage), file=out)
     if args.view:
@@ -106,18 +139,24 @@ def _cmd_profile(args, out) -> int:
     if args.html:
         from repro.reporting import save_html
 
-        save_html(run.report, args.html, title=f"{args.tool} on {args.workload}")
+        save_html(
+            run.report, args.html, title=f"{args.tool} on {args.workload}",
+            telemetry=telemetry,
+        )
         print(f"wrote {args.html}", file=out)
+    _finish_telemetry(telemetry, args, out)
     return 0
 
 
 def _cmd_compare(args, out) -> int:
     workload = resolve_workload(args.workload, scale=args.scale)
+    telemetry = _telemetry_from_args(args)
     spy_name = GROUND_TRUTH_FOR[args.tool]
     sampled = run_witch(
-        workload, tool=args.tool, period=nearest_prime(args.period), seed=args.seed
+        workload, tool=args.tool, period=nearest_prime(args.period), seed=args.seed,
+        telemetry=telemetry,
     )
-    exhaustive = run_exhaustive(workload, tools=(spy_name,))
+    exhaustive = run_exhaustive(workload, tools=(spy_name,), telemetry=telemetry)
     comparison = compare_reports(sampled.report, exhaustive.reports[spy_name])
 
     print(f"{args.tool} (period {nearest_prime(args.period)}): "
@@ -142,6 +181,7 @@ def _cmd_compare(args, out) -> int:
     spy = exhaustive_overhead(workload, spy_name, args.workload, 100.0)
     print(f"slowdown at paper scale: {craft.slowdown:.3f}x ({args.tool}) vs "
           f"{spy.slowdown:.1f}x ({spy_name})", file=out)
+    _finish_telemetry(telemetry, args, out)
     return 0
 
 
@@ -158,21 +198,52 @@ def _cmd_suite(args, out) -> int:
     from repro.workloads.spec import QUICK_SUITE
 
     names = args.benchmarks or list(QUICK_SUITE)
+    telemetry = _telemetry_from_args(args)
+    tm_span = telemetry.span if telemetry is not None else None
     print(f"{'benchmark':12s} {'dead':>13s} {'silent':>13s} {'load':>13s}   (craft/spy %)",
           file=out)
     for name in names:
         if name not in SPEC_SUITE:
             raise CLIError(f"unknown suite benchmark {name!r}")
         workload = workload_for(SPEC_SUITE[name], scale=args.scale)
-        exhaustive = run_exhaustive(workload)
-        cells = []
-        for craft in ("deadcraft", "silentcraft", "loadcraft"):
-            sampled = run_witch(
-                workload, tool=craft, period=nearest_prime(args.period), seed=args.seed
-            )
-            truth = exhaustive.fraction(GROUND_TRUTH_FOR[craft])
-            cells.append(f"{100 * sampled.fraction:5.1f}/{100 * truth:5.1f}")
+        with (tm_span(f"suite:{name}") if tm_span is not None else nullcontext()):
+            exhaustive = run_exhaustive(workload, telemetry=telemetry)
+            cells = []
+            for craft in ("deadcraft", "silentcraft", "loadcraft"):
+                sampled = run_witch(
+                    workload, tool=craft, period=nearest_prime(args.period),
+                    seed=args.seed, telemetry=telemetry,
+                )
+                truth = exhaustive.fraction(GROUND_TRUTH_FOR[craft])
+                cells.append(f"{100 * sampled.fraction:5.1f}/{100 * truth:5.1f}")
         print(f"{name:12s} {cells[0]:>13s} {cells[1]:>13s} {cells[2]:>13s}", file=out)
+    _finish_telemetry(telemetry, args, out)
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    """Run a workload under a witchcraft tool and render its telemetry."""
+    workload = resolve_workload(args.workload, scale=args.scale)
+    telemetry = Telemetry()
+    run = run_witch(
+        workload,
+        tool=args.tool,
+        period=nearest_prime(args.period),
+        registers=args.registers,
+        seed=args.seed,
+        period_jitter=args.jitter,
+        telemetry=telemetry,
+    )
+    print(f"{args.tool} on {args.workload}: "
+          f"redundancy {100 * run.report.redundancy_fraction:.2f}%", file=out)
+    print(file=out)
+    print(telemetry.render_table(), file=out)
+    if args.telemetry_json:
+        telemetry.save_metrics(args.telemetry_json)
+        print(f"wrote {args.telemetry_json}", file=out)
+    if args.trace_out:
+        telemetry.save_chrome_trace(args.trace_out)
+        print(f"wrote {args.trace_out}", file=out)
     return 0
 
 
@@ -200,6 +271,15 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--scale", type=float, default=1.0, help="workload size multiplier")
         sub.add_argument("--seed", type=int, default=0)
 
+    def add_telemetry(sub, toggle: bool = True):
+        if toggle:
+            sub.add_argument("--telemetry", action="store_true",
+                             help="enable telemetry and print the metrics table")
+        sub.add_argument("--telemetry-json", metavar="FILE",
+                         help="write the telemetry metrics snapshot as JSON")
+        sub.add_argument("--trace-out", metavar="FILE",
+                         help="write a chrome://tracing-loadable trace-event file")
+
     profile = commands.add_parser("profile", help="run a witchcraft tool over a workload")
     profile.add_argument("workload")
     profile.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR), default="deadcraft")
@@ -215,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--html", metavar="FILE",
                          help="save a self-contained HTML report")
     add_common(profile)
+    add_telemetry(profile)
     profile.set_defaults(run=_cmd_profile)
 
     compare = commands.add_parser("compare", help="craft vs. exhaustive ground truth")
@@ -222,6 +303,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR), default="deadcraft")
     compare.add_argument("--period", type=int, default=101)
     add_common(compare)
+    add_telemetry(compare)
     compare.set_defaults(run=_cmd_compare)
 
     casestudy = commands.add_parser("casestudy", help="run one Table 3 case study")
@@ -234,7 +316,21 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--period", type=int, default=101)
     suite.add_argument("--scale", type=float, default=0.3)
     suite.add_argument("--seed", type=int, default=0)
+    add_telemetry(suite)
     suite.set_defaults(run=_cmd_suite)
+
+    stats = commands.add_parser(
+        "stats", help="run a workload under telemetry and render the metrics table"
+    )
+    stats.add_argument("workload")
+    stats.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR), default="deadcraft")
+    stats.add_argument("--period", type=int, default=101,
+                       help="sampling period (rounded to the nearest prime)")
+    stats.add_argument("--registers", type=int, default=4, help="debug registers")
+    stats.add_argument("--jitter", type=int, default=0, help="period jitter (+/- events)")
+    add_common(stats)
+    add_telemetry(stats, toggle=False)
+    stats.set_defaults(run=_cmd_stats)
 
     record = commands.add_parser("record", help="record a workload's access trace")
     record.add_argument("workload")

@@ -83,6 +83,14 @@ class ReservoirPolicy(ReplacementPolicy):
     def __init__(self) -> None:
         self._k = 0
 
+    @property
+    def epoch_samples(self) -> int:
+        """Samples seen this epoch (the k in the N/k survival odds).
+
+        Read by the telemetry probes; 0 before the first sample.
+        """
+        return self._k
+
     def decide(self, registers: DebugRegisterFile, rng: random.Random) -> ReplacementDecision:
         free = registers.free_slot()
         if free is not None:

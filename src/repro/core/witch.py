@@ -28,17 +28,20 @@ from repro.cct.pairs import ContextPairTable
 from repro.core.attribution import AttributionLedger, CountEachTrapOnce
 from repro.core.client import WitchClient
 from repro.core.report import InefficiencyReport
-from repro.core.reservoir import ReplacementPolicy, ReservoirPolicy
+from repro.core.reservoir import Action, ReplacementPolicy, ReservoirPolicy
 from repro.hardware.cpu import SimulatedCPU
 from repro.hardware.debugreg import Watchpoint
 from repro.hardware.events import MemoryAccess
 from repro.hardware.pmu import PMU, PMUSample
+from repro.telemetry import NULL_TELEMETRY, Telemetry, live_or_none
 
 #: Debug-level trace of sampling and trap decisions.  Off by default;
 #: enable with ``logging.getLogger("repro.witch").setLevel(logging.DEBUG)``
-#: *before* constructing the framework -- or call
-#: :meth:`WitchFramework.refresh_debug_flag` after -- to watch the
-#: framework think (samples are rare, so this is cheap even on large runs).
+#: *before* constructing the framework to watch it think (samples are
+#: rare, so this is cheap even on large runs).  The flag is folded into
+#: the telemetry gate at construction: a DEBUG-enabled logger auto-creates
+#: a log-mirroring :class:`~repro.telemetry.Telemetry`, so the hot
+#: handlers test exactly one hoisted condition for both concerns.
 logger = logging.getLogger("repro.witch")
 
 
@@ -62,6 +65,10 @@ class WitchFramework:
         max_watchpoint_bytes: cap on a watchpoint's width; pass 8 to model
             x86's debug-register limit (see the inline note below).
         seed: seed for the framework RNG driving replacement decisions.
+        telemetry: optional :class:`repro.telemetry.Telemetry` sink.  When
+            absent (or disabled) every probe reduces to one attribute
+            check; observation never perturbs the run either way (no RNG
+            draws, no simulation state).
     """
 
     def __init__(
@@ -75,6 +82,7 @@ class WitchFramework:
         period_jitter: int = 0,
         max_watchpoint_bytes: Optional[int] = None,
         seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.cpu = cpu
         self.client = client
@@ -107,18 +115,41 @@ class WitchFramework:
         self.samples_monitored = 0
         self.traps_handled = 0
 
-        # The logging-enabled check is hoisted out of the per-sample and
-        # per-trap paths: one framework serves one run, so caching the flag
-        # at construction (refreshable via refresh_debug_flag) removes the
-        # disabled-logging cost from the hot handlers.
-        self._debug = logger.isEnabledFor(logging.DEBUG)
+        # ONE hoisted fast-path gate covers telemetry and debug logging.
+        # One framework serves one run, so the decision is cached at
+        # construction: the per-sample and per-trap handlers test
+        # ``self._tm is not None`` and nothing else.  A DEBUG-enabled
+        # ``repro.witch`` logger rides the same gate -- it auto-creates a
+        # log-mirroring telemetry instance (events disabled) when none was
+        # supplied, replacing the old separate ``_debug`` flag.
+        tm = live_or_none(telemetry)
+        if logger.isEnabledFor(logging.DEBUG):
+            if tm is None:
+                tm = Telemetry(ring_capacity=0, log=logger)
+            elif tm.log is None:
+                tm.log = logger
+        self.telemetry = tm if tm is not None else NULL_TELEMETRY
+        self._tm = tm
+        if tm is not None:
+            self._c_samples = tm.counter("witch.samples")
+            self._c_monitored = tm.counter("witch.monitored")
+            self._c_traps = tm.counter("witch.traps")
+            self._c_spurious = tm.counter("witch.spurious_traps")
+            self._c_waste = tm.counter("witch.waste_bytes")
+            self._c_use = tm.counter("witch.use_bytes")
+            self._c_decisions = {
+                Action.INSTALL: tm.counter("witch.installs"),
+                Action.REPLACE: tm.counter("witch.replacements"),
+                Action.SKIP: tm.counter("witch.skips"),
+            }
+            self._h_represented = tm.histogram("witch.attribution.represented")
+            self._h_reservoir_k = tm.histogram("witch.reservoir.k")
+            self._g_survival = tm.gauge("witch.reservoir.survival_pct")
+            self._s_sample = tm.spans.cell("witch.handle_sample")
+            self._s_trap = tm.spans.cell("witch.handle_trap")
 
         cpu.attach_sampling(self._make_pmu, self._handle_sample)
         cpu.set_trap_handler(self._handle_trap)
-
-    def refresh_debug_flag(self) -> None:
-        """Re-read the logger's effective level (call after reconfiguring)."""
-        self._debug = logger.isEnabledFor(logging.DEBUG)
 
     # ------------------------------------------------------------------ wiring
     def _make_pmu(self) -> PMU:
@@ -128,6 +159,7 @@ class WitchFramework:
             shadow_bias=self._shadow_bias,
             jitter=self.period_jitter,
             rng=random.Random(self.rng.randrange(1 << 30)),
+            telemetry=self._tm,
         )
 
     def _policy(self, thread_id: int) -> ReplacementPolicy:
@@ -139,9 +171,24 @@ class WitchFramework:
 
     # ------------------------------------------------------------------ samples
     def _handle_sample(self, sample: PMUSample) -> None:
+        tm = self._tm
+        if tm is None:
+            self._sample_body(sample, None)
+            return
+        start = tm.clock()
+        try:
+            self._sample_body(sample, tm)
+        finally:
+            cell = self._s_sample
+            cell[0] += 1
+            cell[1] += tm.clock() - start
+
+    def _sample_body(self, sample: PMUSample, tm) -> None:
         ledger = self.cpu.ledger
         ledger.charge_sample()
         self.samples_handled += 1
+        if tm is not None:
+            self._c_samples.inc()
         self.attribution.on_sample(sample.access.context)
 
         request = self.client.on_sample(sample)
@@ -151,12 +198,29 @@ class WitchFramework:
 
         thread_id = sample.access.thread_id
         registers = self.cpu.debug_registers(thread_id)
-        decision = self._policy(thread_id).decide(registers, self.rng)
-        if self._debug:
-            logger.debug(
+        policy = self._policy(thread_id)
+        decision = policy.decide(registers, self.rng)
+        if tm is not None:
+            self._c_decisions[decision.action].inc()
+            epoch = getattr(policy, "epoch_samples", 0)
+            if epoch:
+                # The reservoir's survival odds for this epoch: N/k.
+                self._h_reservoir_k.observe(epoch)
+                self._g_survival.set(min(100.0, 100.0 * registers.count / epoch))
+            tm.debug(
                 "sample #%d %s @0x%x thread=%d -> %s slot=%s",
                 self.samples_handled, sample.access.pc, sample.access.address,
                 thread_id, decision.action.value, decision.slot,
+            )
+            tm.emit(
+                "witch.sample",
+                cat="witch",
+                thread_id=thread_id,
+                args={
+                    "pc": sample.access.pc,
+                    "address": sample.access.address,
+                    "action": decision.action.value,
+                },
             )
         if not decision.monitors:
             self._note_unmonitored()
@@ -179,6 +243,8 @@ class WitchFramework:
         self.attribution.on_arm(request.info.context)
         ledger.charge_arm()
         self.samples_monitored += 1
+        if tm is not None:
+            self._c_monitored.inc()
         self.unmonitored_streak = 0
 
     def _note_unmonitored(self) -> None:
@@ -188,28 +254,66 @@ class WitchFramework:
 
     # ------------------------------------------------------------------ traps
     def _handle_trap(self, access: MemoryAccess, watchpoint: Watchpoint, overlap: int) -> None:
+        tm = self._tm
+        if tm is None:
+            self._trap_body(access, watchpoint, overlap, None)
+            return
+        start = tm.clock()
+        try:
+            self._trap_body(access, watchpoint, overlap, tm)
+        finally:
+            cell = self._s_trap
+            cell[0] += 1
+            cell[1] += tm.clock() - start
+
+    def _trap_body(
+        self, access: MemoryAccess, watchpoint: Watchpoint, overlap: int, tm
+    ) -> None:
         outcome = self.client.on_trap(access, watchpoint, overlap)
-        if self._debug:
-            logger.debug(
+        if tm is not None:
+            tm.debug(
                 "trap %s @0x%x overlap=%d -> record=%s disarm=%s spurious=%s",
                 access.pc, access.address, overlap,
                 outcome.record, outcome.disarm, outcome.spurious,
             )
+            tm.emit(
+                "witch.trap",
+                cat="witch",
+                thread_id=access.thread_id,
+                args={
+                    "pc": access.pc,
+                    "address": access.address,
+                    "overlap": overlap,
+                    "record": outcome.record,
+                    "spurious": outcome.spurious,
+                },
+            )
         ledger = self.cpu.ledger
         if outcome.spurious:
             ledger.charge_spurious_trap()
+            if tm is not None:
+                self._c_spurious.inc()
         else:
             ledger.charge_trap()
             self.traps_handled += 1
+            if tm is not None:
+                self._c_traps.inc()
 
         info = watchpoint.payload
         if outcome.record is not None:
             represented = self.attribution.claim(info.context)
             amount = represented * self.period * overlap
+            if tm is not None:
+                # The mu/eta scaling factor this trap carried (section 4.2).
+                self._h_represented.observe(represented)
             if outcome.record == "waste":
                 self.pairs.add_waste(info.context, access.context, amount)
+                if tm is not None:
+                    self._c_waste.inc(amount)
             elif outcome.record == "use":
                 self.pairs.add_use(info.context, access.context, amount)
+                if tm is not None:
+                    self._c_use.inc(amount)
             else:
                 raise ValueError(f"unknown record kind {outcome.record!r}")
 

@@ -22,7 +22,7 @@ deterministic, which the reproduction experiments rely on.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from typing import Callable, Dict, Generator, Iterator, List, Optional, Sequence
 
 from repro.cct.tree import CallingContextTree, ContextNode
@@ -222,6 +222,10 @@ class Machine(ThreadContext):
         self._next_address = _ALLOC_BASE
         self._threads: Dict[int, ThreadContext] = {}
         self.allocated_bytes = 0
+        # The machine shares the CPU's hoisted telemetry gate: allocation
+        # and threading probes fire only when the run carries telemetry.
+        telemetry = self.cpu.telemetry
+        self._tm = telemetry if telemetry.enabled else None
         super().__init__(self, 0)
         self._threads[0] = self
 
@@ -235,6 +239,15 @@ class Machine(ThreadContext):
         # A guard gap keeps out-of-bounds workload bugs from touching the
         # next allocation.
         self._next_address = base + span + _ALLOC_ALIGN
+        tm = self._tm
+        if tm is not None:
+            tm.count("machine.allocs")
+            tm.gauge("machine.allocated_bytes").set(self.allocated_bytes)
+            tm.emit(
+                "machine.alloc",
+                cat="machine",
+                args={"name": name, "bytes": nbytes, "base": base},
+            )
         return base
 
     def thread(self, thread_id: int) -> ThreadContext:
@@ -260,13 +273,20 @@ def run_threads(machine: Machine, bodies: Sequence[ThreadBody]) -> None:
     every ``yield`` is a potential context switch.  Thread ids are assigned
     1..len(bodies) so thread 0 remains the "main" thread.
     """
+    tm = machine._tm
+    if tm is not None:
+        tm.count("threads.spawned", len(bodies))
+        switches = tm.counter("threads.switches")
     live = [body(machine.thread(i + 1)) for i, body in enumerate(bodies)]
-    while live:
-        survivors = []
-        for runner in live:
-            try:
-                next(runner)
-            except StopIteration:
-                continue
-            survivors.append(runner)
-        live = survivors
+    with (tm.span("run_threads") if tm is not None else nullcontext()):
+        while live:
+            survivors = []
+            for runner in live:
+                try:
+                    next(runner)
+                except StopIteration:
+                    continue
+                survivors.append(runner)
+                if tm is not None:
+                    switches.inc()
+            live = survivors

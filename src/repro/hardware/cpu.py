@@ -28,6 +28,7 @@ from repro.hardware.debugreg import DebugRegisterFile, Watchpoint
 from repro.hardware.events import AccessRun, AccessType, MemoryAccess
 from repro.hardware.memory import SimulatedMemory
 from repro.hardware.pmu import PMU, PMUSample
+from repro.telemetry import NULL_TELEMETRY, live_or_none
 
 #: Called with (access, watchpoint, overlap_bytes) when a watchpoint trips.
 TrapHandler = Callable[[MemoryAccess, Watchpoint, int], None]
@@ -60,11 +61,24 @@ class SimulatedCPU:
         model: Optional[CostModel] = None,
         rng: Optional[random.Random] = None,
         batched: bool = True,
+        telemetry=None,
     ) -> None:
         #: When False, :meth:`access_run` executes element by element
         #: through :meth:`access` -- the reference semantics the batched
         #: fast path is differentially tested against.
         self.batched = batched
+        #: The run's telemetry sink (the null object when none was given);
+        #: the hoisted ``_tm`` gate is what the hot paths test.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._tm = live_or_none(telemetry)
+        if self._tm is not None:
+            self._c_scalar = self._tm.counter("cpu.scalar_accesses")
+            self._c_batched = self._tm.counter("cpu.batched_accesses")
+            self._c_runs = self._tm.counter("cpu.access_runs")
+            self._c_traps = self._tm.counter("cpu.trap_dispatches")
+            self._c_samples = self._tm.counter("cpu.samples_delivered")
+            self._h_skip = self._tm.histogram("cpu.batch_skip_length")
+            self._s_run = self._tm.spans.cell("cpu.access_run")
         self.memory = SimulatedMemory()
         self.model = model or CostModel()
         self.ledger = CycleLedger(self.model)
@@ -111,7 +125,7 @@ class SimulatedCPU:
     def debug_registers(self, thread_id: int = 0) -> DebugRegisterFile:
         register_file = self._register_files.get(thread_id)
         if register_file is None:
-            register_file = DebugRegisterFile(self.register_count)
+            register_file = DebugRegisterFile(self.register_count, telemetry=self._tm)
             self._register_files[thread_id] = register_file
         return register_file
 
@@ -154,6 +168,11 @@ class SimulatedCPU:
     def access(self, access: MemoryAccess, data: Optional[bytes] = None) -> bytes:
         """Execute one memory access; returns the bytes read or written."""
         self.ledger.charge_access()
+        tm = self._tm
+        if tm is not None:
+            # Hot path: bump the cached counter cell directly rather than
+            # through Counter.inc -- this runs once per scalar access.
+            self._c_scalar.value += 1
 
         for observer in self._observers:
             observer.observe(access, data)
@@ -173,12 +192,16 @@ class SimulatedCPU:
             register_file = self._register_files.get(access.thread_id)
             if register_file is not None and register_file.armed_count:
                 for watchpoint, overlap in register_file.check(access):
+                    if tm is not None:
+                        self._c_traps.value += 1
                     self._trap_handler(access, watchpoint, overlap)
 
         if self._pmu_factory is not None:
             pmu = self.pmu(access.thread_id)
             if pmu.observe(access):
                 self._sample_sequence += 1
+                if tm is not None:
+                    self._c_samples.value += 1
                 sample = PMUSample(access, bytes(result), self._sample_sequence)
                 self._sample_handler(sample)
 
@@ -211,6 +234,11 @@ class SimulatedCPU:
         if self._observers or not self.batched:
             return self._access_run_scalar(run, data)
 
+        tm = self._tm
+        if tm is not None:
+            self._c_runs.value += 1
+            run_start = tm.clock()
+
         length = run.length
         stride = run.stride
         trap_handler = self._trap_handler
@@ -240,6 +268,9 @@ class SimulatedCPU:
             bulk = min(remaining, event - 1)
             if bulk:
                 self.ledger.charge_access_bulk(bulk)
+                if tm is not None:
+                    self._c_batched.value += bulk
+                    self._h_skip.observe(bulk)
                 if run.is_store:
                     self.memory.write_run(
                         address, data[index * length : (index + bulk) * length],
@@ -263,6 +294,10 @@ class SimulatedCPU:
                 pieces.append(self.access(element))
             index += 1
 
+        if tm is not None:
+            cell = self._s_run
+            cell[0] += 1
+            cell[1] += tm.clock() - run_start
         return data if run.is_store else b"".join(pieces)
 
     def _access_run_scalar(self, run: AccessRun, data: Optional[bytes]) -> bytes:

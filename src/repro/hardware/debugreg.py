@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.hardware.events import MemoryAccess
+from repro.telemetry import live_or_none
 
 #: Number of debug registers on contemporary x86 processors.
 X86_DEBUG_REGISTER_COUNT = 4
@@ -61,10 +62,17 @@ class Watchpoint:
 class DebugRegisterFile:
     """A fixed-size set of watchpoint slots for one hardware thread."""
 
-    def __init__(self, count: int = X86_DEBUG_REGISTER_COUNT) -> None:
+    def __init__(self, count: int = X86_DEBUG_REGISTER_COUNT, telemetry=None) -> None:
         if count < 1:
             raise ValueError(f"need at least one debug register, got {count}")
         self._slots: List[Optional[Watchpoint]] = [None] * count
+        # Arms and disarms are orders of magnitude rarer than the per-access
+        # check()/first_overlap() probes, which stay telemetry-free.
+        self._tm = live_or_none(telemetry)
+        if self._tm is not None:
+            self._c_arms = self._tm.counter("debugreg.arms")
+            self._c_disarms = self._tm.counter("debugreg.disarms")
+            self._g_occupancy = self._tm.gauge("debugreg.occupancy")
 
     @property
     def count(self) -> int:
@@ -97,6 +105,9 @@ class DebugRegisterFile:
                 raise RuntimeError("all debug registers are armed; pick a victim slot")
         watchpoint.slot = slot
         self._slots[slot] = watchpoint
+        if self._tm is not None:
+            self._c_arms.inc()
+            self._g_occupancy.set(self.armed_count)
         return slot
 
     def disarm(self, slot: int) -> Optional[Watchpoint]:
@@ -105,6 +116,9 @@ class DebugRegisterFile:
         self._slots[slot] = None
         if watchpoint is not None:
             watchpoint.slot = -1
+            if self._tm is not None:
+                self._c_disarms.inc()
+                self._g_occupancy.set(self.armed_count)
         return watchpoint
 
     def disarm_all(self) -> None:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, Iterable, Optional
 
 from repro.hardware.events import AccessType, MemoryAccess
+from repro.telemetry import live_or_none
 
 #: How many events a shadowed sample may be deferred before the PMU gives up
 #: and samples whatever access comes next (shadowing is a short-range effect).
@@ -82,6 +83,7 @@ class PMU:
         shadow_bias: float = 0.0,
         jitter: int = 0,
         rng: Optional[random.Random] = None,
+        telemetry=None,
     ) -> None:
         if period < 1:
             raise ValueError(f"sampling period must be positive, got {period}")
@@ -108,6 +110,12 @@ class PMU:
         self._deferred_for = 0  # >0: an overflow is waiting for a long-latency access
         self.events_seen = 0
         self.samples_taken = 0
+        # Telemetry probes live only on the rare overflow/deferral branches;
+        # the common counting path never touches them.
+        self._tm = live_or_none(telemetry)
+        if self._tm is not None:
+            self._c_overflows = self._tm.counter("pmu.overflows")
+            self._c_shadow = self._tm.counter("pmu.shadow_deferred")
 
     def counts(self, access: MemoryAccess) -> bool:
         return access.kind in self.kinds
@@ -170,6 +178,8 @@ class PMU:
             if access.long_latency or self._deferred_for == 0:
                 self._deferred_for = 0
                 self.samples_taken += 1
+                if self._tm is not None:
+                    self._c_overflows.inc()
                 return True
             return False
 
@@ -186,8 +196,12 @@ class PMU:
             and self._rng.random() < self.shadow_bias
         ):
             self._deferred_for = _SHADOW_WINDOW
+            if self._tm is not None:
+                self._c_shadow.inc()
             return False
         self.samples_taken += 1
+        if self._tm is not None:
+            self._c_overflows.inc()
         return True
 
     def reset(self) -> None:

@@ -29,6 +29,7 @@ from repro.instrument.deadspy import DeadSpy
 from repro.instrument.loadspy import LoadSpy
 from repro.instrument.redspy import RedSpy
 from repro.instrument.shadow import ExhaustiveTool
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 Workload = Callable[[Machine], None]
 
@@ -97,11 +98,17 @@ class ExhaustiveRun:
 
 
 def run_native(
-    workload: Workload, model: Optional[CostModel] = None, batched: bool = True
+    workload: Workload,
+    model: Optional[CostModel] = None,
+    batched: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> NativeRun:
-    cpu = SimulatedCPU(model=model, batched=batched)
-    machine = Machine(cpu)
-    workload(machine)
+    tm = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tm.span("native"):
+        cpu = SimulatedCPU(model=model, batched=batched, telemetry=telemetry)
+        machine = Machine(cpu)
+        with tm.span("workload"):
+            workload(machine)
     return NativeRun(cpu=cpu, machine=machine)
 
 
@@ -118,6 +125,7 @@ def run_witch(
     seed: int = 0,
     model: Optional[CostModel] = None,
     batched: bool = True,
+    telemetry: Optional[Telemetry] = None,
 ) -> WitchRun:
     """Run ``workload`` under one witchcraft tool and return its findings.
 
@@ -125,31 +133,47 @@ def run_witch(
     path; results are bit-identical either way (see
     tests/test_batched_equivalence.py), so this exists for differential
     testing, not for users.
+
+    ``telemetry`` threads one :class:`repro.telemetry.Telemetry` instance
+    through the CPU, the framework, and the phase spans below; runs are
+    bit-identical with or without it (see tests/test_telemetry.py).
     """
-    cpu = SimulatedCPU(
-        register_count=registers, model=model, rng=random.Random(seed), batched=batched
-    )
-    client = make_client(tool, cpu)
-    witch = WitchFramework(
-        cpu,
-        client,
-        period=period,
-        policy=policy,
-        proportional_attribution=proportional_attribution,
-        shadow_bias=shadow_bias,
-        period_jitter=period_jitter,
-        max_watchpoint_bytes=max_watchpoint_bytes,
-        seed=seed,
-    )
-    machine = Machine(cpu)
-    workload(machine)
-    return WitchRun(report=witch.report(), witch=witch, cpu=cpu, machine=machine)
+    tm = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tm.span(f"run_witch:{tool}"):
+        with tm.span("setup"):
+            cpu = SimulatedCPU(
+                register_count=registers,
+                model=model,
+                rng=random.Random(seed),
+                batched=batched,
+                telemetry=telemetry,
+            )
+            client = make_client(tool, cpu)
+            witch = WitchFramework(
+                cpu,
+                client,
+                period=period,
+                policy=policy,
+                proportional_attribution=proportional_attribution,
+                shadow_bias=shadow_bias,
+                period_jitter=period_jitter,
+                max_watchpoint_bytes=max_watchpoint_bytes,
+                seed=seed,
+                telemetry=telemetry,
+            )
+            machine = Machine(cpu)
+        with tm.span("workload"):
+            workload(machine)
+        with tm.span("report"):
+            report = witch.report()
+    return WitchRun(report=report, witch=witch, cpu=cpu, machine=machine)
 
 
 def run_exhaustive(
     workload: Workload,
     tools: Tuple[str, ...] = ("deadspy", "redspy", "loadspy"),
     model: Optional[CostModel] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> ExhaustiveRun:
     """Run ``workload`` under exhaustive instrumentation.
 
@@ -158,14 +182,18 @@ def run_exhaustive(
     the overhead experiments attach exactly one tool so the cycle ledger
     is that tool's alone.
     """
-    cpu = SimulatedCPU(model=model)
-    instances: Dict[str, ExhaustiveTool] = {}
-    for name in tools:
-        factory = _EXHAUSTIVE_FACTORIES.get(name)
-        if factory is None:
-            raise ValueError(f"unknown exhaustive tool {name!r}")
-        instances[name] = factory(cpu)
-    machine = Machine(cpu)
-    workload(machine)
-    reports = {name: instance.report() for name, instance in instances.items()}
+    tm = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tm.span(f"run_exhaustive:{'+'.join(tools)}"):
+        cpu = SimulatedCPU(model=model, telemetry=telemetry)
+        instances: Dict[str, ExhaustiveTool] = {}
+        for name in tools:
+            factory = _EXHAUSTIVE_FACTORIES.get(name)
+            if factory is None:
+                raise ValueError(f"unknown exhaustive tool {name!r}")
+            instances[name] = factory(cpu)
+        machine = Machine(cpu)
+        with tm.span("workload"):
+            workload(machine)
+        with tm.span("report"):
+            reports = {name: instance.report() for name, instance in instances.items()}
     return ExhaustiveRun(reports=reports, tools=instances, cpu=cpu, machine=machine)

@@ -7,7 +7,10 @@ the equivalent single-file HTML page for one :class:`InefficiencyReport`:
 - a summary header (tool, Equation 1 fraction, sample/trap counts),
 - the top synthetic chains (``...->KILLED_BY->...``), most wasteful first,
 - a collapsible top-down calling-context tree with per-node waste shares,
-- the raw pair table.
+- the raw pair table,
+- and, when the run carried a live :class:`repro.telemetry.Telemetry`,
+  a metrics panel (counters/gauges/histograms plus the phase-span
+  breakdown) so a single artifact captures both findings and run health.
 
 The output has no external dependencies -- inline CSS, ``<details>``
 elements for the tree -- so it can be attached to a CI run or emailed.
@@ -53,6 +56,7 @@ _PAGE = """<!DOCTYPE html>
 {tree}
 <h2>All context pairs</h2>
 {table}
+{telemetry}
 </body>
 </html>
 """
@@ -140,12 +144,46 @@ def _pairs_table(report: InefficiencyReport, limit: int) -> str:
     return "<table>" + "".join(cells) + "</table>"
 
 
+def _telemetry_html(telemetry) -> str:
+    """The optional metrics panel; empty for None/disabled telemetry."""
+    if telemetry is None or not getattr(telemetry, "enabled", False):
+        return ""
+    cells = ["<tr><th>kind</th><th>metric</th><th>value</th></tr>"]
+    for kind, name, summary in telemetry.metrics.render_rows():
+        cells.append(
+            f"<tr><td>{html.escape(kind)}</td><td>{html.escape(name)}</td>"
+            f"<td>{html.escape(summary)}</td></tr>"
+        )
+    metrics_table = "<table>" + "".join(cells) + "</table>"
+    totals = telemetry.spans.totals()
+    if totals:
+        grand = sum(total for _count, total in totals.values()) or 1
+        rows = ["<tr><th>phase</th><th>total</th><th>count</th><th>share</th></tr>"]
+        for name, (count, total_ns) in sorted(
+            totals.items(), key=lambda item: -item[1][1]
+        ):
+            rows.append(
+                f"<tr><td>{html.escape(name)}</td><td>{total_ns / 1e6:.3f} ms</td>"
+                f"<td>{count}</td><td>{100 * total_ns / grand:.1f}%</td></tr>"
+            )
+        spans_table = "<table>" + "".join(rows) + "</table>"
+    else:
+        spans_table = "<p>no phase spans recorded</p>"
+    return (
+        "<h2>Run telemetry</h2>"
+        + metrics_table
+        + "<h3>Phase spans</h3>"
+        + spans_table
+    )
+
+
 def render_html(
     report: InefficiencyReport,
     title: str = "",
     coverage: float = 0.9,
     min_share: float = 0.01,
     max_pairs: int = 100,
+    telemetry=None,
 ) -> str:
     """Render one report as a standalone HTML page."""
     title = title or f"Witch report — {report.tool}"
@@ -164,7 +202,14 @@ def render_html(
     tree_root = _build_tree(report)
     tree = _tree_html(tree_root, tree_root.waste, min_share) or "<p>no waste recorded</p>"
     table = _pairs_table(report, max_pairs)
-    return _PAGE.format(title=html.escape(title), stats=stats, chains=chains, tree=tree, table=table)
+    return _PAGE.format(
+        title=html.escape(title),
+        stats=stats,
+        chains=chains,
+        tree=tree,
+        table=table,
+        telemetry=_telemetry_html(telemetry),
+    )
 
 
 def save_html(report: InefficiencyReport, path: str, **kwargs) -> None:

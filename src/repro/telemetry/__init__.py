@@ -1,0 +1,51 @@
+"""Telemetry: zero-cost-when-off metrics, phase spans, and event timelines.
+
+The observability layer for the Witch reproduction (see
+docs/observability.md for the metric catalogue and format specs):
+
+- :class:`Telemetry` -- the per-run facade: a metrics registry
+  (counters/gauges/histograms), a :class:`SpanTracker` of
+  ``perf_counter``-timed phase spans, and a bounded :class:`EventRing`
+  timeline, exportable as a metrics JSON snapshot, JSON-lines events, or
+  a ``chrome://tracing``-loadable trace-event file.
+- :data:`NULL_TELEMETRY` / :class:`NullTelemetry` -- the null object
+  installed when telemetry is off; with :func:`live_or_none` it gives
+  every instrumented component a single hoisted ``if self._tm is not
+  None`` fast-path gate, so disabled telemetry costs one attribute check.
+
+Quick use::
+
+    from repro.telemetry import Telemetry
+    from repro.harness import run_witch
+
+    tm = Telemetry()
+    run = run_witch(workload, tool="deadcraft", period=101, telemetry=tm)
+    print(tm.render_table())
+    tm.save_chrome_trace("run.trace.json")   # load in chrome://tracing
+"""
+
+from repro.telemetry.core import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    live_or_none,
+)
+from repro.telemetry.events import EventRing, TelemetryEvent, chrome_trace_events
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.spans import SpanRecord, SpanTracker
+
+__all__ = [
+    "Counter",
+    "EventRing",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
+    "SpanRecord",
+    "SpanTracker",
+    "Telemetry",
+    "TelemetryEvent",
+    "chrome_trace_events",
+    "live_or_none",
+]

@@ -1,0 +1,283 @@
+"""The telemetry facade: one object per run, or the null object when off.
+
+Design (the "zero-cost-when-off" contract):
+
+- Every instrumented component takes an optional ``telemetry`` argument
+  and hoists the enable decision **once**, at construction, into a private
+  ``_tm`` attribute that is either the live :class:`Telemetry` instance or
+  ``None``.  Hot paths guard probes with ``if self._tm is not None`` --
+  one attribute load and identity test on the disabled path, the same
+  pattern that previously protected the Witch framework's debug logging
+  (and now subsumes it: :attr:`Telemetry.log`).
+- Probe sites cache their metric objects (``tm.counter(...)`` interns by
+  name), so the enabled path pays one bound-method call per update, never
+  a dict lookup.
+- For user-facing attributes a :data:`NULL_TELEMETRY` singleton stands in
+  when telemetry is off: every method is a no-op, ``enabled`` is False,
+  and ``span()`` returns a reusable null context -- callers never need a
+  None check.
+
+One :class:`Telemetry` instance may span several runs (the CLI's
+``compare`` and ``suite`` commands thread one through every run they
+launch) -- metrics accumulate, spans nest, and the Chrome trace shows the
+runs back to back.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import nullcontext
+from typing import IO, Any, Callable, ContextManager, Dict, List, Optional, Union
+
+from repro.telemetry.events import DEFAULT_CAPACITY, EventRing, chrome_trace_events
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.spans import SpanTracker
+
+SNAPSHOT_FORMAT = "repro-telemetry"
+SNAPSHOT_VERSION = 1
+
+
+class Telemetry:
+    """Metrics + spans + events for one (or several chained) runs."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        ring_capacity: int = DEFAULT_CAPACITY,
+        log=None,
+        clock: Callable[[], int] = time.perf_counter_ns,
+    ) -> None:
+        self.clock = clock
+        self.metrics = MetricsRegistry()
+        self.spans = SpanTracker(clock)
+        self.events = EventRing(ring_capacity)
+        #: Optional ``logging.Logger`` mirror: probes route their DEBUG
+        #: trace lines through :meth:`debug`, so one gate covers both
+        #: metrics and logging (the old ``WitchFramework._debug`` flag).
+        self.log = log
+
+    # ------------------------------------------------------------- metrics
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self.metrics.histogram(name)
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        """Convenience for cold probe sites; hot sites cache the Counter."""
+        self.metrics.counter(name).inc(n)
+
+    # ------------------------------------------------------------- spans
+    def span(self, name: str) -> ContextManager[None]:
+        """Time the ``with`` body as one recorded phase span."""
+        return self.spans.span(name)
+
+    # ------------------------------------------------------------- events
+    def emit(
+        self,
+        name: str,
+        cat: str = "event",
+        thread_id: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.events.emit(name, self.clock(), cat, thread_id, args)
+
+    def debug(self, message: str, *args: Any) -> None:
+        """Mirror a probe's trace line to the attached logger, if any."""
+        if self.log is not None:
+            self.log.debug(message, *args)
+
+    # ------------------------------------------------------------- export
+    def snapshot(self) -> Dict[str, Any]:
+        """Everything observed so far, JSON-ready."""
+        payload: Dict[str, Any] = {
+            "format": SNAPSHOT_FORMAT,
+            "version": SNAPSHOT_VERSION,
+        }
+        payload.update(self.metrics.to_dict())
+        payload["spans"] = self.spans.to_dict()
+        payload["events"] = {
+            "emitted": self.events.emitted,
+            "retained": len(self.events),
+            "dropped": self.events.dropped,
+            "capacity": self.events.capacity,
+        }
+        return payload
+
+    def render_table(self) -> str:
+        """The metrics table + phase-span breakdown as fixed-width text."""
+        rows = self.metrics.render_rows()
+        lines: List[str] = ["telemetry metrics"]
+        if rows:
+            kind_width = max(len(kind) for kind, _, _ in rows)
+            name_width = max(len(name) for _, name, _ in rows)
+            for kind, name, summary in rows:
+                lines.append(f"  {kind:<{kind_width}}  {name:<{name_width}}  {summary}")
+        else:
+            lines.append("  (no metrics recorded)")
+        totals = self.spans.totals()
+        lines.append("phase spans")
+        if totals:
+            grand = sum(total for _, total in totals.values()) or 1.0
+            name_width = max(len(name) for name in totals)
+            for name, (count, total) in sorted(
+                totals.items(), key=lambda item: -item[1][1]
+            ):
+                lines.append(
+                    f"  {name:<{name_width}}  {total / 1e6:10.3f} ms  "
+                    f"x{count:<8d} {100 * total / grand:5.1f}%"
+                )
+        else:
+            lines.append("  (no spans recorded)")
+        lines.append(
+            f"events: {self.events.emitted} emitted, "
+            f"{len(self.events)} retained, {self.events.dropped} dropped"
+        )
+        return "\n".join(lines)
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """The run as a ``chrome://tracing``-loadable trace-event object.
+
+        Spans become ``"X"`` (complete) events, ring events become ``"i"``
+        (instant) events, and every counter's final value is attached as
+        one ``"C"`` (counter) event at the end of the timeline.
+        """
+        origin = self.spans.origin_ns
+        trace: List[Dict[str, Any]] = [
+            {
+                "name": record.name,
+                "cat": "phase",
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "ts": (record.start_ns - origin) / 1000.0,
+                "dur": record.duration_ns / 1000.0,
+            }
+            for record in self.spans.records
+        ]
+        trace.extend(chrome_trace_events(self.events, origin))
+        end_ts = (self.clock() - origin) / 1000.0
+        for counter in self.metrics.counters():
+            trace.append(
+                {
+                    "name": counter.name,
+                    "cat": "metric",
+                    "ph": "C",
+                    "pid": 0,
+                    "tid": 0,
+                    "ts": end_ts,
+                    "args": {"value": counter.value},
+                }
+            )
+        return {
+            "traceEvents": trace,
+            "displayTimeUnit": "ms",
+            "otherData": {"format": SNAPSHOT_FORMAT, "version": SNAPSHOT_VERSION},
+        }
+
+    # ------------------------------------------------------------- files
+    def save_metrics(self, path_or_stream: Union[str, IO[str]]) -> None:
+        _dump_json(self.snapshot(), path_or_stream)
+
+    def save_chrome_trace(self, path_or_stream: Union[str, IO[str]]) -> None:
+        _dump_json(self.chrome_trace(), path_or_stream)
+
+    def save_events_jsonl(self, path_or_stream: Union[str, IO[str]]) -> None:
+        if hasattr(path_or_stream, "write"):
+            self.events.to_jsonl(path_or_stream)
+        else:
+            with open(path_or_stream, "w") as stream:
+                self.events.to_jsonl(stream)
+
+
+def _dump_json(payload: Dict[str, Any], path_or_stream: Union[str, IO[str]]) -> None:
+    if hasattr(path_or_stream, "write"):
+        json.dump(payload, path_or_stream, indent=1)
+    else:
+        with open(path_or_stream, "w") as stream:
+            json.dump(payload, stream, indent=1)
+
+
+class _NullMetric:
+    """Absorbs updates; returned by every NullTelemetry metric accessor."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    max = 0
+    count = 0
+    total = 0.0
+    min = None
+    mean = 0.0
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        pass
+
+    def set(self, value: Union[int, float]) -> None:
+        pass
+
+    def observe(self, value: Union[int, float]) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+_NULL_CONTEXT: ContextManager[None] = nullcontext()
+
+
+class NullTelemetry:
+    """The disabled stand-in: same surface as :class:`Telemetry`, all no-ops."""
+
+    enabled = False
+    log = None
+
+    def counter(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def gauge(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def histogram(self, name: str) -> _NullMetric:
+        return _NULL_METRIC
+
+    def count(self, name: str, n: Union[int, float] = 1) -> None:
+        pass
+
+    def span(self, name: str) -> ContextManager[None]:
+        return _NULL_CONTEXT
+
+    def emit(self, name: str, cat: str = "event", thread_id: int = 0, args=None) -> None:
+        pass
+
+    def debug(self, message: str, *args: Any) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"format": SNAPSHOT_FORMAT, "version": SNAPSHOT_VERSION, "enabled": False}
+
+    def render_table(self) -> str:
+        return "telemetry disabled (pass --telemetry or a Telemetry instance)"
+
+
+#: Shared singleton; components expose it as their ``telemetry`` attribute
+#: when none was supplied, so user code never branches on None.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def live_or_none(telemetry: Optional[Telemetry]) -> Optional[Telemetry]:
+    """The hoisted-gate helper: the instance when enabled, else None.
+
+    Components call this once in their constructor::
+
+        self._tm = live_or_none(telemetry)
+
+    and guard every probe with ``if self._tm is not None`` -- the entire
+    disabled-path cost.
+    """
+    if telemetry is not None and telemetry.enabled:
+        return telemetry
+    return None

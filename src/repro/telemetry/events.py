@@ -1,0 +1,109 @@
+"""A bounded structured event ring: the run's timeline, newest-N events.
+
+Every notable occurrence (a PMU sample, a watchpoint trap, an arm, an
+allocation) can be emitted as a :class:`TelemetryEvent` -- a name, a
+category, a timestamp, a thread id, and a small free-form ``args`` dict.
+The ring holds the most recent ``capacity`` events; older ones fall off
+the back and are tallied in ``dropped`` (a run's *counters* stay exact
+even when its *timeline* is truncated -- the ring bounds memory, not
+accounting).
+
+Exports:
+
+- :meth:`EventRing.to_jsonl` -- one JSON object per line, grep-friendly.
+- :func:`chrome_trace_events` -- the same events in Chrome trace-event
+  format (``ph: "i"`` instant events), merged by the telemetry facade
+  with the span intervals into a ``chrome://tracing``-loadable file.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Any, Deque, Dict, Iterator, List, Optional
+
+DEFAULT_CAPACITY = 65536
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured timeline entry."""
+
+    name: str
+    ts_ns: int
+    cat: str = "event"
+    thread_id: int = 0
+    args: Optional[Dict[str, Any]] = field(default=None)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"name": self.name, "ts_ns": self.ts_ns, "cat": self.cat}
+        if self.thread_id:
+            payload["tid"] = self.thread_id
+        if self.args:
+            payload["args"] = self.args
+        return payload
+
+
+class EventRing:
+    """Fixed-capacity FIFO of telemetry events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 0:
+            raise ValueError(f"ring capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._ring: Deque[TelemetryEvent] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(
+        self,
+        name: str,
+        ts_ns: int,
+        cat: str = "event",
+        thread_id: int = 0,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.emitted += 1
+        if self.capacity:
+            self._ring.append(TelemetryEvent(name, ts_ns, cat, thread_id, args))
+
+    @property
+    def dropped(self) -> int:
+        return self.emitted - len(self._ring)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __iter__(self) -> Iterator[TelemetryEvent]:
+        return iter(self._ring)
+
+    def to_jsonl(self, stream: IO[str]) -> None:
+        """One JSON object per line, oldest surviving event first."""
+        for event in self._ring:
+            stream.write(json.dumps(event.to_dict(), separators=(",", ":")) + "\n")
+
+
+def chrome_trace_events(
+    ring: EventRing, origin_ns: int, pid: int = 0
+) -> List[Dict[str, Any]]:
+    """The ring's events as Chrome trace-event ``"i"`` (instant) records.
+
+    Timestamps are microseconds relative to ``origin_ns`` (the telemetry
+    clock origin), which keeps them aligned with the span intervals in the
+    same trace file.
+    """
+    out: List[Dict[str, Any]] = []
+    for event in ring:
+        record: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.cat,
+            "ph": "i",
+            "s": "t",
+            "pid": pid,
+            "tid": event.thread_id,
+            "ts": (event.ts_ns - origin_ns) / 1000.0,
+        }
+        if event.args:
+            record["args"] = event.args
+        out.append(record)
+    return out

@@ -1,0 +1,197 @@
+"""Metric primitives: counters, gauges, histograms, and their registry.
+
+Three shapes cover everything the Witch stack wants to observe:
+
+- :class:`Counter` -- a monotonically increasing tally (PMU overflows,
+  watchpoint traps, reservoir replacements, bytes of attributed waste).
+- :class:`Gauge` -- a point-in-time level with a high-water mark
+  (debug-register occupancy, allocated bytes, reservoir survival odds).
+- :class:`Histogram` -- a power-of-two-bucketed distribution (batched-engine
+  skip lengths, per-trap mu-eta scaling factors).
+
+All three are plain ``__slots__`` objects with one-line hot methods: a probe
+site caches the metric object once and pays a single attribute store per
+update.  The :class:`MetricsRegistry` interns metrics by name so two probe
+sites naming the same metric share one cell, and renders the whole registry
+as a table or a JSON-ready dict.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time level; remembers its high-water mark."""
+
+    __slots__ = ("name", "value", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+        self.max: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+        if value > self.max:
+            self.max = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value}, max={self.max})"
+
+
+class Histogram:
+    """A distribution summarized by count/sum/min/max plus log2 buckets.
+
+    Bucket ``i`` counts observations ``v`` with ``2**(i-1) < v <= 2**i``
+    (bucket 0 holds ``v <= 1``, including zero and negatives, which the
+    Witch probes never produce but a defensive histogram must not drop).
+    Exact quantiles are not needed anywhere in the stack; the log2 shape
+    answers the questions that matter (how long are batched skips? how many
+    samples does one trap represent?) in O(1) memory.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def observe(self, value: Number) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 1:
+            bucket = 0
+        elif type(value) is int:  # hot path: skip math.ceil for integers
+            bucket = (value - 1).bit_length()
+        else:
+            bucket = (math.ceil(value) - 1).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}: n={self.count}, mean={self.mean:.2f})"
+
+
+class MetricsRegistry:
+    """Interns metrics by name; one cell per name, shared by all probes."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- interning
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # ------------------------------------------------------------- inspection
+    def counters(self) -> Iterator[Counter]:
+        return iter(self._counters.values())
+
+    def gauges(self) -> Iterator[Gauge]:
+        return iter(self._gauges.values())
+
+    def histograms(self) -> Iterator[Histogram]:
+        return iter(self._histograms.values())
+
+    def value(self, name: str) -> Number:
+        """The current value of a counter (0 when it never fired)."""
+        metric = self._counters.get(name)
+        return metric.value if metric is not None else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "counters": {m.name: m.value for m in sorted_by_name(self._counters)},
+            "gauges": {
+                m.name: {"value": m.value, "max": m.max}
+                for m in sorted_by_name(self._gauges)
+            },
+            "histograms": {
+                m.name: m.to_dict() for m in sorted_by_name(self._histograms)
+            },
+        }
+
+    def render_rows(self) -> List[Tuple[str, str, str]]:
+        """(kind, name, summary) rows for the plain-text metrics table."""
+        rows: List[Tuple[str, str, str]] = []
+        for counter in sorted_by_name(self._counters):
+            rows.append(("counter", counter.name, _format_number(counter.value)))
+        for gauge in sorted_by_name(self._gauges):
+            rows.append(
+                ("gauge", gauge.name,
+                 f"{_format_number(gauge.value)} (max {_format_number(gauge.max)})")
+            )
+        for histogram in sorted_by_name(self._histograms):
+            rows.append(
+                ("histogram", histogram.name,
+                 f"n={histogram.count} mean={histogram.mean:.1f} "
+                 f"min={_format_number(histogram.min or 0)} "
+                 f"max={_format_number(histogram.max or 0)}")
+            )
+        return rows
+
+
+def sorted_by_name(table: Dict[str, object]) -> List:
+    return [table[name] for name in sorted(table)]
+
+
+def _format_number(value: Number) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.2f}"
+    return f"{int(value):,}"

@@ -1,0 +1,127 @@
+"""Phase spans: wall-clock timing of the run's coarse and hot phases.
+
+A *span* is a named interval measured with ``time.perf_counter_ns``.  Two
+granularities coexist:
+
+- **Recorded spans** (:meth:`SpanTracker.span`) keep the individual
+  ``(name, start, duration)`` triples -- these become ``"X"`` (complete)
+  events in the Chrome trace, so ``chrome://tracing`` draws the run's
+  phase structure.  The record list is bounded; once full, further spans
+  still aggregate but stop recording (telemetry must never grow without
+  bound on a long run).
+- **Aggregated spans** (:meth:`SpanTracker.add`) fold a measured duration
+  into per-name totals without keeping the interval.  Hot handlers (the
+  per-sample and per-trap paths) use this form: two clock reads and one
+  dict update per invocation, no per-event allocation.
+
+Both feed the same per-name ``totals()`` table, which is what the metrics
+report and the overhead budget look at.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Tuple
+
+#: Recorded-span cap: beyond this, spans aggregate only.
+DEFAULT_MAX_RECORDS = 8192
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed, individually recorded span."""
+
+    name: str
+    start_ns: int
+    duration_ns: int
+    depth: int = 0
+
+
+class SpanTracker:
+    """Times named phases; keeps bounded records plus per-name totals."""
+
+    def __init__(
+        self,
+        clock: Callable[[], int] = time.perf_counter_ns,
+        max_records: int = DEFAULT_MAX_RECORDS,
+    ) -> None:
+        self._clock = clock
+        self.max_records = max_records
+        self.records: List[SpanRecord] = []
+        self.dropped_records = 0
+        self._totals: Dict[str, List[float]] = {}  # name -> [count, total_ns]
+        self._depth = 0
+        self.origin_ns = clock()
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Record one nested phase interval around the ``with`` body."""
+        start = self._clock()
+        self._depth += 1
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            self.add(name, self._clock() - start, start_ns=start, depth=self._depth)
+
+    def add(
+        self,
+        name: str,
+        duration_ns: float,
+        start_ns: int | None = None,
+        depth: int | None = None,
+    ) -> None:
+        """Fold a measured duration into the totals (and record if room).
+
+        Aggregate-only callers (the hot handlers) pass no ``start_ns``;
+        their time shows up in :meth:`totals` but not as individual trace
+        intervals.
+        """
+        cell = self._totals.get(name)
+        if cell is None:
+            self._totals[name] = [1, float(duration_ns)]
+        else:
+            cell[0] += 1
+            cell[1] += duration_ns
+        if start_ns is not None:
+            if len(self.records) < self.max_records:
+                self.records.append(
+                    SpanRecord(
+                        name, start_ns, int(duration_ns),
+                        self._depth if depth is None else depth,
+                    )
+                )
+            else:
+                self.dropped_records += 1
+
+    def cell(self, name: str) -> List[float]:
+        """The mutable ``[count, total_ns]`` aggregate for one span name.
+
+        The fastest probe form: a hot site caches the cell once and updates
+        it in place (``cell[0] += 1; cell[1] += duration``), skipping even
+        the :meth:`add` call. The cell is live -- :meth:`totals` sees every
+        in-place update.
+        """
+        found = self._totals.get(name)
+        if found is None:
+            found = self._totals[name] = [0, 0.0]
+        return found
+
+    def totals(self) -> Dict[str, Tuple[int, float]]:
+        """name -> (count, total_ns), insertion-ordered.
+
+        Cells pre-created by :meth:`cell` that never fired are omitted.
+        """
+        return {name: (int(c), t) for name, (c, t) in self._totals.items() if c}
+
+    def total_ns(self, name: str) -> float:
+        cell = self._totals.get(name)
+        return cell[1] if cell is not None else 0.0
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: {"count": count, "total_ns": total, "mean_ns": total / count}
+            for name, (count, total) in self.totals().items()
+        }

@@ -42,6 +42,16 @@ class TraceRecord:
     long_latency: bool = False
     data: Optional[str] = None  # hex bytes for stores
 
+    def __post_init__(self) -> None:
+        # Normalize at construction so equality (and hence round-tripping
+        # through JSON) does not depend on how the caller spelled the
+        # fields: frames as a list compares unequal to the tuple that
+        # from_json builds, and raw ``bytes`` data is not serializable.
+        if not isinstance(self.frames, tuple):
+            object.__setattr__(self, "frames", tuple(self.frames))
+        if isinstance(self.data, (bytes, bytearray)):
+            object.__setattr__(self, "data", bytes(self.data).hex())
+
     def to_json(self) -> str:
         payload = {
             "k": self.kind,

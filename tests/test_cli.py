@@ -130,3 +130,78 @@ class TestOutputs:
     def test_suite_rejects_unknown_benchmark(self):
         code, _ = run_cli("suite", "quake3")
         assert code == 2
+
+
+class TestTelemetrySurface:
+    def test_stats_command(self):
+        code, text = run_cli("stats", "micro:listing1", "--period", "23")
+        assert code == 0
+        assert "telemetry metrics" in text
+        assert "pmu.overflows" in text
+        assert "witch.traps" in text
+        assert "phase spans" in text
+        assert "run_witch:deadcraft" in text
+
+    def test_profile_telemetry_flag_prints_table(self):
+        code, text = run_cli("profile", "micro:listing1", "--period", "37",
+                             "--telemetry")
+        assert code == 0
+        assert "deadcraft: redundancy" in text
+        assert "telemetry metrics" in text
+
+    def test_profile_without_flag_prints_no_table(self):
+        code, text = run_cli("profile", "micro:listing1", "--period", "37")
+        assert code == 0
+        assert "telemetry metrics" not in text
+
+    def test_trace_out_writes_chrome_trace(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        code, _ = run_cli("profile", "micro:listing1", "--period", "37",
+                          "--telemetry", "--trace-out", str(path))
+        assert code == 0
+        trace = json.loads(path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        phases = {event["ph"] for event in trace["traceEvents"]}
+        assert {"X", "i", "C"} <= phases
+
+    def test_telemetry_json_snapshot(self, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        code, _ = run_cli("profile", "micro:listing1", "--period", "37",
+                          "--telemetry", "--telemetry-json", str(path))
+        assert code == 0
+        snap = json.loads(path.read_text())
+        assert snap["format"] == "repro-telemetry"
+        assert snap["counters"]["pmu.overflows"] > 0
+        assert snap["counters"]["witch.traps"] > 0
+
+    def test_html_report_gains_telemetry_panel(self, tmp_path):
+        path = tmp_path / "r.html"
+        code, _ = run_cli("profile", "micro:listing1", "--period", "37",
+                          "--telemetry", "--html", str(path))
+        assert code == 0
+        html = path.read_text()
+        assert "Run telemetry" in html
+        assert "pmu.overflows" in html
+        assert "Phase spans" in html
+
+    def test_html_report_without_telemetry_has_no_panel(self, tmp_path):
+        path = tmp_path / "r.html"
+        code, _ = run_cli("profile", "micro:listing1", "--period", "37",
+                          "--html", str(path))
+        assert code == 0
+        assert "Run telemetry" not in path.read_text()
+
+    def test_suite_telemetry_spans_cover_benchmarks(self, tmp_path):
+        import json
+
+        path = tmp_path / "suite.json"
+        code, _ = run_cli("suite", "gcc", "--scale", "0.1",
+                          "--telemetry", "--trace-out", str(path))
+        assert code == 0
+        trace = json.loads(path.read_text())
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "suite:gcc" in names

@@ -12,7 +12,14 @@ def test_top_level_docs_exist():
 
 
 def test_docs_directory_complete():
-    expected = {"algorithms.md", "simulator.md", "extending.md", "api.md", "casestudies.md"}
+    expected = {
+        "algorithms.md",
+        "simulator.md",
+        "extending.md",
+        "api.md",
+        "casestudies.md",
+        "observability.md",
+    }
     assert {p.name for p in (ROOT / "docs").glob("*.md")} == expected
 
 

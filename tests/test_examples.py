@@ -48,6 +48,7 @@ def test_every_example_has_a_test():
         "custom_client",
         "triage_report",
         "record_and_replay",
+        "telemetry_walkthrough",
     }
     assert examples == covered, f"untested examples: {examples - covered}"
 
@@ -99,3 +100,11 @@ def test_record_and_replay():
     out = run_example("record_and_replay")
     assert "recorded" in out
     assert "HTML report" in out
+
+
+def test_telemetry_walkthrough():
+    out = run_example("telemetry_walkthrough")
+    assert "telemetry metrics" in out
+    assert "pmu.overflows" in out
+    assert "reservoir decision mix:" in out
+    assert "Chrome trace written to" in out

@@ -1,0 +1,358 @@
+"""The observability layer: primitives, facade, probes, and invariants.
+
+The headline contracts under test:
+
+- metric/span/ring semantics (counters, gauge high-water, log2 histogram
+  buckets, bounded recording),
+- the Chrome trace export is schema-valid and timestamp-consistent,
+- NullTelemetry absorbs everything the live facade accepts,
+- telemetry is purely observational: a run's report is bit-identical with
+  telemetry on or off, and
+- an instrumented gcc run populates the acceptance-criteria counters
+  (PMU overflows, watchpoint traps, reservoir replacements) with nonzero
+  values plus a phase-span breakdown.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.harness import run_witch
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    Counter,
+    EventRing,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullTelemetry,
+    SpanTracker,
+    Telemetry,
+    chrome_trace_events,
+    live_or_none,
+)
+from repro.workloads.microbench import listing1_gcc_program
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+GCC = workload_for(SPEC_SUITE["gcc"], scale=0.3)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_accepts_floats(self):
+        c = Counter("bytes")
+        c.inc(1.5)
+        c.inc(2.25)
+        assert c.value == pytest.approx(3.75)
+
+
+class TestGauge:
+    def test_tracks_value_and_high_water(self):
+        g = Gauge("occupancy")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.max == 7
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("skip")
+        for v in (1, 2, 4, 9):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 16
+        assert h.min == 1
+        assert h.max == 9
+        assert h.mean == 4.0
+
+    def test_log2_buckets(self):
+        h = Histogram("skip")
+        # Bucket i holds 2**(i-1) < v <= 2**i; bucket 0 holds v <= 1.
+        cases = {0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10}
+        for value, bucket in cases.items():
+            before = h.buckets.get(bucket, 0)
+            h.observe(value)
+            assert h.buckets[bucket] == before + 1, value
+
+    def test_mean_of_empty_is_zero(self):
+        assert Histogram("empty").mean == 0.0
+
+    def test_to_dict_is_json_ready(self):
+        h = Histogram("skip")
+        h.observe(3)
+        json.dumps(h.to_dict())  # must not raise
+
+
+class TestRegistry:
+    def test_interns_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_value_of_unknown_counter_is_zero(self):
+        assert MetricsRegistry().value("never.fired") == 0
+
+    def test_to_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(3)
+        d = reg.to_dict()
+        assert d["counters"] == {"c": 5}
+        assert d["gauges"] == {"g": {"value": 2, "max": 2}}
+        assert d["histograms"]["h"]["count"] == 1
+
+    def test_render_rows_sorted_within_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc()
+        rows = reg.render_rows()
+        assert [name for kind, name, _ in rows if kind == "counter"] == ["a", "z"]
+
+
+class TestSpans:
+    def test_span_records_and_totals_agree(self):
+        ticks = iter(range(0, 1000, 10))
+        tracker = SpanTracker(clock=lambda: next(ticks))
+        with tracker.span("phase"):
+            pass
+        assert len(tracker.records) == 1
+        record = tracker.records[0]
+        assert record.name == "phase"
+        assert record.duration_ns == 10
+        assert tracker.totals()["phase"] == (1, 10.0)
+
+    def test_nested_spans_have_depth(self):
+        tracker = SpanTracker()
+        with tracker.span("outer"):
+            with tracker.span("inner"):
+                pass
+        by_name = {r.name: r for r in tracker.records}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+
+    def test_aggregate_only_add_keeps_no_record(self):
+        tracker = SpanTracker()
+        tracker.add("hot", 100)
+        tracker.add("hot", 200)
+        assert tracker.records == []
+        assert tracker.totals()["hot"] == (2, 300.0)
+        assert tracker.total_ns("hot") == 300.0
+
+    def test_record_cap_still_aggregates(self):
+        tracker = SpanTracker(max_records=2)
+        for _ in range(5):
+            with tracker.span("phase"):
+                pass
+        assert len(tracker.records) == 2
+        assert tracker.dropped_records == 3
+        count, _total = tracker.totals()["phase"]
+        assert count == 5
+
+
+class TestEventRing:
+    def test_bounded_with_exact_accounting(self):
+        ring = EventRing(capacity=3)
+        for i in range(10):
+            ring.emit(f"e{i}", ts_ns=i)
+        assert len(ring) == 3
+        assert ring.emitted == 10
+        assert ring.dropped == 7
+        assert [e.name for e in ring] == ["e7", "e8", "e9"]
+
+    def test_zero_capacity_counts_without_storing(self):
+        ring = EventRing(capacity=0)
+        ring.emit("e", ts_ns=1)
+        assert len(ring) == 0
+        assert ring.emitted == 1
+
+    def test_jsonl_round_trips(self):
+        ring = EventRing()
+        ring.emit("alloc", ts_ns=5, cat="machine", thread_id=2, args={"bytes": 64})
+        stream = io.StringIO()
+        ring.to_jsonl(stream)
+        payload = json.loads(stream.getvalue())
+        assert payload == {
+            "name": "alloc", "ts_ns": 5, "cat": "machine",
+            "tid": 2, "args": {"bytes": 64},
+        }
+
+
+class TestChromeTrace:
+    def test_instant_event_schema(self):
+        ring = EventRing()
+        ring.emit("trap", ts_ns=1500, cat="witch", args={"slot": 1})
+        (record,) = chrome_trace_events(ring, origin_ns=500)
+        assert record["ph"] == "i"
+        assert record["s"] == "t"
+        assert record["ts"] == 1.0  # (1500 - 500) ns -> 1 us
+        assert record["args"] == {"slot": 1}
+
+    def test_full_trace_document(self):
+        tm = Telemetry()
+        with tm.span("setup"):
+            pass
+        tm.counter("pmu.overflows").inc(7)
+        tm.emit("witch.sample", cat="witch")
+        trace = tm.chrome_trace()
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"X", "i", "C"}
+        for event in events:
+            assert {"name", "ph", "pid", "ts"} <= set(event)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+            assert event["ts"] >= 0  # all relative to the span origin
+        counter = next(e for e in events if e["ph"] == "C")
+        assert counter["args"] == {"value": 7}
+        json.dumps(trace)  # loadable by chrome://tracing
+
+
+class TestTelemetryFacade:
+    def test_snapshot_shape(self):
+        tm = Telemetry()
+        tm.count("a.b")
+        tm.gauge("g").set(4)
+        with tm.span("phase"):
+            pass
+        snap = tm.snapshot()
+        assert snap["format"] == "repro-telemetry"
+        assert snap["version"] == 1
+        assert snap["counters"] == {"a.b": 1}
+        assert snap["spans"]["phase"]["count"] == 1
+        assert snap["events"]["emitted"] == 0
+
+    def test_render_table_lists_metrics_and_spans(self):
+        tm = Telemetry()
+        tm.count("witch.traps", 3)
+        with tm.span("workload"):
+            pass
+        table = tm.render_table()
+        assert "witch.traps" in table
+        assert "workload" in table
+        assert "events:" in table
+
+    def test_save_helpers_accept_streams(self):
+        tm = Telemetry()
+        tm.count("c")
+        tm.emit("e")
+        for saver in (tm.save_metrics, tm.save_chrome_trace):
+            stream = io.StringIO()
+            saver(stream)
+            json.loads(stream.getvalue())
+        stream = io.StringIO()
+        tm.save_events_jsonl(stream)
+        assert json.loads(stream.getvalue())["name"] == "e"
+
+    def test_debug_mirrors_to_logger(self):
+        class Probe:
+            calls = []
+
+            def debug(self, message, *args):
+                self.calls.append(message % args)
+
+        probe = Probe()
+        tm = Telemetry(log=probe)
+        tm.debug("sample #%d", 3)
+        assert probe.calls == ["sample #3"]
+        Telemetry().debug("no logger attached, must not raise")
+
+
+class TestNullTelemetry:
+    def test_disabled_surface_absorbs_everything(self):
+        null = NullTelemetry()
+        assert not null.enabled
+        null.counter("c").inc(5)
+        null.gauge("g").set(1)
+        null.histogram("h").observe(2)
+        null.count("c")
+        null.emit("e", args={"k": 1})
+        null.debug("msg %d", 1)
+        with null.span("phase"):
+            pass
+        assert null.snapshot()["enabled"] is False
+        assert "disabled" in null.render_table()
+
+    def test_live_or_none_gate(self):
+        tm = Telemetry()
+        assert live_or_none(tm) is tm
+        assert live_or_none(None) is None
+        assert live_or_none(NULL_TELEMETRY) is None
+
+
+class TestProbes:
+    """End-to-end: the acceptance-criteria metrics on a real run."""
+
+    @pytest.fixture(scope="class")
+    def instrumented(self):
+        tm = Telemetry()
+        run = run_witch(GCC, tool="deadcraft", period=101, telemetry=tm)
+        return tm, run
+
+    def test_acceptance_counters_nonzero(self, instrumented):
+        tm, _run = instrumented
+        for name in ("pmu.overflows", "witch.traps", "witch.monitored",
+                     "cpu.batched_accesses", "debugreg.arms"):
+            assert tm.metrics.value(name) > 0, name
+
+    def test_counters_cross_check_report(self, instrumented):
+        tm, run = instrumented
+        assert tm.metrics.value("witch.samples") == run.report.samples
+        assert tm.metrics.value("witch.monitored") == run.report.monitored
+        assert tm.metrics.value("witch.traps") == run.report.traps
+        assert tm.metrics.value("pmu.overflows") == run.report.samples
+
+    def test_phase_spans_cover_the_run(self, instrumented):
+        tm, _run = instrumented
+        totals = tm.spans.totals()
+        for phase in ("run_witch:deadcraft", "setup", "workload", "report"):
+            assert phase in totals, phase
+        # The workload phase nests inside the run_witch phase.
+        assert tm.spans.total_ns("workload") <= tm.spans.total_ns("run_witch:deadcraft")
+
+    def test_debugreg_occupancy_bounded_by_register_count(self, instrumented):
+        tm, _run = instrumented
+        assert 0 < tm.metrics.gauge("debugreg.occupancy").max <= 4
+
+    def test_replacements_fire_under_pressure(self):
+        # A dense scalar workload sampled at a short period keeps all four
+        # registers armed, so the reservoir must replace (and skip).
+        tm = Telemetry()
+        run_witch(listing1_gcc_program, tool="deadcraft", period=23, telemetry=tm)
+        assert tm.metrics.value("witch.replacements") > 0
+        assert tm.metrics.value("witch.skips") > 0
+
+    def test_batched_skip_histogram_populated(self, instrumented):
+        tm, _run = instrumented
+        h = tm.metrics.histogram("cpu.batch_skip_length")
+        assert h.count > 0
+        assert h.max >= 1
+
+
+class TestNonPerturbation:
+    """Telemetry must observe, never steer."""
+
+    def test_report_bit_identical_with_and_without(self):
+        plain = run_witch(GCC, tool="deadcraft", period=101, seed=3)
+        tm = Telemetry()
+        observed = run_witch(GCC, tool="deadcraft", period=101, seed=3, telemetry=tm)
+        assert plain.report.to_dict() == observed.report.to_dict()
+        assert tm.metrics.value("witch.samples") > 0  # telemetry really ran
+
+    def test_every_tool_unperturbed(self):
+        for tool in ("deadcraft", "silentcraft", "loadcraft"):
+            plain = run_witch(GCC, tool=tool, period=67, seed=1)
+            observed = run_witch(GCC, tool=tool, period=67, seed=1,
+                                 telemetry=Telemetry())
+            assert plain.fraction == observed.fraction, tool

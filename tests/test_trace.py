@@ -46,6 +46,39 @@ class TestRecording:
         for record in recorder.records:
             assert TraceRecord.from_json(record.to_json()) == record
 
+    def test_roundtrip_with_list_frames(self):
+        # Callers constructing records by hand often pass frames as a
+        # list; the frozen dataclass normalizes to tuple so equality with
+        # the from_json result (always a tuple) holds.
+        record = TraceRecord(
+            kind="load", address=64, length=8, pc="t.c:9", frames=["main", "f"]
+        )
+        assert record.frames == ("main", "f")
+        assert TraceRecord.from_json(record.to_json()) == record
+
+    def test_roundtrip_with_none_data(self):
+        record = TraceRecord(
+            kind="load", address=64, length=8, pc="t.c:9", frames=("main",), data=None
+        )
+        again = TraceRecord.from_json(record.to_json())
+        assert again.data is None
+        assert again == record
+
+    def test_roundtrip_with_raw_bytes_data(self):
+        # Raw bytes (including non-ASCII values) normalize to hex text.
+        raw = bytes([0, 0x7F, 0x80, 0xFF])
+        record = TraceRecord(
+            kind="store", address=64, length=4, pc="t.c:9", frames=("main",), data=raw
+        )
+        assert record.data == raw.hex()
+        assert TraceRecord.from_json(record.to_json()) == record
+
+    def test_roundtrip_with_non_ascii_frames(self):
+        record = TraceRecord(
+            kind="load", address=64, length=8, pc="módulo.c:3", frames=("häuptfunc",)
+        )
+        assert TraceRecord.from_json(record.to_json()) == record
+
 
 def _tiny(m):
     addr = m.alloc(8)
@@ -81,6 +114,17 @@ class TestFileFormat:
         path.write_text('{"format": "repro-trace", "version": 99}\n')
         with pytest.raises(ValueError):
             read_trace(path)
+
+    def test_skips_blank_lines(self, tmp_path):
+        recorder = record_workload(lambda m: _tiny(m))
+        path = tmp_path / "run.trace"
+        recorder.save(path)
+        # Editors and concatenation scripts leave blank/whitespace lines;
+        # the reader must ignore them rather than crash on json.loads("").
+        lines = path.read_text().splitlines()
+        padded = lines[:1] + ["", "   "] + lines[1:] + ["", "\t"]
+        path.write_text("\n".join(padded) + "\n")
+        assert read_trace(path) == recorder.records
 
 
 class TestReplayFidelity:

@@ -199,9 +199,9 @@ class TestLogging:
     def test_debug_logging_traces_decisions(self, caplog):
         import logging
 
-        # The framework caches the logger's enabled state at construction
-        # (the hot handlers skip the logging module entirely), so enable
-        # DEBUG first; refresh_debug_flag() covers later reconfiguration.
+        # The framework hoists the logger's enabled state at construction
+        # into its telemetry gate (the hot handlers skip the logging
+        # module entirely), so enable DEBUG first.
         with caplog.at_level(logging.DEBUG, logger="repro.witch"):
             cpu = SimulatedCPU()
             WitchFramework(cpu, DeadCraft(), period=1)
