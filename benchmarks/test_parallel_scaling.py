@@ -1,0 +1,89 @@
+"""Benchmark: the sharded runner's speedup and its determinism under load.
+
+The parallel package promises (docs/parallel.md):
+
+- ``run_specs(specs, jobs=N)`` returns bit-identical payloads for every
+  N -- checked here on the full benchmark workload, not a toy; and
+- fanning a suite-sized batch over 4 workers yields >= 2.5x speedup on a
+  4-core runner (the CI machine class), since specs are embarrassingly
+  parallel and the merge is a cheap in-order fold.
+
+The speedup assertion is gated on ``os.cpu_count() >= 4``: on smaller
+machines (e.g. a 1-core container) the evidence is still measured and
+written to ``BENCH_parallel.json`` for the CI artifact upload, but only
+the determinism half is enforced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from conftest import format_table
+from repro.parallel import run_specs, witch_spec
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+JOBS_SWEEP = (1, 2, 4)
+MIN_SPEEDUP_AT_4 = 2.5
+MIN_CORES_FOR_ASSERT = 4
+
+#: A suite-shaped batch: 12 independent runs, ~equal cost each, so the
+#: ideal 4-worker schedule is 3 rounds with no straggler tail.
+SPECS = [
+    witch_spec(f"spec:{name}", craft, scale=3.0, period=101)
+    for name in ("gcc", "mcf", "lbm", "libquantum")
+    for craft in ("deadcraft", "silentcraft", "loadcraft")
+]
+
+
+def _timed_batch(jobs: int):
+    start = time.perf_counter()
+    batch = run_specs(SPECS, root_seed=42, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    assert batch.ok, batch.failures
+    return elapsed, [result.payload for result in batch.results]
+
+
+def test_parallel_scaling(publish):
+    cores = os.cpu_count() or 1
+    seconds = {}
+    payloads = {}
+    for jobs in JOBS_SWEEP:
+        seconds[jobs], payloads[jobs] = _timed_batch(jobs)
+
+    # Determinism under the benchmark load: every jobs level, same bits.
+    for jobs in JOBS_SWEEP[1:]:
+        assert payloads[jobs] == payloads[1], f"jobs={jobs} diverged from jobs=1"
+
+    speedups = {jobs: seconds[1] / seconds[jobs] for jobs in JOBS_SWEEP}
+    evidence = {
+        "specs": len(SPECS),
+        "workloads": "gcc/mcf/lbm/libquantum x dead/silent/load craft, scale=3.0",
+        "cpu_count": cores,
+        "seconds": {str(jobs): seconds[jobs] for jobs in JOBS_SWEEP},
+        "speedup": {str(jobs): speedups[jobs] for jobs in JOBS_SWEEP},
+        "min_speedup_at_4": MIN_SPEEDUP_AT_4,
+        "speedup_asserted": cores >= MIN_CORES_FOR_ASSERT,
+        "deterministic_across_jobs": True,
+    }
+    BENCH_JSON.write_text(json.dumps(evidence, indent=2, sort_keys=True) + "\n")
+
+    publish(
+        "parallel_scaling",
+        format_table(
+            ["jobs", "seconds", "speedup"],
+            [
+                [str(jobs), f"{seconds[jobs]:.3f}", f"{speedups[jobs]:.2f}x"]
+                for jobs in JOBS_SWEEP
+            ],
+        )
+        + f"\n({len(SPECS)} specs, {cores} cores; results bit-identical at every jobs level)",
+    )
+
+    if cores >= MIN_CORES_FOR_ASSERT:
+        assert speedups[4] >= MIN_SPEEDUP_AT_4, (
+            f"jobs=4 speedup {speedups[4]:.2f}x below the "
+            f"{MIN_SPEEDUP_AT_4}x floor on a {cores}-core machine"
+        )

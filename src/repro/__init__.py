@@ -29,6 +29,8 @@ The headline entry points:
 - :mod:`repro.harness` -- one-call runners for every paper experiment.
 - :class:`Telemetry` -- zero-cost-when-off run metrics, phase spans, and
   a Chrome-traceable event timeline (docs/observability.md).
+- :mod:`repro.parallel` -- the sharded experiment runner: specs fan out
+  over a process pool and merge deterministically (docs/parallel.md).
 """
 
 from repro.cct import CallingContextTree, ContextNode, ContextPairTable, synthetic_chain
@@ -59,6 +61,14 @@ from repro.hardware import (
 )
 from repro.core.view import hot_frames, render_topdown
 from repro.instrument import DeadSpy, LoadSpy, RedSpy
+from repro.parallel import (
+    BatchResult,
+    RunFailure,
+    RunResult,
+    RunSpec,
+    run_specs,
+    seed_for,
+)
 from repro.telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry
 from repro.trace import TraceRecorder, read_trace, replay, replay_file
 
@@ -66,6 +76,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessType",
+    "BatchResult",
     "CallingContextTree",
     "CoinFlipPolicy",
     "ContextNode",
@@ -87,6 +98,9 @@ __all__ = [
     "RedSpy",
     "RemoteKillFramework",
     "ReservoirPolicy",
+    "RunFailure",
+    "RunResult",
+    "RunSpec",
     "SilentCraft",
     "SimulatedCPU",
     "SimulatedMemory",
@@ -102,7 +116,9 @@ __all__ = [
     "render_topdown",
     "replay",
     "replay_file",
+    "run_specs",
     "run_threads",
+    "seed_for",
     "synthetic_chain",
     "__version__",
 ]

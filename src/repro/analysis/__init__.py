@@ -5,9 +5,17 @@
 - :mod:`repro.analysis.overhead` -- slowdown and memory bloat (Tables 1-2).
 - :mod:`repro.analysis.stability` -- run-to-run standard deviation.
 - :mod:`repro.analysis.blindspot` -- section 4.1's blind-spot windows.
+- :mod:`repro.analysis.sweeps` -- period/register sweeps fanned out via
+  :mod:`repro.parallel`.
 """
 
-from repro.analysis.accuracy import AccuracyResult, compare_reports, edit_distance, pair_ranking
+from repro.analysis.accuracy import (
+    AccuracyResult,
+    AccuracyTable,
+    compare_reports,
+    edit_distance,
+    pair_ranking,
+)
 from repro.analysis.convergence import ConvergencePoint, measure_convergence
 from repro.analysis.blindspot import BlindspotResult, blindspot_sweep, measure_blindspot
 from repro.analysis.overhead import (
@@ -20,10 +28,12 @@ from repro.analysis.overhead import (
     witch_overhead,
 )
 from repro.analysis.stability import StabilityResult, measure_stability
+from repro.analysis.sweeps import SweepPoint, sweep_periods, sweep_registers
 from repro.analysis.whatif import FixOpportunity, WhatIfResult, estimate_speedup
 
 __all__ = [
     "AccuracyResult",
+    "AccuracyTable",
     "ConvergencePoint",
     "BlindspotResult",
     "OverheadResult",
@@ -33,6 +43,7 @@ __all__ = [
     "StabilityResult",
     "FixOpportunity",
     "SuiteOverheads",
+    "SweepPoint",
     "WhatIfResult",
     "blindspot_sweep",
     "compare_reports",
@@ -43,4 +54,6 @@ __all__ = [
     "measure_convergence",
     "measure_stability",
     "pair_ranking",
+    "sweep_periods",
+    "sweep_registers",
 ]

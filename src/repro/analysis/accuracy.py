@@ -110,3 +110,50 @@ def compare_reports(
         top_sampled=pair_ranking(sampled, coverage),
         top_exhaustive=pair_ranking(exhaustive, coverage),
     )
+
+
+@dataclass
+class AccuracyTable:
+    """Accuracy rows keyed by (workload, tool): the Figure 4 data frame.
+
+    Shards of a parallel accuracy sweep each fill disjoint rows; tables
+    merge by key-disjoint union (a duplicate row means two shards ran the
+    same cell -- a bug worth hearing about, so it raises).  Iteration is
+    sorted by key, making the rendered table independent of fill order.
+    """
+
+    rows: Dict[Tuple[str, str], AccuracyResult] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.rows is None:
+            self.rows = {}
+
+    def add(self, workload: str, tool: str, result: AccuracyResult) -> None:
+        key = (workload, tool)
+        if key in self.rows:
+            raise ValueError(f"duplicate accuracy row for {key!r}")
+        self.rows[key] = result
+
+    def merge(self, other: "AccuracyTable") -> "AccuracyTable":
+        merged = AccuracyTable(dict(self.rows))
+        for key, value in other.rows.items():
+            if key in merged.rows:
+                raise ValueError(f"duplicate accuracy row for {key!r}")
+            merged.rows[key] = value
+        return merged
+
+    def worst_fraction_error(self) -> float:
+        return max(
+            (row.fraction_error for row in self.rows.values()), default=0.0
+        )
+
+    def render(self) -> str:
+        lines = [f"{'workload':16s} {'tool':12s} {'craft%':>8s} {'spy%':>8s} {'err':>6s}"]
+        for (workload, tool), row in sorted(self.rows.items()):
+            lines.append(
+                f"{workload:16s} {tool:12s} "
+                f"{100 * row.sampled_fraction:8.2f} "
+                f"{100 * row.exhaustive_fraction:8.2f} "
+                f"{100 * row.fraction_error:6.2f}"
+            )
+        return "\n".join(lines)

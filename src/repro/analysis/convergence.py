@@ -12,7 +12,7 @@ the convergence benchmark can verify the expected Monte-Carlo shape
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Sequence, Union
 
 from repro.core.metrics import mean
 from repro.execution.machine import Machine
@@ -32,18 +32,32 @@ class ConvergencePoint:
 
 
 def measure_convergence(
-    workload: Workload,
+    workload: Union[str, Workload],
     tool: str,
     periods: Sequence[int],
     seeds: Sequence[int] = tuple(range(8)),
     jitter_fraction: float = 0.125,
+    jobs: int = 1,
 ) -> List[ConvergencePoint]:
     """Error-vs-samples curve for one (workload, tool) pair.
 
     Periods should be jittered (``jitter_fraction`` of the period) so
     that exactly-periodic aliasing does not masquerade as Monte-Carlo
     noise; seeds then genuinely vary the sample placement.
+
+    ``workload`` may be a registry name string (``"spec:gcc"``), in which
+    case the periods x seeds grid fans out through
+    :func:`repro.parallel.run_specs` -- across ``jobs`` processes, with
+    per-cell seeds derived from the spec so the curve is identical for
+    every ``jobs`` value.  Callable workloads keep the legacy serial
+    path (``jobs`` must be 1).
     """
+    if isinstance(workload, str):
+        return _measure_convergence_specs(
+            workload, tool, periods, seeds, jitter_fraction, jobs
+        )
+    if jobs != 1:
+        raise ValueError("jobs > 1 needs a workload *name* (e.g. 'spec:gcc')")
     truth = run_exhaustive(workload, tools=(GROUND_TRUTH_FOR[tool],)).fraction(
         GROUND_TRUTH_FOR[tool]
     )
@@ -61,12 +75,52 @@ def measure_convergence(
             )
             errors.append(abs(run.fraction - truth))
             sample_counts.append(run.witch.samples_handled)
-        points.append(
-            ConvergencePoint(
-                period=period,
-                mean_samples=mean(sample_counts),
-                mean_abs_error=mean(errors),
-                rms_error=(mean([e * e for e in errors])) ** 0.5,
+        points.append(_point(period, sample_counts, errors))
+    return points
+
+
+def _point(period: int, sample_counts: List[float], errors: List[float]) -> ConvergencePoint:
+    return ConvergencePoint(
+        period=period,
+        mean_samples=mean(sample_counts),
+        mean_abs_error=mean(errors),
+        rms_error=(mean([e * e for e in errors])) ** 0.5,
+    )
+
+
+def _measure_convergence_specs(
+    workload: str,
+    tool: str,
+    periods: Sequence[int],
+    seeds: Sequence[int],
+    jitter_fraction: float,
+    jobs: int,
+) -> List[ConvergencePoint]:
+    from repro.parallel import exhaustive_spec, run_specs, witch_spec
+
+    spy = GROUND_TRUTH_FOR[tool]
+    specs = [exhaustive_spec(workload, tools=(spy,), group="convergence:truth")]
+    for period in periods:
+        for seed in seeds:
+            specs.append(
+                witch_spec(
+                    workload, tool, trial=seed, group=f"convergence:{period}",
+                    period=period,
+                    period_jitter=max(1, int(period * jitter_fraction)),
+                )
             )
-        )
+    batch = run_specs(specs, jobs=jobs)
+    batch.raise_on_failure()
+    truth = batch.results[0].payload["reports"][spy]["redundancy_fraction"]
+    points: List[ConvergencePoint] = []
+    cursor = 1
+    for period in periods:
+        errors: List[float] = []
+        sample_counts: List[float] = []
+        for _ in seeds:
+            report = batch.results[cursor].payload["report"]
+            cursor += 1
+            errors.append(abs(report["redundancy_fraction"] - truth))
+            sample_counts.append(report["samples"])
+        points.append(_point(period, sample_counts, errors))
     return points

@@ -10,7 +10,7 @@ framework seed reproduces here.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Sequence, Union
 
 from repro.core.metrics import mean, stddev
 from repro.execution.machine import Machine
@@ -39,12 +39,40 @@ class StabilityResult:
 
 
 def measure_stability(
-    workload: Workload,
+    workload: Union[str, Workload],
     tool: str,
     period: int,
     seeds: Sequence[int] = tuple(range(10)),
     registers: int = 4,
+    jobs: int = 1,
 ) -> StabilityResult:
+    """Per-seed redundancy fractions for one (workload, tool, period) cell.
+
+    With a registry-name ``workload`` string the per-seed runs fan out
+    through :func:`repro.parallel.run_specs` across ``jobs`` processes;
+    each trial's RNG seed derives from the spec, so the fractions are
+    identical for every ``jobs`` value.  Callable workloads keep the
+    legacy serial path (``jobs`` must be 1).
+    """
+    if isinstance(workload, str):
+        from repro.parallel import run_specs, witch_spec
+
+        specs = [
+            witch_spec(
+                workload, tool, trial=seed, group=f"stability:{tool}",
+                period=period, registers=registers,
+            )
+            for seed in seeds
+        ]
+        batch = run_specs(specs, jobs=jobs)
+        batch.raise_on_failure()
+        fractions = [
+            result.payload["report"]["redundancy_fraction"]
+            for result in batch.results
+        ]
+        return StabilityResult(tool=tool, fractions=fractions)
+    if jobs != 1:
+        raise ValueError("jobs > 1 needs a workload *name* (e.g. 'spec:gcc')")
     fractions = [
         run_witch(workload, tool=tool, period=period, registers=registers, seed=seed).fraction
         for seed in seeds

@@ -1,0 +1,95 @@
+"""Configuration sweeps, fanned out through the parallel runner.
+
+Two sweeps the evaluation keeps reaching for:
+
+- :func:`sweep_periods` -- the Table 2 axis: how does the estimate (and
+  the sample budget behind it) move as the sampling period coarsens?
+- :func:`sweep_registers` -- the section 4.2 ablation: Witch with 1, 2,
+  4... debug registers, quantifying what the reservoir's slot scarcity
+  costs.
+
+Every cell is one :class:`repro.parallel.RunSpec`; cells run through
+:func:`repro.parallel.run_specs`, so a sweep parallelizes with ``jobs=N``
+and returns the same numbers for every N (per-cell seeds derive from the
+specs, not the schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.parallel import run_specs, witch_spec
+from repro.telemetry import Telemetry
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep cell: the swept value and the run's headline outputs."""
+
+    value: int  # the swept quantity: a period, or a register count
+    fraction: float  # Equation 1 redundancy estimate
+    samples: int
+    monitored: int
+    traps: int
+
+
+def _points(batch, values: Sequence[int]) -> List[SweepPoint]:
+    batch.raise_on_failure()
+    points: List[SweepPoint] = []
+    for value, result in zip(values, batch.results):
+        report = result.payload["report"]
+        points.append(
+            SweepPoint(
+                value=value,
+                fraction=report["redundancy_fraction"],
+                samples=report["samples"],
+                monitored=report["monitored"],
+                traps=report["traps"],
+            )
+        )
+    return points
+
+
+def sweep_periods(
+    workload: str,
+    tool: str,
+    periods: Sequence[int],
+    *,
+    registers: int = 4,
+    root_seed: int = 0,
+    jobs: int = 1,
+    telemetry: Optional[Telemetry] = None,
+) -> List[SweepPoint]:
+    """One run per sampling period, fanned out across ``jobs`` workers."""
+    specs = [
+        witch_spec(
+            workload, tool, group=f"sweep:period:{workload}",
+            period=period, registers=registers,
+        )
+        for period in periods
+    ]
+    batch = run_specs(specs, root_seed=root_seed, jobs=jobs, telemetry=telemetry)
+    return _points(batch, periods)
+
+
+def sweep_registers(
+    workload: str,
+    tool: str,
+    register_counts: Sequence[int],
+    *,
+    period: int = 101,
+    root_seed: int = 0,
+    jobs: int = 1,
+    telemetry: Optional[Telemetry] = None,
+) -> List[SweepPoint]:
+    """One run per debug-register budget (the watchpoint-scarcity ablation)."""
+    specs = [
+        witch_spec(
+            workload, tool, group=f"sweep:registers:{workload}",
+            period=period, registers=registers,
+        )
+        for registers in register_counts
+    ]
+    batch = run_specs(specs, root_seed=root_seed, jobs=jobs, telemetry=telemetry)
+    return _points(batch, register_counts)

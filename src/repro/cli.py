@@ -18,6 +18,10 @@ Commands:
 and ``--trace-out FILE`` (Chrome trace-event JSON for ``chrome://tracing``);
 any of the three enables the telemetry subsystem for the run.
 
+``suite`` and ``compare`` accept ``--jobs N`` (default 1) to fan their
+runs out over N worker processes via :mod:`repro.parallel`.  Output is
+bit-identical for every N -- see docs/parallel.md for the contract.
+
 Workload names: ``spec:gcc`` (or bare ``gcc``), ``micro:listing2``,
 ``case:binutils-2.27`` (``:optimized`` for the fixed variant), or
 ``trace:path/to/file``.
@@ -27,30 +31,34 @@ from __future__ import annotations
 
 import argparse
 import sys
-from contextlib import nullcontext
 from typing import Callable, List, Optional
 
 from repro.analysis.accuracy import compare_reports
+from repro.core.report import InefficiencyReport
 from repro.core.view import render_topdown
 from repro.execution.machine import Machine
-from repro.harness import GROUND_TRUTH_FOR, run_exhaustive, run_witch
+from repro.harness import GROUND_TRUTH_FOR, run_witch
 from repro.hardware.cpu import SimulatedCPU
 from repro.hardware.pmu import nearest_prime
+from repro.parallel import (
+    BatchResult,
+    exhaustive_overhead_spec,
+    exhaustive_spec,
+    run_specs,
+    witch_overhead_spec,
+    witch_spec,
+)
 from repro.telemetry import Telemetry
-from repro.trace import TraceRecorder, replay_file
-from repro.workloads import microbench
+from repro.trace import TraceRecorder
 from repro.workloads.casestudies import CASE_STUDIES, run_case_study
-from repro.workloads.spec import SPEC_SUITE, workload_for
+from repro.workloads.registry import (
+    MICROBENCHES as _MICROBENCHES,
+    UnknownWorkload,
+    resolve_workload as _resolve_workload,
+)
+from repro.workloads.spec import SPEC_SUITE
 
 Workload = Callable[[Machine], None]
-
-_MICROBENCHES = {
-    "listing1": microbench.listing1_gcc_program,
-    "listing2": microbench.listing2_program,
-    "listing3": microbench.listing3_program,
-    "figure2": microbench.figure2_program,
-    "adversary": microbench.adversary_program,
-}
 
 
 class CLIError(Exception):
@@ -59,28 +67,18 @@ class CLIError(Exception):
 
 def resolve_workload(name: str, scale: float = 1.0) -> Workload:
     """Turn a CLI workload name into a runnable workload."""
-    if name.startswith("trace:"):
-        return replay_file(name[len("trace:"):])
-    if name.startswith("micro:"):
-        key = name[len("micro:"):]
-        if key not in _MICROBENCHES:
-            raise CLIError(f"unknown microbenchmark {key!r}; try: {', '.join(_MICROBENCHES)}")
-        return _MICROBENCHES[key]
-    if name.startswith("case:"):
-        rest = name[len("case:"):]
-        case_name, _, variant = rest.partition(":")
-        if case_name not in CASE_STUDIES:
-            raise CLIError(f"unknown case study {case_name!r}; see `repro list`")
-        case = CASE_STUDIES[case_name]
-        if variant in ("", "baseline"):
-            return case.baseline
-        if variant == "optimized":
-            return case.optimized
-        raise CLIError(f"unknown variant {variant!r}; use baseline or optimized")
-    key = name[len("spec:"):] if name.startswith("spec:") else name
-    if key in SPEC_SUITE:
-        return workload_for(SPEC_SUITE[key], scale=scale)
-    raise CLIError(f"unknown workload {name!r}; see `repro list`")
+    try:
+        return _resolve_workload(name, scale=scale)
+    except UnknownWorkload as error:
+        raise CLIError(str(error)) from error
+
+
+def _check_failures(batch: BatchResult) -> None:
+    if batch.failures:
+        raise CLIError(
+            f"{len(batch.failures)} run(s) failed: "
+            + "; ".join(failure.render() for failure in batch.failures)
+        )
 
 
 def _telemetry_from_args(args) -> Optional[Telemetry]:
@@ -149,38 +147,45 @@ def _cmd_profile(args, out) -> int:
 
 
 def _cmd_compare(args, out) -> int:
-    workload = resolve_workload(args.workload, scale=args.scale)
+    resolve_workload(args.workload, scale=args.scale)  # fail fast on bad names
     telemetry = _telemetry_from_args(args)
     spy_name = GROUND_TRUTH_FOR[args.tool]
-    sampled = run_witch(
-        workload, tool=args.tool, period=nearest_prime(args.period), seed=args.seed,
-        telemetry=telemetry,
+    period = nearest_prime(args.period)
+    group = f"compare:{args.workload}"
+    # Four independent unit jobs: the accuracy pair plus both Table 1
+    # overhead measurements (priced at the paper's operating point --
+    # 5M stores / 10M loads; the dense simulated period measures cost
+    # structure, not production overhead).
+    specs = [
+        witch_spec(args.workload, args.tool, scale=args.scale, group=group,
+                   period=period),
+        exhaustive_spec(args.workload, tools=(spy_name,), scale=args.scale,
+                        group=group),
+        witch_overhead_spec(args.workload, args.tool, scale=args.scale,
+                            group=group),
+        exhaustive_overhead_spec(args.workload, spy_name, scale=args.scale,
+                                 group=group),
+    ]
+    batch = run_specs(specs, root_seed=args.seed, jobs=args.jobs,
+                      telemetry=telemetry)
+    _check_failures(batch)
+    sampled = InefficiencyReport.from_dict(batch.results[0].payload["report"])
+    exhaustive = InefficiencyReport.from_dict(
+        batch.results[1].payload["reports"][spy_name]
     )
-    exhaustive = run_exhaustive(workload, tools=(spy_name,), telemetry=telemetry)
-    comparison = compare_reports(sampled.report, exhaustive.reports[spy_name])
+    comparison = compare_reports(sampled, exhaustive)
 
-    print(f"{args.tool} (period {nearest_prime(args.period)}): "
+    print(f"{args.tool} (period {period}): "
           f"{100 * comparison.sampled_fraction:.2f}%", file=out)
     print(f"{spy_name} (exhaustive):  {100 * comparison.exhaustive_fraction:.2f}%", file=out)
     print(f"absolute error: {100 * comparison.fraction_error:.2f} points", file=out)
     print(f"top-pair overlap: {100 * comparison.top_overlap_fraction:.0f}%  "
           f"rank edit distance: {comparison.rank_edit_distance}", file=out)
 
-    # Price both tools at the paper's operating point (5M stores / 10M
-    # loads): the simulated run's dense period measures cost structure,
-    # not production overhead.
-    from repro.analysis.overhead import (
-        PAPER_LOAD_PERIOD,
-        PAPER_STORE_PERIOD,
-        exhaustive_overhead,
-        witch_overhead,
-    )
-
-    paper_period = PAPER_LOAD_PERIOD if args.tool == "loadcraft" else PAPER_STORE_PERIOD
-    craft = witch_overhead(workload, args.tool, args.workload, 100.0, paper_period)
-    spy = exhaustive_overhead(workload, spy_name, args.workload, 100.0)
-    print(f"slowdown at paper scale: {craft.slowdown:.3f}x ({args.tool}) vs "
-          f"{spy.slowdown:.1f}x ({spy_name})", file=out)
+    craft_slowdown = batch.results[2].payload["overhead"]["slowdown"]
+    spy_slowdown = batch.results[3].payload["overhead"]["slowdown"]
+    print(f"slowdown at paper scale: {craft_slowdown:.3f}x ({args.tool}) vs "
+          f"{spy_slowdown:.1f}x ({spy_name})", file=out)
     _finish_telemetry(telemetry, args, out)
     return 0
 
@@ -193,29 +198,49 @@ def _cmd_casestudy(args, out) -> int:
     return 0
 
 
+_SUITE_CRAFTS = ("deadcraft", "silentcraft", "loadcraft")
+
+
+def suite_specs(names, scale: float, period: int):
+    """The suite's work list: per benchmark, one exhaustive run (all three
+    spies share it) plus one run per craft -- four unit jobs, grouped."""
+    specs = []
+    for name in names:
+        group = f"suite:{name}"
+        specs.append(exhaustive_spec(f"spec:{name}", scale=scale, group=group))
+        for craft in _SUITE_CRAFTS:
+            specs.append(
+                witch_spec(f"spec:{name}", craft, scale=scale, group=group,
+                           period=period)
+            )
+    return specs
+
+
 def _cmd_suite(args, out) -> int:
     """A quick Figure-4-style accuracy sweep over suite benchmarks."""
     from repro.workloads.spec import QUICK_SUITE
 
     names = args.benchmarks or list(QUICK_SUITE)
-    telemetry = _telemetry_from_args(args)
-    tm_span = telemetry.span if telemetry is not None else None
-    print(f"{'benchmark':12s} {'dead':>13s} {'silent':>13s} {'load':>13s}   (craft/spy %)",
-          file=out)
     for name in names:
         if name not in SPEC_SUITE:
             raise CLIError(f"unknown suite benchmark {name!r}")
-        workload = workload_for(SPEC_SUITE[name], scale=args.scale)
-        with (tm_span(f"suite:{name}") if tm_span is not None else nullcontext()):
-            exhaustive = run_exhaustive(workload, telemetry=telemetry)
-            cells = []
-            for craft in ("deadcraft", "silentcraft", "loadcraft"):
-                sampled = run_witch(
-                    workload, tool=craft, period=nearest_prime(args.period),
-                    seed=args.seed, telemetry=telemetry,
-                )
-                truth = exhaustive.fraction(GROUND_TRUTH_FOR[craft])
-                cells.append(f"{100 * sampled.fraction:5.1f}/{100 * truth:5.1f}")
+    telemetry = _telemetry_from_args(args)
+    specs = suite_specs(names, scale=args.scale, period=nearest_prime(args.period))
+    batch = run_specs(specs, root_seed=args.seed, jobs=args.jobs,
+                      telemetry=telemetry)
+    _check_failures(batch)
+    print(f"{'benchmark':12s} {'dead':>13s} {'silent':>13s} {'load':>13s}   (craft/spy %)",
+          file=out)
+    stride = 1 + len(_SUITE_CRAFTS)
+    for row, name in enumerate(names):
+        truth = batch.results[row * stride].payload["reports"]
+        cells = []
+        for offset, craft in enumerate(_SUITE_CRAFTS, start=1):
+            report = batch.results[row * stride + offset].payload["report"]
+            spy_fraction = truth[GROUND_TRUTH_FOR[craft]]["redundancy_fraction"]
+            cells.append(
+                f"{100 * report['redundancy_fraction']:5.1f}/{100 * spy_fraction:5.1f}"
+            )
         print(f"{name:12s} {cells[0]:>13s} {cells[1]:>13s} {cells[2]:>13s}", file=out)
     _finish_telemetry(telemetry, args, out)
     return 0
@@ -302,6 +327,8 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("workload")
     compare.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR), default="deadcraft")
     compare.add_argument("--period", type=int, default=101)
+    compare.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (results are identical for any value)")
     add_common(compare)
     add_telemetry(compare)
     compare.set_defaults(run=_cmd_compare)
@@ -316,6 +343,8 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--period", type=int, default=101)
     suite.add_argument("--scale", type=float, default=0.3)
     suite.add_argument("--seed", type=int, default=0)
+    suite.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (results are identical for any value)")
     add_telemetry(suite)
     suite.set_defaults(run=_cmd_suite)
 

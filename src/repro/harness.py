@@ -169,6 +169,19 @@ def run_witch(
     return WitchRun(report=report, witch=witch, cpu=cpu, machine=machine)
 
 
+def run_spec(spec, root_seed: int = 0, telemetry_enabled: bool = False):
+    """Execute one :class:`repro.parallel.RunSpec` in this process.
+
+    The same unit job a pool worker runs -- handy for tests and for code
+    that wants spec-addressed seeding (:func:`repro.parallel.seed_for`)
+    without a scheduler.  Imported lazily: the harness is a dependency of
+    the parallel package, not the other way around.
+    """
+    from repro.parallel.worker import execute_spec
+
+    return execute_spec(spec, root_seed=root_seed, telemetry_enabled=telemetry_enabled)
+
+
 def run_exhaustive(
     workload: Workload,
     tools: Tuple[str, ...] = ("deadspy", "redspy", "loadspy"),

@@ -1,0 +1,58 @@
+"""Sharded parallel experiment runner with deterministic merge.
+
+The experiment surface of this reproduction -- accuracy suites, overhead
+tables, convergence and stability sweeps -- is embarrassingly parallel:
+every run is an independent (workload, tool, config) cell.  This package
+fans those cells out over a process pool and merges the results so that
+**the artifacts are bit-identical for any worker count**, which is what
+makes ``--jobs`` safe to flip on in CI and in published-number runs.
+
+See ``docs/parallel.md`` for the architecture and the determinism
+contract; the short version:
+
+    >>> from repro.parallel import run_specs, witch_spec
+    >>> batch = run_specs([witch_spec("spec:gcc", "deadcraft", period=101)],
+    ...                   root_seed=7, jobs=4)
+    >>> batch.results[0].payload["report"]["tool"]
+    'deadcraft'
+"""
+
+from repro.parallel.merge import merge_accuracy_tables, merge_reports, merge_snapshots
+from repro.parallel.scheduler import (
+    DEFAULT_RETRIES,
+    BatchResult,
+    RunFailure,
+    run_specs,
+)
+from repro.parallel.spec import (
+    RunSpec,
+    exhaustive_overhead_spec,
+    exhaustive_spec,
+    native_spec,
+    seed_for,
+    spec_key,
+    witch_overhead_spec,
+    witch_spec,
+)
+from repro.parallel.worker import RunResult, execute_spec, run_chunk
+
+__all__ = [
+    "BatchResult",
+    "DEFAULT_RETRIES",
+    "RunFailure",
+    "RunResult",
+    "RunSpec",
+    "execute_spec",
+    "exhaustive_overhead_spec",
+    "exhaustive_spec",
+    "merge_accuracy_tables",
+    "merge_reports",
+    "merge_snapshots",
+    "native_spec",
+    "run_chunk",
+    "run_specs",
+    "seed_for",
+    "spec_key",
+    "witch_spec",
+    "witch_overhead_spec",
+]

@@ -1,0 +1,104 @@
+"""Deterministic mergers for sharded experiment artifacts.
+
+Three artifact families come back from workers; each merges by a rule
+that depends only on the *order of the inputs*, never on timing:
+
+- **Attribution reports** (:func:`merge_reports`): the pair maps union --
+  same ordered ⟨C_watch, C_trap⟩ pair, metrics add (``restore`` is
+  additive by construction); sample/monitored/trap counts sum.  Pair
+  iteration order is first-seen order over the input sequence, so equal
+  input order gives byte-equal serialized output.
+- **Telemetry snapshots** (:func:`merge_snapshots`): counters and
+  histogram buckets add, gauges keep last value / max high-water, span
+  totals fold, event counts absorb -- the facade's
+  :meth:`~repro.telemetry.Telemetry.merge_snapshot` rule.
+- **Accuracy tables** (:func:`merge_accuracy_tables`): disjoint-key
+  union; a duplicate (workload, tool) row is a programming error, not a
+  tie to break silently.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Sequence, Union
+
+from repro.core.report import InefficiencyReport
+from repro.telemetry import Telemetry
+
+ReportLike = Union[InefficiencyReport, Dict[str, Any]]
+
+
+def _as_report(payload: ReportLike) -> InefficiencyReport:
+    if isinstance(payload, InefficiencyReport):
+        return payload
+    return InefficiencyReport.from_dict(payload)
+
+
+def merge_reports(reports: Sequence[ReportLike]) -> InefficiencyReport:
+    """Union shard reports of one tool into the whole-run report.
+
+    All inputs must come from the same tool (waste semantics differ
+    across tools; summing them would be meaningless) and the same
+    sampling period.
+    """
+    if not reports:
+        raise ValueError("merge_reports needs at least one report")
+    first = _as_report(reports[0])
+    merged_payload: Dict[str, Any] = {
+        "format": "repro-report",
+        "version": 1,
+        "tool": first.tool,
+        "samples": 0,
+        "monitored": 0,
+        "traps": 0,
+        "period": first.period,
+        "pairs": [],
+    }
+    for entry in reports:
+        report = _as_report(entry)
+        if report.tool != first.tool:
+            raise ValueError(
+                f"cannot merge reports from different tools: "
+                f"{first.tool!r} vs {report.tool!r}"
+            )
+        if report.period != first.period:
+            raise ValueError(
+                f"cannot merge reports sampled at different periods: "
+                f"{first.period} vs {report.period}"
+            )
+        merged_payload["samples"] += report.samples
+        merged_payload["monitored"] += report.monitored
+        merged_payload["traps"] += report.traps
+        merged_payload["pairs"].extend(report.to_dict()["pairs"])
+    # from_dict re-interns contexts into one fresh CCT and *adds* metrics
+    # for repeated pairs -- the union-with-summed-metrics semantics.
+    return InefficiencyReport.from_dict(merged_payload)
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold telemetry snapshots (in the given order) into one snapshot."""
+    telemetry = Telemetry()
+    for snapshot in snapshots:
+        telemetry.merge_snapshot(snapshot)
+    return telemetry.snapshot()
+
+
+def merge_accuracy_tables(tables: Iterable[Any]) -> Any:
+    """Union per-shard accuracy rows; duplicate keys are refused loudly.
+
+    Accepts :class:`repro.analysis.accuracy.AccuracyTable` instances
+    (returns a merged table) or plain ``{key: row}`` dicts (returns a
+    merged dict).
+    """
+    tables = list(tables)
+    if tables and hasattr(tables[0], "merge"):
+        merged_table = tables[0]
+        for table in tables[1:]:
+            merged_table = merged_table.merge(table)
+        return merged_table
+    merged: Dict[Any, Any] = {}
+    for table in tables:
+        for key, value in table.items():
+            if key in merged:
+                raise ValueError(f"duplicate accuracy row for {key!r}")
+            merged[key] = value
+    return merged

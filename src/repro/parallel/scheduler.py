@@ -1,0 +1,333 @@
+"""The sharded experiment scheduler: fan specs out, merge results in order.
+
+Determinism contract (enforced by tests/test_parallel.py):
+
+    ``run_specs(specs, jobs=N)`` produces bit-identical artifacts --
+    reports, accuracy numbers, merged telemetry counters -- for every N,
+    including N=1.
+
+Three mechanisms carry the contract:
+
+1. **Seeds are content-addressed.**  Every run's RNG seed is
+   :func:`repro.parallel.spec.seed_for` ``(root_seed, spec)`` -- a pure
+   function of the spec, untouched by scheduling.
+2. **One code path.**  ``jobs=1`` calls the same
+   :func:`repro.parallel.worker.execute_spec` inline that the pool calls
+   remotely; both produce per-spec telemetry snapshots that are merged
+   into the caller's telemetry *in spec order*, so float partial sums
+   group identically no matter where the runs happened.
+3. **Merge order is spec order.**  Workers return results keyed by spec
+   index; the scheduler assembles them by index, never by completion
+   time.
+
+Fault handling: a spec that raises is retried (``retries`` additional
+attempts, rerun as a singleton chunk); a worker crash
+(:class:`BrokenProcessPool`) or a chunk exceeding ``timeout`` seconds
+abandons the pool, charges the faulting chunk an attempt, and resubmits
+the rest to a fresh pool.  Specs that exhaust their attempts surface as
+structured :class:`RunFailure` rows -- partial batches are a result, not
+an exception.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.parallel.spec import RunSpec
+from repro.parallel.worker import RunResult, WorkerFn, execute_spec, run_chunk
+from repro.telemetry import Telemetry, live_or_none
+
+#: Default cap on additional attempts after a spec's first failure.
+DEFAULT_RETRIES = 2
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One spec that exhausted its attempts, with forensics."""
+
+    index: int
+    spec: RunSpec
+    attempts: int
+    error: str
+    traceback: str = ""
+
+    def render(self) -> str:
+        return f"{self.spec.label}: {self.error} (after {self.attempts} attempts)"
+
+
+@dataclass
+class BatchResult:
+    """Everything one ``run_specs`` call produced, in spec order."""
+
+    specs: List[RunSpec]
+    results: List[Optional[RunResult]]  # None where the spec failed
+    failures: List[RunFailure] = field(default_factory=list)
+    jobs: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def payloads(self) -> List[Dict[str, Any]]:
+        """Successful payloads, spec order (failed specs are skipped)."""
+        return [result.payload for result in self.results if result is not None]
+
+    def raise_on_failure(self) -> None:
+        if self.failures:
+            rendered = "; ".join(failure.render() for failure in self.failures)
+            raise RuntimeError(f"{len(self.failures)} run(s) failed: {rendered}")
+
+
+def run_specs(
+    specs: Sequence[RunSpec],
+    *,
+    root_seed: int = 0,
+    jobs: int = 1,
+    telemetry: Optional[Telemetry] = None,
+    chunk_size: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    worker: Optional[WorkerFn] = None,
+) -> BatchResult:
+    """Execute every spec, serially or across ``jobs`` processes.
+
+    ``worker`` substitutes the per-spec execution function (the fault-
+    injection hook the scheduler tests use); it must be picklable for
+    ``jobs > 1``.  ``timeout`` bounds one chunk's wall-clock seconds.
+    """
+    specs = list(specs)
+    tm = live_or_none(telemetry)
+    if jobs <= 1 or len(specs) <= 1:
+        return _run_inline(specs, root_seed, tm, retries, worker)
+    return _run_pooled(
+        specs, root_seed, tm, jobs, chunk_size, timeout, retries, worker
+    )
+
+
+# --------------------------------------------------------------------- serial
+def _run_inline(
+    specs: List[RunSpec],
+    root_seed: int,
+    tm: Optional[Telemetry],
+    retries: int,
+    worker: Optional[WorkerFn],
+) -> BatchResult:
+    """The jobs=1 path: same worker function, same merge, no processes.
+
+    Consecutive specs sharing a ``group`` run under one parent telemetry
+    span (so e.g. a suite benchmark's four runs appear as one
+    ``suite:<name>`` phase in the Chrome trace).
+    """
+    results: List[Optional[RunResult]] = [None] * len(specs)
+    failures: List[RunFailure] = []
+    position = 0
+    while position < len(specs):
+        group = specs[position].group
+        end = position
+        while end < len(specs) and specs[end].group == group:
+            end += 1
+        span = tm.span(group) if (tm is not None and group) else nullcontext()
+        with span:
+            for index in range(position, end):
+                outcome = _attempt(specs[index], index, root_seed, tm, retries, worker)
+                if isinstance(outcome, RunFailure):
+                    failures.append(outcome)
+                else:
+                    results[index] = outcome
+                    _merge_result(tm, outcome)
+        position = end
+    return BatchResult(specs=specs, results=results, failures=failures, jobs=1)
+
+
+def _attempt(
+    spec: RunSpec,
+    index: int,
+    root_seed: int,
+    tm: Optional[Telemetry],
+    retries: int,
+    worker: Optional[WorkerFn],
+):
+    execute = worker if worker is not None else execute_spec
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            result = execute(spec, root_seed, tm is not None)
+            result.index = index
+            return result
+        except Exception as error:  # noqa: BLE001 - converted to RunFailure
+            if attempts > retries:
+                import traceback as _traceback
+
+                return RunFailure(
+                    index=index,
+                    spec=spec,
+                    attempts=attempts,
+                    error=f"{type(error).__name__}: {error}",
+                    traceback=_traceback.format_exc(),
+                )
+
+
+def _merge_result(tm: Optional[Telemetry], result: RunResult) -> None:
+    if tm is not None and result.snapshot is not None:
+        tm.merge_snapshot(result.snapshot)
+
+
+# --------------------------------------------------------------------- pooled
+#: One unit of pool work: (attempts already used, [(index, spec), ...]).
+_Chunk = Tuple[int, List[Tuple[int, RunSpec]]]
+
+
+def _run_pooled(
+    specs: List[RunSpec],
+    root_seed: int,
+    tm: Optional[Telemetry],
+    jobs: int,
+    chunk_size: Optional[int],
+    timeout: Optional[float],
+    retries: int,
+    worker: Optional[WorkerFn],
+) -> BatchResult:
+    if chunk_size is None:
+        # ~4 chunks per worker: large enough to amortize dispatch, small
+        # enough that one slow chunk cannot idle the rest of the pool.
+        chunk_size = max(1, -(-len(specs) // (jobs * 4)))
+    indexed = list(enumerate(specs))
+    work: List[_Chunk] = [
+        (0, indexed[start:start + chunk_size])
+        for start in range(0, len(indexed), chunk_size)
+    ]
+    results: Dict[int, RunResult] = {}
+    failures: List[RunFailure] = []
+    mp_context = _pool_context()
+    enabled = tm is not None
+
+    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
+    span = tm.span("parallel:dispatch") if tm is not None else nullcontext()
+    try:
+        with span:
+            while work:
+                submitted: List[Tuple[_Chunk, Future]] = [
+                    (chunk, pool.submit(run_chunk, chunk[1], root_seed, enabled, worker))
+                    for chunk in work
+                ]
+                work = []
+                abandon = False
+                for chunk, future in submitted:
+                    attempts, items = chunk
+                    if abandon:
+                        # The pool is gone; harvest what finished, requeue
+                        # the rest without charging them an attempt.
+                        harvested = _harvest_done(future)
+                        if harvested is None:
+                            work.append(chunk)
+                        else:
+                            _absorb(harvested, attempts, retries, items,
+                                    results, failures, work)
+                        continue
+                    try:
+                        outcomes = future.result(timeout=timeout)
+                    except FutureTimeoutError:
+                        abandon = True
+                        _charge(items, attempts, retries, "chunk timed out",
+                                failures, work)
+                        continue
+                    except BrokenProcessPool:
+                        abandon = True
+                        _charge(items, attempts, retries,
+                                "worker process died (BrokenProcessPool)",
+                                failures, work)
+                        continue
+                    _absorb(outcomes, attempts, retries, items,
+                            results, failures, work)
+                if abandon:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # Deterministic merge: telemetry partials fold in spec order, exactly
+    # the sequence the inline path produced them in.
+    ordered: List[Optional[RunResult]] = [None] * len(specs)
+    for index in range(len(specs)):
+        result = results.get(index)
+        if result is not None:
+            ordered[index] = result
+            _merge_result(tm, result)
+    failures.sort(key=lambda failure: failure.index)
+    return BatchResult(specs=specs, results=ordered, failures=failures, jobs=jobs)
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits the imported tree); fall back cleanly."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _harvest_done(future: Future):
+    """A finished future's outcomes, or None if unfinished/unusable."""
+    if not future.done() or future.cancelled():
+        return None
+    try:
+        return future.result(timeout=0)
+    except Exception:  # noqa: BLE001 - broken pool poisons pending futures
+        return None
+
+
+def _absorb(
+    outcomes,
+    attempts: int,
+    retries: int,
+    items: List[Tuple[int, RunSpec]],
+    results: Dict[int, RunResult],
+    failures: List[RunFailure],
+    work: List[_Chunk],
+) -> None:
+    """File a chunk's outcome rows: results land, errors retry or fail."""
+    by_index = dict(items)
+    for outcome in outcomes:
+        if outcome[0] == "ok":
+            _, index, result = outcome
+            results[index] = result
+        else:
+            _, index, message, trace = outcome
+            spec = by_index[index]
+            if attempts + 1 > retries:
+                failures.append(
+                    RunFailure(
+                        index=index, spec=spec, attempts=attempts + 1,
+                        error=message, traceback=trace,
+                    )
+                )
+            else:
+                # Retry alone: a repeat offender cannot drag chunk-mates
+                # through its remaining attempts.
+                work.append((attempts + 1, [(index, spec)]))
+
+
+def _charge(
+    items: List[Tuple[int, RunSpec]],
+    attempts: int,
+    retries: int,
+    reason: str,
+    failures: List[RunFailure],
+    work: List[_Chunk],
+) -> None:
+    """Charge a faulting chunk one attempt; requeue or fail its specs."""
+    for index, spec in items:
+        if attempts + 1 > retries:
+            failures.append(
+                RunFailure(
+                    index=index, spec=spec, attempts=attempts + 1, error=reason
+                )
+            )
+        else:
+            work.append((attempts + 1, [(index, spec)]))

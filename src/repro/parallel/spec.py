@@ -1,0 +1,182 @@
+"""Work specs: one experiment run, described as data.
+
+A :class:`RunSpec` is the unit of work the parallel runner ships to a
+worker process: *what* to run (a workload name from
+:mod:`repro.workloads.registry`), *under which tool*, *with which
+configuration* -- never a callable, never an open resource.  Specs are
+frozen, hashable, and picklable, and their canonical :func:`spec_key`
+string is the basis of the determinism contract:
+
+- :func:`seed_for` derives every run's RNG seed from ``(root_seed,
+  spec_key)`` alone, so a run's randomness is a pure function of what it
+  is -- independent of which worker executes it, in what order, or how
+  many workers exist.
+- Two distinct specs get distinct keys (and hence, with overwhelming
+  probability, distinct 64-bit seeds); replicated runs of the same
+  configuration are distinguished by the ``trial`` field.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Option values must round-trip through ``repr`` unambiguously; the
+#: constructors below enforce this so a spec's key is canonical.
+_OPTION_TYPES = (bool, int, float, str, type(None))
+
+Options = Tuple[Tuple[str, object], ...]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One experiment run: workload x tool x configuration, as pure data.
+
+    ``group`` labels a cluster of related specs (e.g. ``"suite:gcc"`` for
+    the four runs of one suite benchmark); the serial runner wraps each
+    group in a telemetry phase span.  ``trial`` distinguishes replicated
+    runs of an otherwise identical configuration (stability and
+    convergence sweeps), feeding :func:`seed_for`.
+    """
+
+    kind: str  # "witch" | "exhaustive" | "native" | "witch_overhead" | "exhaustive_overhead"
+    workload: str  # a repro.workloads.registry name, e.g. "spec:gcc"
+    tool: str = ""  # craft name (witch kinds) or spy name (exhaustive_overhead)
+    tools: Tuple[str, ...] = ()  # spy names for the "exhaustive" kind
+    scale: float = 1.0
+    options: Options = ()  # extra runner kwargs, sorted by key
+    trial: int = 0
+    group: str = ""
+
+    def options_dict(self) -> Dict[str, object]:
+        return dict(self.options)
+
+    @property
+    def label(self) -> str:
+        """A short human-readable name for progress and failure reports."""
+        tool = self.tool or "+".join(self.tools) or "all"
+        suffix = f"#{self.trial}" if self.trial else ""
+        return f"{self.kind}:{tool}:{self.workload}{suffix}"
+
+
+def _canonical_options(options: Dict[str, object]) -> Options:
+    for key, value in options.items():
+        if not isinstance(value, _OPTION_TYPES):
+            raise TypeError(
+                f"spec option {key}={value!r} is not a primitive; specs must "
+                "stay picklable and canonically keyable"
+            )
+    return tuple(sorted(options.items()))
+
+
+def witch_spec(
+    workload: str,
+    tool: str,
+    *,
+    scale: float = 1.0,
+    trial: int = 0,
+    group: str = "",
+    **options: object,
+) -> RunSpec:
+    """A sampling-tool run (:func:`repro.harness.run_witch`)."""
+    return RunSpec(
+        kind="witch", workload=workload, tool=tool, scale=scale,
+        options=_canonical_options(options), trial=trial, group=group,
+    )
+
+
+def exhaustive_spec(
+    workload: str,
+    tools: Tuple[str, ...] = ("deadspy", "redspy", "loadspy"),
+    *,
+    scale: float = 1.0,
+    trial: int = 0,
+    group: str = "",
+) -> RunSpec:
+    """An exhaustive ground-truth run (:func:`repro.harness.run_exhaustive`)."""
+    return RunSpec(
+        kind="exhaustive", workload=workload, tools=tuple(tools), scale=scale,
+        trial=trial, group=group,
+    )
+
+
+def native_spec(workload: str, *, scale: float = 1.0, group: str = "") -> RunSpec:
+    """An uninstrumented run (the overhead baselines' denominator)."""
+    return RunSpec(kind="native", workload=workload, scale=scale, group=group)
+
+
+def witch_overhead_spec(
+    workload: str,
+    tool: str,
+    *,
+    benchmark: str = "",
+    footprint_mb: float = 100.0,
+    paper_period: Optional[int] = None,
+    scale: float = 1.0,
+    group: str = "",
+    **options: object,
+) -> RunSpec:
+    """A Table 1/2 sampling-overhead measurement priced at paper scale.
+
+    ``paper_period=None`` lets the worker pick the paper's operating point
+    for the tool (10M loads for loadcraft, else 5M stores).
+    """
+    merged: Dict[str, object] = dict(options)
+    merged.update(
+        benchmark=benchmark or workload,
+        footprint_mb=footprint_mb,
+        paper_period=paper_period,
+    )
+    return RunSpec(
+        kind="witch_overhead", workload=workload, tool=tool, scale=scale,
+        options=_canonical_options(merged), group=group,
+    )
+
+
+def exhaustive_overhead_spec(
+    workload: str,
+    tool: str,
+    *,
+    benchmark: str = "",
+    footprint_mb: float = 100.0,
+    scale: float = 1.0,
+    group: str = "",
+) -> RunSpec:
+    """A Table 1 exhaustive-overhead measurement (slowdown off the ledger)."""
+    merged = {"benchmark": benchmark or workload, "footprint_mb": footprint_mb}
+    return RunSpec(
+        kind="exhaustive_overhead", workload=workload, tool=tool, scale=scale,
+        options=_canonical_options(merged), group=group,
+    )
+
+
+def spec_key(spec: RunSpec) -> str:
+    """The canonical identity string: equal specs, equal keys, and only
+    equal specs.  Every field that affects the run's behavior appears."""
+    options = ",".join(f"{key}={value!r}" for key, value in sorted(spec.options))
+    return "\x1f".join(
+        (
+            spec.kind,
+            spec.workload,
+            spec.tool,
+            "+".join(spec.tools),
+            repr(spec.scale),
+            options,
+            str(spec.trial),
+        )
+    )
+
+
+def seed_for(root_seed: int, spec: RunSpec) -> int:
+    """The run's RNG seed: a pure function of the root seed and the spec.
+
+    SHA-256 over ``root_seed || spec_key`` folded to 64 bits.  Scheduling
+    order, worker count, and chunking cannot influence it, which is what
+    makes sharded results bit-identical to serial ones; distinct specs map
+    to distinct seeds (collisions would need a 64-bit birthday miracle).
+    """
+    digest = hashlib.sha256(
+        f"{root_seed}\x1e{spec_key(spec)}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")

@@ -1,0 +1,151 @@
+"""The worker side of the parallel runner: execute one spec, return data.
+
+Everything that crosses the process boundary is plain data: the spec in,
+a :class:`RunResult` out whose payload holds report/overhead *dicts* (via
+``InefficiencyReport.to_dict``) and, when telemetry is on, the run's
+telemetry snapshot.  Reports round-trip through their JSON form exactly
+(floats are untouched, pair insertion order is preserved), which is what
+lets the scheduler's deterministic merge produce bit-identical artifacts
+regardless of worker count.
+
+The same :func:`execute_spec` runs in-process when ``jobs=1``: serial and
+sharded execution share one code path, differing only in *where* the
+function is called.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.harness import run_exhaustive, run_native, run_witch
+from repro.parallel.spec import RunSpec, seed_for
+from repro.telemetry import Telemetry
+from repro.workloads.registry import resolve_workload
+
+#: The signature injected test doubles must match.
+WorkerFn = Callable[[RunSpec, int, bool], "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """One executed spec's outputs, in wire-friendly form."""
+
+    spec: RunSpec
+    payload: Dict[str, Any]
+    snapshot: Optional[Dict[str, Any]] = None  # telemetry snapshot, if enabled
+    index: int = -1  # position in the submitted spec list; set by the scheduler
+
+    def report_dict(self, tool: str = "") -> Dict[str, Any]:
+        """The run's report payload (``tool`` selects one exhaustive spy)."""
+        if "report" in self.payload:
+            return self.payload["report"]
+        reports = self.payload["reports"]
+        return reports[tool] if tool else next(iter(reports.values()))
+
+
+def execute_spec(
+    spec: RunSpec, root_seed: int = 0, telemetry_enabled: bool = False
+) -> RunResult:
+    """Run one spec to completion in the current process.
+
+    A fresh :class:`Telemetry` is created per spec (when enabled) so the
+    run's counters arrive as an isolated partial sum; the scheduler merges
+    partials in spec order, giving every jobs count the same float
+    summation grouping.
+    """
+    telemetry = Telemetry() if telemetry_enabled else None
+    workload = resolve_workload(spec.workload, scale=spec.scale)
+    options = spec.options_dict()
+    seed = seed_for(root_seed, spec)
+
+    if spec.kind == "witch":
+        run = run_witch(
+            workload, tool=spec.tool, seed=seed, telemetry=telemetry, **options
+        )
+        payload: Dict[str, Any] = {"report": run.report.to_dict()}
+    elif spec.kind == "exhaustive":
+        run = run_exhaustive(
+            workload, tools=spec.tools or ("deadspy", "redspy", "loadspy"),
+            telemetry=telemetry,
+        )
+        payload = {
+            "reports": {name: report.to_dict() for name, report in run.reports.items()}
+        }
+    elif spec.kind == "native":
+        native = run_native(workload, telemetry=telemetry)
+        payload = {"native_cycles": native.native_cycles}
+    elif spec.kind == "witch_overhead":
+        from repro.analysis.overhead import (
+            PAPER_LOAD_PERIOD,
+            PAPER_STORE_PERIOD,
+            witch_overhead,
+        )
+
+        benchmark = options.pop("benchmark", spec.workload)
+        footprint_mb = options.pop("footprint_mb", 100.0)
+        paper_period = options.pop("paper_period", None)
+        if paper_period is None:
+            paper_period = (
+                PAPER_LOAD_PERIOD if spec.tool == "loadcraft" else PAPER_STORE_PERIOD
+            )
+        result = witch_overhead(
+            workload, spec.tool, benchmark, footprint_mb, paper_period,
+            seed=seed, **options,
+        )
+        payload = {"overhead": dataclasses.asdict(result)}
+    elif spec.kind == "exhaustive_overhead":
+        from repro.analysis.overhead import exhaustive_overhead
+
+        result = exhaustive_overhead(
+            workload,
+            spec.tool,
+            options.pop("benchmark", spec.workload),
+            options.pop("footprint_mb", 100.0),
+        )
+        payload = {"overhead": dataclasses.asdict(result)}
+    else:
+        raise ValueError(f"unknown spec kind {spec.kind!r}")
+
+    return RunResult(
+        spec=spec,
+        payload=payload,
+        snapshot=telemetry.snapshot() if telemetry is not None else None,
+    )
+
+
+#: Chunk outcome rows: ("ok", index, RunResult) or ("error", index, message, traceback).
+Outcome = Tuple
+
+
+def run_chunk(
+    chunk: Sequence[Tuple[int, RunSpec]],
+    root_seed: int,
+    telemetry_enabled: bool,
+    worker: Optional[WorkerFn] = None,
+) -> List[Outcome]:
+    """The pool entry point: execute a chunk of indexed specs.
+
+    One failing spec never takes its chunk-mates down -- each spec's
+    exception is caught and shipped back as a structured ``"error"`` row
+    so the scheduler can retry or report it individually.
+    """
+    execute = worker if worker is not None else execute_spec
+    outcomes: List[Outcome] = []
+    for index, spec in chunk:
+        try:
+            result = execute(spec, root_seed, telemetry_enabled)
+            result.index = index
+            outcomes.append(("ok", index, result))
+        except Exception as error:  # noqa: BLE001 - shipped back, not swallowed
+            outcomes.append(
+                (
+                    "error",
+                    index,
+                    f"{type(error).__name__}: {error}",
+                    traceback.format_exc(),
+                )
+            )
+    return outcomes

@@ -109,6 +109,40 @@ class Telemetry:
         }
         return payload
 
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another run's :meth:`snapshot` into this telemetry.
+
+        The deterministic-merge contract for parallel experiment runs:
+
+        - **counters** add (per-name partial sums, in the snapshot's
+          sorted-name order -- float summation order is part of the
+          contract, so serial and sharded runs group identically);
+        - **gauges** take the merged snapshot's last value and the max of
+          the high-water marks;
+        - **histograms** add bucket-wise (exact: bucketing is a pure
+          function of each observation);
+        - **span totals** add per name (interval records are not
+          transferable across clocks, so they stay behind);
+        - **event counts** are absorbed -- exact accounting, truncated
+          timeline, the ring's usual stance.
+        """
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError("not a telemetry snapshot")
+        if snapshot.get("enabled") is False:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.metrics.counter(name).inc(value)
+        for name, payload in snapshot.get("gauges", {}).items():
+            gauge = self.metrics.gauge(name)
+            gauge.value = payload["value"]
+            if payload["max"] > gauge.max:
+                gauge.max = payload["max"]
+        for name, payload in snapshot.get("histograms", {}).items():
+            self.metrics.histogram(name).merge_dict(payload)
+        for name, payload in snapshot.get("spans", {}).items():
+            self.spans.merge(name, int(payload["count"]), float(payload["total_ns"]))
+        self.events.absorb(int(snapshot.get("events", {}).get("emitted", 0)))
+
     def render_table(self) -> str:
         """The metrics table + phase-span breakdown as fixed-width text."""
         rows = self.metrics.render_rows()

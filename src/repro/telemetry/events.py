@@ -71,6 +71,16 @@ class EventRing:
     def dropped(self) -> int:
         return self.emitted - len(self._ring)
 
+    def absorb(self, emitted: int) -> None:
+        """Account for events emitted on another ring (a child run).
+
+        The events themselves are not transferable -- their timestamps
+        belong to another clock -- so merging keeps the *count* exact
+        while the absorbed events read as dropped from this timeline,
+        matching the ring's usual bounds-memory-not-accounting stance.
+        """
+        self.emitted += emitted
+
     def __len__(self) -> int:
         return len(self._ring)
 

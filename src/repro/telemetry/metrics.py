@@ -99,6 +99,28 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_dict(self, payload: Dict[str, object]) -> None:
+        """Fold another histogram's :meth:`to_dict` payload into this one.
+
+        Bucket-wise addition is exact (the log2 bucketing is a pure
+        function of each observed value), so merging per-worker histograms
+        yields the histogram a single serial run would have produced.
+        """
+        count = int(payload.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(payload.get("total", 0.0))
+        other_min = payload.get("min")
+        if other_min is not None and (self.min is None or other_min < self.min):
+            self.min = other_min
+        other_max = payload.get("max")
+        if other_max is not None and (self.max is None or other_max > self.max):
+            self.max = other_max
+        for bucket, n in payload.get("buckets", {}).items():
+            key = int(bucket)
+            self.buckets[key] = self.buckets.get(key, 0) + int(n)
+
     def to_dict(self) -> Dict[str, object]:
         return {
             "count": self.count,

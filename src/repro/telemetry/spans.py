@@ -96,6 +96,22 @@ class SpanTracker:
             else:
                 self.dropped_records += 1
 
+    def merge(self, name: str, count: int, total_ns: float) -> None:
+        """Fold an externally measured ``(count, total_ns)`` aggregate in.
+
+        Used when merging a child run's telemetry snapshot: the child's
+        per-name span totals accumulate here exactly as if the spans had
+        been timed on this tracker.  Individual interval records are not
+        transferable (they belong to another clock), so merged time shows
+        up in :meth:`totals` only.
+        """
+        cell = self._totals.get(name)
+        if cell is None:
+            self._totals[name] = [count, float(total_ns)]
+        else:
+            cell[0] += count
+            cell[1] += total_ns
+
     def cell(self, name: str) -> List[float]:
         """The mutable ``[count, total_ns]`` aggregate for one span name.
 

@@ -149,16 +149,23 @@ def read_trace(path: PathLike) -> List[TraceRecord]:
         return [TraceRecord.from_json(line) for line in stream if line.strip()]
 
 
-def replay(records: Sequence[TraceRecord]):
-    """Build a workload that re-executes a recorded access stream.
+class TraceReplay:
+    """A workload that re-executes a recorded access stream.
 
     The replayed run is access-for-access identical: same addresses,
     values, contexts, threads, and ordering -- so any tool produces the
-    same findings it would have on the original execution.
+    same findings it would have on the original execution.  A plain class
+    (rather than a closure) so a replay workload pickles into a process
+    pool; records are frozen dataclasses of primitives.
     """
 
-    def workload(machine: Machine) -> None:
-        for record in records:
+    __slots__ = ("records",)
+
+    def __init__(self, records: Sequence[TraceRecord]) -> None:
+        self.records = tuple(records)
+
+    def __call__(self, machine: Machine) -> None:
+        for record in self.records:
             thread = machine.thread(record.thread_id)
             context = machine.tree.root
             for frame in record.frames:
@@ -187,9 +194,18 @@ def replay(records: Sequence[TraceRecord]):
                     record.is_float,
                 )
 
-    return workload
+    def __getstate__(self):
+        return self.records
+
+    def __setstate__(self, records) -> None:
+        self.records = records
 
 
-def replay_file(path: PathLike):
+def replay(records: Sequence[TraceRecord]) -> TraceReplay:
+    """Build a workload that re-executes a recorded access stream."""
+    return TraceReplay(records)
+
+
+def replay_file(path: PathLike) -> TraceReplay:
     """Convenience: :func:`replay` over :func:`read_trace`."""
     return replay(read_trace(path))

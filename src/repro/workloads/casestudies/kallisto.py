@@ -26,13 +26,24 @@ _PC_PROBE = "KmerHashTable.h:131"
 _EMPTY = 0  # key value marking a free slot
 
 
-#: The k-mer universe: genuinely random 31-bit keys, like real sequence
-#: data.  (Structured key sequences -- arithmetic or multiplicative --
-#: collide far less than random ones under ``key % capacity``, which would
-#: hide the clustering defect this case study is about.)
-_rng = _random.Random(42)
-_KMER_KEYS = sorted({_rng.randrange(1, 1 << 31) for _ in range(4096)})
-_rng.shuffle(_KMER_KEYS)
+def _make_kmer_keys() -> tuple:
+    """The k-mer universe: genuinely random 31-bit keys, like real sequence
+    data.  (Structured key sequences -- arithmetic or multiplicative --
+    collide far less than random ones under ``key % capacity``, which would
+    hide the clustering defect this case study is about.)
+
+    Built by a function-local, fixed-seed RNG and frozen into a tuple: no
+    module-level RNG object survives import, so a forked pool worker (or a
+    second import) cannot observe -- or perturb -- generator state, and
+    every process derives the identical key set.
+    """
+    rng = _random.Random(42)
+    keys = sorted({rng.randrange(1, 1 << 31) for _ in range(4096)})
+    rng.shuffle(keys)
+    return tuple(keys)
+
+
+_KMER_KEYS = _make_kmer_keys()
 
 
 def _kmer(i: int) -> int:

@@ -1,0 +1,79 @@
+"""The workload registry: CLI-style names resolved to runnable workloads.
+
+One name syntax serves the CLI, the parallel experiment runner, and the
+analysis sweeps:
+
+- ``spec:gcc`` (or bare ``gcc``) -- a synthetic SPEC suite benchmark;
+- ``micro:listing2`` -- one of the paper's microbenchmark kernels;
+- ``case:binutils-2.27`` / ``case:binutils-2.27:optimized`` -- a Table 3
+  case-study miniature (baseline or fixed variant);
+- ``trace:path/to/file`` -- replay of a recorded access trace.
+
+Names exist so a run can be *shipped to another process*: a
+:class:`repro.parallel.RunSpec` carries the name (a string) instead of
+the workload callable, and the worker resolves it locally.  Every
+workload this module returns is picklable anyway (plain functions or
+slotted callable objects), so passing them through a pool directly also
+works -- but the name is canonical, hashable, and diffable, which the
+deterministic seed derivation relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.execution.machine import Machine
+from repro.trace import replay_file
+from repro.workloads import microbench
+from repro.workloads.casestudies import CASE_STUDIES
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+Workload = Callable[[Machine], None]
+
+MICROBENCHES: Dict[str, Workload] = {
+    "listing1": microbench.listing1_gcc_program,
+    "listing2": microbench.listing2_program,
+    "listing3": microbench.listing3_program,
+    "figure2": microbench.figure2_program,
+    "adversary": microbench.adversary_program,
+}
+
+
+class UnknownWorkload(ValueError):
+    """The name does not resolve to any registered workload."""
+
+
+def resolve_workload(name: str, scale: float = 1.0) -> Workload:
+    """Turn a workload name into a runnable (and picklable) workload."""
+    if name.startswith("trace:"):
+        return replay_file(name[len("trace:"):])
+    if name.startswith("micro:"):
+        key = name[len("micro:"):]
+        if key not in MICROBENCHES:
+            raise UnknownWorkload(
+                f"unknown microbenchmark {key!r}; try: {', '.join(MICROBENCHES)}"
+            )
+        return MICROBENCHES[key]
+    if name.startswith("case:"):
+        rest = name[len("case:"):]
+        case_name, _, variant = rest.partition(":")
+        if case_name not in CASE_STUDIES:
+            raise UnknownWorkload(f"unknown case study {case_name!r}; see `repro list`")
+        case = CASE_STUDIES[case_name]
+        if variant in ("", "baseline"):
+            return case.baseline
+        if variant == "optimized":
+            return case.optimized
+        raise UnknownWorkload(f"unknown variant {variant!r}; use baseline or optimized")
+    key = name[len("spec:"):] if name.startswith("spec:") else name
+    if key in SPEC_SUITE:
+        return workload_for(SPEC_SUITE[key], scale=scale)
+    raise UnknownWorkload(f"unknown workload {name!r}; see `repro list`")
+
+
+def workload_names() -> Tuple[str, ...]:
+    """Every registered static name (traces are paths, so not listed)."""
+    names = [f"spec:{name}" for name in sorted(SPEC_SUITE)]
+    names.extend(f"micro:{name}" for name in sorted(MICROBENCHES))
+    names.extend(f"case:{name}" for name in sorted(CASE_STUDIES))
+    return tuple(names)

@@ -221,12 +221,42 @@ class _Churn:
         return steps
 
 
+class SpecWorkload:
+    """A benchmark spec bound to its kernel, as a picklable callable.
+
+    ``workload_for`` used to return a lambda closing over the scaled spec,
+    which a process pool cannot pickle; this object carries the same state
+    in a plain attribute, so run specs and pool workers can ship it (or,
+    canonically, rebuild it from the workload name).
+    """
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: BenchmarkSpec) -> None:
+        self.spec = spec
+
+    def __call__(self, machine: Machine) -> None:
+        if self.spec.special_kernel == "lbm":
+            _lbm_kernel(machine, self.spec)
+        else:
+            _generic_kernel(machine, self.spec)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpecWorkload({self.spec.name}, n_ops={self.spec.n_ops})"
+
+    def __getstate__(self):
+        return self.spec
+
+    def __setstate__(self, spec: BenchmarkSpec) -> None:
+        self.spec = spec
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SpecWorkload) and other.spec == self.spec
+
+
 def workload_for(spec: BenchmarkSpec, scale: float = 1.0) -> Workload:
     """Build the workload function for one benchmark spec."""
-    scaled = spec.scaled(scale)
-    if scaled.special_kernel == "lbm":
-        return lambda machine: _lbm_kernel(machine, scaled)
-    return lambda machine: _generic_kernel(machine, scaled)
+    return SpecWorkload(spec.scaled(scale))
 
 
 # --------------------------------------------------------------------------- generic kernel

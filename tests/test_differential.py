@@ -81,6 +81,63 @@ def test_craft_pairs_are_subset_of_spy_pairs(seed, craft):
     assert not missing, f"false-positive pairs: {sorted(missing)[:3]}"
 
 
+def pair_metrics(pairs):
+    """(watch path, trap path) -> (waste, use), zero-zero pairs dropped."""
+    table = {}
+    for (watch, trap), metrics in pairs:
+        if metrics.waste or metrics.use:
+            table[(watch.path(), trap.path())] = (metrics.waste, metrics.use)
+    return table
+
+
+class TestExactEquivalenceAtFullSampling:
+    """With sampling degraded to 'watch everything', craft == spy *exactly*.
+
+    period=1 samples every access; 64 debug registers never evict (the
+    reservoir INSTALLs whenever a slot is free, and traps disarm, so at
+    most one watchpoint per address is live).  Every armed watchpoint is
+    then claimed (pending == live), so the attribution amount collapses to
+    ``1 * 1 * overlap`` -- the same per-byte count the exhaustive shadow
+    state machines keep.  Any deviation, on any random program, means one
+    of the two independent implementations disagrees about what a
+    dead/silent/redundant access *is* -- so equality here is the strongest
+    cross-validation the pair admits, byte-for-byte, pair-for-pair.
+    """
+
+    PERIOD = 1
+    REGISTERS = 64  # >> SLOTS: no sample is ever turned away
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("craft", ["deadcraft", "silentcraft", "loadcraft"])
+    def test_pair_tables_match_exactly(self, seed, craft):
+        workload = random_program(seed + 500)
+        spy = GROUND_TRUTH_FOR[craft]
+        spy_run = run_exhaustive(workload, tools=(spy,))
+        craft_run = run_witch(
+            workload, tool=craft, period=self.PERIOD,
+            registers=self.REGISTERS, seed=seed,
+        )
+        craft_table = pair_metrics(craft_run.witch.pairs)
+        spy_table = pair_metrics(spy_run.reports[spy].pairs)
+        assert craft_table == spy_table, (
+            f"{craft} vs {spy} diverge on seed {seed + 500}: "
+            f"only-craft={sorted(set(craft_table) - set(spy_table))[:3]} "
+            f"only-spy={sorted(set(spy_table) - set(craft_table))[:3]}"
+        )
+
+    @pytest.mark.parametrize("seed", range(20))
+    @pytest.mark.parametrize("craft", ["deadcraft", "silentcraft", "loadcraft"])
+    def test_headline_fractions_match_exactly(self, seed, craft):
+        workload = random_program(seed + 500)
+        spy = GROUND_TRUTH_FOR[craft]
+        spy_run = run_exhaustive(workload, tools=(spy,))
+        craft_run = run_witch(
+            workload, tool=craft, period=self.PERIOD,
+            registers=self.REGISTERS, seed=seed,
+        )
+        assert craft_run.fraction == spy_run.fraction(spy), (craft, seed)
+
+
 @pytest.mark.parametrize("seed", range(6))
 def test_fractions_agree_within_sampling_noise(seed):
     workload = random_program(seed + 100)

@@ -19,6 +19,7 @@ def test_docs_directory_complete():
         "api.md",
         "casestudies.md",
         "observability.md",
+        "parallel.md",
     }
     assert {p.name for p in (ROOT / "docs").glob("*.md")} == expected
 

@@ -1,0 +1,360 @@
+"""The sharded runner's contract: parallel == serial, bit for bit.
+
+Three layers of coverage:
+
+1. **Determinism** -- `repro suite`/`repro compare` with ``--jobs 4``
+   print byte-identical stdout and byte-identical telemetry counters to
+   ``--jobs 1``; raw ``run_specs`` payloads (report dicts, floats and
+   all) are equal for any jobs/chunking combination.
+2. **Fault handling** -- injected worker failures (flaky, permanent,
+   hard crash, overlong) exercise the retry, BrokenProcessPool, and
+   timeout paths and the structured RunFailure report.
+3. **Pickling regressions** -- every registry workload must cross a
+   process boundary; the lambda/closure/module-RNG hazards fixed for the
+   pool stay fixed.
+"""
+
+import io
+import json
+import os
+import pathlib
+import pickle
+import random
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import InefficiencyReport
+from repro.harness import run_spec, run_witch
+from repro.parallel import (
+    RunSpec,
+    exhaustive_spec,
+    merge_reports,
+    merge_snapshots,
+    run_specs,
+    seed_for,
+    spec_key,
+    witch_spec,
+)
+from repro.parallel.worker import execute_spec
+from repro.telemetry import Telemetry
+from repro.trace import TraceRecord, replay
+from repro.workloads.registry import resolve_workload, workload_names
+from repro.workloads.spec import SPEC_SUITE, workload_for
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def _suite_specs(benchmarks=("gcc", "mcf"), scale=0.1, period=101):
+    specs = []
+    for name in benchmarks:
+        group = f"suite:{name}"
+        specs.append(exhaustive_spec(f"spec:{name}", scale=scale, group=group))
+        for craft in ("deadcraft", "silentcraft", "loadcraft"):
+            specs.append(
+                witch_spec(f"spec:{name}", craft, scale=scale, group=group,
+                           period=period)
+            )
+    return specs
+
+
+#: The snapshot sections covered by the determinism contract.  Spans are
+#: excluded wholesale: durations are wall-clock, and the scheduler adds
+#: its own ("parallel:dispatch" in pool mode, group spans inline).
+def deterministic_view(snapshot):
+    return {
+        "counters": snapshot["counters"],
+        "gauges": snapshot["gauges"],
+        "histograms": snapshot["histograms"],
+        "events_emitted": snapshot["events"]["emitted"],
+    }
+
+
+class TestDeterminism:
+    def test_run_specs_payloads_bit_identical_across_jobs(self):
+        specs = _suite_specs()
+        serial = run_specs(specs, root_seed=7, jobs=1)
+        parallel = run_specs(specs, root_seed=7, jobs=4)
+        assert serial.ok and parallel.ok
+        for left, right in zip(serial.results, parallel.results):
+            # Dict equality covers every float exactly -- no approx.
+            assert left.payload == right.payload
+
+    def test_run_specs_independent_of_chunk_size(self):
+        specs = _suite_specs(benchmarks=("gcc",))
+        byte_images = set()
+        for jobs, chunk_size in ((2, 1), (2, 4), (3, 2)):
+            batch = run_specs(specs, root_seed=3, jobs=jobs, chunk_size=chunk_size)
+            assert batch.ok
+            byte_images.add(json.dumps([r.payload for r in batch.results],
+                                       sort_keys=True))
+        assert len(byte_images) == 1
+
+    def test_merged_telemetry_counters_bit_identical_across_jobs(self):
+        specs = _suite_specs(benchmarks=("gcc",))
+        tm_serial, tm_parallel = Telemetry(), Telemetry()
+        assert run_specs(specs, root_seed=1, jobs=1, telemetry=tm_serial).ok
+        assert run_specs(specs, root_seed=1, jobs=4, telemetry=tm_parallel).ok
+        # Exact equality, not approx: the merge order fixes the float
+        # summation order, so even the float counters must match bit-wise.
+        assert (deterministic_view(tm_serial.snapshot())
+                == deterministic_view(tm_parallel.snapshot()))
+
+    def test_suite_cli_stdout_bit_identical_across_jobs(self):
+        code1, serial = run_cli("suite", "gcc", "mcf", "--scale", "0.1", "--jobs", "1")
+        code4, parallel = run_cli("suite", "gcc", "mcf", "--scale", "0.1", "--jobs", "4")
+        assert code1 == 0 and code4 == 0
+        assert serial == parallel
+
+    def test_suite_cli_telemetry_json_counters_identical(self, tmp_path):
+        snaps = {}
+        for jobs in (1, 4):
+            path = tmp_path / f"jobs{jobs}.json"
+            code, _ = run_cli("suite", "gcc", "--scale", "0.1",
+                              "--jobs", str(jobs), "--telemetry-json", str(path))
+            assert code == 0
+            snaps[jobs] = json.loads(path.read_text())
+        assert snaps[1]["counters"] == snaps[4]["counters"]
+        assert snaps[1]["histograms"] == snaps[4]["histograms"]
+        assert snaps[1]["gauges"] == snaps[4]["gauges"]
+        assert snaps[1]["events"]["emitted"] == snaps[4]["events"]["emitted"]
+
+    def test_compare_cli_stdout_bit_identical_across_jobs(self):
+        code1, serial = run_cli("compare", "micro:listing2", "--jobs", "1")
+        code2, parallel = run_cli("compare", "micro:listing2", "--jobs", "2")
+        assert code1 == 0 and code2 == 0
+        assert serial == parallel
+
+    def test_accuracy_numbers_identical_across_jobs(self):
+        specs = [
+            witch_spec("spec:mcf", "deadcraft", scale=0.2, period=101),
+            exhaustive_spec("spec:mcf", tools=("deadspy",), scale=0.2),
+        ]
+        fractions = set()
+        for jobs in (1, 2):
+            batch = run_specs(specs, root_seed=9, jobs=jobs)
+            assert batch.ok
+            sampled = batch.results[0].payload["report"]["redundancy_fraction"]
+            truth = batch.results[1].payload["reports"]["deadspy"]["redundancy_fraction"]
+            fractions.add((sampled, truth))
+        assert len(fractions) == 1
+
+
+class TestSeedDerivation:
+    def test_seed_is_pure_function_of_root_and_spec(self):
+        spec = witch_spec("spec:gcc", "deadcraft", period=101)
+        assert seed_for(7, spec) == seed_for(7, witch_spec("spec:gcc", "deadcraft", period=101))
+        assert seed_for(7, spec) != seed_for(8, spec)
+
+    def test_every_behavioral_field_feeds_the_key(self):
+        base = witch_spec("spec:gcc", "deadcraft", period=101)
+        variants = [
+            witch_spec("spec:mcf", "deadcraft", period=101),
+            witch_spec("spec:gcc", "loadcraft", period=101),
+            witch_spec("spec:gcc", "deadcraft", period=103),
+            witch_spec("spec:gcc", "deadcraft", period=101, registers=2),
+            witch_spec("spec:gcc", "deadcraft", period=101, scale=0.5),
+            witch_spec("spec:gcc", "deadcraft", period=101, trial=1),
+        ]
+        keys = {spec_key(base)} | {spec_key(v) for v in variants}
+        assert len(keys) == 1 + len(variants)
+
+    def test_group_is_cosmetic_not_behavioral(self):
+        plain = witch_spec("spec:gcc", "deadcraft", period=101)
+        grouped = witch_spec("spec:gcc", "deadcraft", period=101, group="suite:gcc")
+        assert spec_key(plain) == spec_key(grouped)
+        assert seed_for(0, plain) == seed_for(0, grouped)
+
+    def test_harness_run_spec_matches_worker(self):
+        spec = witch_spec("micro:listing2", "deadcraft", period=31)
+        assert (run_spec(spec, root_seed=5).payload
+                == execute_spec(spec, 5, False).payload)
+
+    def test_non_primitive_option_is_rejected(self):
+        with pytest.raises(TypeError):
+            witch_spec("spec:gcc", "deadcraft", policy=object())
+
+
+# ---------------------------------------------------------------- fault paths
+# Injected workers must be module-level (pickled by reference into the
+# pool).  Attempt-dependent behavior goes through a flag directory
+# published via the environment -- fork inherits it.
+
+_FLAG_ENV = "REPRO_PARALLEL_TEST_DIR"
+
+
+def _flag_path(spec: RunSpec) -> pathlib.Path:
+    return pathlib.Path(os.environ[_FLAG_ENV]) / f"flag-{spec.trial}"
+
+
+def _flaky_worker(spec, root_seed, telemetry_enabled):
+    """Fails the first attempt per spec, succeeds after."""
+    flag = _flag_path(spec)
+    if not flag.exists():
+        flag.write_text("tried once")
+        raise RuntimeError("injected first-attempt failure")
+    return execute_spec(spec, root_seed, telemetry_enabled)
+
+
+def _always_failing_worker(spec, root_seed, telemetry_enabled):
+    if spec.trial == 7:
+        raise ValueError("injected permanent failure")
+    return execute_spec(spec, root_seed, telemetry_enabled)
+
+
+def _crashing_worker(spec, root_seed, telemetry_enabled):
+    os._exit(13)  # simulate a hard worker death (segfault/OOM-kill)
+
+
+def _slow_worker(spec, root_seed, telemetry_enabled):
+    if spec.trial == 1:
+        time.sleep(1.5)  # longer than the test's timeout, short enough to reap
+    return execute_spec(spec, root_seed, telemetry_enabled)
+
+
+def _tiny_specs(n=2):
+    return [
+        witch_spec("micro:listing2", "deadcraft", period=31, trial=trial)
+        for trial in range(n)
+    ]
+
+
+class TestFaultHandling:
+    def test_flaky_worker_is_retried_to_success(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_FLAG_ENV, str(tmp_path))
+        specs = _tiny_specs(3)
+        batch = run_specs(specs, jobs=2, worker=_flaky_worker, retries=2)
+        assert batch.ok, batch.failures
+        clean = run_specs(specs, jobs=1)
+        assert [r.payload for r in batch.results] == [r.payload for r in clean.results]
+
+    def test_flaky_worker_is_retried_to_success_inline(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_FLAG_ENV, str(tmp_path))
+        batch = run_specs(_tiny_specs(2), jobs=1, worker=_flaky_worker, retries=2)
+        assert batch.ok, batch.failures
+
+    def test_exhausted_retries_yield_structured_failure(self):
+        specs = _tiny_specs(2) + [
+            witch_spec("micro:listing2", "deadcraft", period=31, trial=7)
+        ]
+        batch = run_specs(specs, jobs=2, worker=_always_failing_worker, retries=1)
+        assert not batch.ok
+        assert len(batch.failures) == 1
+        failure = batch.failures[0]
+        assert failure.spec.trial == 7
+        assert failure.index == 2
+        assert failure.attempts == 2  # first try + one retry
+        assert "ValueError: injected permanent failure" in failure.error
+        assert "injected permanent failure" in failure.traceback
+        # The healthy specs still completed, in order.
+        assert batch.results[0] is not None and batch.results[1] is not None
+        assert batch.results[2] is None
+        with pytest.raises(RuntimeError, match="injected permanent failure"):
+            batch.raise_on_failure()
+
+    def test_worker_crash_breaks_pool_and_is_reported(self):
+        # Two specs so the pooled path runs (one spec short-circuits to
+        # inline, where os._exit would take the test process down with it).
+        batch = run_specs(_tiny_specs(2), jobs=2, worker=_crashing_worker, retries=1)
+        assert not batch.ok
+        assert len(batch.failures) == 2
+        for failure in batch.failures:
+            assert failure.attempts == 2
+            assert "BrokenProcessPool" in failure.error
+
+    def test_timeout_fails_slow_spec_and_keeps_fast_one(self):
+        specs = _tiny_specs(2)  # trial 1 sleeps 1.5s in _slow_worker
+        batch = run_specs(specs, jobs=2, worker=_slow_worker,
+                          timeout=0.4, retries=0, chunk_size=1)
+        slow = [f for f in batch.failures if f.spec.trial == 1]
+        assert slow and "timed out" in slow[0].error
+        assert batch.results[0] is not None  # the fast spec survived
+
+    def test_failure_render_names_the_spec(self):
+        batch = run_specs(_tiny_specs(1) + [
+            witch_spec("micro:listing2", "deadcraft", period=31, trial=7)
+        ], jobs=1, worker=_always_failing_worker, retries=0)
+        assert "deadcraft" in batch.failures[0].render()
+        assert "micro:listing2" in batch.failures[0].render()
+
+
+# ------------------------------------------------------------------- pickling
+class TestPicklingRegressions:
+    def test_every_registry_workload_pickles(self):
+        for name in workload_names():
+            workload = resolve_workload(name)
+            pickle.loads(pickle.dumps(workload))  # must not raise
+
+    def test_spec_workload_roundtrips_and_runs_identically(self):
+        workload = workload_for(SPEC_SUITE["gcc"], scale=0.1)
+        clone = pickle.loads(pickle.dumps(workload))
+        assert clone == workload
+        original = run_witch(workload, tool="deadcraft", period=101, seed=3)
+        replayed = run_witch(clone, tool="deadcraft", period=101, seed=3)
+        assert original.report.to_dict() == replayed.report.to_dict()
+
+    def test_trace_replay_workload_pickles(self):
+        records = [
+            TraceRecord(kind="store", address=64, length=8, pc="a.c:1",
+                        frames=("main",), data=(7).to_bytes(8, "little").hex()),
+            TraceRecord(kind="load", address=64, length=8, pc="a.c:2",
+                        frames=("main",)),
+        ]
+        workload = replay(records)
+        clone = pickle.loads(pickle.dumps(workload))
+        assert clone.records == workload.records
+
+    def test_kallisto_has_no_module_level_rng(self):
+        import repro.workloads.casestudies.kallisto as kallisto
+
+        leaked = [name for name, value in vars(kallisto).items()
+                  if isinstance(value, random.Random)]
+        assert not leaked, f"module-level RNG objects survive import: {leaked}"
+
+    def test_run_specs_ships_case_study_through_pool(self):
+        spec = witch_spec("case:kallisto-0.43", "loadcraft", period=97)
+        batch = run_specs([spec, spec], jobs=2, chunk_size=1)
+        assert batch.ok
+        assert batch.results[0].payload == batch.results[1].payload
+
+
+# --------------------------------------------------------------------- merge
+class TestMergers:
+    def test_merge_reports_unions_and_sums(self):
+        workload = resolve_workload("micro:listing2")
+        left = run_witch(workload, tool="deadcraft", period=31, seed=1).report
+        right = run_witch(workload, tool="deadcraft", period=31, seed=2).report
+        merged = merge_reports([left, right])
+        assert merged.samples == left.samples + right.samples
+        assert merged.traps == left.traps + right.traps
+        assert merged.pairs.total_waste() == pytest.approx(
+            left.pairs.total_waste() + right.pairs.total_waste()
+        )
+        # Accepts payload dicts too, with the same result.
+        again = merge_reports([left.to_dict(), right.to_dict()])
+        assert again.to_dict() == merged.to_dict()
+
+    def test_merge_reports_refuses_mixed_tools(self):
+        workload = resolve_workload("micro:listing2")
+        dead = run_witch(workload, tool="deadcraft", period=31).report
+        load = run_witch(workload, tool="loadcraft", period=31).report
+        with pytest.raises(ValueError, match="different tools"):
+            merge_reports([dead, load])
+
+    def test_merge_snapshots_sums_counters_and_events(self):
+        tm_a, tm_b = Telemetry(), Telemetry()
+        tm_a.count("x", 3)
+        tm_a.histogram("h").observe(4)
+        tm_a.emit("e")
+        tm_b.count("x", 5)
+        tm_b.histogram("h").observe(1000)
+        merged = merge_snapshots([tm_a.snapshot(), tm_b.snapshot()])
+        assert merged["counters"]["x"] == 8
+        assert merged["histograms"]["h"]["count"] == 2
+        assert merged["histograms"]["h"]["max"] == 1000
+        assert merged["events"]["emitted"] == 1

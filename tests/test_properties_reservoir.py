@@ -1,0 +1,145 @@
+"""Statistical property tests for the reservoir policy and seed derivation.
+
+The paper's correctness argument (section 5.4) rests on reservoir
+sampling giving every PMU sample the same N/k chance of holding a debug
+register at epoch end -- that is what makes trap counts proportional and
+the attribution unbiased.  The unit tests check single decisions; this
+file checks the *distribution*, driving the real
+:class:`~repro.core.reservoir.ReservoirPolicy` against the real
+:class:`~repro.hardware.debugreg.DebugRegisterFile` thousands of times
+and chi-square-testing per-sample survival against the uniform N/k law.
+
+No scipy in the image, so the chi-square critical value comes from the
+Wilson-Hilferty normal approximation -- accurate to a fraction of a
+percent at the degrees of freedom used here.
+
+Also here: injectivity of :func:`repro.parallel.seed_for` over a
+realistic experiment space, since shard independence relies on distinct
+specs drawing distinct RNG streams.
+"""
+
+import math
+import random
+
+from repro.core.reservoir import Action, ReservoirPolicy
+from repro.hardware.debugreg import DebugRegisterFile, TrapMode, Watchpoint
+from repro.parallel import seed_for, spec_key, witch_spec
+
+Z_999 = 3.0902  # Phi^{-1}(0.999)
+
+
+def chi_square_critical(dof: int, z: float = Z_999) -> float:
+    """Wilson-Hilferty upper critical value for chi-square at P(reject)=1e-3."""
+    term = 1.0 - 2.0 / (9.0 * dof) + z * math.sqrt(2.0 / (9.0 * dof))
+    return dof * term ** 3
+
+
+def survivors_of_epoch(registers: int, samples: int, rng: random.Random):
+    """Run one arm/replace epoch; return the sample indices still armed.
+
+    Drives the production policy against the production register file --
+    the identical sequence WitchFramework performs per sample, minus the
+    trap machinery (no client disarms mid-epoch).
+    """
+    regfile = DebugRegisterFile(count=registers)
+    policy = ReservoirPolicy()
+    for sample_index in range(samples):
+        watchpoint = Watchpoint(
+            address=64 * sample_index, length=8, mode=TrapMode.RW_TRAP,
+            payload=sample_index,
+        )
+        decision = policy.decide(regfile, rng)
+        if decision.action is Action.INSTALL:
+            regfile.arm(watchpoint, decision.slot)
+        elif decision.action is Action.REPLACE:
+            regfile.disarm(decision.slot)
+            regfile.arm(watchpoint, decision.slot)
+    return [regfile.get(slot).payload for slot in regfile.armed_slots()]
+
+
+class TestReservoirSurvivalLaw:
+    N = 4       # debug registers (the x86 count)
+    K = 20      # samples per epoch
+    TRIALS = 3000
+
+    def test_survival_is_uniform_n_over_k(self):
+        """Chi-square on per-sample survival counts vs the flat N/k law.
+
+        Each trial arms N of K samples; over TRIALS epochs each sample
+        index should survive TRIALS*N/K times.  Any bias -- early samples
+        protected, late samples favored (the classic naive-replacement
+        bug) -- inflates the statistic past the 99.9% critical value.
+        """
+        rng = random.Random(20181)
+        counts = [0] * self.K
+        for _ in range(self.TRIALS):
+            for index in survivors_of_epoch(self.N, self.K, rng):
+                counts[index] += 1
+        expected = self.TRIALS * self.N / self.K
+        statistic = sum((count - expected) ** 2 / expected for count in counts)
+        # Survivors within a trial are negatively correlated (exactly N of
+        # K survive), which shrinks the statistic relative to chi2(K-1);
+        # the upper-tail test is therefore conservative.
+        assert statistic < chi_square_critical(self.K - 1), (
+            f"survival counts {counts} deviate from uniform "
+            f"{expected:.0f}/index: chi2={statistic:.1f}"
+        )
+
+    def test_exactly_n_survive_when_oversubscribed(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            assert len(survivors_of_epoch(self.N, self.K, rng)) == self.N
+
+    def test_all_survive_when_undersubscribed(self):
+        """k <= N: every sample gets (and keeps) a register -- survival 1."""
+        rng = random.Random(7)
+        assert sorted(survivors_of_epoch(4, 3, rng)) == [0, 1, 2]
+        assert sorted(survivors_of_epoch(4, 4, rng)) == [0, 1, 2, 3]
+
+    def test_single_register_survival_matches_1_over_k(self):
+        """The N=1 marginal case, against a plain binomial 3-sigma band."""
+        rng = random.Random(11)
+        trials, k = 4000, 8
+        last_survivor = sum(
+            1 for _ in range(trials)
+            if survivors_of_epoch(1, k, rng) == [k - 1]
+        )
+        expected = trials / k
+        sigma = math.sqrt(trials * (1 / k) * (1 - 1 / k))
+        assert abs(last_survivor - expected) < 3.5 * sigma
+
+
+class TestSeedDerivationInjectivity:
+    def _experiment_space(self):
+        specs = []
+        for workload in ("spec:gcc", "spec:mcf", "spec:lbm", "micro:listing2"):
+            for tool in ("deadcraft", "silentcraft", "loadcraft"):
+                for period in (101, 211, 1009):
+                    for trial in range(6):
+                        specs.append(
+                            witch_spec(workload, tool, period=period, trial=trial)
+                        )
+        return specs
+
+    def test_spec_keys_distinct_over_experiment_space(self):
+        specs = self._experiment_space()
+        assert len({spec_key(spec) for spec in specs}) == len(specs)
+
+    def test_seeds_distinct_over_experiment_space(self):
+        """SHA-256-derived 64-bit seeds must not collide across the space
+        (a collision would silently correlate two 'independent' shards)."""
+        specs = self._experiment_space()
+        seeds = {seed_for(0, spec) for spec in specs}
+        assert len(seeds) == len(specs)
+        # ...and across root seeds, too.
+        for root in (1, 2**32, 2**63):
+            assert len({seed_for(root, spec) for spec in specs}) == len(specs)
+
+    def test_seed_fits_in_64_bits(self):
+        for spec in self._experiment_space()[:10]:
+            seed = seed_for(12345, spec)
+            assert 0 <= seed < 2**64
+
+    def test_seed_sensitive_to_root(self):
+        spec = witch_spec("spec:gcc", "deadcraft", period=101)
+        assert len({seed_for(root, spec) for root in range(64)}) == 64
