@@ -7,6 +7,8 @@
 - :mod:`repro.analysis.blindspot` -- section 4.1's blind-spot windows.
 - :mod:`repro.analysis.sweeps` -- period/register sweeps fanned out via
   :mod:`repro.parallel`.
+- :mod:`repro.analysis.robustness` -- accuracy vs injected fault rate
+  (graceful-degradation curves; see docs/robustness.md).
 """
 
 from repro.analysis.accuracy import (
@@ -27,6 +29,12 @@ from repro.analysis.overhead import (
     exhaustive_overhead,
     witch_overhead,
 )
+from repro.analysis.robustness import (
+    DEFAULT_RATES,
+    RobustnessPoint,
+    max_error_step,
+    robustness_sweep,
+)
 from repro.analysis.stability import StabilityResult, measure_stability
 from repro.analysis.sweeps import SweepPoint, sweep_periods, sweep_registers
 from repro.analysis.whatif import FixOpportunity, WhatIfResult, estimate_speedup
@@ -36,10 +44,12 @@ __all__ = [
     "AccuracyTable",
     "ConvergencePoint",
     "BlindspotResult",
+    "DEFAULT_RATES",
     "OverheadResult",
     "PAPER_LOAD_PERIOD",
     "PAPER_PERIOD_SWEEP",
     "PAPER_STORE_PERIOD",
+    "RobustnessPoint",
     "StabilityResult",
     "FixOpportunity",
     "SuiteOverheads",
@@ -50,10 +60,12 @@ __all__ = [
     "edit_distance",
     "estimate_speedup",
     "exhaustive_overhead",
+    "max_error_step",
     "measure_blindspot",
     "measure_convergence",
     "measure_stability",
     "pair_ranking",
+    "robustness_sweep",
     "sweep_periods",
     "sweep_registers",
 ]

@@ -1,0 +1,44 @@
+"""Crash-safe file writes: every artifact lands whole or not at all.
+
+A plain ``open(path, "w")`` truncates first and writes second, so a
+crash (or a SIGKILL from the chaos tests) between the two leaves a
+half-written report, trace, or journal behind -- worse than no file,
+because a resumed run would trust it.  Everything in this repo that
+persists results goes through these helpers instead: write the full
+payload to a same-directory temp file, flush + fsync it, then
+``os.replace`` onto the destination.  POSIX rename is atomic within a
+filesystem, so readers (including a resumed run) see either the old
+contents or the complete new contents, never a torn write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Replace ``path``'s contents with ``text`` atomically."""
+    directory = os.path.dirname(os.path.abspath(path))
+    descriptor, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(descriptor, "w") as stream:
+            stream.write(text)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_dump_json(path: str, payload: Any, indent: int = 1) -> None:
+    """Serialize ``payload`` to JSON and land it atomically at ``path``."""
+    atomic_write_text(path, json.dumps(payload, indent=indent))

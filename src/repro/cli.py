@@ -22,6 +22,12 @@ any of the three enables the telemetry subsystem for the run.
 runs out over N worker processes via :mod:`repro.parallel`.  Output is
 bit-identical for every N -- see docs/parallel.md for the contract.
 
+``profile``, ``compare``, and ``suite`` accept ``--faults SPEC`` /
+``--fault-seed N`` (deterministic hardware-fault injection) and
+``--journal FILE`` / ``--resume`` (crash-safe restart of interrupted
+runs); ``robustness`` sweeps accuracy against the fault rate.  See
+docs/robustness.md.
+
 Workload names: ``spec:gcc`` (or bare ``gcc``), ``micro:listing2``,
 ``case:binutils-2.27`` (``:optimized`` for the fixed variant), or
 ``trace:path/to/file``.
@@ -34,14 +40,18 @@ import sys
 from typing import Callable, List, Optional
 
 from repro.analysis.accuracy import compare_reports
+from repro.analysis.robustness import max_error_step, render_table, robustness_sweep
 from repro.core.report import InefficiencyReport
 from repro.core.view import render_topdown
 from repro.execution.machine import Machine
+from repro.faults import FaultSpec
 from repro.harness import GROUND_TRUTH_FOR, run_witch
 from repro.hardware.cpu import SimulatedCPU
 from repro.hardware.pmu import nearest_prime
 from repro.parallel import (
     BatchResult,
+    RunJournal,
+    RunResult,
     exhaustive_overhead_spec,
     exhaustive_spec,
     run_specs,
@@ -70,6 +80,42 @@ def resolve_workload(name: str, scale: float = 1.0) -> Workload:
     try:
         return _resolve_workload(name, scale=scale)
     except UnknownWorkload as error:
+        raise CLIError(str(error)) from error
+    except (OSError, ValueError) as error:
+        # trace:<path> that does not exist or is not a trace file.
+        raise CLIError(f"cannot load workload {name!r}: {error}") from error
+
+
+def _fault_options(args) -> dict:
+    """Validated fault kwargs for run_witch / witch_spec options.
+
+    Empty when ``--faults`` was not given, so fault-free spec keys (and
+    hence seeds and outputs) are byte-identical to builds without the
+    flag.
+    """
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return {}
+    try:
+        FaultSpec.parse(spec)  # fail fast with a friendly message
+    except ValueError as error:
+        raise CLIError(f"bad --faults spec: {error}") from error
+    options = {"faults": spec}
+    if getattr(args, "fault_seed", None) is not None:
+        options["fault_seed"] = args.fault_seed
+    return options
+
+
+def _open_journal(args) -> Optional[RunJournal]:
+    """The run's journal (from --journal), or None; validates --resume."""
+    path = getattr(args, "journal", None)
+    if getattr(args, "resume", False) and not path:
+        raise CLIError("--resume requires --journal FILE to resume from")
+    if not path:
+        return None
+    try:
+        return RunJournal(path, root_seed=args.seed)
+    except Exception as error:  # mismatched seed/format: user-facing
         raise CLIError(str(error)) from error
 
 
@@ -117,28 +163,54 @@ def _cmd_list(args, out) -> int:
 
 def _cmd_profile(args, out) -> int:
     workload = resolve_workload(args.workload, scale=args.scale)
-    telemetry = _telemetry_from_args(args)
-    run = run_witch(
-        workload,
-        tool=args.tool,
-        period=nearest_prime(args.period),
-        registers=args.registers,
-        seed=args.seed,
-        period_jitter=args.jitter,
-        telemetry=telemetry,
-    )
-    print(run.report.render(coverage=args.coverage), file=out)
+    fault_options = _fault_options(args)
+    journal = _open_journal(args)
+    pseudo = None
+    if journal is not None:
+        # The journal key captures everything that shapes this run; the
+        # journal header pins --seed, so a replayed report is exactly what
+        # rerunning would print.
+        pseudo = witch_spec(
+            args.workload, args.tool, scale=args.scale,
+            period=nearest_prime(args.period), registers=args.registers,
+            period_jitter=args.jitter, **fault_options,
+        )
+    telemetry = None
+    report = None
+    if args.resume and journal is not None:
+        replayed = journal.lookup(pseudo)
+        if replayed is not None:
+            report = InefficiencyReport.from_dict(replayed.payload["report"])
+            print(f"(resumed from {args.journal})", file=out)
+    if report is None:
+        telemetry = _telemetry_from_args(args)
+        run = run_witch(
+            workload,
+            tool=args.tool,
+            period=nearest_prime(args.period),
+            registers=args.registers,
+            seed=args.seed,
+            period_jitter=args.jitter,
+            telemetry=telemetry,
+            **fault_options,
+        )
+        report = run.report
+        if journal is not None:
+            journal.record(
+                pseudo, RunResult(spec=pseudo, payload={"report": report.to_dict()})
+            )
+    print(report.render(coverage=args.coverage), file=out)
     if args.view:
         print(file=out)
-        print(render_topdown(run.report), file=out)
+        print(render_topdown(report), file=out)
     if args.json:
-        run.report.save(args.json)
+        report.save(args.json)
         print(f"wrote {args.json}", file=out)
     if args.html:
         from repro.reporting import save_html
 
         save_html(
-            run.report, args.html, title=f"{args.tool} on {args.workload}",
+            report, args.html, title=f"{args.tool} on {args.workload}",
             telemetry=telemetry,
         )
         print(f"wrote {args.html}", file=out)
@@ -148,6 +220,8 @@ def _cmd_profile(args, out) -> int:
 
 def _cmd_compare(args, out) -> int:
     resolve_workload(args.workload, scale=args.scale)  # fail fast on bad names
+    fault_options = _fault_options(args)
+    journal = _open_journal(args)
     telemetry = _telemetry_from_args(args)
     spy_name = GROUND_TRUTH_FOR[args.tool]
     period = nearest_prime(args.period)
@@ -155,10 +229,12 @@ def _cmd_compare(args, out) -> int:
     # Four independent unit jobs: the accuracy pair plus both Table 1
     # overhead measurements (priced at the paper's operating point --
     # 5M stores / 10M loads; the dense simulated period measures cost
-    # structure, not production overhead).
+    # structure, not production overhead).  Faults apply to the sampling
+    # run only: the exhaustive tools never touch the PMU or the debug
+    # registers, so the ground truth stays the truth.
     specs = [
         witch_spec(args.workload, args.tool, scale=args.scale, group=group,
-                   period=period),
+                   period=period, **fault_options),
         exhaustive_spec(args.workload, tools=(spy_name,), scale=args.scale,
                         group=group),
         witch_overhead_spec(args.workload, args.tool, scale=args.scale,
@@ -167,7 +243,7 @@ def _cmd_compare(args, out) -> int:
                                  group=group),
     ]
     batch = run_specs(specs, root_seed=args.seed, jobs=args.jobs,
-                      telemetry=telemetry)
+                      telemetry=telemetry, journal=journal, resume=args.resume)
     _check_failures(batch)
     sampled = InefficiencyReport.from_dict(batch.results[0].payload["report"])
     exhaustive = InefficiencyReport.from_dict(
@@ -192,7 +268,10 @@ def _cmd_compare(args, out) -> int:
 
 def _cmd_casestudy(args, out) -> int:
     if args.name not in CASE_STUDIES:
-        raise CLIError(f"unknown case study {args.name!r}; see `repro list`")
+        raise CLIError(
+            f"unknown case study {args.name!r}; "
+            f"valid: {', '.join(CASE_STUDIES)}"
+        )
     result = run_case_study(CASE_STUDIES[args.name])
     print(result.render(), file=out)
     return 0
@@ -201,7 +280,7 @@ def _cmd_casestudy(args, out) -> int:
 _SUITE_CRAFTS = ("deadcraft", "silentcraft", "loadcraft")
 
 
-def suite_specs(names, scale: float, period: int):
+def suite_specs(names, scale: float, period: int, fault_options: Optional[dict] = None):
     """The suite's work list: per benchmark, one exhaustive run (all three
     spies share it) plus one run per craft -- four unit jobs, grouped."""
     specs = []
@@ -211,7 +290,7 @@ def suite_specs(names, scale: float, period: int):
         for craft in _SUITE_CRAFTS:
             specs.append(
                 witch_spec(f"spec:{name}", craft, scale=scale, group=group,
-                           period=period)
+                           period=period, **(fault_options or {}))
             )
     return specs
 
@@ -223,11 +302,17 @@ def _cmd_suite(args, out) -> int:
     names = args.benchmarks or list(QUICK_SUITE)
     for name in names:
         if name not in SPEC_SUITE:
-            raise CLIError(f"unknown suite benchmark {name!r}")
+            raise CLIError(
+                f"unknown suite benchmark {name!r}; "
+                f"valid: {', '.join(sorted(SPEC_SUITE))}"
+            )
+    fault_options = _fault_options(args)
+    journal = _open_journal(args)
     telemetry = _telemetry_from_args(args)
-    specs = suite_specs(names, scale=args.scale, period=nearest_prime(args.period))
+    specs = suite_specs(names, scale=args.scale, period=nearest_prime(args.period),
+                        fault_options=fault_options)
     batch = run_specs(specs, root_seed=args.seed, jobs=args.jobs,
-                      telemetry=telemetry)
+                      telemetry=telemetry, journal=journal, resume=args.resume)
     _check_failures(batch)
     print(f"{'benchmark':12s} {'dead':>13s} {'silent':>13s} {'load':>13s}   (craft/spy %)",
           file=out)
@@ -243,6 +328,40 @@ def _cmd_suite(args, out) -> int:
             )
         print(f"{name:12s} {cells[0]:>13s} {cells[1]:>13s} {cells[2]:>13s}", file=out)
     _finish_telemetry(telemetry, args, out)
+    return 0
+
+
+def _cmd_robustness(args, out) -> int:
+    """Sweep accuracy against injected fault rates (docs/robustness.md)."""
+    try:
+        rates = tuple(float(rate) for rate in args.rates.split(","))
+    except ValueError as error:
+        raise CLIError(f"bad --rates list: {error}") from error
+    mechanisms = tuple(
+        mechanism.strip() for mechanism in args.mechanisms.split(",") if mechanism.strip()
+    )
+    workloads = args.workloads or ["spec:gcc", "spec:mcf", "spec:lbm"]
+    for name in workloads:
+        resolve_workload(name, scale=args.scale)  # fail fast on bad names
+    try:
+        points = robustness_sweep(
+            workloads,
+            tool=args.tool,
+            rates=rates,
+            mechanisms=mechanisms,
+            period=nearest_prime(args.period),
+            scale=args.scale,
+            seed=args.seed,
+            fault_seed=args.fault_seed,
+        )
+    except ValueError as error:
+        raise CLIError(str(error)) from error
+    print(render_table(points), file=out)
+    print(
+        f"max error step between adjacent rates: "
+        f"{100 * max_error_step(points):.2f} points",
+        file=out,
+    )
     return 0
 
 
@@ -296,6 +415,22 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--scale", type=float, default=1.0, help="workload size multiplier")
         sub.add_argument("--seed", type=int, default=0)
 
+    def add_faults(sub):
+        sub.add_argument("--faults", metavar="SPEC",
+                         help="inject hardware faults, e.g. "
+                         "'drop=0.2,throttle=0.01:16,arm=0.1,trap_drop=0.05'")
+        sub.add_argument("--fault-seed", type=int, default=None,
+                         help="seed for the fault decision streams "
+                         "(default: --seed)")
+
+    def add_journal(sub):
+        sub.add_argument("--journal", metavar="FILE",
+                         help="journal completed runs to FILE (atomic, "
+                         "crash-safe)")
+        sub.add_argument("--resume", action="store_true",
+                         help="replay journaled runs instead of re-executing "
+                         "them (requires --journal)")
+
     def add_telemetry(sub, toggle: bool = True):
         if toggle:
             sub.add_argument("--telemetry", action="store_true",
@@ -321,6 +456,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="save a self-contained HTML report")
     add_common(profile)
     add_telemetry(profile)
+    add_faults(profile)
+    add_journal(profile)
     profile.set_defaults(run=_cmd_profile)
 
     compare = commands.add_parser("compare", help="craft vs. exhaustive ground truth")
@@ -331,6 +468,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker processes (results are identical for any value)")
     add_common(compare)
     add_telemetry(compare)
+    add_faults(compare)
+    add_journal(compare)
     compare.set_defaults(run=_cmd_compare)
 
     casestudy = commands.add_parser("casestudy", help="run one Table 3 case study")
@@ -346,7 +485,30 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--jobs", type=int, default=1,
                        help="worker processes (results are identical for any value)")
     add_telemetry(suite)
+    add_faults(suite)
+    add_journal(suite)
     suite.set_defaults(run=_cmd_suite)
+
+    robustness = commands.add_parser(
+        "robustness",
+        help="accuracy vs injected fault rate (graceful-degradation sweep)",
+    )
+    robustness.add_argument("workloads", nargs="*",
+                            help="workload names (default: spec:gcc spec:mcf spec:lbm)")
+    robustness.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR),
+                            default="deadcraft")
+    robustness.add_argument("--rates", default="0,0.1,0.2,0.3,0.4,0.5",
+                            help="comma-separated fault rates to sweep")
+    robustness.add_argument("--mechanisms", default="drop",
+                            help="comma-separated mechanisms to scale "
+                            "(drop, throttle, arm, trap_drop, spurious)")
+    robustness.add_argument("--period", type=int, default=31,
+                            help="sampling period (dense, for stable curves)")
+    robustness.add_argument("--fault-seed", type=int, default=None,
+                            help="seed for the fault decision streams "
+                            "(default: --seed)")
+    add_common(robustness)
+    robustness.set_defaults(run=_cmd_robustness)
 
     stats = commands.add_parser(
         "stats", help="run a workload under telemetry and render the metrics table"

@@ -34,9 +34,17 @@ class AttributionLedger:
         self._eta: Dict[Hashable, float] = {}
         self._armed_from: Dict[Hashable, int] = {}
 
-    def on_sample(self, context: Hashable) -> None:
-        """Every PMU sample bumps mu in its context, monitored or not."""
-        self._mu[context] = self._mu.get(context, 0.0) + 1.0
+    def on_sample(self, context: Hashable, weight: float = 1.0) -> None:
+        """Every PMU sample bumps mu in its context, monitored or not.
+
+        ``weight > 1`` credits the context with samples the kernel
+        reported lost (perf throttling drops the record but not the
+        count); the framework passes ``1 + pending_lost`` on the first
+        sample delivered after a drop window, which keeps mu -- and
+        hence every claim's ``(mu - eta) * P`` scaling -- calibrated to
+        the true event stream under fault injection.
+        """
+        self._mu[context] = self._mu.get(context, 0.0) + weight
 
     def on_arm(self, context: Hashable) -> None:
         self._armed_from[context] = self._armed_from.get(context, 0) + 1

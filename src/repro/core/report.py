@@ -9,8 +9,8 @@ target (killing/overwriting/re-loading) context stay associated --
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import IO, Any, Dict, List, Tuple, Union
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, List, Optional, Tuple, Union
 
 from repro.cct.pairs import ContextPairTable, synthetic_chain
 from repro.cct.tree import CallingContextTree
@@ -36,6 +36,10 @@ class InefficiencyReport:
     monitored: int = 0
     traps: int = 0
     period: int = 1
+    #: Fault-injection degradation facts (None on an ideal-hardware run;
+    #: the key is omitted from the serialized form so fault-free output
+    #: stays byte-identical to pre-fault-injection builds).
+    degradation: Optional[Dict[str, Any]] = field(default=None)
 
     @property
     def redundancy_fraction(self) -> float:
@@ -60,6 +64,15 @@ class InefficiencyReport:
         ]
         for chain, share in self.top_chains(coverage):
             lines.append(f"  {100 * share:5.1f}%  {chain}")
+        if self.degradation is not None:
+            d = self.degradation
+            lines.append(
+                f"  [degraded: faults={d.get('spec', '?')} "
+                f"pmu_dropped={d.get('pmu_dropped', 0)} "
+                f"arm_rejected={d.get('arm_rejected', 0)} "
+                f"traps_dropped={d.get('traps_dropped', 0)} "
+                f"spurious={d.get('spurious_traps', 0)}]"
+            )
         return "\n".join(lines)
 
     # ------------------------------------------------------------ persistence
@@ -76,7 +89,7 @@ class InefficiencyReport:
                     "events": metrics.events,
                 }
             )
-        return {
+        payload: Dict[str, Any] = {
             "format": "repro-report",
             "version": 1,
             "tool": self.tool,
@@ -87,6 +100,9 @@ class InefficiencyReport:
             "redundancy_fraction": self.redundancy_fraction,
             "pairs": pairs,
         }
+        if self.degradation is not None:
+            payload["degradation"] = dict(self.degradation)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "InefficiencyReport":
@@ -108,14 +124,16 @@ class InefficiencyReport:
             monitored=payload["monitored"],
             traps=payload["traps"],
             period=payload["period"],
+            degradation=payload.get("degradation"),
         )
 
     def save(self, path_or_stream: Union[str, IO[str]]) -> None:
         if hasattr(path_or_stream, "write"):
             json.dump(self.to_dict(), path_or_stream, indent=1)
         else:
-            with open(path_or_stream, "w") as stream:
-                json.dump(self.to_dict(), stream, indent=1)
+            from repro.atomicio import atomic_dump_json
+
+            atomic_dump_json(path_or_stream, self.to_dict())
 
     @classmethod
     def load(cls, path: str) -> "InefficiencyReport":

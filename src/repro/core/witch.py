@@ -22,15 +22,16 @@ from __future__ import annotations
 
 import logging
 import random
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.cct.pairs import ContextPairTable
 from repro.core.attribution import AttributionLedger, CountEachTrapOnce
 from repro.core.client import WitchClient
 from repro.core.report import InefficiencyReport
 from repro.core.reservoir import Action, ReplacementPolicy, ReservoirPolicy
+from repro.faults import FaultPlan
 from repro.hardware.cpu import SimulatedCPU
-from repro.hardware.debugreg import Watchpoint
+from repro.hardware.debugreg import DebugRegisterBusy, Watchpoint
 from repro.hardware.events import MemoryAccess
 from repro.hardware.pmu import PMU, PMUSample
 from repro.telemetry import NULL_TELEMETRY, Telemetry, live_or_none
@@ -83,6 +84,7 @@ class WitchFramework:
         max_watchpoint_bytes: Optional[int] = None,
         seed: int = 0,
         telemetry: Optional[Telemetry] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.cpu = cpu
         self.client = client
@@ -114,6 +116,18 @@ class WitchFramework:
         self.samples_handled = 0
         self.samples_monitored = 0
         self.traps_handled = 0
+
+        # Graceful-degradation state.  ``faults`` is the run's (optional)
+        # injection plan, shared with the CPU, PMUs, and register files.
+        # Dropped PMU samples arrive as count-only notifications (real
+        # perf reports lost-record counts too); they accumulate in
+        # ``_pending_lost`` until the next delivered sample credits them
+        # to its context's mu, keeping proportional attribution -- and so
+        # reported waste -- calibrated to the true event stream.
+        self.faults = faults
+        self.samples_dropped = 0
+        self.arm_rejections = 0
+        self._pending_lost = 0.0
 
         # ONE hoisted fast-path gate covers telemetry and debug logging.
         # One framework serves one run, so the decision is cached at
@@ -160,7 +174,19 @@ class WitchFramework:
             jitter=self.period_jitter,
             rng=random.Random(self.rng.randrange(1 << 30)),
             telemetry=self._tm,
+            faults=self.faults,
+            on_drop=self._note_dropped_sample,
         )
+
+    def _note_dropped_sample(self) -> None:
+        """A PMU overflow fired but its record was lost (fault injection).
+
+        No handler runs and no ledger cost is charged -- the kernel never
+        woke us -- but the loss is remembered so the next delivered
+        sample's mu credit covers it (see ``AttributionLedger.on_sample``).
+        """
+        self.samples_dropped += 1
+        self._pending_lost += 1.0
 
     def _policy(self, thread_id: int) -> ReplacementPolicy:
         policy = self._policies.get(thread_id)
@@ -189,7 +215,14 @@ class WitchFramework:
         self.samples_handled += 1
         if tm is not None:
             self._c_samples.inc()
-        self.attribution.on_sample(sample.access.context)
+        if self.faults is not None and self._pending_lost:
+            # Credit the samples the kernel reported lost since the last
+            # delivery to this context's mu (count-only loss reports carry
+            # no context of their own).
+            self.attribution.on_sample(sample.access.context, 1.0 + self._pending_lost)
+            self._pending_lost = 0.0
+        else:
+            self.attribution.on_sample(sample.access.context)
 
         request = self.client.on_sample(sample)
         if request is None:
@@ -239,7 +272,17 @@ class WitchFramework:
             payload=request.info,
             thread_id=thread_id,
         )
-        registers.arm(watchpoint, decision.slot)
+        try:
+            registers.arm(watchpoint, decision.slot)
+        except DebugRegisterBusy:
+            # perf_event_open raced an external agent for the register
+            # (EBUSY).  The attempt still cost a syscall; the slot's old
+            # occupant is already evicted -- exactly the state a real
+            # ptrace collision leaves behind.
+            self.arm_rejections += 1
+            ledger.charge_arm()
+            self._note_unmonitored()
+            return
         self.attribution.on_arm(request.info.context)
         ledger.charge_arm()
         self.samples_monitored += 1
@@ -335,6 +378,15 @@ class WitchFramework:
             return 0.0
         return self.max_unmonitored_streak / self.samples_handled
 
+    def degradation(self) -> Optional[Dict[str, Any]]:
+        """Fault-injection facts for the report; None on ideal hardware."""
+        if self.faults is None:
+            return None
+        facts = self.faults.snapshot()
+        facts["samples_delivered"] = self.samples_handled
+        facts["samples_lost_unattributed"] = self._pending_lost
+        return facts
+
     def report(self) -> InefficiencyReport:
         return InefficiencyReport(
             tool=self.client.name,
@@ -343,4 +395,5 @@ class WitchFramework:
             monitored=self.samples_monitored,
             traps=self.traps_handled,
             period=self.period,
+            degradation=self.degradation(),
         )

@@ -1,0 +1,42 @@
+"""Deterministic fault injection: the simulator's hostile-substrate mode.
+
+The real Witch (section 7) runs on imperfect hardware: Linux perf_events
+throttles interrupt storms and drops samples, the four x86 debug
+registers are shared with debuggers and ptrace-based tools (``perf_event_open``
+returns EBUSY when another agent holds one), and signal delivery can be
+delayed or coalesced so a watchpoint trap arrives late -- or not at all.
+The paper's accuracy numbers survive all of this; an idealized simulator
+cannot *test* that claim.
+
+This package makes every one of those failure modes injectable and --
+crucially -- **deterministic**:
+
+- a :class:`FaultSpec` names the failure rates (a frozen, picklable
+  value parsed from a compact ``"drop=0.2,arm=0.1"`` string, so it rides
+  inside a :class:`repro.parallel.RunSpec` as a plain option);
+- a :class:`FaultPlan` turns the spec plus a seed into concrete yes/no
+  decisions.  Decisions are *stateless hashes* of ``(seed, stream,
+  index)``, drawn only at **event points** that the scalar and batched
+  execution engines visit identically (PMU overflow delivery, watchpoint
+  trap dispatch, debug-register arming), which is what keeps a faulty
+  run bit-identical across ``access``/``access_run`` and across
+  ``jobs=N`` worker counts.
+
+With no plan attached (the default everywhere) the simulator's behavior
+and outputs are byte-for-byte what they were before this package
+existed.  See ``docs/robustness.md`` for the full fault model.
+"""
+
+from repro.faults.plan import (
+    FAULT_STREAMS,
+    FaultPlan,
+    FaultSpec,
+    build_fault_plan,
+)
+
+__all__ = [
+    "FAULT_STREAMS",
+    "FaultPlan",
+    "FaultSpec",
+    "build_fault_plan",
+]

@@ -1,0 +1,289 @@
+"""Fault specs and the deterministic decision engine behind them.
+
+Every decision a :class:`FaultPlan` makes is a pure function of
+``(seed, stream, event index)`` via an 8-byte keyed BLAKE2 hash -- no
+``random.Random`` state, no wall clock.  Three properties follow:
+
+1. **Path equivalence.**  Decision streams advance only at event points
+   the scalar and batched engines both visit (overflow deliveries, trap
+   dispatches, arm attempts), so the same plan produces the same fault
+   sequence whichever engine executes the run.
+2. **Schedule independence.**  A plan is created fresh per run from
+   ``(spec, seed)``; worker count, chunking, and retry order cannot
+   perturb it, so faulty runs stay bit-identical across ``jobs=N``.
+3. **Nested degradation.**  A decision fires iff its hash unit is below
+   the configured rate, so the drop set at rate 0.1 is a subset of the
+   drop set at rate 0.3 under the same seed -- common random numbers,
+   which is what makes ``analysis.robustness`` curves smooth instead of
+   re-rolling the noise at every sweep point.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Union
+
+#: Decision streams, one per fault mechanism.  The stream id is hashed
+#: alongside the event index, so mechanisms never share randomness even
+#: when they fire on the same event.
+FAULT_STREAMS: Dict[str, int] = {
+    "pmu_drop": 1,
+    "throttle": 2,
+    "arm": 3,
+    "trap_drop": 4,
+    "spurious": 5,
+}
+
+_RATE_FIELDS = ("drop", "throttle", "arm", "trap_drop", "spurious")
+_TWO_64 = float(2**64)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Failure rates for one run, as a frozen, picklable value.
+
+    Rates are probabilities in ``[0, 1]`` per *event*:
+
+    - ``drop`` -- a delivered PMU overflow is silently lost (the
+      perf_events "lost sample" record), decided per overflow.
+    - ``throttle`` -- a throttling window opens at this overflow; the
+      next ``throttle_len`` overflows (this one included) are all
+      dropped, modelling the kernel's interrupt-storm throttling.
+    - ``arm`` -- a debug-register contention window opens at this arm
+      attempt; ``arm_hold`` consecutive attempts (this one included)
+      fail EBUSY-style, as if an external agent (a debugger, another
+      ptrace tool) held the register.
+    - ``trap_drop`` -- one watchpoint trap delivery is lost (delayed
+      past coalescing), decided per dispatch; the watchpoint stays
+      armed, so a later overlapping access still traps.
+    - ``spurious`` -- an extra spurious trap is delivered alongside a
+      real dispatch (stale register state, another agent's watchpoint);
+      it costs handler time but carries nothing to record.
+    """
+
+    drop: float = 0.0
+    throttle: float = 0.0
+    throttle_len: int = 8
+    arm: float = 0.0
+    arm_hold: int = 1
+    trap_drop: float = 0.0
+    spurious: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate {name}={rate!r} must be in [0, 1]")
+        for name in ("throttle_len", "arm_hold"):
+            length = getattr(self, name)
+            if not isinstance(length, int) or length < 1:
+                raise ValueError(f"fault window {name}={length!r} must be an int >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any mechanism can actually fire."""
+        return any(getattr(self, name) > 0.0 for name in _RATE_FIELDS)
+
+    # ------------------------------------------------------------- strings
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse the compact CLI/spec-option form.
+
+        ``"drop=0.2,throttle=0.01:16,arm=0.1:4,trap_drop=0.05,spurious=0.05"``
+        -- comma-separated ``key=rate`` items; ``throttle`` and ``arm``
+        accept an optional ``:length`` window suffix.
+        """
+        values: Dict[str, Union[int, float]] = {}
+        for item in text.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or key not in _RATE_FIELDS:
+                raise ValueError(
+                    f"bad fault item {item!r}; expected key=rate with key in "
+                    f"{', '.join(_RATE_FIELDS)}"
+                )
+            value, sep, window = value.partition(":")
+            try:
+                values[key] = float(value)
+            except ValueError as error:
+                raise ValueError(f"bad fault rate in {item!r}") from error
+            if sep:
+                if key == "throttle":
+                    values["throttle_len"] = int(window)
+                elif key == "arm":
+                    values["arm_hold"] = int(window)
+                else:
+                    raise ValueError(f"{key} takes no :window suffix ({item!r})")
+        return cls(**values)
+
+    def to_string(self) -> str:
+        """The canonical compact form (round-trips through :meth:`parse`)."""
+        items = []
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if rate <= 0.0:
+                continue
+            item = f"{name}={rate!r}"
+            if name == "throttle" and self.throttle_len != 8:
+                item += f":{self.throttle_len}"
+            elif name == "arm" and self.arm_hold != 1:
+                item += f":{self.arm_hold}"
+            items.append(item)
+        return ",".join(items)
+
+    def to_dict(self) -> Dict[str, Union[int, float]]:
+        return {field.name: getattr(self, field.name) for field in fields(self)}
+
+
+class FaultPlan:
+    """The seeded decision engine one run consults at its event points.
+
+    Per-mechanism event indices advance monotonically as the run asks for
+    decisions; window state (throttle, arm contention) is keyed on those
+    indices, so replaying the same event sequence -- which both execution
+    engines and every worker count produce -- replays the same faults.
+    ``counts`` tallies what actually fired; it is authoritative for the
+    degradation report whether or not telemetry is enabled.
+    """
+
+    __slots__ = (
+        "spec",
+        "seed",
+        "counts",
+        "_key",
+        "_overflow_index",
+        "_throttle_until",
+        "_arm_index",
+        "_arm_until",
+        "_dispatch_index",
+    )
+
+    def __init__(self, spec: FaultSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.counts: Dict[str, int] = {
+            "pmu_dropped": 0,
+            "throttle_windows": 0,
+            "arm_rejected": 0,
+            "traps_dropped": 0,
+            "spurious_traps": 0,
+        }
+        self._key = hashlib.blake2b(
+            f"witch-faults:{seed}".encode("utf-8"), digest_size=16
+        ).digest()
+        self._overflow_index = 0
+        self._throttle_until = 0  # overflow index before which overflows drop
+        self._arm_index = 0
+        self._arm_until = 0  # arm-attempt index before which arms fail
+        self._dispatch_index = 0
+
+    def _unit(self, stream: int, index: int) -> float:
+        """A uniform [0, 1) draw, pure in (seed, stream, index)."""
+        digest = hashlib.blake2b(
+            stream.to_bytes(1, "big") + index.to_bytes(8, "big"),
+            digest_size=8,
+            key=self._key,
+        ).digest()
+        return int.from_bytes(digest, "big") / _TWO_64
+
+    # --------------------------------------------------------------- PMU
+    def pmu_overflow_dropped(self) -> bool:
+        """Decide the fate of one PMU overflow that is about to deliver."""
+        index = self._overflow_index
+        self._overflow_index = index + 1
+        spec = self.spec
+        dropped = False
+        if index < self._throttle_until:
+            dropped = True
+        elif spec.throttle and self._unit(FAULT_STREAMS["throttle"], index) < spec.throttle:
+            self._throttle_until = index + spec.throttle_len
+            self.counts["throttle_windows"] += 1
+            dropped = True
+        elif spec.drop and self._unit(FAULT_STREAMS["pmu_drop"], index) < spec.drop:
+            dropped = True
+        if dropped:
+            self.counts["pmu_dropped"] += 1
+        return dropped
+
+    # ------------------------------------------------------ debug registers
+    def arm_rejected(self) -> bool:
+        """Decide one debug-register arm attempt (EBUSY contention)."""
+        index = self._arm_index
+        self._arm_index = index + 1
+        spec = self.spec
+        rejected = False
+        if index < self._arm_until:
+            rejected = True
+        elif spec.arm and self._unit(FAULT_STREAMS["arm"], index) < spec.arm:
+            if spec.arm_hold > 1:
+                self._arm_until = index + spec.arm_hold
+            rejected = True
+        if rejected:
+            self.counts["arm_rejected"] += 1
+        return rejected
+
+    # --------------------------------------------------------------- traps
+    def trap_spurious(self) -> bool:
+        """Does an extra spurious trap ride along with this dispatch?"""
+        spec = self.spec
+        if not spec.spurious:
+            return False
+        fired = self._unit(FAULT_STREAMS["spurious"], self._dispatch_index) < spec.spurious
+        if fired:
+            self.counts["spurious_traps"] += 1
+        return fired
+
+    def trap_dropped(self) -> bool:
+        """Is this trap delivery lost (delayed past coalescing)?
+
+        Always advances the dispatch index -- call :meth:`trap_spurious`
+        first for the same dispatch, then this, exactly once each.
+        """
+        index = self._dispatch_index
+        self._dispatch_index = index + 1
+        spec = self.spec
+        if not spec.trap_drop:
+            return False
+        dropped = self._unit(FAULT_STREAMS["trap_drop"], index) < spec.trap_drop
+        if dropped:
+            self.counts["traps_dropped"] += 1
+        return dropped
+
+    # ------------------------------------------------------------- results
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready degradation facts for the run report."""
+        payload: Dict[str, object] = {
+            "spec": self.spec.to_string(),
+            "seed": self.seed,
+        }
+        payload.update(self.counts)
+        return payload
+
+
+def build_fault_plan(
+    faults: Union[FaultPlan, FaultSpec, str, None],
+    seed: int = 0,
+) -> Optional[FaultPlan]:
+    """Normalize the user-facing ``faults`` argument into a plan (or None).
+
+    Accepts a ready :class:`FaultPlan` (returned as-is, ``seed`` ignored),
+    a :class:`FaultSpec`, the compact string form, or None/empty.  A spec
+    whose rates are all zero yields None: the fault-free path must be the
+    *same code path* as never having asked for faults, which is what the
+    byte-for-byte differential tests pin down.
+    """
+    if faults is None:
+        return None
+    if isinstance(faults, FaultPlan):
+        return faults
+    if isinstance(faults, str):
+        if not faults.strip():
+            return None
+        faults = FaultSpec.parse(faults)
+    if not faults.enabled:
+        return None
+    return FaultPlan(faults, seed)

@@ -62,11 +62,21 @@ class SimulatedCPU:
         rng: Optional[random.Random] = None,
         batched: bool = True,
         telemetry=None,
+        faults=None,
     ) -> None:
         #: When False, :meth:`access_run` executes element by element
         #: through :meth:`access` -- the reference semantics the batched
         #: fast path is differentially tested against.
         self.batched = batched
+        if register_count < 1:
+            raise ValueError(
+                f"need at least one debug register per thread, got {register_count}"
+            )
+        #: Optional :class:`repro.faults.FaultPlan`.  Consulted only at
+        #: trap-dispatch time here (PMU drops live in the PMU, arm
+        #: rejections in the register file); None costs one identity test
+        #: per dispatched trap and nothing on the access fast path.
+        self.faults = faults
         #: The run's telemetry sink (the null object when none was given);
         #: the hoisted ``_tm`` gate is what the hot paths test.
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -79,6 +89,9 @@ class SimulatedCPU:
             self._c_samples = self._tm.counter("cpu.samples_delivered")
             self._h_skip = self._tm.histogram("cpu.batch_skip_length")
             self._s_run = self._tm.spans.cell("cpu.access_run")
+            if faults is not None:
+                self._c_traps_dropped = self._tm.counter("faults.traps_dropped")
+                self._c_spurious_injected = self._tm.counter("faults.spurious_traps")
         self.memory = SimulatedMemory()
         self.model = model or CostModel()
         self.ledger = CycleLedger(self.model)
@@ -125,7 +138,9 @@ class SimulatedCPU:
     def debug_registers(self, thread_id: int = 0) -> DebugRegisterFile:
         register_file = self._register_files.get(thread_id)
         if register_file is None:
-            register_file = DebugRegisterFile(self.register_count, telemetry=self._tm)
+            register_file = DebugRegisterFile(
+                self.register_count, telemetry=self._tm, faults=self.faults
+            )
             self._register_files[thread_id] = register_file
         return register_file
 
@@ -191,7 +206,23 @@ class SimulatedCPU:
         if self._trap_handler is not None:
             register_file = self._register_files.get(access.thread_id)
             if register_file is not None and register_file.armed_count:
+                faults = self.faults
                 for watchpoint, overlap in register_file.check(access):
+                    if faults is not None:
+                        # Two independent per-dispatch decisions: an extra
+                        # spurious trap riding along (handler wakes, finds
+                        # nothing -- charged, never delivered), and the
+                        # real delivery being lost to delayed/coalesced
+                        # signals (the watchpoint stays armed, so a later
+                        # overlapping access traps again).
+                        if faults.trap_spurious():
+                            self.ledger.charge_spurious_trap()
+                            if tm is not None:
+                                self._c_spurious_injected.value += 1
+                        if faults.trap_dropped():
+                            if tm is not None:
+                                self._c_traps_dropped.value += 1
+                            continue
                     if tm is not None:
                         self._c_traps.value += 1
                     self._trap_handler(access, watchpoint, overlap)

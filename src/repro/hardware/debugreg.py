@@ -24,6 +24,17 @@ from repro.telemetry import live_or_none
 X86_DEBUG_REGISTER_COUNT = 4
 
 
+class DebugRegisterBusy(RuntimeError):
+    """Arming failed: an external agent holds the register (EBUSY).
+
+    Debug registers are shared, globally contended hardware -- a debugger
+    or another ptrace-based tool can grab one between our disarm and our
+    arm, exactly as ``perf_event_open`` returning EBUSY reports on Linux.
+    Raised only when a fault plan injects contention; clients degrade by
+    treating the sample as unmonitored.
+    """
+
+
 class TrapMode(enum.Enum):
     """Conditions under which an armed watchpoint traps."""
 
@@ -62,10 +73,13 @@ class Watchpoint:
 class DebugRegisterFile:
     """A fixed-size set of watchpoint slots for one hardware thread."""
 
-    def __init__(self, count: int = X86_DEBUG_REGISTER_COUNT, telemetry=None) -> None:
+    def __init__(
+        self, count: int = X86_DEBUG_REGISTER_COUNT, telemetry=None, faults=None
+    ) -> None:
         if count < 1:
             raise ValueError(f"need at least one debug register, got {count}")
         self._slots: List[Optional[Watchpoint]] = [None] * count
+        self._faults = faults
         # Arms and disarms are orders of magnitude rarer than the per-access
         # check()/first_overlap() probes, which stay telemetry-free.
         self._tm = live_or_none(telemetry)
@@ -73,6 +87,7 @@ class DebugRegisterFile:
             self._c_arms = self._tm.counter("debugreg.arms")
             self._c_disarms = self._tm.counter("debugreg.disarms")
             self._g_occupancy = self._tm.gauge("debugreg.occupancy")
+            self._c_rejected = self._tm.counter("faults.arm_rejected")
 
     @property
     def count(self) -> int:
@@ -103,6 +118,12 @@ class DebugRegisterFile:
             slot = self.free_slot()
             if slot is None:
                 raise RuntimeError("all debug registers are armed; pick a victim slot")
+        if self._faults is not None and self._faults.arm_rejected():
+            if self._tm is not None:
+                self._c_rejected.inc()
+            raise DebugRegisterBusy(
+                f"debug register {slot} is held by an external agent (EBUSY)"
+            )
         watchpoint.slot = slot
         self._slots[slot] = watchpoint
         if self._tm is not None:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, Optional
+from typing import Callable, FrozenSet, Iterable, Optional
 
 from repro.hardware.events import AccessType, MemoryAccess
 from repro.telemetry import live_or_none
@@ -84,6 +84,8 @@ class PMU:
         jitter: int = 0,
         rng: Optional[random.Random] = None,
         telemetry=None,
+        faults=None,
+        on_drop: Optional[Callable[[], None]] = None,
     ) -> None:
         if period < 1:
             raise ValueError(f"sampling period must be positive, got {period}")
@@ -110,12 +112,22 @@ class PMU:
         self._deferred_for = 0  # >0: an overflow is waiting for a long-latency access
         self.events_seen = 0
         self.samples_taken = 0
+        #: Overflows whose sample was lost to an injected fault (perf
+        #: throttling / lost-record semantics).  Counter state still
+        #: advanced, so sampling cadence is unchanged -- only delivery.
+        self.samples_dropped = 0
+        self._faults = faults
+        #: Invoked once per dropped overflow: the kernel-visible "a sample
+        #: was lost" notification the framework's degradation accounting
+        #: hangs off (real perf reports lost/throttle counts too).
+        self._on_drop = on_drop
         # Telemetry probes live only on the rare overflow/deferral branches;
         # the common counting path never touches them.
         self._tm = live_or_none(telemetry)
         if self._tm is not None:
             self._c_overflows = self._tm.counter("pmu.overflows")
             self._c_shadow = self._tm.counter("pmu.shadow_deferred")
+            self._c_dropped = self._tm.counter("faults.pmu_dropped")
 
     def counts(self, access: MemoryAccess) -> bool:
         return access.kind in self.kinds
@@ -177,10 +189,7 @@ class PMU:
             self._deferred_for -= 1
             if access.long_latency or self._deferred_for == 0:
                 self._deferred_for = 0
-                self.samples_taken += 1
-                if self._tm is not None:
-                    self._c_overflows.inc()
-                return True
+                return self._deliver()
             return False
 
         self._counter += 1
@@ -199,6 +208,23 @@ class PMU:
             if self._tm is not None:
                 self._c_shadow.inc()
             return False
+        return self._deliver()
+
+    def _deliver(self) -> bool:
+        """Deliver one overflow -- unless an injected fault swallows it.
+
+        Counter and threshold state have already advanced identically
+        either way, so a dropped sample perturbs *delivery only*: the
+        next overflow lands exactly where it would have on ideal
+        hardware (how perf's lost-sample records behave).
+        """
+        if self._faults is not None and self._faults.pmu_overflow_dropped():
+            self.samples_dropped += 1
+            if self._tm is not None:
+                self._c_dropped.inc()
+            if self._on_drop is not None:
+                self._on_drop()
+            return False
         self.samples_taken += 1
         if self._tm is not None:
             self._c_overflows.inc()
@@ -210,3 +236,4 @@ class PMU:
         self._deferred_for = 0
         self.events_seen = 0
         self.samples_taken = 0
+        self.samples_dropped = 0

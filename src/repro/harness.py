@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.core.client import WitchClient
 from repro.core.deadcraft import DeadCraft
@@ -23,6 +23,7 @@ from repro.core.reservoir import ReplacementPolicy
 from repro.core.silentcraft import SilentCraft
 from repro.core.witch import WitchFramework
 from repro.execution.machine import Machine
+from repro.faults import FaultPlan, FaultSpec, build_fault_plan
 from repro.hardware.costmodel import CostModel
 from repro.hardware.cpu import SimulatedCPU
 from repro.instrument.deadspy import DeadSpy
@@ -55,7 +56,8 @@ def make_client(name: str, cpu: SimulatedCPU) -> WitchClient:
         return SilentCraft(cpu)
     if name == "loadcraft":
         return LoadCraft(cpu)
-    raise ValueError(f"unknown witchcraft tool {name!r}")
+    valid = ", ".join(sorted(GROUND_TRUTH_FOR))
+    raise ValueError(f"unknown witchcraft tool {name!r} (valid tools: {valid})")
 
 
 @dataclass
@@ -126,6 +128,8 @@ def run_witch(
     model: Optional[CostModel] = None,
     batched: bool = True,
     telemetry: Optional[Telemetry] = None,
+    faults: Union[FaultPlan, FaultSpec, str, None] = None,
+    fault_seed: Optional[int] = None,
 ) -> WitchRun:
     """Run ``workload`` under one witchcraft tool and return its findings.
 
@@ -137,7 +141,17 @@ def run_witch(
     ``telemetry`` threads one :class:`repro.telemetry.Telemetry` instance
     through the CPU, the framework, and the phase spans below; runs are
     bit-identical with or without it (see tests/test_telemetry.py).
+
+    ``faults`` turns on hostile-substrate mode: a fault spec string
+    (``"drop=0.2,arm=0.1"``), :class:`repro.faults.FaultSpec`, or a
+    prebuilt :class:`repro.faults.FaultPlan` injected into the PMU,
+    debug registers, and trap dispatch.  ``fault_seed`` keys the plan's
+    decision streams (defaults to ``seed``); the same spec + seed
+    reproduce the identical fault schedule.  ``faults=None`` (or an
+    all-zero spec) leaves every output byte-identical to a build without
+    fault injection.
     """
+    plan = build_fault_plan(faults, seed if fault_seed is None else fault_seed)
     tm = telemetry if telemetry is not None else NULL_TELEMETRY
     with tm.span(f"run_witch:{tool}"):
         with tm.span("setup"):
@@ -147,6 +161,7 @@ def run_witch(
                 rng=random.Random(seed),
                 batched=batched,
                 telemetry=telemetry,
+                faults=plan,
             )
             client = make_client(tool, cpu)
             witch = WitchFramework(
@@ -160,6 +175,7 @@ def run_witch(
                 max_watchpoint_bytes=max_watchpoint_bytes,
                 seed=seed,
                 telemetry=telemetry,
+                faults=plan,
             )
             machine = Machine(cpu)
         with tm.span("workload"):
@@ -202,7 +218,10 @@ def run_exhaustive(
         for name in tools:
             factory = _EXHAUSTIVE_FACTORIES.get(name)
             if factory is None:
-                raise ValueError(f"unknown exhaustive tool {name!r}")
+                valid = ", ".join(sorted(_EXHAUSTIVE_FACTORIES))
+                raise ValueError(
+                    f"unknown exhaustive tool {name!r} (valid tools: {valid})"
+                )
             instances[name] = factory(cpu)
         machine = Machine(cpu)
         with tm.span("workload"):

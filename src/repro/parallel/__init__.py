@@ -17,6 +17,7 @@ contract; the short version:
     'deadcraft'
 """
 
+from repro.parallel.journal import JournalMismatch, RunJournal
 from repro.parallel.merge import merge_accuracy_tables, merge_reports, merge_snapshots
 from repro.parallel.scheduler import (
     DEFAULT_RETRIES,
@@ -39,7 +40,9 @@ from repro.parallel.worker import RunResult, execute_spec, run_chunk
 __all__ = [
     "BatchResult",
     "DEFAULT_RETRIES",
+    "JournalMismatch",
     "RunFailure",
+    "RunJournal",
     "RunResult",
     "RunSpec",
     "execute_spec",

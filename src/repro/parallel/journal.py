@@ -1,0 +1,128 @@
+"""Write-ahead results journal: interrupted suites resume, bit-identically.
+
+A long sharded suite that dies at spec 900 of 1000 -- OOM kill, preempted
+node, Ctrl-C -- should not repeat the 900 finished runs.  The scheduler
+therefore journals every completed spec's :class:`~repro.parallel.worker.
+RunResult` as it lands, and ``run_specs(..., resume=True)`` replays
+journaled results instead of re-executing their specs.
+
+Correctness rests on two properties:
+
+1. **Results are replayable data.**  A ``RunResult`` payload is the
+   report/overhead *dict* (JSON round-trip exact: floats survive, pair
+   order is preserved, histogram buckets are string-keyed), and every
+   run's seed is :func:`~repro.parallel.spec.seed_for`, a pure function
+   of ``(root_seed, spec)``.  A replayed result is byte-for-byte the
+   result the rerun would have produced, so resume merges bit-identically
+   to an uninterrupted run -- the chaos test SIGKILLs workers mid-suite
+   and diffs the final artifacts to pin this down.
+2. **The journal itself cannot tear.**  Every append rewrites the whole
+   file through :func:`repro.atomicio.atomic_write_text` (temp file +
+   fsync + ``os.replace``), so a crash mid-append leaves the previous
+   complete journal, never a half-written line.  O(n) per append is the
+   price; journaled payloads are small and suites are hundreds of specs,
+   not millions.
+
+Entries are keyed by :func:`~repro.parallel.spec.spec_key`, so a journal
+recorded under one spec list resumes any batch containing those specs --
+ordering and worker count are irrelevant.  The header pins ``root_seed``:
+resuming under a different root seed would splice results computed from
+different RNG streams, so it is refused loudly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.atomicio import atomic_write_text
+from repro.parallel.spec import RunSpec, spec_key
+from repro.parallel.worker import RunResult
+
+_FORMAT = "repro-journal"
+_VERSION = 1
+
+
+class JournalMismatch(RuntimeError):
+    """The on-disk journal cannot serve this batch (wrong seed/format)."""
+
+
+class RunJournal:
+    """A spec-keyed store of completed run results, durable per append.
+
+    One instance serves one ``run_specs`` call; open it with the batch's
+    ``root_seed`` and the loader verifies any existing file was recorded
+    under the same seed.  ``record`` persists immediately (write-ahead:
+    the result is on disk before the scheduler merges it); ``lookup``
+    answers resume queries.
+    """
+
+    def __init__(self, path: str, root_seed: int = 0) -> None:
+        self.path = path
+        self.root_seed = root_seed
+        self._entries: Dict[str, Dict[str, Any]] = {}
+        self._load()
+
+    # ---------------------------------------------------------------- loading
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path) as stream:
+            lines = [line for line in stream.read().splitlines() if line.strip()]
+        if not lines:
+            return
+        header = json.loads(lines[0])
+        if header.get("format") != _FORMAT:
+            raise JournalMismatch(f"{self.path} is not a run journal")
+        if header.get("version") != _VERSION:
+            raise JournalMismatch(
+                f"{self.path} has unsupported journal version "
+                f"{header.get('version')!r}"
+            )
+        if header.get("root_seed") != self.root_seed:
+            raise JournalMismatch(
+                f"{self.path} was recorded under root_seed="
+                f"{header.get('root_seed')!r}; this batch uses "
+                f"root_seed={self.root_seed} -- resuming would splice runs "
+                "from different RNG streams"
+            )
+        for line in lines[1:]:
+            entry = json.loads(line)
+            self._entries[entry["key"]] = entry
+
+    # -------------------------------------------------------------- recording
+    def record(self, spec: RunSpec, result: RunResult) -> None:
+        """Persist one completed spec's result before it is merged."""
+        entry = {
+            "key": spec_key(spec),
+            "label": spec.label,
+            "payload": result.payload,
+            "snapshot": result.snapshot,
+        }
+        self._entries[entry["key"]] = entry
+        self._flush()
+
+    def _flush(self) -> None:
+        header = json.dumps(
+            {"format": _FORMAT, "version": _VERSION, "root_seed": self.root_seed}
+        )
+        lines = [header]
+        lines.extend(json.dumps(entry) for entry in self._entries.values())
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+
+    # --------------------------------------------------------------- querying
+    def lookup(self, spec: RunSpec) -> Optional[RunResult]:
+        """The journaled result for ``spec``, or None if not yet recorded."""
+        entry = self._entries.get(spec_key(spec))
+        if entry is None:
+            return None
+        return RunResult(
+            spec=spec, payload=entry["payload"], snapshot=entry["snapshot"]
+        )
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return spec_key(spec) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)

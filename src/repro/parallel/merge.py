@@ -69,6 +69,18 @@ def merge_reports(reports: Sequence[ReportLike]) -> InefficiencyReport:
         merged_payload["monitored"] += report.monitored
         merged_payload["traps"] += report.traps
         merged_payload["pairs"].extend(report.to_dict()["pairs"])
+        if report.degradation is not None:
+            # Count fields add across shards; spec/seed ride along from
+            # the first degraded shard (mixed fault configs keep their
+            # tallies but only one label).
+            merged = merged_payload.setdefault(
+                "degradation",
+                {key: report.degradation[key]
+                 for key in ("spec", "seed") if key in report.degradation},
+            )
+            for key, value in report.degradation.items():
+                if isinstance(value, (int, float)) and key != "seed":
+                    merged[key] = merged.get(key, 0) + value
     # from_dict re-interns contexts into one fresh CCT and *adds* metrics
     # for repeated pairs -- the union-with-summed-metrics semantics.
     return InefficiencyReport.from_dict(merged_payload)

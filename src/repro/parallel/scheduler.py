@@ -37,8 +37,9 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.parallel.journal import RunJournal
 from repro.parallel.spec import RunSpec
 from repro.parallel.worker import RunResult, WorkerFn, execute_spec, run_chunk
 from repro.telemetry import Telemetry, live_or_none
@@ -94,19 +95,43 @@ def run_specs(
     timeout: Optional[float] = None,
     retries: int = DEFAULT_RETRIES,
     worker: Optional[WorkerFn] = None,
+    journal: Union[RunJournal, str, None] = None,
+    resume: bool = False,
 ) -> BatchResult:
     """Execute every spec, serially or across ``jobs`` processes.
 
     ``worker`` substitutes the per-spec execution function (the fault-
     injection hook the scheduler tests use); it must be picklable for
     ``jobs > 1``.  ``timeout`` bounds one chunk's wall-clock seconds.
+
+    ``journal`` (a :class:`repro.parallel.RunJournal` or a path) persists
+    every completed spec's result atomically as it lands; ``resume=True``
+    replays journaled results instead of re-executing their specs, which
+    makes the batch restartable after a crash with artifacts bit-identical
+    to an uninterrupted run (see docs/robustness.md).
     """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if timeout is not None and timeout < 0:
+        raise ValueError(f"timeout must be >= 0 seconds, got {timeout}")
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal to resume from")
+    if isinstance(journal, str):
+        journal = RunJournal(journal, root_seed=root_seed)
     specs = list(specs)
+    if not specs:
+        # Fast path: nothing to do, no pool, no journal churn.
+        return BatchResult(specs=[], results=[], failures=[], jobs=jobs)
     tm = live_or_none(telemetry)
     if jobs <= 1 or len(specs) <= 1:
-        return _run_inline(specs, root_seed, tm, retries, worker)
+        return _run_inline(specs, root_seed, tm, retries, worker, journal, resume)
     return _run_pooled(
-        specs, root_seed, tm, jobs, chunk_size, timeout, retries, worker
+        specs, root_seed, tm, jobs, chunk_size, timeout, retries, worker,
+        journal, resume,
     )
 
 
@@ -117,6 +142,8 @@ def _run_inline(
     tm: Optional[Telemetry],
     retries: int,
     worker: Optional[WorkerFn],
+    journal: Optional[RunJournal] = None,
+    resume: bool = False,
 ) -> BatchResult:
     """The jobs=1 path: same worker function, same merge, no processes.
 
@@ -135,10 +162,21 @@ def _run_inline(
         span = tm.span(group) if (tm is not None and group) else nullcontext()
         with span:
             for index in range(position, end):
+                if resume:
+                    replayed = journal.lookup(specs[index])
+                    if replayed is not None:
+                        replayed.index = index
+                        results[index] = replayed
+                        _merge_result(tm, replayed)
+                        continue
                 outcome = _attempt(specs[index], index, root_seed, tm, retries, worker)
                 if isinstance(outcome, RunFailure):
                     failures.append(outcome)
                 else:
+                    if journal is not None:
+                        # Write-ahead: durable before it is merged, so a
+                        # crash after this point costs nothing on resume.
+                        journal.record(specs[index], outcome)
                     results[index] = outcome
                     _merge_result(tm, outcome)
         position = end
@@ -193,17 +231,31 @@ def _run_pooled(
     timeout: Optional[float],
     retries: int,
     worker: Optional[WorkerFn],
+    journal: Optional[RunJournal] = None,
+    resume: bool = False,
 ) -> BatchResult:
+    results: Dict[int, RunResult] = {}
+    indexed = list(enumerate(specs))
+    if resume:
+        # Journaled specs never reach the pool; their results replay from
+        # disk and join the deterministic spec-order merge below.
+        pending: List[Tuple[int, RunSpec]] = []
+        for index, spec in indexed:
+            replayed = journal.lookup(spec)
+            if replayed is not None:
+                replayed.index = index
+                results[index] = replayed
+            else:
+                pending.append((index, spec))
+        indexed = pending
     if chunk_size is None:
         # ~4 chunks per worker: large enough to amortize dispatch, small
         # enough that one slow chunk cannot idle the rest of the pool.
-        chunk_size = max(1, -(-len(specs) // (jobs * 4)))
-    indexed = list(enumerate(specs))
+        chunk_size = max(1, -(-(len(indexed) or 1) // (jobs * 4)))
     work: List[_Chunk] = [
         (0, indexed[start:start + chunk_size])
         for start in range(0, len(indexed), chunk_size)
     ]
-    results: Dict[int, RunResult] = {}
     failures: List[RunFailure] = []
     mp_context = _pool_context()
     enabled = tm is not None
@@ -229,7 +281,7 @@ def _run_pooled(
                             work.append(chunk)
                         else:
                             _absorb(harvested, attempts, retries, items,
-                                    results, failures, work)
+                                    results, failures, work, journal)
                         continue
                     try:
                         outcomes = future.result(timeout=timeout)
@@ -245,7 +297,7 @@ def _run_pooled(
                                 failures, work)
                         continue
                     _absorb(outcomes, attempts, retries, items,
-                            results, failures, work)
+                            results, failures, work, journal)
                 if abandon:
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
@@ -290,12 +342,17 @@ def _absorb(
     results: Dict[int, RunResult],
     failures: List[RunFailure],
     work: List[_Chunk],
+    journal: Optional[RunJournal] = None,
 ) -> None:
     """File a chunk's outcome rows: results land, errors retry or fail."""
     by_index = dict(items)
     for outcome in outcomes:
         if outcome[0] == "ok":
             _, index, result = outcome
+            if journal is not None:
+                # The journal lives in the scheduler's process; a result
+                # is durable the moment its chunk is harvested.
+                journal.record(by_index[index], result)
             results[index] = result
         else:
             _, index, message, trace = outcome

@@ -21,6 +21,7 @@ from __future__ import annotations
 import html
 from typing import Dict, List
 
+from repro.atomicio import atomic_write_text
 from repro.core.report import InefficiencyReport
 
 _PAGE = """<!DOCTYPE html>
@@ -213,5 +214,4 @@ def render_html(
 
 
 def save_html(report: InefficiencyReport, path: str, **kwargs) -> None:
-    with open(path, "w") as stream:
-        stream.write(render_html(report, **kwargs))
+    atomic_write_text(path, render_html(report, **kwargs))

@@ -225,16 +225,22 @@ class Telemetry:
         if hasattr(path_or_stream, "write"):
             self.events.to_jsonl(path_or_stream)
         else:
-            with open(path_or_stream, "w") as stream:
-                self.events.to_jsonl(stream)
+            import io
+
+            from repro.atomicio import atomic_write_text
+
+            buffer = io.StringIO()
+            self.events.to_jsonl(buffer)
+            atomic_write_text(path_or_stream, buffer.getvalue())
 
 
 def _dump_json(payload: Dict[str, Any], path_or_stream: Union[str, IO[str]]) -> None:
     if hasattr(path_or_stream, "write"):
         json.dump(payload, path_or_stream, indent=1)
     else:
-        with open(path_or_stream, "w") as stream:
-            json.dump(payload, stream, indent=1)
+        from repro.atomicio import atomic_dump_json
+
+        atomic_dump_json(path_or_stream, payload)
 
 
 class _NullMetric:

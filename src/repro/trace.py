@@ -123,8 +123,13 @@ class TraceRecorder:
         )
 
     def save(self, path: PathLike) -> None:
-        with open(path, "w") as stream:
-            write_trace(self.records, stream)
+        import io
+
+        from repro.atomicio import atomic_write_text
+
+        buffer = io.StringIO()
+        write_trace(self.records, buffer)
+        atomic_write_text(str(path), buffer.getvalue())
 
     def __len__(self) -> int:
         return len(self.records)

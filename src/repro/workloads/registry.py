@@ -58,7 +58,9 @@ def resolve_workload(name: str, scale: float = 1.0) -> Workload:
         rest = name[len("case:"):]
         case_name, _, variant = rest.partition(":")
         if case_name not in CASE_STUDIES:
-            raise UnknownWorkload(f"unknown case study {case_name!r}; see `repro list`")
+            raise UnknownWorkload(
+                f"unknown case study {case_name!r}; try: {', '.join(CASE_STUDIES)}"
+            )
         case = CASE_STUDIES[case_name]
         if variant in ("", "baseline"):
             return case.baseline
@@ -68,7 +70,10 @@ def resolve_workload(name: str, scale: float = 1.0) -> Workload:
     key = name[len("spec:"):] if name.startswith("spec:") else name
     if key in SPEC_SUITE:
         return workload_for(SPEC_SUITE[key], scale=scale)
-    raise UnknownWorkload(f"unknown workload {name!r}; see `repro list`")
+    raise UnknownWorkload(
+        f"unknown workload {name!r}; valid: {', '.join(workload_names())}, "
+        "or trace:<path>"
+    )
 
 
 def workload_names() -> Tuple[str, ...]:

@@ -20,6 +20,7 @@ def test_docs_directory_complete():
         "casestudies.md",
         "observability.md",
         "parallel.md",
+        "robustness.md",
     }
     assert {p.name for p in (ROOT / "docs").glob("*.md")} == expected
 

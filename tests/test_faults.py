@@ -1,0 +1,295 @@
+"""Fault injection: deterministic plans, engine equivalence, degradation.
+
+The layer's three contracts, pinned in order:
+
+1. **The plan is pure data + a pure function.**  Same (spec, seed) ->
+   same decision stream, nested across rates (common random numbers),
+   independent of which execution engine asks.
+2. **Faults off is byte-for-byte off.**  ``faults=None``, ``""``, and an
+   all-zero spec produce output identical to a build that never heard of
+   fault injection.
+3. **Degradation is graceful and accounted.**  Dropped samples are
+   credited to mu, every injected fault shows up in the report's
+   degradation section and the telemetry counters, and the scalar and
+   batched engines agree bit-for-bit under any plan.
+"""
+
+import json
+
+import pytest
+
+from repro.core.witch import WitchFramework
+from repro.faults import FaultPlan, FaultSpec, build_fault_plan
+from repro.harness import make_client, run_witch
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.debugreg import DebugRegisterBusy, DebugRegisterFile, TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.pmu import PMU
+from repro.parallel import merge_reports
+from repro.telemetry import Telemetry
+from repro.workloads.registry import resolve_workload
+
+
+def _access(i=0, store=True):
+    return MemoryAccess(
+        AccessType.STORE if store else AccessType.LOAD, 64 + 8 * i, 8, "a.c:1", "ctx"
+    )
+
+
+# ------------------------------------------------------------------- FaultSpec
+class TestFaultSpec:
+    def test_parse_round_trips_through_to_string(self):
+        text = "drop=0.2,throttle=0.01:16,arm=0.1:4,trap_drop=0.05,spurious=0.05"
+        spec = FaultSpec.parse(text)
+        assert spec.drop == 0.2
+        assert spec.throttle == 0.01 and spec.throttle_len == 16
+        assert spec.arm == 0.1 and spec.arm_hold == 4
+        assert FaultSpec.parse(spec.to_string()) == spec
+
+    def test_default_windows_stay_out_of_the_canonical_string(self):
+        assert FaultSpec(drop=0.5).to_string() == "drop=0.5"
+
+    @pytest.mark.parametrize("bad", [
+        "drop=1.5",          # rate out of range
+        "nosuch=0.1",        # unknown mechanism
+        "drop",              # missing =rate
+        "drop=abc",          # unparsable rate
+        "drop=0.1:4",        # window suffix on a windowless mechanism
+        "throttle=0.1:0",    # window must be >= 1
+    ])
+    def test_bad_specs_are_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultSpec.parse(bad)
+
+    def test_enabled_reflects_any_positive_rate(self):
+        assert not FaultSpec().enabled
+        assert not FaultSpec(drop=0.0, throttle_len=16).enabled
+        assert FaultSpec(spurious=0.01).enabled
+
+    def test_build_fault_plan_normalizes_every_accepted_form(self):
+        assert build_fault_plan(None) is None
+        assert build_fault_plan("") is None
+        assert build_fault_plan("drop=0.0") is None  # all-zero == off
+        assert build_fault_plan(FaultSpec()) is None
+        plan = build_fault_plan("drop=0.3", seed=5)
+        assert isinstance(plan, FaultPlan) and plan.seed == 5
+        assert build_fault_plan(plan, seed=99) is plan  # passthrough
+
+
+# ------------------------------------------------------------------- FaultPlan
+class TestFaultPlan:
+    def test_decisions_are_pure_in_seed_and_index(self):
+        spec = FaultSpec(drop=0.3, arm=0.2, trap_drop=0.2, spurious=0.2)
+        a, b = FaultPlan(spec, seed=4), FaultPlan(spec, seed=4)
+        for _ in range(200):
+            assert a.pmu_overflow_dropped() == b.pmu_overflow_dropped()
+            assert a.arm_rejected() == b.arm_rejected()
+            assert a.trap_spurious() == b.trap_spurious()
+            assert a.trap_dropped() == b.trap_dropped()
+        assert a.counts == b.counts
+
+    def test_different_seeds_give_different_streams(self):
+        spec = FaultSpec(drop=0.5)
+        a = [FaultPlan(spec, seed=1).pmu_overflow_dropped() for _ in range(1)]
+        stream = lambda seed: [
+            plan.pmu_overflow_dropped()
+            for plan in [FaultPlan(spec, seed)]
+            for _ in range(64)
+        ]
+        assert stream(1) != stream(2)
+
+    def test_drop_sets_nest_across_rates(self):
+        # Common random numbers: rate 0.1's drops are a subset of 0.4's.
+        def drops(rate):
+            plan = FaultPlan(FaultSpec(drop=rate), seed=9)
+            return {i for i in range(500) if plan.pmu_overflow_dropped()}
+
+        low, high = drops(0.1), drops(0.4)
+        assert low and low < high
+
+    def test_throttle_window_drops_consecutive_overflows(self):
+        plan = FaultPlan(FaultSpec(throttle=1.0, throttle_len=5), seed=0)
+        assert all(plan.pmu_overflow_dropped() for _ in range(20))
+        plan = FaultPlan(FaultSpec(throttle=0.05, throttle_len=5), seed=3)
+        fates = [plan.pmu_overflow_dropped() for _ in range(2000)]
+        assert plan.counts["throttle_windows"] >= 1
+        # Every opened window drops at least throttle_len in a row
+        # (windows may overlap, extending the run).
+        runs, current = [], 0
+        for dropped in fates:
+            if dropped:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs and max(runs) >= 5
+
+    def test_arm_hold_rejects_consecutive_attempts(self):
+        plan = FaultPlan(FaultSpec(arm=0.05, arm_hold=4), seed=2)
+        fates = [plan.arm_rejected() for _ in range(2000)]
+        runs, current = [], 0
+        for rejected in fates:
+            current = current + 1 if rejected else 0
+            runs.append(current)
+        assert max(runs) >= 4
+        assert plan.counts["arm_rejected"] == sum(fates)
+
+    def test_counts_tally_every_mechanism(self):
+        plan = FaultPlan(
+            FaultSpec(drop=0.5, arm=0.5, trap_drop=0.5, spurious=0.5), seed=7
+        )
+        for _ in range(300):
+            plan.pmu_overflow_dropped()
+            plan.arm_rejected()
+            plan.trap_spurious()
+            plan.trap_dropped()
+        snapshot = plan.snapshot()
+        for key in ("pmu_dropped", "arm_rejected", "traps_dropped", "spurious_traps"):
+            assert snapshot[key] > 0
+        assert snapshot["spec"] == plan.spec.to_string()
+        assert snapshot["seed"] == 7
+
+
+# ------------------------------------------------------------- hardware hooks
+class TestHardwareHooks:
+    def test_pmu_drop_preserves_sampling_cadence(self):
+        # Dropping delivery must not move later overflows: the counter
+        # advanced either way (perf lost-record semantics).
+        ideal = PMU(period=10)
+        faulty = PMU(period=10, faults=FaultPlan(FaultSpec(drop=0.5), seed=1))
+        ideal_hits = [i for i in range(200) if ideal.observe(_access(i))]
+        faulty_hits = []
+        for i in range(200):
+            if faulty.observe(_access(i)):
+                faulty_hits.append(i)
+        assert faulty.samples_taken + faulty.samples_dropped == ideal.samples_taken
+        assert set(faulty_hits) <= set(ideal_hits)
+        assert faulty.samples_dropped > 0
+
+    def test_pmu_on_drop_callback_fires_per_drop(self):
+        drops = []
+        pmu = PMU(period=5, faults=FaultPlan(FaultSpec(drop=1.0), seed=0),
+                  on_drop=lambda: drops.append(1))
+        for i in range(50):
+            assert not pmu.observe(_access(i))
+        assert len(drops) == pmu.samples_dropped == 10
+
+    def test_arm_rejection_raises_ebusy(self):
+        registers = DebugRegisterFile(
+            4, faults=FaultPlan(FaultSpec(arm=1.0), seed=0)
+        )
+        with pytest.raises(DebugRegisterBusy):
+            registers.arm(Watchpoint(64, 8, TrapMode.W_TRAP))
+        assert registers.armed_count == 0
+
+    def test_validation_rejects_degenerate_hardware(self):
+        with pytest.raises(ValueError):
+            PMU(period=0)
+        with pytest.raises(ValueError):
+            DebugRegisterFile(0)
+        with pytest.raises(ValueError):
+            SimulatedCPU(register_count=0)
+
+
+# -------------------------------------------------------------- whole system
+_WORKLOADS = ("spec:gcc", "micro:listing2", "case:kallisto-0.43")
+_SPEC = "drop=0.25,throttle=0.02:6,arm=0.15:2,trap_drop=0.1,spurious=0.1"
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("name", _WORKLOADS)
+    @pytest.mark.parametrize("tool", ("deadcraft", "loadcraft"))
+    def test_scalar_and_batched_agree_under_faults(self, name, tool):
+        workload = resolve_workload(name, scale=0.3)
+        batched = run_witch(workload, tool, period=53, seed=11, faults=_SPEC)
+        scalar = run_witch(workload, tool, period=53, seed=11, faults=_SPEC,
+                           batched=False)
+        assert json.dumps(batched.report.to_dict()) == json.dumps(scalar.report.to_dict())
+        assert batched.cpu.ledger.native_cycles == scalar.cpu.ledger.native_cycles
+        assert batched.cpu.ledger.tool_cycles == scalar.cpu.ledger.tool_cycles
+
+    def test_fault_schedule_keyed_by_fault_seed(self):
+        workload = resolve_workload("spec:gcc", scale=0.3)
+        one = run_witch(workload, seed=3, faults="drop=0.3", fault_seed=7)
+        two = run_witch(workload, seed=3, faults="drop=0.3", fault_seed=7)
+        other = run_witch(workload, seed=3, faults="drop=0.3", fault_seed=8)
+        assert one.report.to_dict() == two.report.to_dict()
+        assert one.report.to_dict() != other.report.to_dict()
+
+
+class TestFaultsOffByteIdentity:
+    def test_zero_rate_spec_is_identical_to_no_faults(self):
+        workload = resolve_workload("spec:gcc", scale=0.3)
+        plain = run_witch(workload, seed=5).report
+        zeroed = run_witch(workload, seed=5, faults="drop=0.0").report
+        empty = run_witch(workload, seed=5, faults="").report
+        assert json.dumps(plain.to_dict()) == json.dumps(zeroed.to_dict())
+        assert json.dumps(plain.to_dict()) == json.dumps(empty.to_dict())
+        assert "degradation" not in plain.to_dict()
+
+    def test_faulty_report_carries_degradation_and_round_trips(self):
+        workload = resolve_workload("spec:gcc", scale=0.3)
+        report = run_witch(workload, seed=5, faults=_SPEC).report
+        payload = report.to_dict()
+        assert payload["degradation"]["pmu_dropped"] > 0
+        assert "[degraded:" in report.render()
+        from repro.core.report import InefficiencyReport
+
+        clone = InefficiencyReport.from_dict(json.loads(json.dumps(payload)))
+        assert clone.to_dict() == payload
+
+    def test_merge_reports_sums_degradation_counts(self):
+        workload = resolve_workload("micro:listing2")
+        left = run_witch(workload, period=31, seed=1, faults="drop=0.5").report
+        right = run_witch(workload, period=31, seed=2, faults="drop=0.5").report
+        merged = merge_reports([left, right])
+        assert merged.degradation["pmu_dropped"] == (
+            left.degradation["pmu_dropped"] + right.degradation["pmu_dropped"]
+        )
+
+
+class TestDegradationAccounting:
+    def test_mu_credits_kernel_reported_lost_samples(self):
+        # Every overflow -- delivered or dropped -- must end up in mu (the
+        # pending remainder is the tail after the last delivery).
+        workload = resolve_workload("spec:gcc", scale=0.3)
+        run = run_witch(workload, seed=5, faults="drop=0.4")
+        witch = run.witch
+        total_mu = sum(witch.attribution._mu.values())
+        assert witch.samples_dropped > 0
+        assert total_mu + witch._pending_lost == pytest.approx(
+            witch.samples_handled + witch.samples_dropped
+        )
+
+    def test_arm_rejections_degrade_to_unmonitored(self):
+        workload = resolve_workload("spec:gcc", scale=0.3)
+        run = run_witch(workload, seed=5, faults="arm=1.0")
+        assert run.witch.arm_rejections > 0
+        assert run.report.monitored == 0
+        assert run.report.samples > 0  # sampling itself kept working
+
+    def test_telemetry_counters_mirror_fault_counts(self):
+        workload = resolve_workload("spec:gcc", scale=0.3)
+        telemetry = Telemetry()
+        run = run_witch(workload, seed=5, faults=_SPEC, telemetry=telemetry)
+        counters = telemetry.snapshot()["counters"]
+        degradation = run.report.degradation
+        assert counters.get("faults.pmu_dropped", 0) == degradation["pmu_dropped"]
+        assert counters.get("faults.arm_rejected", 0) == degradation["arm_rejected"]
+        assert counters.get("faults.traps_dropped", 0) == degradation["traps_dropped"]
+        assert counters.get("faults.spurious_traps", 0) == degradation["spurious_traps"]
+
+    def test_telemetry_does_not_perturb_faulty_runs(self):
+        workload = resolve_workload("spec:gcc", scale=0.3)
+        plain = run_witch(workload, seed=5, faults=_SPEC).report
+        observed = run_witch(workload, seed=5, faults=_SPEC,
+                             telemetry=Telemetry()).report
+        assert json.dumps(plain.to_dict()) == json.dumps(observed.to_dict())
+
+    def test_trap_drop_keeps_watchpoint_armed_for_later_traps(self):
+        # With trap delivery always lost, traps never reach the client but
+        # the registers stay armed -- the run completes without error.
+        workload = resolve_workload("micro:listing2")
+        run = run_witch(workload, period=31, seed=1, faults="trap_drop=1.0")
+        assert run.report.traps == 0
+        assert run.report.degradation["traps_dropped"] > 0

@@ -1,0 +1,262 @@
+"""The write-ahead results journal and crash-safe resume.
+
+Three layers, pinned separately:
+
+1. **The journal file** -- atomic appends, spec-keyed lookup, and a loud
+   refusal to resume under a different root seed (splicing RNG streams).
+2. **``run_specs(journal=..., resume=...)``** -- journaled specs replay
+   instead of re-executing, and a resumed batch's artifacts are
+   bit-identical to an uninterrupted run, inline and pooled.
+3. **Chaos** -- a real worker process SIGKILLed mid-suite; the survivor
+   journal resumes to the exact artifacts of a clean ``jobs=1`` run.
+"""
+
+import io
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.parallel import (
+    JournalMismatch,
+    RunJournal,
+    run_specs,
+    spec_key,
+    witch_spec,
+)
+from repro.parallel.worker import RunResult, execute_spec
+
+REPO_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def _specs(n=3):
+    return [
+        witch_spec("micro:listing2", "deadcraft", period=31, trial=trial)
+        for trial in range(n)
+    ]
+
+
+def payloads(batch):
+    return json.dumps([r.payload for r in batch.results])
+
+
+# ------------------------------------------------------------------ the file
+class TestRunJournal:
+    def test_record_lookup_and_reload(self, tmp_path):
+        path = str(tmp_path / "runs.journal")
+        specs = _specs(2)
+        result = execute_spec(specs[0], 0, False)
+        journal = RunJournal(path, root_seed=0)
+        assert specs[0] not in journal and len(journal) == 0
+        journal.record(specs[0], result)
+        assert specs[0] in journal and specs[1] not in journal
+
+        reloaded = RunJournal(path, root_seed=0)
+        assert len(reloaded) == 1
+        replayed = reloaded.lookup(specs[0])
+        assert replayed is not None
+        assert json.dumps(replayed.payload) == json.dumps(result.payload)
+        assert reloaded.lookup(specs[1]) is None
+
+    def test_rerecording_a_spec_overwrites_in_place(self, tmp_path):
+        path = str(tmp_path / "runs.journal")
+        spec = _specs(1)[0]
+        journal = RunJournal(path)
+        journal.record(spec, RunResult(spec=spec, payload={"v": 1}))
+        journal.record(spec, RunResult(spec=spec, payload={"v": 2}))
+        assert len(journal) == 1
+        assert RunJournal(path).lookup(spec).payload == {"v": 2}
+
+    def test_wrong_root_seed_is_refused(self, tmp_path):
+        path = str(tmp_path / "runs.journal")
+        spec = _specs(1)[0]
+        RunJournal(path, root_seed=1).record(
+            spec, RunResult(spec=spec, payload={})
+        )
+        with pytest.raises(JournalMismatch, match="root_seed"):
+            RunJournal(path, root_seed=2)
+
+    def test_non_journal_file_is_refused(self, tmp_path):
+        path = tmp_path / "noise.journal"
+        path.write_text('{"format": "something-else"}\n')
+        with pytest.raises(JournalMismatch, match="not a run journal"):
+            RunJournal(str(path))
+
+    def test_missing_and_empty_files_are_fresh_journals(self, tmp_path):
+        assert len(RunJournal(str(tmp_path / "absent.journal"))) == 0
+        empty = tmp_path / "empty.journal"
+        empty.write_text("")
+        assert len(RunJournal(str(empty))) == 0
+
+
+# ------------------------------------------------------------- run_specs glue
+class TestResume:
+    @pytest.mark.parametrize("jobs", (1, 2))
+    def test_resume_merges_bit_identically(self, tmp_path, jobs):
+        specs = _specs(4)
+        clean = run_specs(specs, jobs=1)
+
+        # First (interrupted) pass journals only a prefix.
+        path = str(tmp_path / "runs.journal")
+        journal = RunJournal(path, root_seed=0)
+        partial = run_specs(specs[:2], jobs=jobs, journal=journal)
+        assert partial.ok and len(journal) == 2
+
+        resumed = run_specs(
+            specs, jobs=jobs, journal=RunJournal(path, root_seed=0), resume=True
+        )
+        assert resumed.ok
+        assert payloads(resumed) == payloads(clean)
+        # Everything is journaled after the resumed run completes.
+        assert len(RunJournal(path, root_seed=0)) == 4
+
+    def test_resume_accepts_a_path_string(self, tmp_path):
+        specs = _specs(2)
+        path = str(tmp_path / "runs.journal")
+        first = run_specs(specs, jobs=1, journal=path)
+        resumed = run_specs(specs, jobs=1, journal=path, resume=True)
+        assert payloads(resumed) == payloads(first)
+
+    def test_journal_without_resume_still_reexecutes(self, tmp_path):
+        specs = _specs(2)
+        path = str(tmp_path / "runs.journal")
+        run_specs(specs, jobs=1, journal=path)
+        # Poison the journal; without resume it must be ignored for reads.
+        journal = RunJournal(path, root_seed=0)
+        journal.record(specs[0], RunResult(spec=specs[0], payload={"bogus": 1}))
+        batch = run_specs(specs, jobs=1, journal=path)
+        assert batch.results[0].payload != {"bogus": 1}
+
+    def test_validation_rejects_degenerate_arguments(self):
+        specs = _specs(1)
+        with pytest.raises(ValueError, match="jobs"):
+            run_specs(specs, jobs=0)
+        with pytest.raises(ValueError, match="timeout"):
+            run_specs(specs, timeout=-1)
+        with pytest.raises(ValueError, match="retries"):
+            run_specs(specs, retries=-1)
+        with pytest.raises(ValueError, match="chunk_size"):
+            run_specs(specs, jobs=2, chunk_size=0)
+        with pytest.raises(ValueError, match="resume.*journal"):
+            run_specs(specs, resume=True)
+
+    def test_empty_spec_list_fast_path(self, tmp_path):
+        batch = run_specs([], jobs=4, journal=str(tmp_path / "runs.journal"))
+        assert batch.ok and batch.specs == [] and batch.results == []
+        assert batch.jobs == 4
+        # Fast path must not even create the journal file.
+        assert not (tmp_path / "runs.journal").exists()
+
+
+# -------------------------------------------------------------------- the CLI
+class TestJournalCLI:
+    def test_profile_resume_replays_identical_report(self, tmp_path):
+        path = str(tmp_path / "profile.journal")
+        argv = ("profile", "micro:listing2", "--tool", "deadcraft",
+                "--period", "31", "--journal", path)
+        code, first = run_cli(*argv)
+        assert code == 0
+        code, second = run_cli(*argv, "--resume")
+        assert code == 0
+        assert f"(resumed from {path})" in second
+        strip = lambda text: text.replace(f"(resumed from {path})\n", "")
+        assert strip(second) == first
+
+    def test_resume_without_journal_is_a_usage_error(self, capsys):
+        code, _ = run_cli("profile", "micro:listing2", "--resume")
+        assert code == 2
+        assert "--journal" in capsys.readouterr().err
+
+    def test_suite_resume_is_identical_to_clean_run(self, tmp_path):
+        path = str(tmp_path / "suite.journal")
+        argv = ("suite", "gcc", "--scale", "0.1", "--journal", path)
+        code, first = run_cli(*argv)
+        assert code == 0
+        code, resumed = run_cli(*argv, "--resume")
+        assert code == 0
+        assert resumed == first
+
+
+# ----------------------------------------------------------------------- chaos
+_CHAOS_SCRIPT = """
+import sys, time
+sys.path.insert(0, {src!r})
+from repro.parallel import run_specs, witch_spec
+from repro.parallel.worker import execute_spec
+
+def slow_worker(spec, root_seed, telemetry_enabled):
+    time.sleep(0.2)  # stretch the suite so the kill lands mid-run
+    return execute_spec(spec, root_seed, telemetry_enabled)
+
+specs = [
+    witch_spec("micro:listing2", "deadcraft", period=31, trial=trial)
+    for trial in range(12)
+]
+run_specs(specs, jobs=2, worker=slow_worker, journal={path!r})
+"""
+
+
+class TestChaos:
+    def test_sigkill_mid_suite_then_resume_bit_identical(self, tmp_path):
+        """SIGKILL a running suite, resume from its journal, diff nothing.
+
+        The victim process (and its pool workers -- the whole process
+        group) is killed the moment the journal shows progress; the
+        journal left behind must be a loadable prefix, and resuming must
+        reproduce the uninterrupted ``jobs=1`` artifacts exactly.
+        """
+        path = str(tmp_path / "chaos.journal")
+        specs = [
+            witch_spec("micro:listing2", "deadcraft", period=31, trial=trial)
+            for trial in range(12)
+        ]
+        victim = subprocess.Popen(
+            [sys.executable, "-c", _CHAOS_SCRIPT.format(src=REPO_SRC, path=path)],
+            start_new_session=True,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if victim.poll() is not None:
+                    pytest.fail("victim finished before it could be killed")
+                try:
+                    if len(RunJournal(path, root_seed=0)) >= 2:
+                        break
+                except (OSError, json.JSONDecodeError):
+                    pass  # mid-replace; never happens with atomic writes
+                time.sleep(0.02)
+            else:
+                pytest.fail("journal never showed progress")
+            os.killpg(victim.pid, signal.SIGKILL)
+            victim.wait(timeout=30)
+        finally:
+            if victim.poll() is None:
+                os.killpg(victim.pid, signal.SIGKILL)
+                victim.wait(timeout=30)
+
+        survivor = RunJournal(path, root_seed=0)
+        assert 2 <= len(survivor) < len(specs)
+        journaled_keys = {spec_key(spec) for spec in specs}
+        for spec in specs:
+            if spec in survivor:
+                assert spec_key(spec) in journaled_keys
+
+        resumed = run_specs(specs, jobs=2, journal=survivor, resume=True)
+        assert resumed.ok
+        clean = run_specs(specs, jobs=1)
+        assert payloads(resumed) == payloads(clean)
+        assert len(RunJournal(path, root_seed=0)) == len(specs)

@@ -217,6 +217,17 @@ def _slow_worker(spec, root_seed, telemetry_enabled):
     return execute_spec(spec, root_seed, telemetry_enabled)
 
 
+def _sleepy_worker(spec, root_seed, telemetry_enabled):
+    time.sleep(0.5)  # every spec outlives a zero timeout
+    return execute_spec(spec, root_seed, telemetry_enabled)
+
+
+def _odd_trials_fail_worker(spec, root_seed, telemetry_enabled):
+    if spec.trial % 2:
+        raise RuntimeError(f"injected failure for trial {spec.trial}")
+    return execute_spec(spec, root_seed, telemetry_enabled)
+
+
 def _tiny_specs(n=2):
     return [
         witch_spec("micro:listing2", "deadcraft", period=31, trial=trial)
@@ -281,6 +292,51 @@ class TestFaultHandling:
         ], jobs=1, worker=_always_failing_worker, retries=0)
         assert "deadcraft" in batch.failures[0].render()
         assert "micro:listing2" in batch.failures[0].render()
+
+
+class TestSchedulerEdgeCases:
+    def test_timeout_zero_is_valid_and_fails_sleeping_chunks(self):
+        # timeout=0 means "no grace at all" -- legal (validation rejects
+        # only negatives), and every chunk whose worker sleeps must fail
+        # with the timeout error, not hang.
+        specs = _tiny_specs(3)
+        batch = run_specs(specs, jobs=2, worker=_sleepy_worker,
+                          timeout=0, retries=0, chunk_size=1)
+        assert not batch.ok
+        assert len(batch.failures) == 3
+        assert all("timed out" in failure.error for failure in batch.failures)
+        assert all(result is None for result in batch.results)
+
+    def test_exhausted_retry_failures_come_back_in_index_order(self):
+        # Pool chunks finish in whatever order the machine feels like;
+        # the failure list must still be sorted by spec index.
+        specs = _tiny_specs(6)  # trials 1, 3, 5 fail permanently
+        batch = run_specs(specs, jobs=3, worker=_odd_trials_fail_worker,
+                          retries=1, chunk_size=1)
+        assert [failure.index for failure in batch.failures] == [1, 3, 5]
+        assert all(failure.attempts == 2 for failure in batch.failures)
+        for index in (0, 2, 4):
+            assert batch.results[index] is not None
+
+    def test_run_failure_render_format_is_stable(self):
+        from repro.parallel.scheduler import RunFailure
+
+        failure = RunFailure(
+            index=3,
+            spec=witch_spec("micro:listing2", "deadcraft", trial=9),
+            attempts=2,
+            error="RuntimeError: boom",
+            traceback="",
+        )
+        label = failure.spec.label
+        assert failure.render() == f"{label}: RuntimeError: boom (after 2 attempts)"
+
+    def test_empty_spec_list_short_circuits(self):
+        batch = run_specs([], jobs=8, worker=_crashing_worker, timeout=0)
+        assert batch.ok
+        assert batch.specs == [] and batch.results == [] and batch.failures == []
+        assert batch.jobs == 8
+        assert batch.payloads() == []
 
 
 # ------------------------------------------------------------------- pickling
