@@ -1,0 +1,100 @@
+"""Benchmark: columnar engine throughput per backend, with floors.
+
+The columnar engine's pitch (docs/columnar.md) is millions of simulated
+accesses per second on strided workloads.  This benchmark measures
+*native* throughput (no tool attached -- the same configuration
+test_simulator_throughput.py headlines) for each available backend on
+the three bulk-heavy case studies, writes the evidence to
+``BENCH_columnar.json`` for the CI artifact upload, and enforces:
+
+- NumPy backend: >= 5M accesses/s on at least two case studies
+  (asserted only when NumPy is importable -- the fallback CI leg has no
+  NumPy by construction);
+- pure-Python fallback: >= 500k accesses/s on every case study.
+
+Throughput floors are deliberately conservative (the dev-box numbers
+are 2-5x higher) so the assertion survives slow CI runners while still
+catching an accidental return to scalar dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from conftest import format_table
+from repro.execution.columnar import numpy_backend
+from repro.harness import run_native
+from repro.workloads.casestudies import CASE_STUDIES
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_columnar.json"
+
+CASES = ("lbm", "smb-msgrate", "chombo")
+REPEATS = 3
+
+NUMPY_FLOOR = 5_000_000
+NUMPY_FLOOR_MIN_CASES = 2
+PYTHON_FLOOR = 500_000
+
+BACKENDS = ("python",) + (("numpy",) if numpy_backend() is not None else ())
+
+
+def _native_rate(case_name: str, backend: str) -> float:
+    """Best-of-REPEATS native accesses/second for one case study."""
+    workload = CASE_STUDIES[case_name].baseline
+    best = 0.0
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        run = run_native(workload, backend=backend)
+        elapsed = time.perf_counter() - start
+        best = max(best, run.cpu.ledger.counts["access"] / elapsed)
+    return best
+
+
+def test_columnar_throughput(publish):
+    rates = {
+        backend: {case: _native_rate(case, backend) for case in CASES}
+        for backend in BACKENDS
+    }
+
+    evidence = {
+        "cases": list(CASES),
+        "configuration": "native (no tool), best of %d runs" % REPEATS,
+        "backends": {
+            backend: {case: round(rate) for case, rate in per_case.items()}
+            for backend, per_case in rates.items()
+        },
+        "floors": {
+            "numpy": NUMPY_FLOOR,
+            "numpy_min_cases": NUMPY_FLOOR_MIN_CASES,
+            "python": PYTHON_FLOOR,
+        },
+        "numpy_available": "numpy" in BACKENDS,
+    }
+    BENCH_JSON.write_text(json.dumps(evidence, indent=2, sort_keys=True) + "\n")
+
+    publish(
+        "columnar_throughput",
+        format_table(
+            ["case study", *BACKENDS],
+            [
+                [case, *(f"{rates[b][case]:,.0f}/s" for b in BACKENDS)]
+                for case in CASES
+            ],
+        )
+        + "\n(native accesses/second per columnar backend; "
+        "evidence in BENCH_columnar.json)",
+    )
+
+    for case in CASES:
+        assert rates["python"][case] >= PYTHON_FLOOR, (
+            f"pure-Python fallback below {PYTHON_FLOOR:,}/s on {case}: "
+            f"{rates['python'][case]:,.0f}/s"
+        )
+    if "numpy" in BACKENDS:
+        fast = [case for case in CASES if rates["numpy"][case] >= NUMPY_FLOOR]
+        assert len(fast) >= NUMPY_FLOOR_MIN_CASES, (
+            f"NumPy backend clears {NUMPY_FLOOR/1e6:.0f}M/s on only "
+            f"{fast} (need {NUMPY_FLOOR_MIN_CASES} of {CASES})"
+        )

@@ -58,12 +58,17 @@ def test_parallel_scaling(publish):
         assert payloads[jobs] == payloads[1], f"jobs={jobs} diverged from jobs=1"
 
     speedups = {jobs: seconds[1] / seconds[jobs] for jobs in JOBS_SWEEP}
+    # Per-core efficiency: speedup/jobs, 1.0 being perfect scaling.  The
+    # longest-first dispatch keeps the straggler tail short, so this is
+    # the number that regresses first when scheduling goes wrong.
+    efficiency = {jobs: speedups[jobs] / jobs for jobs in JOBS_SWEEP}
     evidence = {
         "specs": len(SPECS),
         "workloads": "gcc/mcf/lbm/libquantum x dead/silent/load craft, scale=3.0",
         "cpu_count": cores,
         "seconds": {str(jobs): seconds[jobs] for jobs in JOBS_SWEEP},
         "speedup": {str(jobs): speedups[jobs] for jobs in JOBS_SWEEP},
+        "efficiency": {str(jobs): efficiency[jobs] for jobs in JOBS_SWEEP},
         "min_speedup_at_4": MIN_SPEEDUP_AT_4,
         "speedup_asserted": cores >= MIN_CORES_FOR_ASSERT,
         "deterministic_across_jobs": True,
@@ -73,9 +78,10 @@ def test_parallel_scaling(publish):
     publish(
         "parallel_scaling",
         format_table(
-            ["jobs", "seconds", "speedup"],
+            ["jobs", "seconds", "speedup", "efficiency"],
             [
-                [str(jobs), f"{seconds[jobs]:.3f}", f"{speedups[jobs]:.2f}x"]
+                [str(jobs), f"{seconds[jobs]:.3f}", f"{speedups[jobs]:.2f}x",
+                 f"{efficiency[jobs]:.2f}"]
                 for jobs in JOBS_SWEEP
             ],
         )

@@ -22,6 +22,12 @@ any of the three enables the telemetry subsystem for the run.
 runs out over N worker processes via :mod:`repro.parallel`.  Output is
 bit-identical for every N -- see docs/parallel.md for the contract.
 
+``profile``, ``compare``, ``suite``, and ``stats`` accept ``--backend
+{auto,numpy,python}`` to pick the columnar array backend (default: the
+``REPRO_BACKEND`` environment variable, else auto-detect).  The backend
+changes throughput only; every output is bit-identical across backends
+-- see docs/columnar.md.
+
 ``profile``, ``compare``, and ``suite`` accept ``--faults SPEC`` /
 ``--fault-seed N`` (deterministic hardware-fault injection) and
 ``--journal FILE`` / ``--resume`` (crash-safe restart of interrupted
@@ -127,6 +133,22 @@ def _check_failures(batch: BatchResult) -> None:
         )
 
 
+def _backend_from_args(args) -> str:
+    """Resolve --backend (or REPRO_BACKEND) early, with a friendly error.
+
+    Returns the resolved backend's *name* ("numpy" or "python"): it is
+    picklable for --jobs worker processes, and pinning the name means
+    every run in a batch agrees on one choice even if the environment
+    changes mid-batch.
+    """
+    from repro.execution.columnar import BackendUnavailable, resolve_backend
+
+    try:
+        return resolve_backend(getattr(args, "backend", None)).name
+    except (BackendUnavailable, ValueError) as error:
+        raise CLIError(str(error)) from error
+
+
 def _telemetry_from_args(args) -> Optional[Telemetry]:
     """A live Telemetry when any telemetry output was requested, else None."""
     if getattr(args, "telemetry", False) or getattr(args, "telemetry_json", None) \
@@ -192,6 +214,7 @@ def _cmd_profile(args, out) -> int:
             seed=args.seed,
             period_jitter=args.jitter,
             telemetry=telemetry,
+            backend=_backend_from_args(args),
             **fault_options,
         )
         report = run.report
@@ -243,7 +266,8 @@ def _cmd_compare(args, out) -> int:
                                  group=group),
     ]
     batch = run_specs(specs, root_seed=args.seed, jobs=args.jobs,
-                      telemetry=telemetry, journal=journal, resume=args.resume)
+                      telemetry=telemetry, journal=journal, resume=args.resume,
+                      backend=_backend_from_args(args))
     _check_failures(batch)
     sampled = InefficiencyReport.from_dict(batch.results[0].payload["report"])
     exhaustive = InefficiencyReport.from_dict(
@@ -312,7 +336,8 @@ def _cmd_suite(args, out) -> int:
     specs = suite_specs(names, scale=args.scale, period=nearest_prime(args.period),
                         fault_options=fault_options)
     batch = run_specs(specs, root_seed=args.seed, jobs=args.jobs,
-                      telemetry=telemetry, journal=journal, resume=args.resume)
+                      telemetry=telemetry, journal=journal, resume=args.resume,
+                      backend=_backend_from_args(args))
     _check_failures(batch)
     print(f"{'benchmark':12s} {'dead':>13s} {'silent':>13s} {'load':>13s}   (craft/spy %)",
           file=out)
@@ -377,6 +402,7 @@ def _cmd_stats(args, out) -> int:
         seed=args.seed,
         period_jitter=args.jitter,
         telemetry=telemetry,
+        backend=_backend_from_args(args),
     )
     print(f"{args.tool} on {args.workload}: "
           f"redundancy {100 * run.report.redundancy_fraction:.2f}%", file=out)
@@ -431,6 +457,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="replay journaled runs instead of re-executing "
                          "them (requires --journal)")
 
+    def add_backend(sub):
+        sub.add_argument("--backend", choices=["auto", "numpy", "python"],
+                         default=None,
+                         help="columnar array backend (default: REPRO_BACKEND "
+                         "or auto-detect; results are identical either way)")
+
     def add_telemetry(sub, toggle: bool = True):
         if toggle:
             sub.add_argument("--telemetry", action="store_true",
@@ -455,6 +487,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--html", metavar="FILE",
                          help="save a self-contained HTML report")
     add_common(profile)
+    add_backend(profile)
     add_telemetry(profile)
     add_faults(profile)
     add_journal(profile)
@@ -467,6 +500,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--jobs", type=int, default=1,
                          help="worker processes (results are identical for any value)")
     add_common(compare)
+    add_backend(compare)
     add_telemetry(compare)
     add_faults(compare)
     add_journal(compare)
@@ -484,6 +518,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--seed", type=int, default=0)
     suite.add_argument("--jobs", type=int, default=1,
                        help="worker processes (results are identical for any value)")
+    add_backend(suite)
     add_telemetry(suite)
     add_faults(suite)
     add_journal(suite)
@@ -520,6 +555,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--registers", type=int, default=4, help="debug registers")
     stats.add_argument("--jitter", type=int, default=0, help="period jitter (+/- events)")
     add_common(stats)
+    add_backend(stats)
     add_telemetry(stats, toggle=False)
     stats.set_defaults(run=_cmd_stats)
 

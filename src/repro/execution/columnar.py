@@ -1,0 +1,520 @@
+"""Columnar access streams: parallel arrays and the backend switch.
+
+The batched engine (:meth:`repro.hardware.cpu.SimulatedCPU.access_run`)
+removed the per-access Python object from homogeneous strided runs; this
+module removes it from *heterogeneous* stretches too.  A workload can
+describe a repeating pattern of interleaved accesses -- e.g. ``store,
+load, store, load, ...`` over two strided walks -- as one
+:class:`ColumnGroup` of :class:`Lane` specs, and the CPU's columnar
+engine executes the whole group slice by slice, dropping to scalar code
+only at PMU-overflow and watchpoint-trap boundaries.
+
+Representation
+    A group is ``rounds`` rounds over ``L`` lanes, emitted round-major:
+    global access ``j`` is lane ``j % L`` at round ``j // L``, and lane
+    ``l``'s round ``r`` covers ``[base_l + r*stride_l, base_l +
+    r*stride_l + length_l)``.  :meth:`ColumnGroup.columns` materializes
+    the stream as parallel arrays -- addr / length / kind / value-offset
+    / context-id -- NumPy ``ndarray``s under the NumPy backend, stdlib
+    ``array`` arrays under the pure-Python fallback.
+
+Backend selection
+    :func:`resolve_backend` picks the array backend: ``"numpy"`` (fast
+    path), ``"python"`` (stdlib ``array``-module fallback, always
+    available), or ``"auto"`` (NumPy when importable).  The default comes
+    from the ``REPRO_BACKEND`` environment variable; the CLI exposes the
+    same choice as ``--backend``.  Results are bit-identical across
+    backends -- the switch trades speed, never semantics (enforced by
+    tests/test_columnar.py).
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.hardware.events import (
+    AccessType,
+    MemoryAccess,
+    decode_run,
+    encode_run,
+)
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Valid ``--backend`` / ``REPRO_BACKEND`` values.
+BACKEND_CHOICES = ("auto", "numpy", "python")
+
+#: Strided runs shorter than this stay on the plain bytes path -- array
+#: setup costs more than it saves on tiny slices.
+_MIN_VECTOR_COUNT = 16
+
+#: Widest address span (bytes) the gather/scatter path will stitch into
+#: one region; sparser runs fall back to the per-element loops.
+_REGION_CAP = 1 << 20
+
+
+class BackendUnavailable(RuntimeError):
+    """The requested backend cannot run here (NumPy not installed)."""
+
+
+def _import_numpy():
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised on the no-NumPy CI leg
+        return None
+    return numpy
+
+
+class ColumnBackend:
+    """Array operations behind the columnar engine, semantics-neutral.
+
+    Both implementations produce byte-identical results; the NumPy one
+    vectorizes value encoding/decoding and strided memory gather/scatter,
+    the pure-Python one leans on ``struct`` and the stdlib ``array``
+    module.  The engine never branches on backend *semantics* -- only on
+    which implementation of the same operation to call.
+    """
+
+    name = "abstract"
+    np = None
+
+    # ------------------------------------------------------------- columns
+    def index_column(self, values: Sequence[int]):
+        """An integer parallel-array column (addresses, lengths, ids)."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- values
+    def encode_values(self, values, length: int, is_float: bool) -> bytes:
+        """Pack a value sequence (list or ndarray) into raw run bytes."""
+        raise NotImplementedError
+
+    def decode_values(self, raw: bytes, length: int, is_float: bool):
+        """Unpack raw run bytes into a value sequence (list or ndarray)."""
+        raise NotImplementedError
+
+    def sum_ints(self, raw: bytes, length: int) -> int:
+        """Exact sum of an integer run (caller guarantees it fits 64 bits)."""
+        raise NotImplementedError
+
+    # -------------------------------------------------------------- memory
+    def read_run(self, memory, base: int, count: int, stride: int, length: int) -> bytes:
+        """Gather a strided run from memory (access-order concatenation)."""
+        return memory.read_run(base, count, stride, length)
+
+    def write_run(
+        self, memory, base: int, payload: bytes, count: int, stride: int, length: int
+    ) -> None:
+        """Scatter a strided run's payload into memory, program order."""
+        memory.write_run(base, payload, count, stride, length)
+
+
+class PythonBackend(ColumnBackend):
+    """The always-available fallback: stdlib ``array`` + ``struct``."""
+
+    name = "python"
+
+    def index_column(self, values: Sequence[int]):
+        return array("q", values)
+
+    def encode_values(self, values, length: int, is_float: bool) -> bytes:
+        return encode_run(list(values), length, is_float)
+
+    def decode_values(self, raw: bytes, length: int, is_float: bool):
+        return decode_run(raw, length, is_float)
+
+    def sum_ints(self, raw: bytes, length: int) -> int:
+        return sum(decode_run(raw, length, False))
+
+
+class NumpyBackend(ColumnBackend):
+    """The vectorized backend: ndarray columns, bulk gather/scatter."""
+
+    name = "numpy"
+
+    def __init__(self, numpy_module) -> None:
+        self.np = numpy_module
+        self._dtypes = {
+            (1, False): numpy_module.dtype("<u1"),
+            (2, False): numpy_module.dtype("<u2"),
+            (4, False): numpy_module.dtype("<u4"),
+            (8, False): numpy_module.dtype("<u8"),
+            (4, True): numpy_module.dtype("<f4"),
+            (8, True): numpy_module.dtype("<f8"),
+        }
+
+    def index_column(self, values: Sequence[int]):
+        return self.np.asarray(values, dtype=self.np.int64)
+
+    def encode_values(self, values, length: int, is_float: bool) -> bytes:
+        dtype = self._dtypes.get((length, is_float))
+        if dtype is None:
+            return encode_run(list(values), length, is_float)
+        np = self.np
+        if isinstance(values, np.ndarray):
+            return np.ascontiguousarray(values, dtype=dtype).tobytes()
+        if not is_float:
+            # Match encode_value's modular wrap for out-of-range ints.
+            try:
+                return np.asarray(values, dtype=dtype).tobytes()
+            except (OverflowError, ValueError, TypeError):
+                return encode_run(list(values), length, is_float)
+        return np.asarray(values, dtype=dtype).tobytes()
+
+    def decode_values(self, raw: bytes, length: int, is_float: bool):
+        dtype = self._dtypes.get((length, is_float))
+        if dtype is None:
+            return decode_run(raw, length, is_float)
+        return self.np.frombuffer(raw, dtype=dtype)
+
+    def sum_ints(self, raw: bytes, length: int) -> int:
+        dtype = self._dtypes.get((length, False))
+        # Tiny runs: ndarray setup costs more than the struct loop saves.
+        if dtype is None or len(raw) < 128 * length:
+            return sum(decode_run(raw, length, False))
+        return int(self.np.frombuffer(raw, dtype=dtype).sum(dtype=self.np.uint64))
+
+    # -------------------------------------------------------------- memory
+    # Strided gather/scatter stitches the run's address span into one flat
+    # region, indexes it as a (count, length) byte matrix, and writes back
+    # only the 4 KiB pages the run actually touched -- so page residency
+    # (footprint_bytes) and every byte stay identical to the per-element
+    # reference loops, including runs whose elements straddle page
+    # boundaries mid-slice (the region is flat; the page math lives in
+    # SimulatedMemory.read_span / write).
+    def _region(self, base: int, count: int, stride: int, length: int):
+        lo = base if stride >= 0 else base + (count - 1) * stride
+        hi = (base + (count - 1) * stride if stride >= 0 else base) + length
+        return lo, hi
+
+    def read_run(self, memory, base: int, count: int, stride: int, length: int) -> bytes:
+        if count < _MIN_VECTOR_COUNT or stride == length or stride == 0:
+            return memory.read_run(base, count, stride, length)
+        lo, hi = self._region(base, count, stride, length)
+        if hi - lo > _REGION_CAP:
+            return memory.read_run(base, count, stride, length)
+        np = self.np
+        region = np.frombuffer(memory.read_span(lo, hi - lo), dtype=np.uint8)
+        offsets = (base - lo) + stride * np.arange(count, dtype=np.int64)
+        return region[offsets[:, None] + np.arange(length, dtype=np.int64)].tobytes()
+
+    def write_run(
+        self, memory, base: int, payload: bytes, count: int, stride: int, length: int
+    ) -> None:
+        if (
+            count < _MIN_VECTOR_COUNT
+            or stride == length
+            or stride == 0
+            or abs(stride) < length  # self-overlapping: program order matters
+        ):
+            memory.write_run(base, payload, count, stride, length)
+            return
+        lo, hi = self._region(base, count, stride, length)
+        if hi - lo > _REGION_CAP:
+            memory.write_run(base, payload, count, stride, length)
+            return
+        np = self.np
+        buffer = memory.read_span(lo, hi - lo)
+        region = np.frombuffer(buffer, dtype=np.uint8)
+        offsets = (base - lo) + stride * np.arange(count, dtype=np.int64)
+        region[offsets[:, None] + np.arange(length, dtype=np.int64)] = np.frombuffer(
+            payload, dtype=np.uint8
+        ).reshape(count, length)
+        addresses = offsets + lo
+        pages = np.unique(
+            np.concatenate([addresses >> 12, (addresses + length - 1) >> 12])
+        )
+        view = memoryview(buffer)
+        for page in pages.tolist():
+            start = max(lo, page << 12)
+            end = min(hi, (page + 1) << 12)
+            memory.write(start, view[start - lo : end - lo])
+
+
+_PYTHON_BACKEND = PythonBackend()
+_NUMPY_BACKEND: Optional[NumpyBackend] = None
+_NUMPY_PROBED = False
+
+
+def numpy_backend() -> Optional[NumpyBackend]:
+    """The process-wide NumPy backend, or None when NumPy is missing."""
+    global _NUMPY_BACKEND, _NUMPY_PROBED
+    if not _NUMPY_PROBED:
+        module = _import_numpy()
+        _NUMPY_BACKEND = NumpyBackend(module) if module is not None else None
+        _NUMPY_PROBED = True
+    return _NUMPY_BACKEND
+
+
+def resolve_backend(name=None) -> ColumnBackend:
+    """Resolve a backend request to a :class:`ColumnBackend` instance.
+
+    ``name`` is ``"auto"``, ``"numpy"``, ``"python"``, an existing
+    backend instance (returned as-is), or None -- which consults the
+    ``REPRO_BACKEND`` environment variable and defaults to ``"auto"``.
+    ``"auto"`` picks NumPy when importable, else the pure-Python
+    fallback; ``"numpy"`` raises :class:`BackendUnavailable` when NumPy
+    is missing rather than silently degrading.
+    """
+    if isinstance(name, ColumnBackend):
+        return name
+    if name is None or name == "":
+        name = os.environ.get(BACKEND_ENV, "") or "auto"
+    name = name.lower()
+    if name == "auto":
+        return numpy_backend() or _PYTHON_BACKEND
+    if name == "numpy":
+        backend = numpy_backend()
+        if backend is None:
+            raise BackendUnavailable(
+                "backend 'numpy' requested but NumPy is not importable; "
+                "install the [speed] extra or use --backend python"
+            )
+        return backend
+    if name == "python":
+        return _PYTHON_BACKEND
+    raise ValueError(
+        f"unknown backend {name!r}; valid: {', '.join(BACKEND_CHOICES)}"
+    )
+
+
+# ----------------------------------------------------------------- the stream
+@dataclass(frozen=True, slots=True)
+class Lane:
+    """One strided walk inside a column group.
+
+    Per round ``r`` the lane performs one access at ``base + r*stride``;
+    stores carry their whole value stream pre-encoded in ``payload``
+    (``rounds * length`` bytes, round order).  All lanes of a group share
+    a thread; each lane keeps its own pc/context, which is what lets one
+    group span several source lines (the paper's <C_watch, C_trap> pairs
+    need distinct contexts per instruction).
+    """
+
+    kind: AccessType
+    base: int
+    stride: int
+    length: int
+    pc: str
+    context: Hashable
+    is_float: bool = False
+    long_latency: bool = False
+    payload: Optional[bytes] = None
+
+    @property
+    def is_store(self) -> bool:
+        return self.kind is AccessType.STORE
+
+
+@dataclass(frozen=True, slots=True)
+class ColumnArrays:
+    """The parallel-array materialization of one group's access stream.
+
+    One entry per dynamic access, round-major: ``addr`` / ``length`` /
+    ``kind`` (0 load, 1 store) / ``value_offset`` (byte offset of the
+    access's value in its lane's payload, -1 for loads) / ``context_id``
+    (index into ``contexts``).  Array types follow the backend: ndarrays
+    under NumPy, stdlib ``array('q')`` under the fallback.
+    """
+
+    addr: Sequence[int]
+    length: Sequence[int]
+    kind: Sequence[int]
+    value_offset: Sequence[int]
+    context_id: Sequence[int]
+    contexts: Tuple[Hashable, ...]
+
+
+def _ranges_overlap(a: Lane, b: Lane, rounds: int) -> bool:
+    def bounds(lane: Lane) -> Tuple[int, int]:
+        last = lane.base + (rounds - 1) * lane.stride
+        lo = min(lane.base, last)
+        hi = max(lane.base, last) + lane.length
+        return lo, hi
+
+    a_lo, a_hi = bounds(a)
+    b_lo, b_hi = bounds(b)
+    return a_lo < b_hi and b_lo < a_hi
+
+
+class ColumnGroup:
+    """``rounds`` rounds over ``lanes``, emitted round-major.
+
+    ``vector_safe`` records whether lane-by-lane bulk commits preserve
+    program order: every pair of address-overlapping lanes must walk the
+    *same* strided sequence (equal base/stride/length) with round-disjoint
+    elements (``|stride| >= length``), so round ``r`` of all lanes hits
+    one address that no other round touches.  Then committing whole lane
+    slices in lane order equals per-access program order: loads placed
+    before a store in lane order commit (read) first, stores after it
+    land last.  Groups that fail the test still execute -- element by
+    element, through the same event logic.
+    """
+
+    __slots__ = ("lanes", "rounds", "thread_id", "vector_safe", "_columns")
+
+    def __init__(self, lanes: Sequence[Lane], rounds: int, thread_id: int = 0) -> None:
+        if not lanes:
+            raise ValueError("a column group needs at least one lane")
+        if rounds < 0:
+            raise ValueError(f"rounds must be >= 0, got {rounds}")
+        for lane in lanes:
+            if lane.is_store:
+                if lane.payload is None or len(lane.payload) != rounds * lane.length:
+                    raise ValueError(
+                        f"store lane {lane.pc!r} needs rounds*length payload bytes"
+                    )
+            elif lane.payload is not None:
+                raise ValueError(f"load lane {lane.pc!r} takes no payload")
+        self.lanes: Tuple[Lane, ...] = tuple(lanes)
+        self.rounds = rounds
+        self.thread_id = thread_id
+        self.vector_safe = self._analyze()
+        self._columns: Dict[str, ColumnArrays] = {}
+
+    def _analyze(self) -> bool:
+        lanes = self.lanes
+        if len(lanes) == 1:
+            return True
+        for i, a in enumerate(lanes):
+            for b in lanes[i + 1 :]:
+                if not _ranges_overlap(a, b, self.rounds):
+                    continue
+                same_walk = (
+                    a.base == b.base and a.stride == b.stride and a.length == b.length
+                )
+                if not (same_walk and abs(a.stride) >= a.length):
+                    return False
+        return True
+
+    def __len__(self) -> int:
+        return self.rounds * len(self.lanes)
+
+    def element(self, index: int) -> Tuple[int, MemoryAccess]:
+        """Global access ``index`` as ``(lane_index, MemoryAccess)``."""
+        lane_index = index % len(self.lanes)
+        lane = self.lanes[lane_index]
+        round_number = index // len(self.lanes)
+        return lane_index, MemoryAccess(
+            lane.kind,
+            lane.base + round_number * lane.stride,
+            lane.length,
+            lane.pc,
+            lane.context,
+            self.thread_id,
+            lane.is_float,
+            lane.long_latency,
+        )
+
+    def element_payload(self, index: int) -> Optional[bytes]:
+        """The store bytes of global access ``index`` (None for loads)."""
+        lane = self.lanes[index % len(self.lanes)]
+        if not lane.is_store:
+            return None
+        round_number = index // len(self.lanes)
+        return lane.payload[round_number * lane.length : (round_number + 1) * lane.length]
+
+    def columns(self, backend: ColumnBackend) -> ColumnArrays:
+        """The stream's parallel arrays, materialized lazily per backend."""
+        cached = self._columns.get(backend.name)
+        if cached is not None:
+            return cached
+        lanes = self.lanes
+        count = len(lanes)
+        addr: List[int] = []
+        length: List[int] = []
+        kind: List[int] = []
+        value_offset: List[int] = []
+        context_id: List[int] = []
+        contexts = tuple(lane.context for lane in lanes)
+        for j in range(self.rounds * count):
+            lane = lanes[j % count]
+            round_number = j // count
+            addr.append(lane.base + round_number * lane.stride)
+            length.append(lane.length)
+            kind.append(1 if lane.is_store else 0)
+            value_offset.append(round_number * lane.length if lane.is_store else -1)
+            context_id.append(j % count)
+        columns = ColumnArrays(
+            addr=backend.index_column(addr),
+            length=backend.index_column(length),
+            kind=backend.index_column(kind),
+            value_offset=backend.index_column(value_offset),
+            context_id=backend.index_column(context_id),
+            contexts=contexts,
+        )
+        self._columns[backend.name] = columns
+        return columns
+
+
+# Workload-facing lane specs: what ThreadContext.column_group accepts.
+# They carry no context/thread -- the machine resolves those at emit time,
+# exactly as store_run/load_run do.
+@dataclass(frozen=True, slots=True)
+class StoreLane:
+    """One store per round: ``values[r]`` at ``address + r*stride``."""
+
+    address: int
+    values: Sequence
+    pc: str
+    stride: Optional[int] = None  # None: contiguous (stride == length)
+    length: int = 8
+    is_float: bool = False
+    long_latency: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class LoadLane:
+    """One load per round from ``address + r*stride``."""
+
+    address: int
+    pc: str
+    stride: Optional[int] = None  # None: contiguous (stride == length)
+    length: int = 8
+    is_float: bool = False
+    long_latency: bool = False
+
+
+# ------------------------------------------------------------ event location
+def kth_counted_index(
+    counted_lanes: Sequence[int], lane_count: int, total: int, start: int, k: int
+) -> Optional[int]:
+    """Global index of the ``k``-th counted access at or after ``start``.
+
+    ``counted_lanes`` is the sorted list of lane positions the PMU counts
+    (per round, one access per lane).  Returns None when fewer than ``k``
+    counted accesses remain before ``total`` -- the slice engine's "no
+    overflow in this block" answer.  O(lanes), never touches the stream.
+    """
+    if k <= 0 or not counted_lanes:
+        return None
+    round_number, position = divmod(start, lane_count)
+    for lane in counted_lanes:
+        if lane >= position:
+            k -= 1
+            if k == 0:
+                index = round_number * lane_count + lane
+                return index if index < total else None
+    round_number += 1
+    per_round = len(counted_lanes)
+    full_rounds, remainder = divmod(k - 1, per_round)
+    index = (round_number + full_rounds) * lane_count + counted_lanes[remainder]
+    return index if index < total else None
+
+
+def counted_in_range(
+    counted_lanes: Sequence[int], lane_count: int, start: int, stop: int
+) -> int:
+    """How many counted accesses fall in global range [start, stop)."""
+    if stop <= start or not counted_lanes:
+        return 0
+
+    def counted_before(index: int) -> int:
+        round_number, position = divmod(index, lane_count)
+        tail = sum(1 for lane in counted_lanes if lane < position)
+        return round_number * len(counted_lanes) + tail
+
+    return counted_before(stop) - counted_before(start)

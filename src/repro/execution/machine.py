@@ -26,6 +26,7 @@ from contextlib import contextmanager, nullcontext
 from typing import Callable, Dict, Generator, Iterator, List, Optional, Sequence
 
 from repro.cct.tree import CallingContextTree, ContextNode
+from repro.execution.columnar import ColumnGroup, Lane, LoadLane, StoreLane
 from repro.hardware.cpu import SimulatedCPU
 from repro.hardware.events import (
     AccessRun,
@@ -180,6 +181,121 @@ class ThreadContext:
             )
         )
         return decode_run(raw, length, is_float)
+
+    def load_run_values(
+        self,
+        address: int,
+        count: int,
+        pc: str,
+        length: int = 8,
+        stride: Optional[int] = None,
+        is_float: bool = False,
+    ):
+        """Like :meth:`load_run`, but in the backend's native sequence type.
+
+        Under the NumPy backend this is a zero-copy ndarray view of the
+        loaded bytes, so kernels can follow with elementwise array math;
+        under the pure-Python fallback it is the same list
+        :meth:`load_run` returns.  Elementwise consumption keeps backends
+        bit-identical -- reductions do not (NumPy sums pairwise), which is
+        what :meth:`load_run_sum` exists for.
+        """
+        if count <= 0:
+            count = 0
+        context = self._stack[-1].child(pc)
+        raw = self.machine.cpu.access_run(
+            AccessRun(
+                AccessType.LOAD,
+                address,
+                length if stride is None else stride,
+                length,
+                count,
+                pc,
+                context,
+                self.thread_id,
+                is_float,
+            )
+        )
+        return self.machine.cpu.backend.decode_values(raw, length, is_float)
+
+    def load_run_sum(
+        self,
+        address: int,
+        count: int,
+        pc: str,
+        length: int = 8,
+        stride: Optional[int] = None,
+    ) -> int:
+        """Load ``count`` integers and return their exact sum.
+
+        Integer-only by design: both backends sum exactly (the NumPy path
+        reduces in uint64, so the caller guarantees the total fits 64
+        bits -- every in-repo use is orders of magnitude below that),
+        whereas a float reduction would expose NumPy's pairwise
+        summation order and break cross-backend bit-identity.
+        """
+        if count <= 0:
+            return 0
+        context = self._stack[-1].child(pc)
+        raw = self.machine.cpu.access_run(
+            AccessRun(
+                AccessType.LOAD,
+                address,
+                length if stride is None else stride,
+                length,
+                count,
+                pc,
+                context,
+                self.thread_id,
+            )
+        )
+        return self.machine.cpu.backend.sum_ints(raw, length)
+
+    def column_group(self, rounds: int, *lanes) -> List:
+        """Execute ``rounds`` rounds of interleaved strided accesses.
+
+        Each positional argument is a :class:`repro.execution.columnar.
+        StoreLane` or :class:`~repro.execution.columnar.LoadLane`; round
+        ``r`` performs one access per lane in argument order, so the
+        emitted stream is exactly the loop ``for r: for lane: access`` --
+        but the CPU's columnar engine executes it in bulk slices between
+        sample/trap points instead of one Python call per access.  Each
+        lane keeps its own pc (and hence its own calling context).
+        Returns one entry per lane: None for store lanes, the list of
+        loaded values (round order) for load lanes.
+        """
+        built: List[Lane] = []
+        for spec in lanes:
+            stride = spec.length if spec.stride is None else spec.stride
+            context = self._stack[-1].child(spec.pc)
+            if isinstance(spec, StoreLane):
+                if len(spec.values) != rounds:
+                    raise ValueError(
+                        f"store lane {spec.pc!r} has {len(spec.values)} values "
+                        f"for {rounds} rounds"
+                    )
+                built.append(
+                    Lane(
+                        AccessType.STORE, spec.address, stride, spec.length,
+                        spec.pc, context, spec.is_float, spec.long_latency,
+                        encode_run(spec.values, spec.length, spec.is_float),
+                    )
+                )
+            elif isinstance(spec, LoadLane):
+                built.append(
+                    Lane(
+                        AccessType.LOAD, spec.address, stride, spec.length,
+                        spec.pc, context, spec.is_float, spec.long_latency,
+                    )
+                )
+            else:
+                raise TypeError(f"expected StoreLane or LoadLane, got {spec!r}")
+        group = ColumnGroup(built, rounds, self.thread_id)
+        raws = self.machine.cpu.access_columns(group)
+        return [
+            None if raw is None else decode_run(raw, lane.length, lane.is_float)
+            for raw, lane in zip(raws, built)
+        ]
 
     def fill(
         self,

@@ -63,11 +63,21 @@ class SimulatedCPU:
         batched: bool = True,
         telemetry=None,
         faults=None,
+        backend=None,
     ) -> None:
         #: When False, :meth:`access_run` executes element by element
         #: through :meth:`access` -- the reference semantics the batched
         #: fast path is differentially tested against.
         self.batched = batched
+        # Imported lazily: repro.execution.machine imports this module at
+        # its top, so cpu -> execution.columnar must not run at import time.
+        from repro.execution.columnar import resolve_backend
+
+        #: The :class:`repro.execution.columnar.ColumnBackend` behind bulk
+        #: slice commits -- "numpy"/"python"/"auto" (or an instance), None
+        #: consulting ``REPRO_BACKEND``.  Speed only: results are
+        #: bit-identical across backends.
+        self.backend = resolve_backend(backend)
         if register_count < 1:
             raise ValueError(
                 f"need at least one debug register per thread, got {register_count}"
@@ -89,6 +99,9 @@ class SimulatedCPU:
             self._c_samples = self._tm.counter("cpu.samples_delivered")
             self._h_skip = self._tm.histogram("cpu.batch_skip_length")
             self._s_run = self._tm.spans.cell("cpu.access_run")
+            self._c_columnar = self._tm.counter("cpu.columnar_accesses")
+            self._c_column_blocks = self._tm.counter("cpu.column_blocks")
+            self._s_column = self._tm.spans.cell("cpu.column_run")
             if faults is not None:
                 self._c_traps_dropped = self._tm.counter("faults.traps_dropped")
                 self._c_spurious_injected = self._tm.counter("faults.spurious_traps")
@@ -287,10 +300,10 @@ class SimulatedCPU:
                 register_file = self._register_files.get(run.thread_id)
                 if register_file is not None and register_file.armed_count:
                     hit = register_file.first_overlap(
-                        run.is_store, address, stride, length, remaining
+                        run.is_store, run.base, stride, length, run.count, index
                     )
                     if hit is not None:
-                        event = hit + 1
+                        event = hit - index + 1
             if counted and event > 1:
                 distance = pmu.next_overflow_in(run.long_latency)
                 if distance < event:
@@ -303,12 +316,15 @@ class SimulatedCPU:
                     self._c_batched.value += bulk
                     self._h_skip.observe(bulk)
                 if run.is_store:
-                    self.memory.write_run(
-                        address, data[index * length : (index + bulk) * length],
+                    self.backend.write_run(
+                        self.memory, address,
+                        data[index * length : (index + bulk) * length],
                         bulk, stride, length,
                     )
                 else:
-                    pieces.append(self.memory.read_run(address, bulk, stride, length))
+                    pieces.append(
+                        self.backend.read_run(self.memory, address, bulk, stride, length)
+                    )
                 if counted:
                     pmu.skip(bulk, run.long_latency)
                 index += bulk
@@ -339,6 +355,178 @@ class SimulatedCPU:
                 self.access(run.element(index), data[index * length : (index + 1) * length])
             return data
         return b"".join(self.access(run.element(index)) for index in range(run.count))
+
+    def access_columns(self, group) -> List[Optional[bytes]]:
+        """Execute a :class:`repro.execution.columnar.ColumnGroup`.
+
+        Returns one entry per lane: the concatenation of the bytes the
+        lane's loads read, in round order, or None for store lanes.
+        Semantically bit-identical to issuing the group's accesses
+        round-major through :meth:`access` -- same samples, traps, RNG
+        draws, and ledger totals -- but between events the engine commits
+        whole multi-lane slices: the next watchpoint overlap comes from a
+        per-lane ``first_overlap(..., start)`` query, the next PMU
+        overflow decision from :meth:`PMU.overflow_distances` mapped onto
+        the group's counted-lane pattern, and everything before the
+        earlier of the two lands as one bulk ledger charge plus per-lane
+        strided memory commits through the columnar backend (element-wise
+        when the group's lanes are not provably commit-reorderable).
+        """
+        lanes = group.lanes
+        if group.rounds <= 0:
+            return [None if lane.is_store else b"" for lane in lanes]
+        if self._observers or not self.batched:
+            return self._access_columns_scalar(group)
+
+        # Lazy for the same cpu <-> execution.columnar cycle as __init__.
+        from repro.execution.columnar import counted_in_range, kth_counted_index
+
+        tm = self._tm
+        if tm is not None:
+            run_start = tm.clock()
+
+        lane_count = len(lanes)
+        total = group.rounds * lane_count
+        trap_handler = self._trap_handler
+        pmu = self.pmu(group.thread_id) if self._pmu_factory is not None else None
+        counted_lanes: List[int] = []
+        counted_long_lanes: List[int] = []
+        if pmu is not None:
+            for position, lane in enumerate(lanes):
+                if pmu.counts_kind(lane.kind):
+                    counted_lanes.append(position)
+                    if lane.long_latency:
+                        counted_long_lanes.append(position)
+        vector_safe = group.vector_safe
+        backend = self.backend
+        memory = self.memory
+        pieces: List[Optional[List[bytes]]] = [
+            None if lane.is_store else [] for lane in lanes
+        ]
+        index = 0
+        while index < total:
+            # Absolute index of the next event at or after ``index``
+            # (None: the rest of the stream is event-free).
+            event: Optional[int] = None
+            if trap_handler is not None:
+                register_file = self._register_files.get(group.thread_id)
+                if register_file is not None and register_file.armed_count:
+                    for position, lane in enumerate(lanes):
+                        first_round = -(-(index - position) // lane_count)
+                        hit = register_file.first_overlap(
+                            lane.is_store, lane.base, lane.stride, lane.length,
+                            group.rounds, first_round,
+                        )
+                        if hit is not None:
+                            candidate = hit * lane_count + position
+                            if event is None or candidate < event:
+                                event = candidate
+            if counted_lanes and (event is None or event > index):
+                # The overflow decision sits at the earlier of "the
+                # d_any-th counted access" and "the d_long-th counted
+                # long-latency access" -- see PMU.overflow_distances.
+                d_any, d_long = pmu.overflow_distances()
+                overflow = kth_counted_index(
+                    counted_lanes, lane_count, total, index, d_any
+                )
+                if counted_long_lanes:
+                    long_overflow = kth_counted_index(
+                        counted_long_lanes, lane_count, total, index, d_long
+                    )
+                    if overflow is None or (
+                        long_overflow is not None and long_overflow < overflow
+                    ):
+                        overflow = long_overflow
+                if overflow is not None and (event is None or overflow < event):
+                    event = overflow
+
+            stop = total if event is None else event
+            bulk = stop - index
+            if bulk > 0:
+                self.ledger.charge_access_bulk(bulk)
+                if tm is not None:
+                    self._c_columnar.value += bulk
+                    self._c_column_blocks.value += 1
+                if vector_safe:
+                    # Whole lane slices in lane order: the group's safety
+                    # analysis proved this equals per-access program order.
+                    for position, lane in enumerate(lanes):
+                        round_lo = -(-(index - position) // lane_count)
+                        round_hi = -(-(stop - position) // lane_count)
+                        if round_hi <= round_lo:
+                            continue
+                        span = round_hi - round_lo
+                        base = lane.base + round_lo * lane.stride
+                        if lane.is_store:
+                            backend.write_run(
+                                memory, base,
+                                lane.payload[
+                                    round_lo * lane.length : round_hi * lane.length
+                                ],
+                                span, lane.stride, lane.length,
+                            )
+                        else:
+                            pieces[position].append(
+                                backend.read_run(
+                                    memory, base, span, lane.stride, lane.length
+                                )
+                            )
+                else:
+                    # Overlapping lanes: element-wise, program order.
+                    for k in range(index, stop):
+                        position = k % lane_count
+                        lane = lanes[position]
+                        round_number = k // lane_count
+                        address = lane.base + round_number * lane.stride
+                        if lane.is_store:
+                            memory.write(
+                                address,
+                                lane.payload[
+                                    round_number * lane.length
+                                    : (round_number + 1) * lane.length
+                                ],
+                            )
+                        else:
+                            pieces[position].append(memory.read(address, lane.length))
+                if counted_lanes:
+                    skipped = counted_in_range(counted_lanes, lane_count, index, stop)
+                    if skipped:
+                        # No counted long-latency access precedes the event
+                        # (the first one would *be* the event), so the
+                        # bulk skip never crosses an overflow decision.
+                        pmu.skip(skipped, False)
+                index = stop
+                if index >= total:
+                    break
+
+            # The event access runs through the scalar machinery: it may
+            # trap, sample, draw RNG, and re-arm registers, after which the
+            # loop re-computes the next event index.
+            lane_index, element = group.element(index)
+            if element.is_store:
+                self.access(element, group.element_payload(index))
+            else:
+                pieces[lane_index].append(self.access(element))
+            index += 1
+
+        if tm is not None:
+            cell = self._s_column
+            cell[0] += 1
+            cell[1] += tm.clock() - run_start
+        return [None if chunk is None else b"".join(chunk) for chunk in pieces]
+
+    def _access_columns_scalar(self, group) -> List[Optional[bytes]]:
+        """Reference path: the group's accesses one at a time, round-major."""
+        pieces: List[Optional[List[bytes]]] = [
+            None if lane.is_store else [] for lane in group.lanes
+        ]
+        for index in range(len(group)):
+            lane_index, element = group.element(index)
+            if element.is_store:
+                self.access(element, group.element_payload(index))
+            else:
+                pieces[lane_index].append(self.access(element))
+        return [None if chunk is None else b"".join(chunk) for chunk in pieces]
 
     # Convenience wrappers used by the execution machine -----------------------
     def store(

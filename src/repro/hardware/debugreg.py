@@ -170,15 +170,19 @@ class DebugRegisterFile:
         return tripped
 
     def first_overlap(
-        self, is_store: bool, base: int, stride: int, length: int, count: int
+        self, is_store: bool, base: int, stride: int, length: int, count: int,
+        start: int = 0,
     ) -> Optional[int]:
         """Index of the first access in a strided run that trips a register.
 
         The run's accesses cover ``[base + i*stride, base + i*stride +
-        length)`` for ``i`` in ``[0, count)``.  Returns the smallest ``i``
-        whose range overlaps any armed, mode-matching watchpoint, or None
-        when the whole run commits trap-free -- computed arithmetically, so
-        the batched engine can skip ahead without probing every access.
+        length)`` for ``i`` in ``[0, count)``.  Returns the smallest ``i >=
+        start`` whose range overlaps any armed, mode-matching watchpoint, or
+        None when the rest of the run commits trap-free -- computed
+        arithmetically, so the batched and columnar engines can skip ahead
+        without probing every access.  ``start`` makes this the bulk "first
+        overlapping index at or after i" query the columnar engine re-issues
+        after each trap boundary.
         """
         best: Optional[int] = None
         for watchpoint in self._slots:
@@ -188,12 +192,12 @@ class DebugRegisterFile:
             lo = watchpoint.address - length + 1 - base
             hi = watchpoint.address + watchpoint.length - 1 - base
             if stride == 0:
-                hit = 0 if lo <= 0 <= hi else None
+                hit = start if lo <= 0 <= hi else None
             elif stride > 0:
-                first = max(0, -(-lo // stride))  # ceil(lo / stride)
+                first = max(start, -(-lo // stride))  # ceil(lo / stride)
                 hit = first if first * stride <= hi else None
             else:
-                first = max(0, -(-hi // stride))  # ceil(hi / stride), stride < 0
+                first = max(start, -(-hi // stride))  # ceil(hi / stride), stride < 0
                 hit = first if first * stride >= lo else None
             if hit is not None and hit < count and (best is None or hit < best):
                 best = hit

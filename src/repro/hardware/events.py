@@ -146,8 +146,19 @@ def encode_run(values, length: int, is_float: bool) -> bytes:
     """Encode a sequence of values into one concatenated payload.
 
     Equivalent to ``b"".join(encode_value(v, length, is_float) for v in
-    values)`` but packs common widths in one ``struct`` call.
+    values)`` but packs common widths in one ``struct`` call.  NumPy
+    arrays take a zero-copy ``astype``/``tobytes`` path (duck-typed on
+    ``dtype``, so this module never imports NumPy itself); the dtype-kind
+    guard keeps cross-kind conversions on the scalar path, whose
+    truncation/modular-wrap rules are the defined ones.
     """
+    dtype = getattr(values, "dtype", None)
+    if dtype is not None:
+        if is_float and length in _FLOAT_FORMATS and dtype.kind == "f":
+            return values.astype(f"<f{length}", copy=False).tobytes()
+        if not is_float and length in _INT_RUN_CODES and dtype.kind in "iu":
+            return values.astype(f"<u{length}", copy=False).tobytes()
+        values = values.tolist()
     if is_float and length in _FLOAT_FORMATS:
         return struct.pack(f"<{len(values)}{_FLOAT_FORMATS[length][1]}", *values)
     if not is_float and length in _INT_RUN_CODES:

@@ -72,6 +72,25 @@ class SimulatedMemory:
             position += chunk
         return b"".join(chunks)
 
+    def read_span(self, address: int, length: int) -> bytearray:
+        """A mutable copy of ``[address, address+length)``, zeros for holes.
+
+        Unlike :meth:`read` this returns a ``bytearray`` (so callers -- the
+        columnar backend's gather/scatter -- can wrap it in a writable
+        ndarray via ``np.frombuffer``), and like it, it never materializes
+        pages: stitching across a hole leaves ``footprint_bytes`` untouched.
+        """
+        span = bytearray(length)
+        position = 0
+        while position < length:
+            offset = (address + position) & _PAGE_MASK
+            chunk = min(_PAGE_SIZE - offset, length - position)
+            page = self._pages.get((address + position) >> _PAGE_SHIFT)
+            if page is not None:
+                span[position : position + chunk] = page[offset : offset + chunk]
+            position += chunk
+        return span
+
     # ------------------------------------------------------------- bulk runs
     def write_run(self, address: int, payload: bytes, count: int, stride: int, length: int) -> None:
         """Commit ``count`` stores of ``length`` bytes each, ``stride`` apart.

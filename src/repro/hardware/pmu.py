@@ -157,6 +157,21 @@ class PMU:
             return 1 if long_latency else self._deferred_for
         return self._threshold - self._counter
 
+    def overflow_distances(self) -> tuple[int, int]:
+        """``(next_overflow_in(False), next_overflow_in(True))`` in one call.
+
+        The columnar engine runs mixed-latency slices, so it needs both
+        distances per block: the next overflow decision sits at the earlier
+        of "the d_any-th counted access" and "the d_long-th counted
+        long-latency access" -- in the deferred state the first long-latency
+        counted access *is* the decision point (d_long == 1), otherwise the
+        two distances coincide and the plain countdown applies.
+        """
+        if self._deferred_for > 0:
+            return self._deferred_for, 1
+        remaining = self._threshold - self._counter
+        return remaining, remaining
+
     def skip(self, n: int, long_latency: bool = False) -> None:
         """Count ``n`` matching events known not to reach the overflow.
 

@@ -104,10 +104,13 @@ def run_native(
     model: Optional[CostModel] = None,
     batched: bool = True,
     telemetry: Optional[Telemetry] = None,
+    backend=None,
 ) -> NativeRun:
     tm = telemetry if telemetry is not None else NULL_TELEMETRY
     with tm.span("native"):
-        cpu = SimulatedCPU(model=model, batched=batched, telemetry=telemetry)
+        cpu = SimulatedCPU(
+            model=model, batched=batched, telemetry=telemetry, backend=backend
+        )
         machine = Machine(cpu)
         with tm.span("workload"):
             workload(machine)
@@ -130,6 +133,7 @@ def run_witch(
     telemetry: Optional[Telemetry] = None,
     faults: Union[FaultPlan, FaultSpec, str, None] = None,
     fault_seed: Optional[int] = None,
+    backend=None,
 ) -> WitchRun:
     """Run ``workload`` under one witchcraft tool and return its findings.
 
@@ -150,6 +154,11 @@ def run_witch(
     reproduce the identical fault schedule.  ``faults=None`` (or an
     all-zero spec) leaves every output byte-identical to a build without
     fault injection.
+
+    ``backend`` selects the columnar array backend (``"auto"``/
+    ``"numpy"``/``"python"``, None consulting ``REPRO_BACKEND``); it
+    changes execution speed only, never results (see
+    tests/test_columnar.py).
     """
     plan = build_fault_plan(faults, seed if fault_seed is None else fault_seed)
     tm = telemetry if telemetry is not None else NULL_TELEMETRY
@@ -162,6 +171,7 @@ def run_witch(
                 batched=batched,
                 telemetry=telemetry,
                 faults=plan,
+                backend=backend,
             )
             client = make_client(tool, cpu)
             witch = WitchFramework(
@@ -203,6 +213,7 @@ def run_exhaustive(
     tools: Tuple[str, ...] = ("deadspy", "redspy", "loadspy"),
     model: Optional[CostModel] = None,
     telemetry: Optional[Telemetry] = None,
+    backend=None,
 ) -> ExhaustiveRun:
     """Run ``workload`` under exhaustive instrumentation.
 
@@ -213,7 +224,7 @@ def run_exhaustive(
     """
     tm = telemetry if telemetry is not None else NULL_TELEMETRY
     with tm.span(f"run_exhaustive:{'+'.join(tools)}"):
-        cpu = SimulatedCPU(model=model, telemetry=telemetry)
+        cpu = SimulatedCPU(model=model, telemetry=telemetry, backend=backend)
         instances: Dict[str, ExhaustiveTool] = {}
         for name in tools:
             factory = _EXHAUSTIVE_FACTORIES.get(name)

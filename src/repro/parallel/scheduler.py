@@ -47,6 +47,30 @@ from repro.telemetry import Telemetry, live_or_none
 #: Default cap on additional attempts after a spec's first failure.
 DEFAULT_RETRIES = 2
 
+#: Relative cost of one spec kind at scale 1.0, from the repo's own
+#: benchmarks: exhaustive instrumentation observes every access (~3x a
+#: sampled witch run), overhead kinds run a native pass on top, native
+#: alone skips all tool work.
+_KIND_COST = {
+    "witch": 1.0,
+    "native": 0.5,
+    "exhaustive": 3.0,
+    "witch_overhead": 1.5,
+    "exhaustive_overhead": 3.5,
+}
+
+
+def estimated_cost(spec: RunSpec) -> float:
+    """A dimensionless duration estimate for longest-first dispatch.
+
+    Scheduling long specs first keeps the pool's tail short: a makespan
+    is dominated by whatever is still running at the end, and a
+    longest-job-first order ensures that is a short chunk, not an
+    exhaustive full-scale run that was unluckily submitted last.  Only
+    the *relative* order matters, so kind weight x scale is plenty.
+    """
+    return _KIND_COST.get(spec.kind, 1.0) * max(spec.scale, 0.01)
+
 
 @dataclass(frozen=True)
 class RunFailure:
@@ -97,12 +121,18 @@ def run_specs(
     worker: Optional[WorkerFn] = None,
     journal: Union[RunJournal, str, None] = None,
     resume: bool = False,
+    backend=None,
 ) -> BatchResult:
     """Execute every spec, serially or across ``jobs`` processes.
 
     ``worker`` substitutes the per-spec execution function (the fault-
     injection hook the scheduler tests use); it must be picklable for
     ``jobs > 1``.  ``timeout`` bounds one chunk's wall-clock seconds.
+
+    ``backend`` selects the columnar array backend for every run in the
+    batch; it is an execution parameter (like ``jobs``), not part of any
+    spec, so it composes with journals and ``resume`` without changing
+    seeds or results.
 
     ``journal`` (a :class:`repro.parallel.RunJournal` or a path) persists
     every completed spec's result atomically as it lands; ``resume=True``
@@ -128,10 +158,12 @@ def run_specs(
         return BatchResult(specs=[], results=[], failures=[], jobs=jobs)
     tm = live_or_none(telemetry)
     if jobs <= 1 or len(specs) <= 1:
-        return _run_inline(specs, root_seed, tm, retries, worker, journal, resume)
+        return _run_inline(
+            specs, root_seed, tm, retries, worker, journal, resume, backend
+        )
     return _run_pooled(
         specs, root_seed, tm, jobs, chunk_size, timeout, retries, worker,
-        journal, resume,
+        journal, resume, backend,
     )
 
 
@@ -144,6 +176,7 @@ def _run_inline(
     worker: Optional[WorkerFn],
     journal: Optional[RunJournal] = None,
     resume: bool = False,
+    backend=None,
 ) -> BatchResult:
     """The jobs=1 path: same worker function, same merge, no processes.
 
@@ -169,7 +202,9 @@ def _run_inline(
                         results[index] = replayed
                         _merge_result(tm, replayed)
                         continue
-                outcome = _attempt(specs[index], index, root_seed, tm, retries, worker)
+                outcome = _attempt(
+                    specs[index], index, root_seed, tm, retries, worker, backend
+                )
                 if isinstance(outcome, RunFailure):
                     failures.append(outcome)
                 else:
@@ -190,13 +225,17 @@ def _attempt(
     tm: Optional[Telemetry],
     retries: int,
     worker: Optional[WorkerFn],
+    backend=None,
 ):
-    execute = worker if worker is not None else execute_spec
     attempts = 0
     while True:
         attempts += 1
         try:
-            result = execute(spec, root_seed, tm is not None)
+            # Injected doubles keep the three-argument WorkerFn signature.
+            if worker is not None:
+                result = worker(spec, root_seed, tm is not None)
+            else:
+                result = execute_spec(spec, root_seed, tm is not None, backend=backend)
             result.index = index
             return result
         except Exception as error:  # noqa: BLE001 - converted to RunFailure
@@ -233,6 +272,7 @@ def _run_pooled(
     worker: Optional[WorkerFn],
     journal: Optional[RunJournal] = None,
     resume: bool = False,
+    backend=None,
 ) -> BatchResult:
     results: Dict[int, RunResult] = {}
     indexed = list(enumerate(specs))
@@ -248,6 +288,11 @@ def _run_pooled(
             else:
                 pending.append((index, spec))
         indexed = pending
+    # Longest-first dispatch: sort by estimated cost, descending (the
+    # sort is stable, so equal-cost specs keep submission order).  The
+    # index-keyed merge below makes artifacts independent of dispatch
+    # order, so this is purely a makespan optimization.
+    indexed.sort(key=lambda item: -estimated_cost(item[1]))
     if chunk_size is None:
         # ~4 chunks per worker: large enough to amortize dispatch, small
         # enough that one slow chunk cannot idle the rest of the pool.
@@ -266,7 +311,12 @@ def _run_pooled(
         with span:
             while work:
                 submitted: List[Tuple[_Chunk, Future]] = [
-                    (chunk, pool.submit(run_chunk, chunk[1], root_seed, enabled, worker))
+                    (
+                        chunk,
+                        pool.submit(
+                            run_chunk, chunk[1], root_seed, enabled, worker, backend
+                        ),
+                    )
                     for chunk in work
                 ]
                 work = []

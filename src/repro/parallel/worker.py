@@ -47,7 +47,8 @@ class RunResult:
 
 
 def execute_spec(
-    spec: RunSpec, root_seed: int = 0, telemetry_enabled: bool = False
+    spec: RunSpec, root_seed: int = 0, telemetry_enabled: bool = False,
+    backend=None,
 ) -> RunResult:
     """Run one spec to completion in the current process.
 
@@ -55,6 +56,10 @@ def execute_spec(
     run's counters arrive as an isolated partial sum; the scheduler merges
     partials in spec order, giving every jobs count the same float
     summation grouping.
+
+    ``backend`` is an execution parameter, not part of the spec: it never
+    enters the spec key or the content-addressed seed, so journals and
+    resumes compose across backends (results are bit-identical anyway).
     """
     telemetry = Telemetry() if telemetry_enabled else None
     workload = resolve_workload(spec.workload, scale=spec.scale)
@@ -63,19 +68,20 @@ def execute_spec(
 
     if spec.kind == "witch":
         run = run_witch(
-            workload, tool=spec.tool, seed=seed, telemetry=telemetry, **options
+            workload, tool=spec.tool, seed=seed, telemetry=telemetry,
+            backend=backend, **options
         )
         payload: Dict[str, Any] = {"report": run.report.to_dict()}
     elif spec.kind == "exhaustive":
         run = run_exhaustive(
             workload, tools=spec.tools or ("deadspy", "redspy", "loadspy"),
-            telemetry=telemetry,
+            telemetry=telemetry, backend=backend,
         )
         payload = {
             "reports": {name: report.to_dict() for name, report in run.reports.items()}
         }
     elif spec.kind == "native":
-        native = run_native(workload, telemetry=telemetry)
+        native = run_native(workload, telemetry=telemetry, backend=backend)
         payload = {"native_cycles": native.native_cycles}
     elif spec.kind == "witch_overhead":
         from repro.analysis.overhead import (
@@ -125,18 +131,26 @@ def run_chunk(
     root_seed: int,
     telemetry_enabled: bool,
     worker: Optional[WorkerFn] = None,
+    backend=None,
 ) -> List[Outcome]:
     """The pool entry point: execute a chunk of indexed specs.
 
     One failing spec never takes its chunk-mates down -- each spec's
     exception is caught and shipped back as a structured ``"error"`` row
     so the scheduler can retry or report it individually.
+
+    Injected test doubles keep the three-argument :data:`WorkerFn`
+    signature; ``backend`` is forwarded only to the real worker.
     """
-    execute = worker if worker is not None else execute_spec
     outcomes: List[Outcome] = []
     for index, spec in chunk:
         try:
-            result = execute(spec, root_seed, telemetry_enabled)
+            if worker is not None:
+                result = worker(spec, root_seed, telemetry_enabled)
+            else:
+                result = execute_spec(
+                    spec, root_seed, telemetry_enabled, backend=backend
+                )
             result.index = index
             outcomes.append(("ok", index, result))
         except Exception as error:  # noqa: BLE001 - shipped back, not swallowed

@@ -37,7 +37,7 @@ def _update_cell(m: Machine, state: int, flux: int, cell: int, zero_first: bool)
         while w < _STENCIL_WORK:
             slot = (cell * 5 + w) % 512
             k = min(512 - slot, _STENCIL_WORK - w)
-            total += sum(m.load_run(state + 8 * slot, k, pc="RiemannF.ChF:stencil"))
+            total += m.load_run_sum(state + 8 * slot, k, pc="RiemannF.ChF:stencil")
             w += k
         # The computation fully overwrites every flux entry it later reads.
         m.store_run(flux, [total + f + cell for f in range(_FLUX)], pc="RiemannF.ChF:flux")

@@ -30,18 +30,34 @@ def _target(i: int) -> float:
     return 1.0 + (i % 17) / 16.0
 
 
+_TARGET_ARRAYS: dict = {}
+
+
+def _target_array(np):
+    # 1.0 + (i % 17) / 16.0 elementwise: every term is a dyadic rational,
+    # so the array holds the exact same float64s _target produces.
+    array = _TARGET_ARRAYS.get(np)
+    if array is None:
+        array = 1.0 + (np.arange(_CELLS) % 17) / 16.0
+        _TARGET_ARRAYS[np] = array
+    return array
+
+
 def _sweep(m: Machine, grid: int) -> None:
     # Each cell depends only on itself, so the sweep is one bulk load run
     # and one bulk store run; per-cell values and the store-to-store
     # distance between sweeps (what SilentCraft's watchpoints measure) are
-    # the same as the scalar loop's.
+    # the same as the scalar loop's.  Under the NumPy backend the update
+    # is elementwise array math -- IEEE-identical to the scalar loop,
+    # since both apply the same operations per element in the same order.
     with m.function("LBM_performStreamCollide"):
-        values = m.load_run(grid, _CELLS, pc="lbm.c:load", is_float=True)
-        m.store_run(
-            grid,
-            [v + _RELAX * (_target(i) - v) for i, v in enumerate(values)],
-            pc="lbm.c:store", is_float=True,
-        )
+        values = m.load_run_values(grid, _CELLS, pc="lbm.c:load", is_float=True)
+        np = m.cpu.backend.np
+        if np is not None:
+            updated = values + _RELAX * (_target_array(np) - values)
+        else:
+            updated = [v + _RELAX * (_target(i) - v) for i, v in enumerate(values)]
+        m.store_run(grid, updated, pc="lbm.c:store", is_float=True)
 
 
 def _run(m: Machine, perforate: bool) -> None:

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List
 
+from repro.execution.columnar import LoadLane, StoreLane
 from repro.execution.machine import Machine
 
 Workload = Callable[[Machine], None]
@@ -80,17 +81,24 @@ class PhaseBuilder:
         tally.silent_use += count * (chain - 1) * width
 
         def emit(m, base, name=self.name, count=count, chain=chain, width=width):
-            # The store chain batches as a stride-0 run; the access order is
-            # exactly the scalar loop's, which the sampling tools' accuracy
-            # depends on (a kill must closely follow the store it kills, or
-            # reservoir replacement evicts the watchpoint first).
+            # One column group: per round (slot), ``chain`` stores then the
+            # load, so the access order is exactly the scalar loop's -- which
+            # the sampling tools' accuracy depends on (a kill must closely
+            # follow the store it kills, or reservoir replacement evicts the
+            # watchpoint first).
             counter = self._builder._next_counter(count * chain)
-            for i in range(count):
-                slot = base + i * width
-                m.store_run(slot, [_value(counter + step) for step in range(chain)],
-                            pc=f"{name}:dead", length=width, stride=0)
-                counter += chain
-                m.load_int(slot, pc=f"{name}:dead_use", length=width)
+            m.column_group(
+                count,
+                *[
+                    StoreLane(
+                        base,
+                        [_value(counter + i * chain + step) for i in range(count)],
+                        pc=f"{name}:dead", length=width, stride=width,
+                    )
+                    for step in range(chain)
+                ],
+                LoadLane(base, pc=f"{name}:dead_use", length=width, stride=width),
+            )
 
         self._steps.append(_Step(emit, {"bytes_needed": count * 8}))
         return self
@@ -111,12 +119,15 @@ class PhaseBuilder:
 
         def emit(m, base, name=self.name, count=count, width=width):
             counter = self._builder._next_counter(count)
-            for i in range(count):
-                slot = base + i * width
-                value = _value(counter + i)
-                m.store_int(slot, value, pc=f"{name}:silent_first", length=width)
-                m.store_int(slot, value, pc=f"{name}:silent", length=width)
-                m.load_int(slot, pc=f"{name}:silent_use", length=width)
+            values = [_value(counter + i) for i in range(count)]
+            m.column_group(
+                count,
+                StoreLane(base, values, pc=f"{name}:silent_first",
+                          length=width, stride=width),
+                StoreLane(base, values, pc=f"{name}:silent",
+                          length=width, stride=width),
+                LoadLane(base, pc=f"{name}:silent_use", length=width, stride=width),
+            )
 
         self._steps.append(_Step(emit, {"bytes_needed": count * 8}))
         return self
@@ -136,10 +147,13 @@ class PhaseBuilder:
 
         def emit(m, base, name=self.name, count=count, table=table, width=width):
             counter = self._builder._next_counter(table)
-            for i in range(table):  # populate + first scan (unclassified loads)
-                m.store_int(base + i * width, _value(counter + i), pc=f"{name}:ro_init",
-                            length=width)
-                m.load_int(base + i * width, pc=f"{name}:ro_scan", length=width)
+            # populate + first scan (unclassified loads)
+            m.column_group(
+                table,
+                StoreLane(base, [_value(counter + i) for i in range(table)],
+                          pc=f"{name}:ro_init", length=width, stride=width),
+                LoadLane(base, pc=f"{name}:ro_scan", length=width, stride=width),
+            )
             # every one of these is a redundant re-load; full table cycles
             # plus a partial tail reproduce the i % table sequence exactly
             full, partial = divmod(count, table)
@@ -162,13 +176,16 @@ class PhaseBuilder:
         self._builder._tally.dead_use += count * width
 
         def emit(m, base, name=self.name, count=count, width=width):
-            # store/load alternate per slot; batching either side would
-            # reorder pairs apart, so this pattern stays element-wise.
+            # store/load alternate per slot; a homogeneous run on either
+            # side would reorder pairs apart, but a two-lane column group
+            # keeps the interleaving exactly.
             counter = self._builder._next_counter(count)
-            for i in range(count):
-                slot = base + i * width
-                m.store_int(slot, _value(counter + i), pc=f"{name}:clean_store", length=width)
-                m.load_int(slot, pc=f"{name}:clean_load", length=width)
+            m.column_group(
+                count,
+                StoreLane(base, [_value(counter + i) for i in range(count)],
+                          pc=f"{name}:clean_store", length=width, stride=width),
+                LoadLane(base, pc=f"{name}:clean_load", length=width, stride=width),
+            )
 
         self._steps.append(_Step(emit, {"bytes_needed": count * 8}))
         return self

@@ -16,11 +16,17 @@ from __future__ import annotations
 
 import pytest
 
+from repro.execution.columnar import numpy_backend
 from repro.harness import run_native, run_witch
 from repro.workloads.patterns import WorkloadBuilder
 from repro.workloads.spec import QUICK_SUITE, SPEC_SUITE, workload_for
 
 TOOLS = ("deadcraft", "silentcraft", "loadcraft")
+
+#: Columnar backends runnable here; tests/test_columnar.py holds the
+#: full three-way suite, these runs just keep the batched-vs-scalar
+#: differential honest under both array implementations.
+BACKENDS = ("python",) + (("numpy",) if numpy_backend() is not None else ())
 
 #: (registers, period_jitter, shadow_bias): an ideal PMU, a jittery
 #: 2-register PMU with a heavy shadow-sampling artefact, and a wide
@@ -123,9 +129,11 @@ class TestPatternIdentity:
         return builder.build()
 
     @pytest.mark.parametrize("tool", TOOLS)
-    def test_builder_workloads_identical(self, tool):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_builder_workloads_identical(self, tool, backend):
         batched = run_witch(self._workload(), tool=tool, period=31, registers=2,
-                            period_jitter=3, shadow_bias=0.2, seed=13)
+                            period_jitter=3, shadow_bias=0.2, seed=13,
+                            backend=backend)
         scalar = run_witch(self._workload(), tool=tool, period=31, registers=2,
                            period_jitter=3, shadow_bias=0.2, seed=13, batched=False)
         _assert_identical(_witch_snapshot(batched), _witch_snapshot(scalar))

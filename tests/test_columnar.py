@@ -1,0 +1,517 @@
+"""The columnar engine and its backends are bit-identical to scalar.
+
+Three execution paths exist for every access stream: the element-by-
+element scalar reference (``batched=False``), the columnar engine on the
+pure-Python backend, and the columnar engine on the NumPy backend.  The
+contract (docs/columnar.md) is that all three produce the same
+observable universe -- reports, fractions, ledger totals, PMU state,
+trap counts, and the final memory image -- for every workload, every
+tool, every sampling period, and every fault plan.  These tests enforce
+the contract with full-state snapshots, the same way
+tests/test_batched_equivalence.py polices the batched engine.
+
+NumPy-dependent tests skip cleanly when NumPy is absent (the CI
+fallback leg); everything else runs on the stdlib-only backend.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.execution import columnar
+from repro.execution.columnar import (
+    BACKEND_ENV,
+    BackendUnavailable,
+    ColumnGroup,
+    Lane,
+    LoadLane,
+    StoreLane,
+    counted_in_range,
+    kth_counted_index,
+    numpy_backend,
+    resolve_backend,
+)
+from repro.execution.machine import Machine
+from repro.harness import run_native, run_witch
+from repro.hardware.events import AccessType, encode_run
+from repro.hardware.memory import SimulatedMemory
+from repro.parallel import RunJournal, run_specs, witch_spec
+
+from tests.test_batched_equivalence import (
+    _assert_identical,
+    _ledger_snapshot,
+    _memory_image,
+    _witch_snapshot,
+)
+
+TOOLS = ("deadcraft", "silentcraft", "loadcraft")
+
+HAVE_NUMPY = numpy_backend() is not None
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+
+#: Backends every test machine can run; NumPy joins when importable.
+BACKENDS = ("python",) + (("numpy",) if HAVE_NUMPY else ())
+
+
+# --------------------------------------------------------------- fuzz corpus
+def random_column_program(seed: int):
+    """A random interleaving of scalar accesses, runs, and column groups.
+
+    The generator decides everything from ``seed`` alone, so the same
+    seed emits the identical access stream on every backend.  Values
+    repeat often enough that dead, silent, and redundant patterns all
+    occur; strides are drawn so some groups are vector-safe and others
+    force the element-wise commit path.
+    """
+    rng = random.Random(seed)
+    script = []
+    for _ in range(rng.randrange(6, 12)):
+        choice = rng.random()
+        if choice < 0.3:  # scalar accesses over a tiny slot pool
+            ops = [
+                (
+                    "store" if rng.random() < 0.5 else "load",
+                    rng.randrange(6),
+                    rng.choice([7, 7, rng.randrange(100)]),
+                    rng.randrange(4),
+                )
+                for _ in range(rng.randrange(10, 40))
+            ]
+            script.append(("scalar", ops))
+        elif choice < 0.55:  # homogeneous strided runs
+            count = rng.randrange(8, 90)
+            stride = rng.choice([8, 8, 16, 24, 0])
+            if rng.random() < 0.5:
+                values = [rng.choice([5, 5, rng.randrange(1000)]) for _ in range(count)]
+                script.append(("store_run", count, stride, values))
+            else:
+                script.append(("load_run", count, stride, None))
+        else:  # heterogeneous column groups, 2-3 lanes
+            rounds = rng.randrange(8, 120)
+            stride = rng.choice([8, 8, 16])
+            same_walk = rng.random() < 0.6  # vector-safe when True
+            lanes = []
+            lanes.append(
+                (
+                    "store",
+                    0,
+                    stride,
+                    [rng.choice([9, 9, rng.randrange(1000)]) for _ in range(rounds)],
+                )
+            )
+            lanes.append(("load", 0 if same_walk else 8, stride, None))
+            if rng.random() < 0.4:
+                lanes.append(
+                    (
+                        "store",
+                        0 if same_walk else 4096,
+                        stride,
+                        [rng.randrange(50) for _ in range(rounds)],
+                    )
+                )
+            script.append(("group", rounds, lanes))
+
+    def workload(m: Machine):
+        slots = m.alloc(6 * 8, "slots")
+        arena = m.alloc(1 << 16, "arena")
+        with m.function("main"):
+            for step, item in enumerate(script):
+                if item[0] == "scalar":
+                    for kind, slot, value, line in item[1]:
+                        address = slots + 8 * slot
+                        if kind == "store":
+                            m.store_int(address, value, pc=f"fuzz.c:{line}")
+                        else:
+                            m.load_int(address, pc=f"fuzz.c:{line}")
+                elif item[0] == "store_run":
+                    _, count, stride, values = item
+                    m.store_run(arena, values, stride=stride or None, pc=f"fuzz.c:sr{step % 3}")
+                elif item[0] == "load_run":
+                    _, count, stride, _ = item
+                    m.load_run(arena, count, stride=stride or None, pc=f"fuzz.c:lr{step % 3}")
+                else:
+                    _, rounds, lanes = item
+                    specs = []
+                    for kind, offset, stride, values in lanes:
+                        if kind == "store":
+                            specs.append(
+                                StoreLane(
+                                    arena + offset, values, stride=stride,
+                                    pc=f"fuzz.c:g{step % 4}s",
+                                )
+                            )
+                        else:
+                            specs.append(
+                                LoadLane(
+                                    arena + offset, stride=stride,
+                                    pc=f"fuzz.c:g{step % 4}l",
+                                )
+                            )
+                    m.column_group(rounds, *specs)
+
+    return workload
+
+
+def _three_way(program_seed: int, tool: str, **kwargs):
+    """Snapshots of the scalar, python-columnar, and numpy-columnar runs."""
+    runs = {
+        "scalar": run_witch(
+            random_column_program(program_seed), tool=tool, batched=False,
+            backend="python", **kwargs,
+        ),
+        "python": run_witch(
+            random_column_program(program_seed), tool=tool, backend="python", **kwargs
+        ),
+    }
+    if HAVE_NUMPY:
+        runs["numpy"] = run_witch(
+            random_column_program(program_seed), tool=tool, backend="numpy", **kwargs
+        )
+    return {name: _witch_snapshot(run) for name, run in runs.items()}
+
+
+class TestThreeWayIdentity:
+    """scalar == columnar(python) == columnar(numpy), full snapshots."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("tool", TOOLS)
+    def test_full_sampling(self, seed, tool):
+        snapshots = _three_way(seed, tool, period=1, registers=64, seed=seed)
+        reference = snapshots.pop("scalar")
+        for name, snapshot in snapshots.items():
+            _assert_identical(snapshot, reference)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("tool", TOOLS)
+    def test_random_periods(self, seed, tool):
+        period = random.Random(seed * 31 + 7).choice([3, 7, 31, 101])
+        snapshots = _three_way(
+            seed + 100, tool, period=period, registers=2,
+            period_jitter=min(5, period - 1), shadow_bias=0.2, seed=seed,
+        )
+        reference = snapshots.pop("scalar")
+        for name, snapshot in snapshots.items():
+            _assert_identical(snapshot, reference)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("tool", TOOLS)
+    def test_with_fault_plan(self, seed, tool):
+        snapshots = _three_way(
+            seed + 200, tool, period=13, registers=4, seed=seed,
+            faults="drop=0.2,arm=0.15,trap_drop=0.1,spurious=0.1",
+        )
+        reference = snapshots.pop("scalar")
+        for name, snapshot in snapshots.items():
+            _assert_identical(snapshot, reference)
+
+    @pytest.mark.parametrize("name", ("lbm", "smb-msgrate", "chombo"))
+    def test_case_studies_identical(self, name):
+        from repro.workloads.casestudies import CASE_STUDIES
+
+        case = CASE_STUDIES[name]
+        kwargs = dict(tool=case.tool, period=53, seed=3)
+        reference = _witch_snapshot(
+            run_witch(case.baseline, batched=False, backend="python", **kwargs)
+        )
+        for backend in BACKENDS:
+            snapshot = _witch_snapshot(
+                run_witch(case.baseline, backend=backend, **kwargs)
+            )
+            _assert_identical(snapshot, reference)
+
+
+class TestPageStraddle:
+    """Bulk commits that cross 4 KiB page boundaries mid-slice."""
+
+    STRIDE = 24  # never divides 4096: elements straddle page edges
+
+    def _workload(self, m: Machine):
+        # 64 strided stores starting 60 bytes before a page boundary:
+        # elements 2-3 straddle the first edge, later ones the next.
+        arena = m.alloc(1 << 15, "arena")
+        base = arena + 4096 - 60
+        with m.function("main"):
+            m.store_run(
+                base, [3 * i + 1 for i in range(64)], stride=self.STRIDE,
+                pc="straddle.c:store",
+            )
+            m.load_run(base, 64, stride=self.STRIDE, pc="straddle.c:load")
+            m.column_group(
+                64,
+                StoreLane(base, [5 * i for i in range(64)], stride=self.STRIDE,
+                          pc="straddle.c:gs"),
+                LoadLane(base, stride=self.STRIDE, pc="straddle.c:gl"),
+            )
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_memory_and_footprint_identical(self, backend):
+        reference = run_native(self._workload, batched=False, backend="python")
+        columnar_run = run_native(self._workload, backend=backend)
+        assert _memory_image(columnar_run.cpu) == _memory_image(reference.cpu)
+        assert (
+            columnar_run.cpu.memory.footprint_bytes()
+            == reference.cpu.memory.footprint_bytes()
+        )
+        assert _ledger_snapshot(columnar_run.cpu) == _ledger_snapshot(reference.cpu)
+
+    @needs_numpy
+    def test_numpy_scatter_matches_reference_writes(self):
+        backend = numpy_backend()
+        reference = SimulatedMemory()
+        vectorized = SimulatedMemory()
+        payload = bytes(range(256)) * 2  # 64 elements x 8 bytes
+        base = 4096 - 60
+        reference.write_run(base, payload, 64, self.STRIDE, 8)
+        backend.write_run(vectorized, base, payload, 64, self.STRIDE, 8)
+        assert {n: bytes(p) for n, p in vectorized._pages.items()} == {
+            n: bytes(p) for n, p in reference._pages.items()
+        }
+        assert vectorized.footprint_bytes() == reference.footprint_bytes()
+        assert backend.read_run(vectorized, base, 64, self.STRIDE, 8) == \
+            reference.read_run(base, 64, self.STRIDE, 8)
+
+
+class TestBackendResolution:
+    """resolve_backend: names, env var, instances, and failure modes."""
+
+    def test_python_always_available(self):
+        assert resolve_backend("python").name == "python"
+
+    def test_instance_passthrough(self):
+        backend = resolve_backend("python")
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("fortran")
+
+    def test_env_variable_consulted(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        assert resolve_backend(None).name == "python"
+        monkeypatch.setenv(BACKEND_ENV, "fortran")
+        with pytest.raises(ValueError):
+            resolve_backend(None)
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "fortran")
+        assert resolve_backend("python").name == "python"
+
+    @needs_numpy
+    def test_auto_prefers_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend("auto").name == "numpy"
+
+    def test_auto_without_numpy_falls_back(self, monkeypatch):
+        monkeypatch.setattr(columnar, "_NUMPY_BACKEND", None)
+        monkeypatch.setattr(columnar, "_NUMPY_PROBED", True)
+        assert resolve_backend("auto").name == "python"
+        with pytest.raises(BackendUnavailable, match="numpy"):
+            resolve_backend("numpy")
+
+    def test_fallback_reports_byte_identical(self, monkeypatch):
+        """Forcing the fallback changes nothing the user can observe."""
+        workload = random_column_program(42)
+        reference = run_witch(
+            random_column_program(42), tool="deadcraft", period=7, seed=1,
+        ).report.to_dict()
+        monkeypatch.setattr(columnar, "_NUMPY_BACKEND", None)
+        monkeypatch.setattr(columnar, "_NUMPY_PROBED", True)
+        fallback = run_witch(workload, tool="deadcraft", period=7, seed=1)
+        assert fallback.cpu.backend.name == "python"
+        assert fallback.report.to_dict() == reference
+
+
+class TestJournalComposition:
+    """--backend composes with --journal/--resume: keys never mention it."""
+
+    def test_resume_across_backends(self, tmp_path):
+        specs = [
+            witch_spec("micro:listing2", "deadcraft", period=31),
+            witch_spec("micro:listing3", "silentcraft", period=31),
+        ]
+        path = str(tmp_path / "runs.jsonl")
+        first = run_specs(
+            specs, root_seed=5, journal=RunJournal(path, root_seed=5),
+            backend="python",
+        )
+        assert first.ok
+        # Resuming under a different backend replays the journal: the
+        # spec key has no backend field, so the recorded runs match.
+        resumed = run_specs(
+            specs, root_seed=5, journal=RunJournal(path, root_seed=5),
+            resume=True, backend=BACKENDS[-1],
+        )
+        assert resumed.ok
+        assert [r.payload for r in resumed.results] == [
+            r.payload for r in first.results
+        ]
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_jobs_and_backend_agree_with_serial(self, backend):
+        specs = [witch_spec("micro:listing2", tool, period=31) for tool in TOOLS]
+        serial = run_specs(specs, root_seed=9, jobs=1, backend=backend)
+        pooled = run_specs(specs, root_seed=9, jobs=2, backend=backend)
+        assert serial.ok and pooled.ok
+        assert [r.payload for r in serial.results] == [
+            r.payload for r in pooled.results
+        ]
+
+
+class TestColumnGroupMechanics:
+    """vector_safe analysis and the event-location helpers."""
+
+    def _lane(self, kind, base, stride=8, length=8, rounds=16):
+        payload = None
+        if kind is AccessType.STORE:
+            payload = encode_run(list(range(rounds)), length, False)
+        return Lane(
+            kind=kind, base=base, stride=stride, length=length,
+            pc="t.c:1", context=("t.c:1",), payload=payload,
+        )
+
+    def test_single_lane_is_safe(self):
+        group = ColumnGroup([self._lane(AccessType.LOAD, 0)], rounds=16)
+        assert group.vector_safe
+
+    def test_disjoint_lanes_are_safe(self):
+        group = ColumnGroup(
+            [self._lane(AccessType.STORE, 0), self._lane(AccessType.LOAD, 1 << 20)],
+            rounds=16,
+        )
+        assert group.vector_safe
+
+    def test_same_walk_is_safe(self):
+        group = ColumnGroup(
+            [self._lane(AccessType.STORE, 64), self._lane(AccessType.LOAD, 64)],
+            rounds=16,
+        )
+        assert group.vector_safe
+
+    def test_offset_overlap_is_unsafe(self):
+        group = ColumnGroup(
+            [self._lane(AccessType.STORE, 0), self._lane(AccessType.LOAD, 8)],
+            rounds=16,
+        )
+        assert not group.vector_safe
+
+    def test_self_overlapping_stride_is_unsafe(self):
+        lanes = [
+            self._lane(AccessType.STORE, 0, stride=4),
+            self._lane(AccessType.LOAD, 0, stride=4),
+        ]
+        assert not ColumnGroup(lanes, rounds=16).vector_safe
+
+    def test_stride_zero_shared_address_is_unsafe(self):
+        lanes = [
+            self._lane(AccessType.STORE, 0, stride=0),
+            self._lane(AccessType.LOAD, 0, stride=0),
+        ]
+        assert not ColumnGroup(lanes, rounds=16).vector_safe
+
+    def test_store_payload_validated(self):
+        lane = Lane(
+            kind=AccessType.STORE, base=0, stride=8, length=8,
+            pc="t.c:1", context=("t.c:1",), payload=b"\0" * 8,
+        )
+        with pytest.raises(ValueError, match="payload"):
+            ColumnGroup([lane], rounds=4)
+
+    def test_element_round_trip(self):
+        lanes = [
+            self._lane(AccessType.STORE, 0, stride=16),
+            self._lane(AccessType.LOAD, 1024, stride=8),
+        ]
+        group = ColumnGroup(lanes, rounds=16)
+        assert len(group) == 32
+        lane_index, access = group.element(5)  # round 2, lane 1
+        assert lane_index == 1
+        assert access.address == 1024 + 2 * 8
+        assert group.element_payload(5) is None
+        assert group.element_payload(4) == encode_run([2], 8, False)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_columns_match_elements(self, backend):
+        resolved = resolve_backend(backend)
+        lanes = [
+            self._lane(AccessType.STORE, 0, stride=16),
+            self._lane(AccessType.LOAD, 8, stride=16),
+        ]
+        group = ColumnGroup(lanes, rounds=16)
+        columns = group.columns(resolved)
+        for j in range(len(group)):
+            lane_index, access = group.element(j)
+            assert columns.addr[j] == access.address
+            assert columns.length[j] == access.length
+            assert columns.kind[j] == (1 if access.kind is AccessType.STORE else 0)
+            assert columns.context_id[j] == lane_index
+        assert group.columns(resolved) is columns  # cached per backend
+
+
+class TestEventLocation:
+    """kth_counted_index / counted_in_range vs. brute-force enumeration."""
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_against_brute_force(self, seed):
+        rng = random.Random(seed)
+        lane_count = rng.randrange(1, 6)
+        counted = sorted(
+            rng.sample(range(lane_count), rng.randrange(0, lane_count + 1))
+        )
+        total = rng.randrange(0, 60)
+        stream = [j for j in range(total) if j % lane_count in counted]
+        for _ in range(20):
+            start = rng.randrange(0, total + 2)
+            stop = rng.randrange(start, total + 2)
+            # counted_in_range is pure range arithmetic: the engine only
+            # calls it with stop <= total, so the oracle ignores total.
+            expected_count = sum(
+                1 for j in range(start, stop) if j % lane_count in counted
+            )
+            assert counted_in_range(counted, lane_count, start, stop) == expected_count
+            k = rng.randrange(1, 8)
+            remaining = [j for j in stream if j >= start]
+            expected_index = remaining[k - 1] if len(remaining) >= k else None
+            assert (
+                kth_counted_index(counted, lane_count, total, start, k)
+                == expected_index
+            )
+
+    def test_degenerate_inputs(self):
+        assert kth_counted_index([], 4, 100, 0, 1) is None
+        assert kth_counted_index([0], 4, 100, 0, 0) is None
+        assert counted_in_range([], 4, 0, 100) == 0
+        assert counted_in_range([0, 1], 4, 10, 10) == 0
+
+
+class TestCLIBackendFlag:
+    """--backend on the CLI: identical artifacts, friendly errors."""
+
+    def test_profile_reports_identical(self, tmp_path, capsys):
+        from repro.cli import main
+
+        outputs = {}
+        for backend in BACKENDS:
+            path = tmp_path / f"{backend}.json"
+            code = main([
+                "profile", "micro:listing2", "--tool", "deadcraft",
+                "--period", "31", "--backend", backend, "--json", str(path),
+            ])
+            assert code == 0
+            outputs[backend] = path.read_bytes()
+        reference = outputs.pop("python")
+        for backend, blob in outputs.items():
+            assert blob == reference, f"--backend {backend} diverges"
+
+    def test_unavailable_backend_is_a_clean_error(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.setattr(columnar, "_NUMPY_BACKEND", None)
+        monkeypatch.setattr(columnar, "_NUMPY_PROBED", True)
+        code = main([
+            "profile", "micro:listing2", "--backend", "numpy",
+        ])
+        assert code == 2
+        assert "numpy" in capsys.readouterr().err.lower()

@@ -125,6 +125,32 @@ class TestExactEquivalenceAtFullSampling:
             f"only-spy={sorted(set(spy_table) - set(craft_table))[:3]}"
         )
 
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("craft", ["deadcraft", "silentcraft", "loadcraft"])
+    def test_pair_tables_match_on_every_backend(self, seed, craft):
+        """The craft==spy identity holds on each columnar backend too.
+
+        tests/test_columnar.py proves scalar == columnar; this closes
+        the triangle against the *exhaustive* implementation, so a
+        backend bug cannot hide behind a matching scalar-engine bug.
+        """
+        from repro.execution.columnar import numpy_backend
+
+        backends = ["python"] + (["numpy"] if numpy_backend() is not None else [])
+        workload = random_program(seed + 500)
+        spy = GROUND_TRUTH_FOR[craft]
+        spy_table = pair_metrics(
+            run_exhaustive(workload, tools=(spy,)).reports[spy].pairs
+        )
+        for backend in backends:
+            craft_run = run_witch(
+                random_program(seed + 500), tool=craft, period=self.PERIOD,
+                registers=self.REGISTERS, seed=seed, backend=backend,
+            )
+            assert pair_metrics(craft_run.witch.pairs) == spy_table, (
+                craft, seed + 500, backend,
+            )
+
     @pytest.mark.parametrize("seed", range(20))
     @pytest.mark.parametrize("craft", ["deadcraft", "silentcraft", "loadcraft"])
     def test_headline_fractions_match_exactly(self, seed, craft):

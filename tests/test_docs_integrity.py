@@ -18,6 +18,7 @@ def test_docs_directory_complete():
         "extending.md",
         "api.md",
         "casestudies.md",
+        "columnar.md",
         "observability.md",
         "parallel.md",
         "robustness.md",
