@@ -1,0 +1,126 @@
+"""Headroom smoke: the controller hits its budget on the case studies.
+
+Runs the adaptive period controller against a 10% overhead budget on the
+two cheap case studies (lbm and smb-msgrate, repeated 400x so sample
+quantization is fine-grained), then computes the headroom report at each
+tuned period.  Everything here reads the deterministic cycle ledger, so
+the assertions are exact regressions, not statistical hopes:
+
+- the controller lands within 1.5x of ``--target-overhead`` (the
+  acceptance bound; calibrated miss ratios are ~0.94 and ~1.04),
+- every bound/blocker panel is internally consistent (actuals never
+  undercut a clean run's floors), and
+- the evidence -- bounds, headroom fractions, ranked blockers, and the
+  controller trajectory -- goes to ``BENCH_headroom.json`` for the CI
+  artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from conftest import format_table
+from repro.analysis.headroom import compute_headroom, headroom_from_tallies, tallies_from
+from repro.analysis.period_controller import tune_periods
+from repro.harness import run_witch
+from repro.parallel import merge_headroom_rows
+from repro.telemetry import Telemetry
+from repro.workloads.registry import resolve_workload
+
+WORKLOADS = ("case:lbm", "case:smb-msgrate")
+TOOL = "deadcraft"
+TARGET_OVERHEAD = 0.10
+SCALE = 400.0
+MAX_MISS_RATIO = 1.5
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_headroom.json"
+
+
+def test_headroom_controller_smoke(publish):
+    tuned = tune_periods(
+        list(WORKLOADS),
+        TOOL,
+        target_overhead=TARGET_OVERHEAD,
+        scale=SCALE,
+        max_iterations=8,
+    )
+
+    rows = {}
+    headrooms = {}
+    for name in WORKLOADS:
+        telemetry = Telemetry()
+        run = run_witch(
+            resolve_workload(name, scale=SCALE),
+            TOOL,
+            period=tuned[name].period,
+            telemetry=telemetry,
+        )
+        rows[name] = tallies_from(run.report, telemetry.snapshot())
+        headrooms[name] = compute_headroom(run.report, telemetry.snapshot())
+    merged = headroom_from_tallies(merge_headroom_rows(list(rows.values())))
+
+    table_rows = []
+    for name in WORKLOADS:
+        result = tuned[name]
+        headroom = headrooms[name]
+        samples = headroom.bound("samples")
+        cycles = headroom.bound("tool_cycles")
+        table_rows.append(
+            [
+                name,
+                result.period,
+                f"{result.overhead:.4f}",
+                f"{result.miss_ratio:.3f}",
+                "yes" if result.converged else "no",
+                len(result.steps),
+                f"{100 * samples.headroom_fraction:.1f}%",
+                f"{100 * cycles.headroom_fraction:.1f}%",
+                headroom.blockers[0].name,
+            ]
+        )
+    publish(
+        "headroom_controller",
+        format_table(
+            [
+                "workload",
+                "period",
+                "overhead",
+                "miss",
+                "conv",
+                "evals",
+                "samples hr",
+                "cycles hr",
+                "top blocker",
+            ],
+            table_rows,
+        ),
+    )
+
+    evidence = {
+        "format": "bench-headroom",
+        "version": 1,
+        "tool": TOOL,
+        "scale": SCALE,
+        "target_overhead": TARGET_OVERHEAD,
+        "max_miss_ratio": MAX_MISS_RATIO,
+        "controller": {name: tuned[name].to_dict() for name in WORKLOADS},
+        "headroom": {name: headrooms[name].to_dict() for name in WORKLOADS},
+        "merged": merged.to_dict(),
+    }
+    BENCH_JSON.write_text(json.dumps(evidence, indent=2, sort_keys=True) + "\n")
+
+    for name in WORKLOADS:
+        result = tuned[name]
+        assert result.miss_ratio <= MAX_MISS_RATIO, (
+            f"{name}: controller overhead {result.overhead:.4f} misses the "
+            f"{TARGET_OVERHEAD} budget by {result.miss_ratio:.2f}x "
+            f"(> {MAX_MISS_RATIO}x)"
+        )
+        headroom = headrooms[name]
+        # Clean runs on ideal hardware: actuals meet or beat every floor.
+        for bound in headroom.bounds:
+            assert bound.headroom_fraction < 0.05, (name, bound.name)
+        assert not headroom.costmodel["refuted"], name
+        severities = [blocker.severity for blocker in headroom.blockers]
+        assert severities == sorted(severities, reverse=True), name
+    assert merged.tallies["rows"] == len(WORKLOADS)

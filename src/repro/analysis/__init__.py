@@ -9,6 +9,10 @@
   :mod:`repro.parallel`.
 - :mod:`repro.analysis.robustness` -- accuracy vs injected fault rate
   (graceful-degradation curves; see docs/robustness.md).
+- :mod:`repro.analysis.headroom` -- lower bounds, actual-vs-bound
+  headroom, and the ranked blocker breakdown (see docs/headroom.md).
+- :mod:`repro.analysis.period_controller` -- adaptive PMU period tuning
+  toward a ``--target-overhead`` budget.
 """
 
 from repro.analysis.accuracy import (
@@ -19,13 +23,33 @@ from repro.analysis.accuracy import (
     pair_ranking,
 )
 from repro.analysis.convergence import ConvergencePoint, measure_convergence
+from repro.analysis.headroom import (
+    Blocker,
+    Bound,
+    HeadroomReport,
+    compute_headroom,
+    headroom_from_tallies,
+    merge_rows,
+    tallies_from,
+)
+from repro.analysis.period_controller import (
+    DEFAULT_TARGET_OVERHEAD,
+    TuningResult,
+    TuningStep,
+    tune_period,
+    tune_periods,
+)
 from repro.analysis.blindspot import BlindspotResult, blindspot_sweep, measure_blindspot
 from repro.analysis.overhead import (
     PAPER_LOAD_PERIOD,
     PAPER_PERIOD_SWEEP,
     PAPER_STORE_PERIOD,
+    EngineRate,
+    EngineRateOverhead,
     OverheadResult,
     SuiteOverheads,
+    engine_rate,
+    engine_rate_overhead,
     exhaustive_overhead,
     witch_overhead,
 )
@@ -42,9 +66,15 @@ from repro.analysis.whatif import FixOpportunity, WhatIfResult, estimate_speedup
 __all__ = [
     "AccuracyResult",
     "AccuracyTable",
+    "Blocker",
+    "Bound",
     "ConvergencePoint",
     "BlindspotResult",
     "DEFAULT_RATES",
+    "DEFAULT_TARGET_OVERHEAD",
+    "EngineRate",
+    "EngineRateOverhead",
+    "HeadroomReport",
     "OverheadResult",
     "PAPER_LOAD_PERIOD",
     "PAPER_PERIOD_SWEEP",
@@ -54,18 +84,28 @@ __all__ = [
     "FixOpportunity",
     "SuiteOverheads",
     "SweepPoint",
+    "TuningResult",
+    "TuningStep",
     "WhatIfResult",
     "blindspot_sweep",
     "compare_reports",
+    "compute_headroom",
     "edit_distance",
+    "engine_rate",
+    "engine_rate_overhead",
     "estimate_speedup",
     "exhaustive_overhead",
+    "headroom_from_tallies",
     "max_error_step",
     "measure_blindspot",
     "measure_convergence",
     "measure_stability",
+    "merge_rows",
     "pair_ranking",
     "robustness_sweep",
     "sweep_periods",
     "sweep_registers",
+    "tallies_from",
+    "tune_period",
+    "tune_periods",
 ]

@@ -1,0 +1,511 @@
+"""Headroom and blocker attribution: where the cycles and accuracy go.
+
+The telemetry subsystem counts everything -- ``witch.*`` decisions,
+``debugreg.*`` traffic, ``pmu.*`` overflows, ``faults.*`` losses -- but a
+pile of counters does not answer the question a performance engineer
+actually asks: *how far is this run from the best it could possibly do,
+and what is in the way?*  This module turns one run's artifacts (an
+:class:`~repro.core.report.InefficiencyReport` plus a telemetry
+snapshot) into exactly that answer:
+
+- **Lower bounds** from the mechanism's own laws.  A period-``P`` run
+  over ``E`` counted events must handle at least ``E // P`` samples (the
+  PMU cadence law -- exact on ideal hardware with zero jitter); the
+  information it reported needed at least as many traps as it *recorded*
+  (``sum(pair.events)``); and gathering that information costs a floor of
+  cycles priced by :class:`~repro.hardware.costmodel.CostModel`.
+- **Actual-vs-bound headroom**: each bound is paired with the measured
+  figure, so the gap is the recoverable resource (wasted trap signals,
+  starved samples, surplus tool cycles).
+- **A ranked blocker breakdown**: register starvation (reservoir
+  ``witch.skips`` plus EBUSY rejections), sample drops
+  (``faults.pmu_dropped``, which includes throttle windows), replacement
+  churn (armed watchpoints evicted or expired before ever trapping), and
+  cost-model overhead -- each scored by the fraction of its budget it
+  burned, most severe first.
+- **A reservoir-implied accuracy ceiling** per the survival law the
+  property tests pin down (tests/test_properties_reservoir.py): with
+  ``N`` registers and a mean reservoir epoch of ``k`` samples, a sampled
+  location survives to trap with probability ``min(1, N/k)``; the
+  headline fraction's statistical floor follows from the surviving trap
+  count.  ``period=1`` with full survival and no losses is the
+  exhaustive-equivalent regime -- ceiling exactly 1.0, matching the fuzz
+  differential's byte-for-byte proof.
+- **CounterPoint-style self-refutation** (arXiv:2601.01265): the cost
+  model *predicts* tool cycles from the run's own event tallies
+  (samples x sample_cycles + arms x arm_cycles + ...); measurement comes
+  from the cycle ledger.  Where prediction and measurement disagree, the
+  model's assumptions are refuted and the disagreement is flagged rather
+  than averaged away.
+
+Everything here is pure arithmetic over counters and report fields --
+no wall-clock, no RNG -- so a headroom row is a deterministic function
+of its run, and per-spec rows folded in spec order
+(:func:`merge_rows`, re-exported as
+:func:`repro.parallel.merge.merge_headroom_rows`) are bit-identical for
+any ``--jobs`` count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.report import InefficiencyReport
+from repro.hardware.costmodel import CostModel
+
+ReportLike = Union[InefficiencyReport, Dict[str, Any]]
+
+#: Relative disagreement between predicted and measured tool cycles above
+#: which the cost model counts as refuted by the run's own counters.
+REFUTATION_TOLERANCE = 0.05
+
+#: The four blocker names, in presentation order for ties.
+BLOCKER_NAMES = (
+    "register_starvation",
+    "sample_drops",
+    "replacement_churn",
+    "cost_model_overhead",
+)
+
+
+@dataclass(frozen=True)
+class Bound:
+    """One actual-vs-bound pairing; ``gap`` is the recoverable headroom."""
+
+    name: str
+    unit: str
+    actual: float
+    bound: float
+    note: str = ""
+
+    @property
+    def gap(self) -> float:
+        return self.actual - self.bound
+
+    @property
+    def headroom_fraction(self) -> float:
+        """|gap| relative to the larger of the two figures (0 = at bound)."""
+        reference = max(abs(self.actual), abs(self.bound))
+        if reference == 0:
+            return 0.0
+        return abs(self.gap) / reference
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "unit": self.unit,
+            "actual": self.actual,
+            "bound": self.bound,
+            "gap": self.gap,
+            "headroom_fraction": self.headroom_fraction,
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True)
+class Blocker:
+    """One ranked obstacle, with the counters that convict it."""
+
+    name: str
+    severity: float  # 0..1: the fraction of its budget this blocker burned
+    cost_cycles: float  # tool cycles recoverable by removing it (0 = accuracy-only)
+    summary: str
+    evidence: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "severity": self.severity,
+            "cost_cycles": self.cost_cycles,
+            "summary": self.summary,
+            "evidence": dict(self.evidence),
+        }
+
+
+@dataclass
+class HeadroomReport:
+    """The full answer: bounds, ranked blockers, accuracy, model check."""
+
+    tool: str
+    period: Optional[int]  # None when merged rows mixed periods
+    registers: int
+    bounds: List[Bound]
+    blockers: List[Blocker]  # most severe first
+    accuracy: Dict[str, float]
+    costmodel: Dict[str, Any]
+    tallies: Dict[str, Any]  # the raw, additively-mergeable facts
+
+    def bound(self, name: str) -> Bound:
+        for bound in self.bounds:
+            if bound.name == name:
+                return bound
+        raise KeyError(name)
+
+    def blocker(self, name: str) -> Blocker:
+        for blocker in self.blockers:
+            if blocker.name == name:
+                return blocker
+        raise KeyError(name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro-headroom",
+            "version": 1,
+            "tool": self.tool,
+            "period": self.period,
+            "registers": self.registers,
+            "bounds": [bound.to_dict() for bound in self.bounds],
+            "blockers": [blocker.to_dict() for blocker in self.blockers],
+            "accuracy": dict(self.accuracy),
+            "costmodel": dict(self.costmodel),
+            "tallies": dict(self.tallies),
+        }
+
+    def render(self) -> str:
+        """Plain text: actual-vs-bound table, then the blocker ranking."""
+        period = "mixed" if self.period is None else str(self.period)
+        lines = [
+            f"headroom: {self.tool} (period {period}, "
+            f"{self.registers} debug registers)"
+        ]
+        name_w = max(len(b.name) for b in self.bounds)
+        lines.append(
+            f"  {'metric':<{name_w}}  {'actual':>14}  {'bound':>14}  "
+            f"{'headroom':>9}"
+        )
+        for bound in self.bounds:
+            lines.append(
+                f"  {bound.name:<{name_w}}  {_fmt(bound.actual):>14}  "
+                f"{_fmt(bound.bound):>14}  {100 * bound.headroom_fraction:>8.1f}%"
+                + (f"  ({bound.note})" if bound.note else "")
+            )
+        acc = self.accuracy
+        lines.append(
+            f"  accuracy ceiling {100 * acc['ceiling']:.2f}% "
+            f"(reservoir survival {100 * acc['survival']:.1f}%, "
+            f"mean epoch {acc['epoch_mean']:.1f} samples, "
+            f"error floor {100 * acc['error_floor']:.2f} points)"
+        )
+        lines.append("blockers (most severe first):")
+        for rank, blocker in enumerate(self.blockers, start=1):
+            lines.append(
+                f"  {rank}. {blocker.name:<22} severity {100 * blocker.severity:5.1f}%  "
+                f"recoverable {_fmt(blocker.cost_cycles):>12} cycles  "
+                f"{blocker.summary}"
+            )
+        model = self.costmodel
+        if model.get("available"):
+            verdict = "REFUTED" if model["refuted"] else "verified"
+            lines.append(
+                f"cost model {verdict}: predicted {_fmt(model['predicted_tool_cycles'])} "
+                f"vs measured {_fmt(model['measured_tool_cycles'])} tool cycles "
+                f"({100 * model['disagreement']:+.2f}%)"
+            )
+            for message in model.get("refutations", ()):
+                lines.append(f"  ! {message}")
+        else:
+            lines.append("cost model check unavailable (snapshot lacks ledger counters)")
+        return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.1f}"
+    return f"{int(value):,}"
+
+
+def _counter(snapshot: Dict[str, Any], name: str) -> float:
+    return snapshot.get("counters", {}).get(name, 0)
+
+
+def _gauge(snapshot: Dict[str, Any], name: str, default: float = 0) -> float:
+    payload = snapshot.get("gauges", {}).get(name)
+    return payload["value"] if payload else default
+
+
+def _as_report_dict(report: ReportLike) -> Dict[str, Any]:
+    if isinstance(report, InefficiencyReport):
+        return report.to_dict()
+    return report
+
+
+def tallies_from(report: ReportLike, snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """One run's raw headroom facts, every field additively mergeable.
+
+    ``period`` and ``registers`` ride along for rendering and the
+    exactness special case; :func:`merge_rows` checks agreement and
+    degrades ``period`` to "mixed" (None) rather than summing it.
+    """
+    payload = _as_report_dict(report)
+    recorded = sum(entry["events"] for entry in payload["pairs"])
+    waste = sum(entry["waste"] for entry in payload["pairs"])
+    use = sum(entry["use"] for entry in payload["pairs"])
+    degradation = payload.get("degradation") or {}
+    reservoir = snapshot.get("histograms", {}).get("witch.reservoir.k", {})
+    return {
+        "tool": payload["tool"],
+        "period": payload["period"],
+        "registers": _gauge(snapshot, "debugreg.slots", 0),
+        "events": _counter(snapshot, "pmu.events"),
+        "samples_bound": _counter(snapshot, "headroom.samples_bound"),
+        "samples": payload["samples"],
+        "monitored": payload["monitored"],
+        "traps": payload["traps"],
+        "recorded": recorded,
+        "waste": waste,
+        "use": use,
+        "skips": _counter(snapshot, "witch.skips"),
+        "installs": _counter(snapshot, "witch.installs"),
+        "replacements": _counter(snapshot, "witch.replacements"),
+        "arms": _counter(snapshot, "ledger.arm"),
+        "arm_rejected": degradation.get("arm_rejected", 0),
+        "pmu_dropped": degradation.get("pmu_dropped", 0),
+        "traps_dropped": degradation.get("traps_dropped", 0),
+        "spurious": _counter(snapshot, "ledger.spurious_trap"),
+        "value_records": _counter(snapshot, "ledger.value_record"),
+        "native_cycles": _counter(snapshot, "cpu.native_cycles"),
+        "tool_cycles": _counter(snapshot, "cpu.tool_cycles"),
+        "ledger_samples": _counter(snapshot, "ledger.sample"),
+        "reservoir_epochs": reservoir.get("count", 0),
+        "reservoir_epoch_total": reservoir.get("total", 0.0),
+        "has_ledger": 1 if "cpu.tool_cycles" in snapshot.get("counters", {}) else 0,
+        "rows": 1,
+    }
+
+
+def merge_rows(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-spec tally rows, in the given order, into one row.
+
+    Additive fields sum; ``period`` survives only if every row agrees
+    (else None -- the cadence bound stays exact because each row
+    pre-floored its own ``samples_bound``); ``registers`` must agree
+    (mixed register budgets would make the survival law meaningless).
+    Pure integer/float addition in input order: bit-identical for any
+    chunking of the same row sequence.
+    """
+    if not rows:
+        raise ValueError("merge_rows needs at least one row")
+    merged = dict(rows[0])
+    for row in rows[1:]:
+        if row["tool"] != merged["tool"]:
+            raise ValueError("cannot merge headroom rows from different tools")
+        if row["registers"] != merged["registers"]:
+            raise ValueError(
+                "cannot merge headroom rows with different register budgets: "
+                f"{merged['registers']} vs {row['registers']}"
+            )
+        if merged["period"] is not None and row["period"] != merged["period"]:
+            merged["period"] = None
+        for key, value in row.items():
+            if key in ("tool", "period", "registers"):
+                continue
+            merged[key] = merged[key] + value
+    return merged
+
+
+def headroom_from_tallies(
+    tallies: Dict[str, Any], model: Optional[CostModel] = None
+) -> HeadroomReport:
+    """Compute bounds, blockers, and verdicts from one (merged) tally row."""
+    model = model or CostModel()
+    period = tallies["period"]
+    registers = int(tallies["registers"])
+    samples = tallies["samples"]
+    samples_bound = tallies["samples_bound"]
+    monitored = tallies["monitored"]
+    recorded = tallies["recorded"]
+    spurious = tallies["spurious"]
+    traps_all = tallies["traps"] + spurious
+    arms = tallies["arms"]
+    tool_cycles = tallies["tool_cycles"]
+    native_cycles = tallies["native_cycles"]
+
+    # ----------------------------------------------------------- bounds
+    cycles_bound = (
+        samples_bound * model.sample_cycles
+        + recorded * (model.arm_cycles + model.trap_cycles)
+    )
+    bounds = [
+        Bound(
+            "samples", "samples", samples, samples_bound,
+            note="PMU cadence law: events // period",
+        ),
+        Bound(
+            "monitored", "samples", monitored, samples,
+            note="every delivered sample could arm a watchpoint",
+        ),
+        Bound(
+            "traps", "signals", traps_all, recorded,
+            note="trap signals vs traps that recorded attribution",
+        ),
+        Bound(
+            "tool_cycles", "cycles", tool_cycles, cycles_bound,
+            note="mandatory samples + one arm+trap per recorded event",
+        ),
+        Bound(
+            "overhead", "fraction",
+            tool_cycles / native_cycles if native_cycles else 0.0,
+            cycles_bound / native_cycles if native_cycles else 0.0,
+            note="tool cycles over native cycles",
+        ),
+    ]
+
+    # --------------------------------------------------------- accuracy
+    epochs = tallies["reservoir_epochs"]
+    epoch_mean = tallies["reservoir_epoch_total"] / epochs if epochs else 0.0
+    if epoch_mean <= registers or registers == 0:
+        survival = 1.0
+    else:
+        survival = registers / epoch_mean
+    total = tallies["waste"] + tallies["use"]
+    fraction = tallies["waste"] / total if total else 0.0
+    dropped = tallies["pmu_dropped"] + tallies["traps_dropped"]
+    exhaustive_equivalent = (
+        period == 1 and survival == 1.0 and dropped == 0 and samples >= samples_bound
+    )
+    if exhaustive_equivalent:
+        # Every counted event sampled, every watchpoint survives, nothing
+        # lost: the regime the period=1 fuzz differential proves exact.
+        error_floor = 0.0
+    else:
+        effective = max(1.0, recorded * survival)
+        error_floor = (fraction * (1.0 - fraction) / effective) ** 0.5
+    accuracy = {
+        "survival": survival,
+        "epoch_mean": epoch_mean,
+        "ceiling": max(0.0, 1.0 - error_floor),
+        "error_floor": error_floor,
+        "headline_fraction": fraction,
+        "exhaustive_equivalent": 1.0 if exhaustive_equivalent else 0.0,
+    }
+
+    # -------------------------------------------------------- cost model
+    predicted = (
+        tallies["ledger_samples"] * model.sample_cycles
+        + arms * model.arm_cycles
+        + tallies["traps"] * model.trap_cycles
+        + spurious * model.spurious_trap_cycles
+        + tallies["value_records"] * model.value_record_cycles
+    )
+    available = bool(tallies["has_ledger"])
+    disagreement = (
+        (tool_cycles - predicted) / tool_cycles if available and tool_cycles else 0.0
+    )
+    refuted = available and abs(disagreement) > REFUTATION_TOLERANCE
+    refutations: List[str] = []
+    if refuted:
+        direction = "under" if disagreement > 0 else "over"
+        refutations.append(
+            f"cost model {direction}-predicts tool cycles by "
+            f"{100 * abs(disagreement):.1f}% -- an unmodeled or mispriced "
+            "mechanism is charging the ledger"
+        )
+    costmodel = {
+        "available": available,
+        "predicted_tool_cycles": predicted,
+        "measured_tool_cycles": tool_cycles,
+        "disagreement": disagreement,
+        "refuted": refuted,
+        "refutations": refutations,
+    }
+
+    # ---------------------------------------------------------- blockers
+    starved = tallies["skips"] + tallies["arm_rejected"]
+    starvation = Blocker(
+        name="register_starvation",
+        severity=starved / samples if samples else 0.0,
+        cost_cycles=starved * model.sample_cycles,
+        summary=(
+            f"{_fmt(starved)} of {_fmt(samples)} delivered samples found no "
+            "free debug register (reservoir skips + EBUSY rejections)"
+        ),
+        evidence={
+            "witch.skips": tallies["skips"],
+            "faults.arm_rejected": tallies["arm_rejected"],
+            "debugreg.arms": arms,
+            "survival": survival,
+        },
+    )
+    drops = Blocker(
+        name="sample_drops",
+        severity=tallies["pmu_dropped"] / samples_bound if samples_bound else 0.0,
+        cost_cycles=0.0,  # drops lose accuracy, not cycles
+        summary=(
+            f"{_fmt(tallies['pmu_dropped'])} of {_fmt(samples_bound)} mandated "
+            "samples lost to PMU drops/throttle windows"
+        ),
+        evidence={
+            "faults.pmu_dropped": tallies["pmu_dropped"],
+            "faults.traps_dropped": tallies["traps_dropped"],
+            "samples_bound": samples_bound,
+        },
+    )
+    # Arms whose watchpoint never produced a recorded trap: replaced by
+    # the reservoir, rejected late, or still armed when the run ended.
+    churned = max(0.0, arms - recorded)
+    churn = Blocker(
+        name="replacement_churn",
+        severity=churned / arms if arms else 0.0,
+        cost_cycles=churned * model.arm_cycles + spurious * model.spurious_trap_cycles,
+        summary=(
+            f"{_fmt(churned)} of {_fmt(arms)} armed watchpoints recorded "
+            f"nothing before eviction ({_fmt(tallies['replacements'])} reservoir "
+            f"replacements, {_fmt(spurious)} spurious traps)"
+        ),
+        evidence={
+            "witch.replacements": tallies["replacements"],
+            "witch.installs": tallies["installs"],
+            "spurious_traps": spurious,
+            "arms": arms,
+        },
+    )
+    overhead_share = tool_cycles / (tool_cycles + native_cycles) if native_cycles else 0.0
+    cost_blocker = Blocker(
+        name="cost_model_overhead",
+        severity=min(1.0, abs(disagreement)) if available else 0.0,
+        cost_cycles=abs(tool_cycles - predicted) if available else 0.0,
+        summary=(
+            (
+                f"model disagrees with measurement by {100 * abs(disagreement):.2f}% "
+                f"(tool work is {100 * overhead_share:.1f}% of all cycles)"
+            )
+            if available
+            else "ledger counters absent from snapshot"
+        ),
+        evidence={
+            "predicted_tool_cycles": predicted,
+            "measured_tool_cycles": tool_cycles,
+            "overhead_share": overhead_share,
+        },
+    )
+    blockers = [starvation, drops, churn, cost_blocker]
+    order = {name: rank for rank, name in enumerate(BLOCKER_NAMES)}
+    blockers.sort(key=lambda blocker: (-blocker.severity, order[blocker.name]))
+
+    return HeadroomReport(
+        tool=tallies["tool"],
+        period=None if period is None else int(period),
+        registers=registers,
+        bounds=bounds,
+        blockers=blockers,
+        accuracy=accuracy,
+        costmodel=costmodel,
+        tallies=dict(tallies),
+    )
+
+
+def compute_headroom(
+    report: ReportLike,
+    snapshot: Dict[str, Any],
+    model: Optional[CostModel] = None,
+) -> HeadroomReport:
+    """Headroom for one run: report + telemetry snapshot in, verdicts out.
+
+    The snapshot must come from a run that carried a live
+    :class:`~repro.telemetry.Telemetry` (the ``stats``/``headroom`` CLI
+    commands and :func:`repro.parallel.run_specs` with telemetry enabled
+    all qualify); the report supplies what telemetry does not retain
+    (per-pair recorded events, degradation facts, the period).
+    """
+    return headroom_from_tallies(tallies_from(report, snapshot), model)

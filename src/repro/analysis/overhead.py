@@ -177,3 +177,114 @@ class SuiteOverheads:
 
     def median_bloat(self) -> float:
         return median(result.memory_bloat for result in self.results.values())
+
+
+#: Counters that tally executed accesses, one per dispatch engine.
+ENGINE_ACCESS_COUNTERS = (
+    "cpu.scalar_accesses",
+    "cpu.batched_accesses",
+    "cpu.columnar_accesses",
+)
+
+
+@dataclass(frozen=True)
+class EngineRate:
+    """One run's engine throughput: accesses executed per wall-clock second.
+
+    Wall-clock slowdowns are honest but incomparable across dispatch
+    engines: the columnar NumPy backend retires an order of magnitude
+    more accesses per second than scalar dispatch, so "the tool doubled
+    the wall time" means very different per-access costs on each.
+    Normalizing by the access count -- read from the same telemetry
+    snapshot as the phase spans -- puts every backend on one axis:
+    nanoseconds of host time per simulated access.
+    """
+
+    accesses: int
+    wall_ns: float
+    span: str = "workload"
+
+    @property
+    def accesses_per_sec(self) -> float:
+        return self.accesses / (self.wall_ns / 1e9) if self.wall_ns else 0.0
+
+    @property
+    def ns_per_access(self) -> float:
+        return self.wall_ns / self.accesses if self.accesses else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "accesses": self.accesses,
+            "wall_ns": self.wall_ns,
+            "accesses_per_sec": self.accesses_per_sec,
+            "ns_per_access": self.ns_per_access,
+        }
+
+
+@dataclass(frozen=True)
+class EngineRateOverhead:
+    """Tool cost per access, with the wall-clock figure alongside."""
+
+    baseline: EngineRate
+    measured: EngineRate
+
+    @property
+    def wall_clock_slowdown(self) -> float:
+        """Raw wall-time ratio (backend-dependent; kept for context)."""
+        return (
+            self.measured.wall_ns / self.baseline.wall_ns
+            if self.baseline.wall_ns else 0.0
+        )
+
+    @property
+    def rate_slowdown(self) -> float:
+        """Per-access cost ratio: comparable across dispatch engines."""
+        base = self.baseline.ns_per_access
+        return self.measured.ns_per_access / base if base else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "baseline": self.baseline.to_dict(),
+            "measured": self.measured.to_dict(),
+            "wall_clock_slowdown": self.wall_clock_slowdown,
+            "rate_slowdown": self.rate_slowdown,
+        }
+
+
+def engine_rate(snapshot: Dict[str, object], span: str = "workload") -> EngineRate:
+    """One snapshot's engine throughput over the named phase span.
+
+    ``accesses`` sums the three dispatch-engine counters (scalar,
+    batched, columnar -- a run uses whichever mix its workload's API
+    calls produce); ``wall_ns`` is the span tracker's total for ``span``
+    (the workload phase by default, excluding setup and report
+    rendering).  Unlike everything in :mod:`repro.analysis.headroom`,
+    these figures are *wall-clock* facts: real seconds on the host, not
+    simulated cycles -- useful for backend comparisons, meaningless to
+    merge bit-identically.
+    """
+    counters = snapshot.get("counters", {})
+    accesses = sum(int(counters.get(name, 0)) for name in ENGINE_ACCESS_COUNTERS)
+    spans = snapshot.get("spans", {})
+    wall_ns = float(spans.get(span, {}).get("total_ns", 0.0))
+    return EngineRate(accesses=accesses, wall_ns=wall_ns, span=span)
+
+
+def engine_rate_overhead(
+    baseline_snapshot: Dict[str, object],
+    measured_snapshot: Dict[str, object],
+    span: str = "workload",
+) -> EngineRateOverhead:
+    """Rate-normalized overhead between two runs of the same workload.
+
+    ``baseline_snapshot`` typically comes from a native run
+    (:func:`repro.harness.run_native` with telemetry) and
+    ``measured_snapshot`` from the tool run under test; both must have
+    timed the same ``span``.  The result carries both the familiar
+    wall-clock slowdown and the per-access ``rate_slowdown`` that stays
+    comparable when the two runs used different dispatch engines.
+    """
+    return EngineRateOverhead(
+        baseline=engine_rate(baseline_snapshot, span),
+        measured=engine_rate(measured_snapshot, span),
+    )

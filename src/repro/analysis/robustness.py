@@ -82,6 +82,7 @@ def robustness_sweep(
     *,
     mechanisms: Sequence[str] = ("drop",),
     period: int = 101,
+    periods: Optional[Dict[str, int]] = None,
     scale: float = 1.0,
     seed: int = 0,
     fault_seed: Optional[int] = None,
@@ -93,6 +94,11 @@ def robustness_sweep(
     plan is the only varying input.  ``fault_seed`` keys the fault
     decision streams (defaults to ``seed``); the whole sweep is a pure
     function of its arguments.
+
+    ``periods`` overrides the uniform ``period`` per workload name --
+    the hook ``--target-overhead`` uses to sweep each workload at the
+    period the adaptive controller (:mod:`repro.analysis.
+    period_controller`) tuned for it.
     """
     truth_tool = GROUND_TRUTH_FOR.get(tool)
     if truth_tool is None:
@@ -103,12 +109,13 @@ def robustness_sweep(
         workload = resolve_workload(name, scale=scale)
         truth = run_exhaustive(workload, tools=(truth_tool,))
         exhaustive_fraction = truth.fraction(truth_tool)
+        workload_period = (periods or {}).get(name, period)
         for rate in rates:
             spec = fault_spec_at(rate, mechanisms)
             run = run_witch(
                 workload,
                 tool=tool,
-                period=period,
+                period=workload_period,
                 seed=seed,
                 faults=spec or None,
                 fault_seed=seed if fault_seed is None else fault_seed,

@@ -12,6 +12,15 @@ Commands:
 - ``record WORKLOAD -o FILE`` -- capture the workload's access trace;
   ``profile trace:FILE`` replays it under any tool.
 - ``stats WORKLOAD`` -- run under telemetry and render the metrics table.
+- ``headroom WORKLOAD...`` -- actual-vs-bound figures and the ranked
+  blocker breakdown per workload (text or ``--json``); see
+  docs/headroom.md.
+
+``profile``, ``suite``, ``robustness``, and ``headroom`` accept
+``--target-overhead FRACTION``: instead of a fixed ``--period``, the
+adaptive controller (:mod:`repro.analysis.period_controller`) retunes
+the PMU period per workload until the measured slowdown lands on the
+budget, then the command runs at the tuned period(s).
 
 ``profile``, ``compare``, ``suite``, and ``stats`` accept ``--telemetry``
 (print the metrics table), ``--telemetry-json FILE`` (metrics snapshot),
@@ -46,6 +55,8 @@ import sys
 from typing import Callable, List, Optional
 
 from repro.analysis.accuracy import compare_reports
+from repro.analysis.headroom import headroom_from_tallies, merge_rows, tallies_from
+from repro.analysis.period_controller import tune_periods
 from repro.analysis.robustness import max_error_step, render_table, robustness_sweep
 from repro.core.report import InefficiencyReport
 from repro.core.view import render_topdown
@@ -172,6 +183,36 @@ def _finish_telemetry(telemetry: Optional[Telemetry], args, out) -> None:
         print(f"wrote {args.trace_out}", file=out)
 
 
+def _tune_for_target(args, workloads, tool, out, fault_options=None):
+    """Run the adaptive controller for --target-overhead; prints one line
+    per workload and returns {workload: TuningResult} (None when the flag
+    was not given)."""
+    target = getattr(args, "target_overhead", None)
+    if target is None:
+        return None
+    try:
+        results = tune_periods(
+            list(workloads), tool, target,
+            registers=getattr(args, "registers", 4),
+            scale=args.scale,
+            root_seed=args.seed,
+            jobs=getattr(args, "jobs", 1),
+            backend=_backend_from_args(args),
+            fault_options=fault_options or None,
+        )
+    except ValueError as error:
+        raise CLIError(str(error)) from error
+    for name, result in results.items():
+        status = "converged" if result.converged else "best effort"
+        print(
+            f"tuned {name}: period {result.period} -> overhead "
+            f"{100 * result.overhead:.2f}% (target {100 * result.target:.2f}%, "
+            f"{status}, {len(result.steps)} evaluations)",
+            file=out,
+        )
+    return results
+
+
 def _cmd_list(args, out) -> int:
     print("synthetic SPEC suite (spec:<name>):", file=out)
     print("  " + " ".join(sorted(SPEC_SUITE)), file=out)
@@ -187,6 +228,11 @@ def _cmd_profile(args, out) -> int:
     workload = resolve_workload(args.workload, scale=args.scale)
     fault_options = _fault_options(args)
     journal = _open_journal(args)
+    tuned = _tune_for_target(args, [args.workload], args.tool, out,
+                             fault_options=fault_options)
+    period = (
+        tuned[args.workload].period if tuned else nearest_prime(args.period)
+    )
     pseudo = None
     if journal is not None:
         # The journal key captures everything that shapes this run; the
@@ -194,7 +240,7 @@ def _cmd_profile(args, out) -> int:
         # rerunning would print.
         pseudo = witch_spec(
             args.workload, args.tool, scale=args.scale,
-            period=nearest_prime(args.period), registers=args.registers,
+            period=period, registers=args.registers,
             period_jitter=args.jitter, **fault_options,
         )
     telemetry = None
@@ -209,7 +255,7 @@ def _cmd_profile(args, out) -> int:
         run = run_witch(
             workload,
             tool=args.tool,
-            period=nearest_prime(args.period),
+            period=period,
             registers=args.registers,
             seed=args.seed,
             period_jitter=args.jitter,
@@ -232,9 +278,16 @@ def _cmd_profile(args, out) -> int:
     if args.html:
         from repro.reporting import save_html
 
+        # A live telemetry run has everything the headroom analysis
+        # needs, so the HTML report gains the bounds/blockers panel.
+        headroom = None
+        if telemetry is not None:
+            headroom = headroom_from_tallies(
+                tallies_from(report, telemetry.snapshot())
+            )
         save_html(
             report, args.html, title=f"{args.tool} on {args.workload}",
-            telemetry=telemetry,
+            telemetry=telemetry, headroom=headroom,
         )
         print(f"wrote {args.html}", file=out)
     _finish_telemetry(telemetry, args, out)
@@ -304,17 +357,25 @@ def _cmd_casestudy(args, out) -> int:
 _SUITE_CRAFTS = ("deadcraft", "silentcraft", "loadcraft")
 
 
-def suite_specs(names, scale: float, period: int, fault_options: Optional[dict] = None):
+def suite_specs(names, scale: float, period: int, fault_options: Optional[dict] = None,
+                periods: Optional[dict] = None):
     """The suite's work list: per benchmark, one exhaustive run (all three
-    spies share it) plus one run per craft -- four unit jobs, grouped."""
+    spies share it) plus one run per craft -- four unit jobs, grouped.
+
+    ``periods`` overrides the uniform ``period`` per benchmark (keyed by
+    the full ``spec:<name>`` workload name) -- the ``--target-overhead``
+    path, where each benchmark runs at its tuned period.
+    """
     specs = []
     for name in names:
         group = f"suite:{name}"
-        specs.append(exhaustive_spec(f"spec:{name}", scale=scale, group=group))
+        workload = f"spec:{name}"
+        bench_period = (periods or {}).get(workload, period)
+        specs.append(exhaustive_spec(workload, scale=scale, group=group))
         for craft in _SUITE_CRAFTS:
             specs.append(
-                witch_spec(f"spec:{name}", craft, scale=scale, group=group,
-                           period=period, **(fault_options or {}))
+                witch_spec(workload, craft, scale=scale, group=group,
+                           period=bench_period, **(fault_options or {}))
             )
     return specs
 
@@ -333,8 +394,17 @@ def _cmd_suite(args, out) -> int:
     fault_options = _fault_options(args)
     journal = _open_journal(args)
     telemetry = _telemetry_from_args(args)
+    # The controller tunes with deadcraft and the tuned period applies to
+    # all three crafts -- a documented tradeoff: one tuning pass per
+    # benchmark, and the crafts' cost structures are close enough that
+    # the budget holds within the convergence tolerance.
+    tuned = _tune_for_target(
+        args, [f"spec:{name}" for name in names], "deadcraft", out,
+        fault_options=fault_options,
+    )
+    periods = {name: result.period for name, result in tuned.items()} if tuned else None
     specs = suite_specs(names, scale=args.scale, period=nearest_prime(args.period),
-                        fault_options=fault_options)
+                        fault_options=fault_options, periods=periods)
     batch = run_specs(specs, root_seed=args.seed, jobs=args.jobs,
                       telemetry=telemetry, journal=journal, resume=args.resume,
                       backend=_backend_from_args(args))
@@ -368,6 +438,8 @@ def _cmd_robustness(args, out) -> int:
     workloads = args.workloads or ["spec:gcc", "spec:mcf", "spec:lbm"]
     for name in workloads:
         resolve_workload(name, scale=args.scale)  # fail fast on bad names
+    tuned = _tune_for_target(args, workloads, args.tool, out)
+    periods = {name: result.period for name, result in tuned.items()} if tuned else None
     try:
         points = robustness_sweep(
             workloads,
@@ -375,6 +447,7 @@ def _cmd_robustness(args, out) -> int:
             rates=rates,
             mechanisms=mechanisms,
             period=nearest_prime(args.period),
+            periods=periods,
             scale=args.scale,
             seed=args.seed,
             fault_seed=args.fault_seed,
@@ -387,6 +460,79 @@ def _cmd_robustness(args, out) -> int:
         f"{100 * max_error_step(points):.2f} points",
         file=out,
     )
+    return 0
+
+
+def _cmd_headroom(args, out) -> int:
+    """Actual-vs-bound headroom and the ranked blocker breakdown."""
+    workloads = args.workloads
+    for name in workloads:
+        resolve_workload(name, scale=args.scale)  # fail fast on bad names
+    if len(set(workloads)) != len(workloads):
+        raise CLIError("duplicate workload names")
+    fault_options = _fault_options(args)
+    journal = _open_journal(args)
+    backend = _backend_from_args(args)
+    tuned = _tune_for_target(args, workloads, args.tool, out,
+                             fault_options=fault_options)
+    if tuned:
+        periods = {name: tuned[name].period for name in workloads}
+        print(file=out)
+    else:
+        periods = {name: nearest_prime(args.period) for name in workloads}
+    specs = [
+        witch_spec(
+            name, args.tool, scale=args.scale, group="headroom",
+            period=periods[name], registers=args.registers, **fault_options,
+        )
+        for name in workloads
+    ]
+    batch = run_specs(
+        specs, root_seed=args.seed, jobs=args.jobs, telemetry=Telemetry(),
+        journal=journal, resume=args.resume, backend=backend,
+    )
+    _check_failures(batch)
+    rows = []
+    for result in batch.results:
+        if result.snapshot is None:
+            raise CLIError(
+                "headroom needs per-run telemetry snapshots; the resumed "
+                "journal was recorded without them -- re-run without --resume"
+            )
+        rows.append(tallies_from(result.payload["report"], result.snapshot))
+    reports = {
+        name: headroom_from_tallies(row) for name, row in zip(workloads, rows)
+    }
+    for name in workloads:
+        print(f"== {name} ==", file=out)
+        print(reports[name].render(), file=out)
+        print(file=out)
+    merged = None
+    if len(rows) > 1:
+        # Fold the per-workload rows exactly the way the parallel merge
+        # folds per-spec rows: integer sums in spec order.
+        merged = headroom_from_tallies(merge_rows(rows))
+        print("== merged (all workloads) ==", file=out)
+        print(merged.render(), file=out)
+    if args.json:
+        import json
+
+        from repro.atomicio import atomic_write_text
+
+        payload = {
+            "format": "repro-headroom-cli",
+            "version": 1,
+            "tool": args.tool,
+            "target_overhead": getattr(args, "target_overhead", None),
+            "workloads": {name: reports[name].to_dict() for name in workloads},
+            "merged": merged.to_dict() if merged is not None else None,
+            "controller": (
+                {name: result.to_dict() for name, result in tuned.items()}
+                if tuned else None
+            ),
+        }
+        atomic_write_text(args.json, json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}", file=out)
     return 0
 
 
@@ -463,6 +609,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="columnar array backend (default: REPRO_BACKEND "
                          "or auto-detect; results are identical either way)")
 
+    def add_target_overhead(sub):
+        sub.add_argument("--target-overhead", type=float, default=None,
+                         metavar="FRACTION",
+                         help="tune the sampling period per workload until "
+                         "the measured slowdown hits this fraction of native "
+                         "cycles (e.g. 0.10); overrides --period")
+
     def add_telemetry(sub, toggle: bool = True):
         if toggle:
             sub.add_argument("--telemetry", action="store_true",
@@ -488,6 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="save a self-contained HTML report")
     add_common(profile)
     add_backend(profile)
+    add_target_overhead(profile)
     add_telemetry(profile)
     add_faults(profile)
     add_journal(profile)
@@ -519,6 +673,7 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--jobs", type=int, default=1,
                        help="worker processes (results are identical for any value)")
     add_backend(suite)
+    add_target_overhead(suite)
     add_telemetry(suite)
     add_faults(suite)
     add_journal(suite)
@@ -543,7 +698,32 @@ def build_parser() -> argparse.ArgumentParser:
                             help="seed for the fault decision streams "
                             "(default: --seed)")
     add_common(robustness)
+    add_target_overhead(robustness)
     robustness.set_defaults(run=_cmd_robustness)
+
+    headroom = commands.add_parser(
+        "headroom",
+        help="actual-vs-bound headroom and ranked blockers (docs/headroom.md)",
+    )
+    headroom.add_argument("workloads", nargs="+",
+                          help="workload names (e.g. case:lbm spec:gcc)")
+    headroom.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR),
+                          default="deadcraft")
+    headroom.add_argument("--period", type=int, default=101,
+                          help="sampling period (rounded to the nearest prime)")
+    headroom.add_argument("--registers", type=int, default=4,
+                          help="debug registers")
+    headroom.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (results are identical for "
+                          "any value)")
+    headroom.add_argument("--json", metavar="FILE",
+                          help="save bounds/blockers/controller as JSON")
+    add_common(headroom)
+    add_backend(headroom)
+    add_target_overhead(headroom)
+    add_faults(headroom)
+    add_journal(headroom)
+    headroom.set_defaults(run=_cmd_headroom)
 
     stats = commands.add_parser(
         "stats", help="run a workload under telemetry and render the metrics table"

@@ -117,6 +117,11 @@ class WitchFramework:
         self.samples_monitored = 0
         self.traps_handled = 0
 
+        #: Set once by :meth:`report`: the run's closing facts (cycle
+        #: ledger totals, PMU event counts) are flushed to telemetry
+        #: exactly once, so a re-rendered report cannot double-count.
+        self._facts_flushed = False
+
         # Graceful-degradation state.  ``faults`` is the run's (optional)
         # injection plan, shared with the CPU, PMUs, and register files.
         # Dropped PMU samples arrive as count-only notifications (real
@@ -387,7 +392,39 @@ class WitchFramework:
         facts["samples_lost_unattributed"] = self._pending_lost
         return facts
 
+    def _flush_run_facts(self) -> None:
+        """Export the run's closing facts to telemetry (cold path, once).
+
+        The headroom analysis (:mod:`repro.analysis.headroom`) works from a
+        report + telemetry snapshot alone, so everything it needs that lives
+        on the CPU -- the cycle ledger's totals and event tallies, the PMUs'
+        counted-event totals, the register budget -- is flushed as counters
+        and gauges when the report is drawn.  Counters merge additively
+        across per-spec snapshots, which is what keeps sharded headroom
+        rows bit-identical to serial ones.
+        """
+        tm = self._tm
+        if tm is None or self._facts_flushed:
+            return
+        self._facts_flushed = True
+        ledger = self.cpu.ledger
+        tm.counter("pmu.events").inc(self.cpu.total_counted_events)
+        tm.counter("cpu.native_cycles").inc(ledger.native_cycles)
+        tm.counter("cpu.tool_cycles").inc(ledger.tool_cycles)
+        for event in ("sample", "arm", "trap", "spurious_trap", "value_record"):
+            occurrences = ledger.counts[event]
+            if occurrences:
+                tm.counter(f"ledger.{event}").inc(occurrences)
+        # Minimum samples any period-P run must handle (PMU cadence law):
+        # pre-floored per run so merged rows stay additive.
+        tm.counter("headroom.samples_bound").inc(
+            self.cpu.total_counted_events // self.period
+        )
+        tm.gauge("witch.period").set(self.period)
+        tm.gauge("debugreg.slots").set(self.cpu.register_count)
+
     def report(self) -> InefficiencyReport:
+        self._flush_run_facts()
         return InefficiencyReport(
             tool=self.client.name,
             pairs=self.pairs,

@@ -18,7 +18,12 @@ contract; the short version:
 """
 
 from repro.parallel.journal import JournalMismatch, RunJournal
-from repro.parallel.merge import merge_accuracy_tables, merge_reports, merge_snapshots
+from repro.parallel.merge import (
+    merge_accuracy_tables,
+    merge_headroom_rows,
+    merge_reports,
+    merge_snapshots,
+)
 from repro.parallel.scheduler import (
     DEFAULT_RETRIES,
     BatchResult,
@@ -49,6 +54,7 @@ __all__ = [
     "exhaustive_overhead_spec",
     "exhaustive_spec",
     "merge_accuracy_tables",
+    "merge_headroom_rows",
     "merge_reports",
     "merge_snapshots",
     "native_spec",

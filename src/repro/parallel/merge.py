@@ -15,6 +15,11 @@ that depends only on the *order of the inputs*, never on timing:
 - **Accuracy tables** (:func:`merge_accuracy_tables`): disjoint-key
   union; a duplicate (workload, tool) row is a programming error, not a
   tie to break silently.
+- **Headroom tally rows** (:func:`merge_headroom_rows`): per-spec raw
+  tallies (:func:`repro.analysis.headroom.tallies_from`) fold by integer
+  addition in spec order, and bounds/blockers are recomputed from the
+  merged facts -- so a sharded run's headroom attribution is
+  bit-identical to the serial run's (see docs/headroom.md).
 """
 
 from __future__ import annotations
@@ -114,3 +119,19 @@ def merge_accuracy_tables(tables: Iterable[Any]) -> Any:
                 raise ValueError(f"duplicate accuracy row for {key!r}")
             merged[key] = value
     return merged
+
+
+def merge_headroom_rows(rows: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold per-spec headroom tally rows into one merged row.
+
+    Rows come from :func:`repro.analysis.headroom.tallies_from` applied
+    to each shard's (report, snapshot); every field is an integer/float
+    sum except ``tool``/``registers`` (must agree) and ``period`` (kept
+    when unanimous, else None -- the sample bound stays exact because
+    each row pre-floored its own cadence quota).  Feed the result to
+    :func:`repro.analysis.headroom.headroom_from_tallies`.  Imported
+    lazily: analysis depends on this package, not the other way around.
+    """
+    from repro.analysis.headroom import merge_rows
+
+    return merge_rows(rows)

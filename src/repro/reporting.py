@@ -10,7 +10,10 @@ the equivalent single-file HTML page for one :class:`InefficiencyReport`:
 - the raw pair table,
 - and, when the run carried a live :class:`repro.telemetry.Telemetry`,
   a metrics panel (counters/gauges/histograms plus the phase-span
-  breakdown) so a single artifact captures both findings and run health.
+  breakdown) so a single artifact captures both findings and run health,
+- plus, when a :class:`repro.analysis.headroom.HeadroomReport` is passed,
+  a headroom panel: actual-vs-bound figures and the ranked blocker
+  breakdown next to the raw metrics they were computed from.
 
 The output has no external dependencies -- inline CSS, ``<details>``
 elements for the tree -- so it can be attached to a CI run or emailed.
@@ -145,15 +148,70 @@ def _pairs_table(report: InefficiencyReport, limit: int) -> str:
     return "<table>" + "".join(cells) + "</table>"
 
 
+def _headroom_html(headroom) -> str:
+    """The optional headroom panel; accepts a HeadroomReport or its dict."""
+    if headroom is None:
+        return ""
+    payload = headroom.to_dict() if hasattr(headroom, "to_dict") else headroom
+    cells = [
+        "<tr><th>metric</th><th>actual</th><th>bound</th>"
+        "<th>headroom</th><th>note</th></tr>"
+    ]
+    for bound in payload["bounds"]:
+        cells.append(
+            f"<tr><td>{html.escape(bound['name'])}</td>"
+            f"<td>{bound['actual']:,.1f}</td><td>{bound['bound']:,.1f}</td>"
+            f"<td>{100 * bound['headroom_fraction']:.1f}%</td>"
+            f"<td>{html.escape(bound['note'])}</td></tr>"
+        )
+    bounds_table = "<table>" + "".join(cells) + "</table>"
+    rows = [
+        "<tr><th>#</th><th>blocker</th><th>severity</th>"
+        "<th>recoverable cycles</th><th>finding</th></tr>"
+    ]
+    for rank, blocker in enumerate(payload["blockers"], start=1):
+        rows.append(
+            f"<tr><td>{rank}</td><td>{html.escape(blocker['name'])}</td>"
+            f"<td>{100 * blocker['severity']:.1f}%</td>"
+            f"<td>{blocker['cost_cycles']:,.0f}</td>"
+            f"<td>{html.escape(blocker['summary'])}</td></tr>"
+        )
+    blockers_table = "<table>" + "".join(rows) + "</table>"
+    accuracy = payload["accuracy"]
+    model = payload["costmodel"]
+    if model.get("available"):
+        verdict = "REFUTED" if model["refuted"] else "verified"
+        model_line = (
+            f"cost model {html.escape(verdict)}: predicted "
+            f"{model['predicted_tool_cycles']:,.0f} vs measured "
+            f"{model['measured_tool_cycles']:,.0f} tool cycles "
+            f"({100 * model['disagreement']:+.2f}%)"
+        )
+    else:
+        model_line = "cost model check unavailable (no ledger counters in snapshot)"
+    return (
+        "<h2>Headroom vs bounds</h2>"
+        + bounds_table
+        + "<h3>Blockers (most severe first)</h3>"
+        + blockers_table
+        + "<p>accuracy ceiling "
+        + f"{100 * accuracy['ceiling']:.2f}% "
+        + f"(reservoir survival {100 * accuracy['survival']:.1f}%, "
+        + f"error floor {100 * accuracy['error_floor']:.2f} points) &mdash; "
+        + html.escape(model_line)
+        + "</p>"
+    )
+
+
 def _telemetry_html(telemetry) -> str:
     """The optional metrics panel; empty for None/disabled telemetry."""
     if telemetry is None or not getattr(telemetry, "enabled", False):
         return ""
-    cells = ["<tr><th>kind</th><th>metric</th><th>value</th></tr>"]
-    for kind, name, summary in telemetry.metrics.render_rows():
+    cells = ["<tr><th>kind</th><th>metric</th><th>value</th><th>meaning</th></tr>"]
+    for kind, name, summary, description in telemetry.metrics.render_rows():
         cells.append(
             f"<tr><td>{html.escape(kind)}</td><td>{html.escape(name)}</td>"
-            f"<td>{html.escape(summary)}</td></tr>"
+            f"<td>{html.escape(summary)}</td><td>{html.escape(description)}</td></tr>"
         )
     metrics_table = "<table>" + "".join(cells) + "</table>"
     totals = telemetry.spans.totals()
@@ -185,8 +243,14 @@ def render_html(
     min_share: float = 0.01,
     max_pairs: int = 100,
     telemetry=None,
+    headroom=None,
 ) -> str:
-    """Render one report as a standalone HTML page."""
+    """Render one report as a standalone HTML page.
+
+    ``headroom`` (a :class:`repro.analysis.headroom.HeadroomReport` or
+    its ``to_dict`` form) adds the bounds/blockers panel next to the
+    metrics panel; see docs/headroom.md.
+    """
     title = title or f"Witch report — {report.tool}"
     stats = "".join(
         [
@@ -209,7 +273,7 @@ def render_html(
         chains=chains,
         tree=tree,
         table=table,
-        telemetry=_telemetry_html(telemetry),
+        telemetry=_headroom_html(headroom) + _telemetry_html(telemetry),
     )
 
 

@@ -31,11 +31,19 @@ from repro.telemetry.core import (
     live_or_none,
 )
 from repro.telemetry.events import EventRing, TelemetryEvent, chrome_trace_events
-from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.metrics import (
+    DESCRIPTIONS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    describe,
+)
 from repro.telemetry.spans import SpanRecord, SpanTracker
 
 __all__ = [
     "Counter",
+    "DESCRIPTIONS",
     "EventRing",
     "Gauge",
     "Histogram",
@@ -47,5 +55,6 @@ __all__ = [
     "Telemetry",
     "TelemetryEvent",
     "chrome_trace_events",
+    "describe",
     "live_or_none",
 ]

@@ -148,10 +148,15 @@ class Telemetry:
         rows = self.metrics.render_rows()
         lines: List[str] = ["telemetry metrics"]
         if rows:
-            kind_width = max(len(kind) for kind, _, _ in rows)
-            name_width = max(len(name) for _, name, _ in rows)
-            for kind, name, summary in rows:
-                lines.append(f"  {kind:<{kind_width}}  {name:<{name_width}}  {summary}")
+            kind_width = max(len(kind) for kind, _, _, _ in rows)
+            name_width = max(len(name) for _, name, _, _ in rows)
+            summary_width = max(len(summary) for _, _, summary, _ in rows)
+            for kind, name, summary, description in rows:
+                line = (
+                    f"  {kind:<{kind_width}}  {name:<{name_width}}  "
+                    f"{summary:<{summary_width}}"
+                )
+                lines.append(f"{line}  # {description}" if description else line)
         else:
             lines.append("  (no metrics recorded)")
         totals = self.spans.totals()

@@ -23,6 +23,76 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 Number = Union[int, float]
 
+#: One-line meanings for every metric the stack emits, keyed by full name.
+#: The ``stats`` CLI table and the HTML metrics panel show these next to
+#: the bare names, so a counter dump reads as a diagnosis rather than a
+#: puzzle.  Probe sites stay free to mint new names -- :func:`describe`
+#: falls back to the longest matching ``prefix.`` entry, then to "".
+DESCRIPTIONS: Dict[str, str] = {
+    "witch.samples": "PMU samples delivered to the framework",
+    "witch.monitored": "samples that armed (or refreshed) a watchpoint",
+    "witch.traps": "watchpoint traps that reached a client tool",
+    "witch.spurious_traps": "injected traps with no matching armed watchpoint",
+    "witch.waste_bytes": "bytes attributed as wasted (dead/silent/redundant)",
+    "witch.use_bytes": "bytes attributed as useful at trap time",
+    "witch.installs": "watchpoints armed into free debug registers",
+    "witch.replacements": "armed watchpoints evicted by reservoir sampling",
+    "witch.skips": "samples the reservoir declined (all registers busy, lost the draw)",
+    "witch.period": "PMU sampling period this run used (events per sample)",
+    "witch.reservoir.k": "reservoir epoch length: samples seen per replacement window",
+    "witch.reservoir.survival_pct": "percent of armed watchpoints surviving to trap",
+    "witch.attribution.represented": "samples one trap stands for (proportional attribution)",
+    "debugreg.arms": "debug-register arm operations",
+    "debugreg.disarms": "debug-register disarm operations",
+    "debugreg.occupancy": "armed debug registers (point-in-time, with high-water)",
+    "debugreg.slots": "hardware debug registers available to the run",
+    "pmu.overflows": "PMU counter overflows (sample triggers before faults)",
+    "pmu.events": "events the PMUs counted (the sampled population)",
+    "pmu.shadow_deferred": "samples deferred by the shadow-bias window",
+    "faults.pmu_dropped": "samples lost to injected PMU drops/throttle windows",
+    "faults.arm_rejected": "watchpoint arms rejected with EBUSY by fault injection",
+    "faults.traps_dropped": "watchpoint traps whose delivery was dropped",
+    "faults.spurious_traps": "spurious traps injected by the fault plan",
+    "cpu.scalar_accesses": "memory accesses executed element-by-element",
+    "cpu.batched_accesses": "memory accesses executed via bulk access runs",
+    "cpu.columnar_accesses": "memory accesses executed via columnar groups",
+    "cpu.access_runs": "bulk access-run dispatches",
+    "cpu.column_blocks": "columnar block dispatches",
+    "cpu.batch_skip_length": "accesses fast-forwarded per batched skip",
+    "cpu.trap_dispatches": "watchpoint overlaps dispatched to the framework",
+    "cpu.samples_delivered": "PMU overflows delivered as samples to the framework",
+    "cpu.native_cycles": "cycle-ledger native work (the workload's own cycles)",
+    "cpu.tool_cycles": "cycle-ledger tool work (sampling, arming, trap handling)",
+    "ledger.sample": "samples priced by the cost model",
+    "ledger.arm": "watchpoint arms priced by the cost model",
+    "ledger.trap": "watchpoint traps priced by the cost model",
+    "ledger.spurious_trap": "spurious traps priced by the cost model",
+    "ledger.value_record": "value captures priced by the cost model",
+    "headroom.samples_bound": "minimum samples a period-P run must handle (events // period)",
+    "threads.switches": "simulated thread context switches",
+    "machine.allocated_bytes": "bytes allocated on the simulated machine",
+    "machine.allocs": "allocation calls served by the simulated machine",
+}
+
+
+def describe(name: str) -> str:
+    """The one-line meaning of a metric name ("" when unknown).
+
+    Exact names win; otherwise the longest registered ``prefix.`` entry
+    describes the family (so ``witch.reservoir.k.p99`` would still say
+    something useful if a probe ever minted it).
+    """
+    exact = DESCRIPTIONS.get(name)
+    if exact is not None:
+        return exact
+    parts = name.split(".")
+    while len(parts) > 1:
+        parts.pop()
+        family = DESCRIPTIONS.get(".".join(parts))
+        if family is not None:
+            return family
+    return ""
+
 
 class Counter:
     """A monotonically increasing tally."""
@@ -189,22 +259,32 @@ class MetricsRegistry:
             },
         }
 
-    def render_rows(self) -> List[Tuple[str, str, str]]:
-        """(kind, name, summary) rows for the plain-text metrics table."""
-        rows: List[Tuple[str, str, str]] = []
+    def render_rows(self) -> List[Tuple[str, str, str, str]]:
+        """(kind, name, summary, description) rows for the metrics table.
+
+        The description comes from :func:`describe` -- the registry of
+        one-line meanings -- so the ``stats`` output and the HTML panel
+        explain each counter instead of listing bare names.
+        """
+        rows: List[Tuple[str, str, str, str]] = []
         for counter in sorted_by_name(self._counters):
-            rows.append(("counter", counter.name, _format_number(counter.value)))
+            rows.append(
+                ("counter", counter.name, _format_number(counter.value),
+                 describe(counter.name))
+            )
         for gauge in sorted_by_name(self._gauges):
             rows.append(
                 ("gauge", gauge.name,
-                 f"{_format_number(gauge.value)} (max {_format_number(gauge.max)})")
+                 f"{_format_number(gauge.value)} (max {_format_number(gauge.max)})",
+                 describe(gauge.name))
             )
         for histogram in sorted_by_name(self._histograms):
             rows.append(
                 ("histogram", histogram.name,
                  f"n={histogram.count} mean={histogram.mean:.1f} "
                  f"min={_format_number(histogram.min or 0)} "
-                 f"max={_format_number(histogram.max or 0)}")
+                 f"max={_format_number(histogram.max or 0)}",
+                 describe(histogram.name))
             )
         return rows
 

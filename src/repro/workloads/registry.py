@@ -43,6 +43,38 @@ class UnknownWorkload(ValueError):
     """The name does not resolve to any registered workload."""
 
 
+class RepeatedWorkload:
+    """A case study run back-to-back ``rounds`` times on one machine.
+
+    Case-study miniatures are deliberately fixed-size (their constants
+    *are* the defect being reproduced), but overhead tuning
+    (:mod:`repro.analysis.period_controller`) needs enough counted events
+    that sampling periods in the hundreds of thousands still deliver
+    samples.  Repetition multiplies events and native cycles by the same
+    factor -- the access pattern, redundancy signature, and per-sweep
+    values are unchanged -- so ``scale`` means for case studies what it
+    already means for the spec suite: "the same workload, more of it."
+
+    A module-level class (not a closure) so the worker side of the
+    parallel runner can build it from ``(name, scale)`` in-process.
+    """
+
+    def __init__(self, workload: Workload, rounds: int) -> None:
+        self.workload = workload
+        self.rounds = rounds
+
+    def __call__(self, machine) -> None:
+        for _ in range(self.rounds):
+            self.workload(machine)
+
+
+def _scaled_case(workload: Workload, scale: float) -> Workload:
+    rounds = max(1, round(scale))
+    if rounds == 1:
+        return workload  # scale 1.0 stays byte-identical to the bare case
+    return RepeatedWorkload(workload, rounds)
+
+
 def resolve_workload(name: str, scale: float = 1.0) -> Workload:
     """Turn a workload name into a runnable (and picklable) workload."""
     if name.startswith("trace:"):
@@ -63,9 +95,9 @@ def resolve_workload(name: str, scale: float = 1.0) -> Workload:
             )
         case = CASE_STUDIES[case_name]
         if variant in ("", "baseline"):
-            return case.baseline
+            return _scaled_case(case.baseline, scale)
         if variant == "optimized":
-            return case.optimized
+            return _scaled_case(case.optimized, scale)
         raise UnknownWorkload(f"unknown variant {variant!r}; use baseline or optimized")
     key = name[len("spec:"):] if name.startswith("spec:") else name
     if key in SPEC_SUITE:

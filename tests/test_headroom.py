@@ -1,0 +1,369 @@
+"""Headroom bounds, blocker attribution, and the adaptive period controller.
+
+Three claims under test (docs/headroom.md):
+
+1. **Bound exactness.**  At period 1 with ample registers and no faults
+   -- the exhaustive-equivalent regime the fuzz differential proves
+   byte-exact -- every bound is *met*: samples == events, traps ==
+   recorded events, tool cycles == the priced floor, and the accuracy
+   ceiling is exactly 1.0.
+2. **The accuracy ceiling is honest.**  Over the fuzz corpus, the
+   reservoir-survival error floor tracks the *measured* error against
+   exhaustive ground truth: same scale, neither wildly optimistic nor
+   pessimistic.  (Deterministic: fixed seeds, simulated cycles.)
+3. **The controller converges deterministically.**  The period
+   controller hits its overhead budget in a handful of evaluations, its
+   whole trajectory is bit-identical across ``jobs`` counts, and merged
+   headroom rows are bit-identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.headroom import (
+    compute_headroom,
+    headroom_from_tallies,
+    merge_rows,
+    tallies_from,
+)
+from repro.analysis.overhead import EngineRate, engine_rate, engine_rate_overhead
+from repro.analysis.period_controller import tune_period, tune_periods
+from repro.harness import run_exhaustive, run_witch
+from repro.parallel import merge_headroom_rows, run_specs, witch_spec
+from repro.telemetry import Telemetry, describe
+from repro.workloads.registry import resolve_workload
+from tests.test_differential import random_program
+
+
+def headroom_for(workload, tool="deadcraft", *, period=101, registers=4,
+                 seed=0, faults=None):
+    telemetry = Telemetry()
+    run = run_witch(workload, tool, period=period, registers=registers,
+                    seed=seed, telemetry=telemetry, faults=faults)
+    return run, compute_headroom(run.report, telemetry.snapshot())
+
+
+class TestBoundExactness:
+    def test_period_one_meets_every_bound(self):
+        """Exhaustive-equivalent regime: all gaps zero, ceiling exactly 1."""
+        for seed in range(5):
+            _run, hr = headroom_for(random_program(seed), period=1,
+                                    registers=64, seed=seed)
+            for bound in hr.bounds:
+                assert bound.gap == 0, (seed, bound.name)
+                assert bound.headroom_fraction == 0.0
+            assert hr.accuracy["ceiling"] == 1.0
+            assert hr.accuracy["error_floor"] == 0.0
+            assert hr.accuracy["exhaustive_equivalent"] == 1.0
+            assert hr.accuracy["survival"] == 1.0
+
+    def test_trap_bound_exact_at_period_one(self):
+        """Every trap records attribution: actual == bound, exactly."""
+        _run, hr = headroom_for(random_program(11), period=1, registers=64)
+        traps = hr.bound("traps")
+        assert traps.actual == traps.bound > 0
+
+    def test_sample_bound_is_cadence_law_on_clean_runs(self):
+        """samples == counted events // period with no jitter, no faults."""
+        for period in (1, 7, 101):
+            run, hr = headroom_for(random_program(3), period=period)
+            samples = hr.bound("samples")
+            assert samples.bound == run.cpu.total_counted_events // period
+            assert samples.gap == 0  # ideal hardware delivers the mandate
+
+    def test_sampled_run_is_not_exhaustive_equivalent(self):
+        _run, hr = headroom_for(random_program(3), period=7)
+        assert hr.accuracy["exhaustive_equivalent"] == 0.0
+        assert hr.accuracy["ceiling"] < 1.0
+
+    def test_cost_model_verifies_itself_on_clean_runs(self):
+        _run, hr = headroom_for(resolve_workload("case:lbm"), "silentcraft",
+                                period=149)
+        assert hr.costmodel["available"]
+        assert not hr.costmodel["refuted"]
+        assert hr.costmodel["predicted_tool_cycles"] == \
+            hr.costmodel["measured_tool_cycles"]
+
+    def test_cost_model_refuted_when_measurement_disagrees(self):
+        """CounterPoint-style self-refutation: tampered cycles get flagged."""
+        telemetry = Telemetry()
+        run = run_witch(random_program(5), "deadcraft", period=7,
+                        telemetry=telemetry)
+        snapshot = telemetry.snapshot()
+        snapshot["counters"]["cpu.tool_cycles"] *= 1.5  # unmodeled mechanism
+        hr = compute_headroom(run.report, snapshot)
+        assert hr.costmodel["refuted"]
+        assert hr.costmodel["refutations"]
+        assert hr.blocker("cost_model_overhead").severity > 0
+
+
+class TestAccuracyCeiling:
+    def test_error_floor_tracks_measured_error_on_fuzz_corpus(self):
+        """The reservoir-survival floor is the right scale for real error.
+
+        Mean measured error over the corpus lands near the mean floor
+        (calibrated ~0.79x; the floor is a standard error, so individual
+        draws scatter both below and above it).  All runs are
+        deterministic -- fixed seeds, simulated cycles -- so these are
+        regression bounds, not statistical hopes.
+        """
+        floors, errors = [], []
+        for seed in range(30):
+            workload = random_program(seed)
+            run, hr = headroom_for(workload, period=7, seed=seed)
+            truth = run_exhaustive(workload, tools=("deadspy",))
+            floors.append(hr.accuracy["error_floor"])
+            errors.append(abs(run.report.redundancy_fraction
+                              - truth.fraction("deadspy")))
+        mean_floor = sum(floors) / len(floors)
+        mean_error = sum(errors) / len(errors)
+        assert mean_floor > 0
+        assert 0.2 * mean_floor <= mean_error <= 3.0 * mean_floor
+
+    def test_starved_registers_lower_the_ceiling(self):
+        """Fewer registers -> lower survival -> higher error floor."""
+        _run, roomy = headroom_for(random_program(9), period=3, registers=64)
+        _run, starved = headroom_for(random_program(9), period=3, registers=1)
+        assert starved.accuracy["survival"] < roomy.accuracy["survival"]
+        assert starved.accuracy["error_floor"] >= roomy.accuracy["error_floor"]
+
+
+class TestBlockers:
+    def test_sample_drops_blocker_fires_under_pmu_faults(self):
+        _run, hr = headroom_for(random_program(2), period=7,
+                                faults="drop=0.3")
+        drops = hr.blocker("sample_drops")
+        assert drops.severity > 0
+        assert drops.evidence["faults.pmu_dropped"] > 0
+
+    def test_register_starvation_blocker_fires_when_starved(self):
+        _run, hr = headroom_for(random_program(2), period=3, registers=1)
+        starvation = hr.blocker("register_starvation")
+        assert starvation.severity > 0
+        assert starvation.evidence["witch.skips"] > 0
+
+    def test_blockers_ranked_most_severe_first(self):
+        _run, hr = headroom_for(random_program(2), period=3, registers=1,
+                                faults="drop=0.2,arm=0.2")
+        severities = [blocker.severity for blocker in hr.blockers]
+        assert severities == sorted(severities, reverse=True)
+        assert len(hr.blockers) == 4
+
+    def test_clean_roomy_run_has_no_severe_blockers(self):
+        _run, hr = headroom_for(random_program(4), period=1, registers=64)
+        assert all(blocker.severity < 0.05 for blocker in hr.blockers)
+
+
+class TestTalliesAndMerge:
+    def two_rows(self, jobs=1):
+        specs = [
+            witch_spec("case:lbm", "deadcraft", period=101, trial=0),
+            witch_spec("case:smb-msgrate", "deadcraft", period=101, trial=0),
+        ]
+        batch = run_specs(specs, root_seed=7, jobs=jobs, telemetry=Telemetry())
+        batch.raise_on_failure()
+        return [
+            tallies_from(result.payload["report"], result.snapshot)
+            for result in batch.results
+        ]
+
+    def test_merged_rows_bit_identical_across_jobs(self):
+        serial = merge_headroom_rows(self.two_rows(jobs=1))
+        sharded = merge_headroom_rows(self.two_rows(jobs=2))
+        assert json.dumps(serial, sort_keys=True) == \
+            json.dumps(sharded, sort_keys=True)
+        hr_serial = headroom_from_tallies(serial)
+        hr_sharded = headroom_from_tallies(sharded)
+        assert json.dumps(hr_serial.to_dict(), sort_keys=True) == \
+            json.dumps(hr_sharded.to_dict(), sort_keys=True)
+
+    def test_merge_is_chunking_invariant(self):
+        rows = self.two_rows() + self.two_rows()
+        all_at_once = merge_rows(rows)
+        pairwise = merge_rows([merge_rows(rows[:2]), merge_rows(rows[2:])])
+        assert all_at_once == pairwise
+
+    def test_merge_sums_additive_fields(self):
+        rows = self.two_rows()
+        merged = merge_rows(rows)
+        assert merged["samples"] == rows[0]["samples"] + rows[1]["samples"]
+        assert merged["tool_cycles"] == \
+            rows[0]["tool_cycles"] + rows[1]["tool_cycles"]
+        assert merged["rows"] == 2
+        assert merged["period"] == 101  # unanimous periods survive
+
+    def test_merge_mixed_periods_degrades_period_to_none(self):
+        telemetry_a, telemetry_b = Telemetry(), Telemetry()
+        run_a = run_witch(random_program(1), "deadcraft", period=7,
+                          telemetry=telemetry_a)
+        run_b = run_witch(random_program(2), "deadcraft", period=13,
+                          telemetry=telemetry_b)
+        merged = merge_rows([
+            tallies_from(run_a.report, telemetry_a.snapshot()),
+            tallies_from(run_b.report, telemetry_b.snapshot()),
+        ])
+        assert merged["period"] is None
+        hr = headroom_from_tallies(merged)
+        assert hr.period is None
+        assert "mixed" in hr.render()
+        # The sample bound stays exact: each row pre-floored its quota.
+        assert merged["samples_bound"] > 0
+
+    def test_merge_refuses_different_tools_or_registers(self):
+        telemetry_a, telemetry_b = Telemetry(), Telemetry()
+        run_a = run_witch(random_program(1), "deadcraft", period=7,
+                          telemetry=telemetry_a)
+        row_a = tallies_from(run_a.report, telemetry_a.snapshot())
+        run_b = run_witch(random_program(1), "silentcraft", period=7,
+                          telemetry=telemetry_b)
+        row_b = tallies_from(run_b.report, telemetry_b.snapshot())
+        with pytest.raises(ValueError, match="different tools"):
+            merge_rows([row_a, row_b])
+        row_c = dict(row_a)
+        row_c["registers"] = 8
+        with pytest.raises(ValueError, match="register budgets"):
+            merge_rows([row_a, row_c])
+
+    def test_headroom_report_round_trips_to_json(self):
+        _run, hr = headroom_for(random_program(6), period=7)
+        payload = json.loads(json.dumps(hr.to_dict()))
+        assert payload["format"] == "repro-headroom"
+        assert len(payload["bounds"]) == 5
+        assert len(payload["blockers"]) == 4
+        assert payload["tool"] == "deadcraft"
+
+
+class TestPeriodController:
+    def test_converges_within_iteration_budget(self):
+        result = tune_period("case:lbm", "deadcraft", target_overhead=1.0,
+                             scale=50.0, max_iterations=8)
+        assert result.converged
+        assert len(result.steps) <= 4  # hyperbola solve: 2-3 evals typical
+        assert abs(result.overhead - 1.0) <= 0.1
+        assert result.miss_ratio <= 1.5
+
+    def test_trajectory_bit_identical_across_jobs(self):
+        kwargs = dict(target_overhead=1.0, scale=50.0, max_iterations=8)
+        serial = tune_periods(["case:lbm"], "deadcraft", jobs=1, **kwargs)
+        sharded = tune_periods(["case:lbm"], "deadcraft", jobs=2, **kwargs)
+        assert json.dumps(serial["case:lbm"].to_dict(), sort_keys=True) == \
+            json.dumps(sharded["case:lbm"].to_dict(), sort_keys=True)
+
+    def test_unreachable_target_reports_best_effort(self):
+        """micro:listing2 quantizes overhead in ~8x steps around 2.0."""
+        result = tune_period("micro:listing2", "deadcraft",
+                             target_overhead=2.0, max_iterations=8)
+        assert not result.converged
+        assert len(result.steps) <= 8
+        assert result.period == min(
+            result.steps, key=lambda step: abs(step.overhead - 2.0)
+        ).period
+
+    def test_target_below_base_overhead_is_rejected(self):
+        with pytest.raises(ValueError, match="sampling tax"):
+            tune_period("case:lbm", "deadcraft", target_overhead=0.001)
+        with pytest.raises(ValueError, match="target_overhead"):
+            tune_period("case:lbm", "deadcraft", target_overhead=-1.0)
+
+    def test_tuned_periods_are_prime(self):
+        from repro.hardware.pmu import nearest_prime
+
+        result = tune_period("case:lbm", "deadcraft", target_overhead=1.0,
+                             scale=50.0)
+        assert result.period == nearest_prime(result.period)
+
+
+class TestScaledCaseStudies:
+    def test_scale_multiplies_case_study_events(self):
+        telemetry_1, telemetry_8 = Telemetry(), Telemetry()
+        run_witch(resolve_workload("case:lbm", scale=1.0), "deadcraft",
+                  period=101, telemetry=telemetry_1)
+        run_witch(resolve_workload("case:lbm", scale=8.0), "deadcraft",
+                  period=101, telemetry=telemetry_8)
+        events_1 = telemetry_1.snapshot()["counters"]["pmu.events"]
+        events_8 = telemetry_8.snapshot()["counters"]["pmu.events"]
+        assert events_8 == 8 * events_1
+
+    def test_scale_one_is_the_bare_case_workload(self):
+        from repro.workloads.casestudies import CASE_STUDIES
+
+        assert resolve_workload("case:lbm", scale=1.0) is \
+            CASE_STUDIES["lbm"].baseline
+
+
+class TestMetricDescriptions:
+    def test_every_emitted_metric_is_described(self):
+        telemetry = Telemetry()
+        run_witch(random_program(1), "deadcraft", period=3, registers=1,
+                  telemetry=telemetry, faults="drop=0.2,arm=0.2,spurious=0.1")
+        snapshot = telemetry.snapshot()
+        names = (
+            list(snapshot["counters"])
+            + list(snapshot["gauges"])
+            + list(snapshot["histograms"])
+        )
+        assert names
+        undescribed = [name for name in names if not describe(name)]
+        assert undescribed == []
+
+    def test_describe_falls_back_to_the_family_prefix(self):
+        assert describe("witch.reservoir.k")  # exact
+        assert describe("no.such.metric") == ""
+
+    def test_render_rows_carry_descriptions(self):
+        telemetry = Telemetry()
+        telemetry.counter("witch.traps").inc(3)
+        rows = telemetry.metrics.render_rows()
+        assert rows[0] == ("counter", "witch.traps", "3",
+                           describe("witch.traps"))
+        assert "#" in telemetry.render_table()
+
+
+class TestEngineRate:
+    def test_rates_from_synthetic_snapshots(self):
+        baseline = {
+            "counters": {"cpu.scalar_accesses": 1000},
+            "spans": {"workload": {"count": 1, "total_ns": 2_000_000}},
+        }
+        measured = {
+            "counters": {"cpu.columnar_accesses": 1000},
+            "spans": {"workload": {"count": 1, "total_ns": 6_000_000}},
+        }
+        overhead = engine_rate_overhead(baseline, measured)
+        assert overhead.baseline.accesses_per_sec == pytest.approx(500_000)
+        assert overhead.wall_clock_slowdown == pytest.approx(3.0)
+        assert overhead.rate_slowdown == pytest.approx(3.0)
+        payload = overhead.to_dict()
+        assert payload["baseline"]["ns_per_access"] == pytest.approx(2000.0)
+
+    def test_rate_slowdown_normalizes_access_counts(self):
+        """Twice the accesses in twice the time: same per-access cost."""
+        baseline = {
+            "counters": {"cpu.scalar_accesses": 1000},
+            "spans": {"workload": {"count": 1, "total_ns": 1_000_000}},
+        }
+        measured = {
+            "counters": {"cpu.batched_accesses": 2000},
+            "spans": {"workload": {"count": 1, "total_ns": 2_000_000}},
+        }
+        overhead = engine_rate_overhead(baseline, measured)
+        assert overhead.wall_clock_slowdown == pytest.approx(2.0)
+        assert overhead.rate_slowdown == pytest.approx(1.0)
+
+    def test_engine_rate_from_a_real_run(self):
+        telemetry = Telemetry()
+        run_witch(resolve_workload("case:lbm"), "deadcraft", period=101,
+                  telemetry=telemetry)
+        rate = engine_rate(telemetry.snapshot())
+        assert rate.accesses > 0
+        assert rate.wall_ns > 0
+        assert rate.accesses_per_sec > 0
+
+    def test_empty_snapshot_rates_are_zero(self):
+        rate = engine_rate({})
+        assert rate == EngineRate(accesses=0, wall_ns=0.0)
+        assert rate.accesses_per_sec == 0.0
+        assert rate.ns_per_access == 0.0

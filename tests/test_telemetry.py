@@ -117,7 +117,7 @@ class TestRegistry:
         reg.counter("z").inc()
         reg.counter("a").inc()
         rows = reg.render_rows()
-        assert [name for kind, name, _ in rows if kind == "counter"] == ["a", "z"]
+        assert [name for kind, name, _, _ in rows if kind == "counter"] == ["a", "z"]
 
 
 class TestSpans:
