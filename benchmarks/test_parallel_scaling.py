@@ -10,8 +10,10 @@ The parallel package promises (docs/parallel.md):
 
 The speedup assertion is gated on ``os.cpu_count() >= 4``: on smaller
 machines (e.g. a 1-core container) the evidence is still measured and
-written to ``BENCH_parallel.json`` for the CI artifact upload, but only
-the determinism half is enforced.
+written to ``BENCH_parallel.json`` (``cpu_count`` included) for the CI
+artifact upload, the determinism half is still enforced, and the test
+then *skips loudly* -- a green pass must only ever mean the speedup
+floor really was checked.
 """
 
 from __future__ import annotations
@@ -20,6 +22,8 @@ import json
 import os
 import pathlib
 import time
+
+import pytest
 
 from conftest import format_table
 from repro.parallel import run_specs, witch_spec
@@ -88,8 +92,16 @@ def test_parallel_scaling(publish):
         + f"\n({len(SPECS)} specs, {cores} cores; results bit-identical at every jobs level)",
     )
 
-    if cores >= MIN_CORES_FOR_ASSERT:
-        assert speedups[4] >= MIN_SPEEDUP_AT_4, (
-            f"jobs=4 speedup {speedups[4]:.2f}x below the "
-            f"{MIN_SPEEDUP_AT_4}x floor on a {cores}-core machine"
+    if cores < MIN_CORES_FOR_ASSERT:
+        # Loud, not silent: the evidence above is measured and written
+        # either way, but a green check must never imply the speedup
+        # floor was actually enforced on an undersized runner.
+        pytest.skip(
+            f"speedup floor not asserted: {cores} core(s) < "
+            f"{MIN_CORES_FOR_ASSERT} (determinism checked, evidence in "
+            f"{BENCH_JSON.name})"
         )
+    assert speedups[4] >= MIN_SPEEDUP_AT_4, (
+        f"jobs=4 speedup {speedups[4]:.2f}x below the "
+        f"{MIN_SPEEDUP_AT_4}x floor on a {cores}-core machine"
+    )

@@ -1,0 +1,185 @@
+"""Benchmark: streaming ingest throughput of the trace service.
+
+Two client threads stream synthetic strided traces into one live
+``TraceService`` over real sockets while a monitor client polls the live
+JSON status mid-stream (the poll itself goes through the same event
+loop, so it is part of the measured load, not a bystander).  The floor:
+
+- sustained ingest of >= 500k accesses/s aggregated across the two
+  sessions (run-encoded lines through the columnar engine -- the same
+  floor the simulator and fallback-backend benchmarks hold); and
+- every mid-stream poll returns a well-formed, monotonically advancing
+  JSON view (the live-report contract under load).
+
+Evidence lands in ``BENCH_service.json`` for the CI artifact upload,
+including ``cpu_count`` so a slow runner's numbers read in context.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import pathlib
+import threading
+import time
+
+from conftest import format_table
+from repro.service.client import ServiceClient
+from repro.service.server import TraceService
+from repro.trace import TraceRun
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_service.json"
+MIN_ACCESSES_PER_SEC = 500_000
+
+SESSIONS = 2
+ACCESSES_PER_SESSION = 8_000_000
+RUN_COUNT = 4096           # accesses per wire line
+RUNS_PER_SEND = 64         # lines per socket write
+BASE_WINDOW = 64           # distinct run bases -> bounded working set
+
+
+def synthetic_runs(total: int, seed_pc: int) -> list:
+    """A strided synthetic trace, run-encoded: ``total`` load accesses."""
+    runs = []
+    base = 0x10_0000
+    for index in range(total // RUN_COUNT):
+        runs.append(
+            TraceRun(
+                "load",
+                base + (index % BASE_WINDOW) * RUN_COUNT * 8,
+                8,
+                8,
+                RUN_COUNT,
+                pc=seed_pc + (index % 8) * 4,
+                frames=("main", f"kernel{index % 4}"),
+            )
+        )
+    return runs
+
+
+class _Server:
+    """A TraceService on a background loop (benchmark-local helper)."""
+
+    def __init__(self, journal_dir: str) -> None:
+        self.service = TraceService(journal_dir)
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.service.start())
+        self._ready.set()
+        self._loop.run_forever()
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def __enter__(self) -> "_Server":
+        self._thread.start()
+        assert self._ready.wait(timeout=10)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        async def _down() -> None:
+            await self.service.stop()
+            tasks = [
+                task
+                for task in asyncio.all_tasks()
+                if task is not asyncio.current_task()
+            ]
+            for task in tasks:
+                task.cancel()
+            await asyncio.gather(*tasks, return_exceptions=True)
+            for _ in range(3):
+                await asyncio.sleep(0)
+
+        asyncio.run_coroutine_threadsafe(_down(), self._loop).result(timeout=10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()
+
+
+def _stream(port: int, name: str, runs: list, errors: list) -> None:
+    try:
+        with ServiceClient(port=port) as client:
+            client.open(name, {"tool": "loadcraft", "period": 101, "seed": 1})
+            for start in range(0, len(runs), RUNS_PER_SEND):
+                client.send_items(runs[start : start + RUNS_PER_SEND])
+            client.close_session()
+    except Exception as error:  # surfaced after join
+        errors.append((name, error))
+
+
+def test_service_streaming_throughput(tmp_path, publish):
+    runs = {
+        f"bench{i}": synthetic_runs(ACCESSES_PER_SESSION, 0x40_0100 + i * 64)
+        for i in range(SESSIONS)
+    }
+    total = sum(len(r) * RUN_COUNT for r in runs.values())
+    errors: list = []
+    polls: list = []
+
+    with _Server(str(tmp_path / "journals")) as server:
+        threads = [
+            threading.Thread(
+                target=_stream, args=(server.port, name, session_runs, errors)
+            )
+            for name, session_runs in runs.items()
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        # Poll the live JSON view while both streams are in flight.
+        with ServiceClient(port=server.port) as monitor:
+            while any(thread.is_alive() for thread in threads):
+                status = json.loads(json.dumps(monitor.status()))  # wire JSON
+                polls.append(status["accesses"])
+                time.sleep(0.05)
+        for thread in threads:
+            thread.join(timeout=300)
+        elapsed = time.perf_counter() - start
+    assert not errors, errors
+
+    per_sec = total / elapsed
+    midstream = [count for count in polls if 0 < count < total]
+    evidence = {
+        "sessions": SESSIONS,
+        "accesses": total,
+        "seconds": elapsed,
+        "accesses_per_sec": per_sec,
+        "min_accesses_per_sec": MIN_ACCESSES_PER_SEC,
+        "run_count": RUN_COUNT,
+        "live_polls": len(polls),
+        "live_polls_midstream": len(midstream),
+        "cpu_count": os.cpu_count() or 1,
+        "tool": "loadcraft",
+        "period": 101,
+    }
+    BENCH_JSON.write_text(json.dumps(evidence, indent=2, sort_keys=True) + "\n")
+
+    publish(
+        "service_throughput",
+        format_table(
+            ["sessions", "accesses", "seconds", "accesses/s", "floor"],
+            [[
+                str(SESSIONS),
+                f"{total:,}",
+                f"{elapsed:.2f}",
+                f"{per_sec:,.0f}",
+                f"{MIN_ACCESSES_PER_SEC:,}",
+            ]],
+        )
+        + f"\n({len(polls)} live status polls, {len(midstream)} mid-stream; "
+        f"{os.cpu_count() or 1} cores)",
+    )
+
+    # Live view advances monotonically and was actually observed live.
+    assert polls == sorted(polls)
+    assert midstream, "no poll landed mid-stream -- raise ACCESSES_PER_SESSION"
+    assert per_sec >= MIN_ACCESSES_PER_SEC, (
+        f"ingest {per_sec:,.0f} accesses/s below the "
+        f"{MIN_ACCESSES_PER_SEC:,}/s floor"
+    )

@@ -15,6 +15,11 @@ Commands:
 - ``headroom WORKLOAD...`` -- actual-vs-bound figures and the ranked
   blocker breakdown per workload (text or ``--json``); see
   docs/headroom.md.
+- ``serve --journals DIR`` -- run the streaming trace-ingestion service;
+  ``stream FILE --session NAME --port P`` replays a recorded trace into
+  a live session; ``sessions --port P`` lists sessions and (with
+  ``--aggregate``) the merged cross-session reports.  See
+  docs/service.md.
 
 ``profile``, ``suite``, ``robustness``, and ``headroom`` accept
 ``--target-overhead FRACTION``: instead of a fixed ``--period``, the
@@ -573,6 +578,154 @@ def _cmd_record(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    from repro.service.server import run_server
+
+    telemetry = Telemetry() if args.telemetry else None
+
+    def ready(service) -> None:
+        print(
+            f"serving on {service.host}:{service.port} "
+            f"(journals in {service.journal_dir})",
+            file=out,
+        )
+        out.flush()
+
+    if args.checkpoint_every < 1:
+        raise CLIError("--checkpoint-every must be >= 1")
+    try:
+        run_server(
+            args.journals,
+            host=args.host,
+            port=args.port,
+            checkpoint_every=args.checkpoint_every,
+            telemetry=telemetry,
+            ready=ready,
+        )
+    except OSError as error:
+        raise CLIError(f"cannot serve on {args.host}:{args.port}: {error}") from error
+    if telemetry is not None:
+        print(telemetry.render_table(), file=out)
+    return 0
+
+
+def _session_config_from_args(args) -> dict:
+    config = {
+        "tool": args.tool,
+        "period": nearest_prime(args.period),
+        "registers": args.registers,
+        "seed": args.seed,
+        "telemetry": bool(getattr(args, "telemetry", False)),
+    }
+    if args.faults:
+        try:
+            FaultSpec.parse(args.faults)
+        except ValueError as error:
+            raise CLIError(f"bad --faults spec: {error}") from error
+        config["faults"] = args.faults
+        if args.fault_seed is not None:
+            config["fault_seed"] = args.fault_seed
+    if getattr(args, "backend", None):
+        config["backend"] = _backend_from_args(args)
+    return config
+
+
+def _cmd_stream(args, out) -> int:
+    import json as _json
+
+    from repro.service.client import ServiceError, stream_trace
+
+    config = _session_config_from_args(args)
+    try:
+        payload = stream_trace(
+            args.trace,
+            args.session,
+            host=args.host,
+            port=args.port,
+            config=config,
+            chunk_records=args.chunk,
+            use_runs=not args.no_runs,
+            close=not args.keep_open,
+        )
+    except (ConnectionError, OSError) as error:
+        raise CLIError(
+            f"cannot stream to {args.host}:{args.port}: {error}"
+        ) from error
+    except ServiceError as error:
+        raise CLIError(str(error)) from error
+    except ValueError as error:  # unreadable / non-trace input file
+        raise CLIError(str(error)) from error
+    report = InefficiencyReport.from_dict(payload["report"])
+    state = "final" if payload.get("closed") else "live"
+    print(
+        f"session {payload['session']}: {payload['accesses']} accesses "
+        f"ingested ({state} report)",
+        file=out,
+    )
+    print(report.render(), file=out)
+    if args.json:
+        from repro.atomicio import atomic_write_text
+
+        atomic_write_text(args.json, _json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}", file=out)
+    return 0
+
+
+def _cmd_sessions(args, out) -> int:
+    import json as _json
+
+    from repro.service.client import ServiceClient, ServiceError
+
+    try:
+        with ServiceClient(host=args.host, port=args.port) as client:
+            status = client.status()
+            aggregate = client.aggregate() if args.aggregate or args.json else None
+    except (ConnectionError, OSError) as error:
+        raise CLIError(
+            f"cannot reach {args.host}:{args.port}: {error}"
+        ) from error
+    except ServiceError as error:
+        raise CLIError(str(error)) from error
+    rows = status["sessions"]
+    if not rows:
+        print("no sessions", file=out)
+    else:
+        print(
+            f"{'session':20s} {'tool':12s} {'period':>6s} {'accesses':>12s} "
+            f"{'journal':>10s} state",
+            file=out,
+        )
+        for row in rows:
+            state = "closed" if row["closed"] else (
+                "attached" if row["session"] in status["attached"] else "idle"
+            )
+            print(
+                f"{row['session']:20s} {row['tool']:12s} {row['period']:6d} "
+                f"{row['accesses']:12d} {row['journal_bytes']:10d} {state}",
+                file=out,
+            )
+        print(f"total accesses: {status['accesses']}", file=out)
+    if aggregate is not None and args.aggregate:
+        for group in aggregate["groups"]:
+            merged = InefficiencyReport.from_dict(group["report"])
+            print(file=out)
+            print(
+                f"aggregate {group['tool']} period={group['period']} over "
+                f"{', '.join(group['sessions'])}:",
+                file=out,
+            )
+            print(merged.render(), file=out)
+    if args.json:
+        from repro.atomicio import atomic_write_text
+
+        atomic_write_text(
+            args.json,
+            _json.dumps({"status": status, "aggregate": aggregate}, indent=2) + "\n",
+        )
+        print(f"wrote {args.json}", file=out)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -744,6 +897,69 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument("-o", "--output", required=True)
     add_common(record)
     record.set_defaults(run=_cmd_record)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the streaming trace-ingestion service (docs/service.md)",
+    )
+    serve.add_argument("--journals", required=True, metavar="DIR",
+                       help="directory for per-session checkpoint journals")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listening port (0 picks a free one, printed "
+                       "on the ready line)")
+    serve.add_argument("--checkpoint-every", type=int, default=1_000_000,
+                       metavar="N",
+                       help="accesses between automatic session checkpoints")
+    serve.add_argument("--telemetry", action="store_true",
+                       help="collect service.* metrics and print the table "
+                       "on shutdown")
+    serve.set_defaults(run=_cmd_serve)
+
+    stream = commands.add_parser(
+        "stream",
+        help="replay a recorded trace into a service session",
+    )
+    stream.add_argument("trace", help="a trace file from `repro record`")
+    stream.add_argument("--session", required=True,
+                        help="session name (reopening resumes from the "
+                        "server's checkpoint)")
+    stream.add_argument("--host", default="127.0.0.1")
+    stream.add_argument("--port", type=int, required=True)
+    stream.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR),
+                        default="deadcraft")
+    stream.add_argument("--period", type=int, default=101,
+                        help="sampling period (rounded to the nearest prime)")
+    stream.add_argument("--registers", type=int, default=4,
+                        help="debug registers")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--chunk", type=int, default=4096,
+                        help="records per streamed chunk")
+    stream.add_argument("--no-runs", action="store_true",
+                        help="send raw record lines instead of coalesced "
+                        "run lines (slower; results are identical)")
+    stream.add_argument("--keep-open", action="store_true",
+                        help="leave the session live (poll it later) "
+                        "instead of finalizing it")
+    stream.add_argument("--telemetry", action="store_true",
+                        help="enable server-side session telemetry")
+    stream.add_argument("--json", metavar="FILE",
+                        help="save the report payload as JSON")
+    add_backend(stream)
+    add_faults(stream)
+    stream.set_defaults(run=_cmd_stream)
+
+    sessions = commands.add_parser(
+        "sessions",
+        help="list a running service's sessions (and the aggregate view)",
+    )
+    sessions.add_argument("--host", default="127.0.0.1")
+    sessions.add_argument("--port", type=int, required=True)
+    sessions.add_argument("--aggregate", action="store_true",
+                          help="also print the merged cross-session report(s)")
+    sessions.add_argument("--json", metavar="FILE",
+                          help="save status + aggregate as JSON")
+    sessions.set_defaults(run=_cmd_sessions)
 
     return parser
 

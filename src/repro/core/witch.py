@@ -117,10 +117,11 @@ class WitchFramework:
         self.samples_monitored = 0
         self.traps_handled = 0
 
-        #: Set once by :meth:`report`: the run's closing facts (cycle
-        #: ledger totals, PMU event counts) are flushed to telemetry
-        #: exactly once, so a re-rendered report cannot double-count.
-        self._facts_flushed = False
+        #: Last values flushed by :meth:`report`: the run's closing facts
+        #: (cycle ledger totals, PMU event counts) are exported as counter
+        #: *deltas* against this snapshot, so a re-rendered report cannot
+        #: double-count and a live mid-stream report stays current.
+        self._flushed_facts: Optional[Dict[str, int]] = None
 
         # Graceful-degradation state.  ``faults`` is the run's (optional)
         # injection plan, shared with the CPU, PMUs, and register files.
@@ -393,7 +394,7 @@ class WitchFramework:
         return facts
 
     def _flush_run_facts(self) -> None:
-        """Export the run's closing facts to telemetry (cold path, once).
+        """Export the run's closing facts to telemetry (cold path).
 
         The headroom analysis (:mod:`repro.analysis.headroom`) works from a
         report + telemetry snapshot alone, so everything it needs that lives
@@ -401,25 +402,36 @@ class WitchFramework:
         counted-event totals, the register budget -- is flushed as counters
         and gauges when the report is drawn.  Counters merge additively
         across per-spec snapshots, which is what keeps sharded headroom
-        rows bit-identical to serial ones.
+        rows bit-identical to serial ones.  Flushes are *delta-based*: a
+        streaming session draws live reports mid-run, so each flush exports
+        only the growth since the previous one -- a single end-of-run
+        report therefore flushes exactly the totals it always did, and a
+        re-rendered report never double-counts.
         """
         tm = self._tm
-        if tm is None or self._facts_flushed:
+        if tm is None:
             return
-        self._facts_flushed = True
         ledger = self.cpu.ledger
-        tm.counter("pmu.events").inc(self.cpu.total_counted_events)
-        tm.counter("cpu.native_cycles").inc(ledger.native_cycles)
-        tm.counter("cpu.tool_cycles").inc(ledger.tool_cycles)
+        events = self.cpu.total_counted_events
+        current = {
+            "pmu.events": events,
+            "cpu.native_cycles": ledger.native_cycles,
+            "cpu.tool_cycles": ledger.tool_cycles,
+            # Minimum samples any period-P run must handle (PMU cadence
+            # law): pre-floored per run so merged rows stay additive.
+            "headroom.samples_bound": events // self.period,
+        }
+        last = self._flushed_facts
+        for name, value in current.items():
+            tm.counter(name).inc(value - (last[name] if last else 0))
         for event in ("sample", "arm", "trap", "spurious_trap", "value_record"):
             occurrences = ledger.counts[event]
-            if occurrences:
-                tm.counter(f"ledger.{event}").inc(occurrences)
-        # Minimum samples any period-P run must handle (PMU cadence law):
-        # pre-floored per run so merged rows stay additive.
-        tm.counter("headroom.samples_bound").inc(
-            self.cpu.total_counted_events // self.period
-        )
+            name = f"ledger.{event}"
+            current[name] = occurrences
+            delta = occurrences - (last.get(name, 0) if last else 0)
+            if delta:
+                tm.counter(name).inc(delta)
+        self._flushed_facts = current
         tm.gauge("witch.period").set(self.period)
         tm.gauge("debugreg.slots").set(self.cpu.register_count)
 

@@ -112,6 +112,14 @@ class ColumnBackend:
         memory.write_run(base, payload, count, stride, length)
 
 
+    # Backends pickle by *name* and resolve to the process-wide singleton
+    # on load: a NumPy backend holds the numpy module (unpicklable), and
+    # results are bit-identical across backends anyway, so a checkpoint
+    # taken under NumPy restores fine on a host without it.
+    def __reduce__(self):
+        return (_restore_backend, (self.name,))
+
+
 class PythonBackend(ColumnBackend):
     """The always-available fallback: stdlib ``array`` + ``struct``."""
 
@@ -279,6 +287,14 @@ def resolve_backend(name=None) -> ColumnBackend:
     raise ValueError(
         f"unknown backend {name!r}; valid: {', '.join(BACKEND_CHOICES)}"
     )
+
+
+def _restore_backend(name: str) -> ColumnBackend:
+    """Unpickle hook: the named backend, degrading to auto when absent."""
+    try:
+        return resolve_backend(name)
+    except BackendUnavailable:
+        return resolve_backend("auto")
 
 
 # ----------------------------------------------------------------- the stream

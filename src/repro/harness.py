@@ -117,6 +117,79 @@ def run_native(
     return NativeRun(cpu=cpu, machine=machine)
 
 
+@dataclass
+class LiveWitchRun:
+    """A monitored machine with no workload attached yet.
+
+    The streaming half of :func:`run_witch`: the same construction
+    sequence (fault plan, CPU, client, framework, machine), but the
+    caller drives execution itself -- feeding accesses incrementally via
+    :class:`repro.trace.TraceFeed`, drawing live reports mid-run, and
+    (because the whole object graph is picklable) checkpointing the
+    session at any chunk boundary.  ``run_witch`` is exactly
+    ``start_witch`` + workload call + :meth:`report`.
+    """
+
+    witch: WitchFramework
+    cpu: SimulatedCPU
+    machine: Machine
+
+    def report(self) -> InefficiencyReport:
+        return self.witch.report()
+
+
+def start_witch(
+    tool: str = "deadcraft",
+    period: int = 101,
+    registers: int = 4,
+    policy: Optional[ReplacementPolicy] = None,
+    proportional_attribution: bool = True,
+    shadow_bias: float = 0.0,
+    period_jitter: int = 0,
+    max_watchpoint_bytes: Optional[int] = None,
+    seed: int = 0,
+    model: Optional[CostModel] = None,
+    batched: bool = True,
+    telemetry: Optional[Telemetry] = None,
+    faults: Union[FaultPlan, FaultSpec, str, None] = None,
+    fault_seed: Optional[int] = None,
+    backend=None,
+) -> LiveWitchRun:
+    """Build a monitored machine ready to execute accesses incrementally.
+
+    Construction is step-for-step identical to :func:`run_witch` -- same
+    fault-plan derivation, same RNG seeding, same wiring order -- so a
+    live session fed the same access stream produces bit-identical
+    results to the batch runner.
+    """
+    plan = build_fault_plan(faults, seed if fault_seed is None else fault_seed)
+    cpu = SimulatedCPU(
+        register_count=registers,
+        model=model,
+        rng=random.Random(seed),
+        batched=batched,
+        telemetry=telemetry,
+        faults=plan,
+        backend=backend,
+    )
+    client = make_client(tool, cpu)
+    witch = WitchFramework(
+        cpu,
+        client,
+        period=period,
+        policy=policy,
+        proportional_attribution=proportional_attribution,
+        shadow_bias=shadow_bias,
+        period_jitter=period_jitter,
+        max_watchpoint_bytes=max_watchpoint_bytes,
+        seed=seed,
+        telemetry=telemetry,
+        faults=plan,
+    )
+    machine = Machine(cpu)
+    return LiveWitchRun(witch=witch, cpu=cpu, machine=machine)
+
+
 def run_witch(
     workload: Workload,
     tool: str = "deadcraft",
@@ -160,39 +233,33 @@ def run_witch(
     changes execution speed only, never results (see
     tests/test_columnar.py).
     """
-    plan = build_fault_plan(faults, seed if fault_seed is None else fault_seed)
     tm = telemetry if telemetry is not None else NULL_TELEMETRY
     with tm.span(f"run_witch:{tool}"):
         with tm.span("setup"):
-            cpu = SimulatedCPU(
-                register_count=registers,
-                model=model,
-                rng=random.Random(seed),
-                batched=batched,
-                telemetry=telemetry,
-                faults=plan,
-                backend=backend,
-            )
-            client = make_client(tool, cpu)
-            witch = WitchFramework(
-                cpu,
-                client,
+            live = start_witch(
+                tool=tool,
                 period=period,
+                registers=registers,
                 policy=policy,
                 proportional_attribution=proportional_attribution,
                 shadow_bias=shadow_bias,
                 period_jitter=period_jitter,
                 max_watchpoint_bytes=max_watchpoint_bytes,
                 seed=seed,
+                model=model,
+                batched=batched,
                 telemetry=telemetry,
-                faults=plan,
+                faults=faults,
+                fault_seed=fault_seed,
+                backend=backend,
             )
-            machine = Machine(cpu)
         with tm.span("workload"):
-            workload(machine)
+            workload(live.machine)
         with tm.span("report"):
-            report = witch.report()
-    return WitchRun(report=report, witch=witch, cpu=cpu, machine=machine)
+            report = live.report()
+    return WitchRun(
+        report=report, witch=live.witch, cpu=live.cpu, machine=live.machine
+    )
 
 
 def run_spec(spec, root_seed: int = 0, telemetry_enabled: bool = False):

@@ -1,0 +1,51 @@
+"""Streaming trace-ingestion service: Witch as a long-running profiler.
+
+The batch harness answers "what did this run waste?"; the service answers
+it *continuously*: a long-lived asyncio server (:mod:`repro.service.server`)
+accepts recorded access traces in the ``repro.trace`` JSONL format over a
+socket, multiplexes many concurrent client sessions, and runs one
+:class:`~repro.core.witch.WitchFramework` per session incrementally -- the
+shape JXPerf deploys the paper's watchpoint technique in (a resident
+profiler rather than a one-shot experiment).
+
+Layering:
+
+- :mod:`repro.service.protocol` -- line-delimited JSON wire format: an
+  incremental, bounded :class:`~repro.service.protocol.FrameDecoder` plus
+  message classification (:class:`~repro.service.protocol.ProtocolError`
+  on anything malformed, including a truncated final record).
+- :mod:`repro.service.session` -- one streaming Witch session: config,
+  incremental feed through :class:`repro.trace.TraceFeed`, live reports,
+  and :class:`~repro.parallel.journal.RunJournal`-backed checkpoints that
+  a killed worker resumes bit-identically.
+- :mod:`repro.service.server` -- the asyncio :class:`TraceService`
+  multiplexing sessions, serving per-session JSON/HTML reports and the
+  cross-session aggregate view.
+- :mod:`repro.service.client` -- a dependency-free blocking client
+  library plus :func:`stream_trace`, the engine of the ``repro stream``
+  CLI.
+
+The correctness contract (proven in tests/test_service*.py): a streamed
+session's final report is byte-identical to a batch
+:class:`repro.trace.TraceReplay` of the same trace -- for every backend,
+under fault plans, across chunkings and coalescings, and across
+kill+resume -- and per-session memory stays bounded by the working set,
+never the trace length.
+"""
+
+from repro.service.client import ServiceClient, stream_trace
+from repro.service.protocol import FrameDecoder, Message, ProtocolError
+from repro.service.server import TraceService, run_server
+from repro.service.session import SessionConfig, StreamSession
+
+__all__ = [
+    "FrameDecoder",
+    "Message",
+    "ProtocolError",
+    "ServiceClient",
+    "SessionConfig",
+    "StreamSession",
+    "TraceService",
+    "run_server",
+    "stream_trace",
+]

@@ -1,0 +1,186 @@
+"""Blocking client library for the trace-ingestion service.
+
+:class:`ServiceClient` speaks the line protocol over one TCP connection:
+control calls are request/reply, trace data is pipelined (no per-line
+acknowledgement) with an explicit :meth:`ServiceClient.sync` barrier for
+callers that need one.  :func:`stream_trace` is the whole client-side
+story of ``repro stream``: open (or resume) a session, replay a trace
+file into it chunk by chunk -- coalescing same-shape strided records
+into run lines so the server's batched engine does the heavy lifting --
+and close, returning the final report.
+
+The client holds O(chunk) memory: records are read with
+:func:`repro.trace.iter_trace` (one at a time), coalesced per chunk, and
+encoded into one buffer per chunk.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import socket
+from typing import Any, Dict, Iterable, Iterator, Union
+
+from repro.service.protocol import encode
+from repro.service.session import SessionConfig
+from repro.trace import PathLike, TraceItem, TraceRecord, coalesce, iter_trace
+
+DEFAULT_CHUNK_RECORDS = 4096
+
+
+class ServiceError(RuntimeError):
+    """The server refused a request (its error line, verbatim)."""
+
+
+class ServiceClient:
+    """One connection to a :class:`repro.service.server.TraceService`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 60.0
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader = self._sock.makefile("rb")
+
+    # ------------------------------------------------------------- transport
+    def _request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        self._sock.sendall(encode(payload))
+        return self._reply()
+
+    def _reply(self) -> Dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        reply = json.loads(line)
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error", "unknown server error"))
+        return reply
+
+    def send_items(self, items: Iterable[TraceItem]) -> None:
+        """Pipeline trace records/runs (no reply; use :meth:`sync`)."""
+        buffer = bytearray()
+        for item in items:
+            buffer += item.to_json().encode("utf-8")
+            buffer += b"\n"
+        if buffer:
+            self._sock.sendall(bytes(buffer))
+
+    # --------------------------------------------------------------- control
+    def open(
+        self,
+        session: str,
+        config: Union[SessionConfig, Dict[str, Any], None] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "open", "session": session}
+        if isinstance(config, SessionConfig):
+            payload.update(
+                {
+                    field: getattr(config, field)
+                    for field in config.__dataclass_fields__
+                }
+            )
+        elif config:
+            payload.update(config)
+        return self._request(payload)
+
+    def sync(self) -> Dict[str, Any]:
+        """Barrier: everything pipelined so far has been executed."""
+        return self._request({"op": "sync"})
+
+    def checkpoint(self) -> Dict[str, Any]:
+        return self._request({"op": "checkpoint"})
+
+    def report(self, html: bool = False) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "report"}
+        if html:
+            payload["html"] = True
+        return self._request(payload)
+
+    def close_session(self) -> Dict[str, Any]:
+        return self._request({"op": "close"})
+
+    def status(self) -> Dict[str, Any]:
+        return self._request({"op": "status"})
+
+    def aggregate(self) -> Dict[str, Any]:
+        return self._request({"op": "aggregate"})
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _skip_accesses(records: Iterator[TraceRecord], count: int) -> Iterator[TraceRecord]:
+    """Drop the first ``count`` accesses (the part a resume already ran)."""
+    return itertools.islice(records, count, None)
+
+
+def stream_records(
+    client: ServiceClient,
+    session: str,
+    records: Iterable[TraceRecord],
+    config: Union[SessionConfig, Dict[str, Any], None] = None,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    use_runs: bool = True,
+    close: bool = True,
+) -> Dict[str, Any]:
+    """Stream an access-record iterable into a session; return the report.
+
+    Opens (or resumes -- already-executed accesses are skipped client
+    side) the session, ships the stream in ``chunk_records``-sized
+    chunks, coalescing each chunk into run lines unless ``use_runs`` is
+    off, and finalizes the session when ``close`` is set, else leaves it
+    live after a sync.
+    """
+    opened = client.open(session, config)
+    if opened.get("closed"):
+        return client.report()
+    stream: Iterator[TraceRecord] = iter(records)
+    resumed = opened.get("resumed", 0)
+    if resumed:
+        stream = _skip_accesses(stream, resumed)
+    while True:
+        chunk = list(itertools.islice(stream, chunk_records))
+        if not chunk:
+            break
+        client.send_items(coalesce(chunk) if use_runs else chunk)
+    if close:
+        return client.close_session()
+    client.sync()
+    return client.report()
+
+
+def stream_trace(
+    path: PathLike,
+    session: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    config: Union[SessionConfig, Dict[str, Any], None] = None,
+    chunk_records: int = DEFAULT_CHUNK_RECORDS,
+    use_runs: bool = True,
+    close: bool = True,
+) -> Dict[str, Any]:
+    """Replay a ``repro.trace`` file into a service session (one call).
+
+    The engine of ``repro stream``: reads the file incrementally, resumes
+    a partially-ingested session where the server's checkpoint left off,
+    and returns the final (or live, with ``close=False``) report payload.
+    """
+    with ServiceClient(host=host, port=port) as client:
+        return stream_records(
+            client,
+            session,
+            iter_trace(path),
+            config=config,
+            chunk_records=chunk_records,
+            use_runs=use_runs,
+            close=close,
+        )

@@ -1,0 +1,198 @@
+"""Wire protocol: line-delimited JSON with a bounded incremental decoder.
+
+The stream format *is* the trace format: an op-less JSON object line is
+one :class:`repro.trace.TraceRecord` in its existing compact spelling
+(``{"k":...,"a":...}``), so a recorded trace file body can be piped to a
+session verbatim.  Two extensions ride alongside:
+
+- ``{"op":"run",...}`` -- a coalesced :class:`repro.trace.TraceRun`
+  (many same-shape strided accesses in one line); the server executes it
+  through the batched engine, which is what makes the 500k accesses/s
+  ingest floor reachable over a text protocol.
+- ``{"op":<control>,...}`` -- session control (``open``, ``sync``,
+  ``checkpoint``, ``report``, ``close``) and server queries (``status``,
+  ``aggregate``).  Control messages are request/reply; trace lines are
+  pipelined with no per-line acknowledgement.
+
+A trace-file *header* line (``{"format":"repro-trace",...}``) is accepted
+and checked so ``repro.trace`` files stream without surgery.
+
+Framing is byte-oriented and incremental: :class:`FrameDecoder` accepts
+arbitrary chunk boundaries (a record split mid-escape is fine), skips
+blank lines, enforces a maximum line length so a hostile peer cannot
+balloon the buffer, and -- via :meth:`FrameDecoder.finish` -- turns a
+truncated final record into a clean :class:`ProtocolError` instead of a
+silent drop or a hang.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.trace import FORMAT_VERSION, TraceRecord, TraceRun
+
+#: Ceiling on one encoded line.  A coalesced store run carries its data
+#: as hex, so lines are large but bounded: 4 MiB holds a ~2M-byte store
+#: run, far beyond what the client emits, while capping decoder memory.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: Control verbs the server dispatches (everything else on an ``op`` key
+#: except ``run`` is a protocol error).
+CONTROL_OPS = frozenset(
+    {"open", "sync", "checkpoint", "report", "close", "status", "aggregate"}
+)
+
+
+class ProtocolError(ValueError):
+    """The byte stream violated the wire protocol (malformed, truncated,
+    oversized, or an unknown operation)."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One decoded line: ``op`` names the shape, ``payload`` the fields.
+
+    ``op`` is ``"record"`` for op-less trace lines, ``"run"`` for
+    coalesced runs, ``"header"`` for a trace-file header, or a control
+    verb from :data:`CONTROL_OPS`.
+    """
+
+    op: str
+    payload: Dict[str, Any]
+
+    def record(self) -> TraceRecord:
+        """The payload as a :class:`TraceRecord` (op ``"record"`` only)."""
+        payload = self.payload
+        try:
+            return TraceRecord(
+                kind=payload["k"],
+                address=payload["a"],
+                length=payload["l"],
+                pc=payload["pc"],
+                frames=tuple(payload["f"]),
+                thread_id=payload.get("t", 0),
+                is_float=bool(payload.get("fl", 0)),
+                long_latency=bool(payload.get("ll", 0)),
+                data=payload.get("d"),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(f"malformed trace record: {error}") from error
+
+    def run(self) -> TraceRun:
+        """The payload as a :class:`TraceRun` (op ``"run"`` only)."""
+        try:
+            return TraceRun.from_payload(self.payload)
+        except (KeyError, TypeError, ValueError) as error:
+            raise ProtocolError(f"malformed trace run: {error}") from error
+
+
+def parse_line(line: str) -> Message:
+    """Classify one non-blank line into a :class:`Message`."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"malformed JSON line: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"expected a JSON object per line, got {type(payload).__name__}"
+        )
+    op = payload.get("op")
+    if op is None:
+        if "format" in payload:
+            if payload.get("format") != "repro-trace" or (
+                payload.get("version") != FORMAT_VERSION
+            ):
+                raise ProtocolError(
+                    f"unsupported trace header {payload!r}"
+                )
+            return Message("header", payload)
+        if "k" not in payload:
+            raise ProtocolError(
+                "line is neither a trace record, a header, nor an op"
+            )
+        return Message("record", payload)
+    if op == "run":
+        return Message("run", payload)
+    if op in CONTROL_OPS:
+        return Message(op, payload)
+    raise ProtocolError(f"unknown op {op!r}")
+
+
+class FrameDecoder:
+    """Incremental newline framing over arbitrary byte chunks.
+
+    Feed whatever the socket produced; complete lines come back as
+    :class:`Message` objects, the unterminated tail stays buffered for
+    the next chunk.  The buffer is bounded: a line exceeding
+    ``max_line_bytes`` raises before it can grow further, so decoder
+    memory is O(one line) regardless of peer behavior -- part of the
+    service's bounded-memory contract.
+    """
+
+    __slots__ = ("max_line_bytes", "bytes_fed", "lines_decoded", "_tail")
+
+    def __init__(self, max_line_bytes: int = MAX_LINE_BYTES) -> None:
+        self.max_line_bytes = max_line_bytes
+        self.bytes_fed = 0
+        self.lines_decoded = 0
+        self._tail = b""
+
+    @property
+    def buffered(self) -> int:
+        """Bytes of the current partial line held by the decoder."""
+        return len(self._tail)
+
+    def feed(self, chunk: bytes) -> List[Message]:
+        """Decode every line completed by ``chunk``; buffer the rest."""
+        self.bytes_fed += len(chunk)
+        data = self._tail + chunk
+        if b"\n" not in data:
+            if len(data) > self.max_line_bytes:
+                self._tail = b""
+                raise ProtocolError(
+                    f"line exceeds {self.max_line_bytes} bytes"
+                )
+            self._tail = data
+            return []
+        lines = data.split(b"\n")
+        self._tail = lines.pop()
+        if len(self._tail) > self.max_line_bytes:
+            tail = self._tail
+            self._tail = b""
+            raise ProtocolError(f"line exceeds {self.max_line_bytes} bytes")
+        messages: List[Message] = []
+        for raw in lines:
+            if len(raw) > self.max_line_bytes:
+                raise ProtocolError(f"line exceeds {self.max_line_bytes} bytes")
+            if not raw.strip():
+                continue
+            try:
+                text = raw.decode("utf-8")
+            except UnicodeDecodeError as error:
+                raise ProtocolError(f"non-UTF-8 line: {error}") from error
+            messages.append(parse_line(text))
+            self.lines_decoded += 1
+        return messages
+
+    def finish(self) -> None:
+        """Assert the stream ended on a line boundary.
+
+        A peer that disconnects mid-record left a partial line in the
+        buffer; surfacing it as a :class:`ProtocolError` (rather than
+        silently dropping the bytes) is what lets a client distinguish
+        "server saw everything" from "my last record was lost".
+        """
+        if self._tail.strip():
+            tail = self._tail
+            self._tail = b""
+            raise ProtocolError(
+                f"stream truncated mid-record ({len(tail)} dangling bytes)"
+            )
+        self._tail = b""
+
+
+def encode(payload: Dict[str, Any]) -> bytes:
+    """One reply/control line, newline-terminated, compact separators."""
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")

@@ -1,0 +1,365 @@
+"""The asyncio trace-ingestion server: many sessions, one event loop.
+
+One :class:`TraceService` owns a registry of named
+:class:`~repro.service.session.StreamSession` objects and an asyncio TCP
+server.  Each connection speaks the line protocol
+(:mod:`repro.service.protocol`); trace lines are batched per network
+chunk and executed synchronously on the loop -- sessions therefore
+interleave at chunk granularity, and because every session's Witch run
+is deterministic in its *own* stream alone, interleaving order cannot
+affect any session's results (the concurrency tests pin this down).
+
+Sessions outlive connections: a client that disconnects (or is killed)
+leaves its session checkpointed in the registry and its journal on disk;
+reopening the same name under the same config resumes from the journaled
+checkpoint -- on this server or a freshly started one -- bit-identically.
+
+Memory per connection is O(chunk): the frame decoder buffers at most one
+line, decoded trace items are executed and dropped at each chunk
+boundary, and each session's journal holds exactly one rolling
+checkpoint plus (after close) one final report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.parallel.journal import JournalMismatch
+from repro.parallel.merge import merge_reports
+from repro.service.protocol import (
+    FrameDecoder,
+    Message,
+    ProtocolError,
+    encode,
+)
+from repro.service.session import (
+    DEFAULT_CHECKPOINT_EVERY,
+    SessionConfig,
+    SessionError,
+    StreamSession,
+)
+from repro.telemetry import Telemetry, live_or_none
+from repro.trace import TraceItem
+
+_READ_CHUNK = 1 << 16
+
+
+class _Connection:
+    """Per-connection state: the bound session and ingest tallies."""
+
+    __slots__ = ("session", "items")
+
+    def __init__(self) -> None:
+        self.session: Optional[StreamSession] = None
+        self.items: List[TraceItem] = []
+
+
+class TraceService:
+    """The session registry plus the asyncio server around it.
+
+    The registry half is plain synchronous code (usable without a socket
+    -- the concurrency tests drive it directly); :meth:`start` wraps it
+    in a TCP server on ``host:port`` (port 0 picks a free one, exposed
+    as :attr:`port` once started).
+    """
+
+    def __init__(
+        self,
+        journal_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.journal_dir = journal_dir
+        self.host = host
+        self.port = port
+        self.checkpoint_every = checkpoint_every
+        self.sessions: Dict[str, StreamSession] = {}
+        self.telemetry = telemetry
+        self._tm = live_or_none(telemetry)
+        self._attached: set = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        os.makedirs(journal_dir, exist_ok=True)
+
+    # ------------------------------------------------------------- sessions
+    def journal_path(self, name: str) -> str:
+        return os.path.join(self.journal_dir, f"{name}.journal")
+
+    def open_session(self, name: str, config: SessionConfig) -> StreamSession:
+        """Create, or re-attach to, the named session.
+
+        An existing in-memory session is reused only under an identical
+        config (the journal enforces the same across restarts via the
+        config-keyed pseudo-spec and pinned root seed); a session already
+        driven by another live connection is refused.
+        """
+        if name in self._attached:
+            raise SessionError(f"session {name!r} is attached to another client")
+        session = self.sessions.get(name)
+        if session is not None:
+            if session.config != config:
+                raise SessionError(
+                    f"session {name!r} is open under a different config"
+                )
+        else:
+            session = StreamSession(
+                name,
+                config,
+                self.journal_path(name),
+                checkpoint_every=self.checkpoint_every,
+            )
+            self.sessions[name] = session
+            if self._tm is not None:
+                self._tm.count(
+                    "service.sessions_resumed"
+                    if session.resumed_accesses
+                    else "service.sessions_opened"
+                )
+        return session
+
+    # ------------------------------------------------------------ aggregates
+    def status_dict(self) -> Dict[str, Any]:
+        """The sessions panel: one row per session, name-sorted."""
+        rows = [
+            self.sessions[name].status_row() for name in sorted(self.sessions)
+        ]
+        return {
+            "sessions": rows,
+            "accesses": sum(row["accesses"] for row in rows),
+            "attached": sorted(self._attached),
+        }
+
+    def aggregate_dict(self) -> Dict[str, Any]:
+        """The cross-session view: reports merged per (tool, period).
+
+        Sessions fold in *sorted-name order* -- never arrival order -- so
+        the aggregate is a pure function of the session contents
+        (bit-identical no matter when or how fast each client streamed).
+        Telemetry-enabled sessions additionally fold their headroom
+        tallies through :func:`repro.parallel.merge.merge_headroom_rows`.
+        """
+        from repro.analysis.headroom import tallies_from
+        from repro.parallel.merge import merge_headroom_rows
+
+        groups: Dict[Tuple[str, int], List[str]] = {}
+        for name in sorted(self.sessions):
+            session = self.sessions[name]
+            key = (session.config.tool, session.config.period)
+            groups.setdefault(key, []).append(name)
+        rendered = []
+        for (tool, period), names in sorted(groups.items()):
+            members = [self.sessions[name] for name in names]
+            merged = merge_reports([session.report() for session in members])
+            entry: Dict[str, Any] = {
+                "tool": tool,
+                "period": period,
+                "sessions": names,
+                "accesses": sum(session.accesses for session in members),
+                "report": merged.to_dict(),
+            }
+            rows = [
+                tallies_from(session.report(), session.snapshot())
+                for session in members
+                if session.config.telemetry
+                and session.config.registers == members[0].config.registers
+            ]
+            if rows:
+                entry["headroom_tallies"] = merge_headroom_rows(rows)
+            rendered.append(entry)
+        return {"groups": rendered, "sessions": len(self.sessions)}
+
+    # -------------------------------------------------------------- protocol
+    def _flush(self, conn: _Connection) -> None:
+        if not conn.items:
+            return
+        if conn.session is None:
+            conn.items.clear()
+            raise SessionError("trace data before a successful open")
+        if self._tm is not None:
+            self._tm.count("service.chunks")
+        try:
+            fed = conn.session.feed(conn.items)
+        finally:
+            conn.items.clear()
+        if self._tm is not None:
+            self._tm.count("service.accesses", fed)
+
+    def _control(self, conn: _Connection, message: Message) -> Dict[str, Any]:
+        op = message.op
+        payload = message.payload
+        if op == "open":
+            name = payload.get("session")
+            if not isinstance(name, str):
+                raise ProtocolError("open needs a 'session' name")
+            config = SessionConfig.from_payload(payload)
+            if conn.session is not None and conn.session.name == name:
+                self._detach(conn)  # re-opening our own session is fine
+            session = self.open_session(name, config)
+            if conn.session is not None and conn.session is not session:
+                self._detach(conn)
+            conn.session = session
+            self._attached.add(name)
+            return {
+                "ok": True,
+                "op": "open",
+                "session": name,
+                "resumed": session.resumed_accesses,
+                "accesses": session.accesses,
+                "closed": session.closed,
+            }
+        if op == "status":
+            reply = self.status_dict()
+            reply.update(ok=True, op="status")
+            return reply
+        if op == "aggregate":
+            reply = self.aggregate_dict()
+            reply.update(ok=True, op="aggregate")
+            return reply
+
+        session = conn.session
+        if session is None:
+            raise SessionError(f"{op!r} needs an open session")
+        if op == "sync":
+            return {"ok": True, "op": "sync", "accesses": session.accesses}
+        if op == "checkpoint":
+            at = session.checkpoint()
+            return {"ok": True, "op": "checkpoint", "accesses": at}
+        if op == "report":
+            reply = session.report_dict()
+            reply.update(ok=True, op="report")
+            if payload.get("html"):
+                from repro.reporting import render_html
+
+                reply["html"] = render_html(
+                    session.report(),
+                    title=f"Witch session — {session.name}",
+                    telemetry=session.telemetry,
+                )
+            return reply
+        if op == "close":
+            reply = session.finalize()
+            reply.update(ok=True, op="close")
+            self._detach(conn)
+            if self._tm is not None:
+                self._tm.count("service.sessions_closed")
+            return reply
+        raise ProtocolError(f"unknown op {op!r}")  # pragma: no cover
+
+    def _detach(self, conn: _Connection) -> None:
+        if conn.session is not None:
+            self._attached.discard(conn.session.name)
+            conn.session = None
+
+    # --------------------------------------------------------------- serving
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        decoder = FrameDecoder()
+        conn = _Connection()
+        if self._tm is not None:
+            self._tm.count("service.connections")
+        try:
+            while True:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    decoder.finish()
+                    break
+                if self._tm is not None:
+                    self._tm.count("service.bytes_in", len(chunk))
+                for message in decoder.feed(chunk):
+                    op = message.op
+                    if op == "record":
+                        conn.items.append(message.record())
+                    elif op == "run":
+                        conn.items.append(message.run())
+                    elif op == "header":
+                        pass
+                    else:
+                        self._flush(conn)
+                        writer.write(encode(self._control(conn, message)))
+                # Execute-and-drop at every chunk boundary: per-connection
+                # buffering never exceeds one network chunk's items.
+                self._flush(conn)
+                await writer.drain()
+        except (ProtocolError, SessionError, JournalMismatch, ValueError) as error:
+            if self._tm is not None:
+                self._tm.count("service.protocol_errors")
+            try:
+                writer.write(
+                    encode({"ok": False, "error": f"{type(error).__name__}: {error}"})
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError):  # pragma: no cover
+                pass
+        except ConnectionError:  # pragma: no cover - peer vanished
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with the connection open: fall through to
+            # the checkpoint-and-close path rather than dying cancelled.
+            pass
+        finally:
+            if conn.session is not None and not conn.session.closed:
+                # A dropped client keeps its progress: checkpoint now so a
+                # reconnect (even against a restarted server) resumes here.
+                conn.session.checkpoint()
+            self._detach(conn)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover
+                pass
+
+    async def start(self) -> None:
+        """Bind the listening socket (resolves ``port`` when it was 0)."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+def run_server(
+    journal_dir: str,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    telemetry: Optional[Telemetry] = None,
+    ready=None,
+) -> None:
+    """Blocking entry point: serve until interrupted.
+
+    ``ready`` (a callable) receives the service once the socket is bound
+    -- the CLI uses it to print the chosen port, tests to discover it.
+    """
+    service = TraceService(
+        journal_dir,
+        host=host,
+        port=port,
+        checkpoint_every=checkpoint_every,
+        telemetry=telemetry,
+    )
+
+    async def _main() -> None:
+        await service.start()
+        if ready is not None:
+            ready(service)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass

@@ -1,0 +1,327 @@
+"""One streaming Witch session: incremental feed, live reports, durable
+checkpoints.
+
+A session is exactly a batch run taken apart: :func:`repro.harness.
+start_witch` builds the monitored machine (same construction sequence as
+``run_witch``), :class:`repro.trace.TraceFeed` executes the access stream
+chunk by chunk, and :meth:`StreamSession.report` draws the same
+:class:`~repro.core.report.InefficiencyReport` a batch replay would
+produce -- the differential tests pin down byte-identity.
+
+Durability reuses the parallel layer's :class:`~repro.parallel.journal.
+RunJournal` verbatim: a checkpoint is the pickled live object graph
+``(machine/witch/feed/telemetry)`` -- small, O(working-set), proven to
+resume bit-identically -- recorded under a content-addressed pseudo-spec
+whose ``trial`` field distinguishes the rolling checkpoint (overwritten
+in place, so the journal never grows with trace length) from the final
+report.  The journal's whole-file atomic rewrite means a SIGKILL at any
+instant leaves either the previous checkpoint or the new one, never a
+torn state.
+"""
+
+from __future__ import annotations
+
+import base64
+import os
+import pickle
+import re
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Iterable, Optional
+
+from repro.core.report import InefficiencyReport
+from repro.harness import LiveWitchRun, start_witch
+from repro.parallel.journal import RunJournal
+from repro.parallel.spec import RunSpec, witch_spec
+from repro.parallel.worker import RunResult
+from repro.service.protocol import ProtocolError
+from repro.telemetry import Telemetry, live_or_none
+from repro.trace import TraceFeed, TraceItem
+
+#: Accesses between automatic checkpoints.  Checkpoints cost one pickle
+#: (~tens of KB) plus one atomic journal rewrite, so a modest cadence
+#: bounds replay-after-crash without denting ingest throughput.
+DEFAULT_CHECKPOINT_EVERY = 1_000_000
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+#: Journal ``trial`` slots: one rolling checkpoint entry, one final
+#: report entry.  Overwriting by key keeps the journal O(checkpoint), not
+#: O(trace) -- the bounded-memory contract's on-disk half.
+_CHECKPOINT_TRIAL = 0
+_FINAL_TRIAL = 1
+
+
+class SessionError(RuntimeError):
+    """A session-level request the server must refuse (bad config,
+    feeding a closed session, unknown session name)."""
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything a session's Witch run is configured by, as primitives.
+
+    Mirrors :func:`repro.harness.run_witch`'s keyword surface (minus the
+    workload, which *is* the stream).  Primitives only, so the config
+    embeds in the journal pseudo-spec's canonical key -- a resumed
+    session is refused if reopened under a different configuration,
+    because splicing streams across configs would be meaningless.
+    """
+
+    tool: str = "deadcraft"
+    period: int = 101
+    registers: int = 4
+    seed: int = 0
+    proportional_attribution: bool = True
+    shadow_bias: float = 0.0
+    period_jitter: int = 0
+    max_watchpoint_bytes: Optional[int] = None
+    faults: Optional[str] = None
+    fault_seed: Optional[int] = None
+    backend: Optional[str] = None
+    batched: bool = True
+    telemetry: bool = False
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SessionConfig":
+        """Build from an ``open`` payload, refusing unknown keys loudly."""
+        known = {field.name for field in fields(cls)}
+        config = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("op", "session")
+        }
+        unknown = sorted(set(config) - known)
+        if unknown:
+            raise ProtocolError(
+                f"unknown session option(s) {', '.join(unknown)} "
+                f"(valid: {', '.join(sorted(known))})"
+            )
+        try:
+            return cls(**config)
+        except TypeError as error:
+            raise ProtocolError(f"bad session config: {error}") from error
+
+    def spec(self, name: str, trial: int) -> RunSpec:
+        """The journal pseudo-spec for this session's ``trial`` slot."""
+        return witch_spec(
+            f"service:{name}",
+            self.tool,
+            trial=trial,
+            period=self.period,
+            registers=self.registers,
+            seed=self.seed,
+            proportional_attribution=self.proportional_attribution,
+            shadow_bias=self.shadow_bias,
+            period_jitter=self.period_jitter,
+            max_watchpoint_bytes=self.max_watchpoint_bytes,
+            faults=self.faults,
+            fault_seed=self.fault_seed,
+            batched=self.batched,
+            telemetry=self.telemetry,
+        )
+
+
+class StreamSession:
+    """One client's incremental Witch run, checkpointed and resumable.
+
+    Lifecycle: construct (fresh, resumed from the journaled checkpoint,
+    or already-final), :meth:`feed` chunks as they arrive (automatic
+    checkpoint every ``checkpoint_every`` accesses, always at a chunk
+    boundary), :meth:`report` at any time for the live view, and
+    :meth:`finalize` to journal the final report and close.
+
+    Memory is bounded by the *working set*: the machine's touched pages,
+    the context tree, the reservoir, and the feed's distinct-context
+    cache -- never the trace length, because fed accesses are executed
+    and dropped, and the journal overwrites its two entries in place.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        config: SessionConfig,
+        journal_path: str,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise SessionError(
+                f"bad session name {name!r} (want [A-Za-z0-9][A-Za-z0-9._-]*, "
+                "max 64 chars)"
+            )
+        if checkpoint_every < 1:
+            raise SessionError("checkpoint_every must be >= 1")
+        self.name = name
+        self.config = config
+        self.checkpoint_every = checkpoint_every
+        self.journal = RunJournal(journal_path, root_seed=config.seed)
+        self.closed = False
+        self.resumed_accesses = 0
+        self._final_report: Optional[Dict[str, Any]] = None
+        self._checkpointed_at = 0
+
+        final = self.journal.lookup(config.spec(name, _FINAL_TRIAL))
+        if final is not None:
+            # The session already ran to completion; serve its report.
+            self.closed = True
+            self._final_report = final.payload["report"]
+            self.resumed_accesses = final.payload["accesses"]
+            self.live: Optional[LiveWitchRun] = None
+            self.feed_engine: Optional[TraceFeed] = None
+            self.telemetry: Optional[Telemetry] = None
+            self._tm = None
+            return
+
+        checkpoint = self.journal.lookup(config.spec(name, _CHECKPOINT_TRIAL))
+        if checkpoint is not None:
+            state = pickle.loads(base64.b64decode(checkpoint.payload["state"]))
+            self.live, self.feed_engine, self.telemetry = state
+            self.resumed_accesses = checkpoint.payload["accesses"]
+            self._checkpointed_at = self.resumed_accesses
+        else:
+            # Counters/histograms/spans only: the event ring is a debugging
+            # aid, and pickling a full ring into every checkpoint would
+            # dominate the state blob for no analytical gain (headroom
+            # tallies never read events).
+            self.telemetry = (
+                Telemetry(ring_capacity=0) if config.telemetry else None
+            )
+            self.live = start_witch(
+                tool=config.tool,
+                period=config.period,
+                registers=config.registers,
+                proportional_attribution=config.proportional_attribution,
+                shadow_bias=config.shadow_bias,
+                period_jitter=config.period_jitter,
+                max_watchpoint_bytes=config.max_watchpoint_bytes,
+                seed=config.seed,
+                batched=config.batched,
+                telemetry=self.telemetry,
+                faults=config.faults,
+                fault_seed=config.fault_seed,
+                backend=config.backend,
+            )
+            self.feed_engine = TraceFeed(self.live.machine)
+        self._tm = live_or_none(self.telemetry)
+
+    # ------------------------------------------------------------------ ingest
+    @property
+    def accesses(self) -> int:
+        """Accesses executed so far (survives checkpoint/resume)."""
+        if self.feed_engine is None:
+            return self.resumed_accesses
+        return self.feed_engine.accesses
+
+    def feed(self, items: Iterable[TraceItem]) -> int:
+        """Execute one chunk; returns accesses fed.  Auto-checkpoints."""
+        if self.closed:
+            raise SessionError(f"session {self.name!r} is closed")
+        fed = self.feed_engine.feed(items)
+        if self._tm is not None:
+            self._tm.count("service.accesses", fed)
+        if self.accesses - self._checkpointed_at >= self.checkpoint_every:
+            self.checkpoint()
+        return fed
+
+    # ------------------------------------------------------------- durability
+    def checkpoint(self) -> int:
+        """Pickle the live graph into the journal's checkpoint slot.
+
+        Returns the access count the checkpoint captures.  The entry is
+        keyed by the session's pseudo-spec, so each checkpoint replaces
+        the previous one -- journal size tracks the working set.
+        """
+        if self.closed:
+            return self.accesses
+        blob = base64.b64encode(
+            pickle.dumps(
+                (self.live, self.feed_engine, self.telemetry),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        ).decode("ascii")
+        spec = self.config.spec(self.name, _CHECKPOINT_TRIAL)
+        self.journal.record(
+            spec,
+            RunResult(
+                spec=spec,
+                payload={
+                    "kind": "checkpoint",
+                    "accesses": self.accesses,
+                    "state": blob,
+                },
+            ),
+        )
+        self._checkpointed_at = self.accesses
+        if self._tm is not None:
+            self._tm.count("service.checkpoints")
+        return self.accesses
+
+    def journal_bytes(self) -> int:
+        """On-disk journal size -- the bounded-memory tests' probe."""
+        try:
+            return os.path.getsize(self.journal.path)
+        except OSError:
+            return 0
+
+    # -------------------------------------------------------------- reporting
+    def report(self) -> InefficiencyReport:
+        """The attribution report over everything fed so far."""
+        if self._final_report is not None:
+            return InefficiencyReport.from_dict(self._final_report)
+        if self._tm is not None:
+            self._tm.count("service.reports")
+        return self.live.report()
+
+    def report_dict(self) -> Dict[str, Any]:
+        """The live report in its session envelope (the wire shape)."""
+        return {
+            "session": self.name,
+            "accesses": self.accesses,
+            "closed": self.closed,
+            "report": self.report().to_dict(),
+        }
+
+    def snapshot(self) -> Optional[Dict[str, Any]]:
+        """The session telemetry snapshot (None when telemetry is off)."""
+        return self.telemetry.snapshot() if self.telemetry is not None else None
+
+    def finalize(self) -> Dict[str, Any]:
+        """Journal the final report and close the session.
+
+        Idempotent: finalizing twice (or reopening a finalized session)
+        serves the journaled report.  The checkpoint slot stays behind as
+        the last live state; the final entry is what resume consults
+        first, so a finalized session is never re-executed.
+        """
+        if self.closed:
+            return self.report_dict()
+        report_payload = self.report().to_dict()
+        spec = self.config.spec(self.name, _FINAL_TRIAL)
+        self.journal.record(
+            spec,
+            RunResult(
+                spec=spec,
+                payload={
+                    "kind": "final",
+                    "accesses": self.accesses,
+                    "report": report_payload,
+                },
+                snapshot=self.snapshot(),
+            ),
+        )
+        self.resumed_accesses = self.accesses
+        self._final_report = report_payload
+        self.closed = True
+        return self.report_dict()
+
+    def status_row(self) -> Dict[str, Any]:
+        """One row of the server's sessions panel."""
+        return {
+            "session": self.name,
+            "tool": self.config.tool,
+            "period": self.config.period,
+            "accesses": self.accesses,
+            "checkpointed_at": self._checkpointed_at,
+            "journal_bytes": self.journal_bytes(),
+            "closed": self.closed,
+            "telemetry": self.config.telemetry,
+        }

@@ -69,6 +69,16 @@ DESCRIPTIONS: Dict[str, str] = {
     "ledger.spurious_trap": "spurious traps priced by the cost model",
     "ledger.value_record": "value captures priced by the cost model",
     "headroom.samples_bound": "minimum samples a period-P run must handle (events // period)",
+    "service.connections": "client connections accepted by the trace service",
+    "service.bytes_in": "wire bytes received by the trace service",
+    "service.chunks": "trace chunks executed (one per network read with data)",
+    "service.accesses": "accesses ingested through streaming sessions",
+    "service.sessions_opened": "streaming sessions started fresh",
+    "service.sessions_resumed": "streaming sessions resumed from a checkpoint",
+    "service.sessions_closed": "streaming sessions finalized",
+    "service.checkpoints": "session checkpoints journaled",
+    "service.reports": "live reports drawn from streaming sessions",
+    "service.protocol_errors": "connections dropped for protocol violations",
     "threads.switches": "simulated thread context switches",
     "machine.allocated_bytes": "bytes allocated on the simulated machine",
     "machine.allocs": "allocation calls served by the simulated machine",

@@ -18,10 +18,10 @@ from __future__ import annotations
 import json
 import pathlib
 from dataclasses import dataclass
-from typing import IO, Iterable, List, Optional, Sequence, Union
+from typing import IO, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.execution.machine import Machine
-from repro.hardware.events import MemoryAccess
+from repro.hardware.events import AccessRun, AccessType, MemoryAccess
 
 FORMAT_VERSION = 1
 
@@ -142,6 +142,16 @@ def write_trace(records: Iterable[TraceRecord], stream: IO[str]) -> None:
 
 
 def read_trace(path: PathLike) -> List[TraceRecord]:
+    return list(iter_trace(path))
+
+
+def iter_trace(path: PathLike) -> Iterator[TraceRecord]:
+    """Stream a trace file record by record, O(1) memory.
+
+    :func:`read_trace` materializes the whole list; a streaming client
+    replaying a multi-gigabyte trace into a service session wants records
+    one at a time so its resident set stays bounded by one record.
+    """
     with open(path) as stream:
         header_line = stream.readline()
         header = json.loads(header_line) if header_line.strip() else {}
@@ -151,7 +161,292 @@ def read_trace(path: PathLike) -> List[TraceRecord]:
             raise ValueError(
                 f"{path}: unsupported trace version {header.get('version')!r}"
             )
-        return [TraceRecord.from_json(line) for line in stream if line.strip()]
+        for line in stream:
+            if line.strip():
+                yield TraceRecord.from_json(line)
+
+
+@dataclass(frozen=True)
+class TraceRun:
+    """A coalesced run of consecutive same-shape strided trace records.
+
+    Element ``i`` is the access ``TraceRecord(kind, base + i * stride,
+    length, pc, frames, ...)``; for stores, ``data`` is the hex of all
+    elements' bytes concatenated in access order (``count * length``
+    bytes).  A run carries exactly the information of its expansion --
+    :meth:`records` is the inverse of :func:`coalesce` -- but executes as
+    one :class:`repro.hardware.events.AccessRun` through the batched
+    skip-ahead engine, which is what lets a streaming session ingest far
+    faster than per-record dispatch.
+    """
+
+    kind: str  # "load" | "store"
+    base: int
+    stride: int
+    length: int
+    count: int
+    pc: str
+    frames: Sequence[str]
+    thread_id: int = 0
+    is_float: bool = False
+    long_latency: bool = False
+    data: Optional[str] = None  # hex of count*length bytes for stores
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.frames, tuple):
+            object.__setattr__(self, "frames", tuple(self.frames))
+        if isinstance(self.data, (bytes, bytearray)):
+            object.__setattr__(self, "data", bytes(self.data).hex())
+        if self.count < 1:
+            raise ValueError(f"run count must be >= 1, got {self.count}")
+        if self.kind == "store" and self.data is None:
+            raise ValueError("store run without data")
+        if self.data is not None and len(self.data) != 2 * self.count * self.length:
+            raise ValueError(
+                f"run data holds {len(self.data) // 2} bytes, "
+                f"expected count*length = {self.count * self.length}"
+            )
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Expand back to the per-access records the run coalesced."""
+        width = 2 * self.length
+        for index in range(self.count):
+            yield TraceRecord(
+                kind=self.kind,
+                address=self.base + index * self.stride,
+                length=self.length,
+                pc=self.pc,
+                frames=self.frames,
+                thread_id=self.thread_id,
+                is_float=self.is_float,
+                long_latency=self.long_latency,
+                data=(
+                    self.data[index * width : (index + 1) * width]
+                    if self.data is not None
+                    else None
+                ),
+            )
+
+    def to_json(self) -> str:
+        payload = {
+            "op": "run",
+            "k": self.kind,
+            "b": self.base,
+            "s": self.stride,
+            "l": self.length,
+            "n": self.count,
+            "pc": self.pc,
+            "f": list(self.frames),
+        }
+        if self.thread_id:
+            payload["t"] = self.thread_id
+        if self.is_float:
+            payload["fl"] = 1
+        if self.long_latency:
+            payload["ll"] = 1
+        if self.data is not None:
+            payload["d"] = self.data
+        return json.dumps(payload, separators=(",", ":"))
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, object]) -> "TraceRun":
+        return cls(
+            kind=payload["k"],
+            base=payload["b"],
+            stride=payload["s"],
+            length=payload["l"],
+            count=payload["n"],
+            pc=payload["pc"],
+            frames=tuple(payload["f"]),
+            thread_id=payload.get("t", 0),
+            is_float=bool(payload.get("fl", 0)),
+            long_latency=bool(payload.get("ll", 0)),
+            data=payload.get("d"),
+        )
+
+
+TraceItem = Union[TraceRecord, "TraceRun"]
+
+#: Runs shorter than this stay as plain records: an AccessRun dispatch has
+#: fixed setup cost (payload assembly, engine entry), so tiny runs are
+#: slower batched than scalar.
+MIN_RUN = 4
+
+
+def _record_shape(record: TraceRecord) -> Tuple:
+    return (
+        record.kind,
+        record.length,
+        record.pc,
+        record.frames,
+        record.thread_id,
+        record.is_float,
+        record.long_latency,
+    )
+
+
+def coalesce(records: Iterable[TraceRecord], min_run: int = MIN_RUN) -> List[TraceItem]:
+    """Fold consecutive same-shape constant-stride records into runs.
+
+    The access stream is unchanged -- expanding every returned
+    :class:`TraceRun` in place reproduces the input exactly -- only the
+    framing differs, so executing the result through the batched engine
+    is bit-identical to scalar replay of the input (the engine's
+    scalar-equivalence contract).  Records that do not extend a
+    constant-stride run of at least ``min_run`` elements pass through
+    untouched.
+    """
+    items: List[TraceItem] = []
+    pending: List[TraceRecord] = []  # same shape, constant stride
+    stride = 0
+
+    def flush() -> None:
+        nonlocal pending
+        if len(pending) >= min_run:
+            first = pending[0]
+            data = None
+            if first.kind == "store":
+                data = "".join(r.data or "" for r in pending)
+            items.append(
+                TraceRun(
+                    kind=first.kind,
+                    base=first.address,
+                    stride=stride,
+                    length=first.length,
+                    count=len(pending),
+                    pc=first.pc,
+                    frames=first.frames,
+                    thread_id=first.thread_id,
+                    is_float=first.is_float,
+                    long_latency=first.long_latency,
+                    data=data,
+                )
+            )
+        else:
+            items.extend(pending)
+        pending = []
+
+    for record in records:
+        if pending:
+            previous = pending[-1]
+            if _record_shape(record) == _record_shape(previous):
+                step = record.address - previous.address
+                if len(pending) == 1:
+                    stride = step
+                    pending.append(record)
+                    continue
+                if step == stride:
+                    pending.append(record)
+                    continue
+                # Stride broke: keep the last element as the seed of the
+                # next run only when the closed run stays long enough.
+                if len(pending) - 1 >= min_run:
+                    seed = pending.pop()
+                    flush()
+                    pending = [seed]
+                    stride = record.address - seed.address
+                    pending.append(record)
+                    continue
+            flush()
+        pending.append(record)
+    flush()
+    return items
+
+
+class TraceFeed:
+    """Incremental trace executor: feed records or runs as they arrive.
+
+    Where :class:`TraceReplay` is a one-shot workload callable,
+    ``TraceFeed`` binds to a live machine and accepts the access stream
+    chunk by chunk -- the streaming service's ingest path.  Per-record
+    execution is line-for-line the same as :class:`TraceReplay` (same
+    ``store``/``load`` calls, same context reconstruction), and runs go
+    through :meth:`SimulatedCPU.access_run`, whose scalar-equivalence
+    contract makes the feed bit-identical to batch replay of the same
+    stream regardless of chunk boundaries or coalescing.
+
+    Context nodes are interned in the machine's context tree already; the
+    feed adds a ``(frames, pc) -> node`` cache so the per-access cost of
+    rebuilding a deep call path is paid once per distinct context, not
+    once per record.  The cache grows with the number of *distinct*
+    contexts (the working set), never with trace length.
+    """
+
+    __slots__ = ("machine", "accesses", "_contexts")
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.accesses = 0
+        self._contexts: Dict[Tuple, object] = {}
+
+    def _context(self, frames: Tuple[str, ...], pc: str):
+        key = (frames, pc)
+        node = self._contexts.get(key)
+        if node is None:
+            node = self.machine.tree.root
+            for frame in frames:
+                node = node.child(frame)
+            node = node.child(pc)
+            self._contexts[key] = node
+        return node
+
+    def feed_record(self, record: TraceRecord) -> None:
+        context = self._context(record.frames, record.pc)
+        if record.kind == "store":
+            if record.data is None:
+                raise ValueError("store record without data")
+            self.machine.cpu.store(
+                record.address,
+                bytes.fromhex(record.data),
+                record.pc,
+                context,
+                record.thread_id,
+                record.is_float,
+                record.long_latency,
+            )
+        else:
+            self.machine.cpu.load(
+                record.address,
+                record.length,
+                record.pc,
+                context,
+                record.thread_id,
+                record.is_float,
+            )
+        self.accesses += 1
+
+    def feed_run(self, run: TraceRun) -> None:
+        context = self._context(run.frames, run.pc)
+        # The scalar oracle (TraceReplay) never passes long_latency on
+        # loads -- SimulatedCPU.load has no such parameter -- so the run
+        # path must drop it identically to stay bit-identical.
+        access_run = AccessRun(
+            AccessType.STORE if run.kind == "store" else AccessType.LOAD,
+            run.base,
+            run.stride,
+            run.length,
+            run.count,
+            run.pc,
+            context,
+            run.thread_id,
+            run.is_float,
+            run.long_latency if run.kind == "store" else False,
+        )
+        data = bytes.fromhex(run.data) if run.data is not None else None
+        if run.kind == "store" and data is None:
+            raise ValueError("store run without data")
+        self.machine.cpu.access_run(access_run, data)
+        self.accesses += run.count
+
+    def feed(self, items: Iterable[TraceItem]) -> int:
+        """Execute a chunk of records and/or runs; returns accesses fed."""
+        before = self.accesses
+        for item in items:
+            if type(item) is TraceRun:
+                self.feed_run(item)
+            else:
+                self.feed_record(item)
+        return self.accesses - before
 
 
 class TraceReplay:

@@ -1,0 +1,82 @@
+"""Shared scaffolding for the service test layer (not a test module).
+
+``ServerThread`` runs a :class:`repro.service.server.TraceService` on a
+background event loop so blocking test code can talk to it over a real
+socket; ``record_workload`` captures a workload's access trace once for
+differential comparisons.
+"""
+
+import asyncio
+import threading
+from typing import List, Optional
+
+from repro.execution.machine import Machine
+from repro.hardware.cpu import SimulatedCPU
+from repro.service.server import TraceService
+from repro.telemetry import Telemetry
+from repro.trace import TraceRecord, TraceRecorder
+from repro.workloads.registry import resolve_workload
+
+
+def record_workload(name: str, scale: float = 1.0) -> List[TraceRecord]:
+    """The access trace of one uninstrumented workload run."""
+    cpu = SimulatedCPU()
+    recorder = TraceRecorder(cpu)
+    resolve_workload(name, scale=scale)(Machine(cpu))
+    return recorder.records
+
+
+class ServerThread:
+    """A live TraceService on a daemon thread; use as a context manager."""
+
+    def __init__(
+        self,
+        journal_dir: str,
+        checkpoint_every: int = 1_000_000,
+        telemetry: Optional[Telemetry] = None,
+    ) -> None:
+        self.service = TraceService(
+            journal_dir, checkpoint_every=checkpoint_every, telemetry=telemetry
+        )
+        self._loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self.service.start())
+        self._ready.set()
+        self._loop.run_forever()
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def __enter__(self) -> "ServerThread":
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+        return self
+
+    async def _shutdown(self) -> None:
+        # Close the listening socket, cancel in-flight handlers, and give
+        # the loop a few ticks to run connection_lost callbacks so no
+        # transport outlives the loop (leaked sockets' finalizers firing
+        # during later GC are a real hazard, not just warning noise).
+        await self.service.stop()
+        tasks = [
+            task
+            for task in asyncio.all_tasks()
+            if task is not asyncio.current_task()
+        ]
+        for task in tasks:
+            task.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        for _ in range(3):
+            await asyncio.sleep(0)
+
+    def __exit__(self, *exc_info) -> None:
+        done = asyncio.run_coroutine_threadsafe(self._shutdown(), self._loop)
+        done.result(timeout=10)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+        self._loop.close()

@@ -23,6 +23,7 @@ def test_docs_directory_complete():
         "observability.md",
         "parallel.md",
         "robustness.md",
+        "service.md",
     }
     assert {p.name for p in (ROOT / "docs").glob("*.md")} == expected
 

@@ -1,0 +1,275 @@
+"""Differential proof for the streaming service (the tentpole's headline).
+
+The service's correctness claim is *incremental == batch*: a streamed
+session's final report must be byte-identical to a batch
+:class:`repro.trace.TraceReplay` of the same trace under
+:func:`repro.harness.run_witch` -- for every backend, under fault plans,
+across chunk sizes and coalescing choices, across live mid-stream
+reports, and across checkpoint/restore (a killed worker resuming from
+the journal).  Alongside: the bounded-memory contract -- per-session
+state and journal size track the *working set*, never the trace length.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.execution.columnar import BackendUnavailable, resolve_backend
+from repro.harness import run_witch
+from repro.service.client import ServiceClient, ServiceError, stream_records
+from repro.service.session import SessionConfig, SessionError, StreamSession
+from repro.trace import TraceFeed, TraceReplay, coalesce
+from tests.service_helpers import ServerThread, record_workload
+
+try:
+    resolve_backend("numpy")
+    HAVE_NUMPY = True
+except BackendUnavailable:
+    HAVE_NUMPY = False
+
+BACKENDS = ("python",) + (("numpy",) if HAVE_NUMPY else ())
+FAULTS = "drop=0.2,arm=0.15,trap_drop=0.1,spurious=0.05"
+
+
+@pytest.fixture(scope="module")
+def trace_records():
+    return record_workload("lbm")
+
+
+def report_json(report_dict) -> str:
+    return json.dumps(report_dict, sort_keys=True)
+
+
+def batch_report(records, **kwargs) -> str:
+    run = run_witch(TraceReplay(records), **kwargs)
+    return report_json(run.report.to_dict())
+
+
+def make_session(tmp_path, name, config, checkpoint_every=10**9) -> StreamSession:
+    return StreamSession(
+        name,
+        config,
+        str(tmp_path / f"{name}.journal"),
+        checkpoint_every=checkpoint_every,
+    )
+
+
+# ------------------------------------------------------------ differential
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("faults", [None, FAULTS])
+def test_streamed_session_is_byte_identical_to_batch(
+    tmp_path, trace_records, backend, faults
+):
+    """Socket in, chunks through the wire, runs coalesced: same report."""
+    kwargs = dict(tool="silentcraft", period=13, seed=7)
+    expected = batch_report(trace_records, faults=faults, backend=backend, **kwargs)
+    config = SessionConfig(
+        tool="silentcraft", period=13, seed=7, faults=faults, backend=backend
+    )
+    with ServerThread(str(tmp_path / "journals")) as server:
+        with ServiceClient(port=server.port) as client:
+            payload = stream_records(
+                client, "diff", trace_records, config=config, chunk_records=777
+            )
+    assert payload["accesses"] == len(trace_records)
+    assert report_json(payload["report"]) == expected
+
+
+@pytest.mark.parametrize("use_runs", [True, False])
+@pytest.mark.parametrize("chunk", [50, 333, 8192])
+def test_chunking_and_coalescing_never_change_the_report(
+    tmp_path, trace_records, chunk, use_runs
+):
+    expected = batch_report(trace_records, tool="deadcraft", period=13, seed=3)
+    config = SessionConfig(tool="deadcraft", period=13, seed=3)
+    session = make_session(tmp_path, f"chunk{chunk}{use_runs}", config)
+    for start in range(0, len(trace_records), chunk):
+        piece = trace_records[start : start + chunk]
+        session.feed(coalesce(piece) if use_runs else piece)
+    assert report_json(session.finalize()["report"]) == expected
+
+
+def test_live_midstream_reports_do_not_perturb_the_final_one(
+    tmp_path, trace_records
+):
+    expected = batch_report(
+        trace_records, tool="loadcraft", period=13, seed=5, faults=FAULTS
+    )
+    config = SessionConfig(tool="loadcraft", period=13, seed=5, faults=FAULTS,
+                           telemetry=True)
+    session = make_session(tmp_path, "live", config)
+    interim = []
+    for start in range(0, len(trace_records), 5000):
+        session.feed(coalesce(trace_records[start : start + 5000]))
+        interim.append(session.report_dict()["accesses"])
+    assert interim == sorted(interim)  # live view advances monotonically
+    assert report_json(session.finalize()["report"]) == expected
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("faults", [None, FAULTS])
+def test_kill_and_resume_is_byte_identical(tmp_path, trace_records, backend, faults):
+    """Drop a session mid-stream; a fresh process picks up the journal.
+
+    The resumed run must match both the uninterrupted stream and batch
+    replay -- for every backend and under an active fault plan, which is
+    where replaying from the wrong state would show up instantly (fault
+    decisions are keyed to event indices).
+    """
+    expected = batch_report(
+        trace_records, tool="silentcraft", period=13, seed=11,
+        faults=faults, backend=backend,
+    )
+    config = SessionConfig(
+        tool="silentcraft", period=13, seed=11, faults=faults,
+        backend=backend, telemetry=True,
+    )
+    journal = str(tmp_path / f"kill-{backend}-{bool(faults)}.journal")
+    first = StreamSession("victim", config, journal, checkpoint_every=10**9)
+    half = len(trace_records) // 2
+    first.feed(coalesce(trace_records[:half]))
+    first.checkpoint()
+    # Everything after the checkpoint is lost with the "process": feed a
+    # little more that the resume must transparently replay.
+    first.feed(coalesce(trace_records[half : half + 1000]))
+    del first  # the kill
+
+    resumed = StreamSession("victim", config, journal, checkpoint_every=10**9)
+    assert resumed.resumed_accesses == half
+    resumed.feed(coalesce(trace_records[half:]))
+    assert report_json(resumed.finalize()["report"]) == expected
+
+
+def test_resume_after_final_serves_the_journaled_report(tmp_path, trace_records):
+    config = SessionConfig(tool="deadcraft", period=13)
+    journal = str(tmp_path / "final.journal")
+    session = StreamSession("done", config, journal)
+    session.feed(coalesce(trace_records))
+    final = session.finalize()
+    again = StreamSession("done", config, journal)
+    assert again.closed
+    assert report_json(again.report_dict()["report"]) == report_json(final["report"])
+    with pytest.raises(SessionError, match="closed"):
+        again.feed(coalesce(trace_records[:10]))
+
+
+# ---------------------------------------------------------- bounded memory
+
+def test_journal_and_checkpoint_size_track_working_set_not_trace_length(
+    tmp_path, trace_records
+):
+    """10x the accesses over the same working set: ~same journal size.
+
+    The journal holds one rolling checkpoint (overwritten in place), so
+    its size is O(working set).  If checkpoints accumulated -- or
+    buffered the stream -- the 10x session's journal would be ~10x
+    larger; byte-size parity is the whole bounded-memory contract made
+    measurable.
+    """
+    config = SessionConfig(tool="deadcraft", period=101, telemetry=True)
+    short = make_session(tmp_path, "short", config)
+    short.feed(coalesce(trace_records))
+    short.checkpoint()
+    long = make_session(tmp_path, "long", config, checkpoint_every=50_000)
+    for _ in range(10):  # same working set, 10x the stream
+        long.feed(coalesce(trace_records))
+    long.checkpoint()
+    assert long.accesses == 10 * short.accesses
+    assert long.journal_bytes() < 1.5 * short.journal_bytes()
+    # And the feed's context cache is working-set-sized too.
+    assert len(long.feed_engine._contexts) == len(short.feed_engine._contexts)
+
+
+def test_session_memory_does_not_buffer_the_stream(tmp_path, trace_records):
+    """Peak resident session state is O(chunk): pickled state stays flat."""
+    import base64
+    import pickle
+
+    config = SessionConfig(tool="deadcraft", period=101)
+
+    def state_bytes(session) -> int:
+        return len(
+            pickle.dumps((session.live, session.feed_engine, session.telemetry))
+        )
+
+    session = make_session(tmp_path, "flat", config)
+    session.feed(coalesce(trace_records))
+    after_one = state_bytes(session)
+    for _ in range(9):
+        session.feed(coalesce(trace_records))
+    after_ten = state_bytes(session)
+    assert after_ten < 1.5 * after_one
+
+
+# ----------------------------------------------------------- server policy
+
+def test_double_attach_and_config_mismatch_are_refused(tmp_path, trace_records):
+    config = {"tool": "deadcraft", "period": 13}
+    with ServerThread(str(tmp_path / "journals")) as server:
+        with ServiceClient(port=server.port) as first:
+            first.open("shared", config)
+            with ServiceClient(port=server.port) as second:
+                with pytest.raises(ServiceError, match="attached"):
+                    second.open("shared", config)
+            first.close_session()
+        # After close, reopening (same config) serves the final report.
+        with ServiceClient(port=server.port) as third:
+            opened = third.open("shared", config)
+            assert opened["closed"]
+            with pytest.raises(ServiceError, match="different config"):
+                third.open("shared", {"tool": "deadcraft", "period": 17})
+
+
+def test_unknown_session_option_is_refused(tmp_path):
+    with ServerThread(str(tmp_path / "journals")) as server:
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(ServiceError, match="unknown session option"):
+                client.open("bad", {"tool": "deadcraft", "perod": 13})
+
+
+def test_trace_data_before_open_is_an_error(tmp_path, trace_records):
+    with ServerThread(str(tmp_path / "journals")) as server:
+        with ServiceClient(port=server.port) as client:
+            client.send_items(trace_records[:2])
+            with pytest.raises(ServiceError, match="before a successful open"):
+                client.sync()
+
+
+def test_html_report_and_status_over_the_wire(tmp_path, trace_records):
+    with ServerThread(str(tmp_path / "journals"), telemetry=None) as server:
+        with ServiceClient(port=server.port) as client:
+            payload = stream_records(
+                client, "web", trace_records,
+                config={"tool": "silentcraft", "period": 13},
+                close=False,
+            )
+            reply = client.report(html=True)
+            assert "<html" in reply["html"].lower()
+            assert reply["accesses"] == payload["accesses"]
+            status = client.status()
+            assert [row["session"] for row in status["sessions"]] == ["web"]
+            assert status["attached"] == ["web"]
+            client.close_session()
+
+
+def test_server_journals_survive_server_restart(tmp_path, trace_records):
+    """Stream half, stop the whole server, start a new one: resume exact."""
+    expected = batch_report(trace_records, tool="silentcraft", period=13, seed=2)
+    config = {"tool": "silentcraft", "period": 13, "seed": 2}
+    journals = str(tmp_path / "journals")
+    half = len(trace_records) // 2
+    with ServerThread(journals, checkpoint_every=1000) as server:
+        with ServiceClient(port=server.port) as client:
+            client.open("durable", config)
+            client.send_items(coalesce(trace_records[:half]))
+            client.sync()
+        # Client disconnects without close: the server checkpoints it.
+    with ServerThread(journals) as server:
+        with ServiceClient(port=server.port) as client:
+            opened = client.open("durable", config)
+            assert 0 < opened["resumed"] <= half
+            client.send_items(coalesce(trace_records[opened["resumed"] :]))
+            final = client.close_session()
+    assert report_json(final["report"]) == expected

@@ -1,0 +1,118 @@
+"""Chaos: SIGKILL the serve process mid-stream, restart, resume exactly.
+
+The service's durability story is the journal's: every auto-checkpoint
+is a whole-file atomic rewrite, so killing the server at any instant --
+data in flight, pickle half-written, whatever -- leaves a journal some
+prefix of the stream reached.  A freshly started server must resume the
+session from that checkpoint and, after the client replays the remainder
+of its trace, produce a final report byte-identical to an uninterrupted
+batch run.  The real ``repro serve`` subprocess is killed here (whole
+process group, like tests/test_journal.py's chaos round), not a mock.
+"""
+
+import contextlib
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness import run_witch
+from repro.service.client import ServiceClient
+from repro.trace import TraceReplay, coalesce
+from tests.service_helpers import record_workload
+
+REPO_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+CONFIG = {"tool": "silentcraft", "period": 13, "seed": 2}
+
+
+@pytest.fixture(scope="module")
+def trace_records():
+    return record_workload("lbm")
+
+
+class ServeProcess:
+    """A real ``repro serve`` subprocess; SIGKILLable as a group."""
+
+    def __init__(self, journal_dir: str) -> None:
+        env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--journals", journal_dir,
+                "--port", "0",
+                "--checkpoint-every", "2000",
+            ],
+            env=env,
+            start_new_session=True,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+        # The ready line: "serving on HOST:PORT (journals in DIR)".
+        line = self.process.stdout.readline()
+        assert "serving on" in line, f"unexpected ready line: {line!r}"
+        self.port = int(line.split()[2].rsplit(":", 1)[1])
+
+    def kill(self) -> None:
+        if self.process.poll() is None:
+            os.killpg(self.process.pid, signal.SIGKILL)
+            self.process.wait(timeout=30)
+        self.process.stdout.close()
+
+
+def test_sigkill_server_mid_stream_then_resume_bit_identical(
+    tmp_path, trace_records
+):
+    expected = json.dumps(
+        run_witch(
+            TraceReplay(trace_records), tool="silentcraft", period=13, seed=2
+        ).report.to_dict(),
+        sort_keys=True,
+    )
+    journals = str(tmp_path / "journals")
+    runs = coalesce(trace_records)
+    half = len(runs) // 2
+
+    victim = ServeProcess(journals)
+    try:
+        with contextlib.suppress(OSError, ConnectionError):
+            with ServiceClient(port=victim.port) as client:
+                client.open("victim", CONFIG)
+                client.send_items(runs[:half])
+                # A sync then an explicit checkpoint pin some progress
+                # durably; everything after rides on auto-checkpoints.
+                synced = client.sync()["accesses"]
+                assert synced > 0
+                client.checkpoint()
+                # Keep streaming, no acks -- the SIGKILL below lands with
+                # trace data in flight and a pickle possibly mid-write.
+                client.send_items(runs[half:])
+                victim.kill()
+                client.sync()  # usually dies with the connection
+    finally:
+        victim.kill()
+    assert victim.process.returncode == -signal.SIGKILL
+
+    survivor = ServeProcess(journals)
+    try:
+        with ServiceClient(port=survivor.port) as client:
+            opened = client.open("victim", CONFIG)
+            resumed = opened["resumed"]
+            # The kill races server-side ingest: any checkpointed prefix
+            # (possibly the whole stream, never more) is a legal resume
+            # point -- byte-identity must hold from all of them.
+            assert 0 < resumed <= len(trace_records)
+            assert not opened["closed"]
+            # Replay everything the journaled checkpoint hadn't reached.
+            client.send_items(coalesce(trace_records[resumed:]))
+            final = client.close_session()
+    finally:
+        survivor.kill()
+
+    assert final["accesses"] == len(trace_records)
+    assert json.dumps(final["report"], sort_keys=True) == expected

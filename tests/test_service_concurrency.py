@@ -1,0 +1,148 @@
+"""Concurrency proof: interleaved sessions never contaminate each other.
+
+Each streaming session owns its machine, its Witch run, and its RNG
+stream, so the server's chunk-granularity interleaving must be
+invisible: N sessions fed round-robin (or raced over real sockets by N
+client threads) produce byte-for-byte the reports each would produce
+streamed alone, and the aggregate view is a pure function of session
+*contents* -- bit-identical no matter the arrival order.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.report import InefficiencyReport
+from repro.parallel.merge import merge_reports
+from repro.service.client import ServiceClient, stream_records
+from repro.service.server import TraceService
+from repro.service.session import SessionConfig, StreamSession
+from repro.trace import coalesce
+from tests.service_helpers import ServerThread, record_workload
+
+N_SESSIONS = 8
+
+
+@pytest.fixture(scope="module")
+def trace_records():
+    return record_workload("lbm")
+
+
+@pytest.fixture(scope="module")
+def streams(trace_records):
+    """Eight distinct per-session streams (rotations of one trace)."""
+    out = {}
+    for i in range(N_SESSIONS):
+        cut = (i * 1013) % len(trace_records)
+        out[f"s{i}"] = trace_records[cut:] + trace_records[:cut]
+    return out
+
+
+def config_for(name: str) -> SessionConfig:
+    # Same (tool, period) -- one aggregate group -- but distinct seeds,
+    # so any cross-session state bleed shows up as a diverged report.
+    return SessionConfig(tool="deadcraft", period=13, seed=int(name[1:]))
+
+
+@pytest.fixture(scope="module")
+def solo_reports(tmp_path_factory, streams):
+    """Ground truth: each session streamed alone, start to finish."""
+    root = tmp_path_factory.mktemp("solo")
+    reports = {}
+    for name, records in streams.items():
+        session = StreamSession(
+            name, config_for(name), str(root / f"{name}.journal")
+        )
+        session.feed(coalesce(records))
+        reports[name] = json.dumps(
+            session.finalize()["report"], sort_keys=True
+        )
+    return reports
+
+
+def test_round_robin_interleaving_matches_solo_runs(
+    tmp_path, streams, solo_reports
+):
+    """N sessions fed chunk-by-chunk in lockstep == N sequential runs."""
+    service = TraceService(str(tmp_path / "journals"))
+    sessions = {
+        name: service.open_session(name, config_for(name)) for name in streams
+    }
+    chunk = 777
+    longest = max(len(records) for records in streams.values())
+    for start in range(0, longest, chunk):
+        for name, records in streams.items():
+            piece = records[start : start + chunk]
+            if piece:
+                sessions[name].feed(coalesce(piece))
+    for name, session in sessions.items():
+        final = json.dumps(session.finalize()["report"], sort_keys=True)
+        assert final == solo_reports[name], f"session {name} diverged"
+
+
+def test_aggregate_is_independent_of_arrival_order(tmp_path, streams):
+    """Open order, feed order, chunk sizes: none of it reaches the
+    aggregate, because sessions fold in sorted-name order."""
+    aggregates = []
+    for label, order, chunk in (
+        ("fifo", sorted(streams), 600),
+        ("lifo", sorted(streams, reverse=True), 3001),
+    ):
+        service = TraceService(str(tmp_path / f"journals-{label}"))
+        for name in order:
+            session = service.open_session(name, config_for(name))
+            records = streams[name]
+            for start in range(0, len(records), chunk):
+                session.feed(coalesce(records[start : start + chunk]))
+            session.finalize()
+        aggregates.append(json.dumps(service.aggregate_dict(), sort_keys=True))
+    assert aggregates[0] == aggregates[1]
+
+
+def test_racing_socket_clients_match_solo_runs(tmp_path, streams, solo_reports):
+    """Eight client threads hammer one server; every report is exact."""
+    results: dict = {}
+    errors: list = []
+
+    def stream_one(port: int, name: str) -> None:
+        try:
+            with ServiceClient(port=port) as client:
+                payload = stream_records(
+                    client,
+                    name,
+                    streams[name],
+                    config=config_for(name),
+                    chunk_records=512,
+                )
+            results[name] = json.dumps(payload["report"], sort_keys=True)
+        except Exception as error:  # surfaced after join
+            errors.append((name, error))
+
+    with ServerThread(str(tmp_path / "journals")) as server:
+        threads = [
+            threading.Thread(target=stream_one, args=(server.port, name))
+            for name in streams
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, errors
+        assert results == solo_reports
+
+        # The aggregate the server serves equals a plain merge of the
+        # solo reports in sorted-name order -- arrival order erased.
+        with ServiceClient(port=server.port) as client:
+            aggregate = client.aggregate()
+    (group,) = aggregate["groups"]
+    assert group["sessions"] == sorted(streams)
+    expected = merge_reports(
+        [
+            InefficiencyReport.from_dict(json.loads(solo_reports[name]))
+            for name in sorted(streams)
+        ]
+    )
+    assert json.dumps(group["report"], sort_keys=True) == json.dumps(
+        expected.to_dict(), sort_keys=True
+    )

@@ -1,0 +1,252 @@
+"""Property tests for the service wire protocol (satellite: framing fuzz).
+
+The wire format is line-delimited JSON carrying the existing
+``repro.trace`` record spelling plus coalesced run lines, decoded
+incrementally from arbitrary socket chunks.  These tests fuzz the whole
+framing surface: records round-trip over any chunk split, blank lines
+and bytes/hex spelling normalize away, runs expand back to exactly the
+records they coalesced, and every malformed shape -- including a
+truncated final record -- is a clean :class:`ProtocolError`, never a
+hang or a silent drop.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.protocol import (
+    CONTROL_OPS,
+    FrameDecoder,
+    Message,
+    ProtocolError,
+    encode,
+    parse_line,
+)
+from repro.trace import MIN_RUN, TraceRecord, TraceRun, coalesce
+
+# --------------------------------------------------------------- strategies
+
+_pcs = st.sampled_from(["a.c:1", "a.c:2", "b.c:9", "loop.c:44"])
+_frames = st.lists(st.sampled_from(["main", "f", "g", "h"]), max_size=3).map(tuple)
+
+
+@st.composite
+def trace_records(draw):
+    kind = draw(st.sampled_from(["load", "store"]))
+    length = draw(st.sampled_from([1, 2, 4, 8]))
+    data = draw(st.binary(min_size=length, max_size=length)) if kind == "store" else None
+    return TraceRecord(
+        kind=kind,
+        address=draw(st.integers(min_value=0, max_value=1 << 40)),
+        length=length,
+        pc=draw(_pcs),
+        frames=draw(_frames),
+        thread_id=draw(st.integers(min_value=0, max_value=3)),
+        is_float=draw(st.booleans()) if length in (4, 8) else False,
+        long_latency=draw(st.booleans()),
+        data=data,
+    )
+
+
+def _chunked(payload: bytes, cuts):
+    """Split ``payload`` at the (sorted, deduplicated) cut offsets."""
+    offsets = sorted({min(c, len(payload)) for c in cuts})
+    pieces, last = [], 0
+    for offset in offsets:
+        pieces.append(payload[last:offset])
+        last = offset
+    pieces.append(payload[last:])
+    return pieces
+
+
+# ------------------------------------------------------- record round-trips
+
+@settings(max_examples=60, deadline=None)
+@given(
+    records=st.lists(trace_records(), max_size=30),
+    cuts=st.lists(st.integers(min_value=0, max_value=5000), max_size=12),
+    blanks=st.integers(min_value=0, max_value=3),
+)
+def test_records_roundtrip_any_chunking(records, cuts, blanks):
+    """Any chunk boundaries, any blank-line padding: same records out."""
+    wire = b""
+    for index, record in enumerate(records):
+        wire += record.to_json().encode() + b"\n"
+        if index % 3 == 0:
+            wire += b"\n" * blanks + b"  \n" * (blanks % 2)
+    decoder = FrameDecoder()
+    out = []
+    for piece in _chunked(wire, cuts):
+        out.extend(decoder.feed(piece))
+    decoder.finish()  # stream ended cleanly on a line boundary
+    assert decoder.buffered == 0
+    assert [m.op for m in out] == ["record"] * len(records)
+    assert [m.record() for m in out] == records
+
+
+@given(record=trace_records())
+def test_bytes_and_hex_spellings_normalize(record):
+    """A store's data as raw bytes equals the same data spelled as hex."""
+    if record.data is None:
+        return
+    as_bytes = TraceRecord(
+        kind=record.kind,
+        address=record.address,
+        length=record.length,
+        pc=record.pc,
+        frames=list(record.frames),  # list spelling normalizes too
+        thread_id=record.thread_id,
+        is_float=record.is_float,
+        long_latency=record.long_latency,
+        data=bytes.fromhex(record.data),
+    )
+    assert as_bytes == record
+    assert parse_line(as_bytes.to_json()).record() == record
+
+
+# ------------------------------------------------------------ run framing
+
+@settings(max_examples=60, deadline=None)
+@given(
+    base=st.integers(min_value=0, max_value=1 << 32),
+    stride=st.integers(min_value=-64, max_value=64),
+    count=st.integers(min_value=1, max_value=200),
+    kind=st.sampled_from(["load", "store"]),
+    length=st.sampled_from([1, 2, 4, 8]),
+    seed=st.integers(min_value=0, max_value=1 << 30),
+)
+def test_run_lines_roundtrip_and_expand(base, stride, count, kind, length, seed):
+    """A run survives the wire and expands to exactly its records."""
+    import random
+
+    data = (
+        bytes(random.Random(seed).randrange(256) for _ in range(count * length))
+        if kind == "store"
+        else None
+    )
+    run = TraceRun(
+        kind=kind, base=base, stride=stride, length=length, count=count,
+        pc="a.c:1", frames=("main",), data=data,
+    )
+    message = parse_line(run.to_json())
+    assert message.op == "run"
+    assert message.run() == run
+    expanded = list(run.records())
+    assert len(expanded) == count
+    assert [r.address for r in expanded] == [base + i * stride for i in range(count)]
+    if data is not None:
+        assert "".join(r.data for r in expanded) == data.hex()
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=st.lists(trace_records(), max_size=60))
+def test_coalesce_expansion_is_identity(records, ):
+    """coalesce() only reframes: expanding its runs restores the input."""
+    items = coalesce(records)
+    expanded = []
+    for item in items:
+        if isinstance(item, TraceRun):
+            assert item.count >= MIN_RUN
+            expanded.extend(item.records())
+        else:
+            expanded.append(item)
+    assert expanded == records
+
+
+def test_coalesce_folds_strided_streams():
+    records = [
+        TraceRecord("store", 64 + 8 * i, 8, "a.c:1", ("main",), data=b"\0" * 8)
+        for i in range(100)
+    ]
+    items = coalesce(records)
+    assert len(items) == 1 and isinstance(items[0], TraceRun)
+    assert items[0].count == 100 and items[0].stride == 8
+
+
+# ------------------------------------------------------------- error paths
+
+def test_truncated_final_record_is_a_clean_error():
+    record = TraceRecord("load", 64, 8, "a.c:1", ("main",))
+    wire = record.to_json().encode() + b"\n" + record.to_json().encode()[:-7]
+    decoder = FrameDecoder()
+    messages = decoder.feed(wire)
+    assert len(messages) == 1  # the complete line decoded fine
+    assert decoder.buffered > 0
+    with pytest.raises(ProtocolError, match="truncated"):
+        decoder.finish()
+    decoder.finish()  # the dangling bytes were consumed by the error
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    prefix=st.lists(trace_records(), max_size=5),
+    cut=st.integers(min_value=1, max_value=30),
+)
+def test_truncation_fuzz_never_hangs_or_misparses(prefix, cut):
+    """Cutting the stream anywhere yields only complete records + error."""
+    record = TraceRecord("store", 4096, 4, "b.c:9", ("main", "f"), data=b"abcd")
+    wire = b"".join(r.to_json().encode() + b"\n" for r in prefix)
+    last = record.to_json().encode()
+    wire += last[: max(1, len(last) - cut)]  # strictly truncated, no newline
+    decoder = FrameDecoder()
+    out = decoder.feed(wire)
+    assert [m.record() for m in out] == prefix
+    with pytest.raises(ProtocolError):
+        decoder.finish()
+
+
+def test_oversized_line_is_rejected_not_buffered():
+    decoder = FrameDecoder(max_line_bytes=128)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        decoder.feed(b"x" * 200)
+    assert decoder.buffered == 0  # the buffer does not keep growing
+
+
+def test_oversized_line_rejected_even_when_terminated():
+    decoder = FrameDecoder(max_line_bytes=64)
+    with pytest.raises(ProtocolError, match="exceeds"):
+        decoder.feed(b'{"k":"load"' + b" " * 100 + b"}\n")
+
+
+@pytest.mark.parametrize(
+    "line",
+    [
+        "not json at all",
+        "[1,2,3]",
+        '"just a string"',
+        '{"op":"explode"}',
+        '{"a":1}',  # neither record nor op nor header
+        '{"format":"repro-trace","version":99}',
+    ],
+)
+def test_malformed_lines_raise_protocol_error(line):
+    with pytest.raises(ProtocolError):
+        parse_line(line)
+
+
+def test_malformed_record_fields_raise_protocol_error():
+    message = parse_line('{"k":"load","a":1}')  # missing l/pc/f
+    with pytest.raises(ProtocolError, match="malformed trace record"):
+        message.record()
+    run = parse_line('{"op":"run","k":"store","b":0,"s":1,"l":4,"n":2,"pc":"x","f":[]}')
+    with pytest.raises(ProtocolError, match="malformed trace run"):
+        run.run()  # store run without data
+
+
+def test_trace_header_line_is_accepted():
+    message = parse_line('{"format":"repro-trace","version":1}')
+    assert message.op == "header"
+
+
+def test_control_ops_classify():
+    for op in sorted(CONTROL_OPS):
+        assert parse_line(json.dumps({"op": op})).op == op
+    assert json.loads(encode({"ok": True}).decode()) == {"ok": True}
+
+
+def test_non_utf8_line_is_a_protocol_error():
+    decoder = FrameDecoder()
+    with pytest.raises(ProtocolError, match="non-UTF-8"):
+        decoder.feed(b'\xff\xfe{"k":"load"}\n')
