@@ -86,6 +86,7 @@ def robustness_sweep(
     scale: float = 1.0,
     seed: int = 0,
     fault_seed: Optional[int] = None,
+    tool_options: Optional[Dict[str, object]] = None,
 ) -> List[RobustnessPoint]:
     """Measure headline-fraction error at each fault rate, per workload.
 
@@ -99,17 +100,33 @@ def robustness_sweep(
     the hook ``--target-overhead`` uses to sweep each workload at the
     period the adaptive controller (:mod:`repro.analysis.
     period_controller`) tuned for it.
+
+    Crafts without an exhaustive spy counterpart (``valuecraft``,
+    ``fencecraft``) degrade against a *self-referential* reference: the
+    craft's own fault-free run at the same period and seed.  The sweep
+    then measures drift under faults rather than absolute accuracy --
+    exactly the graceful-degradation property, minus the ground-truth
+    anchor the spy-backed crafts get for free.
     """
-    truth_tool = GROUND_TRUTH_FOR.get(tool)
-    if truth_tool is None:
-        valid = ", ".join(sorted(GROUND_TRUTH_FOR))
+    from repro.crafts.registry import CRAFTS
+
+    if tool not in CRAFTS:
+        valid = ", ".join(CRAFTS)
         raise ValueError(f"unknown witchcraft tool {tool!r} (valid tools: {valid})")
+    truth_tool = GROUND_TRUTH_FOR.get(tool)
     points: List[RobustnessPoint] = []
     for name in workloads:
         workload = resolve_workload(name, scale=scale)
-        truth = run_exhaustive(workload, tools=(truth_tool,))
-        exhaustive_fraction = truth.fraction(truth_tool)
         workload_period = (periods or {}).get(name, period)
+        if truth_tool is not None:
+            truth = run_exhaustive(workload, tools=(truth_tool,))
+            exhaustive_fraction = truth.fraction(truth_tool)
+        else:
+            reference = run_witch(
+                workload, tool=tool, period=workload_period, seed=seed,
+                tool_options=tool_options,
+            )
+            exhaustive_fraction = reference.fraction
         for rate in rates:
             spec = fault_spec_at(rate, mechanisms)
             run = run_witch(
@@ -119,6 +136,7 @@ def robustness_sweep(
                 seed=seed,
                 faults=spec or None,
                 fault_seed=seed if fault_seed is None else fault_seed,
+                tool_options=tool_options,
             )
             degradation = run.report.degradation or {}
             points.append(

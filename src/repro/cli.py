@@ -42,6 +42,14 @@ bit-identical for every N -- see docs/parallel.md for the contract.
 changes throughput only; every output is bit-identical across backends
 -- see docs/columnar.md.
 
+Tool names come from the craft registry (:mod:`repro.crafts.registry`):
+the paper's three crafts plus the second-generation ``valuecraft``
+(approximate load redundancy) and ``fencecraft`` (persist ordering) --
+see docs/crafts.md.  ``profile``, ``compare``, ``suite``,
+``robustness``, ``headroom``, ``stats``, and ``stream`` accept
+``--tool-opt CRAFT.OPTION=VALUE`` (repeatable) for per-craft options,
+e.g. ``loadcraft.float_precision=0.05``.
+
 ``profile``, ``compare``, and ``suite`` accept ``--faults SPEC`` /
 ``--fault-seed N`` (deterministic hardware-fault injection) and
 ``--journal FILE`` / ``--resume`` (crash-safe restart of interrupted
@@ -65,6 +73,12 @@ from repro.analysis.period_controller import tune_periods
 from repro.analysis.robustness import max_error_step, render_table, robustness_sweep
 from repro.core.report import InefficiencyReport
 from repro.core.view import render_topdown
+from repro.crafts.registry import (
+    CRAFTS,
+    crafts_with_ground_truth,
+    parse_tool_options,
+    validate_tool_options,
+)
 from repro.execution.machine import Machine
 from repro.faults import FaultSpec
 from repro.harness import GROUND_TRUTH_FOR, run_witch
@@ -126,6 +140,31 @@ def _fault_options(args) -> dict:
     if getattr(args, "fault_seed", None) is not None:
         options["fault_seed"] = args.fault_seed
     return options
+
+
+def _tool_options_from_args(args) -> dict:
+    """Parsed ``--tool-opt`` pairs as ``{craft: {option: value}}``."""
+    try:
+        return parse_tool_options(getattr(args, "tool_opt", None) or [])
+    except ValueError as error:
+        raise CLIError(f"bad --tool-opt: {error}") from error
+
+
+def _tool_options_for(args, tool: str) -> dict:
+    """The selected tool's coerced options; refuses options aimed at
+    other crafts (``--tool deadcraft --tool-opt loadcraft...`` is a
+    mistake, not a no-op)."""
+    parsed = _tool_options_from_args(args)
+    try:
+        return validate_tool_options(tool, parsed)
+    except ValueError as error:
+        raise CLIError(f"bad --tool-opt: {error}") from error
+
+
+def _spec_tool_options(tool_options: dict) -> dict:
+    """Tool options as ``opt.``-prefixed spec options (primitives only),
+    so they enter the spec's canonical key and content-addressed seed."""
+    return {f"opt.{name}": value for name, value in tool_options.items()}
 
 
 def _open_journal(args) -> Optional[RunJournal]:
@@ -226,12 +265,18 @@ def _cmd_list(args, out) -> int:
     print("case studies (case:<name>[:optimized]):", file=out)
     for name, case in CASE_STUDIES.items():
         print(f"  {name:14s} {case.tool:12s} {case.defect}", file=out)
+    print("witchcraft tools (--tool):", file=out)
+    for name, spec in CRAFTS.items():
+        options = ", ".join(option.name for option in spec.options)
+        suffix = f"  [--tool-opt: {options}]" if options else ""
+        print(f"  {name:14s} {spec.summary}{suffix}", file=out)
     return 0
 
 
 def _cmd_profile(args, out) -> int:
     workload = resolve_workload(args.workload, scale=args.scale)
     fault_options = _fault_options(args)
+    tool_options = _tool_options_for(args, args.tool)
     journal = _open_journal(args)
     tuned = _tune_for_target(args, [args.workload], args.tool, out,
                              fault_options=fault_options)
@@ -247,6 +292,7 @@ def _cmd_profile(args, out) -> int:
             args.workload, args.tool, scale=args.scale,
             period=period, registers=args.registers,
             period_jitter=args.jitter, **fault_options,
+            **_spec_tool_options(tool_options),
         )
     telemetry = None
     report = None
@@ -266,6 +312,7 @@ def _cmd_profile(args, out) -> int:
             period_jitter=args.jitter,
             telemetry=telemetry,
             backend=_backend_from_args(args),
+            tool_options=tool_options or None,
             **fault_options,
         )
         report = run.report
@@ -302,6 +349,7 @@ def _cmd_profile(args, out) -> int:
 def _cmd_compare(args, out) -> int:
     resolve_workload(args.workload, scale=args.scale)  # fail fast on bad names
     fault_options = _fault_options(args)
+    tool_options = _tool_options_for(args, args.tool)
     journal = _open_journal(args)
     telemetry = _telemetry_from_args(args)
     spy_name = GROUND_TRUTH_FOR[args.tool]
@@ -315,7 +363,8 @@ def _cmd_compare(args, out) -> int:
     # registers, so the ground truth stays the truth.
     specs = [
         witch_spec(args.workload, args.tool, scale=args.scale, group=group,
-                   period=period, **fault_options),
+                   period=period, **fault_options,
+                   **_spec_tool_options(tool_options)),
         exhaustive_spec(args.workload, tools=(spy_name,), scale=args.scale,
                         group=group),
         witch_overhead_spec(args.workload, args.tool, scale=args.scale,
@@ -359,17 +408,20 @@ def _cmd_casestudy(args, out) -> int:
     return 0
 
 
-_SUITE_CRAFTS = ("deadcraft", "silentcraft", "loadcraft")
+#: Every registered craft, in registry order -- the suite's column set.
+_SUITE_CRAFTS = tuple(CRAFTS)
 
 
 def suite_specs(names, scale: float, period: int, fault_options: Optional[dict] = None,
-                periods: Optional[dict] = None):
+                periods: Optional[dict] = None, tool_options: Optional[dict] = None):
     """The suite's work list: per benchmark, one exhaustive run (all three
-    spies share it) plus one run per craft -- four unit jobs, grouped.
+    spies share it) plus one run per registered craft, grouped.
 
     ``periods`` overrides the uniform ``period`` per benchmark (keyed by
     the full ``spec:<name>`` workload name) -- the ``--target-overhead``
-    path, where each benchmark runs at its tuned period.
+    path, where each benchmark runs at its tuned period.  ``tool_options``
+    is the parsed ``--tool-opt`` mapping ``{craft: {option: value}}``;
+    each craft's sub-dict rides inside its specs under ``opt.`` keys.
     """
     specs = []
     for name in names:
@@ -380,7 +432,8 @@ def suite_specs(names, scale: float, period: int, fault_options: Optional[dict] 
         for craft in _SUITE_CRAFTS:
             specs.append(
                 witch_spec(workload, craft, scale=scale, group=group,
-                           period=bench_period, **(fault_options or {}))
+                           period=bench_period, **(fault_options or {}),
+                           **_spec_tool_options((tool_options or {}).get(craft, {})))
             )
     return specs
 
@@ -397,10 +450,11 @@ def _cmd_suite(args, out) -> int:
                 f"valid: {', '.join(sorted(SPEC_SUITE))}"
             )
     fault_options = _fault_options(args)
+    tool_options = _tool_options_from_args(args)
     journal = _open_journal(args)
     telemetry = _telemetry_from_args(args)
     # The controller tunes with deadcraft and the tuned period applies to
-    # all three crafts -- a documented tradeoff: one tuning pass per
+    # every craft -- a documented tradeoff: one tuning pass per
     # benchmark, and the crafts' cost structures are close enough that
     # the budget holds within the convergence tolerance.
     tuned = _tune_for_target(
@@ -409,24 +463,33 @@ def _cmd_suite(args, out) -> int:
     )
     periods = {name: result.period for name, result in tuned.items()} if tuned else None
     specs = suite_specs(names, scale=args.scale, period=nearest_prime(args.period),
-                        fault_options=fault_options, periods=periods)
+                        fault_options=fault_options, periods=periods,
+                        tool_options=tool_options)
     batch = run_specs(specs, root_seed=args.seed, jobs=args.jobs,
                       telemetry=telemetry, journal=journal, resume=args.resume,
                       backend=_backend_from_args(args))
     _check_failures(batch)
-    print(f"{'benchmark':12s} {'dead':>13s} {'silent':>13s} {'load':>13s}   (craft/spy %)",
-          file=out)
+    labels = [
+        craft[: -len("craft")] if craft.endswith("craft") else craft
+        for craft in _SUITE_CRAFTS
+    ]
+    header = " ".join(f"{label:>13s}" for label in labels)
+    print(f"{'benchmark':12s} {header}   (craft/spy %; -- = no spy)", file=out)
     stride = 1 + len(_SUITE_CRAFTS)
     for row, name in enumerate(names):
         truth = batch.results[row * stride].payload["reports"]
         cells = []
         for offset, craft in enumerate(_SUITE_CRAFTS, start=1):
             report = batch.results[row * stride + offset].payload["report"]
-            spy_fraction = truth[GROUND_TRUTH_FOR[craft]]["redundancy_fraction"]
-            cells.append(
-                f"{100 * report['redundancy_fraction']:5.1f}/{100 * spy_fraction:5.1f}"
-            )
-        print(f"{name:12s} {cells[0]:>13s} {cells[1]:>13s} {cells[2]:>13s}", file=out)
+            fraction = 100 * report["redundancy_fraction"]
+            spy = GROUND_TRUTH_FOR.get(craft)
+            if spy is None:
+                cells.append(f"{fraction:5.1f}/   --")
+            else:
+                spy_fraction = truth[spy]["redundancy_fraction"]
+                cells.append(f"{fraction:5.1f}/{100 * spy_fraction:5.1f}")
+        row_text = " ".join(f"{cell:>13s}" for cell in cells)
+        print(f"{name:12s} {row_text}", file=out)
     _finish_telemetry(telemetry, args, out)
     return 0
 
@@ -443,6 +506,7 @@ def _cmd_robustness(args, out) -> int:
     workloads = args.workloads or ["spec:gcc", "spec:mcf", "spec:lbm"]
     for name in workloads:
         resolve_workload(name, scale=args.scale)  # fail fast on bad names
+    tool_options = _tool_options_for(args, args.tool)
     tuned = _tune_for_target(args, workloads, args.tool, out)
     periods = {name: result.period for name, result in tuned.items()} if tuned else None
     try:
@@ -456,6 +520,7 @@ def _cmd_robustness(args, out) -> int:
             scale=args.scale,
             seed=args.seed,
             fault_seed=args.fault_seed,
+            tool_options=tool_options or None,
         )
     except ValueError as error:
         raise CLIError(str(error)) from error
@@ -476,6 +541,7 @@ def _cmd_headroom(args, out) -> int:
     if len(set(workloads)) != len(workloads):
         raise CLIError("duplicate workload names")
     fault_options = _fault_options(args)
+    tool_options = _tool_options_for(args, args.tool)
     journal = _open_journal(args)
     backend = _backend_from_args(args)
     tuned = _tune_for_target(args, workloads, args.tool, out,
@@ -489,6 +555,7 @@ def _cmd_headroom(args, out) -> int:
         witch_spec(
             name, args.tool, scale=args.scale, group="headroom",
             period=periods[name], registers=args.registers, **fault_options,
+            **_spec_tool_options(tool_options),
         )
         for name in workloads
     ]
@@ -544,6 +611,7 @@ def _cmd_headroom(args, out) -> int:
 def _cmd_stats(args, out) -> int:
     """Run a workload under a witchcraft tool and render its telemetry."""
     workload = resolve_workload(args.workload, scale=args.scale)
+    tool_options = _tool_options_for(args, args.tool)
     telemetry = Telemetry()
     run = run_witch(
         workload,
@@ -554,6 +622,7 @@ def _cmd_stats(args, out) -> int:
         period_jitter=args.jitter,
         telemetry=telemetry,
         backend=_backend_from_args(args),
+        tool_options=tool_options or None,
     )
     print(f"{args.tool} on {args.workload}: "
           f"redundancy {100 * run.report.redundancy_fraction:.2f}%", file=out)
@@ -617,6 +686,14 @@ def _session_config_from_args(args) -> dict:
         "seed": args.seed,
         "telemetry": bool(getattr(args, "telemetry", False)),
     }
+    tool_options = _tool_options_for(args, args.tool)
+    if tool_options:
+        # Canonical string form (sorted, comma-joined) so equal option
+        # sets produce equal session pseudo-spec keys on the server.
+        config["tool_options"] = ",".join(
+            f"{args.tool}.{name}={value}"
+            for name, value in sorted(tool_options.items())
+        )
     if args.faults:
         try:
             FaultSpec.parse(args.faults)
@@ -762,6 +839,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="columnar array backend (default: REPRO_BACKEND "
                          "or auto-detect; results are identical either way)")
 
+    def add_tool_options(sub):
+        sub.add_argument("--tool-opt", action="append", default=[],
+                         dest="tool_opt", metavar="CRAFT.OPTION=VALUE",
+                         help="per-craft option (repeatable), e.g. "
+                         "loadcraft.float_precision=0.05; see `repro list` "
+                         "for each craft's options")
+
     def add_target_overhead(sub):
         sub.add_argument("--target-overhead", type=float, default=None,
                          metavar="FRACTION",
@@ -780,7 +864,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     profile = commands.add_parser("profile", help="run a witchcraft tool over a workload")
     profile.add_argument("workload")
-    profile.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR), default="deadcraft")
+    profile.add_argument("--tool", choices=sorted(CRAFTS), default="deadcraft")
     profile.add_argument("--period", type=int, default=101,
                          help="sampling period (rounded to the nearest prime)")
     profile.add_argument("--registers", type=int, default=4, help="debug registers")
@@ -798,11 +882,13 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry(profile)
     add_faults(profile)
     add_journal(profile)
+    add_tool_options(profile)
     profile.set_defaults(run=_cmd_profile)
 
     compare = commands.add_parser("compare", help="craft vs. exhaustive ground truth")
     compare.add_argument("workload")
-    compare.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR), default="deadcraft")
+    compare.add_argument("--tool", choices=sorted(crafts_with_ground_truth()),
+                         default="deadcraft")
     compare.add_argument("--period", type=int, default=101)
     compare.add_argument("--jobs", type=int, default=1,
                          help="worker processes (results are identical for any value)")
@@ -811,6 +897,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry(compare)
     add_faults(compare)
     add_journal(compare)
+    add_tool_options(compare)
     compare.set_defaults(run=_cmd_compare)
 
     casestudy = commands.add_parser("casestudy", help="run one Table 3 case study")
@@ -830,6 +917,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_telemetry(suite)
     add_faults(suite)
     add_journal(suite)
+    add_tool_options(suite)
     suite.set_defaults(run=_cmd_suite)
 
     robustness = commands.add_parser(
@@ -838,7 +926,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     robustness.add_argument("workloads", nargs="*",
                             help="workload names (default: spec:gcc spec:mcf spec:lbm)")
-    robustness.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR),
+    robustness.add_argument("--tool", choices=sorted(CRAFTS),
                             default="deadcraft")
     robustness.add_argument("--rates", default="0,0.1,0.2,0.3,0.4,0.5",
                             help="comma-separated fault rates to sweep")
@@ -852,6 +940,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: --seed)")
     add_common(robustness)
     add_target_overhead(robustness)
+    add_tool_options(robustness)
     robustness.set_defaults(run=_cmd_robustness)
 
     headroom = commands.add_parser(
@@ -860,7 +949,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     headroom.add_argument("workloads", nargs="+",
                           help="workload names (e.g. case:lbm spec:gcc)")
-    headroom.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR),
+    headroom.add_argument("--tool", choices=sorted(CRAFTS),
                           default="deadcraft")
     headroom.add_argument("--period", type=int, default=101,
                           help="sampling period (rounded to the nearest prime)")
@@ -876,13 +965,14 @@ def build_parser() -> argparse.ArgumentParser:
     add_target_overhead(headroom)
     add_faults(headroom)
     add_journal(headroom)
+    add_tool_options(headroom)
     headroom.set_defaults(run=_cmd_headroom)
 
     stats = commands.add_parser(
         "stats", help="run a workload under telemetry and render the metrics table"
     )
     stats.add_argument("workload")
-    stats.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR), default="deadcraft")
+    stats.add_argument("--tool", choices=sorted(CRAFTS), default="deadcraft")
     stats.add_argument("--period", type=int, default=101,
                        help="sampling period (rounded to the nearest prime)")
     stats.add_argument("--registers", type=int, default=4, help="debug registers")
@@ -890,6 +980,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(stats)
     add_backend(stats)
     add_telemetry(stats, toggle=False)
+    add_tool_options(stats)
     stats.set_defaults(run=_cmd_stats)
 
     record = commands.add_parser("record", help="record a workload's access trace")
@@ -926,7 +1017,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "server's checkpoint)")
     stream.add_argument("--host", default="127.0.0.1")
     stream.add_argument("--port", type=int, required=True)
-    stream.add_argument("--tool", choices=sorted(GROUND_TRUTH_FOR),
+    stream.add_argument("--tool", choices=sorted(CRAFTS),
                         default="deadcraft")
     stream.add_argument("--period", type=int, default=101,
                         help="sampling period (rounded to the nearest prime)")
@@ -947,6 +1038,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="save the report payload as JSON")
     add_backend(stream)
     add_faults(stream)
+    add_tool_options(stream)
     stream.set_defaults(run=_cmd_stream)
 
     sessions = commands.add_parser(

@@ -23,6 +23,8 @@ _JOIN_LABELS = {
     "redspy": "SILENCED_BY",
     "loadcraft": "RELOADED_BY",
     "loadspy": "RELOADED_BY",
+    "valuecraft": "REREAD_BY",
+    "fencecraft": "UNPERSISTED_BY",
 }
 
 

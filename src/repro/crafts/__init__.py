@@ -1,0 +1,46 @@
+"""Second-generation witchcraft clients, on the unchanged client contract.
+
+The paper's thesis is that the sample-then-watch substrate makes new
+inefficiency tools ~100-line "crafts".  This package tests the thesis on
+two clients drawn from the follow-on literature:
+
+- :class:`~repro.crafts.valuecraft.ValueCraft` -- LoadSpy-style *value
+  locality*: approximately-redundant loads, with the approximate
+  comparison extended from LoadCraft's float-only path to integer data.
+- :class:`~repro.crafts.fencecraft.FenceCraft` -- WITCHER-style *persist
+  ordering*: stores to simulated persistent memory that are overwritten
+  before a flush+fence pair makes them durable.
+
+:mod:`repro.crafts.registry` is the single source of truth for tool
+names, factories, per-tool options, and craft<->ground-truth pairing --
+the CLI, the spec layer, and the harness all derive their tool lists
+from it, so a craft added here is immediately runnable everywhere.
+"""
+
+from repro.crafts.fencecraft import FenceCraft
+from repro.crafts.registry import (
+    CRAFTS,
+    CraftSpec,
+    OptionSpec,
+    craft_names,
+    crafts_with_ground_truth,
+    ground_truth_map,
+    make_craft,
+    parse_tool_options,
+    validate_tool_options,
+)
+from repro.crafts.valuecraft import ValueCraft
+
+__all__ = [
+    "CRAFTS",
+    "CraftSpec",
+    "FenceCraft",
+    "OptionSpec",
+    "ValueCraft",
+    "craft_names",
+    "crafts_with_ground_truth",
+    "ground_truth_map",
+    "make_craft",
+    "parse_tool_options",
+    "validate_tool_options",
+]

@@ -1,0 +1,92 @@
+"""FenceCraft: persist-ordering violations (the WITCHER craft).
+
+WITCHER (arXiv:2012.06086) hunts *crash-consistency* bugs in persistent-
+memory programs: a store to PM whose cache line is not written back
+(CLWB) and fenced (SFENCE) before the location is overwritten may be lost
+or half-applied on a crash, silently corrupting the durable structure.
+The missing-fence pattern is invisible to functional tests -- the program
+computes the right answer -- which makes it exactly the kind of "works
+but wastes/risks" property the sample-then-watch substrate detects.
+
+FenceCraft maps the check onto the unchanged client contract:
+
+1. It samples PMU store events and ignores stores outside the machine's
+   persistence domain (:meth:`repro.execution.machine.Machine.
+   alloc_persistent` declares it).
+2. For a persistent store it records the domain's ordering-clock value
+   (smuggled through :class:`~repro.core.client.WatchInfo`'s ``value``
+   bytes) and arms a trap-after-write W_TRAP watchpoint.
+3. The next overwriting store traps.  If every line of the watched store
+   was flushed *and fenced* after the recorded clock value, the old data
+   was durable before it died -- a "use".  Otherwise the store was
+   overwritten while its durability was still unordered -- a "waste",
+   attributed (as always) to the ⟨watched store context, overwriting
+   store context⟩ pair, which names both halves of the bug.
+
+The craft is ~60 lines because ordering itself lives in
+:class:`repro.hardware.memory.PersistenceDomain`: flush/fence events
+advance a clock only at scalar machine calls, so every engine and
+backend sees the identical ordering state at every trap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.client import TrapOutcome, WatchInfo, WatchRequest, WitchClient
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.debugreg import TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess
+from repro.hardware.pmu import PMUSample
+from repro.telemetry import live_or_none
+
+_CLOCK_BYTES = 8
+
+
+class FenceCraft(WitchClient):
+    """Un-persisted-overwrite detection via trap-after-write watchpoints."""
+
+    name = "fencecraft"
+    pmu_kinds = (AccessType.STORE,)
+
+    def __init__(self, cpu: SimulatedCPU) -> None:
+        self.cpu = cpu
+        self._tm = live_or_none(cpu.telemetry)
+        if self._tm is not None:
+            self._c_armed = self._tm.counter("crafts.fence.armed")
+            self._c_persisted = self._tm.counter("crafts.fence.persisted")
+            self._c_unpersisted = self._tm.counter("crafts.fence.unpersisted")
+
+    def on_sample(self, sample: PMUSample) -> Optional[WatchRequest]:
+        access = sample.access
+        domain = self.cpu.persistence
+        if domain is None or not domain.is_persistent(access.address, access.length):
+            return None  # volatile store: no ordering obligation
+        # Record where the ordering clock stands at the store: a flush
+        # issued after this point strictly exceeds it.
+        self.cpu.ledger.charge_value_record()
+        info = WatchInfo(
+            context=access.context,
+            kind=access.kind,
+            address=access.address,
+            length=access.length,
+            value=domain.seq.to_bytes(_CLOCK_BYTES, "little"),
+            is_float=access.is_float,
+        )
+        if self._tm is not None:
+            self._c_armed.value += 1
+        return WatchRequest(access.address, access.length, TrapMode.W_TRAP, info)
+
+    def on_trap(self, access: MemoryAccess, watchpoint: Watchpoint, overlap: int) -> TrapOutcome:
+        info: WatchInfo = watchpoint.payload
+        since = int.from_bytes(info.value, "little")
+        domain = self.cpu.persistence
+        # The obligation covers the watched store's own span (info), not
+        # the possibly-truncated watchpoint range.
+        if domain is not None and domain.persisted_since(info.address, info.length, since):
+            if self._tm is not None:
+                self._c_persisted.value += 1
+            return TrapOutcome(disarm=True, record="use")
+        if self._tm is not None:
+            self._c_unpersisted.value += 1
+        return TrapOutcome(disarm=True, record="waste")

@@ -1,0 +1,262 @@
+"""The craft registry: single source of truth for witchcraft tool names.
+
+Every layer that needs "the list of tools" -- the CLI's ``choices``, the
+spec layer's validation, the harness's client construction, the suite's
+column set, robustness's ground-truth pairing -- derives it from
+:data:`CRAFTS`.  Registering a craft here is the *only* step needed to
+make it runnable under ``profile``/``suite``/``robustness``, the
+parallel runner, and the streaming service.
+
+Per-tool options are declared as typed :class:`OptionSpec` rows, parsed
+from ``--tool-opt craft.option=value`` strings by
+:func:`parse_tool_options`, and validated/coerced again at client
+construction -- so a bad option dies with a friendly message at the CLI
+*and* at the spec layer, whichever it enters through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.core.client import WitchClient
+from repro.core.deadcraft import DeadCraft
+from repro.core.loadcraft import LoadCraft
+from repro.core.silentcraft import SilentCraft
+from repro.crafts.fencecraft import FenceCraft
+from repro.crafts.valuecraft import ValueCraft
+from repro.hardware.events import AccessType
+
+
+@dataclass(frozen=True)
+class OptionSpec:
+    """One per-tool option: its name, type, default, and help line."""
+
+    name: str
+    kind: type
+    default: object
+    help: str
+
+    def coerce(self, raw: object) -> object:
+        """Validate/convert a parsed or programmatic value to ``kind``.
+
+        Strings (from ``--tool-opt``) are parsed; the literal ``"none"``
+        maps to None so nullable options (e.g. a precision meaning
+        "exact only") are expressible on the command line.
+        """
+        if raw is None:
+            return None
+        if isinstance(raw, str):
+            text = raw.strip()
+            if text.lower() == "none":
+                return None
+            if self.kind is bool:
+                lowered = text.lower()
+                if lowered in ("1", "true", "yes", "on"):
+                    return True
+                if lowered in ("0", "false", "no", "off"):
+                    return False
+                raise ValueError(
+                    f"option {self.name} expects a boolean, got {raw!r}"
+                )
+            try:
+                return self.kind(text)
+            except ValueError:
+                raise ValueError(
+                    f"option {self.name} expects {self.kind.__name__}, got {raw!r}"
+                ) from None
+        if self.kind is float and isinstance(raw, int) and not isinstance(raw, bool):
+            return float(raw)
+        if not isinstance(raw, self.kind) or isinstance(raw, bool) != (self.kind is bool):
+            raise ValueError(
+                f"option {self.name} expects {self.kind.__name__}, "
+                f"got {type(raw).__name__} {raw!r}"
+            )
+        return raw
+
+
+def _make_deadcraft(cpu, **options) -> WitchClient:
+    return DeadCraft(**options)
+
+
+def _make_silentcraft(cpu, **options) -> WitchClient:
+    return SilentCraft(cpu, **options)
+
+
+def _make_loadcraft(cpu, **options) -> WitchClient:
+    return LoadCraft(cpu, **options)
+
+
+def _make_valuecraft(cpu, **options) -> WitchClient:
+    return ValueCraft(cpu, **options)
+
+
+def _make_fencecraft(cpu, **options) -> WitchClient:
+    return FenceCraft(cpu, **options)
+
+
+@dataclass(frozen=True)
+class CraftSpec:
+    """Everything the framework layers need to know about one craft."""
+
+    name: str
+    factory: Callable[..., WitchClient]
+    summary: str
+    #: PMU event kinds the craft samples (mirrors the client class).
+    pmu_kinds: Tuple[AccessType, ...]
+    #: The exhaustive tool whose report is this craft's ground truth, or
+    #: None for crafts with no spy (robustness then compares a faulted
+    #: run against the craft's own fault-free run).
+    ground_truth: Optional[str] = None
+    options: Tuple[OptionSpec, ...] = ()
+
+    @property
+    def samples_loads(self) -> bool:
+        return AccessType.LOAD in self.pmu_kinds
+
+    def option(self, name: str) -> OptionSpec:
+        for spec in self.options:
+            if spec.name == name:
+                return spec
+        valid = ", ".join(spec.name for spec in self.options) or "(none)"
+        raise ValueError(
+            f"craft {self.name} has no option {name!r} (valid: {valid})"
+        )
+
+    def make(self, cpu, options: Optional[Dict[str, object]] = None) -> WitchClient:
+        """Instantiate the client, validating and coercing ``options``."""
+        coerced = {
+            name: self.option(name).coerce(value)
+            for name, value in (options or {}).items()
+        }
+        return self.factory(cpu, **coerced)
+
+
+_PRECISION_OPTION = OptionSpec(
+    "float_precision",
+    float,
+    0.01,
+    "relative tolerance for the approximate value comparison "
+    "('none' forces exact)",
+)
+
+#: The registry.  Insertion order is presentation order (the paper's
+#: three crafts first, the second-generation crafts after).
+CRAFTS: Dict[str, CraftSpec] = {
+    spec.name: spec
+    for spec in (
+        CraftSpec(
+            name="deadcraft",
+            factory=_make_deadcraft,
+            summary="dead stores: a store overwritten with no intervening read",
+            pmu_kinds=(AccessType.STORE,),
+            ground_truth="deadspy",
+        ),
+        CraftSpec(
+            name="silentcraft",
+            factory=_make_silentcraft,
+            summary="silent stores: a store rewriting the value already present",
+            pmu_kinds=(AccessType.STORE,),
+            ground_truth="redspy",
+            options=(_PRECISION_OPTION,),
+        ),
+        CraftSpec(
+            name="loadcraft",
+            factory=_make_loadcraft,
+            summary="redundant loads: a load re-reading an unchanged value",
+            pmu_kinds=(AccessType.LOAD,),
+            ground_truth="loadspy",
+            options=(_PRECISION_OPTION,),
+        ),
+        CraftSpec(
+            name="valuecraft",
+            factory=_make_valuecraft,
+            summary="value locality: approximately-redundant loads "
+            "(LoadSpy), tolerance applied to ints and floats",
+            pmu_kinds=(AccessType.LOAD,),
+            options=(_PRECISION_OPTION,),
+        ),
+        CraftSpec(
+            name="fencecraft",
+            factory=_make_fencecraft,
+            summary="persist ordering: persistent-memory stores overwritten "
+            "before a flush+fence made them durable (WITCHER)",
+            pmu_kinds=(AccessType.STORE,),
+        ),
+    )
+}
+
+
+def craft_names() -> Tuple[str, ...]:
+    """Every registered craft, in registry order."""
+    return tuple(CRAFTS)
+
+
+def crafts_with_ground_truth() -> Tuple[str, ...]:
+    """Crafts with an exhaustive ground-truth tool (accuracy comparisons)."""
+    return tuple(name for name, spec in CRAFTS.items() if spec.ground_truth)
+
+
+def ground_truth_map() -> Dict[str, str]:
+    """craft -> exhaustive spy, for crafts that have one."""
+    return {
+        name: spec.ground_truth
+        for name, spec in CRAFTS.items()
+        if spec.ground_truth
+    }
+
+
+def make_craft(
+    name: str, cpu, options: Optional[Dict[str, object]] = None
+) -> WitchClient:
+    """Instantiate a craft by name; the harness's sole construction path."""
+    spec = CRAFTS.get(name)
+    if spec is None:
+        valid = ", ".join(CRAFTS)
+        raise ValueError(f"unknown witchcraft tool {name!r} (valid tools: {valid})")
+    return spec.make(cpu, options)
+
+
+def parse_tool_options(
+    pairs: Iterable[str],
+) -> Dict[str, Dict[str, object]]:
+    """Parse ``craft.option=value`` strings into per-craft option dicts.
+
+    The craft qualifier is mandatory -- ``suite`` runs several crafts at
+    once, so an unqualified option would be ambiguous.  Unknown crafts,
+    unknown options, and untypeable values all raise ``ValueError`` with
+    the valid alternatives spelled out.
+    """
+    options: Dict[str, Dict[str, object]] = {}
+    for pair in pairs:
+        name, eq, raw = pair.partition("=")
+        craft, dot, option = name.partition(".")
+        if not eq or not dot or not craft or not option:
+            raise ValueError(
+                f"bad tool option {pair!r} (want CRAFT.OPTION=VALUE, "
+                "e.g. loadcraft.float_precision=0.05)"
+            )
+        spec = CRAFTS.get(craft)
+        if spec is None:
+            valid = ", ".join(CRAFTS)
+            raise ValueError(
+                f"unknown craft in tool option {pair!r} (valid crafts: {valid})"
+            )
+        options.setdefault(craft, {})[option] = spec.option(option).coerce(raw)
+    return options
+
+
+def validate_tool_options(tool: str, options: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """Select ``tool``'s options, refusing options aimed at other crafts.
+
+    Single-tool commands use this so ``--tool deadcraft --tool-opt
+    loadcraft.float_precision=0.05`` fails loudly instead of silently
+    ignoring the option.
+    """
+    stray = sorted(set(options) - {tool})
+    if stray:
+        raise ValueError(
+            f"tool option(s) for {', '.join(stray)} but the selected tool "
+            f"is {tool}"
+        )
+    return options.get(tool, {})

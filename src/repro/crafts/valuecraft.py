@@ -1,0 +1,112 @@
+"""ValueCraft: approximately-redundant loads (the LoadSpy craft).
+
+LoadSpy's observation (arXiv:1902.05462) extends RedSpy's from stores to
+loads *and* from exact to approximate equality: a load that re-reads a
+value "close enough" to the one already loaded marks value locality the
+program fails to exploit -- lookup tables rebuilt per call, convergence
+loops re-reading barely-moving state, quantizable data.  Its killer
+feature is reporting *pairs* of calling contexts -- the context that
+loaded the value first and the context that redundantly re-loaded it --
+which the Witch substrate provides for free: the framework's
+:class:`~repro.cct.pairs.ContextPairTable` already keys every recorded
+observation by ⟨watch context, trap context⟩ and ranks pairs by wasted
+bytes.
+
+Mechanically ValueCraft is LoadCraft with a wider comparator: it samples
+PMU load events, remembers the loaded value, arms RW_TRAP (x86 cannot
+trap on loads alone), drops store traps with the watchpoint still armed,
+and on the next overlapping load compares values.  Where LoadCraft
+applies the approximate comparison only to floating-point data,
+ValueCraft applies the same relative-tolerance test to integer data too
+when the trap covers the watched datum exactly -- the craft's whole
+delta from LoadCraft is the comparator, which is the paper's point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.client import TrapOutcome, WatchInfo, WatchRequest, WitchClient
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.debugreg import TrapMode, Watchpoint
+from repro.hardware.events import AccessType, MemoryAccess, decode_value
+from repro.hardware.pmu import PMUSample
+from repro.telemetry import live_or_none
+
+
+class ValueCraft(WitchClient):
+    """Approximate redundant-load detection with context-pair attribution."""
+
+    name = "valuecraft"
+    pmu_kinds = (AccessType.LOAD,)
+
+    def __init__(self, cpu: SimulatedCPU, float_precision: Optional[float] = 0.01) -> None:
+        self.cpu = cpu
+        #: Relative tolerance for the full-datum comparison; despite the
+        #: LoadCraft-compatible name it applies to integers as well.
+        #: None forces exact comparison (ValueCraft degenerates to
+        #: LoadCraft's integer behavior).
+        self.float_precision = float_precision
+        self._tm = live_or_none(cpu.telemetry)
+        if self._tm is not None:
+            self._c_exact = self._tm.counter("crafts.value.exact_matches")
+            self._c_approx = self._tm.counter("crafts.value.approx_matches")
+            self._c_stores = self._tm.counter("crafts.value.store_traps")
+
+    def on_sample(self, sample: PMUSample) -> Optional[WatchRequest]:
+        access = sample.access
+        self.cpu.ledger.charge_value_record()
+        info = WatchInfo(
+            context=access.context,
+            kind=access.kind,
+            address=access.address,
+            length=access.length,
+            value=sample.value,
+            is_float=access.is_float,
+        )
+        return WatchRequest(access.address, access.length, TrapMode.RW_TRAP, info)
+
+    def on_trap(self, access: MemoryAccess, watchpoint: Watchpoint, overlap: int) -> TrapOutcome:
+        if access.is_store:
+            # Same x86 limitation as LoadCraft: drop the store trap, keep
+            # the watchpoint armed for the eventual load.
+            if self._tm is not None:
+                self._c_stores.value += 1
+            return TrapOutcome(disarm=False, record=None, spurious=True)
+        info: WatchInfo = watchpoint.payload
+        verdict = self._match(info, access, overlap)
+        if verdict is not None:
+            if self._tm is not None:
+                (self._c_exact if verdict == "exact" else self._c_approx).value += 1
+            return TrapOutcome(disarm=True, record="waste")
+        return TrapOutcome(disarm=True, record="use")
+
+    def _match(self, info: WatchInfo, access: MemoryAccess, overlap: int) -> Optional[str]:
+        """``"exact"``/``"approx"`` when the re-load is redundant, else None.
+
+        Exact byte equality over the overlap always counts.  The
+        approximate test needs a numerically meaningful datum, so it
+        applies only when the trapping load covers the watched datum
+        exactly and agrees on its type -- a fraction of a value, or an
+        int reinterpreted as a float, has no tolerance semantics.
+        """
+        lo = max(info.address, access.address)
+        old = info.value[lo - info.address : lo - info.address + overlap]
+        new = self.cpu.memory.read(lo, overlap)
+        if old == new:
+            return "exact"
+        full_datum = (
+            overlap == info.length == access.length
+            and info.address == access.address
+            and info.is_float == access.is_float
+        )
+        if not full_datum or self.float_precision is None:
+            return None
+        old_value = decode_value(old, info.is_float)
+        new_value = decode_value(new, info.is_float)
+        if old_value == new_value:
+            return "approx"  # distinct encodings of one value (e.g. ±0.0)
+        denominator = max(abs(old_value), abs(new_value))
+        if denominator and abs(old_value - new_value) / denominator <= self.float_precision:
+            return "approx"
+        return None

@@ -31,6 +31,8 @@ from repro.hardware.cpu import SimulatedCPU
 from repro.hardware.events import (
     AccessRun,
     AccessType,
+    OrderingEvent,
+    OrderingType,
     decode_run,
     decode_value,
     encode_run,
@@ -90,6 +92,25 @@ class ThreadContext:
     def load(self, address: int, length: int, pc: str, is_float: bool = False) -> bytes:
         context = self._stack[-1].child(pc)
         return self.machine.cpu.load(address, length, pc, context, self.thread_id, is_float)
+
+    # ------------------------------------------------------------ persistency
+    def flush(self, address: int, length: int, pc: str) -> None:
+        """Write back ``[address, address+length)`` toward persistence (CLWB).
+
+        Pending until the next :meth:`fence`; a no-op for durability unless
+        the machine has a persistent region (:meth:`Machine.alloc_persistent`).
+        """
+        context = self._stack[-1].child(pc)
+        self.machine.cpu.ordering(
+            OrderingEvent(OrderingType.FLUSH, address, length, pc, context, self.thread_id)
+        )
+
+    def fence(self, pc: str) -> None:
+        """Order prior flushes: promote them to guaranteed-durable (SFENCE)."""
+        context = self._stack[-1].child(pc)
+        self.machine.cpu.ordering(
+            OrderingEvent(OrderingType.FENCE, 0, 0, pc, context, self.thread_id)
+        )
 
     # ------------------------------------------------------------- typed access
     def store_int(
@@ -364,6 +385,17 @@ class Machine(ThreadContext):
                 cat="machine",
                 args={"name": name, "bytes": nbytes, "base": base},
             )
+        return base
+
+    def alloc_persistent(self, nbytes: int, name: str = "") -> int:
+        """Like :meth:`alloc`, but the range is simulated persistent memory.
+
+        Stores into it only become durable after an explicit
+        :meth:`ThreadContext.flush` + :meth:`ThreadContext.fence` pair --
+        the discipline FenceCraft audits.
+        """
+        base = self.alloc(nbytes, name)
+        self.cpu.declare_persistent(base, nbytes)
         return base
 
     def thread(self, thread_id: int) -> ThreadContext:

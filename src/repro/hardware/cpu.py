@@ -25,8 +25,8 @@ from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.hardware.costmodel import CostModel, CycleLedger
 from repro.hardware.debugreg import DebugRegisterFile, Watchpoint
-from repro.hardware.events import AccessRun, AccessType, MemoryAccess
-from repro.hardware.memory import SimulatedMemory
+from repro.hardware.events import AccessRun, AccessType, MemoryAccess, OrderingEvent, OrderingType
+from repro.hardware.memory import PersistenceDomain, SimulatedMemory
 from repro.hardware.pmu import PMU, PMUSample
 from repro.telemetry import NULL_TELEMETRY, live_or_none
 
@@ -102,10 +102,16 @@ class SimulatedCPU:
             self._c_columnar = self._tm.counter("cpu.columnar_accesses")
             self._c_column_blocks = self._tm.counter("cpu.column_blocks")
             self._s_column = self._tm.spans.cell("cpu.column_run")
+            self._c_flushes = self._tm.counter("crafts.pmem.flushes")
+            self._c_fences = self._tm.counter("crafts.pmem.fences")
+            self._c_persist_ranges = self._tm.counter("crafts.pmem.ranges")
             if faults is not None:
                 self._c_traps_dropped = self._tm.counter("faults.traps_dropped")
                 self._c_spurious_injected = self._tm.counter("faults.spurious_traps")
         self.memory = SimulatedMemory()
+        #: Lazily created by :meth:`declare_persistent`; None means the
+        #: machine has no persistent memory and ordering events are inert.
+        self.persistence: Optional[PersistenceDomain] = None
         self.model = model or CostModel()
         self.ledger = CycleLedger(self.model)
         self.rng = rng or random.Random(0)
@@ -191,6 +197,50 @@ class SimulatedCPU:
     @property
     def total_counted_events(self) -> int:
         return sum(pmu.events_seen for pmu in self._pmus.values())
+
+    # ---------------------------------------------------------------- persistency
+    def declare_persistent(self, address: int, length: int) -> None:
+        """Mark ``[address, address+length)`` as persistent memory.
+
+        Creates the machine's :class:`PersistenceDomain` on first use.
+        Declarations are recorded into traces (``observe_persist``) so a
+        replayed or streamed run reconstructs the same domain.
+        """
+        if self.persistence is None:
+            self.persistence = PersistenceDomain()
+        self.persistence.declare(address, length)
+        if self._tm is not None:
+            self._c_persist_ranges.value += 1
+        for observer in self._observers:
+            note = getattr(observer, "observe_persist", None)
+            if note is not None:
+                note(address, length)
+
+    def ordering(self, event: OrderingEvent) -> None:
+        """Execute one flush/fence ordering event.
+
+        Ordering events are always scalar -- they never join a bulk slice
+        -- so the persistence domain's clock advances at identical points
+        under every engine and backend.  They charge the ledger like one
+        native access (a CLWB/SFENCE retires as one instruction) but are
+        invisible to the PMU and the debug registers.
+        """
+        self.ledger.charge_access()
+        if self._tm is not None:
+            if event.kind is OrderingType.FLUSH:
+                self._c_flushes.value += 1
+            else:
+                self._c_fences.value += 1
+        for observer in self._observers:
+            note = getattr(observer, "observe_ordering", None)
+            if note is not None:
+                note(event)
+        domain = self.persistence
+        if domain is not None:
+            if event.kind is OrderingType.FLUSH:
+                domain.flush(event.address, event.length)
+            else:
+                domain.fence()
 
     # ------------------------------------------------------------------ execution
     def access(self, access: MemoryAccess, data: Optional[bytes] = None) -> bytes:

@@ -78,6 +78,40 @@ class MemoryAccess:
         return max(0, hi - lo)
 
 
+class OrderingType(enum.Enum):
+    """Persistency-ordering operations, mirroring CLWB and SFENCE."""
+
+    FLUSH = "flush"
+    FENCE = "fence"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OrderingType.{self.name}"
+
+
+@dataclass(frozen=True, slots=True)
+class OrderingEvent:
+    """One dynamic flush or fence.
+
+    Ordering events are not memory accesses: they carry no data, are never
+    counted by the PMU, and never trip watchpoints.  They exist so the
+    persistence domain (:class:`repro.hardware.memory.PersistenceDomain`)
+    can advance its ordering clock at well-defined scalar points, and so
+    traces can record and replay a workload's persistency discipline.
+    ``address``/``length`` name the flushed span (both 0 for a fence).
+    """
+
+    kind: OrderingType
+    address: int
+    length: int
+    pc: str
+    context: Hashable
+    thread_id: int = 0
+
+    @property
+    def is_flush(self) -> bool:
+        return self.kind is OrderingType.FLUSH
+
+
 @dataclass(frozen=True, slots=True)
 class AccessRun:
     """A strided run of homogeneous accesses sharing one pc and context.

@@ -12,11 +12,106 @@ memory-bloat metric.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Tuple
 
 _PAGE_SHIFT = 12
 _PAGE_SIZE = 1 << _PAGE_SHIFT
 _PAGE_MASK = _PAGE_SIZE - 1
+
+#: Persistence is tracked at cache-line granularity, like CLWB/CLFLUSHOPT.
+_LINE_SHIFT = 6
+_LINE_SIZE = 1 << _LINE_SHIFT
+
+
+class PersistenceDomain:
+    """Ordering state of a simulated persistent-memory region.
+
+    Models the x86 persistency story FenceCraft (the WITCHER-style craft)
+    reasons about: a store to persistent memory only becomes durable once
+    its cache line is written back (``CLWB`` -- :meth:`flush`) *and* a
+    subsequent ordering fence (``SFENCE`` -- :meth:`fence`) retires.  A
+    flush without a fence is merely *pending*: the write-back may not have
+    completed, so the store's durability is not yet guaranteed.
+
+    The whole model is one monotonically increasing sequence counter plus
+    two per-line maps.  Only :meth:`flush` and :meth:`fence` advance the
+    counter -- both are always scalar machine calls, never part of a bulk
+    slice -- so every engine (scalar, batched, columnar, any backend)
+    observes the identical ordering state at every event point by
+    construction.  A store's position in the order is the counter value
+    *read at its event point* (FenceCraft samples it on the PMU sample):
+    a flush issued after the store strictly exceeds it, a flush issued
+    before does not, which is exactly the happens-before edge durability
+    needs.
+    """
+
+    __slots__ = ("seq", "flushes", "fences", "_ranges", "_pending", "_durable")
+
+    def __init__(self) -> None:
+        #: Ordering clock: bumped by every flush and every fence.
+        self.seq = 0
+        self.flushes = 0
+        self.fences = 0
+        self._ranges: List[Tuple[int, int]] = []
+        #: line -> seq of its latest un-fenced flush (write-back in flight).
+        self._pending: Dict[int, int] = {}
+        #: line -> seq of its latest *fenced* flush (guaranteed durable).
+        self._durable: Dict[int, int] = {}
+
+    # ------------------------------------------------------------- region map
+    def declare(self, address: int, length: int) -> None:
+        """Mark ``[address, address+length)`` as persistent memory."""
+        if length <= 0:
+            raise ValueError(f"persistent range needs a positive length, got {length}")
+        self._ranges.append((address, address + length))
+
+    @property
+    def ranges(self) -> Tuple[Tuple[int, int], ...]:
+        """Declared persistent ranges as ``(start, end)`` pairs."""
+        return tuple(self._ranges)
+
+    def is_persistent(self, address: int, length: int) -> bool:
+        """Whether the span overlaps any declared persistent range."""
+        end = address + length
+        return any(address < hi and end > lo for lo, hi in self._ranges)
+
+    # --------------------------------------------------------------- ordering
+    def flush(self, address: int, length: int) -> None:
+        """A line write-back (CLWB): pending until the next fence."""
+        self.seq += 1
+        self.flushes += 1
+        if length <= 0:
+            return
+        s = self.seq
+        pending = self._pending
+        for line in range(address >> _LINE_SHIFT, ((address + length - 1) >> _LINE_SHIFT) + 1):
+            pending[line] = s
+
+    def fence(self) -> None:
+        """An ordering fence (SFENCE): promotes pending flushes to durable."""
+        self.seq += 1
+        self.fences += 1
+        if self._pending:
+            # Pending seqs are always newer than whatever is already
+            # durable for the line (the clock is monotonic), so a plain
+            # overwrite is the max.
+            self._durable.update(self._pending)
+            self._pending.clear()
+
+    def persisted_since(self, address: int, length: int, since: int) -> bool:
+        """Whether every line of the span was flushed-and-fenced after ``since``.
+
+        ``since`` is the ordering-clock value read at the store's event
+        point; the store's data is guaranteed durable iff each line it
+        covers has a *fenced* flush strictly newer than that.
+        """
+        if length <= 0:
+            return True
+        durable = self._durable
+        for line in range(address >> _LINE_SHIFT, ((address + length - 1) >> _LINE_SHIFT) + 1):
+            if durable.get(line, 0) <= since:
+                return False
+        return True
 
 
 class SimulatedMemory:

@@ -16,12 +16,10 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.core.client import WitchClient
-from repro.core.deadcraft import DeadCraft
-from repro.core.loadcraft import LoadCraft
 from repro.core.report import InefficiencyReport
 from repro.core.reservoir import ReplacementPolicy
-from repro.core.silentcraft import SilentCraft
 from repro.core.witch import WitchFramework
+from repro.crafts.registry import ground_truth_map, make_craft
 from repro.execution.machine import Machine
 from repro.faults import FaultPlan, FaultSpec, build_fault_plan
 from repro.hardware.costmodel import CostModel
@@ -35,11 +33,9 @@ from repro.telemetry import NULL_TELEMETRY, Telemetry
 Workload = Callable[[Machine], None]
 
 #: Which exhaustive tool provides ground truth for which sampling client.
-GROUND_TRUTH_FOR: Dict[str, str] = {
-    "deadcraft": "deadspy",
-    "silentcraft": "redspy",
-    "loadcraft": "loadspy",
-}
+#: Derived from the craft registry; crafts without a spy (valuecraft,
+#: fencecraft) are absent, which accuracy comparisons key off.
+GROUND_TRUTH_FOR: Dict[str, str] = ground_truth_map()
 
 _EXHAUSTIVE_FACTORIES = {
     "deadspy": DeadSpy,
@@ -48,16 +44,13 @@ _EXHAUSTIVE_FACTORIES = {
 }
 
 
-def make_client(name: str, cpu: SimulatedCPU) -> WitchClient:
-    """Instantiate a witchcraft client by paper name."""
-    if name == "deadcraft":
-        return DeadCraft()
-    if name == "silentcraft":
-        return SilentCraft(cpu)
-    if name == "loadcraft":
-        return LoadCraft(cpu)
-    valid = ", ".join(sorted(GROUND_TRUTH_FOR))
-    raise ValueError(f"unknown witchcraft tool {name!r} (valid tools: {valid})")
+def make_client(
+    name: str,
+    cpu: SimulatedCPU,
+    tool_options: Optional[Dict[str, object]] = None,
+) -> WitchClient:
+    """Instantiate a witchcraft client by paper name (registry-backed)."""
+    return make_craft(name, cpu, tool_options)
 
 
 @dataclass
@@ -154,6 +147,7 @@ def start_witch(
     faults: Union[FaultPlan, FaultSpec, str, None] = None,
     fault_seed: Optional[int] = None,
     backend=None,
+    tool_options: Optional[Dict[str, object]] = None,
 ) -> LiveWitchRun:
     """Build a monitored machine ready to execute accesses incrementally.
 
@@ -172,7 +166,7 @@ def start_witch(
         faults=plan,
         backend=backend,
     )
-    client = make_client(tool, cpu)
+    client = make_client(tool, cpu, tool_options)
     witch = WitchFramework(
         cpu,
         client,
@@ -207,6 +201,7 @@ def run_witch(
     faults: Union[FaultPlan, FaultSpec, str, None] = None,
     fault_seed: Optional[int] = None,
     backend=None,
+    tool_options: Optional[Dict[str, object]] = None,
 ) -> WitchRun:
     """Run ``workload`` under one witchcraft tool and return its findings.
 
@@ -232,6 +227,10 @@ def run_witch(
     ``"numpy"``/``"python"``, None consulting ``REPRO_BACKEND``); it
     changes execution speed only, never results (see
     tests/test_columnar.py).
+
+    ``tool_options`` passes per-tool constructor options (e.g.
+    ``{"float_precision": 0.05}``), validated against the craft registry
+    (:mod:`repro.crafts.registry`).
     """
     tm = telemetry if telemetry is not None else NULL_TELEMETRY
     with tm.span(f"run_witch:{tool}"):
@@ -252,6 +251,7 @@ def run_witch(
                 faults=faults,
                 fault_seed=fault_seed,
                 backend=backend,
+                tool_options=tool_options,
             )
         with tm.span("workload"):
             workload(live.machine)

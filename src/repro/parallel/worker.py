@@ -64,12 +64,19 @@ def execute_spec(
     telemetry = Telemetry() if telemetry_enabled else None
     workload = resolve_workload(spec.workload, scale=spec.scale)
     options = spec.options_dict()
+    # Per-tool options travel inside the spec's canonical options under an
+    # "opt." prefix (primitives only, so spec keys and seeds stay exact);
+    # split them back out for the harness.
+    tool_options = {
+        key[len("opt."):]: options.pop(key)
+        for key in [key for key in options if key.startswith("opt.")]
+    }
     seed = seed_for(root_seed, spec)
 
     if spec.kind == "witch":
         run = run_witch(
             workload, tool=spec.tool, seed=seed, telemetry=telemetry,
-            backend=backend, **options
+            backend=backend, tool_options=tool_options or None, **options
         )
         payload: Dict[str, Any] = {"report": run.report.to_dict()}
     elif spec.kind == "exhaustive":
@@ -94,8 +101,13 @@ def execute_spec(
         footprint_mb = options.pop("footprint_mb", 100.0)
         paper_period = options.pop("paper_period", None)
         if paper_period is None:
+            from repro.crafts.registry import CRAFTS
+
+            craft = CRAFTS.get(spec.tool)
             paper_period = (
-                PAPER_LOAD_PERIOD if spec.tool == "loadcraft" else PAPER_STORE_PERIOD
+                PAPER_LOAD_PERIOD
+                if craft is not None and craft.samples_loads
+                else PAPER_STORE_PERIOD
             )
         result = witch_overhead(
             workload, spec.tool, benchmark, footprint_mb, paper_period,

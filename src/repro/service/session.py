@@ -80,6 +80,19 @@ class SessionConfig:
     backend: Optional[str] = None
     batched: bool = True
     telemetry: bool = False
+    #: Per-tool options in ``--tool-opt`` syntax, comma-joined and sorted
+    #: (``"loadcraft.float_precision=0.05"``) -- a string so the config
+    #: stays primitive and embeds in the journal pseudo-spec key.
+    tool_options: Optional[str] = None
+
+    def tool_options_dict(self) -> Optional[Dict[str, object]]:
+        """Parse/validate :attr:`tool_options` for the selected tool."""
+        if not self.tool_options:
+            return None
+        from repro.crafts.registry import parse_tool_options, validate_tool_options
+
+        parsed = parse_tool_options(self.tool_options.split(","))
+        return validate_tool_options(self.tool, parsed) or None
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "SessionConfig":
@@ -118,6 +131,7 @@ class SessionConfig:
             fault_seed=self.fault_seed,
             batched=self.batched,
             telemetry=self.telemetry,
+            tool_options=self.tool_options,
         )
 
 
@@ -148,6 +162,10 @@ class StreamSession:
                 f"bad session name {name!r} (want [A-Za-z0-9][A-Za-z0-9._-]*, "
                 "max 64 chars)"
             )
+        try:
+            tool_options = config.tool_options_dict()
+        except ValueError as error:
+            raise SessionError(str(error)) from error
         if checkpoint_every < 1:
             raise SessionError("checkpoint_every must be >= 1")
         self.name = name
@@ -199,6 +217,7 @@ class StreamSession:
                 faults=config.faults,
                 fault_seed=config.fault_seed,
                 backend=config.backend,
+                tool_options=tool_options,
             )
             self.feed_engine = TraceFeed(self.live.machine)
         self._tm = live_or_none(self.telemetry)

@@ -79,6 +79,15 @@ DESCRIPTIONS: Dict[str, str] = {
     "service.checkpoints": "session checkpoints journaled",
     "service.reports": "live reports drawn from streaming sessions",
     "service.protocol_errors": "connections dropped for protocol violations",
+    "crafts.pmem.flushes": "persistent-memory line write-backs (CLWB) executed",
+    "crafts.pmem.fences": "persistency ordering fences (SFENCE) executed",
+    "crafts.pmem.ranges": "persistent-memory ranges declared on the machine",
+    "crafts.value.exact_matches": "ValueCraft re-loads byte-identical to the watched value",
+    "crafts.value.approx_matches": "ValueCraft re-loads within the approximate tolerance",
+    "crafts.value.store_traps": "ValueCraft store traps dropped (watchpoint kept armed)",
+    "crafts.fence.armed": "FenceCraft watchpoints armed on persistent stores",
+    "crafts.fence.persisted": "FenceCraft overwrites of stores already flushed+fenced",
+    "crafts.fence.unpersisted": "FenceCraft overwrites of stores not yet durable (the bug)",
     "threads.switches": "simulated thread context switches",
     "machine.allocated_bytes": "bytes allocated on the simulated machine",
     "machine.allocs": "allocation calls served by the simulated machine",

@@ -21,18 +21,33 @@ from dataclasses import dataclass
 from typing import IO, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.execution.machine import Machine
-from repro.hardware.events import AccessRun, AccessType, MemoryAccess
+from repro.hardware.events import (
+    AccessRun,
+    AccessType,
+    MemoryAccess,
+    OrderingEvent,
+    OrderingType,
+)
 
 FORMAT_VERSION = 1
 
 PathLike = Union[str, pathlib.Path]
 
+#: Record kinds that are memory accesses (coalescible into runs).
+ACCESS_KINDS = ("load", "store")
+#: All valid record kinds.  ``flush``/``fence`` are persistency-ordering
+#: events (:class:`repro.hardware.events.OrderingEvent`); ``persist``
+#: declares a persistent-memory range so replay and streaming rebuild
+#: the machine's persistence domain (address/length are the range, pc and
+#: frames are empty).
+RECORD_KINDS = ACCESS_KINDS + ("flush", "fence", "persist")
+
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """One recorded access, self-contained and JSON-serializable."""
+    """One recorded access or ordering event, JSON-serializable."""
 
-    kind: str  # "load" | "store"
+    kind: str  # one of RECORD_KINDS
     address: int
     length: int
     pc: str
@@ -51,6 +66,11 @@ class TraceRecord:
             object.__setattr__(self, "frames", tuple(self.frames))
         if isinstance(self.data, (bytes, bytearray)):
             object.__setattr__(self, "data", bytes(self.data).hex())
+        if self.kind not in RECORD_KINDS:
+            raise ValueError(
+                f"unknown trace record kind {self.kind!r} "
+                f"(valid: {', '.join(RECORD_KINDS)})"
+            )
 
     def to_json(self) -> str:
         payload = {
@@ -120,6 +140,29 @@ class TraceRecorder:
                 long_latency=access.long_latency,
                 data=data.hex() if data is not None else None,
             )
+        )
+
+    def observe_ordering(self, event: OrderingEvent) -> None:
+        """Capture one flush/fence (``SimulatedCPU.ordering`` hook)."""
+        frames = getattr(event.context, "frames", None)
+        frame_list = tuple(frames()) if callable(frames) else (str(event.context),)
+        if frame_list and frame_list[-1] == event.pc:
+            frame_list = frame_list[:-1]
+        self.records.append(
+            TraceRecord(
+                kind=event.kind.value,
+                address=event.address,
+                length=event.length,
+                pc=event.pc,
+                frames=frame_list,
+                thread_id=event.thread_id,
+            )
+        )
+
+    def observe_persist(self, address: int, length: int) -> None:
+        """Capture a persistent-range declaration so replay rebuilds it."""
+        self.records.append(
+            TraceRecord(kind="persist", address=address, length=length, pc="", frames=())
         )
 
     def save(self, path: PathLike) -> None:
@@ -197,6 +240,11 @@ class TraceRun:
             object.__setattr__(self, "frames", tuple(self.frames))
         if isinstance(self.data, (bytes, bytearray)):
             object.__setattr__(self, "data", bytes(self.data).hex())
+        if self.kind not in ACCESS_KINDS:
+            raise ValueError(
+                f"only load/store records coalesce into runs, got kind "
+                f"{self.kind!r}"
+            )
         if self.count < 1:
             raise ValueError(f"run count must be >= 1, got {self.count}")
         if self.kind == "store" and self.data is None:
@@ -327,6 +375,13 @@ def coalesce(records: Iterable[TraceRecord], min_run: int = MIN_RUN) -> List[Tra
         pending = []
 
     for record in records:
+        if record.kind not in ACCESS_KINDS:
+            # Ordering/persist events are synchronization points: they
+            # close the pending run (stream order must hold across them)
+            # and pass through as-is.
+            flush()
+            items.append(record)
+            continue
         if pending:
             previous = pending[-1]
             if _record_shape(record) == _record_shape(previous):
@@ -391,6 +446,25 @@ class TraceFeed:
         return node
 
     def feed_record(self, record: TraceRecord) -> None:
+        kind = record.kind
+        if kind == "persist":
+            self.machine.cpu.declare_persistent(record.address, record.length)
+            self.accesses += 1
+            return
+        if kind == "flush" or kind == "fence":
+            context = self._context(record.frames, record.pc)
+            self.machine.cpu.ordering(
+                OrderingEvent(
+                    OrderingType.FLUSH if kind == "flush" else OrderingType.FENCE,
+                    record.address,
+                    record.length,
+                    record.pc,
+                    context,
+                    record.thread_id,
+                )
+            )
+            self.accesses += 1
+            return
         context = self._context(record.frames, record.pc)
         if record.kind == "store":
             if record.data is None:
@@ -466,12 +540,27 @@ class TraceReplay:
 
     def __call__(self, machine: Machine) -> None:
         for record in self.records:
+            if record.kind == "persist":
+                machine.cpu.declare_persistent(record.address, record.length)
+                continue
             thread = machine.thread(record.thread_id)
             context = machine.tree.root
             for frame in record.frames:
                 context = context.child(frame)
             # Bypass the frame stack: contexts come from the trace.
             full_context = context.child(record.pc)
+            if record.kind in ("flush", "fence"):
+                machine.cpu.ordering(
+                    OrderingEvent(
+                        OrderingType.FLUSH if record.kind == "flush" else OrderingType.FENCE,
+                        record.address,
+                        record.length,
+                        record.pc,
+                        full_context,
+                        record.thread_id,
+                    )
+                )
+                continue
             if record.kind == "store":
                 if record.data is None:
                     raise ValueError("store record without data")

@@ -115,6 +115,92 @@ def figure2_program(m: Machine, unit: int = 250, iterations: int = 10) -> None:
                 m.store_int(x, 1, pc="figure2.c:17")
 
 
+#: The pmem log's header store: the site FenceCraft blames (both halves
+#: of the ⟨watched, overwriting⟩ pair) when the header fence is missing.
+PMEMLOG_HEADER_PC = "pmemlog.c:18"
+
+
+def pmemlog_program(
+    m: Machine,
+    entries: int = 200,
+    payload_words: int = 6,
+    fence_header: bool = True,
+) -> None:
+    """A persistent-memory log append (the FenceCraft scenario).
+
+    Each append writes a payload record into a persistent log region,
+    flushes and fences it (payload-first ordering), then publishes it by
+    storing the new tail index into the log header.  With
+    ``fence_header=True`` the header store is flushed and fenced too
+    before the next append overwrites it -- the correct discipline, every
+    header overwrite is a "use".  ``fence_header=False`` seeds the
+    WITCHER-style bug: the header store is overwritten by the next
+    append's header store while its durability is still unordered, so a
+    crash between appends can leave a tail pointing at a record the
+    header update never persisted ahead of.  FenceCraft attributes the
+    waste to the ⟨pmemlog.c:18, pmemlog.c:18⟩ pair.
+    """
+    # Header in its own cache line so payload flushes cannot incidentally
+    # make it durable.
+    log = m.alloc_persistent(64 + entries * payload_words * 8, "pmemlog")
+    header = log
+    slots = log + 64
+    with m.function("pmemlog_append"):
+        for entry in range(entries):
+            base = slots + entry * payload_words * 8
+            m.store_run(
+                base,
+                [entry * 31 + word for word in range(payload_words)],
+                pc="pmemlog.c:12",
+            )
+            m.flush(base, payload_words * 8, pc="pmemlog.c:14")
+            m.fence(pc="pmemlog.c:15")
+            m.store_int(header, entry + 1, pc=PMEMLOG_HEADER_PC)
+            if fence_header:
+                m.flush(header, 8, pc="pmemlog.c:19")
+                m.fence(pc="pmemlog.c:20")
+
+
+def pmemlog_missing_fence_program(m: Machine) -> None:
+    """The seeded bug: :func:`pmemlog_program` without the header fence."""
+    pmemlog_program(m, fence_header=False)
+
+
+#: The approximate-redundancy load site ValueCraft blames.
+APPROXSEARCH_LOAD_PC = "approxsearch.c:9"
+
+
+def approxsearch_program(m: Machine, keys: int = 256, lookups: int = 30) -> None:
+    """A linear search over slowly-drifting keys (the ValueCraft scenario).
+
+    Every lookup walks the whole key array hunting a value that is never
+    there (the binutils case study's worst case); between lookups each
+    key drifts by ~0.02% (``key += key >> 12``).  The re-loads are not
+    byte-identical -- LoadCraft's exact comparison calls them all fresh
+    -- but every one is within ValueCraft's default 1% tolerance: the
+    search consumes no meaningful new information per scan, the
+    approximate value locality LoadSpy was built to expose.  ValueCraft
+    attributes the waste to the ⟨approxsearch.c:9, approxsearch.c:9⟩
+    pair.
+    """
+    table = m.alloc(keys * 8, "keys")
+    values = [1_000_000 + 4096 * i for i in range(keys)]
+    with m.function("build_table"):
+        m.store_run(table, values, pc="approxsearch.c:4")
+    target = -1  # never present: every lookup scans the full table
+    with m.function("search_loop"):
+        for _ in range(lookups):
+            with m.function("linear_search"):
+                found = False
+                for value in m.load_run(table, keys, pc=APPROXSEARCH_LOAD_PC):
+                    if value == target:
+                        found = True
+                assert not found
+            values = [value + (value >> 12) for value in values]
+            with m.function("drift_keys"):
+                m.store_run(table, values, pc="approxsearch.c:15")
+
+
 def adversary_program(m: Machine, quiet_stores: int = 5000, tail_stores: int = 5000) -> None:
     """Section 4.1's adversary: a never-again-accessed address.
 

@@ -36,6 +36,9 @@ MICROBENCHES: Dict[str, Workload] = {
     "listing3": microbench.listing3_program,
     "figure2": microbench.figure2_program,
     "adversary": microbench.adversary_program,
+    "pmemlog": microbench.pmemlog_program,
+    "pmemlog-missing-fence": microbench.pmemlog_missing_fence_program,
+    "approxsearch": microbench.approxsearch_program,
 }
 
 

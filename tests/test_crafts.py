@@ -1,0 +1,431 @@
+"""The second-generation crafts and the craft registry.
+
+Covers the registry as the single source of tool truth, the simulated
+persistence domain's ordering semantics, seeded-bug detection with
+context(-pair) attribution for both new crafts, and the determinism
+contract: scalar == batched == columnar on either backend, any --jobs
+count, with or without fault plans, streamed or batch -- proven by
+payload equality, not statistics.
+"""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main as cli_main
+from repro.crafts.registry import (
+    CRAFTS,
+    craft_names,
+    crafts_with_ground_truth,
+    ground_truth_map,
+    make_craft,
+    parse_tool_options,
+    validate_tool_options,
+)
+from repro.execution.columnar import numpy_backend
+from repro.execution.machine import Machine
+from repro.harness import GROUND_TRUTH_FOR, run_witch
+from repro.hardware.cpu import SimulatedCPU
+from repro.hardware.memory import PersistenceDomain
+from repro.parallel import run_specs, witch_spec
+from repro.service.protocol import ProtocolError, parse_line
+from repro.service.session import SessionConfig, SessionError, StreamSession
+from repro.trace import (
+    TraceRecord,
+    TraceRecorder,
+    TraceRun,
+    coalesce,
+    read_trace,
+    replay,
+)
+from repro.workloads.microbench import (
+    approxsearch_program,
+    pmemlog_missing_fence_program,
+    pmemlog_program,
+)
+
+needs_numpy = pytest.mark.skipif(
+    numpy_backend() is None, reason="NumPy not installed"
+)
+
+# ---------------------------------------------------------------- registry
+
+
+def test_registry_lists_every_craft_in_order():
+    assert craft_names() == (
+        "deadcraft", "silentcraft", "loadcraft", "valuecraft", "fencecraft",
+    )
+
+
+def test_ground_truth_pairing_comes_from_the_registry():
+    expected = {
+        "deadcraft": "deadspy",
+        "silentcraft": "redspy",
+        "loadcraft": "loadspy",
+    }
+    assert ground_truth_map() == expected
+    assert GROUND_TRUTH_FOR == expected
+    assert crafts_with_ground_truth() == ("deadcraft", "silentcraft", "loadcraft")
+
+
+def test_pmu_kinds_drive_overhead_pricing():
+    assert not CRAFTS["deadcraft"].samples_loads
+    assert not CRAFTS["fencecraft"].samples_loads
+    assert CRAFTS["loadcraft"].samples_loads
+    assert CRAFTS["valuecraft"].samples_loads
+
+
+def test_make_craft_rejects_unknown_tools():
+    with pytest.raises(ValueError, match="unknown witchcraft tool"):
+        make_craft("hexcraft", SimulatedCPU())
+
+
+def test_option_coercion():
+    option = CRAFTS["valuecraft"].option("float_precision")
+    assert option.coerce("0.05") == 0.05
+    assert option.coerce("none") is None
+    assert option.coerce(None) is None
+    assert option.coerce(1) == 1.0
+    with pytest.raises(ValueError, match="expects float"):
+        option.coerce("wide")
+    with pytest.raises(ValueError, match="expects float"):
+        option.coerce(True)
+
+
+def test_parse_tool_options():
+    parsed = parse_tool_options(
+        ["loadcraft.float_precision=0.05", "valuecraft.float_precision=none"]
+    )
+    assert parsed == {
+        "loadcraft": {"float_precision": 0.05},
+        "valuecraft": {"float_precision": None},
+    }
+    with pytest.raises(ValueError, match="CRAFT.OPTION=VALUE"):
+        parse_tool_options(["float_precision=0.05"])
+    with pytest.raises(ValueError, match="unknown craft"):
+        parse_tool_options(["hexcraft.x=1"])
+    with pytest.raises(ValueError, match="has no option"):
+        parse_tool_options(["deadcraft.x=1"])
+
+
+def test_validate_tool_options_refuses_stray_crafts():
+    parsed = parse_tool_options(["loadcraft.float_precision=0.05"])
+    assert validate_tool_options("loadcraft", parsed) == {"float_precision": 0.05}
+    with pytest.raises(ValueError, match="selected tool"):
+        validate_tool_options("deadcraft", parsed)
+
+
+# ----------------------------------------------------- persistence domain
+
+
+def test_durability_needs_flush_and_fence():
+    domain = PersistenceDomain()
+    domain.declare(0, 64)
+    since = domain.seq
+    assert not domain.persisted_since(0, 8, since)
+    domain.flush(0, 8)
+    assert not domain.persisted_since(0, 8, since)  # flush alone: in flight
+    domain.fence()
+    assert domain.persisted_since(0, 8, since)
+
+
+def test_flush_before_the_capture_point_does_not_count():
+    domain = PersistenceDomain()
+    domain.declare(0, 64)
+    domain.flush(0, 8)
+    domain.fence()
+    since = domain.seq  # the store happens *after* that flush+fence
+    assert not domain.persisted_since(0, 8, since)
+
+
+def test_line_granularity():
+    domain = PersistenceDomain()
+    domain.declare(0, 256)
+    assert domain.is_persistent(0, 8)
+    assert domain.is_persistent(248, 8)
+    assert not domain.is_persistent(256, 8)
+    assert not domain.is_persistent(1 << 30, 8)
+    since = domain.seq
+    domain.flush(0, 8)
+    domain.fence()
+    # Flushing any byte of a line persists the whole 64-byte line...
+    assert domain.persisted_since(0, 64, since)
+    # ...but a span crossing into an unflushed line is not durable.
+    assert not domain.persisted_since(0, 65, since)
+    domain.flush(64, 1)
+    domain.fence()
+    assert domain.persisted_since(0, 128, since)
+
+
+def test_declare_rejects_empty_ranges():
+    with pytest.raises(ValueError):
+        PersistenceDomain().declare(0, 0)
+
+
+# ------------------------------------------------------ seeded-bug hunts
+
+
+def test_fencecraft_flags_the_missing_fence():
+    run = run_witch(
+        pmemlog_missing_fence_program, tool="fencecraft", period=13, seed=0
+    )
+    assert run.fraction == 1.0
+    chain, share = run.report.top_chains(0.9)[0]
+    assert "UNPERSISTED_BY" in chain
+    assert chain.count("pmemlog.c:18") == 2  # the pair: publish vs publish
+    assert share == 1.0
+
+
+def test_fencecraft_passes_the_fenced_log():
+    run = run_witch(pmemlog_program, tool="fencecraft", period=13, seed=0)
+    assert run.fraction == 0.0
+    assert run.report.traps > 0  # monitored and resolved as durable uses
+
+
+def test_valuecraft_sees_what_loadcraft_cannot():
+    approx = run_witch(approxsearch_program, tool="valuecraft", period=7, seed=0)
+    exact = run_witch(approxsearch_program, tool="loadcraft", period=7, seed=0)
+    assert approx.fraction > 0.5
+    assert exact.fraction < 0.05
+    chain, _ = approx.report.top_chains(0.9)[0]
+    assert "REREAD_BY" in chain
+    assert chain.count("approxsearch.c:9") == 2
+
+
+def test_valuecraft_tolerance_none_disables_approximation():
+    run = run_witch(
+        approxsearch_program, tool="valuecraft", period=7, seed=0,
+        tool_options={"float_precision": "none"},
+    )
+    assert run.fraction < 0.05  # drifted bytes no longer match
+
+
+# ------------------------------------------------- differential identity
+
+_CASES = [
+    ("fencecraft", pmemlog_missing_fence_program, 13, None),
+    ("valuecraft", approxsearch_program, 7, {"float_precision": 0.05}),
+]
+
+
+@pytest.mark.parametrize("tool,program,period,options", _CASES)
+def test_scalar_batched_columnar_identical(tool, program, period, options):
+    kwargs = dict(tool=tool, period=period, seed=0, tool_options=options)
+    reference = run_witch(program, batched=False, **kwargs).report.to_dict()
+    variants = [dict(batched=True), dict(batched=True, backend="python")]
+    if numpy_backend() is not None:
+        variants.append(dict(batched=True, backend="numpy"))
+    for variant in variants:
+        assert run_witch(program, **variant, **kwargs).report.to_dict() == reference
+
+
+@pytest.mark.parametrize("tool,program,period,options", _CASES)
+def test_identical_under_fault_plans(tool, program, period, options):
+    kwargs = dict(
+        tool=tool, period=period, seed=0, tool_options=options,
+        faults="drop=0.2,spurious=0.1", fault_seed=3,
+    )
+    reference = run_witch(program, batched=False, **kwargs).report.to_dict()
+    assert run_witch(program, batched=True, **kwargs).report.to_dict() == reference
+    assert reference["degradation"]["pmu_dropped"] > 0
+
+
+def test_jobs_sharding_identical_with_tool_options():
+    specs = [
+        witch_spec("micro:approxsearch", "valuecraft", period=7,
+                   **{"opt.float_precision": 0.02}),
+        witch_spec("micro:pmemlog-missing-fence", "fencecraft", period=13),
+    ]
+    serial = run_specs(specs, root_seed=0, jobs=1)
+    sharded = run_specs(specs, root_seed=0, jobs=2)
+    assert not serial.failures and not sharded.failures
+    assert [r.payload for r in serial.results] == [r.payload for r in sharded.results]
+
+
+# ------------------------------------------------------ traces & streaming
+
+
+def _pmem_records(tmp_path):
+    cpu = SimulatedCPU()
+    recorder = TraceRecorder(cpu)
+    pmemlog_missing_fence_program(Machine(cpu))
+    path = tmp_path / "pmem.trace"
+    recorder.save(str(path))
+    return read_trace(str(path))
+
+
+def test_trace_carries_ordering_and_persist_records(tmp_path):
+    records = _pmem_records(tmp_path)
+    kinds = {record.kind for record in records}
+    assert {"store", "flush", "fence", "persist"} <= kinds
+    persist = next(record for record in records if record.kind == "persist")
+    assert persist.pc == "" and persist.frames == ()
+    fence = next(record for record in records if record.kind == "fence")
+    assert fence.address == 0 and fence.length == 0
+
+
+def test_replayed_pmem_trace_matches_the_direct_run(tmp_path):
+    records = _pmem_records(tmp_path)
+    direct = run_witch(
+        pmemlog_missing_fence_program, tool="fencecraft", period=13, seed=0
+    )
+    replayed = run_witch(replay(records), tool="fencecraft", period=13, seed=0)
+    assert replayed.report.to_dict() == direct.report.to_dict()
+
+
+def test_streamed_session_matches_the_batch_run(tmp_path):
+    records = _pmem_records(tmp_path)
+    batch = run_witch(replay(records), tool="fencecraft", period=13, seed=0)
+    config = SessionConfig(tool="fencecraft", period=13, seed=0)
+    session = StreamSession("pmem", config, str(tmp_path / "pmem.journal"))
+    session.feed(coalesce(records))
+    assert session.accesses == len(records)
+    assert session.report().to_dict() == batch.report.to_dict()
+
+
+def test_session_config_parses_and_validates_tool_options(tmp_path):
+    config = SessionConfig(
+        tool="valuecraft", period=7, seed=0,
+        tool_options="valuecraft.float_precision=0.05",
+    )
+    assert config.tool_options_dict() == {"float_precision": 0.05}
+    stray = SessionConfig(
+        tool="deadcraft", tool_options="loadcraft.float_precision=0.05"
+    )
+    with pytest.raises(SessionError, match="selected tool"):
+        StreamSession("bad", stray, str(tmp_path / "bad.journal"))
+
+
+def test_wire_protocol_round_trips_every_record_kind():
+    records = [
+        TraceRecord("store", 64, 8, "a.c:1", ("main", "a.c:1"), data="ff" * 8),
+        TraceRecord("flush", 64, 8, "a.c:2", ("main", "a.c:2")),
+        TraceRecord("fence", 0, 0, "a.c:3", ("main", "a.c:3")),
+        TraceRecord("persist", 64, 128, "", ()),
+    ]
+    for record in records:
+        message = parse_line(record.to_json())
+        assert message.op == "record"
+        assert message.record() == record
+        assert TraceRecord.from_json(record.to_json()) == record
+
+
+def test_wire_protocol_rejects_unknown_kinds():
+    line = json.dumps({"k": "warp", "a": 0, "l": 0, "pc": "", "f": []})
+    with pytest.raises(ProtocolError, match="malformed trace record"):
+        parse_line(line).record()
+
+
+# Hypothesis fuzz: coalescing any interleaving of access, ordering, and
+# persist records must preserve the stream exactly (expansion identity),
+# and every record must survive its JSON wire form.
+
+_ADDRESSES = st.integers(min_value=0, max_value=1 << 16)
+
+_ACCESSES = st.builds(
+    lambda kind, address, length, pc, thread_id: TraceRecord(
+        kind=kind, address=address, length=length, pc=pc,
+        frames=("main", pc), thread_id=thread_id,
+        data=("ab" * length) if kind == "store" else None,
+    ),
+    st.sampled_from(["load", "store"]),
+    _ADDRESSES,
+    st.sampled_from([1, 4, 8]),
+    st.sampled_from(["a.c:1", "b.c:2"]),
+    st.integers(min_value=0, max_value=1),
+)
+_FLUSHES = st.builds(
+    lambda address, length: TraceRecord(
+        kind="flush", address=address, length=length,
+        pc="p.c:1", frames=("main", "p.c:1"),
+    ),
+    _ADDRESSES,
+    st.sampled_from([8, 64]),
+)
+_FENCES = st.just(
+    TraceRecord(kind="fence", address=0, length=0, pc="p.c:2",
+                frames=("main", "p.c:2"))
+)
+_PERSISTS = st.builds(
+    lambda address: TraceRecord(kind="persist", address=address, length=64,
+                                pc="", frames=()),
+    _ADDRESSES,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.one_of(_ACCESSES, _FLUSHES, _FENCES, _PERSISTS), max_size=60))
+def test_coalesce_preserves_mixed_streams(records):
+    expanded = []
+    for item in coalesce(records):
+        if isinstance(item, TraceRun):
+            expanded.extend(item.records())
+        else:
+            expanded.append(item)
+    assert expanded == records
+    for record in records:
+        assert TraceRecord.from_json(record.to_json()) == record
+
+
+def test_trace_record_rejects_unknown_kinds():
+    with pytest.raises(ValueError, match="unknown trace record kind"):
+        TraceRecord("warp", 0, 0, "", ())
+
+
+# ------------------------------------------------------------------- CLI
+
+
+def _cli(argv):
+    buffer = io.StringIO()
+    code = cli_main(argv, out=buffer)
+    return code, buffer.getvalue()
+
+
+def test_cli_tool_opt_changes_the_run():
+    code, default = _cli(
+        ["profile", "micro:approxsearch", "--tool", "valuecraft",
+         "--period", "7"]
+    )
+    assert code == 0
+    assert "100.00%" in default
+    code, exact = _cli(
+        ["profile", "micro:approxsearch", "--tool", "valuecraft",
+         "--period", "7", "--tool-opt", "valuecraft.float_precision=none"]
+    )
+    assert code == 0
+    assert default != exact
+
+
+def test_cli_tool_opt_for_another_craft_is_an_error():
+    code, _ = _cli(
+        ["profile", "micro:listing2", "--tool", "deadcraft",
+         "--tool-opt", "loadcraft.float_precision=0.05"]
+    )
+    assert code == 2
+
+
+def test_cli_tool_opt_bad_value_is_an_error():
+    code, _ = _cli(
+        ["profile", "micro:approxsearch", "--tool", "valuecraft",
+         "--tool-opt", "valuecraft.float_precision=wide"]
+    )
+    assert code == 2
+
+
+def test_cli_list_names_the_crafts():
+    code, text = _cli(["list"])
+    assert code == 0
+    for name in craft_names():
+        assert name in text
+
+
+def test_cli_profile_runs_the_new_crafts():
+    code, text = _cli(
+        ["profile", "micro:pmemlog-missing-fence", "--tool", "fencecraft",
+         "--period", "13"]
+    )
+    assert code == 0
+    assert "UNPERSISTED_BY" in text and "pmemlog.c:18" in text

@@ -19,6 +19,7 @@ def test_docs_directory_complete():
         "api.md",
         "casestudies.md",
         "columnar.md",
+        "crafts.md",
         "headroom.md",
         "observability.md",
         "parallel.md",

@@ -49,6 +49,7 @@ def test_every_example_has_a_test():
         "triage_report",
         "record_and_replay",
         "telemetry_walkthrough",
+        "hunt_missing_fences",
     }
     assert examples == covered, f"untested examples: {examples - covered}"
 
@@ -100,6 +101,13 @@ def test_record_and_replay():
     out = run_example("record_and_replay")
     assert "recorded" in out
     assert "HTML report" in out
+
+
+def test_hunt_missing_fences():
+    out = run_example("hunt_missing_fences")
+    assert "UNPERSISTED_BY" in out
+    assert "pmemlog.c:18" in out
+    assert "buggy 100.0% vs fixed 0.0%" in out
 
 
 def test_telemetry_walkthrough():
