@@ -1,0 +1,112 @@
+"""Benchmark: what one fleet dispatch costs on top of the work itself.
+
+The fleet layer (docs/distributed.md) promises that shipping a spec to a
+``repro serve`` worker over the line-JSON protocol is cheap relative to
+the spec: the per-dispatch tax is connection reuse + one JSON round
+trip.  Measured two ways:
+
+- **round trip**: ``exec_spec`` wall-clock minus the same spec executed
+  in-process -- the pure protocol overhead, asserted under a generous
+  ceiling so a CI hiccup cannot flake it;
+- **end to end**: a 24-spec sweep over two local workers vs the same
+  sweep at ``jobs=1``, recorded (not asserted -- two loopback workers on
+  a shared machine are a measurement, not a contract).
+
+Evidence lands in ``BENCH_fleet.json`` for the CI artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+from conftest import format_table
+from repro.fleet import run_fleet
+from repro.parallel import run_specs, witch_spec
+from repro.parallel.worker import execute_spec
+from repro.service.client import ServiceClient
+from tests.service_helpers import ServerThread
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+ROUNDS = 20
+SWEEP = 24
+#: Per-dispatch protocol overhead ceiling, seconds.  Loopback TCP plus
+#: one JSON encode/decode is well under a millisecond when healthy; 50ms
+#: absorbs any CI scheduling noise while still catching a real
+#: regression (an accidental reconnect-per-spec, a serialization blowup).
+OVERHEAD_CEILING = 0.050
+
+SPEC = witch_spec("micro:listing2", "deadcraft", period=31)
+
+
+def test_fleet_dispatch_overhead(tmp_path, publish):
+    # Pure protocol tax: the same spec, remote minus local.
+    with ServerThread(str(tmp_path / "w")) as server:
+        with ServiceClient(port=server.port) as client:
+            client.exec_spec(SPEC)  # warm the executor and code paths
+            start = time.perf_counter()
+            for _ in range(ROUNDS):
+                reply = client.exec_spec(SPEC)
+                assert reply["status"] == "ok"
+            remote = (time.perf_counter() - start) / ROUNDS
+    execute_spec(SPEC, 0, False)  # warm locally too
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        execute_spec(SPEC, 0, False)
+    local = (time.perf_counter() - start) / ROUNDS
+    overhead = max(0.0, remote - local)
+
+    # End to end: a sweep over two local workers vs jobs=1.
+    specs = [
+        witch_spec("micro:listing2", "deadcraft", period=31, trial=trial)
+        for trial in range(SWEEP)
+    ]
+    start = time.perf_counter()
+    inline = run_specs(specs, jobs=1)
+    inline_seconds = time.perf_counter() - start
+    with ServerThread(str(tmp_path / "f1")) as one, \
+            ServerThread(str(tmp_path / "f2")) as two:
+        start = time.perf_counter()
+        fleet = run_fleet(
+            specs, [f"127.0.0.1:{one.port}", f"127.0.0.1:{two.port}"]
+        )
+        fleet_seconds = time.perf_counter() - start
+    assert inline.ok and fleet.ok
+    assert json.dumps([r.payload for r in fleet.results]) == \
+        json.dumps([r.payload for r in inline.results])
+
+    evidence = {
+        "rounds": ROUNDS,
+        "remote_ms": remote * 1e3,
+        "local_ms": local * 1e3,
+        "dispatch_overhead_ms": overhead * 1e3,
+        "overhead_ceiling_ms": OVERHEAD_CEILING * 1e3,
+        "sweep_specs": SWEEP,
+        "sweep_jobs1_seconds": inline_seconds,
+        "sweep_fleet2_seconds": fleet_seconds,
+        "sweep_stats": fleet.stats,
+        "deterministic_vs_jobs1": True,
+    }
+    BENCH_JSON.write_text(json.dumps(evidence, indent=2, sort_keys=True) + "\n")
+
+    publish(
+        "fleet_dispatch",
+        format_table(
+            ["metric", "value"],
+            [
+                ["exec round trip", f"{remote * 1e3:.2f} ms"],
+                ["in-process run", f"{local * 1e3:.2f} ms"],
+                ["dispatch overhead", f"{overhead * 1e3:.2f} ms"],
+                ["ceiling", f"{OVERHEAD_CEILING * 1e3:.0f} ms"],
+                [f"{SWEEP}-spec sweep, jobs=1", f"{inline_seconds:.2f} s"],
+                [f"{SWEEP}-spec sweep, fleet of 2", f"{fleet_seconds:.2f} s"],
+            ],
+        )
+        + "\n(fleet payloads bit-identical to jobs=1)",
+    )
+
+    assert overhead < OVERHEAD_CEILING, (
+        f"per-dispatch overhead {overhead * 1e3:.1f}ms exceeds the "
+        f"{OVERHEAD_CEILING * 1e3:.0f}ms ceiling"
+    )

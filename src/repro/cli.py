@@ -15,11 +15,16 @@ Commands:
 - ``headroom WORKLOAD...`` -- actual-vs-bound figures and the ranked
   blocker breakdown per workload (text or ``--json``); see
   docs/headroom.md.
-- ``serve --journals DIR`` -- run the streaming trace-ingestion service;
-  ``stream FILE --session NAME --port P`` replays a recorded trace into
-  a live session; ``sessions --port P`` lists sessions and (with
-  ``--aggregate``) the merged cross-session reports.  See
+- ``serve --journals DIR`` -- run the streaming trace-ingestion service
+  (``--max-sessions N`` sheds excess sessions; SIGTERM drains
+  gracefully); ``stream FILE --session NAME --port P`` replays a
+  recorded trace into a live session; ``sessions --port P`` lists
+  sessions with liveness ages (``--json`` for scripts).  See
   docs/service.md.
+- ``fleet WORKLOAD... --workers H:P,...`` -- shard a sweep across N
+  ``repro serve`` workers with heartbeat liveness, retry backoff, and
+  straggler hedging; ``merge-journals A B -o OUT`` folds the hosts'
+  journals into one resumable journal.  See docs/distributed.md.
 
 ``profile``, ``suite``, ``robustness``, and ``headroom`` accept
 ``--target-overhead FRACTION``: instead of a fixed ``--period``, the
@@ -86,6 +91,8 @@ from repro.hardware.cpu import SimulatedCPU
 from repro.hardware.pmu import nearest_prime
 from repro.parallel import (
     BatchResult,
+    JournalCorrupt,
+    JournalMismatch,
     RunJournal,
     RunResult,
     exhaustive_overhead_spec,
@@ -167,17 +174,59 @@ def _spec_tool_options(tool_options: dict) -> dict:
     return {f"opt.{name}": value for name, value in tool_options.items()}
 
 
-def _open_journal(args) -> Optional[RunJournal]:
-    """The run's journal (from --journal), or None; validates --resume."""
+def _open_journal(args, out=None) -> Optional[RunJournal]:
+    """The run's journal (from --journal), or None; validates --resume.
+
+    Every way a journal can be unusable gets a friendly, actionable
+    error (exit 2) instead of a traceback: a missing file under
+    ``--resume``, an unreadable file, a damaged header, a seed/format
+    mismatch.  Record-level damage is *survivable* -- the valid prefix
+    is salvaged, the bad suffix quarantined, and a notice printed -- so
+    corruption degrades to re-executed specs, never to a crash or to
+    silently trusted garbage.
+    """
+    import os as _os
+
     path = getattr(args, "journal", None)
-    if getattr(args, "resume", False) and not path:
+    resume = getattr(args, "resume", False)
+    if resume and not path:
         raise CLIError("--resume requires --journal FILE to resume from")
     if not path:
         return None
+    if resume and not _os.path.exists(path):
+        raise CLIError(
+            f"--resume: journal {path!r} does not exist; run once with "
+            "--journal to create it, or drop --resume to start fresh"
+        )
     try:
-        return RunJournal(path, root_seed=args.seed)
-    except Exception as error:  # mismatched seed/format: user-facing
+        journal = RunJournal(path, root_seed=args.seed)
+    except JournalCorrupt as error:
+        raise CLIError(
+            f"{error}\nhint: the journal header is damaged beyond salvage "
+            "-- delete the file (completed runs will be re-executed) or "
+            "restore it from a copy"
+        ) from error
+    except JournalMismatch as error:
+        raise CLIError(
+            f"{error}\nhint: pass the --seed the journal was recorded "
+            "under, or point --journal at a fresh file"
+        ) from error
+    except OSError as error:
+        raise CLIError(
+            f"cannot read journal {path!r}: {error}\nhint: check the path "
+            "and permissions, or drop --resume to start fresh"
+        ) from error
+    except Exception as error:  # anything else is still user-facing
         raise CLIError(str(error)) from error
+    if journal.quarantined_lines and out is not None:
+        print(
+            f"journal {path}: {journal.quarantined_lines} damaged line(s) "
+            f"quarantined to {journal.quarantine_path}; salvaged "
+            f"{journal.salvaged_entries} verified entries -- lost specs "
+            "will be re-executed",
+            file=out,
+        )
+    return journal
 
 
 def _check_failures(batch: BatchResult) -> None:
@@ -277,7 +326,7 @@ def _cmd_profile(args, out) -> int:
     workload = resolve_workload(args.workload, scale=args.scale)
     fault_options = _fault_options(args)
     tool_options = _tool_options_for(args, args.tool)
-    journal = _open_journal(args)
+    journal = _open_journal(args, out)
     tuned = _tune_for_target(args, [args.workload], args.tool, out,
                              fault_options=fault_options)
     period = (
@@ -350,7 +399,7 @@ def _cmd_compare(args, out) -> int:
     resolve_workload(args.workload, scale=args.scale)  # fail fast on bad names
     fault_options = _fault_options(args)
     tool_options = _tool_options_for(args, args.tool)
-    journal = _open_journal(args)
+    journal = _open_journal(args, out)
     telemetry = _telemetry_from_args(args)
     spy_name = GROUND_TRUTH_FOR[args.tool]
     period = nearest_prime(args.period)
@@ -451,7 +500,7 @@ def _cmd_suite(args, out) -> int:
             )
     fault_options = _fault_options(args)
     tool_options = _tool_options_from_args(args)
-    journal = _open_journal(args)
+    journal = _open_journal(args, out)
     telemetry = _telemetry_from_args(args)
     # The controller tunes with deadcraft and the tuned period applies to
     # every craft -- a documented tradeoff: one tuning pass per
@@ -542,7 +591,7 @@ def _cmd_headroom(args, out) -> int:
         raise CLIError("duplicate workload names")
     fault_options = _fault_options(args)
     tool_options = _tool_options_for(args, args.tool)
-    journal = _open_journal(args)
+    journal = _open_journal(args, out)
     backend = _backend_from_args(args)
     tuned = _tune_for_target(args, workloads, args.tool, out,
                              fault_options=fault_options)
@@ -662,6 +711,8 @@ def _cmd_serve(args, out) -> int:
 
     if args.checkpoint_every < 1:
         raise CLIError("--checkpoint-every must be >= 1")
+    if args.max_sessions is not None and args.max_sessions < 1:
+        raise CLIError("--max-sessions must be >= 1")
     try:
         run_server(
             args.journals,
@@ -670,6 +721,7 @@ def _cmd_serve(args, out) -> int:
             checkpoint_every=args.checkpoint_every,
             telemetry=telemetry,
             ready=ready,
+            max_sessions=args.max_sessions,
         )
     except OSError as error:
         raise CLIError(f"cannot serve on {args.host}:{args.port}: {error}") from error
@@ -764,21 +816,32 @@ def _cmd_sessions(args, out) -> int:
     except ServiceError as error:
         raise CLIError(str(error)) from error
     rows = status["sessions"]
+    if args.json == "-":
+        # Scriptable fleet health: the full status (+ aggregate) on
+        # stdout, nothing else -- `repro sessions --json | jq ...`.
+        print(
+            _json.dumps({"status": status, "aggregate": aggregate}, indent=2),
+            file=out,
+        )
+        return 0
     if not rows:
         print("no sessions", file=out)
     else:
         print(
             f"{'session':20s} {'tool':12s} {'period':>6s} {'accesses':>12s} "
-            f"{'journal':>10s} state",
+            f"{'journal':>10s} {'age':>8s} state",
             file=out,
         )
         for row in rows:
             state = "closed" if row["closed"] else (
                 "attached" if row["session"] in status["attached"] else "idle"
             )
+            age = row.get("last_record_age")
+            age_text = "--" if age is None else f"{age:.1f}s"
             print(
                 f"{row['session']:20s} {row['tool']:12s} {row['period']:6d} "
-                f"{row['accesses']:12d} {row['journal_bytes']:10d} {state}",
+                f"{row['accesses']:12d} {row['journal_bytes']:10d} "
+                f"{age_text:>8s} {state}",
                 file=out,
             )
         print(f"total accesses: {status['accesses']}", file=out)
@@ -800,6 +863,125 @@ def _cmd_sessions(args, out) -> int:
             _json.dumps({"status": status, "aggregate": aggregate}, indent=2) + "\n",
         )
         print(f"wrote {args.json}", file=out)
+    return 0
+
+
+def _cmd_fleet(args, out) -> int:
+    """Shard a workload sweep across N ``repro serve`` workers."""
+    import json as _json
+
+    from repro.fleet import run_fleet
+    from repro.parallel import BackoffPolicy
+
+    workers = [worker.strip() for worker in args.workers.split(",") if worker.strip()]
+    if not workers:
+        raise CLIError("--workers needs at least one host:port")
+    if args.trials < 1:
+        raise CLIError("--trials must be >= 1")
+    for name in args.workloads:
+        resolve_workload(name, scale=args.scale)  # fail fast on bad names
+    tool_options = _tool_options_for(args, args.tool)
+    fault_options = _fault_options(args)
+    journal = _open_journal(args, out)
+    period = nearest_prime(args.period)
+    specs = [
+        witch_spec(
+            name, args.tool, scale=args.scale, period=period, trial=trial,
+            group=f"fleet:{name}", **fault_options,
+            **_spec_tool_options(tool_options),
+        )
+        for name in args.workloads
+        for trial in range(args.trials)
+    ]
+    try:
+        batch = run_fleet(
+            specs,
+            workers,
+            root_seed=args.seed,
+            retries=args.retries,
+            backoff=BackoffPolicy(seed=args.seed),
+            timeout=args.timeout,
+            hedge=not args.no_hedge,
+            journal=journal,
+            resume=args.resume,
+        )
+    except ValueError as error:
+        raise CLIError(str(error)) from error
+    stats = batch.stats
+    print(
+        f"fleet of {len(workers)} worker(s): {len(specs)} spec(s), "
+        f"{stats['dispatched']} dispatched, {stats['retried']} retried, "
+        f"{stats['hedged']} hedged, {stats['reassigned']} reassigned, "
+        f"{stats['worker_deaths']} worker death(s)",
+        file=out,
+    )
+    for spec, result in zip(batch.specs, batch.results):
+        if result is None:
+            continue
+        report = result.payload["report"]
+        print(
+            f"{spec.label:44s} redundancy "
+            f"{100 * report['redundancy_fraction']:6.2f}%",
+            file=out,
+        )
+    if args.json:
+        from repro.atomicio import atomic_write_text
+
+        payload = {
+            "format": "repro-fleet",
+            "version": 1,
+            "workers": batch.workers,
+            "stats": stats,
+            "results": [
+                result.payload if result is not None else None
+                for result in batch.results
+            ],
+            "failures": [failure.render() for failure in batch.failures],
+        }
+        atomic_write_text(args.json, _json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}", file=out)
+    _check_failures(batch)
+    return 0
+
+
+def _cmd_merge_journals(args, out) -> int:
+    """Fold N hosts' journals into one resumable journal."""
+    import os as _os
+
+    from repro.parallel import merge_journals
+
+    journals = []
+    for path in args.inputs:
+        if not _os.path.exists(path):
+            raise CLIError(f"journal {path!r} does not exist")
+        try:
+            journal = RunJournal.open(path)
+        except JournalCorrupt as error:
+            raise CLIError(
+                f"{error}\nhint: this input's header is damaged beyond "
+                "salvage -- drop it from the merge or restore it from a copy"
+            ) from error
+        except JournalMismatch as error:
+            raise CLIError(str(error)) from error
+        except OSError as error:
+            raise CLIError(f"cannot read journal {path!r}: {error}") from error
+        if journal.quarantined_lines:
+            print(
+                f"{path}: {journal.quarantined_lines} damaged line(s) "
+                f"quarantined to {journal.quarantine_path}; salvaged "
+                f"{journal.salvaged_entries} verified entries",
+                file=out,
+            )
+        journals.append(journal)
+    try:
+        merged = merge_journals(journals, output=args.output)
+    except JournalMismatch as error:
+        raise CLIError(str(error)) from error
+    print(
+        f"merged {len(journals)} journal(s) into {args.output}: "
+        f"{len(merged)} entries (root_seed {merged.root_seed})",
+        file=out,
+    )
     return 0
 
 
@@ -1005,6 +1187,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--telemetry", action="store_true",
                        help="collect service.* metrics and print the table "
                        "on shutdown")
+    serve.add_argument("--max-sessions", type=int, default=None, metavar="N",
+                       help="admission control: shed new sessions beyond N "
+                       "live ones (clients back off and retry)")
     serve.set_defaults(run=_cmd_serve)
 
     stream = commands.add_parser(
@@ -1049,9 +1234,51 @@ def build_parser() -> argparse.ArgumentParser:
     sessions.add_argument("--port", type=int, required=True)
     sessions.add_argument("--aggregate", action="store_true",
                           help="also print the merged cross-session report(s)")
-    sessions.add_argument("--json", metavar="FILE",
-                          help="save status + aggregate as JSON")
+    sessions.add_argument("--json", metavar="FILE", nargs="?", const="-",
+                          help="emit status + aggregate as JSON (to FILE, or "
+                          "stdout when the flag is bare)")
     sessions.set_defaults(run=_cmd_sessions)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="shard a sweep across repro serve workers (docs/distributed.md)",
+    )
+    fleet.add_argument("workloads", nargs="+",
+                       help="workload names (e.g. spec:gcc micro:listing2)")
+    fleet.add_argument("--workers", required=True, metavar="HOST:PORT,...",
+                       help="comma-separated worker addresses "
+                       "(each a running `repro serve`)")
+    fleet.add_argument("--tool", choices=sorted(CRAFTS), default="deadcraft")
+    fleet.add_argument("--period", type=int, default=101,
+                       help="sampling period (rounded to the nearest prime)")
+    fleet.add_argument("--trials", type=int, default=1,
+                       help="replicated trials per workload")
+    fleet.add_argument("--retries", type=int, default=2,
+                       help="retry budget per spec (spec failures only; "
+                       "worker deaths reassign for free)")
+    fleet.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                       help="per-spec wall-clock bound on a worker")
+    fleet.add_argument("--no-hedge", action="store_true",
+                       help="disable straggler hedging (duplicate-dispatch, "
+                       "first result wins)")
+    fleet.add_argument("--json", metavar="FILE",
+                       help="save payloads + fleet stats as JSON")
+    add_common(fleet)
+    add_faults(fleet)
+    add_journal(fleet)
+    add_tool_options(fleet)
+    fleet.set_defaults(run=_cmd_fleet)
+
+    merge = commands.add_parser(
+        "merge-journals",
+        help="merge N hosts' run journals into one (bit-identical in any "
+        "input order)",
+    )
+    merge.add_argument("inputs", nargs="+", metavar="JOURNAL",
+                       help="journal files to merge (same root seed)")
+    merge.add_argument("-o", "--output", required=True,
+                       help="the merged journal to write")
+    merge.set_defaults(run=_cmd_merge_journals)
 
     return parser
 

@@ -1,0 +1,35 @@
+"""Distributed sweeps over ``repro serve`` workers, failure domains and
+all.
+
+:func:`run_fleet` is the distributed sibling of
+:func:`repro.parallel.run_specs`: the same content-addressed
+:class:`~repro.parallel.spec.RunSpec` work units, the same journal and
+resume contract, the same bit-identical artifacts -- dispatched over the
+service's line-JSON protocol to N workers instead of a local process
+pool, and hardened against workers dying mid-sweep (heartbeat liveness,
+reassignment, seeded-deterministic retry backoff, straggler hedging).
+
+See ``docs/distributed.md`` for the fleet model and the failure-domain
+taxonomy; the short version:
+
+    >>> from repro.fleet import run_fleet
+    >>> from repro.parallel import witch_spec
+    >>> batch = run_fleet(
+    ...     [witch_spec("micro:listing2", "deadcraft", period=31)],
+    ...     workers=["127.0.0.1:7001", "127.0.0.1:7002"],
+    ... )  # doctest: +SKIP
+"""
+
+from repro.fleet.coordinator import (
+    DEFAULT_HEARTBEAT_GRACE,
+    DEFAULT_HEARTBEAT_INTERVAL,
+    FleetResult,
+    run_fleet,
+)
+
+__all__ = [
+    "DEFAULT_HEARTBEAT_GRACE",
+    "DEFAULT_HEARTBEAT_INTERVAL",
+    "FleetResult",
+    "run_fleet",
+]

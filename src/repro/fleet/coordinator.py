@@ -1,0 +1,531 @@
+"""The fleet coordinator: shard a spec sweep across ``repro serve``
+workers and survive any of them dying.
+
+One :func:`run_fleet` call owns a batch of content-addressed
+:class:`~repro.parallel.spec.RunSpec` work units and a list of worker
+addresses.  Per worker it runs two threads:
+
+- a **dispatcher** holding one connection, pulling specs from the shared
+  queue and executing them via the ``exec`` protocol op;
+- a **heartbeat** holding a *separate* connection, probing ``status``
+  every ``heartbeat_interval`` seconds -- ``heartbeat_grace`` consecutive
+  misses declare the worker dead and sever its dispatcher's socket, so a
+  wedged (not just crashed) worker cannot strand its in-flight spec.
+
+Failure domains get distinct treatment, because they mean different
+things:
+
+- **The spec failed** (raised remotely, or exceeded the per-spec
+  ``timeout``): charge an attempt, requeue after the seeded-deterministic
+  :class:`~repro.parallel.backoff.BackoffPolicy` delay, and surface a
+  structured :class:`~repro.parallel.scheduler.RunFailure` once the
+  retry budget is spent -- exactly the scheduler's in-process semantics.
+- **The worker failed** (connection lost, heartbeat lapsed): the spec is
+  blameless, so it is *reassigned* to the queue without losing an
+  attempt.  A worker that keeps refusing connections is declared dead
+  too, so a flapping host degrades to a smaller fleet, not a retry storm.
+- **The worker is merely slow**: once the queue drains, idle dispatchers
+  *hedge* -- duplicate-dispatch the oldest in-flight spec (at most two
+  owners) and let the first result win.  This is safe precisely because
+  specs are content-addressed: both executions produce bit-identical
+  payloads, so racing them changes wall-clock time and nothing else.
+
+Determinism is inherited, not re-proven: every run's seed is
+:func:`~repro.parallel.spec.seed_for` (a pure function of the spec),
+results merge in spec order, and coordinator bookkeeping lives in
+:attr:`FleetResult.stats` -- never in the caller's telemetry -- so a
+fleet sweep's report and telemetry are byte-identical to a single-host
+``jobs=1`` run no matter how many workers died along the way (the fleet
+chaos test SIGKILLs one mid-sweep and diffs the artifacts).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.parallel.backoff import BackoffPolicy
+from repro.parallel.journal import RunJournal
+from repro.parallel.scheduler import DEFAULT_RETRIES, BatchResult, RunFailure
+from repro.parallel.spec import RunSpec, spec_key
+from repro.parallel.worker import RunResult
+from repro.service.client import ServiceClient, ServiceError
+from repro.telemetry import Telemetry, live_or_none
+
+#: Seconds between heartbeat ``status`` probes per worker.
+DEFAULT_HEARTBEAT_INTERVAL = 0.2
+
+#: Consecutive missed heartbeats before a worker is declared dead.
+DEFAULT_HEARTBEAT_GRACE = 3
+
+#: Consecutive dispatcher connection failures before a worker is
+#: declared dead without waiting for the heartbeat to notice.
+_CONNECT_DEATHS = 3
+
+WorkerAddress = Union[str, Tuple[str, int]]
+
+
+@dataclass
+class FleetResult(BatchResult):
+    """A :class:`BatchResult` plus fleet forensics.
+
+    ``stats`` counts coordinator events (``dispatched``, ``retried``,
+    ``hedged``, ``reassigned``, ``worker_deaths``); it lives here, not in
+    the caller's telemetry, because telemetry must stay byte-identical
+    to a ``jobs=1`` run -- scheduling noise is reported, never merged.
+    """
+
+    workers: List[str] = field(default_factory=list)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+def _parse_worker(worker: WorkerAddress) -> Tuple[str, int]:
+    if isinstance(worker, (tuple, list)) and len(worker) == 2:
+        return str(worker[0]), int(worker[1])
+    text = str(worker)
+    host, sep, port = text.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(f"worker must be 'host:port', got {worker!r}")
+    return host, int(port)
+
+
+class _Task:
+    """One spec's scheduling state: attempts used, owners running it."""
+
+    __slots__ = ("index", "spec", "attempts", "not_before", "dispatched_at", "owners")
+
+    def __init__(self, index: int, spec: RunSpec) -> None:
+        self.index = index
+        self.spec = spec
+        self.attempts = 0
+        self.not_before = 0.0
+        self.dispatched_at = 0.0
+        self.owners: set = set()
+
+
+class _Worker:
+    """One fleet member: its address, its dispatcher's connection, and
+    whether it has been declared dead."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.name = f"{host}:{port}"
+        self.dead = False
+        self.connect_failures = 0
+        self.client: Optional[ServiceClient] = None
+
+    def sever(self) -> None:
+        """Abort the dispatcher's socket (unblocks a stuck request).
+
+        Uses :meth:`ServiceClient.abort`, not ``close``: the dispatcher
+        may be blocked mid-read on this very connection, and only a
+        socket shutdown can force that read to return.
+        """
+        client, self.client = self.client, None
+        if client is not None:
+            client.abort()
+
+
+class _FleetState:
+    """The shared queue + scoreboard, guarded by one condition variable."""
+
+    def __init__(
+        self,
+        indexed: List[Tuple[int, RunSpec]],
+        retries: int,
+        backoff: Optional[BackoffPolicy],
+        hedge: bool,
+        journal: Optional[RunJournal],
+    ) -> None:
+        self.cond = threading.Condition()
+        self.pending: List[_Task] = [_Task(index, spec) for index, spec in indexed]
+        self.inflight: Dict[int, _Task] = {}
+        self.results: Dict[int, RunResult] = {}
+        self.failed: Dict[int, RunFailure] = {}
+        self.total = len(indexed)
+        self.retries = retries
+        self.backoff = backoff
+        self.hedge = hedge
+        self.journal = journal
+        self.live_workers = 0
+        self.stats = {
+            "dispatched": 0,
+            "retried": 0,
+            "hedged": 0,
+            "reassigned": 0,
+            "worker_deaths": 0,
+        }
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) + len(self.failed) >= self.total
+
+    def _settled(self, index: int) -> bool:
+        return index in self.results or index in self.failed
+
+    # ----------------------------------------------------------- dispatching
+    def take(self, worker: str):
+        """(task, None) to run, or (None, earliest not_before) to wait.
+
+        Callers hold the lock.  Prefers queued work; with an empty queue
+        and hedging on, duplicates the oldest single-owner in-flight
+        task instead of idling -- first result wins.
+        """
+        now = time.monotonic()
+        soonest: Optional[float] = None
+        for position, task in enumerate(self.pending):
+            if task.not_before <= now:
+                self.pending.pop(position)
+                task.owners.add(worker)
+                task.dispatched_at = now
+                self.inflight[task.index] = task
+                self.stats["dispatched"] += 1
+                return task, None
+            if soonest is None or task.not_before < soonest:
+                soonest = task.not_before
+        if self.hedge and not self.pending:
+            candidates = [
+                task
+                for task in self.inflight.values()
+                if worker not in task.owners and len(task.owners) < 2
+            ]
+            if candidates:
+                task = min(candidates, key=lambda task: task.dispatched_at)
+                task.owners.add(worker)
+                self.stats["hedged"] += 1
+                self.stats["dispatched"] += 1
+                return task, None
+        return None, soonest
+
+    # -------------------------------------------------------------- outcomes
+    def complete(self, worker: str, task: _Task, payload, snapshot) -> None:
+        """First result wins; a losing hedge's copy is simply dropped."""
+        with self.cond:
+            task.owners.discard(worker)
+            if self._settled(task.index):
+                return
+            result = RunResult(
+                spec=task.spec, payload=payload, snapshot=snapshot, index=task.index
+            )
+            if self.journal is not None:
+                # Write-ahead, under the lock: durable before it counts.
+                self.journal.record(task.spec, result)
+            self.results[task.index] = result
+            self.inflight.pop(task.index, None)
+            self.cond.notify_all()
+
+    def charge(self, worker: str, task: _Task, message: str) -> None:
+        """The spec itself failed: burn an attempt, backoff, retry/fail."""
+        with self.cond:
+            task.owners.discard(worker)
+            if self._settled(task.index):
+                return
+            task.attempts += 1
+            if task.attempts > self.retries:
+                self.inflight.pop(task.index, None)
+                self.failed[task.index] = RunFailure(
+                    index=task.index,
+                    spec=task.spec,
+                    attempts=task.attempts,
+                    error=message,
+                )
+            else:
+                self.stats["retried"] += 1
+                delay = (
+                    self.backoff.delay(spec_key(task.spec), task.attempts)
+                    if self.backoff is not None
+                    else 0.0
+                )
+                task.not_before = time.monotonic() + delay
+                if not task.owners:
+                    # A surviving hedge owner keeps it in flight instead.
+                    self.inflight.pop(task.index, None)
+                    self.pending.append(task)
+            self.cond.notify_all()
+
+    def reassign(self, worker: str, task: _Task) -> None:
+        """The *worker* failed: the spec is blameless, no attempt burned."""
+        with self.cond:
+            task.owners.discard(worker)
+            if self._settled(task.index):
+                return
+            if not task.owners:
+                self.inflight.pop(task.index, None)
+                self.pending.append(task)
+                self.stats["reassigned"] += 1
+            self.cond.notify_all()
+
+    def declare_dead(self, worker: _Worker) -> None:
+        with self.cond:
+            if not worker.dead:
+                worker.dead = True
+                self.stats["worker_deaths"] += 1
+                self.cond.notify_all()
+
+    def fail_unsettled(self, reason: str) -> None:
+        """Terminal: no workers remain; unfinished specs become failures."""
+        with self.cond:
+            for task in list(self.pending) + list(self.inflight.values()):
+                if not self._settled(task.index):
+                    self.failed[task.index] = RunFailure(
+                        index=task.index,
+                        spec=task.spec,
+                        attempts=max(task.attempts, 1),
+                        error=reason,
+                    )
+            self.pending.clear()
+            self.inflight.clear()
+            self.cond.notify_all()
+
+
+# ------------------------------------------------------------------ threads
+def _heartbeat_loop(
+    worker: _Worker,
+    state: _FleetState,
+    interval: float,
+    grace: int,
+    stop: threading.Event,
+) -> None:
+    """Probe ``status`` on a dedicated connection; declare death on
+    ``grace`` consecutive misses and sever the dispatcher's socket."""
+    misses = 0
+    probe: Optional[ServiceClient] = None
+    try:
+        while not stop.wait(interval):
+            if worker.dead or state.done:
+                return
+            try:
+                if probe is None:
+                    probe = ServiceClient(
+                        worker.host, worker.port, timeout=max(interval * 2, 0.1)
+                    )
+                probe.status()
+                misses = 0
+            except (OSError, ServiceError, ValueError):
+                if probe is not None:
+                    try:
+                        probe.close()
+                    except OSError:  # pragma: no cover
+                        pass
+                    probe = None
+                misses += 1
+                if misses >= grace:
+                    state.declare_dead(worker)
+                    worker.sever()
+                    return
+    finally:
+        if probe is not None:
+            try:
+                probe.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+def _dispatch_loop(
+    worker: _Worker,
+    state: _FleetState,
+    root_seed: int,
+    timeout: Optional[float],
+    want_snapshots: bool,
+) -> None:
+    """Pull specs, execute them on this worker, file the outcomes."""
+    while True:
+        task: Optional[_Task] = None
+        with state.cond:
+            while task is None:
+                if state.done or worker.dead:
+                    return
+                task, soonest = state.take(worker.name)
+                if task is None:
+                    wait = 0.05
+                    if soonest is not None:
+                        wait = min(wait, max(soonest - time.monotonic(), 0.001))
+                    state.cond.wait(wait)
+        try:
+            client = worker.client
+            if client is None:
+                client = ServiceClient(worker.host, worker.port, timeout=timeout)
+                worker.client = client
+            reply = client.exec_spec(
+                task.spec, root_seed=root_seed, telemetry=want_snapshots
+            )
+        except socket.timeout:
+            # Per-spec timeout: the connection is poisoned (the reply may
+            # still arrive later), so reconnect -- and the spec pays.
+            worker.sever()
+            state.charge(
+                worker.name,
+                task,
+                f"spec timed out after {timeout}s on worker {worker.name}",
+            )
+            continue
+        except (OSError, ServiceError, ValueError):
+            # Connection-level failure: the machine's fault, not the
+            # spec's -- reassign without burning an attempt.
+            worker.sever()
+            state.reassign(worker.name, task)
+            worker.connect_failures += 1
+            if worker.connect_failures >= _CONNECT_DEATHS:
+                state.declare_dead(worker)
+            if worker.dead:
+                return
+            continue
+        worker.connect_failures = 0
+        if reply.get("status") == "ok":
+            state.complete(
+                worker.name, task, reply.get("payload"), reply.get("snapshot")
+            )
+        else:
+            state.charge(
+                worker.name,
+                task,
+                str(reply.get("error", "remote spec error"))
+                + f" (on worker {worker.name})",
+            )
+
+
+# --------------------------------------------------------------------- entry
+def run_fleet(
+    specs: Sequence[RunSpec],
+    workers: Sequence[WorkerAddress],
+    *,
+    root_seed: int = 0,
+    telemetry: Optional[Telemetry] = None,
+    retries: int = DEFAULT_RETRIES,
+    backoff: Optional[BackoffPolicy] = None,
+    timeout: Optional[float] = None,
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    heartbeat_grace: int = DEFAULT_HEARTBEAT_GRACE,
+    hedge: bool = True,
+    journal: Union[RunJournal, str, None] = None,
+    resume: bool = False,
+) -> FleetResult:
+    """Execute every spec across the worker fleet; merge in spec order.
+
+    The distributed sibling of :func:`repro.parallel.run_specs`: same
+    spec language, same journal/resume contract, same deterministic
+    artifacts -- the parallelism just lives behind sockets instead of a
+    process pool.  ``timeout`` bounds one spec's wall-clock seconds on a
+    worker (None trusts the heartbeat alone); ``retries`` is the per-spec
+    attempt budget for *spec* failures, while worker deaths reassign
+    without charge.  Partial fleets degrade gracefully: specs left
+    unfinished because every worker died surface as structured
+    failures, never as an exception.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
+    if heartbeat_interval <= 0:
+        raise ValueError(
+            f"heartbeat_interval must be > 0 seconds, got {heartbeat_interval}"
+        )
+    if heartbeat_grace < 1:
+        raise ValueError(f"heartbeat_grace must be >= 1, got {heartbeat_grace}")
+    if resume and journal is None:
+        raise ValueError("resume=True requires a journal to resume from")
+    addresses = [_parse_worker(worker) for worker in workers]
+    if not addresses:
+        raise ValueError("run_fleet needs at least one worker address")
+    if isinstance(journal, str):
+        journal = RunJournal(journal, root_seed=root_seed)
+    specs = list(specs)
+    tm = live_or_none(telemetry)
+    names = [f"{host}:{port}" for host, port in addresses]
+    results: Dict[int, RunResult] = {}
+    indexed = list(enumerate(specs))
+    if resume:
+        remaining: List[Tuple[int, RunSpec]] = []
+        for index, spec in indexed:
+            replayed = journal.lookup(spec)
+            if replayed is not None:
+                replayed.index = index
+                results[index] = replayed
+            else:
+                remaining.append((index, spec))
+        indexed = remaining
+
+    state = _FleetState(
+        indexed, retries=retries, backoff=backoff, hedge=hedge, journal=journal
+    )
+    members = [_Worker(host, port) for host, port in addresses]
+    stop_heartbeats = threading.Event()
+    threads: List[threading.Thread] = []
+    span = tm.span("fleet:dispatch") if tm is not None else nullcontext()
+    with span:
+        if indexed:
+            state.live_workers = len(members)
+            for member in members:
+                dispatcher = threading.Thread(
+                    target=_run_member,
+                    args=(member, state, root_seed, timeout, tm is not None),
+                    name=f"fleet-dispatch-{member.name}",
+                    daemon=True,
+                )
+                heartbeat = threading.Thread(
+                    target=_heartbeat_loop,
+                    args=(
+                        member, state, heartbeat_interval, heartbeat_grace,
+                        stop_heartbeats,
+                    ),
+                    name=f"fleet-heartbeat-{member.name}",
+                    daemon=True,
+                )
+                threads.extend((dispatcher, heartbeat))
+                dispatcher.start()
+                heartbeat.start()
+            with state.cond:
+                while not state.done and state.live_workers > 0:
+                    state.cond.wait(0.1)
+            if not state.done:
+                state.fail_unsettled(
+                    f"all {len(members)} fleet worker(s) died "
+                    "(connection lost or heartbeat lapsed)"
+                )
+            stop_heartbeats.set()
+            for member in members:
+                member.sever()
+            for thread in threads:
+                thread.join(timeout=2.0)
+
+    # Deterministic merge: results and telemetry snapshots fold in spec
+    # order, exactly as the inline jobs=1 path would have produced them.
+    results.update(state.results)
+    ordered: List[Optional[RunResult]] = [None] * len(specs)
+    for index in range(len(specs)):
+        result = results.get(index)
+        if result is not None:
+            ordered[index] = result
+            if tm is not None and result.snapshot is not None:
+                tm.merge_snapshot(result.snapshot)
+    failures = sorted(state.failed.values(), key=lambda failure: failure.index)
+    return FleetResult(
+        specs=specs,
+        results=ordered,
+        failures=failures,
+        jobs=len(members),
+        workers=names,
+        stats=dict(state.stats),
+    )
+
+
+def _run_member(
+    member: _Worker,
+    state: _FleetState,
+    root_seed: int,
+    timeout: Optional[float],
+    want_snapshots: bool,
+) -> None:
+    """Dispatcher thread body: run the loop, then bookkeep the exit."""
+    try:
+        _dispatch_loop(member, state, root_seed, timeout, want_snapshots)
+    finally:
+        member.sever()
+        with state.cond:
+            state.live_workers -= 1
+            state.cond.notify_all()

@@ -17,7 +17,13 @@ contract; the short version:
     'deadcraft'
 """
 
-from repro.parallel.journal import JournalMismatch, RunJournal
+from repro.parallel.backoff import NO_BACKOFF, BackoffPolicy
+from repro.parallel.journal import (
+    JournalCorrupt,
+    JournalMismatch,
+    RunJournal,
+    merge_journals,
+)
 from repro.parallel.merge import (
     merge_accuracy_tables,
     merge_headroom_rows,
@@ -36,16 +42,21 @@ from repro.parallel.spec import (
     exhaustive_spec,
     native_spec,
     seed_for,
+    spec_from_payload,
     spec_key,
+    spec_to_payload,
     witch_overhead_spec,
     witch_spec,
 )
 from repro.parallel.worker import RunResult, execute_spec, run_chunk
 
 __all__ = [
+    "BackoffPolicy",
     "BatchResult",
     "DEFAULT_RETRIES",
+    "JournalCorrupt",
     "JournalMismatch",
+    "NO_BACKOFF",
     "RunFailure",
     "RunJournal",
     "RunResult",
@@ -55,13 +66,16 @@ __all__ = [
     "exhaustive_spec",
     "merge_accuracy_tables",
     "merge_headroom_rows",
+    "merge_journals",
     "merge_reports",
     "merge_snapshots",
     "native_spec",
     "run_chunk",
     "run_specs",
     "seed_for",
+    "spec_from_payload",
     "spec_key",
+    "spec_to_payload",
     "witch_spec",
     "witch_overhead_spec",
 ]

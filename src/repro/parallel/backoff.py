@@ -1,0 +1,75 @@
+"""Seeded deterministic retry backoff: the schedule is data, not luck.
+
+Retrying a failed spec immediately is the wrong move in every failure
+domain this repo models: a wedged worker needs time to be declared dead,
+an overloaded service sheds load precisely *because* clients hammer it,
+and a transient fault (BrokenProcessPool, dropped connection) clears on
+its own timescale, not the caller's.  Exponential backoff is the
+standard answer; the twist here is the repo-wide determinism contract --
+a retry schedule drawn from ``random.random()`` would make two runs of
+the same failing batch wait different amounts, which makes chaos tests
+flaky and failure forensics unreproducible.
+
+:class:`BackoffPolicy` therefore derives every delay from a keyed hash
+of ``(seed, key, attempt)`` -- the same BLAKE2b discipline
+:mod:`repro.faults` uses for fault decisions.  The full schedule for any
+spec is a pure function you can print, assert on, and replay; distinct
+specs still spread out (their keys differ, so their jitter differs),
+which is the whole point of jitter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Exponential backoff with deterministic, key-spread jitter.
+
+    ``delay(key, attempt)`` for attempt 1, 2, 3... is
+    ``base * factor**(attempt-1)`` capped at ``cap``, shrunk by up to
+    ``jitter`` (a fraction in [0, 1)) according to the keyed hash --
+    so the delay lives in ``[raw * (1 - jitter), raw]`` and is identical
+    across processes, hosts, and reruns.
+    """
+
+    base: float = 0.05
+    factor: float = 2.0
+    cap: float = 5.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base < 0:
+            raise ValueError(f"backoff base must be >= 0, got {self.base}")
+        if self.factor < 1:
+            raise ValueError(f"backoff factor must be >= 1, got {self.factor}")
+        if self.cap < 0:
+            raise ValueError(f"backoff cap must be >= 0, got {self.cap}")
+        if not 0 <= self.jitter < 1:
+            raise ValueError(f"backoff jitter must be in [0, 1), got {self.jitter}")
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        raw = min(self.cap, self.base * self.factor ** (attempt - 1))
+        if not self.jitter or not raw:
+            return raw
+        digest = hashlib.blake2b(
+            f"{self.seed}\x1f{key}\x1f{attempt}".encode("utf-8"), digest_size=8
+        ).digest()
+        unit = int.from_bytes(digest, "big") / float(1 << 64)
+        return raw * (1.0 - self.jitter * unit)
+
+    def schedule(self, key: str, attempts: int) -> List[float]:
+        """The full delay sequence for ``attempts`` retries of ``key``."""
+        return [self.delay(key, attempt) for attempt in range(1, attempts + 1)]
+
+
+#: Retry immediately, always -- the legacy scheduler behavior, and the
+#: right policy for in-process retries where waiting buys nothing.
+NO_BACKOFF = BackoffPolicy(base=0.0, cap=0.0, jitter=0.0)

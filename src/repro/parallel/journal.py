@@ -6,7 +6,7 @@ therefore journals every completed spec's :class:`~repro.parallel.worker.
 RunResult` as it lands, and ``run_specs(..., resume=True)`` replays
 journaled results instead of re-executing their specs.
 
-Correctness rests on two properties:
+Correctness rests on three properties:
 
 1. **Results are replayable data.**  A ``RunResult`` payload is the
    report/overhead *dict* (JSON round-trip exact: floats survive, pair
@@ -22,30 +22,66 @@ Correctness rests on two properties:
    complete journal, never a half-written line.  O(n) per append is the
    price; journaled payloads are small and suites are hundreds of specs,
    not millions.
+3. **Records are self-checking.**  Version-2 journals carry a truncated
+   SHA-256 per record; a bit flip, a torn network copy, or a truncated
+   suffix is *detected* at load time, never silently trusted.  The valid
+   prefix is salvaged (the journal is rewritten without the damage), the
+   damaged suffix is quarantined next to the journal for forensics, and
+   resume re-executes exactly the specs whose records were lost -- so a
+   corrupted journal degrades to extra work, never to wrong results.
 
 Entries are keyed by :func:`~repro.parallel.spec.spec_key`, so a journal
 recorded under one spec list resumes any batch containing those specs --
 ordering and worker count are irrelevant.  The header pins ``root_seed``:
 resuming under a different root seed would splice results computed from
 different RNG streams, so it is refused loudly.
+
+:func:`merge_journals` folds N hosts' journals into one: a fleet of
+machines can shard a million-spec sweep, ship their journal files home,
+and merge them into a single journal whose resume replays the whole
+sweep -- bit-identically to a single-host ``jobs=1`` run, in any merge
+order (entries are emitted in sorted-key order, and same-key entries
+from different hosts must be byte-identical, which content-addressed
+seeding guarantees).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.atomicio import atomic_write_text
 from repro.parallel.spec import RunSpec, spec_key
 from repro.parallel.worker import RunResult
 
 _FORMAT = "repro-journal"
-_VERSION = 1
+_VERSION = 2
+
+#: Versions this loader understands.  Version 1 predates per-record
+#: checksums; its entries load verbatim (there is nothing to verify) and
+#: the next append rewrites the file at the current version.
+_READABLE_VERSIONS = (1, 2)
 
 
 class JournalMismatch(RuntimeError):
     """The on-disk journal cannot serve this batch (wrong seed/format)."""
+
+
+class JournalCorrupt(JournalMismatch):
+    """The journal's header is damaged -- no entry can be trusted.
+
+    Record-level damage is survivable (the valid prefix is salvaged and
+    the bad suffix quarantined); a broken header means even the pinned
+    ``root_seed`` is unknown, so the file is refused whole.
+    """
+
+
+def _entry_checksum(entry: Dict[str, Any]) -> str:
+    """Truncated SHA-256 over the entry's canonical JSON form."""
+    body = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
 
 
 class RunJournal:
@@ -56,29 +92,69 @@ class RunJournal:
     under the same seed.  ``record`` persists immediately (write-ahead:
     the result is on disk before the scheduler merges it); ``lookup``
     answers resume queries.
+
+    After loading, :attr:`salvaged_entries` / :attr:`quarantined_lines` /
+    :attr:`quarantine_path` report whether record-level corruption was
+    found: the damaged suffix is moved to ``<path>.quarantine`` and the
+    journal rewritten with only the verified prefix.
     """
 
-    def __init__(self, path: str, root_seed: int = 0) -> None:
+    def __init__(self, path: Optional[str], root_seed: int = 0) -> None:
         self.path = path
         self.root_seed = root_seed
         self._entries: Dict[str, Dict[str, Any]] = {}
+        #: Entries that survived ahead of a corrupt suffix (0 = no damage).
+        self.salvaged_entries = 0
+        #: Damaged/unverifiable lines moved aside at load time.
+        self.quarantined_lines = 0
+        #: Where the damaged suffix went, when there was one.
+        self.quarantine_path: Optional[str] = None
         self._load()
 
     # ---------------------------------------------------------------- loading
+    @classmethod
+    def open(cls, path: str) -> "RunJournal":
+        """Open an existing journal under whatever root seed it pins.
+
+        The constructor *asserts* a seed (resume safety); ``open`` reads
+        it from the header instead -- the merge/export paths, where the
+        caller wants the journal as recorded, not as expected.
+        """
+        root_seed = 0
+        try:
+            with open(path) as stream:
+                for line in stream:
+                    if line.strip():
+                        header = json.loads(line)
+                        root_seed = header.get("root_seed", 0)
+                        break
+        except (OSError, ValueError, AttributeError):
+            pass  # the real load below produces the precise error
+        return cls(path, root_seed=root_seed)
+
     def _load(self) -> None:
-        if not os.path.exists(self.path):
+        if self.path is None or not os.path.exists(self.path):
             return
         with open(self.path) as stream:
-            lines = [line for line in stream.read().splitlines() if line.strip()]
+            raw_lines = stream.read().splitlines()
+        lines = [(index, line) for index, line in enumerate(raw_lines) if line.strip()]
         if not lines:
             return
-        header = json.loads(lines[0])
+        try:
+            header = json.loads(lines[0][1])
+            if not isinstance(header, dict):
+                raise ValueError("header is not an object")
+        except ValueError as error:
+            raise JournalCorrupt(
+                f"{self.path}: journal header is unreadable ({error}); "
+                "no entry can be verified"
+            ) from error
         if header.get("format") != _FORMAT:
             raise JournalMismatch(f"{self.path} is not a run journal")
-        if header.get("version") != _VERSION:
+        version = header.get("version")
+        if version not in _READABLE_VERSIONS:
             raise JournalMismatch(
-                f"{self.path} has unsupported journal version "
-                f"{header.get('version')!r}"
+                f"{self.path} has unsupported journal version {version!r}"
             )
         if header.get("root_seed") != self.root_seed:
             raise JournalMismatch(
@@ -87,9 +163,40 @@ class RunJournal:
                 f"root_seed={self.root_seed} -- resuming would splice runs "
                 "from different RNG streams"
             )
-        for line in lines[1:]:
-            entry = json.loads(line)
+        for position, (raw_index, line) in enumerate(lines[1:], start=1):
+            entry = self._verify_line(line, version)
+            if entry is None:
+                # First damaged record: everything before it is trusted,
+                # everything from here on is not (a torn copy or a flipped
+                # bit says nothing about what follows it).
+                self._quarantine(raw_lines, raw_index, len(lines) - position)
+                break
             self._entries[entry["key"]] = entry
+
+    @staticmethod
+    def _verify_line(line: str, version: int) -> Optional[Dict[str, Any]]:
+        """The entry a line encodes, or None if damaged/unverifiable."""
+        try:
+            entry = json.loads(line)
+        except ValueError:
+            return None
+        if not isinstance(entry, dict) or "key" not in entry or "payload" not in entry:
+            return None
+        if version >= 2:
+            recorded = entry.pop("sum", None)
+            if recorded != _entry_checksum(entry):
+                return None
+        return entry
+
+    def _quarantine(self, raw_lines: List[str], first_bad: int, bad_count: int) -> None:
+        """Move the damaged suffix aside and rewrite the valid prefix."""
+        self.quarantine_path = f"{self.path}.quarantine"
+        atomic_write_text(
+            self.quarantine_path, "\n".join(raw_lines[first_bad:]) + "\n"
+        )
+        self.salvaged_entries = len(self._entries)
+        self.quarantined_lines = bad_count
+        self._flush()  # the on-disk journal now holds only verified records
 
     # -------------------------------------------------------------- recording
     def record(self, spec: RunSpec, result: RunResult) -> None:
@@ -103,12 +210,38 @@ class RunJournal:
         self._entries[entry["key"]] = entry
         self._flush()
 
+    def adopt(self, entries: Iterable[Dict[str, Any]]) -> int:
+        """Bulk-insert raw entry dicts (import/merge), one atomic flush.
+
+        Entries are verified structurally (``key`` + ``payload``) and
+        re-checksummed on write; a ``sum`` field from the source host is
+        ignored -- the local file's sums are always self-consistent.
+        Returns the number of entries adopted.
+        """
+        adopted = 0
+        for entry in entries:
+            if not isinstance(entry, dict) or "key" not in entry or "payload" not in entry:
+                raise JournalMismatch(
+                    f"cannot adopt malformed journal entry {entry!r:.120}"
+                )
+            clean = {key: value for key, value in entry.items() if key != "sum"}
+            self._entries[clean["key"]] = clean
+            adopted += 1
+        if adopted:
+            self._flush()
+        return adopted
+
     def _flush(self) -> None:
+        if self.path is None:
+            return
         header = json.dumps(
             {"format": _FORMAT, "version": _VERSION, "root_seed": self.root_seed}
         )
         lines = [header]
-        lines.extend(json.dumps(entry) for entry in self._entries.values())
+        for entry in self._entries.values():
+            stamped = dict(entry)
+            stamped["sum"] = _entry_checksum(entry)
+            lines.append(json.dumps(stamped))
         atomic_write_text(self.path, "\n".join(lines) + "\n")
 
     # --------------------------------------------------------------- querying
@@ -118,11 +251,64 @@ class RunJournal:
         if entry is None:
             return None
         return RunResult(
-            spec=spec, payload=entry["payload"], snapshot=entry["snapshot"]
+            spec=spec, payload=entry["payload"], snapshot=entry.get("snapshot")
         )
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Every stored entry (without checksums) -- the export payload."""
+        return [dict(entry) for entry in self._entries.values()]
 
     def __contains__(self, spec: RunSpec) -> bool:
         return spec_key(spec) in self._entries
 
     def __len__(self) -> int:
         return len(self._entries)
+
+
+def merge_journals(
+    inputs: Sequence[Union[str, RunJournal]],
+    output: Optional[str] = None,
+    root_seed: Optional[int] = None,
+) -> RunJournal:
+    """Fold N hosts' journals into one, bit-identically in any order.
+
+    Every input must be a run journal recorded under the same
+    ``root_seed`` (pass one to assert it, else the first input's seed is
+    the reference).  Entries union by spec key; two hosts recording the
+    *same* key must agree byte-for-byte -- content-addressed seeding
+    makes duplicate work (retries, straggler hedging) bit-identical, so
+    a disagreement means one file is wrong and the merge refuses rather
+    than guess.  The merged journal is written to ``output`` (or kept
+    in memory when None) with entries in sorted-key order, so the merged
+    *file* is also byte-identical no matter how the inputs were ordered.
+    """
+    if not inputs:
+        raise ValueError("merge_journals needs at least one input journal")
+    journals: List[RunJournal] = []
+    for source in inputs:
+        journal = source if isinstance(source, RunJournal) else RunJournal.open(source)
+        if root_seed is None:
+            root_seed = journal.root_seed
+        elif journal.root_seed != root_seed:
+            raise JournalMismatch(
+                f"{journal.path} was recorded under root_seed="
+                f"{journal.root_seed}; the merge is pinned to root_seed="
+                f"{root_seed} -- mixing seeds would splice RNG streams"
+            )
+        journals.append(journal)
+    merged_entries: Dict[str, Dict[str, Any]] = {}
+    for journal in journals:
+        for entry in journal.entries():
+            key = entry["key"]
+            existing = merged_entries.get(key)
+            if existing is None:
+                merged_entries[key] = entry
+            elif _entry_checksum(existing) != _entry_checksum(entry):
+                raise JournalMismatch(
+                    f"journals disagree on {entry.get('label', key)!r}: "
+                    f"{journal.path} recorded a different result than an "
+                    "earlier input -- refusing to merge conflicting runs"
+                )
+    merged = RunJournal(output, root_seed=root_seed if root_seed is not None else 0)
+    merged.adopt(merged_entries[key] for key in sorted(merged_entries))
+    return merged

@@ -32,6 +32,7 @@ an exception.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
@@ -39,8 +40,9 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.parallel.backoff import BackoffPolicy
 from repro.parallel.journal import RunJournal
-from repro.parallel.spec import RunSpec
+from repro.parallel.spec import RunSpec, spec_key
 from repro.parallel.worker import RunResult, WorkerFn, execute_spec, run_chunk
 from repro.telemetry import Telemetry, live_or_none
 
@@ -122,6 +124,7 @@ def run_specs(
     journal: Union[RunJournal, str, None] = None,
     resume: bool = False,
     backend=None,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> BatchResult:
     """Execute every spec, serially or across ``jobs`` processes.
 
@@ -139,6 +142,11 @@ def run_specs(
     replays journaled results instead of re-executing their specs, which
     makes the batch restartable after a crash with artifacts bit-identical
     to an uninterrupted run (see docs/robustness.md).
+
+    ``backoff`` spaces retries out with a seeded-deterministic
+    :class:`repro.parallel.BackoffPolicy` (None keeps the legacy
+    retry-immediately behavior).  Delays only stretch wall-clock time --
+    seeds, merge order, and artifacts are untouched.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -159,11 +167,12 @@ def run_specs(
     tm = live_or_none(telemetry)
     if jobs <= 1 or len(specs) <= 1:
         return _run_inline(
-            specs, root_seed, tm, retries, worker, journal, resume, backend
+            specs, root_seed, tm, retries, worker, journal, resume, backend,
+            backoff,
         )
     return _run_pooled(
         specs, root_seed, tm, jobs, chunk_size, timeout, retries, worker,
-        journal, resume, backend,
+        journal, resume, backend, backoff,
     )
 
 
@@ -177,6 +186,7 @@ def _run_inline(
     journal: Optional[RunJournal] = None,
     resume: bool = False,
     backend=None,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> BatchResult:
     """The jobs=1 path: same worker function, same merge, no processes.
 
@@ -203,7 +213,8 @@ def _run_inline(
                         _merge_result(tm, replayed)
                         continue
                 outcome = _attempt(
-                    specs[index], index, root_seed, tm, retries, worker, backend
+                    specs[index], index, root_seed, tm, retries, worker,
+                    backend, backoff,
                 )
                 if isinstance(outcome, RunFailure):
                     failures.append(outcome)
@@ -226,6 +237,7 @@ def _attempt(
     retries: int,
     worker: Optional[WorkerFn],
     backend=None,
+    backoff: Optional[BackoffPolicy] = None,
 ):
     attempts = 0
     while True:
@@ -249,6 +261,10 @@ def _attempt(
                     error=f"{type(error).__name__}: {error}",
                     traceback=_traceback.format_exc(),
                 )
+            if backoff is not None:
+                delay = backoff.delay(spec_key(spec), attempts)
+                if delay:
+                    time.sleep(delay)
 
 
 def _merge_result(tm: Optional[Telemetry], result: RunResult) -> None:
@@ -273,6 +289,7 @@ def _run_pooled(
     journal: Optional[RunJournal] = None,
     resume: bool = False,
     backend=None,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> BatchResult:
     results: Dict[int, RunResult] = {}
     indexed = list(enumerate(specs))
@@ -307,9 +324,15 @@ def _run_pooled(
 
     pool = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
     span = tm.span("parallel:dispatch") if tm is not None else nullcontext()
+    pending_delay = 0.0
     try:
         with span:
             while work:
+                if pending_delay:
+                    # One sleep per dispatch round -- the longest backoff
+                    # among the requeued specs, not a sum of all of them.
+                    time.sleep(pending_delay)
+                    pending_delay = 0.0
                 submitted: List[Tuple[_Chunk, Future]] = [
                     (
                         chunk,
@@ -330,24 +353,28 @@ def _run_pooled(
                         if harvested is None:
                             work.append(chunk)
                         else:
-                            _absorb(harvested, attempts, retries, items,
-                                    results, failures, work, journal)
+                            pending_delay = max(pending_delay, _absorb(
+                                harvested, attempts, retries, items,
+                                results, failures, work, journal, backoff))
                         continue
                     try:
                         outcomes = future.result(timeout=timeout)
                     except FutureTimeoutError:
                         abandon = True
-                        _charge(items, attempts, retries, "chunk timed out",
-                                failures, work)
+                        pending_delay = max(pending_delay, _charge(
+                            items, attempts, retries, "chunk timed out",
+                            failures, work, backoff))
                         continue
                     except BrokenProcessPool:
                         abandon = True
-                        _charge(items, attempts, retries,
-                                "worker process died (BrokenProcessPool)",
-                                failures, work)
+                        pending_delay = max(pending_delay, _charge(
+                            items, attempts, retries,
+                            "worker process died (BrokenProcessPool)",
+                            failures, work, backoff))
                         continue
-                    _absorb(outcomes, attempts, retries, items,
-                            results, failures, work, journal)
+                    pending_delay = max(pending_delay, _absorb(
+                        outcomes, attempts, retries, items,
+                        results, failures, work, journal, backoff))
                 if abandon:
                     pool.shutdown(wait=False, cancel_futures=True)
                     pool = ProcessPoolExecutor(max_workers=jobs, mp_context=mp_context)
@@ -393,9 +420,15 @@ def _absorb(
     failures: List[RunFailure],
     work: List[_Chunk],
     journal: Optional[RunJournal] = None,
-) -> None:
-    """File a chunk's outcome rows: results land, errors retry or fail."""
+    backoff: Optional[BackoffPolicy] = None,
+) -> float:
+    """File a chunk's outcome rows: results land, errors retry or fail.
+
+    Returns the longest backoff delay owed to any requeued spec (0.0
+    when nothing was requeued or no policy is in force).
+    """
     by_index = dict(items)
+    delay = 0.0
     for outcome in outcomes:
         if outcome[0] == "ok":
             _, index, result = outcome
@@ -418,6 +451,9 @@ def _absorb(
                 # Retry alone: a repeat offender cannot drag chunk-mates
                 # through its remaining attempts.
                 work.append((attempts + 1, [(index, spec)]))
+                if backoff is not None:
+                    delay = max(delay, backoff.delay(spec_key(spec), attempts + 1))
+    return delay
 
 
 def _charge(
@@ -427,8 +463,13 @@ def _charge(
     reason: str,
     failures: List[RunFailure],
     work: List[_Chunk],
-) -> None:
-    """Charge a faulting chunk one attempt; requeue or fail its specs."""
+    backoff: Optional[BackoffPolicy] = None,
+) -> float:
+    """Charge a faulting chunk one attempt; requeue or fail its specs.
+
+    Returns the longest backoff delay owed to any requeued spec.
+    """
+    delay = 0.0
     for index, spec in items:
         if attempts + 1 > retries:
             failures.append(
@@ -438,3 +479,6 @@ def _charge(
             )
         else:
             work.append((attempts + 1, [(index, spec)]))
+            if backoff is not None:
+                delay = max(delay, backoff.delay(spec_key(spec), attempts + 1))
+    return delay

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 #: Option values must round-trip through ``repr`` unambiguously; the
 #: constructors below enforce this so a spec's key is canonical.
@@ -166,6 +166,46 @@ def spec_key(spec: RunSpec) -> str:
             str(spec.trial),
         )
     )
+
+
+def spec_to_payload(spec: RunSpec) -> Dict[str, Any]:
+    """The spec as a JSON-safe dict -- the fleet wire form.
+
+    Every field is a primitive or a list of primitives, and JSON round-
+    trips Python floats exactly, so ``spec_from_payload(spec_to_payload
+    (s))`` has the same :func:`spec_key` (and hence the same content-
+    addressed seed) on every host that decodes it.
+    """
+    return {
+        "kind": spec.kind,
+        "workload": spec.workload,
+        "tool": spec.tool,
+        "tools": list(spec.tools),
+        "scale": spec.scale,
+        "options": [[key, value] for key, value in spec.options],
+        "trial": spec.trial,
+        "group": spec.group,
+    }
+
+
+def spec_from_payload(payload: Dict[str, Any]) -> RunSpec:
+    """Rebuild a :class:`RunSpec` from its wire form, validating types."""
+    try:
+        options = _canonical_options(
+            {key: value for key, value in payload.get("options", [])}
+        )
+        return RunSpec(
+            kind=str(payload["kind"]),
+            workload=str(payload["workload"]),
+            tool=str(payload.get("tool", "")),
+            tools=tuple(str(tool) for tool in payload.get("tools", [])),
+            scale=float(payload.get("scale", 1.0)),
+            options=options,
+            trial=int(payload.get("trial", 0)),
+            group=str(payload.get("group", "")),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ValueError(f"malformed spec payload: {error}") from error
 
 
 def seed_for(root_seed: int, spec: RunSpec) -> int:

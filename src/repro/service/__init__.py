@@ -33,17 +33,31 @@ kill+resume -- and per-session memory stays bounded by the working set,
 never the trace length.
 """
 
-from repro.service.client import ServiceClient, stream_trace
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceShed,
+    stream_trace,
+)
 from repro.service.protocol import FrameDecoder, Message, ProtocolError
 from repro.service.server import TraceService, run_server
-from repro.service.session import SessionConfig, StreamSession
+from repro.service.session import (
+    ServiceOverloaded,
+    SessionConfig,
+    SessionError,
+    StreamSession,
+)
 
 __all__ = [
     "FrameDecoder",
     "Message",
     "ProtocolError",
     "ServiceClient",
+    "ServiceError",
+    "ServiceOverloaded",
+    "ServiceShed",
     "SessionConfig",
+    "SessionError",
     "StreamSession",
     "TraceService",
     "run_server",

@@ -19,17 +19,37 @@ from __future__ import annotations
 import itertools
 import json
 import socket
-from typing import Any, Dict, Iterable, Iterator, Union
+import time
+from typing import Any, Dict, Iterable, Iterator, Optional, Union
 
+from repro.parallel.backoff import BackoffPolicy
+from repro.parallel.spec import RunSpec, spec_to_payload
 from repro.service.protocol import encode
 from repro.service.session import SessionConfig
 from repro.trace import PathLike, TraceItem, TraceRecord, coalesce, iter_trace
 
 DEFAULT_CHUNK_RECORDS = 4096
 
+#: Shed-retry attempts ``stream_trace`` makes before giving up.
+DEFAULT_SHED_RETRIES = 5
+
 
 class ServiceError(RuntimeError):
     """The server refused a request (its error line, verbatim)."""
+
+
+class ServiceShed(ServiceError):
+    """The server shed this request under admission control.
+
+    Not a failure: the server is at its ``--max-sessions`` limit and
+    asks the client to retry after :attr:`retry_after` seconds.
+    :func:`stream_trace` honors this automatically; direct
+    :class:`ServiceClient` users catch it and back off themselves.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.25) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ServiceClient:
@@ -53,7 +73,12 @@ class ServiceClient:
             raise ServiceError("server closed the connection")
         reply = json.loads(line)
         if not reply.get("ok"):
-            raise ServiceError(reply.get("error", "unknown server error"))
+            message = reply.get("error", "unknown server error")
+            if reply.get("shed"):
+                raise ServiceShed(
+                    message, retry_after=float(reply.get("retry_after", 0.25))
+                )
+            raise ServiceError(message)
         return reply
 
     def send_items(self, items: Iterable[TraceItem]) -> None:
@@ -105,11 +130,65 @@ class ServiceClient:
     def aggregate(self) -> Dict[str, Any]:
         return self._request({"op": "aggregate"})
 
+    def exec_spec(
+        self, spec: RunSpec, root_seed: int = 0, telemetry: bool = False
+    ) -> Dict[str, Any]:
+        """Run one spec on the server; the fleet coordinator's work unit.
+
+        The reply's ``status`` is ``"ok"`` (with ``payload``/``snapshot``)
+        or ``"error"`` (the spec raised remotely) -- a remote spec failure
+        is data, not an exception, so the caller can charge an attempt.
+        """
+        return self._request(
+            {
+                "op": "exec",
+                "spec": spec_to_payload(spec),
+                "root_seed": root_seed,
+                "telemetry": telemetry,
+            }
+        )
+
+    def export_session(self, session: str) -> Dict[str, Any]:
+        """Package a server session's journal for cross-host migration."""
+        return self._request({"op": "export", "session": session})
+
+    def import_session(
+        self, session: str, export: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Install an :meth:`export_session` package on this server."""
+        return self._request(
+            {
+                "op": "import",
+                "session": session,
+                "root_seed": export.get("root_seed", 0),
+                "entries": export.get("entries", []),
+            }
+        )
+
     def close(self) -> None:
         try:
             self._reader.close()
         finally:
             self._sock.close()
+
+    def abort(self) -> None:
+        """Tear the connection down from *another* thread.
+
+        ``close()`` closes the buffered reader, which waits on the
+        buffer lock -- a deadlock if the owning thread is blocked
+        mid-``readline`` on a reply that will never come.  ``shutdown``
+        instead forces that read to return EOF immediately, so a
+        watchdog (the fleet heartbeat severing a wedged worker's
+        dispatcher) can always cut the connection loose.
+        """
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -167,20 +246,41 @@ def stream_trace(
     chunk_records: int = DEFAULT_CHUNK_RECORDS,
     use_runs: bool = True,
     close: bool = True,
+    shed_retries: int = DEFAULT_SHED_RETRIES,
+    backoff: Optional[BackoffPolicy] = None,
 ) -> Dict[str, Any]:
     """Replay a ``repro.trace`` file into a service session (one call).
 
     The engine of ``repro stream``: reads the file incrementally, resumes
     a partially-ingested session where the server's checkpoint left off,
     and returns the final (or live, with ``close=False``) report payload.
+
+    A shed reply (admission control) is retried up to ``shed_retries``
+    times on a fresh connection, waiting the server's ``retry_after``
+    hint -- or the seeded-deterministic ``backoff`` schedule keyed by
+    the session name, when one is given.
     """
-    with ServiceClient(host=host, port=port) as client:
-        return stream_records(
-            client,
-            session,
-            iter_trace(path),
-            config=config,
-            chunk_records=chunk_records,
-            use_runs=use_runs,
-            close=close,
-        )
+    attempt = 0
+    while True:
+        try:
+            with ServiceClient(host=host, port=port) as client:
+                return stream_records(
+                    client,
+                    session,
+                    iter_trace(path),
+                    config=config,
+                    chunk_records=chunk_records,
+                    use_runs=use_runs,
+                    close=close,
+                )
+        except ServiceShed as shed:
+            attempt += 1
+            if attempt > shed_retries:
+                raise
+            delay = (
+                backoff.delay(session, attempt)
+                if backoff is not None
+                else shed.retry_after
+            )
+            if delay:
+                time.sleep(delay)

@@ -39,9 +39,15 @@ from repro.trace import FORMAT_VERSION, TraceRecord, TraceRun
 MAX_LINE_BYTES = 4 * 1024 * 1024
 
 #: Control verbs the server dispatches (everything else on an ``op`` key
-#: except ``run`` is a protocol error).
+#: except ``run`` is a protocol error).  ``exec`` runs one content-
+#: addressed :class:`repro.parallel.RunSpec` and returns its payload (the
+#: fleet coordinator's work unit); ``export``/``import`` move a session's
+#: journal entries between hosts for migration.
 CONTROL_OPS = frozenset(
-    {"open", "sync", "checkpoint", "report", "close", "status", "aggregate"}
+    {
+        "open", "sync", "checkpoint", "report", "close", "status",
+        "aggregate", "exec", "export", "import",
+    }
 )
 
 

@@ -24,10 +24,14 @@ from __future__ import annotations
 
 import asyncio
 import os
+import signal
+from dataclasses import fields as dataclass_fields
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.parallel.journal import JournalMismatch
+from repro.parallel.journal import JournalMismatch, RunJournal
 from repro.parallel.merge import merge_reports
+from repro.parallel.spec import spec_from_payload, spec_key
+from repro.parallel.worker import execute_spec
 from repro.service.protocol import (
     FrameDecoder,
     Message,
@@ -36,6 +40,7 @@ from repro.service.protocol import (
 )
 from repro.service.session import (
     DEFAULT_CHECKPOINT_EVERY,
+    ServiceOverloaded,
     SessionConfig,
     SessionError,
     StreamSession,
@@ -72,11 +77,15 @@ class TraceService:
         port: int = 0,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         telemetry: Optional[Telemetry] = None,
+        max_sessions: Optional[int] = None,
     ) -> None:
+        if max_sessions is not None and max_sessions < 1:
+            raise ValueError(f"max_sessions must be >= 1, got {max_sessions}")
         self.journal_dir = journal_dir
         self.host = host
         self.port = port
         self.checkpoint_every = checkpoint_every
+        self.max_sessions = max_sessions
         self.sessions: Dict[str, StreamSession] = {}
         self.telemetry = telemetry
         self._tm = live_or_none(telemetry)
@@ -105,6 +114,17 @@ class TraceService:
                     f"session {name!r} is open under a different config"
                 )
         else:
+            if self.max_sessions is not None:
+                live = sum(
+                    1 for existing in self.sessions.values() if not existing.closed
+                )
+                if live >= self.max_sessions:
+                    if self._tm is not None:
+                        self._tm.count("service.shed")
+                    raise ServiceOverloaded(
+                        f"server is at its --max-sessions limit "
+                        f"({self.max_sessions} live); retry later"
+                    )
             session = StreamSession(
                 name,
                 config,
@@ -218,6 +238,10 @@ class TraceService:
             reply = self.aggregate_dict()
             reply.update(ok=True, op="aggregate")
             return reply
+        if op == "export":
+            return self._export(payload)
+        if op == "import":
+            return self._import(payload)
 
         session = conn.session
         if session is None:
@@ -253,6 +277,138 @@ class TraceService:
             self._attached.discard(conn.session.name)
             conn.session = None
 
+    # -------------------------------------------------------------- migration
+    def _export(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Package a session's journal for migration to another host.
+
+        A live session is checkpointed first, so the exported entries
+        carry its current state; the export is the journal's entry list
+        verbatim -- the importing host re-checksums on write.
+        """
+        name = payload.get("session")
+        if not isinstance(name, str):
+            raise ProtocolError("export needs a 'session' name")
+        session = self.sessions.get(name)
+        if session is not None:
+            if name in self._attached:
+                raise SessionError(
+                    f"session {name!r} is attached to a live client; "
+                    "detach before exporting"
+                )
+            session.checkpoint()
+            journal = session.journal
+            config: Optional[Dict[str, Any]] = {
+                field.name: getattr(session.config, field.name)
+                for field in dataclass_fields(SessionConfig)
+            }
+        else:
+            path = self.journal_path(name)
+            if not os.path.exists(path):
+                raise SessionError(f"unknown session {name!r}")
+            journal = RunJournal.open(path)
+            config = None
+        if self._tm is not None:
+            self._tm.count("service.exports")
+        return {
+            "ok": True,
+            "op": "export",
+            "session": name,
+            "root_seed": journal.root_seed,
+            "config": config,
+            "entries": journal.entries(),
+        }
+
+    def _import(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Install an exported session journal on this host.
+
+        Refused when the name already exists here (in memory or on
+        disk): migration moves state, it never merges or overwrites --
+        losing either side silently would be the exact corruption the
+        journal checksums exist to prevent.
+        """
+        name = payload.get("session")
+        if not isinstance(name, str):
+            raise ProtocolError("import needs a 'session' name")
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise ProtocolError("import needs an 'entries' list")
+        path = self.journal_path(name)
+        if name in self.sessions or os.path.exists(path):
+            raise SessionError(
+                f"session {name!r} already exists on this host; "
+                "imports never overwrite"
+            )
+        journal = RunJournal(path, root_seed=int(payload.get("root_seed", 0)))
+        adopted = journal.adopt(entries)
+        if self._tm is not None:
+            self._tm.count("service.imports")
+        return {"ok": True, "op": "import", "session": name, "entries": adopted}
+
+    # ------------------------------------------------------------------- exec
+    async def _exec(self, message: Message) -> Dict[str, Any]:
+        """Run one content-addressed spec for a fleet coordinator.
+
+        The run happens in a worker thread (``run_in_executor``) so the
+        event loop keeps answering heartbeat ``status`` probes while a
+        long spec executes -- liveness and work share one process but
+        never one thread.  A spec that *raises* is reported as a
+        ``status: "error"`` row (the coordinator charges it an attempt);
+        only protocol-level problems are connection errors.
+        """
+        payload = message.payload
+        spec_payload = payload.get("spec")
+        if not isinstance(spec_payload, dict):
+            raise ProtocolError("exec needs a 'spec' object")
+        try:
+            spec = spec_from_payload(spec_payload)
+        except ValueError as error:
+            raise ProtocolError(str(error)) from error
+        root_seed = int(payload.get("root_seed", 0))
+        want_snapshot = bool(payload.get("telemetry", False))
+        if self._tm is not None:
+            self._tm.count("service.execs")
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                None, execute_spec, spec, root_seed, want_snapshot
+            )
+        except Exception as error:  # noqa: BLE001 - reported, not fatal
+            if self._tm is not None:
+                self._tm.count("service.exec_errors")
+            return {
+                "ok": True,
+                "op": "exec",
+                "status": "error",
+                "key": spec_key(spec),
+                "error": f"{type(error).__name__}: {error}",
+            }
+        return {
+            "ok": True,
+            "op": "exec",
+            "status": "ok",
+            "key": spec_key(spec),
+            "payload": result.payload,
+            "snapshot": result.snapshot,
+        }
+
+    # ---------------------------------------------------------------- draining
+    def checkpoint_all(self) -> int:
+        """Checkpoint every live session (the SIGTERM drain path).
+
+        Returns how many sessions were checkpointed.  After this, a
+        restarted server (on this host or, via export/import, another)
+        resumes every session from exactly this point.
+        """
+        drained = 0
+        for name in sorted(self.sessions):
+            session = self.sessions[name]
+            if not session.closed:
+                session.checkpoint()
+                drained += 1
+        if self._tm is not None and drained:
+            self._tm.count("service.drained", drained)
+        return drained
+
     # --------------------------------------------------------------- serving
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -277,6 +433,12 @@ class TraceService:
                         conn.items.append(message.run())
                     elif op == "header":
                         pass
+                    elif op == "exec":
+                        # Runs in a worker thread; the loop (and every
+                        # other connection's heartbeat) stays live.
+                        self._flush(conn)
+                        writer.write(encode(await self._exec(message)))
+                        await writer.drain()
                     else:
                         self._flush(conn)
                         writer.write(encode(self._control(conn, message)))
@@ -284,6 +446,23 @@ class TraceService:
                 # buffering never exceeds one network chunk's items.
                 self._flush(conn)
                 await writer.drain()
+        except ServiceOverloaded as error:
+            # Load shedding is flow control: the reply says "shed" plus a
+            # retry hint, and the client backs off instead of failing.
+            try:
+                writer.write(
+                    encode(
+                        {
+                            "ok": False,
+                            "shed": True,
+                            "retry_after": error.retry_after,
+                            "error": f"{type(error).__name__}: {error}",
+                        }
+                    )
+                )
+                await writer.drain()
+            except (ConnectionError, RuntimeError):  # pragma: no cover
+                pass
         except (ProtocolError, SessionError, JournalMismatch, ValueError) as error:
             if self._tm is not None:
                 self._tm.count("service.protocol_errors")
@@ -339,11 +518,18 @@ def run_server(
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     telemetry: Optional[Telemetry] = None,
     ready=None,
+    max_sessions: Optional[int] = None,
 ) -> None:
-    """Blocking entry point: serve until interrupted.
+    """Blocking entry point: serve until interrupted or drained.
 
     ``ready`` (a callable) receives the service once the socket is bound
     -- the CLI uses it to print the chosen port, tests to discover it.
+
+    SIGTERM triggers a *graceful drain*: the listener stops, every live
+    session is checkpointed (durable to its journal), and the process
+    exits cleanly -- so a fleet scheduler's routine teardown loses zero
+    ingested work, and every session resumes bit-identically on the
+    next server (here or, via export/import, elsewhere).
     """
     service = TraceService(
         journal_dir,
@@ -351,13 +537,33 @@ def run_server(
         port=port,
         checkpoint_every=checkpoint_every,
         telemetry=telemetry,
+        max_sessions=max_sessions,
     )
 
     async def _main() -> None:
         await service.start()
         if ready is not None:
             ready(service)
-        await service.serve_forever()
+        drain = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, drain.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # non-POSIX loop: drain stays manual (Ctrl-C path)
+        serving = asyncio.ensure_future(service.serve_forever())
+        draining = asyncio.ensure_future(drain.wait())
+        done, _ = await asyncio.wait(
+            {serving, draining}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if draining in done:
+            await service.stop()
+            service.checkpoint_all()
+        for task in (serving, draining):
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
 
     try:
         asyncio.run(_main())

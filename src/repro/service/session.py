@@ -25,6 +25,7 @@ import base64
 import os
 import pickle
 import re
+import time
 from dataclasses import dataclass, fields
 from typing import Any, Dict, Iterable, Optional
 
@@ -54,6 +55,20 @@ _FINAL_TRIAL = 1
 class SessionError(RuntimeError):
     """A session-level request the server must refuse (bad config,
     feeding a closed session, unknown session name)."""
+
+
+class ServiceOverloaded(SessionError):
+    """Admission control refused a new session (``--max-sessions``).
+
+    The server's reply carries ``"shed": true`` plus ``retry_after``
+    seconds; a well-behaved client backs off and retries rather than
+    treating the shed as a hard failure -- load shedding is flow
+    control, not an error state.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.25) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 @dataclass(frozen=True)
@@ -176,6 +191,9 @@ class StreamSession:
         self.resumed_accesses = 0
         self._final_report: Optional[Dict[str, Any]] = None
         self._checkpointed_at = 0
+        #: Wall-clock stamp of the last fed chunk (construction counts as
+        #: activity) -- the liveness probe behind ``last_record_age``.
+        self.last_fed_at = time.time()
 
         final = self.journal.lookup(config.spec(name, _FINAL_TRIAL))
         if final is not None:
@@ -235,6 +253,7 @@ class StreamSession:
         if self.closed:
             raise SessionError(f"session {self.name!r} is closed")
         fed = self.feed_engine.feed(items)
+        self.last_fed_at = time.time()
         if self._tm is not None:
             self._tm.count("service.accesses", fed)
         if self.accesses - self._checkpointed_at >= self.checkpoint_every:
@@ -333,7 +352,13 @@ class StreamSession:
         return self.report_dict()
 
     def status_row(self) -> Dict[str, Any]:
-        """One row of the server's sessions panel."""
+        """One row of the server's sessions panel.
+
+        ``last_record_age`` is seconds since the session last ingested a
+        chunk (or was opened) -- the scriptable liveness signal fleet
+        health checks key on: a session whose age keeps growing while
+        ``closed`` is false has a wedged or vanished client.
+        """
         return {
             "session": self.name,
             "tool": self.config.tool,
@@ -343,4 +368,5 @@ class StreamSession:
             "journal_bytes": self.journal_bytes(),
             "closed": self.closed,
             "telemetry": self.config.telemetry,
+            "last_record_age": round(max(0.0, time.time() - self.last_fed_at), 3),
         }

@@ -79,6 +79,12 @@ DESCRIPTIONS: Dict[str, str] = {
     "service.checkpoints": "session checkpoints journaled",
     "service.reports": "live reports drawn from streaming sessions",
     "service.protocol_errors": "connections dropped for protocol violations",
+    "service.execs": "fleet spec executions requested over the exec op",
+    "service.exec_errors": "fleet spec executions that raised remotely",
+    "service.shed": "session opens refused under --max-sessions admission control",
+    "service.drained": "live sessions checkpointed by a SIGTERM graceful drain",
+    "service.exports": "session journals packaged for cross-host migration",
+    "service.imports": "migrated session journals installed on this host",
     "crafts.pmem.flushes": "persistent-memory line write-backs (CLWB) executed",
     "crafts.pmem.fences": "persistency ordering fences (SFENCE) executed",
     "crafts.pmem.ranges": "persistent-memory ranges declared on the machine",

@@ -34,9 +34,13 @@ class ServerThread:
         journal_dir: str,
         checkpoint_every: int = 1_000_000,
         telemetry: Optional[Telemetry] = None,
+        max_sessions: Optional[int] = None,
     ) -> None:
         self.service = TraceService(
-            journal_dir, checkpoint_every=checkpoint_every, telemetry=telemetry
+            journal_dir,
+            checkpoint_every=checkpoint_every,
+            telemetry=telemetry,
+            max_sessions=max_sessions,
         )
         self._loop = asyncio.new_event_loop()
         self._ready = threading.Event()

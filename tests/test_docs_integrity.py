@@ -20,6 +20,7 @@ def test_docs_directory_complete():
         "casestudies.md",
         "columnar.md",
         "crafts.md",
+        "distributed.md",
         "headroom.md",
         "observability.md",
         "parallel.md",

@@ -1,0 +1,568 @@
+"""The fleet layer: distributed sweeps that survive their workers.
+
+Four contracts, pinned bottom-up:
+
+1. **Backoff** -- :class:`repro.parallel.BackoffPolicy` delays are a
+   pure function of ``(seed, key, attempt)``: printable, replayable,
+   spread across keys -- and the scheduler actually waits them.
+2. **The wire form** -- a :class:`RunSpec` round-trips through its JSON
+   payload with an identical :func:`spec_key` (hence identical seed).
+3. **Failure domains** -- a remote spec failure charges an attempt and
+   surfaces as an ordered :class:`RunFailure`; a dead worker's specs are
+   reassigned without charge; a merely-slow worker is hedged around; a
+   full server sheds load that clients retry on schedule.
+4. **Determinism** -- ``run_fleet`` over real served workers produces
+   payloads and telemetry byte-identical to a local ``jobs=1`` run.
+"""
+
+import io
+import json
+import os
+import pathlib
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.fleet import FleetResult, run_fleet
+from repro.parallel import (
+    NO_BACKOFF,
+    BackoffPolicy,
+    RunJournal,
+    run_specs,
+    spec_from_payload,
+    spec_key,
+    spec_to_payload,
+    witch_spec,
+)
+from repro.parallel.spec import exhaustive_spec, native_spec
+from repro.parallel.worker import execute_spec
+from repro.service import ServiceClient, ServiceError, ServiceShed
+from repro.service.client import stream_trace
+from repro.telemetry import Telemetry
+from repro.trace import write_trace
+from tests.service_helpers import ServerThread, record_workload
+
+CONFIG = {"tool": "deadcraft", "period": 13, "seed": 1}
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def _tiny_specs(n=3):
+    return [
+        witch_spec("micro:listing2", "deadcraft", period=31, trial=trial)
+        for trial in range(n)
+    ]
+
+
+def payloads(batch):
+    return json.dumps([r.payload for r in batch.results if r is not None])
+
+
+def _free_dead_port():
+    """A port that was just free -- connecting to it gets refused."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+# ------------------------------------------------------------------- backoff
+class TestBackoffPolicy:
+    def test_schedule_is_deterministic_across_instances(self):
+        first = BackoffPolicy(seed=3).schedule("spec-key", 6)
+        second = BackoffPolicy(seed=3).schedule("spec-key", 6)
+        assert first == second
+
+    def test_unjittered_schedule_grows_exponentially_to_cap(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=0.5, jitter=0.0)
+        assert policy.schedule("k", 5) == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_in_its_band(self):
+        policy = BackoffPolicy(base=0.1, factor=2.0, cap=5.0, jitter=0.5, seed=9)
+        for attempt in range(1, 8):
+            raw = min(policy.cap, policy.base * policy.factor ** (attempt - 1))
+            delay = policy.delay("k", attempt)
+            assert raw * (1 - policy.jitter) <= delay <= raw
+
+    def test_distinct_keys_and_seeds_spread(self):
+        policy = BackoffPolicy(seed=1)
+        assert policy.delay("a", 1) != policy.delay("b", 1)
+        assert policy.delay("a", 1) != BackoffPolicy(seed=2).delay("a", 1)
+
+    def test_validation_rejects_degenerate_policies(self):
+        with pytest.raises(ValueError, match="base"):
+            BackoffPolicy(base=-1)
+        with pytest.raises(ValueError, match="factor"):
+            BackoffPolicy(factor=0.5)
+        with pytest.raises(ValueError, match="cap"):
+            BackoffPolicy(cap=-0.1)
+        with pytest.raises(ValueError, match="jitter"):
+            BackoffPolicy(jitter=1.0)
+        with pytest.raises(ValueError, match="attempt"):
+            BackoffPolicy().delay("k", 0)
+
+    def test_no_backoff_never_waits(self):
+        assert NO_BACKOFF.schedule("k", 4) == [0.0, 0.0, 0.0, 0.0]
+
+
+# ----------------------------------------------------------------- wire form
+class TestSpecWire:
+    def test_round_trip_preserves_identity(self):
+        for spec in (
+            witch_spec("micro:listing2", "deadcraft", period=31, trial=2,
+                       group="g", scale=0.5),
+            exhaustive_spec("micro:listing3"),
+            native_spec("spec:gcc", scale=2.0),
+        ):
+            decoded = spec_from_payload(
+                json.loads(json.dumps(spec_to_payload(spec)))
+            )
+            assert decoded == spec
+            assert spec_key(decoded) == spec_key(spec)
+
+    def test_malformed_payloads_are_value_errors(self):
+        with pytest.raises(ValueError, match="malformed spec payload"):
+            spec_from_payload({})
+        with pytest.raises(ValueError, match="malformed spec payload"):
+            spec_from_payload(
+                {"kind": "witch", "workload": "w", "options": [["k", [1, 2]]]}
+            )
+
+
+# ------------------------------------------------------- scheduler + backoff
+_FLAG_ENV = "REPRO_FLEET_TEST_DIR"
+
+
+def _flag_path(spec):
+    return pathlib.Path(os.environ[_FLAG_ENV]) / f"flag-{spec.trial}"
+
+
+def _flaky_worker(spec, root_seed, telemetry_enabled):
+    """Fails the first attempt per spec, succeeds after."""
+    flag = _flag_path(spec)
+    if not flag.exists():
+        flag.write_text("tried once")
+        raise RuntimeError("injected first-attempt failure")
+    return execute_spec(spec, root_seed, telemetry_enabled)
+
+
+def _crash_once_worker(spec, root_seed, telemetry_enabled):
+    """Hard-kills its process on the first attempt per spec."""
+    flag = _flag_path(spec)
+    if not flag.exists():
+        flag.write_text("crashed once")
+        os._exit(13)
+    return execute_spec(spec, root_seed, telemetry_enabled)
+
+
+def _odd_trials_fail_worker(spec, root_seed, telemetry_enabled):
+    if spec.trial % 2:
+        raise RuntimeError(f"injected failure for trial {spec.trial}")
+    return execute_spec(spec, root_seed, telemetry_enabled)
+
+
+class TestSchedulerBackoff:
+    def test_inline_retry_waits_the_deterministic_delay(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_FLAG_ENV, str(tmp_path))
+        specs = _tiny_specs(1)
+        policy = BackoffPolicy(base=0.2, factor=1.0, cap=0.2, jitter=0.0)
+        start = time.perf_counter()
+        batch = run_specs(specs, jobs=1, worker=_flaky_worker, retries=1,
+                          backoff=policy)
+        elapsed = time.perf_counter() - start
+        assert batch.ok, batch.failures
+        assert elapsed >= policy.delay(spec_key(specs[0]), 1)
+        assert payloads(batch) == payloads(run_specs(specs, jobs=1))
+
+    @pytest.mark.parametrize("jobs", (1, 2))
+    def test_budget_exhaustion_orders_failures_by_index(self, jobs):
+        specs = _tiny_specs(6)
+        batch = run_specs(specs, jobs=jobs, worker=_odd_trials_fail_worker,
+                          retries=1, backoff=NO_BACKOFF)
+        assert [failure.index for failure in batch.failures] == [1, 3, 5]
+        assert all(failure.attempts == 2 for failure in batch.failures)
+        assert all(batch.results[index] is not None for index in (0, 2, 4))
+
+    def test_broken_pool_recovery_waits_the_charged_delay(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_FLAG_ENV, str(tmp_path))
+        specs = _tiny_specs(2)
+        policy = BackoffPolicy(base=0.15, factor=1.0, cap=0.15, jitter=0.0)
+        start = time.perf_counter()
+        batch = run_specs(specs, jobs=2, worker=_crash_once_worker,
+                          retries=2, backoff=policy)
+        elapsed = time.perf_counter() - start
+        # The pool died (BrokenProcessPool), was rebuilt after the policy
+        # delay, and the second attempts succeeded.
+        assert batch.ok, batch.failures
+        assert elapsed >= 0.15
+        assert payloads(batch) == payloads(run_specs(specs, jobs=1))
+
+
+# -------------------------------------------------------------- fleet: happy
+class TestFleetDeterminism:
+    def test_payloads_and_telemetry_match_jobs1(self, tmp_path):
+        specs = _tiny_specs(4)
+        fleet_tm, inline_tm = Telemetry(), Telemetry()
+        with ServerThread(str(tmp_path / "w1")) as one, \
+                ServerThread(str(tmp_path / "w2")) as two:
+            batch = run_fleet(
+                specs,
+                [f"127.0.0.1:{one.port}", ("127.0.0.1", two.port)],
+                root_seed=7,
+                telemetry=fleet_tm,
+            )
+        clean = run_specs(specs, root_seed=7, jobs=1, telemetry=inline_tm)
+        assert isinstance(batch, FleetResult)
+        assert batch.ok, batch.failures
+        assert batch.jobs == 2 and len(batch.workers) == 2
+        assert batch.stats["dispatched"] >= len(specs)
+        assert payloads(batch) == payloads(clean)
+        # Merged telemetry is the remote runs' snapshots folded in spec
+        # order -- identical to the inline fold (coordinator bookkeeping
+        # lives in stats, never in telemetry).
+        fleet_snap, inline_snap = fleet_tm.snapshot(), inline_tm.snapshot()
+        for section in ("counters", "gauges", "histograms"):
+            assert json.dumps(fleet_snap.get(section), sort_keys=True) == \
+                json.dumps(inline_snap.get(section), sort_keys=True), section
+
+    def test_fleet_journals_and_resumes_without_redispatch(self, tmp_path):
+        specs = _tiny_specs(4)
+        path = str(tmp_path / "fleet.journal")
+        clean = run_specs(specs, jobs=1)
+        run_specs(specs[:2], jobs=1, journal=path)  # the interrupted half
+        with ServerThread(str(tmp_path / "w1")) as one:
+            batch = run_fleet(
+                specs, [f"127.0.0.1:{one.port}"],
+                journal=path, resume=True, hedge=False,
+            )
+        assert batch.ok, batch.failures
+        assert payloads(batch) == payloads(clean)
+        # Only the unjournaled half crossed the wire.
+        assert batch.stats["dispatched"] == 2
+        assert len(RunJournal(path, root_seed=0)) == 4
+
+    def test_validation_rejects_degenerate_arguments(self):
+        specs = _tiny_specs(1)
+        with pytest.raises(ValueError, match="worker"):
+            run_fleet(specs, [])
+        with pytest.raises(ValueError, match="host:port"):
+            run_fleet(specs, ["no-port-here"])
+        with pytest.raises(ValueError, match="retries"):
+            run_fleet(specs, ["127.0.0.1:1"], retries=-1)
+        with pytest.raises(ValueError, match="timeout"):
+            run_fleet(specs, ["127.0.0.1:1"], timeout=0)
+        with pytest.raises(ValueError, match="heartbeat_interval"):
+            run_fleet(specs, ["127.0.0.1:1"], heartbeat_interval=0)
+        with pytest.raises(ValueError, match="heartbeat_grace"):
+            run_fleet(specs, ["127.0.0.1:1"], heartbeat_grace=0)
+        with pytest.raises(ValueError, match="resume"):
+            run_fleet(specs, ["127.0.0.1:1"], resume=True)
+
+
+# ----------------------------------------------------- fleet: failure domains
+class TestFleetFailureDomains:
+    def test_remote_spec_failure_charges_attempts_in_order(self, tmp_path):
+        bad = [
+            witch_spec("nosuch:workload", "deadcraft", period=31, trial=trial)
+            for trial in range(2)
+        ]
+        specs = [bad[0], _tiny_specs(1)[0], bad[1]]
+        with ServerThread(str(tmp_path / "w1")) as one:
+            batch = run_fleet(
+                specs, [f"127.0.0.1:{one.port}"],
+                retries=1, backoff=NO_BACKOFF, hedge=False,
+            )
+        assert [failure.index for failure in batch.failures] == [0, 2]
+        for failure in batch.failures:
+            assert failure.attempts == 2  # first try + one retry
+            assert "on worker 127.0.0.1:" in failure.error
+        assert batch.results[1] is not None  # the healthy spec completed
+
+    def test_dead_address_degrades_to_a_smaller_fleet(self, tmp_path):
+        specs = _tiny_specs(3)
+        with ServerThread(str(tmp_path / "w1")) as one:
+            batch = run_fleet(
+                specs,
+                [f"127.0.0.1:{one.port}", f"127.0.0.1:{_free_dead_port()}"],
+                heartbeat_interval=0.05,
+            )
+        assert batch.ok, batch.failures
+        assert batch.stats["worker_deaths"] >= 1
+        assert payloads(batch) == payloads(run_specs(specs, jobs=1))
+
+    def test_all_workers_dead_is_structured_failure_not_exception(self):
+        specs = _tiny_specs(2)
+        batch = run_fleet(
+            specs, [f"127.0.0.1:{_free_dead_port()}"],
+            heartbeat_interval=0.05,
+        )
+        assert not batch.ok
+        assert len(batch.failures) == 2
+        for failure in batch.failures:
+            assert "died" in failure.error
+
+
+class _StallServer:
+    """Answers heartbeat ``status`` probes; swallows ``exec`` forever.
+
+    The shape of a wedged-but-alive worker: liveness checks pass, work
+    never returns -- only hedging or a per-spec timeout can save the
+    sweep.
+    """
+
+    def __init__(self):
+        self._sock = socket.socket()
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        threading.Thread(target=self._serve, daemon=True).start()
+
+    def _serve(self):
+        while True:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            threading.Thread(target=self._talk, args=(conn,), daemon=True).start()
+
+    @staticmethod
+    def _talk(conn):
+        try:
+            for line in conn.makefile("rb"):
+                message = json.loads(line)
+                if message.get("op") == "status":
+                    conn.sendall(
+                        json.dumps(
+                            {"ok": True, "op": "status", "sessions": [],
+                             "accesses": 0, "attached": []}
+                        ).encode() + b"\n"
+                    )
+                # Any exec request is swallowed: never replied to.
+        except (OSError, ValueError):
+            pass
+
+    def close(self):
+        self._sock.close()
+
+
+class TestStragglers:
+    def test_stalled_worker_is_hedged_around(self, tmp_path):
+        specs = _tiny_specs(4)
+        stall = _StallServer()
+        try:
+            with ServerThread(str(tmp_path / "w1")) as good:
+                batch = run_fleet(
+                    specs,
+                    [f"127.0.0.1:{stall.port}", f"127.0.0.1:{good.port}"],
+                    heartbeat_interval=0.1,
+                )
+        finally:
+            stall.close()
+        assert batch.ok, batch.failures
+        assert batch.stats["hedged"] >= 1
+        assert payloads(batch) == payloads(run_specs(specs, jobs=1))
+
+    def test_per_spec_timeout_charges_the_spec(self):
+        stall = _StallServer()
+        try:
+            batch = run_fleet(
+                _tiny_specs(1),
+                [f"127.0.0.1:{stall.port}"],
+                timeout=0.3, retries=0, hedge=False,
+                backoff=NO_BACKOFF,
+            )
+        finally:
+            stall.close()
+        assert not batch.ok
+        assert len(batch.failures) == 1
+        assert "timed out" in batch.failures[0].error
+        assert batch.failures[0].attempts == 1
+
+
+# --------------------------------------------------------- admission control
+@pytest.fixture()
+def trace_file(tmp_path):
+    path = tmp_path / "tiny.trace"
+    with open(path, "w") as stream:
+        write_trace(record_workload("micro:listing2"), stream)
+    return str(path)
+
+
+class TestAdmissionControl:
+    def test_shed_when_full_then_recovers(self, tmp_path):
+        with ServerThread(str(tmp_path / "j"), max_sessions=1) as server:
+            with ServiceClient(port=server.port) as first:
+                first.open("a", CONFIG)
+                with ServiceClient(port=server.port) as second:
+                    with pytest.raises(ServiceShed) as shed:
+                        second.open("b", CONFIG)
+                    assert shed.value.retry_after > 0
+                first.close_session()
+                # The freed slot admits a retried open (on a fresh
+                # connection -- error replies close the old one).
+                with ServiceClient(port=server.port) as third:
+                    assert third.open("b", CONFIG)["ok"]
+
+    def test_stream_trace_retries_shed_on_the_backoff_schedule(
+        self, tmp_path, trace_file
+    ):
+        policy = BackoffPolicy(base=0.01, factor=1.0, cap=0.01, jitter=0.0)
+        with ServerThread(str(tmp_path / "j"), max_sessions=1) as server:
+            with ServiceClient(port=server.port) as hog:
+                hog.open("hog", CONFIG)
+                with pytest.raises(ServiceShed):
+                    stream_trace(
+                        trace_file, "late", port=server.port, config=CONFIG,
+                        shed_retries=1, backoff=policy,
+                    )
+                hog.close_session()
+            final = stream_trace(
+                trace_file, "late", port=server.port, config=CONFIG,
+                shed_retries=1, backoff=policy,
+            )
+        assert final["accesses"] > 0
+
+
+# -------------------------------------------------------------- migration
+class TestMigration:
+    @staticmethod
+    def _export_when_detached(port, session):
+        """Export, tolerating the tiny window before the server notices
+        the streaming client's disconnect."""
+        deadline = time.monotonic() + 5
+        while True:
+            try:
+                with ServiceClient(port=port) as client:
+                    return client.export_session(session)
+            except ServiceError:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.05)
+
+    def test_export_import_moves_a_session_bit_identically(self, tmp_path):
+        records = record_workload("micro:listing2")
+        half = len(records) // 2
+        from repro.harness import run_witch
+        from repro.trace import TraceReplay
+
+        expected = json.dumps(
+            run_witch(
+                TraceReplay(records), tool="deadcraft", period=13, seed=1
+            ).report.to_dict(),
+            sort_keys=True,
+        )
+        with ServerThread(str(tmp_path / "s1")) as origin, \
+                ServerThread(str(tmp_path / "s2")) as target:
+            with ServiceClient(port=origin.port) as client:
+                client.open("mig", CONFIG)
+                client.send_items(records[:half])
+                synced = client.sync()["accesses"]
+                assert synced == half
+            export = self._export_when_detached(origin.port, "mig")
+            assert export["root_seed"] == CONFIG["seed"]
+            assert export["config"]["tool"] == "deadcraft"
+
+            with ServiceClient(port=target.port) as client:
+                imported = client.import_session("mig", export)
+                assert imported["entries"] >= 1
+                opened = client.open("mig", CONFIG)
+                assert opened["resumed"] == half
+                client.send_items(records[half:])
+                final = client.close_session()
+        assert final["accesses"] == len(records)
+        assert json.dumps(final["report"], sort_keys=True) == expected
+
+    def test_import_never_overwrites(self, tmp_path):
+        with ServerThread(str(tmp_path / "s1")) as server:
+            with ServiceClient(port=server.port) as client:
+                client.open("keep", CONFIG)
+                client.close_session()
+            with ServiceClient(port=server.port) as client:
+                export = client.export_session("keep")
+                with pytest.raises(ServiceError, match="never overwrite"):
+                    client.import_session("keep", export)
+
+    def test_export_unknown_session_is_an_error(self, tmp_path):
+        with ServerThread(str(tmp_path / "s1")) as server:
+            with ServiceClient(port=server.port) as client:
+                with pytest.raises(ServiceError, match="unknown session"):
+                    client.export_session("ghost")
+
+
+# ----------------------------------------------------------- liveness + CLI
+class TestSessionLiveness:
+    def test_status_rows_report_last_record_age(self, tmp_path):
+        records = record_workload("micro:listing2")
+        with ServerThread(str(tmp_path / "j")) as server:
+            with ServiceClient(port=server.port) as client:
+                client.open("live", CONFIG)
+                client.send_items(records[:50])
+                client.sync()
+                row = client.status()["sessions"][0]
+        assert row["session"] == "live"
+        assert 0 <= row["last_record_age"] < 60
+
+    def test_sessions_cli_json_is_scriptable(self, tmp_path):
+        records = record_workload("micro:listing2")
+        with ServerThread(str(tmp_path / "j")) as server:
+            with ServiceClient(port=server.port) as client:
+                client.open("live", CONFIG)
+                client.send_items(records[:50])
+                client.sync()
+                code, text = run_cli(
+                    "sessions", "--port", str(server.port), "--json"
+                )
+        assert code == 0
+        parsed = json.loads(text)
+        assert set(parsed) == {"status", "aggregate"}
+        assert parsed["status"]["sessions"][0]["last_record_age"] >= 0
+
+
+class TestFleetCLI:
+    def test_fleet_cli_sweeps_and_reports(self, tmp_path):
+        with ServerThread(str(tmp_path / "w1")) as one, \
+                ServerThread(str(tmp_path / "w2")) as two:
+            code, text = run_cli(
+                "fleet", "micro:listing2",
+                "--workers", f"127.0.0.1:{one.port},127.0.0.1:{two.port}",
+                "--period", "31", "--trials", "2", "--seed", "7",
+            )
+        assert code == 0
+        assert "fleet of 2 worker(s)" in text
+
+    def test_fleet_cli_json_payload(self, tmp_path):
+        json_path = tmp_path / "fleet.json"
+        with ServerThread(str(tmp_path / "w1")) as one:
+            code, text = run_cli(
+                "fleet", "micro:listing2",
+                "--workers", f"127.0.0.1:{one.port}",
+                "--period", "31", "--json", str(json_path),
+            )
+        assert code == 0
+        assert str(json_path) in text
+        parsed = json.loads(json_path.read_text())
+        assert parsed["format"] == "repro-fleet"
+        assert len(parsed["results"]) == 1
+        assert parsed["stats"]["dispatched"] >= 1
+
+    def test_fleet_cli_validation_errors(self, capsys):
+        code, _ = run_cli("fleet", "micro:listing2", "--workers", "nope")
+        assert code == 2
+        code, _ = run_cli(
+            "fleet", "micro:listing2", "--workers", "127.0.0.1:1",
+            "--trials", "0",
+        )
+        assert code == 2
+        code, _ = run_cli(
+            "fleet", "nosuch:workload", "--workers", "127.0.0.1:1"
+        )
+        assert code == 2
+        capsys.readouterr()

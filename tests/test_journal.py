@@ -1,16 +1,22 @@
 """The write-ahead results journal and crash-safe resume.
 
-Three layers, pinned separately:
+Five layers, pinned separately:
 
 1. **The journal file** -- atomic appends, spec-keyed lookup, and a loud
    refusal to resume under a different root seed (splicing RNG streams).
-2. **``run_specs(journal=..., resume=...)``** -- journaled specs replay
+2. **Record integrity** -- version-2 per-record checksums: a flipped
+   bit or torn suffix is detected at load, quarantined next to the
+   journal, and the verified prefix salvaged -- never silently trusted.
+3. **``merge_journals``** -- N hosts' journals fold into one,
+   byte-identically in any merge order, refusing conflicting results.
+4. **``run_specs(journal=..., resume=...)``** -- journaled specs replay
    instead of re-executing, and a resumed batch's artifacts are
    bit-identical to an uninterrupted run, inline and pooled.
-3. **Chaos** -- a real worker process SIGKILLed mid-suite; the survivor
+5. **Chaos** -- a real worker process SIGKILLed mid-suite; the survivor
    journal resumes to the exact artifacts of a clean ``jobs=1`` run.
 """
 
+import hashlib
 import io
 import json
 import os
@@ -24,8 +30,10 @@ import pytest
 
 from repro.cli import main
 from repro.parallel import (
+    JournalCorrupt,
     JournalMismatch,
     RunJournal,
+    merge_journals,
     run_specs,
     spec_key,
     witch_spec,
@@ -99,6 +107,192 @@ class TestRunJournal:
         empty = tmp_path / "empty.journal"
         empty.write_text("")
         assert len(RunJournal(str(empty))) == 0
+
+
+# ----------------------------------------------------------- record integrity
+def _journal_with(path, specs):
+    """A real journal holding one executed result per spec."""
+    journal = RunJournal(path, root_seed=0)
+    for spec in specs:
+        journal.record(spec, execute_spec(spec, 0, False))
+    return journal
+
+
+def _flip_record(path, line_index):
+    """Perturb one record's payload while keeping its recorded checksum --
+    exactly what a bit flip at rest looks like to the loader."""
+    lines = pathlib.Path(path).read_text().splitlines()
+    entry = json.loads(lines[line_index])
+    entry["payload"] = {"flipped": True}
+    lines[line_index] = json.dumps(entry)
+    pathlib.Path(path).write_text("\n".join(lines) + "\n")
+
+
+class TestJournalIntegrity:
+    def test_records_carry_verifiable_checksums(self, tmp_path):
+        path = str(tmp_path / "runs.journal")
+        _journal_with(path, _specs(2))
+        lines = pathlib.Path(path).read_text().splitlines()
+        assert json.loads(lines[0])["version"] == 2
+        for line in lines[1:]:
+            entry = json.loads(line)
+            recorded = entry.pop("sum")
+            body = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+            assert recorded == hashlib.sha256(body.encode()).hexdigest()[:16]
+
+    def test_bit_flip_quarantines_suffix_and_salvages_prefix(self, tmp_path):
+        path = str(tmp_path / "runs.journal")
+        specs = _specs(4)
+        _journal_with(path, specs)
+        _flip_record(path, 3)  # header + 2 good entries, then the damage
+
+        reloaded = RunJournal(path, root_seed=0)
+        assert len(reloaded) == 2
+        assert reloaded.salvaged_entries == 2
+        assert reloaded.quarantined_lines == 2  # the flip and what followed
+        assert reloaded.quarantine_path == path + ".quarantine"
+        quarantine = pathlib.Path(reloaded.quarantine_path)
+        assert len(quarantine.read_text().splitlines()) == 2
+        # The lost specs are exactly the ones behind the damage.
+        assert specs[0] in reloaded and specs[1] in reloaded
+        assert specs[2] not in reloaded and specs[3] not in reloaded
+        # The rewritten journal holds only verified records: a second
+        # load sees a clean file, not the quarantine again.
+        again = RunJournal(path, root_seed=0)
+        assert len(again) == 2 and again.quarantined_lines == 0
+
+    def test_truncated_final_record_is_quarantined(self, tmp_path):
+        path = str(tmp_path / "runs.journal")
+        _journal_with(path, _specs(3))
+        text = pathlib.Path(path).read_text().rstrip("\n")
+        pathlib.Path(path).write_text(text[: len(text) - len(text.splitlines()[-1]) // 2])
+        reloaded = RunJournal(path, root_seed=0)
+        assert len(reloaded) == 2
+        assert reloaded.quarantined_lines == 1
+
+    def test_resume_after_bit_flip_is_bit_identical(self, tmp_path):
+        """The acceptance chaos proof: corruption degrades to re-executed
+        specs, never to wrong or silently-trusted results."""
+        path = str(tmp_path / "runs.journal")
+        specs = _specs(4)
+        clean = run_specs(specs, jobs=1)
+        run_specs(specs, jobs=1, journal=path)
+        _flip_record(path, 2)
+
+        survivor = RunJournal(path, root_seed=0)
+        assert survivor.quarantined_lines == 3
+        resumed = run_specs(specs, jobs=1, journal=survivor, resume=True)
+        assert resumed.ok
+        assert payloads(resumed) == payloads(clean)
+        assert len(RunJournal(path, root_seed=0)) == 4
+
+    def test_header_damage_is_beyond_salvage(self, tmp_path):
+        path = tmp_path / "runs.journal"
+        _journal_with(str(path), _specs(2))
+        path.write_text("x" + path.read_text())
+        with pytest.raises(JournalCorrupt, match="header is unreadable"):
+            RunJournal(str(path), root_seed=0)
+        with pytest.raises(JournalCorrupt):
+            RunJournal.open(str(path))
+
+    def test_unsupported_version_is_refused(self, tmp_path):
+        path = tmp_path / "future.journal"
+        path.write_text(
+            '{"format": "repro-journal", "version": 99, "root_seed": 0}\n'
+        )
+        with pytest.raises(JournalMismatch, match="unsupported journal version"):
+            RunJournal(str(path), root_seed=0)
+
+    def test_v1_journal_loads_and_upgrades_on_next_append(self, tmp_path):
+        path = tmp_path / "legacy.journal"
+        specs = _specs(2)
+        result = execute_spec(specs[0], 0, False)
+        path.write_text(
+            json.dumps({"format": "repro-journal", "version": 1, "root_seed": 0})
+            + "\n"
+            + json.dumps(
+                {
+                    "key": spec_key(specs[0]),
+                    "label": specs[0].label,
+                    "payload": result.payload,
+                    "snapshot": None,
+                }
+            )
+            + "\n"
+        )
+        journal = RunJournal(str(path), root_seed=0)
+        assert len(journal) == 1
+        replayed = journal.lookup(specs[0])
+        assert json.dumps(replayed.payload) == json.dumps(result.payload)
+
+        journal.record(specs[1], execute_spec(specs[1], 0, False))
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0])["version"] == 2
+        assert all("sum" in json.loads(line) for line in lines[1:])
+
+
+# ------------------------------------------------------------- merging hosts
+class TestMergeJournals:
+    def test_merge_is_order_independent_and_deduplicates(self, tmp_path):
+        specs = _specs(4)
+        left = str(tmp_path / "host-a.journal")
+        right = str(tmp_path / "host-b.journal")
+        # Overlapping shards: spec 1 and 2 ran on both hosts (retries,
+        # hedging) -- content-addressed seeds make the copies identical.
+        run_specs(specs[:3], jobs=1, journal=left)
+        run_specs(specs[1:], jobs=1, journal=right)
+
+        out_ab = str(tmp_path / "ab.journal")
+        out_ba = str(tmp_path / "ba.journal")
+        merged = merge_journals([left, right], output=out_ab)
+        merge_journals([right, left], output=out_ba)
+        assert len(merged) == 4
+        assert merged.root_seed == 0
+        assert (
+            pathlib.Path(out_ab).read_bytes() == pathlib.Path(out_ba).read_bytes()
+        )
+
+    def test_resume_from_merged_replays_everything(self, tmp_path):
+        specs = _specs(4)
+        clean = run_specs(specs, jobs=1)
+        left = str(tmp_path / "host-a.journal")
+        right = str(tmp_path / "host-b.journal")
+        run_specs(specs[:2], jobs=1, journal=left)
+        run_specs(specs[2:], jobs=1, journal=right)
+        out = str(tmp_path / "merged.journal")
+        merge_journals([left, right], output=out)
+
+        def boom(spec, root_seed, telemetry_enabled):
+            raise AssertionError("a merged journal must replay, not re-run")
+
+        resumed = run_specs(
+            specs, jobs=1, worker=boom,
+            journal=RunJournal(out, root_seed=0), resume=True,
+        )
+        assert resumed.ok
+        assert payloads(resumed) == payloads(clean)
+
+    def test_merge_refuses_conflicting_results(self, tmp_path):
+        spec = _specs(1)[0]
+        left = RunJournal(str(tmp_path / "a.journal"))
+        right = RunJournal(str(tmp_path / "b.journal"))
+        left.record(spec, RunResult(spec=spec, payload={"v": 1}))
+        right.record(spec, RunResult(spec=spec, payload={"v": 2}))
+        with pytest.raises(JournalMismatch, match="disagree"):
+            merge_journals([left, right])
+
+    def test_merge_refuses_mixed_seeds(self, tmp_path):
+        spec = _specs(1)[0]
+        left = RunJournal(str(tmp_path / "a.journal"), root_seed=1)
+        right = RunJournal(str(tmp_path / "b.journal"), root_seed=2)
+        left.record(spec, RunResult(spec=spec, payload={}))
+        right.record(spec, RunResult(spec=spec, payload={}))
+        with pytest.raises(JournalMismatch, match="root_seed"):
+            merge_journals([left, right])
+
+    def test_merge_needs_at_least_one_input(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_journals([])
 
 
 # ------------------------------------------------------------- run_specs glue
@@ -187,6 +381,70 @@ class TestJournalCLI:
         code, resumed = run_cli(*argv, "--resume")
         assert code == 0
         assert resumed == first
+
+    def test_resume_with_missing_journal_is_a_friendly_error(self, tmp_path, capsys):
+        path = str(tmp_path / "never-written.journal")
+        code, _ = run_cli(
+            "profile", "micro:listing2", "--journal", path, "--resume"
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "drop --resume" in err  # the remediation hint
+
+    def test_resume_with_corrupt_header_is_a_friendly_error(self, tmp_path, capsys):
+        path = tmp_path / "damaged.journal"
+        path.write_text("### not a journal header ###\n")
+        code, _ = run_cli(
+            "profile", "micro:listing2", "--journal", str(path), "--resume"
+        )
+        assert code == 2
+        assert "salvage" in capsys.readouterr().err
+
+    def test_resume_with_wrong_seed_hints_at_the_fix(self, tmp_path, capsys):
+        path = str(tmp_path / "seeded.journal")
+        run_cli("profile", "micro:listing2", "--period", "31",
+                "--journal", path, "--seed", "1")
+        code, _ = run_cli(
+            "profile", "micro:listing2", "--period", "31",
+            "--journal", path, "--seed", "2", "--resume",
+        )
+        assert code == 2
+        assert "--seed" in capsys.readouterr().err
+
+    def test_resume_after_record_corruption_reports_the_quarantine(self, tmp_path):
+        path = str(tmp_path / "profile.journal")
+        argv = ("profile", "micro:listing2", "--tool", "deadcraft",
+                "--period", "31", "--journal", path)
+        code, first = run_cli(*argv)
+        assert code == 0
+        _flip_record(path, 1)
+        code, resumed = run_cli(*argv, "--resume")
+        assert code == 0
+        assert "quarantined" in resumed
+        assert "re-executed" in resumed
+        # The re-executed run lands on the same bits as the clean one.
+        assert first in resumed.replace(f"(resumed from {path})\n", "")
+
+    def test_merge_journals_cli_round_trip(self, tmp_path):
+        specs = _specs(4)
+        left = str(tmp_path / "a.journal")
+        right = str(tmp_path / "b.journal")
+        run_specs(specs[:2], jobs=1, journal=left)
+        run_specs(specs[2:], jobs=1, journal=right)
+        out_path = str(tmp_path / "merged.journal")
+        code, text = run_cli("merge-journals", left, right, "-o", out_path)
+        assert code == 0
+        assert "merged 2 journal(s)" in text
+        assert len(RunJournal(out_path, root_seed=0)) == 4
+
+    def test_merge_journals_cli_missing_input(self, tmp_path, capsys):
+        code, _ = run_cli(
+            "merge-journals", str(tmp_path / "ghost.journal"),
+            "-o", str(tmp_path / "out.journal"),
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------- chaos
